@@ -1,0 +1,225 @@
+//! Bag-semantics evaluation of relational-algebra expressions.
+//!
+//! As prescribed by the SQL standard and discussed in §4.2 of the survey,
+//! relations are bags: union adds multiplicities (`UNION ALL`), difference
+//! subtracts them down to zero (`EXCEPT ALL`), projection does not eliminate
+//! duplicates and products multiply multiplicities.
+
+use crate::expr::RaExpr;
+use crate::{AlgebraError, Result};
+use certa_data::{unify, BagDatabase, BagRelation, Tuple, Value};
+
+/// Evaluate an expression on a bag database under bag semantics.
+///
+/// # Errors
+///
+/// Returns an error if the expression is ill-formed for the schema.
+pub fn eval_bag(expr: &RaExpr, db: &BagDatabase) -> Result<BagRelation> {
+    expr.validate(db.schema())?;
+    eval_bag_unchecked(expr, db)
+}
+
+fn eval_bag_unchecked(expr: &RaExpr, db: &BagDatabase) -> Result<BagRelation> {
+    match expr {
+        RaExpr::Relation(name) => Ok(db
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?
+            .clone()),
+        RaExpr::Select(e, cond) => {
+            let input = eval_bag_unchecked(e, db)?;
+            Ok(input.filter(|t| cond.eval(t)))
+        }
+        RaExpr::Project(e, positions) => Ok(eval_bag_unchecked(e, db)?.project(positions)),
+        RaExpr::Product(l, r) => {
+            Ok(eval_bag_unchecked(l, db)?.product(&eval_bag_unchecked(r, db)?))
+        }
+        RaExpr::Union(l, r) => {
+            Ok(eval_bag_unchecked(l, db)?.union_all(&eval_bag_unchecked(r, db)?))
+        }
+        RaExpr::Intersect(l, r) => {
+            Ok(eval_bag_unchecked(l, db)?.intersect_all(&eval_bag_unchecked(r, db)?))
+        }
+        RaExpr::Difference(l, r) => {
+            Ok(eval_bag_unchecked(l, db)?.difference_all(&eval_bag_unchecked(r, db)?))
+        }
+        RaExpr::Divide(l, r) => {
+            // Division is inherently a universal (set-flavoured) operator;
+            // following the treatment of fragments of bag relational algebra
+            // in the survey's references, we define it on the set readings of
+            // its arguments and return multiplicity 1 per qualifying tuple.
+            let dividend = eval_bag_unchecked(l, db)?.to_set();
+            let divisor = eval_bag_unchecked(r, db)?.to_set();
+            Ok(BagRelation::from_set(&crate::eval::divide(
+                &dividend, &divisor,
+            )))
+        }
+        RaExpr::DomPower(k) => {
+            let domain: Vec<Value> = db.active_domain().into_iter().collect();
+            Ok(bag_dom_power(&domain, *k))
+        }
+        RaExpr::AntiSemiJoinUnify(l, r) => {
+            let left = eval_bag_unchecked(l, db)?;
+            let right = eval_bag_unchecked(r, db)?;
+            Ok(left.filter(|t| !right.distinct().any(|s| unify(t, s).is_some())))
+        }
+        RaExpr::Literal(rel) => Ok(BagRelation::from_set(rel)),
+    }
+}
+
+/// All `k`-tuples over the given domain, each with multiplicity 1.
+fn bag_dom_power(domain: &[Value], k: usize) -> BagRelation {
+    let mut out = BagRelation::empty(k);
+    if k == 0 {
+        out.insert(Tuple::empty());
+        return out;
+    }
+    if domain.is_empty() {
+        return out;
+    }
+    let total = domain.len().pow(k as u32);
+    for mut idx in 0..total {
+        let mut values = Vec::with_capacity(k);
+        for _ in 0..k {
+            values.push(domain[idx % domain.len()].clone());
+            idx /= domain.len();
+        }
+        out.insert(Tuple::new(values));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Condition;
+    use certa_data::{database_from_literal, tup};
+
+    fn db() -> BagDatabase {
+        let sets = database_from_literal([
+            ("R", vec!["a"], vec![]),
+            ("S", vec!["a"], vec![]),
+        ]);
+        let mut b = BagDatabase::new(sets.schema().clone());
+        b.insert_n("R", tup![1], 3).unwrap();
+        b.insert_n("R", tup![2], 1).unwrap();
+        b.insert_n("S", tup![1], 1).unwrap();
+        b.insert_n("S", tup![3], 2).unwrap();
+        b
+    }
+
+    #[test]
+    fn union_all_adds_multiplicities() {
+        let d = db();
+        let q = RaExpr::rel("R").union(RaExpr::rel("S"));
+        let out = eval_bag(&q, &d).unwrap();
+        assert_eq!(out.multiplicity(&tup![1]), 4);
+        assert_eq!(out.multiplicity(&tup![2]), 1);
+        assert_eq!(out.multiplicity(&tup![3]), 2);
+    }
+
+    #[test]
+    fn difference_all_subtracts() {
+        let d = db();
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        let out = eval_bag(&q, &d).unwrap();
+        assert_eq!(out.multiplicity(&tup![1]), 2);
+        assert_eq!(out.multiplicity(&tup![2]), 1);
+        assert_eq!(out.multiplicity(&tup![3]), 0);
+    }
+
+    #[test]
+    fn intersect_all_takes_min() {
+        let d = db();
+        let q = RaExpr::rel("R").intersect(RaExpr::rel("S"));
+        let out = eval_bag(&q, &d).unwrap();
+        assert_eq!(out.multiplicity(&tup![1]), 1);
+        assert_eq!(out.distinct_len(), 1);
+    }
+
+    #[test]
+    fn product_multiplies_and_select_filters() {
+        let d = db();
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .select(Condition::eq_attr(0, 1));
+        let out = eval_bag(&q, &d).unwrap();
+        assert_eq!(out.multiplicity(&tup![1, 1]), 3);
+        assert_eq!(out.total_len(), 3);
+    }
+
+    #[test]
+    fn projection_keeps_duplicates() {
+        let d = db();
+        let q = RaExpr::rel("R").project(vec![0]);
+        let out = eval_bag(&q, &d).unwrap();
+        assert_eq!(out.total_len(), 4);
+    }
+
+    #[test]
+    fn dom_power_and_literal() {
+        let d = db();
+        let q = RaExpr::DomPower(2);
+        let out = eval_bag(&q, &d).unwrap();
+        // Active domain of db() is {1, 2, 3}.
+        assert_eq!(out.distinct_len(), 9);
+        let lit = certa_data::Relation::from_tuples(vec![tup![7]]);
+        assert_eq!(eval_bag(&RaExpr::Literal(lit), &d).unwrap().total_len(), 1);
+    }
+
+    #[test]
+    fn anti_semijoin_unify_on_bags() {
+        let sets = database_from_literal([
+            ("R", vec!["a"], vec![]),
+            ("S", vec!["a"], vec![]),
+        ]);
+        let mut b = BagDatabase::new(sets.schema().clone());
+        b.insert_n("R", tup![1], 2).unwrap();
+        b.insert_n("R", tup![2], 1).unwrap();
+        b.insert_n("S", tup![Value::null(0)], 1).unwrap();
+        // Every constant unifies with ⊥0, so the anti-semijoin is empty.
+        let q = RaExpr::rel("R").anti_semijoin_unify(RaExpr::rel("S"));
+        assert!(eval_bag(&q, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn division_on_bags_uses_set_reading() {
+        let sets = database_from_literal([
+            ("W", vec!["e", "p"], vec![]),
+            ("P", vec!["p"], vec![]),
+        ]);
+        let mut b = BagDatabase::new(sets.schema().clone());
+        b.insert_n("W", tup!["ann", "p1"], 5).unwrap();
+        b.insert_n("W", tup!["ann", "p2"], 1).unwrap();
+        b.insert_n("W", tup!["bob", "p1"], 2).unwrap();
+        b.insert_n("P", tup!["p1"], 1).unwrap();
+        b.insert_n("P", tup!["p2"], 3).unwrap();
+        let q = RaExpr::rel("W").divide(RaExpr::rel("P"));
+        let out = eval_bag(&q, &b).unwrap();
+        assert_eq!(out.multiplicity(&tup!["ann"]), 1);
+        assert_eq!(out.multiplicity(&tup!["bob"]), 0);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let d = db();
+        assert!(eval_bag(&RaExpr::rel("Nope"), &d).is_err());
+        assert!(eval_bag(&RaExpr::rel("R").union(RaExpr::rel("R").product(RaExpr::rel("R"))), &d).is_err());
+    }
+
+    #[test]
+    fn set_and_bag_agree_on_distinct_results() {
+        // On a duplicate-free database, bag evaluation followed by distinct
+        // agrees with set evaluation.
+        let setdb = database_from_literal([
+            ("R", vec!["a", "b"], vec![tup![1, 2], tup![2, 3]]),
+            ("S", vec!["b"], vec![tup![2]]),
+        ]);
+        let bagdb = setdb.to_bags();
+        let q = RaExpr::rel("R")
+            .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+            .project(vec![0]);
+        let set_out = crate::eval::eval(&q, &setdb).unwrap();
+        let bag_out = eval_bag(&q, &bagdb).unwrap().to_set();
+        assert_eq!(set_out, bag_out);
+    }
+}

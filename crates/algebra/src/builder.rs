@@ -1,0 +1,353 @@
+//! Ergonomic construction of relational-algebra queries against a schema.
+//!
+//! The core [`RaExpr`] AST references attributes by position. The
+//! [`QueryBuilder`] tracks the output attribute names of the expression being
+//! built, so callers (the SQL front-end, the workload generators, examples)
+//! can refer to attributes by name.
+
+use crate::expr::{Condition, RaExpr};
+use crate::{AlgebraError, Result};
+use certa_data::{Const, Schema};
+
+/// A relational-algebra expression together with the names of its output
+/// columns.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    expr: RaExpr,
+    columns: Vec<String>,
+}
+
+impl QueryBuilder {
+    /// Start from a base relation of the schema; column names are taken from
+    /// the relation schema, qualified as `rel.attr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation is not in the schema.
+    pub fn scan(schema: &Schema, relation: &str) -> Result<Self> {
+        let rel = schema
+            .relation(relation)
+            .map_err(|_| AlgebraError::UnknownRelation(relation.to_string()))?;
+        Ok(QueryBuilder {
+            expr: RaExpr::rel(relation),
+            columns: rel
+                .attributes()
+                .iter()
+                .map(|a| format!("{relation}.{a}"))
+                .collect(),
+        })
+    }
+
+    /// Start from a base relation with an alias (for self-joins), columns
+    /// qualified as `alias.attr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation is not in the schema.
+    pub fn scan_as(schema: &Schema, relation: &str, alias: &str) -> Result<Self> {
+        let mut b = Self::scan(schema, relation)?;
+        let rel = schema.relation(relation).expect("checked by scan");
+        b.columns = rel
+            .attributes()
+            .iter()
+            .map(|a| format!("{alias}.{a}"))
+            .collect();
+        Ok(b)
+    }
+
+    /// Wrap an existing expression with explicit column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names is inconsistent with later use; the
+    /// builder does not know the expression's arity without a schema, so the
+    /// caller is trusted here.
+    pub fn from_expr(expr: RaExpr, columns: Vec<String>) -> Self {
+        QueryBuilder { expr, columns }
+    }
+
+    /// The built expression.
+    pub fn expr(&self) -> &RaExpr {
+        &self.expr
+    }
+
+    /// Consume the builder, returning the expression.
+    pub fn into_expr(self) -> RaExpr {
+        self.expr
+    }
+
+    /// The output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Position of a column by name. Unqualified names (`attr`) match a
+    /// qualified column (`rel.attr`) when unambiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is unknown or ambiguous.
+    pub fn position(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c == name) {
+            return Ok(i);
+        }
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.rsplit('.').next() == Some(name))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            _ => Err(AlgebraError::Data(certa_data::DataError::UnknownAttribute {
+                relation: "<query>".to_string(),
+                attribute: name.to_string(),
+            })),
+        }
+    }
+
+    /// Selection with a condition expressed over column names via the
+    /// provided closure (which receives `self` for name resolution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates name-resolution errors from the closure.
+    pub fn select_with(
+        self,
+        f: impl FnOnce(&QueryBuilder) -> Result<Condition>,
+    ) -> Result<Self> {
+        let cond = f(&self)?;
+        Ok(QueryBuilder {
+            expr: self.expr.select(cond),
+            columns: self.columns,
+        })
+    }
+
+    /// Selection `column = constant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is unknown.
+    pub fn filter_eq(self, column: &str, value: impl Into<Const>) -> Result<Self> {
+        let pos = self.position(column)?;
+        Ok(QueryBuilder {
+            expr: self.expr.select(Condition::eq_const(pos, value)),
+            columns: self.columns,
+        })
+    }
+
+    /// Natural-style equi-join with another builder on pairs of column names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any join column is unknown.
+    pub fn join(self, other: QueryBuilder, on: &[(&str, &str)]) -> Result<Self> {
+        let left_arity = self.columns.len();
+        let mut pairs = Vec::with_capacity(on.len());
+        for (l, r) in on {
+            pairs.push((self.position(l)?, other.position(r)?));
+        }
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Ok(QueryBuilder {
+            expr: self.expr.join_on(other.expr, &pairs, left_arity),
+            columns,
+        })
+    }
+
+    /// Projection onto the named columns (in the given order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a column is unknown.
+    pub fn project(self, columns: &[&str]) -> Result<Self> {
+        let mut positions = Vec::with_capacity(columns.len());
+        for c in columns {
+            positions.push(self.position(c)?);
+        }
+        let names = columns.iter().map(|c| (*c).to_string()).collect();
+        Ok(QueryBuilder {
+            expr: self.expr.project(positions),
+            columns: names,
+        })
+    }
+
+    /// Set difference with another builder (columns keep the left names).
+    pub fn difference(self, other: QueryBuilder) -> Self {
+        QueryBuilder {
+            expr: self.expr.difference(other.expr),
+            columns: self.columns,
+        }
+    }
+
+    /// Union with another builder (columns keep the left names).
+    pub fn union(self, other: QueryBuilder) -> Self {
+        QueryBuilder {
+            expr: self.expr.union(other.expr),
+            columns: self.columns,
+        }
+    }
+
+    /// Unification anti-semijoin with another builder.
+    pub fn anti_semijoin_unify(self, other: QueryBuilder) -> Self {
+        QueryBuilder {
+            expr: self.expr.anti_semijoin_unify(other.expr),
+            columns: self.columns,
+        }
+    }
+
+    /// Division by another builder (columns drop the divisor's suffix).
+    pub fn divide(self, other: QueryBuilder) -> Self {
+        let keep = self.columns.len() - other.columns.len();
+        QueryBuilder {
+            expr: self.expr.divide(other.expr),
+            columns: self.columns[..keep].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use certa_data::{database_from_literal, tup, Relation};
+
+    fn db() -> certa_data::Database {
+        database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![
+                    tup!["o1", "Big Data", 30],
+                    tup!["o2", "SQL", 35],
+                    tup!["o3", "Logic", 50],
+                ],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", "o1"], tup!["c2", "o2"]],
+            ),
+        ])
+    }
+
+    #[test]
+    fn scan_produces_qualified_columns() {
+        let d = db();
+        let b = QueryBuilder::scan(d.schema(), "Orders").unwrap();
+        assert_eq!(b.columns(), ["Orders.oid", "Orders.title", "Orders.price"]);
+        assert!(QueryBuilder::scan(d.schema(), "Nope").is_err());
+    }
+
+    #[test]
+    fn position_resolves_unqualified_names() {
+        let d = db();
+        let b = QueryBuilder::scan(d.schema(), "Orders").unwrap();
+        assert_eq!(b.position("Orders.price").unwrap(), 2);
+        assert_eq!(b.position("price").unwrap(), 2);
+        assert!(b.position("missing").is_err());
+    }
+
+    #[test]
+    fn ambiguous_unqualified_name_is_error() {
+        let d = db();
+        let b = QueryBuilder::scan(d.schema(), "Orders")
+            .unwrap()
+            .join(QueryBuilder::scan(d.schema(), "Payments").unwrap(), &[("oid", "oid")])
+            .unwrap();
+        assert!(b.position("oid").is_err());
+        assert_eq!(b.position("Payments.oid").unwrap(), 4);
+    }
+
+    #[test]
+    fn filter_join_project_pipeline() {
+        let d = db();
+        let q = QueryBuilder::scan(d.schema(), "Orders")
+            .unwrap()
+            .join(QueryBuilder::scan(d.schema(), "Payments").unwrap(), &[("oid", "oid")])
+            .unwrap()
+            .filter_eq("cid", "c1")
+            .unwrap()
+            .project(&["title"])
+            .unwrap();
+        let out = eval(q.expr(), &d).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["Big Data"]]));
+    }
+
+    #[test]
+    fn unpaid_orders_via_difference() {
+        let d = db();
+        let all = QueryBuilder::scan(d.schema(), "Orders")
+            .unwrap()
+            .project(&["oid"])
+            .unwrap();
+        let paid = QueryBuilder::scan(d.schema(), "Payments")
+            .unwrap()
+            .project(&["oid"])
+            .unwrap();
+        let q = all.difference(paid);
+        let out = eval(q.expr(), &d).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["o3"]]));
+        assert_eq!(q.columns(), ["oid"]);
+    }
+
+    #[test]
+    fn scan_as_and_self_join() {
+        let d = db();
+        let a = QueryBuilder::scan_as(d.schema(), "Payments", "P1").unwrap();
+        let b = QueryBuilder::scan_as(d.schema(), "Payments", "P2").unwrap();
+        let q = a.join(b, &[("P1.oid", "P2.oid")]).unwrap();
+        let out = eval(q.expr(), &d).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn select_with_custom_condition() {
+        let d = db();
+        let q = QueryBuilder::scan(d.schema(), "Orders")
+            .unwrap()
+            .select_with(|b| {
+                Ok(Condition::eq_const(b.position("price")?, 30)
+                    .or(Condition::eq_const(b.position("price")?, 50)))
+            })
+            .unwrap()
+            .project(&["oid"])
+            .unwrap();
+        let out = eval(q.expr(), &d).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn divide_and_union_column_tracking() {
+        let d = database_from_literal([
+            ("W", vec!["e", "p"], vec![tup![1, 10], tup![1, 20], tup![2, 10]]),
+            ("P", vec!["p"], vec![tup![10], tup![20]]),
+        ]);
+        let q = QueryBuilder::scan(d.schema(), "W")
+            .unwrap()
+            .divide(QueryBuilder::scan(d.schema(), "P").unwrap());
+        assert_eq!(q.columns(), ["W.e"]);
+        assert_eq!(eval(q.expr(), &d).unwrap(), Relation::from_tuples(vec![tup![1]]));
+        let u = QueryBuilder::scan(d.schema(), "P")
+            .unwrap()
+            .union(QueryBuilder::scan(d.schema(), "P").unwrap());
+        assert_eq!(eval(u.expr(), &d).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn anti_semijoin_builder() {
+        let d = db();
+        let all = QueryBuilder::scan(d.schema(), "Orders")
+            .unwrap()
+            .project(&["oid"])
+            .unwrap();
+        let paid = QueryBuilder::scan(d.schema(), "Payments")
+            .unwrap()
+            .project(&["oid"])
+            .unwrap();
+        let q = all.anti_semijoin_unify(paid);
+        let out = eval(q.expr(), &d).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["o3"]]));
+    }
+}

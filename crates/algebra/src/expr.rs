@@ -1,0 +1,716 @@
+//! The relational-algebra AST and selection conditions.
+
+use crate::{AlgebraError, Result};
+use certa_data::{Const, Schema, Tuple, Value};
+use std::fmt;
+
+/// An operand of a comparison inside a selection condition: either an
+/// attribute (by 0-based position in the sub-expression's output) or a
+/// constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Attribute at the given position.
+    Attr(usize),
+    /// A constant literal.
+    Const(Const),
+}
+
+impl Operand {
+    /// Resolve the operand against a tuple.
+    pub fn value<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+        match self {
+            Operand::Attr(i) => &t[*i],
+            Operand::Const(_) => {
+                // The Value wrapper for a constant is produced on the fly via
+                // `resolved`, so this branch is unreachable; see `resolved`.
+                unreachable!("Operand::value called on a constant; use Operand::resolved")
+            }
+        }
+    }
+
+    /// Resolve the operand against a tuple, producing an owned value.
+    pub fn resolved(&self, t: &Tuple) -> Value {
+        match self {
+            Operand::Attr(i) => t[*i].clone(),
+            Operand::Const(c) => Value::Const(c.clone()),
+        }
+    }
+
+    /// Maximum attribute position referenced, if any.
+    fn max_position(&self) -> Option<usize> {
+        match self {
+            Operand::Attr(i) => Some(*i),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(i) => write!(f, "#{i}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A selection condition, per the grammar of §2:
+///
+/// ```text
+/// θ ::= const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ ∨ θ | θ ∧ θ
+/// ```
+///
+/// There is no explicit negation; [`Condition::negate`] propagates negation
+/// through the structure, interchanging `=`/`≠` and `const`/`null`, exactly
+/// as the paper prescribes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// `const(A)`: the attribute holds a constant.
+    IsConst(usize),
+    /// `null(A)`: the attribute holds a null.
+    IsNull(usize),
+    /// Equality of two operands.
+    Eq(Operand, Operand),
+    /// Disequality of two operands.
+    Neq(Operand, Operand),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// The always-true condition (unit of ∧; convenient for builders).
+    True,
+    /// The always-false condition (unit of ∨).
+    False,
+}
+
+impl Condition {
+    /// `A = B` for two attribute positions.
+    pub fn eq_attr(a: usize, b: usize) -> Condition {
+        Condition::Eq(Operand::Attr(a), Operand::Attr(b))
+    }
+
+    /// `A = c` for an attribute and a constant.
+    pub fn eq_const(a: usize, c: impl Into<Const>) -> Condition {
+        Condition::Eq(Operand::Attr(a), Operand::Const(c.into()))
+    }
+
+    /// `A ≠ B` for two attribute positions.
+    pub fn neq_attr(a: usize, b: usize) -> Condition {
+        Condition::Neq(Operand::Attr(a), Operand::Attr(b))
+    }
+
+    /// `A ≠ c` for an attribute and a constant.
+    pub fn neq_const(a: usize, c: impl Into<Const>) -> Condition {
+        Condition::Neq(Operand::Attr(a), Operand::Const(c.into()))
+    }
+
+    /// Conjunction, simplifying `True`/`False` units.
+    pub fn and(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::True, c) | (c, Condition::True) => c,
+            (Condition::False, _) | (_, Condition::False) => Condition::False,
+            (a, b) => Condition::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction, simplifying `True`/`False` units.
+    pub fn or(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::False, c) | (c, Condition::False) => c,
+            (Condition::True, _) | (_, Condition::True) => Condition::True,
+            (a, b) => Condition::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation by propagation: `=`↔`≠`, `const`↔`null`, De Morgan on ∧/∨.
+    pub fn negate(&self) -> Condition {
+        match self {
+            Condition::IsConst(a) => Condition::IsNull(*a),
+            Condition::IsNull(a) => Condition::IsConst(*a),
+            Condition::Eq(a, b) => Condition::Neq(a.clone(), b.clone()),
+            Condition::Neq(a, b) => Condition::Eq(a.clone(), b.clone()),
+            Condition::And(a, b) => Condition::Or(Box::new(a.negate()), Box::new(b.negate())),
+            Condition::Or(a, b) => Condition::And(Box::new(a.negate()), Box::new(b.negate())),
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+        }
+    }
+
+    /// The `θ*` rewriting of Figure 2: every comparison `A ≠ x` is replaced
+    /// by `(A ≠ x) ∧ const(A)` (and additionally `∧ const(x)` when `x` is an
+    /// attribute). Equalities and const/null tests are left untouched.
+    ///
+    /// Under the syntactic (naïve) evaluation of conditions this makes `≠`
+    /// certain: a null is never declared different from anything.
+    pub fn star(&self) -> Condition {
+        match self {
+            Condition::Neq(a, b) => {
+                let mut out = Condition::Neq(a.clone(), b.clone());
+                if let Operand::Attr(i) = a {
+                    out = out.and(Condition::IsConst(*i));
+                }
+                if let Operand::Attr(i) = b {
+                    out = out.and(Condition::IsConst(*i));
+                }
+                out
+            }
+            Condition::And(a, b) => a.star().and(b.star()),
+            Condition::Or(a, b) => a.star().or(b.star()),
+            other => other.clone(),
+        }
+    }
+
+    /// The SQL rewriting: every comparison (`=` **and** `≠`) requires all of
+    /// its attribute operands to be constants, mirroring SQL's rule that a
+    /// comparison involving NULL is not true. `const`/`null` tests (SQL's
+    /// `IS [NOT] NULL`) are untouched.
+    ///
+    /// Evaluating `sqlify(θ)` under the two-valued syntactic semantics gives
+    /// exactly the tuples on which SQL's three-valued `WHERE θ` evaluates to
+    /// **t** (for the negation-free grammar of §2).
+    pub fn sqlify(&self) -> Condition {
+        match self {
+            Condition::Eq(a, b) | Condition::Neq(a, b) => {
+                let mut out = match self {
+                    Condition::Eq(..) => Condition::Eq(a.clone(), b.clone()),
+                    _ => Condition::Neq(a.clone(), b.clone()),
+                };
+                if let Operand::Attr(i) = a {
+                    out = out.and(Condition::IsConst(*i));
+                }
+                if let Operand::Attr(i) = b {
+                    out = out.and(Condition::IsConst(*i));
+                }
+                out
+            }
+            Condition::And(a, b) => a.sqlify().and(b.sqlify()),
+            Condition::Or(a, b) => a.sqlify().or(b.sqlify()),
+            other => other.clone(),
+        }
+    }
+
+    /// Two-valued, *syntactic* evaluation of the condition on a tuple: nulls
+    /// are treated as ordinary values (⊥ᵢ equals itself and differs from
+    /// everything else). This is the evaluation used by naïve evaluation.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Condition::IsConst(a) => t[*a].is_const(),
+            Condition::IsNull(a) => t[*a].is_null(),
+            Condition::Eq(x, y) => x.resolved(t) == y.resolved(t),
+            Condition::Neq(x, y) => x.resolved(t) != y.resolved(t),
+            Condition::And(a, b) => a.eval(t) && b.eval(t),
+            Condition::Or(a, b) => a.eval(t) || b.eval(t),
+            Condition::True => true,
+            Condition::False => false,
+        }
+    }
+
+    /// `true` iff the condition mentions no disequalities (one half of the
+    /// definition of *positive* relational algebra, §2).
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Condition::Neq(..) => false,
+            Condition::And(a, b) | Condition::Or(a, b) => a.is_positive() && b.is_positive(),
+            _ => true,
+        }
+    }
+
+    /// `true` iff the condition uses only equalities between operands and
+    /// conjunction (the selection conditions allowed in conjunctive queries).
+    pub fn is_conjunctive_equalities(&self) -> bool {
+        match self {
+            Condition::Eq(..) | Condition::True => true,
+            Condition::And(a, b) => a.is_conjunctive_equalities() && b.is_conjunctive_equalities(),
+            _ => false,
+        }
+    }
+
+    /// Maximum attribute position mentioned, if any (used for validation).
+    pub fn max_position(&self) -> Option<usize> {
+        match self {
+            Condition::IsConst(a) | Condition::IsNull(a) => Some(*a),
+            Condition::Eq(x, y) | Condition::Neq(x, y) => {
+                match (x.max_position(), y.max_position()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                match (a.max_position(), b.max_position()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Condition::True | Condition::False => None,
+        }
+    }
+
+    /// All constants mentioned in the condition (needed to keep naïve
+    /// evaluation's fresh constants disjoint from query constants).
+    pub fn consts(&self) -> Vec<Const> {
+        let mut out = Vec::new();
+        self.collect_consts(&mut out);
+        out
+    }
+
+    fn collect_consts(&self, out: &mut Vec<Const>) {
+        match self {
+            Condition::Eq(x, y) | Condition::Neq(x, y) => {
+                for op in [x, y] {
+                    if let Operand::Const(c) = op {
+                        out.push(c.clone());
+                    }
+                }
+            }
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_consts(out);
+                b.collect_consts(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::IsConst(a) => write!(f, "const(#{a})"),
+            Condition::IsNull(a) => write!(f, "null(#{a})"),
+            Condition::Eq(x, y) => write!(f, "{x} = {y}"),
+            Condition::Neq(x, y) => write!(f, "{x} ≠ {y}"),
+            Condition::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Condition::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Condition::True => write!(f, "⊤"),
+            Condition::False => write!(f, "⊥cond"),
+        }
+    }
+}
+
+/// A relational-algebra expression.
+///
+/// Attribute references are positional (0-based) relative to the output of
+/// the sub-expression they apply to; use [`crate::QueryBuilder`] to construct
+/// expressions with attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A base relation of the schema.
+    Relation(String),
+    /// Selection σ_θ(E).
+    Select(Box<RaExpr>, Condition),
+    /// Projection π_positions(E); positions may repeat or reorder.
+    Project(Box<RaExpr>, Vec<usize>),
+    /// Cartesian product E₁ × E₂.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Union E₁ ∪ E₂ (equal arities).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Intersection E₁ ∩ E₂ (equal arities).
+    Intersect(Box<RaExpr>, Box<RaExpr>),
+    /// Difference E₁ − E₂ (equal arities).
+    Difference(Box<RaExpr>, Box<RaExpr>),
+    /// Division E₁ ÷ E₂: tuples ā with (ā, b̄) ∈ E₁ for *every* b̄ ∈ E₂
+    /// (the operator characterising Pos∀G, §4.1).
+    Divide(Box<RaExpr>, Box<RaExpr>),
+    /// The active-domain power `Domᵏ` (extended operator used by the
+    /// translations of Figure 2(a)).
+    DomPower(usize),
+    /// Unification anti-semijoin E₁ ⋉⇑ E₂: tuples of E₁ that unify with
+    /// **no** tuple of E₂ (equal arities; extended operator of §4.2).
+    AntiSemiJoinUnify(Box<RaExpr>, Box<RaExpr>),
+    /// A constant (literal) relation; used by rewritings and tests.
+    Literal(certa_data::Relation),
+}
+
+impl RaExpr {
+    /// Base relation reference.
+    pub fn rel(name: impl Into<String>) -> RaExpr {
+        RaExpr::Relation(name.into())
+    }
+
+    /// Selection.
+    pub fn select(self, cond: Condition) -> RaExpr {
+        RaExpr::Select(Box::new(self), cond)
+    }
+
+    /// Projection.
+    pub fn project(self, positions: impl Into<Vec<usize>>) -> RaExpr {
+        RaExpr::Project(Box::new(self), positions.into())
+    }
+
+    /// Cartesian product.
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: RaExpr) -> RaExpr {
+        RaExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Difference.
+    pub fn difference(self, other: RaExpr) -> RaExpr {
+        RaExpr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Division.
+    pub fn divide(self, other: RaExpr) -> RaExpr {
+        RaExpr::Divide(Box::new(self), Box::new(other))
+    }
+
+    /// Unification anti-semijoin.
+    pub fn anti_semijoin_unify(self, other: RaExpr) -> RaExpr {
+        RaExpr::AntiSemiJoinUnify(Box::new(self), Box::new(other))
+    }
+
+    /// Equi-join of two expressions on the given position pairs
+    /// (left position, right position), expressed with ×, σ and π as usual.
+    /// The output keeps all columns of both inputs.
+    pub fn join_on(self, other: RaExpr, pairs: &[(usize, usize)], left_arity: usize) -> RaExpr {
+        let mut cond = Condition::True;
+        for (l, r) in pairs {
+            cond = cond.and(Condition::eq_attr(*l, left_arity + *r));
+        }
+        self.product(other).select(cond)
+    }
+
+    /// The arity of the expression against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the expression is ill-formed: unknown relations,
+    /// out-of-range positions, or operator arity mismatches.
+    pub fn arity(&self, schema: &Schema) -> Result<usize> {
+        match self {
+            RaExpr::Relation(name) => Ok(schema
+                .relation(name)
+                .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?
+                .arity()),
+            RaExpr::Select(e, cond) => {
+                let a = e.arity(schema)?;
+                if let Some(p) = cond.max_position() {
+                    if p >= a {
+                        return Err(AlgebraError::PositionOutOfRange { position: p, arity: a });
+                    }
+                }
+                Ok(a)
+            }
+            RaExpr::Project(e, positions) => {
+                let a = e.arity(schema)?;
+                for &p in positions {
+                    if p >= a {
+                        return Err(AlgebraError::PositionOutOfRange { position: p, arity: a });
+                    }
+                }
+                Ok(positions.len())
+            }
+            RaExpr::Product(l, r) => Ok(l.arity(schema)? + r.arity(schema)?),
+            RaExpr::Union(l, r) | RaExpr::Intersect(l, r) | RaExpr::Difference(l, r) => {
+                let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
+                if la != ra {
+                    return Err(AlgebraError::ArityMismatch {
+                        operator: match self {
+                            RaExpr::Union(..) => "union",
+                            RaExpr::Intersect(..) => "intersection",
+                            _ => "difference",
+                        },
+                        left: la,
+                        right: ra,
+                    });
+                }
+                Ok(la)
+            }
+            RaExpr::Divide(l, r) => {
+                let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
+                if la <= ra {
+                    return Err(AlgebraError::InvalidDivision { dividend: la, divisor: ra });
+                }
+                Ok(la - ra)
+            }
+            RaExpr::DomPower(k) => Ok(*k),
+            RaExpr::AntiSemiJoinUnify(l, r) => {
+                let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
+                if la != ra {
+                    return Err(AlgebraError::ArityMismatch {
+                        operator: "anti-semijoin (⋉⇑)",
+                        left: la,
+                        right: ra,
+                    });
+                }
+                Ok(la)
+            }
+            RaExpr::Literal(rel) => Ok(rel.arity()),
+        }
+    }
+
+    /// Validate the expression against a schema (shorthand for
+    /// `self.arity(schema).map(drop)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`RaExpr::arity`].
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        self.arity(schema).map(|_| ())
+    }
+
+    /// Names of the base relations mentioned by the expression.
+    pub fn relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<String>) {
+        match self {
+            RaExpr::Relation(name) => out.push(name.clone()),
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) => e.collect_relations(out),
+            RaExpr::Product(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Intersect(l, r)
+            | RaExpr::Difference(l, r)
+            | RaExpr::Divide(l, r)
+            | RaExpr::AntiSemiJoinUnify(l, r) => {
+                l.collect_relations(out);
+                r.collect_relations(out);
+            }
+            RaExpr::DomPower(_) | RaExpr::Literal(_) => {}
+        }
+    }
+
+    /// All constants mentioned in selection conditions of the expression.
+    pub fn consts(&self) -> Vec<Const> {
+        let mut out = Vec::new();
+        self.collect_consts(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_consts(&self, out: &mut Vec<Const>) {
+        match self {
+            RaExpr::Select(e, cond) => {
+                out.extend(cond.consts());
+                e.collect_consts(out);
+            }
+            RaExpr::Project(e, _) => e.collect_consts(out),
+            RaExpr::Product(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Intersect(l, r)
+            | RaExpr::Difference(l, r)
+            | RaExpr::Divide(l, r)
+            | RaExpr::AntiSemiJoinUnify(l, r) => {
+                l.collect_consts(out);
+                r.collect_consts(out);
+            }
+            RaExpr::Literal(rel) => out.extend(rel.consts()),
+            RaExpr::Relation(_) | RaExpr::DomPower(_) => {}
+        }
+    }
+
+    /// Number of operator nodes (a rough size measure reported by benches).
+    pub fn size(&self) -> usize {
+        match self {
+            RaExpr::Relation(_) | RaExpr::DomPower(_) | RaExpr::Literal(_) => 1,
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) => 1 + e.size(),
+            RaExpr::Product(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Intersect(l, r)
+            | RaExpr::Difference(l, r)
+            | RaExpr::Divide(l, r)
+            | RaExpr::AntiSemiJoinUnify(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Relation(name) => write!(f, "{name}"),
+            RaExpr::Select(e, cond) => write!(f, "σ[{cond}]({e})"),
+            RaExpr::Project(e, positions) => {
+                write!(f, "π[")?;
+                for (i, p) in positions.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]({e})")
+            }
+            RaExpr::Product(l, r) => write!(f, "({l} × {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            RaExpr::Intersect(l, r) => write!(f, "({l} ∩ {r})"),
+            RaExpr::Difference(l, r) => write!(f, "({l} − {r})"),
+            RaExpr::Divide(l, r) => write!(f, "({l} ÷ {r})"),
+            RaExpr::DomPower(k) => write!(f, "Dom^{k}"),
+            RaExpr::AntiSemiJoinUnify(l, r) => write!(f, "({l} ⋉⇑ {r})"),
+            RaExpr::Literal(rel) => write!(f, "{rel}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{tup, RelationSchema};
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            RelationSchema::new("R", ["a", "b"]),
+            RelationSchema::new("S", ["c"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn condition_eval_syntactic() {
+        let t = tup![1, Value::null(0)];
+        assert!(Condition::eq_const(0, 1).eval(&t));
+        assert!(!Condition::eq_const(1, 1).eval(&t));
+        assert!(Condition::neq_const(1, 1).eval(&t));
+        assert!(Condition::IsNull(1).eval(&t));
+        assert!(Condition::IsConst(0).eval(&t));
+        assert!(Condition::eq_attr(0, 0).eval(&t));
+        assert!(Condition::True.eval(&t));
+        assert!(!Condition::False.eval(&t));
+    }
+
+    #[test]
+    fn condition_negation_propagates() {
+        let c = Condition::eq_attr(0, 1).and(Condition::IsNull(0));
+        let n = c.negate();
+        assert_eq!(
+            n,
+            Condition::Or(
+                Box::new(Condition::neq_attr(0, 1)),
+                Box::new(Condition::IsConst(0))
+            )
+        );
+        // Double negation is the identity on this fragment.
+        assert_eq!(n.negate(), Condition::And(
+            Box::new(Condition::eq_attr(0, 1)),
+            Box::new(Condition::IsNull(0))
+        ));
+    }
+
+    #[test]
+    fn star_guards_disequalities() {
+        let c = Condition::neq_attr(0, 1);
+        let s = c.star();
+        // ≠ with a null operand is no longer satisfied after the rewriting.
+        let t = tup![1, Value::null(0)];
+        assert!(c.eval(&t));
+        assert!(!s.eval(&t));
+        let u = tup![1, 2];
+        assert!(s.eval(&u));
+        // Equalities are untouched by θ*.
+        assert_eq!(Condition::eq_attr(0, 1).star(), Condition::eq_attr(0, 1));
+    }
+
+    #[test]
+    fn sqlify_guards_equalities_too() {
+        let c = Condition::eq_const(0, 1);
+        let s = c.sqlify();
+        let t = tup![Value::null(0)];
+        assert!(!s.eval(&t));
+        assert!(s.eval(&tup![1]));
+        // IS NULL style predicates survive.
+        assert_eq!(Condition::IsNull(0).sqlify(), Condition::IsNull(0));
+    }
+
+    #[test]
+    fn condition_classification() {
+        assert!(Condition::eq_attr(0, 1).is_positive());
+        assert!(!Condition::neq_attr(0, 1).is_positive());
+        assert!(Condition::eq_attr(0, 1).is_conjunctive_equalities());
+        assert!(!Condition::eq_attr(0, 1).or(Condition::eq_attr(1, 0)).is_conjunctive_equalities());
+        assert!(!Condition::IsNull(0).is_conjunctive_equalities());
+    }
+
+    #[test]
+    fn condition_and_or_units() {
+        let c = Condition::eq_attr(0, 1);
+        assert_eq!(c.clone().and(Condition::True), c);
+        assert_eq!(Condition::False.and(c.clone()), Condition::False);
+        assert_eq!(c.clone().or(Condition::False), c);
+        assert_eq!(c.clone().or(Condition::True), Condition::True);
+    }
+
+    #[test]
+    fn arity_computation() {
+        let s = schema();
+        assert_eq!(RaExpr::rel("R").arity(&s).unwrap(), 2);
+        assert_eq!(RaExpr::rel("R").product(RaExpr::rel("S")).arity(&s).unwrap(), 3);
+        assert_eq!(RaExpr::rel("R").project(vec![1]).arity(&s).unwrap(), 1);
+        assert_eq!(RaExpr::DomPower(4).arity(&s).unwrap(), 4);
+        assert_eq!(
+            RaExpr::rel("R").divide(RaExpr::rel("S")).arity(&s).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn arity_errors() {
+        let s = schema();
+        assert!(matches!(
+            RaExpr::rel("T").arity(&s),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            RaExpr::rel("R").union(RaExpr::rel("S")).arity(&s),
+            Err(AlgebraError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("R").project(vec![5]).arity(&s),
+            Err(AlgebraError::PositionOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("S").divide(RaExpr::rel("R")).arity(&s),
+            Err(AlgebraError::InvalidDivision { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("R")
+                .select(Condition::eq_attr(0, 7))
+                .arity(&s),
+            Err(AlgebraError::PositionOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("R").anti_semijoin_unify(RaExpr::rel("S")).arity(&s),
+            Err(AlgebraError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn relations_and_consts_collection() {
+        let q = RaExpr::rel("R")
+            .select(Condition::eq_const(0, "x"))
+            .union(RaExpr::rel("R"))
+            .difference(RaExpr::rel("S").product(RaExpr::rel("S")).project(vec![0, 1]));
+        assert_eq!(q.relations(), vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(q.consts(), vec![Const::str("x")]);
+        assert!(q.size() >= 6);
+    }
+
+    #[test]
+    fn join_on_builds_product_select() {
+        let s = schema();
+        let j = RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2);
+        assert_eq!(j.arity(&s).unwrap(), 3);
+        let txt = j.to_string();
+        assert!(txt.contains("×"));
+        assert!(txt.contains("#1 = #2"));
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let q = RaExpr::rel("R")
+            .select(Condition::IsNull(0).or(Condition::eq_const(1, 3)))
+            .project(vec![0]);
+        assert_eq!(q.to_string(), "π[0](σ[(null(#0) ∨ #1 = 3)](R))");
+    }
+}

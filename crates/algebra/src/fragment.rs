@@ -1,0 +1,227 @@
+//! Syntactic classification of relational-algebra queries into the
+//! fragments for which the survey states naïve-evaluation guarantees.
+//!
+//! * **Conjunctive queries** (CQ, select-project-join): base relations,
+//!   selection with conjunctions of equalities, projection and product.
+//! * **Positive relational algebra / UCQ**: additionally union, disjunctive
+//!   selection conditions, and intersection (expressible positively); no
+//!   difference, no disequality, no `null(·)` test.
+//! * **Pos∀G**: positive relational algebra closed under *division by a base
+//!   relation (or by an equality relation)* — the relational-algebra face of
+//!   the positive-formulae-with-universal-guards class of §4.1.
+//! * **Full relational algebra**: everything else (difference, disequality,
+//!   the extended operators, division by arbitrary sub-queries).
+//!
+//! The classification is purely syntactic and therefore sound but not
+//! complete (a query written with difference may be equivalent to a UCQ);
+//! this mirrors how the survey's preservation theorems are stated.
+
+use crate::expr::{Condition, RaExpr};
+
+/// The syntactic fragments of §2/§4.1, ordered by inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fragment {
+    /// Select-project-join queries with equality-only conjunctive conditions.
+    ConjunctiveQuery,
+    /// Positive relational algebra (UCQ expressive power).
+    PositiveRa,
+    /// Positive relational algebra with division by base relations (Pos∀G).
+    PosForallG,
+    /// Full relational algebra (equivalently first-order logic).
+    FullRa,
+}
+
+impl Fragment {
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fragment::ConjunctiveQuery => "CQ",
+            Fragment::PositiveRa => "UCQ/positive RA",
+            Fragment::PosForallG => "Pos∀G",
+            Fragment::FullRa => "full RA",
+        }
+    }
+
+    /// Does naïve evaluation compute certain answers with nulls for this
+    /// fragment under the **open-world** semantics (Theorem 4.4)?
+    pub fn naive_eval_correct_owa(self) -> bool {
+        matches!(self, Fragment::ConjunctiveQuery | Fragment::PositiveRa)
+    }
+
+    /// Does naïve evaluation compute certain answers with nulls for this
+    /// fragment under the **closed-world** semantics (Theorem 4.4)?
+    pub fn naive_eval_correct_cwa(self) -> bool {
+        !matches!(self, Fragment::FullRa)
+    }
+}
+
+/// Classify an expression into the smallest fragment that syntactically
+/// contains it.
+pub fn classify(expr: &RaExpr) -> Fragment {
+    if is_cq(expr) {
+        Fragment::ConjunctiveQuery
+    } else if is_positive(expr) {
+        Fragment::PositiveRa
+    } else if is_pos_forall_g(expr) {
+        Fragment::PosForallG
+    } else {
+        Fragment::FullRa
+    }
+}
+
+/// `true` iff the expression is a conjunctive query: relations, products,
+/// projections and selections whose conditions are conjunctions of
+/// equalities.
+pub fn is_cq(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Literal(_) => true,
+        RaExpr::Select(e, cond) => cond.is_conjunctive_equalities() && is_cq(e),
+        RaExpr::Project(e, _) => is_cq(e),
+        RaExpr::Product(l, r) => is_cq(l) && is_cq(r),
+        _ => false,
+    }
+}
+
+/// `true` iff the expression lies in positive relational algebra: no
+/// difference, no division, no disequalities or `null(·)` tests in
+/// selections, no extended operators.
+pub fn is_positive(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Literal(_) => true,
+        RaExpr::Select(e, cond) => positive_condition(cond) && is_positive(e),
+        RaExpr::Project(e, _) => is_positive(e),
+        RaExpr::Product(l, r) | RaExpr::Union(l, r) | RaExpr::Intersect(l, r) => {
+            is_positive(l) && is_positive(r)
+        }
+        _ => false,
+    }
+}
+
+/// `true` iff the expression lies in the Pos∀G fragment: positive relational
+/// algebra plus division, where every divisor is a base relation (the
+/// "division by a relation in the schema" of §4.1).
+pub fn is_pos_forall_g(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Literal(_) => true,
+        RaExpr::Select(e, cond) => positive_condition(cond) && is_pos_forall_g(e),
+        RaExpr::Project(e, _) => is_pos_forall_g(e),
+        RaExpr::Product(l, r) | RaExpr::Union(l, r) | RaExpr::Intersect(l, r) => {
+            is_pos_forall_g(l) && is_pos_forall_g(r)
+        }
+        RaExpr::Divide(l, r) => {
+            is_pos_forall_g(l) && matches!(**r, RaExpr::Relation(_) | RaExpr::Literal(_))
+        }
+        _ => false,
+    }
+}
+
+/// Positive selection conditions: no disequality and no `null(·)` test.
+///
+/// The `null(·)` test is excluded because it is not preserved under
+/// homomorphisms (a null can be mapped to a constant), so queries using it
+/// fall outside every preservation class of §4.1.
+fn positive_condition(cond: &Condition) -> bool {
+    match cond {
+        Condition::Neq(..) | Condition::IsNull(_) => false,
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            positive_condition(a) && positive_condition(b)
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Condition;
+
+    fn r() -> RaExpr {
+        RaExpr::rel("R")
+    }
+
+    #[test]
+    fn base_relation_is_cq() {
+        assert_eq!(classify(&r()), Fragment::ConjunctiveQuery);
+    }
+
+    #[test]
+    fn select_project_join_is_cq() {
+        let q = r()
+            .product(RaExpr::rel("S"))
+            .select(Condition::eq_attr(0, 2).and(Condition::eq_const(1, 5)))
+            .project(vec![0]);
+        assert_eq!(classify(&q), Fragment::ConjunctiveQuery);
+        assert!(is_cq(&q));
+    }
+
+    #[test]
+    fn union_or_disjunction_pushes_to_positive() {
+        let q = r().union(RaExpr::rel("S"));
+        assert_eq!(classify(&q), Fragment::PositiveRa);
+        let q = r().select(Condition::eq_const(0, 1).or(Condition::eq_const(0, 2)));
+        assert_eq!(classify(&q), Fragment::PositiveRa);
+        assert!(!is_cq(&q));
+        assert!(is_positive(&q));
+    }
+
+    #[test]
+    fn intersection_is_positive() {
+        let q = r().intersect(RaExpr::rel("S"));
+        assert_eq!(classify(&q), Fragment::PositiveRa);
+    }
+
+    #[test]
+    fn division_by_base_relation_is_pos_forall_g() {
+        let q = r().divide(RaExpr::rel("S"));
+        assert_eq!(classify(&q), Fragment::PosForallG);
+        assert!(q.to_string().contains('÷'));
+    }
+
+    #[test]
+    fn division_by_composite_is_full_ra() {
+        let q = r().divide(RaExpr::rel("S").project(vec![0]));
+        assert_eq!(classify(&q), Fragment::FullRa);
+    }
+
+    #[test]
+    fn difference_and_disequality_are_full_ra() {
+        assert_eq!(classify(&r().difference(RaExpr::rel("S"))), Fragment::FullRa);
+        assert_eq!(
+            classify(&r().select(Condition::neq_attr(0, 1))),
+            Fragment::FullRa
+        );
+        assert_eq!(
+            classify(&r().select(Condition::IsNull(0))),
+            Fragment::FullRa
+        );
+        assert_eq!(classify(&r().anti_semijoin_unify(RaExpr::rel("S"))), Fragment::FullRa);
+        assert_eq!(classify(&RaExpr::DomPower(2)), Fragment::FullRa);
+    }
+
+    #[test]
+    fn const_test_is_allowed_in_positive_conditions() {
+        // const(A) is preserved under homomorphisms into complete databases,
+        // and the paper's selection grammar includes it; we treat it as
+        // positive.
+        let q = r().select(Condition::IsConst(0));
+        assert!(is_positive(&q));
+    }
+
+    #[test]
+    fn correctness_flags_follow_theorem_4_4() {
+        assert!(Fragment::ConjunctiveQuery.naive_eval_correct_owa());
+        assert!(Fragment::PositiveRa.naive_eval_correct_owa());
+        assert!(!Fragment::PosForallG.naive_eval_correct_owa());
+        assert!(Fragment::PosForallG.naive_eval_correct_cwa());
+        assert!(!Fragment::FullRa.naive_eval_correct_cwa());
+        assert!(!Fragment::FullRa.naive_eval_correct_owa());
+    }
+
+    #[test]
+    fn fragments_are_ordered_by_inclusion() {
+        assert!(Fragment::ConjunctiveQuery < Fragment::PositiveRa);
+        assert!(Fragment::PositiveRa < Fragment::PosForallG);
+        assert!(Fragment::PosForallG < Fragment::FullRa);
+        assert_eq!(Fragment::PosForallG.name(), "Pos∀G");
+    }
+}

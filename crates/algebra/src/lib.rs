@@ -1,0 +1,101 @@
+//! # certa-algebra
+//!
+//! Relational algebra over incomplete databases, following §2 and §4 of the
+//! PODS 2020 survey "Coping with Incomplete Data: Recent Advances".
+//!
+//! The crate provides:
+//!
+//! * [`RaExpr`] — the relational-algebra AST with the paper's operators
+//!   (selection σ, projection π, product ×, union ∪, intersection ∩,
+//!   difference −, division ÷) plus the two *extended* operators used by the
+//!   approximation schemes of §4.2: the active-domain power `Domᵏ` and the
+//!   unification anti-semijoin `⋉⇑`;
+//! * [`Condition`] — selection conditions built with the paper's grammar
+//!   `const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ∨θ | θ∧θ`,
+//!   together with negation-propagation, the `θ*` rewriting of Figure 2 and
+//!   the SQL-style rewriting used by the SQL front-end;
+//! * [`eval`] — set-semantics evaluation (nulls treated as plain values,
+//!   i.e. the evaluation underlying naïve evaluation);
+//! * [`bag_eval`] — bag-semantics evaluation consistent with SQL (§4.2);
+//! * [`naive`] — naïve evaluation `Qⁿᵃⁱᵛᵉ(D) = v⁻¹(Q(v(D)))` (§4.1);
+//! * [`fragment`] — syntactic classification of queries into the fragments
+//!   for which the survey gives naïve-evaluation guarantees (CQ, UCQ /
+//!   positive RA, Pos∀G, full RA);
+//! * [`builder`] — ergonomic construction of expressions against a schema,
+//!   with attribute names resolved to positions.
+
+pub mod bag_eval;
+pub mod builder;
+pub mod eval;
+pub mod expr;
+pub mod fragment;
+pub mod naive;
+
+pub use builder::QueryBuilder;
+pub use eval::eval;
+pub use expr::{Condition, Operand, RaExpr};
+pub use fragment::{classify, Fragment};
+pub use naive::naive_eval;
+
+/// Errors raised while validating or evaluating relational-algebra
+/// expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A base relation mentioned by the query is not in the schema.
+    UnknownRelation(String),
+    /// An attribute position is out of range for the sub-expression's arity.
+    PositionOutOfRange {
+        /// The offending position.
+        position: usize,
+        /// The arity of the sub-expression it was applied to.
+        arity: usize,
+    },
+    /// A binary operator was applied to sub-expressions of different arities.
+    ArityMismatch {
+        /// Operator name (for diagnostics).
+        operator: &'static str,
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// Division `R ÷ S` requires `arity(R) > arity(S)`.
+    InvalidDivision {
+        /// Arity of the dividend.
+        dividend: usize,
+        /// Arity of the divisor.
+        divisor: usize,
+    },
+    /// An error bubbled up from the data layer.
+    Data(certa_data::DataError),
+}
+
+impl std::fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            AlgebraError::PositionOutOfRange { position, arity } => {
+                write!(f, "attribute position {position} out of range for arity {arity}")
+            }
+            AlgebraError::ArityMismatch { operator, left, right } => {
+                write!(f, "arity mismatch for {operator}: {left} vs {right}")
+            }
+            AlgebraError::InvalidDivision { dividend, divisor } => write!(
+                f,
+                "invalid division: dividend arity {dividend} must exceed divisor arity {divisor}"
+            ),
+            AlgebraError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<certa_data::DataError> for AlgebraError {
+    fn from(e: certa_data::DataError) -> Self {
+        AlgebraError::Data(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,31 @@
+//! E1 — Figure 1 / §1: cost of SQL evaluation versus exact certain answers
+//! on the orders/payments/customers database with the injected NULL.
+
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = shop_database(true);
+    let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+    let algebra = ShopQueries::unpaid_orders();
+    let mut group = c.benchmark_group("e01_intro_examples");
+    group.bench_function("sql_three_valued_evaluation", |b| {
+        b.iter(|| sql_execute(&stmt, &db).unwrap())
+    });
+    group.bench_function("naive_evaluation", |b| {
+        b.iter(|| naive_eval(&algebra, &db).unwrap())
+    });
+    group.bench_function("exact_certain_answers", |b| {
+        b.iter(|| cert_with_nulls(&algebra, &db).unwrap())
+    });
+    group.bench_function("q_plus_rewriting_and_eval", |b| {
+        b.iter(|| {
+            let plus = q_plus(&algebra, db.schema()).unwrap();
+            eval(&plus, &db).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — Theorem 4.4: naïve evaluation versus exact certain answers for the
+//! positive fragment, on random databases (the exactness itself is checked
+//! by the test-suite; this bench measures the cost gap).
+
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = random_database(&RandomDbConfig {
+        tuples_per_relation: 5,
+        domain_size: 4,
+        null_count: 3,
+        null_rate: 0.3,
+        seed: 1,
+        ..RandomDbConfig::default()
+    });
+    let ucq = random_query(
+        db.schema(),
+        &RandomQueryConfig {
+            max_depth: 3,
+            allow_difference: false,
+            allow_disequality: false,
+            seed: 2,
+        },
+    );
+    let division = RaExpr::rel("R").divide(RaExpr::rel("S"));
+    let mut group = c.benchmark_group("e02_naive_eval");
+    group.bench_function("naive_eval_ucq", |b| b.iter(|| naive_eval(&ucq, &db).unwrap()));
+    group.bench_function("exact_cert_ucq", |b| {
+        b.iter(|| cert_with_nulls(&ucq, &db).unwrap())
+    });
+    group.bench_function("naive_eval_division_pos_forall_g", |b| {
+        b.iter(|| naive_eval(&division, &db).unwrap())
+    });
+    group.bench_function("exact_cert_division_pos_forall_g", |b| {
+        b.iter(|| cert_with_nulls(&division, &db).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

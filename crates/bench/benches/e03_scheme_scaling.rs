@@ -1,0 +1,37 @@
+//! E3 — §4.2 feasibility: evaluation cost of the original query, the
+//! (Q+, Q?) rewriting and the (Qt, Qf) rewriting as the database grows.
+
+use certa::certain::{approx37, approx51};
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let query = TpchGenerator::queries()[1].expr.clone(); // customers without orders
+    let mut group = c.benchmark_group("e03_scheme_scaling");
+    for target in [100usize, 300, 1000] {
+        let db = TpchGenerator::new(TpchConfig::scaled_to(target, 0.02, 7)).generate();
+        let tuples = db.total_tuples();
+        let pair = approx37::translate(&query, db.schema()).unwrap();
+        group.bench_with_input(BenchmarkId::new("naive", tuples), &db, |b, db| {
+            b.iter(|| naive_eval(&query, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("q_plus", tuples), &db, |b, db| {
+            b.iter(|| eval(&pair.q_plus, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("q_question", tuples), &db, |b, db| {
+            b.iter(|| eval(&pair.q_question, db).unwrap())
+        });
+        // The (Qt,Qf) scheme materialises Dom^k products and is already
+        // infeasible at these sizes; it is timed once (not criterion-sampled)
+        // in the `experiments` binary instead. Here we only benchmark the
+        // cost of *building* its translation, which is still cheap.
+        let _ = approx51::translate(&query, db.schema()).unwrap();
+        group.bench_with_input(BenchmarkId::new("qt_qf_translation_only", tuples), &db, |b, db| {
+            b.iter(|| approx51::translate(&query, db.schema()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 — §4.2 precision/recall: cost of computing Q+ answers and comparing
+//! them against exact certain answers while the null rate grows.
+
+use certa::certain::approx37;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_precision_recall");
+    for rate_pct in [5u64, 15, 30] {
+        let db = random_database(&RandomDbConfig {
+            relations: vec![("R".to_string(), 2), ("S".to_string(), 1)],
+            tuples_per_relation: 4,
+            domain_size: 4,
+            null_count: 3,
+            null_rate: rate_pct as f64 / 100.0,
+            seed: rate_pct,
+            ..RandomDbConfig::default()
+        });
+        let query = random_query(db.schema(), &RandomQueryConfig { seed: 3, ..RandomQueryConfig::default() });
+        let pair = approx37::translate(&query, db.schema()).unwrap();
+        group.bench_with_input(BenchmarkId::new("q_plus_quality", rate_pct), &db, |b, db| {
+            b.iter(|| {
+                let approx = eval(&pair.q_plus, db).unwrap();
+                let exact = cert_with_nulls(&query, db).unwrap();
+                AnswerQuality::compare(&approx, &exact)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

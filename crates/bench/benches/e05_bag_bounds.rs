@@ -1,0 +1,27 @@
+//! E5 — Theorem 4.8: cost of the exact bag-multiplicity range versus the
+//! (Q+, Q?) bag bounds.
+
+use certa::certain::bag_bounds;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let set_db = database_from_literal([
+        ("R", vec!["a"], vec![tup![1], tup![2], tup![Value::null(0)]]),
+        ("S", vec!["a"], vec![tup![1], tup![Value::null(1)]]),
+    ]);
+    let mut bag_db = set_db.to_bags();
+    bag_db.relation_mut("R").unwrap().insert_n(tup![1], 2);
+    let query = RaExpr::rel("R").difference(RaExpr::rel("S"));
+    let mut group = c.benchmark_group("e05_bag_bounds");
+    group.bench_function("exact_multiplicity_range", |b| {
+        b.iter(|| bag_bounds::multiplicity_range(&query, &bag_db, &tup![1]).unwrap())
+    });
+    group.bench_function("approx_bag_bounds", |b| {
+        b.iter(|| bag_bounds::approx_bag_bounds(&query, &bag_db, &tup![1]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

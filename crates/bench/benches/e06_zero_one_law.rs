@@ -1,0 +1,35 @@
+//! E6 — §4.3: cost of exact µ_k computation as k grows, of the Monte-Carlo
+//! estimator, and of the 0–1-law shortcut through naïve evaluation.
+
+use certa::certain::prob;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let db = database_from_literal([
+        ("R", vec!["a", "b"], vec![tup![1, Value::null(0)], tup![2, Value::null(1)]]),
+        ("S", vec!["a"], vec![tup![Value::null(2)]]),
+    ]);
+    let query = RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"));
+    let mut group = c.benchmark_group("e06_zero_one_law");
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("mu_k_exact", k), &k, |b, &k| {
+            b.iter(|| mu_k(&query, &db, &tup![1], k).unwrap())
+        });
+    }
+    group.bench_function("mu_k_monte_carlo_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            prob::mu_k_sampled(&query, &db, &tup![1], 16, &[], 1000, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("zero_one_law_via_naive_eval", |b| {
+        b.iter(|| almost_certainly_true(&query, &db, &tup![1]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E7 — Theorem 5.3: cost of deriving the six-valued logic from its
+//! possible-worlds semantics and of the maximal-sublogic search.
+
+use certa::logic::props;
+use certa::logic::truth::SixValued;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_logic_props");
+    group.bench_function("derive_l6v_tables", |b| b.iter(|| SixValued::derive(4)));
+    let l6 = SixValued::default();
+    group.bench_function("maximal_sublogic_search", |b| {
+        b.iter(|| props::maximal_distributive_idempotent_sublogics(&l6))
+    });
+    group.bench_function("property_checks", |b| {
+        b.iter(|| {
+            (
+                props::is_idempotent(&l6),
+                props::is_distributive(&l6),
+                props::respects_knowledge_order(&l6),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

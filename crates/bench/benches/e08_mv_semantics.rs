@@ -1,0 +1,44 @@
+//! E8 — §5: cost of many-valued FO evaluation under the different atom
+//! semantics and of the Boolean-FO capture.
+
+use certa::logic::translate;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = random_database(&RandomDbConfig {
+        relations: vec![("R".to_string(), 2), ("S".to_string(), 1)],
+        tuples_per_relation: 5,
+        domain_size: 4,
+        null_count: 3,
+        null_rate: 0.3,
+        seed: 5,
+        ..RandomDbConfig::default()
+    });
+    let phi = Formula::exists(
+        "y",
+        Formula::rel("R", [Term::var("x"), Term::var("y")])
+            .and(Formula::eq(Term::var("y"), Term::constant(1)).not()),
+    );
+    let mut group = c.benchmark_group("e08_mv_semantics");
+    for (name, sem) in [
+        ("boolean", AtomSemantics::Boolean),
+        ("unification", AtomSemantics::Unification),
+        ("sql_mixed", AtomSemantics::Sql),
+    ] {
+        group.bench_with_input(BenchmarkId::new("query_answers", name), &sem, |b, &sem| {
+            b.iter(|| query_answers(&phi, &["x"], &db, sem).unwrap())
+        });
+    }
+    group.bench_function("boolean_capture_translation", |b| {
+        b.iter(|| translate::to_boolean(&phi, AtomSemantics::Sql).unwrap())
+    });
+    let capture = translate::to_boolean(&phi, AtomSemantics::Sql).unwrap();
+    group.bench_function("boolean_capture_evaluation", |b| {
+        b.iter(|| query_answers(&capture.pos, &["x"], &db, AtomSemantics::Boolean).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E9 — Theorem 4.9: cost of the four conditional-table strategies against
+//! the (Q+, Q?) rewriting on a TPC-H-like instance.
+
+use certa::certain::approx37;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = TpchGenerator::new(TpchConfig {
+        customers: 12,
+        orders_per_customer: 2,
+        lineitems_per_order: 1,
+        parts: 8,
+        suppliers: 4,
+        nations: 3,
+        null_rate: 0.15,
+        seed: 13,
+        ..TpchConfig::default()
+    })
+    .generate();
+    let query = TpchGenerator::queries()[1].expr.clone();
+    let mut group = c.benchmark_group("e09_ctable_strategies");
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("ctable", strategy.symbol()),
+            &strategy,
+            |b, &strategy| b.iter(|| eval_conditional(&query, &db, strategy).unwrap().certain()),
+        );
+    }
+    let pair = approx37::translate(&query, db.schema()).unwrap();
+    group.bench_function("q_plus_reference", |b| {
+        b.iter(|| eval(&pair.q_plus, &db).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E10 — Theorems 3.11/3.12: exponential growth of exact certain-answer
+//! computation with the number of nulls, and of the certO product object.
+
+use certa::certain::object;
+use certa::certain::worlds::WorldSpec;
+use certa::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_certain_complexity");
+    for nulls in [1usize, 2, 3] {
+        let tuples: Vec<Tuple> = (0..nulls)
+            .map(|i| tup![i as i64, Value::null(i as u32)])
+            .collect();
+        let db = database_from_literal([("R", vec!["a", "b"], tuples)]);
+        let query = RaExpr::rel("R").project(vec![1]);
+        group.bench_with_input(BenchmarkId::new("cert_with_nulls", nulls), &db, |b, db| {
+            b.iter(|| cert_with_nulls(&query, db).unwrap())
+        });
+        let spec = WorldSpec::new([Const::Int(100), Const::Int(200)]);
+        group.bench_with_input(BenchmarkId::new("cert_object_product", nulls), &db, |b, db| {
+            b.iter(|| object::cert_object_product(&query, db, &spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Print every experiment table (E1–E10) of the survey reproduction.
+//!
+//! Run with: `cargo run --release -p certa-bench --bin experiments`
+//! Pass experiment ids (e.g. `E3 E6`) to run a subset.
+
+use certa_bench::all_experiments;
+use std::env;
+
+fn main() {
+    let filter: Vec<String> = env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    for report in all_experiments() {
+        if filter.is_empty() || filter.iter().any(|f| f == report.id) {
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! Experiment harness for the PODS 2020 survey reproduction.
+//!
+//! Every figure and every experimentally grounded claim of the paper has a
+//! corresponding experiment function here (E1–E10, see DESIGN.md §3 and
+//! EXPERIMENTS.md for the index). Each function runs the experiment and
+//! returns a formatted, self-describing text table; the `experiments`
+//! binary prints all of them, and the criterion benches time the key inner
+//! computations.
+
+use certa::certain::{approx37, approx51, bag_bounds, constraints, object, prob};
+use certa::logic::{props, translate, truth};
+use certa::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A formatted experiment result: an identifier, a title, and the rows of
+/// the table it reproduces.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment identifier (`E1` … `E10`).
+    pub id: &'static str,
+    /// Human-readable title, naming the paper artefact reproduced.
+    pub title: &'static str,
+    /// The table body.
+    pub body: String,
+}
+
+impl std::fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        writeln!(f, "{}", self.body)
+    }
+}
+
+/// Run every experiment in order.
+pub fn all_experiments() -> Vec<ExperimentReport> {
+    vec![
+        e01_intro_examples(),
+        e02_naive_evaluation(),
+        e03_scheme_scaling(),
+        e04_precision_recall(),
+        e05_bag_bounds(),
+        e06_zero_one_law(),
+        e07_logic_properties(),
+        e08_many_valued_semantics(),
+        e09_ctable_strategies(),
+        e10_certain_complexity(),
+    ]
+}
+
+/// E1 — Figure 1 and the §1 worked examples: SQL versus certain answers,
+/// false negatives and false positives from a single NULL.
+pub fn e01_intro_examples() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<38} {:<12} {:<18} {:<18}",
+        "query", "database", "SQL answer", "certain answers"
+    );
+    for with_null in [false, true] {
+        let db = shop_database(with_null);
+        let cases = [
+            ("unpaid orders (NOT IN)", ShopQueries::UNPAID_ORDERS_SQL, ShopQueries::unpaid_orders()),
+            (
+                "customers w/o paid order (NOT EXISTS)",
+                ShopQueries::NO_PAID_ORDER_SQL,
+                ShopQueries::customers_without_paid_order(),
+            ),
+            ("oid = 'o2' OR oid <> 'o2'", ShopQueries::OR_TAUTOLOGY_SQL, ShopQueries::or_tautology()),
+        ];
+        for (name, sql, algebra) in cases {
+            let sql_answer = sql_execute(&sql_parse(sql).unwrap(), &db).unwrap().to_set();
+            let certain = cert_with_nulls(&algebra, &db).unwrap();
+            let _ = writeln!(
+                body,
+                "{:<38} {:<12} {:<18} {:<18}",
+                name,
+                if with_null { "with NULL" } else { "complete" },
+                sql_answer.to_string(),
+                certain.to_string()
+            );
+        }
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claim: one NULL makes SQL both miss certain answers (false\nnegatives, tautology query) and invent non-certain ones (false positive c2)."
+    );
+    ExperimentReport {
+        id: "E1",
+        title: "Figure 1 / §1: SQL's false negatives and false positives",
+        body,
+    }
+}
+
+/// E2 — Theorems 4.1 and 4.4: naïve evaluation is exact for UCQ/Pos∀G under
+/// cwa and fails for full relational algebra; measured as the fraction of
+/// random (query, database) pairs on which it agrees with exact certain
+/// answers.
+pub fn e02_naive_evaluation() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<24} {:>8} {:>10} {:>12}",
+        "fragment", "trials", "agree", "agree rate"
+    );
+    let fragments: [(&str, bool, bool); 3] = [
+        ("UCQ / positive RA", false, false),
+        ("Pos∀G (division)", false, false),
+        ("full RA", true, true),
+    ];
+    for (label, allow_diff, allow_neq) in fragments {
+        let mut trials = 0usize;
+        let mut agree = 0usize;
+        for seed in 0..10u64 {
+            let db = random_database(&RandomDbConfig {
+                tuples_per_relation: 3,
+                domain_size: 3,
+                null_count: 2,
+                null_rate: 0.3,
+                seed,
+                ..RandomDbConfig::default()
+            });
+            for qseed in 0..6u64 {
+                let query = if label.starts_with("Pos∀G") {
+                    // A guarded-universal query: R ÷ S over a derived binary relation.
+                    RaExpr::rel("R").divide(RaExpr::rel("S"))
+                } else if allow_diff && qseed == 0 {
+                    // The canonical full-RA shape on which naïve evaluation is
+                    // wrong whenever the subtrahend carries a null:
+                    // π_a(R) − S (the paper's {1} − {⊥} in workload clothes).
+                    RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"))
+                } else {
+                    random_query(
+                        db.schema(),
+                        &RandomQueryConfig {
+                            max_depth: 3,
+                            allow_difference: allow_diff,
+                            allow_disequality: allow_neq,
+                            seed: qseed,
+                        },
+                    )
+                };
+                let naive = naive_eval(&query, &db).unwrap();
+                let exact = cert_with_nulls(&query, &db).unwrap();
+                trials += 1;
+                if naive == exact {
+                    agree += 1;
+                }
+            }
+        }
+        let _ = writeln!(
+            body,
+            "{:<24} {:>8} {:>10} {:>11.0}%",
+            label,
+            trials,
+            agree,
+            100.0 * agree as f64 / trials as f64
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claim (Thm 4.4): 100% agreement for UCQ and Pos∀G under cwa;\nfull RA must disagree on some instances ({{1}} − {{⊥}} being the canonical one)."
+    );
+    ExperimentReport {
+        id: "E2",
+        title: "Theorems 4.1/4.4: when naïve evaluation computes certain answers",
+        body,
+    }
+}
+
+/// E3 — §4.2 feasibility: evaluation cost of naïve evaluation, (Q+, Q?) and
+/// (Qt, Qf) as the database grows. Reproduces the claims that Q+ has
+/// small overhead while Qf becomes infeasible below 10³ tuples.
+pub fn e03_scheme_scaling() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "tuples", "nulls", "naive µs", "Q+ µs", "Q? µs", "Qt/Qf µs"
+    );
+    let query_of = |_db: &Database| {
+        // W2: customers without orders — the anti-join shape central to the
+        // feasibility study.
+        TpchGenerator::queries()[1].expr.clone()
+    };
+    for target in [60usize, 120, 250, 500, 1000, 2000] {
+        let db = TpchGenerator::new(TpchConfig::scaled_to(target, 0.02, 7)).generate();
+        let query = query_of(&db);
+        let start = Instant::now();
+        let naive = naive_eval(&query, &db).unwrap();
+        let naive_us = start.elapsed().as_micros();
+
+        let pair = approx37::translate(&query, db.schema()).unwrap();
+        let start = Instant::now();
+        let plus = eval(&pair.q_plus, &db).unwrap();
+        let plus_us = start.elapsed().as_micros();
+        let start = Instant::now();
+        let question = eval(&pair.q_question, &db).unwrap();
+        let question_us = start.elapsed().as_micros();
+        // Evaluate the (Qt,Qf) scheme only while it is still feasible: its
+        // Qf side materialises |dom|^k tuples.
+        let qtqf_us = if db.total_tuples() <= 70 {
+            let pair51 = approx51::translate(&query, db.schema()).unwrap();
+            let start = Instant::now();
+            let _ = eval(&pair51.q_true, &db).unwrap();
+            let _ = eval(&pair51.q_false, &db).unwrap();
+            format!("{}", start.elapsed().as_micros())
+        } else {
+            "skipped (blow-up)".to_string()
+        };
+        let _ = writeln!(
+            body,
+            "{:>8} {:>8} {:>12} {:>12} {:>12} {:>14}",
+            db.total_tuples(),
+            db.nulls().len(),
+            naive_us,
+            plus_us,
+            question_us,
+            qtqf_us
+        );
+        let _ = (naive, plus, question);
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claim: the (Q+,Q?) rewriting stays within a small factor of plain\nevaluation (1–4% in the TPC-H study), while (Qt,Qf) is infeasible already\non databases with fewer than a thousand tuples because of Dom^k products."
+    );
+    ExperimentReport {
+        id: "E3",
+        title: "§4.2 feasibility: (Q+,Q?) scales, (Qt,Qf) does not",
+        body,
+    }
+}
+
+/// E4 — the precision/recall study of §4.2: Q+ has perfect precision and a
+/// recall that degrades as the fraction of nulls grows.
+pub fn e04_precision_recall() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "null rate", "queries", "precision", "recall", "f1"
+    );
+    for rate in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let mut precision_sum = 0.0;
+        let mut recall_sum = 0.0;
+        let mut f1_sum = 0.0;
+        let mut count = 0usize;
+        // The query suite deliberately includes the shapes on which a sound
+        // approximation must be conservative: a tautological selection (whose
+        // certain answers include null tuples that θ*-guarded selections drop),
+        // anti-join shapes, and a nested difference.
+        let suite = |_schema: &Schema| {
+            vec![
+                RaExpr::rel("R")
+                    .select(Condition::eq_const(0, 1).or(Condition::neq_const(0, 1)))
+                    .project(vec![0]),
+                RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S")),
+                RaExpr::rel("S").difference(RaExpr::rel("R").project(vec![1])),
+                RaExpr::rel("R").project(vec![1]).union(RaExpr::rel("S")),
+                RaExpr::rel("R")
+                    .project(vec![0])
+                    .difference(RaExpr::rel("S").difference(RaExpr::rel("R").project(vec![0]))),
+            ]
+        };
+        for seed in 0..8u64 {
+            let db = random_database(&RandomDbConfig {
+                relations: vec![("R".to_string(), 2), ("S".to_string(), 1)],
+                tuples_per_relation: 4,
+                domain_size: 4,
+                null_count: 3,
+                null_rate: rate,
+                seed,
+                ..RandomDbConfig::default()
+            });
+            for query in suite(db.schema()) {
+                let pair = approx37::translate(&query, db.schema()).unwrap();
+                let approx = eval(&pair.q_plus, &db).unwrap();
+                let exact = cert_with_nulls(&query, &db).unwrap();
+                let quality = AnswerQuality::compare(&approx, &exact);
+                precision_sum += quality.precision();
+                recall_sum += quality.recall();
+                f1_sum += quality.f1();
+                count += 1;
+            }
+        }
+        let _ = writeln!(
+            body,
+            "{:>9.0}% {:>10} {:>10.3} {:>10.3} {:>10.3}",
+            rate * 100.0,
+            count,
+            precision_sum / count as f64,
+            recall_sum / count as f64,
+            f1_sum / count as f64
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claim: schemes with correctness guarantees have perfect precision\nby construction; recall degrades as incompleteness grows."
+    );
+    ExperimentReport {
+        id: "E4",
+        title: "§4.2 precision/recall of Q+ against exact certain answers",
+        body,
+    }
+}
+
+/// E5 — Theorem 4.8: bag-semantics multiplicity bounds. For a spread of
+/// tuples, report `#(ā, Q+(D)) ≤ □Q(D, ā) ≤ #(ā, Q?(D))` and the width of
+/// the bracket.
+pub fn e05_bag_bounds() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<30} {:<14} {:>6} {:>6} {:>6} {:>9}",
+        "query", "tuple", "Q+", "□Q", "Q?", "bracket ok"
+    );
+    let set_db = database_from_literal([
+        ("R", vec!["a"], vec![tup![1], tup![2], tup![Value::null(0)]]),
+        ("S", vec!["a"], vec![tup![1], tup![Value::null(1)]]),
+    ]);
+    let mut bag_db = set_db.to_bags();
+    bag_db.relation_mut("R").unwrap().insert_n(tup![1], 2);
+    let queries = [
+        ("R", RaExpr::rel("R")),
+        ("R ∪ S", RaExpr::rel("R").union(RaExpr::rel("S"))),
+        ("R − S", RaExpr::rel("R").difference(RaExpr::rel("S"))),
+        ("σ(a=1)(R)", RaExpr::rel("R").select(Condition::eq_const(0, 1))),
+    ];
+    let candidates = [tup![1], tup![2], tup![Value::null(0)]];
+    for (name, query) in &queries {
+        for t in &candidates {
+            let (lower, exact_box, upper) =
+                bag_bounds::certainty_sandwich(query, &bag_db, t).unwrap();
+            let _ = writeln!(
+                body,
+                "{:<30} {:<14} {:>6} {:>6} {:>6} {:>9}",
+                name,
+                t.to_string(),
+                lower,
+                exact_box,
+                upper,
+                lower <= exact_box && exact_box <= upper
+            );
+        }
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claim (Thm 4.8): under bag semantics the (Q+,Q?) multiplicities\nbracket the certain multiplicity □Q; the (Qt,Qf) scheme loses tractability."
+    );
+    ExperimentReport {
+        id: "E5",
+        title: "Theorem 4.8: multiplicity bounds under bag semantics",
+        body,
+    }
+}
+
+/// E6 — §4.3: the 0–1 law and conditional probabilities. µ_k is tabulated
+/// for growing k on the paper's two running examples.
+pub fn e06_zero_one_law() -> ExperimentReport {
+    let mut body = String::new();
+    // Example 1: R − S, R = {1}, S = {⊥}.
+    let db1 = database_from_literal([
+        ("R", vec!["a"], vec![tup![1]]),
+        ("S", vec!["a"], vec![tup![Value::null(0)]]),
+    ]);
+    let q1 = RaExpr::rel("R").difference(RaExpr::rel("S"));
+    // Example 2: T − S under S ⊆ T, T = {1, 2}.
+    let db2 = database_from_literal([
+        ("T", vec!["a"], vec![tup![1], tup![2]]),
+        ("S", vec!["a"], vec![tup![Value::null(0)]]),
+    ]);
+    let q2 = RaExpr::rel("T").difference(RaExpr::rel("S"));
+    let sigma = vec![constraints::Constraint::Ind(
+        constraints::InclusionDependency::new("S", vec![0], "T", vec![0]),
+    )];
+    let _ = writeln!(
+        body,
+        "{:>4} {:>22} {:>26}",
+        "k", "µ_k(R−S, D, 1)", "µ_k(T−S | S⊆T, D, 1)"
+    );
+    for k in [2usize, 3, 4, 8, 16, 32] {
+        let unconditional = prob::mu_k(&q1, &db1, &tup![1], k).unwrap();
+        let conditional = prob::mu_k_with_constraints(&q2, &db2, &tup![1], k, &sigma).unwrap();
+        let _ = writeln!(
+            body,
+            "{:>4} {:>17}/{:<4} {:>21}/{:<4}",
+            k,
+            unconditional.numerator,
+            unconditional.denominator,
+            conditional.numerator,
+            conditional.denominator
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nalmost certainly true (naïve membership): {}",
+        almost_certainly_true(&q1, &db1, &tup![1]).unwrap()
+    );
+    let _ = writeln!(
+        body,
+        "certain answer:                            {}",
+        is_certain_answer(&q1, &db1, &tup![1]).unwrap()
+    );
+    let _ = writeln!(
+        body,
+        "\nPaper's claim (Thms 4.10/4.11): µ_k → 1 for naive answers (0–1 law),\nwhile conditioning on S ⊆ T pins the limit at the rational value 1/2."
+    );
+    ExperimentReport {
+        id: "E6",
+        title: "§4.3: the 0–1 law and conditional probabilities",
+        body,
+    }
+}
+
+/// E7 — Figure 3 and Theorem 5.3: Kleene's truth tables, and the derived
+/// six-valued logic whose unique maximal distributive + idempotent sublogic
+/// is exactly Kleene's.
+pub fn e07_logic_properties() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(body, "Kleene ∧ / ∨ / ¬ (Figure 3):");
+    for a in Truth3::ALL {
+        for b in Truth3::ALL {
+            let _ = write!(body, "  {a}∧{b}={} {a}∨{b}={}", a.and(b), a.or(b));
+        }
+        let _ = writeln!(body, "  ¬{a}={}", a.not());
+    }
+    let l6 = truth::SixValued::default();
+    let _ = writeln!(body, "\nDerived six-valued logic L6v:");
+    let _ = writeln!(body, "  idempotent:          {}", props::is_idempotent(&l6));
+    let _ = writeln!(body, "  distributive:        {}", props::is_distributive(&l6));
+    let _ = writeln!(
+        body,
+        "  knowledge-monotone:  {}",
+        props::respects_knowledge_order(&l6)
+    );
+    let maximal = props::maximal_distributive_idempotent_sublogics(&l6);
+    let carriers: Vec<Vec<&str>> = maximal
+        .iter()
+        .map(|s| s.iter().map(|v| v.symbol()).collect())
+        .collect();
+    let _ = writeln!(
+        body,
+        "  maximal distributive+idempotent sublogics: {carriers:?}"
+    );
+    let l3a = props::KleeneWithAssertion;
+    let _ = writeln!(
+        body,
+        "  assertion operator knowledge-monotone:     {}",
+        props::unary_respects_knowledge_order(&l3a, |v| v.assert())
+    );
+    let _ = writeln!(
+        body,
+        "\nPaper's claim (Thm 5.3): the unique maximal well-behaved sublogic of L6v is\nKleene's {{t, f, u}} — and the assertion operator is the non-monotone culprit."
+    );
+    ExperimentReport {
+        id: "E7",
+        title: "Figure 3 / Theorem 5.3: Kleene is the right propositional logic",
+        body,
+    }
+}
+
+/// E8 — §5.1–5.2: correctness of the unification semantics, the Boolean-FO
+/// capture, and the almost-certainly-false answer SQL returns for
+/// R − (S − T).
+pub fn e08_many_valued_semantics() -> ExperimentReport {
+    let mut body = String::new();
+    // Correctness counts for ⟦·⟧unif vs the Boolean semantics on random data.
+    let mut unif_sound = 0usize;
+    let mut unif_total = 0usize;
+    let mut bool_unsound = 0usize;
+    for seed in 0..10u64 {
+        let db = random_database(&RandomDbConfig {
+            relations: vec![("R".to_string(), 2)],
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.35,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        let phi = Formula::rel("R", [Term::var("x"), Term::var("y")]);
+        let query = RaExpr::rel("R");
+        let t_answers = query_answers(&phi, &["x", "y"], &db, AtomSemantics::Unification).unwrap();
+        for t in t_answers.iter() {
+            unif_total += 1;
+            if is_certain_answer(&query, &db, t).unwrap() {
+                unif_sound += 1;
+            }
+        }
+        // Boolean semantics declares "false" on some tuples that are not
+        // certainly false.
+        let f_answers = certa::logic::semantics::answers_with_value(
+            &phi,
+            &["x", "y"],
+            &db,
+            AtomSemantics::Boolean,
+            Truth3::False,
+        )
+        .unwrap();
+        for t in f_answers.iter() {
+            if !is_certainly_false(&query, &db, t).unwrap() {
+                bool_unsound += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        body,
+        "⟦·⟧unif t-answers that are certain answers: {unif_sound}/{unif_total} (Corollary 5.2)"
+    );
+    let _ = writeln!(
+        body,
+        "Boolean-semantics f-atoms that are NOT certainly false: {bool_unsound} (no guarantee)"
+    );
+    // The R − (S − T) example.
+    let (db, sql, algebra) = ShopQueries::nested_not_in_example();
+    let sql_answer = sql_execute(&sql_parse(sql).unwrap(), &db).unwrap().to_set();
+    let _ = writeln!(body, "\nR − (S − T) with R = S = {{1}}, T = {{⊥}}:");
+    let _ = writeln!(body, "  SQL answer:               {sql_answer}");
+    let _ = writeln!(
+        body,
+        "  µ_8(Q, D, 1):             {:.3}",
+        mu_k(&algebra, &db, &tup![1], 8).unwrap().as_f64()
+    );
+    let _ = writeln!(
+        body,
+        "  certain answer:           {}",
+        is_certain_answer(&algebra, &db, &tup![1]).unwrap()
+    );
+    // Boolean FO capture: a three-valued formula and its classical twin.
+    let phi = Formula::exists(
+        "y",
+        Formula::rel("R", [Term::var("x"), Term::var("y")])
+            .and(Formula::eq(Term::var("y"), Term::constant(1)).not()),
+    );
+    let db = random_database(&RandomDbConfig::default());
+    let capture = translate::to_boolean(&phi, AtomSemantics::Sql).unwrap();
+    let three_valued = query_answers(&phi, &["x"], &db, AtomSemantics::Sql).unwrap();
+    let classical = query_answers(&capture.pos, &["x"], &db, AtomSemantics::Boolean).unwrap();
+    let _ = writeln!(
+        body,
+        "\nBoolean-FO capture check (Thm 5.4): three-valued t-answers {} == classical {} : {}",
+        three_valued,
+        classical,
+        three_valued == classical
+    );
+    let _ = writeln!(
+        body,
+        "\nPaper's claims: the unification semantics has correctness guarantees; SQL's\nmix of 2- and 3-valued evaluation can return almost-certainly-false answers;\nand three-valued logic adds no expressive power over Boolean FO."
+    );
+    ExperimentReport {
+        id: "E8",
+        title: "§5: many-valued semantics, their guarantees, and the Boolean capture",
+        body,
+    }
+}
+
+/// E9 — Theorem 4.9 and the §6 quality discussion: the four c-table
+/// strategies, their agreement with (Q+, Q?), their relative
+/// informativeness, and their cost.
+pub fn e09_ctable_strategies() -> ExperimentReport {
+    let mut body = String::new();
+    let db = TpchGenerator::new(TpchConfig {
+        customers: 12,
+        orders_per_customer: 2,
+        lineitems_per_order: 1,
+        parts: 8,
+        suppliers: 4,
+        nations: 3,
+        null_rate: 0.15,
+        seed: 13,
+        ..TpchConfig::default()
+    })
+    .generate();
+    let queries = TpchGenerator::translatable_queries();
+    let _ = writeln!(
+        body,
+        "{:<34} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "query", "e", "s", "ℓ", "a", "Q+", "=eager?"
+    );
+    for q in &queries {
+        let mut certain_counts = Vec::new();
+        for strategy in Strategy::ALL {
+            let result = eval_conditional(&q.expr, &db, strategy).unwrap();
+            certain_counts.push(result.certain().len());
+        }
+        let plus = eval(
+            &approx37::translate(&q.expr, db.schema()).unwrap().q_plus,
+            &db,
+        )
+        .unwrap();
+        let eager = eval_conditional(&q.expr, &db, Strategy::Eager).unwrap();
+        let _ = writeln!(
+            body,
+            "{:<34} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+            q.name,
+            certain_counts[0],
+            certain_counts[1],
+            certain_counts[2],
+            certain_counts[3],
+            plus.len(),
+            eager.certain() == plus
+        );
+    }
+    // The strict-containment witness: a tautological selection condition is
+    // only recognised by the aware strategy.
+    let witness_db = database_from_literal([("S", vec!["a"], vec![tup![Value::null(0)], tup![2]])]);
+    let witness = RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
+    let eager = eval_conditional(&witness, &witness_db, Strategy::Eager).unwrap();
+    let aware = eval_conditional(&witness, &witness_db, Strategy::Aware).unwrap();
+    let _ = writeln!(
+        body,
+        "\nStrict containment witness σ(a=2 ∨ a≠2)(S), S = {{⊥, 2}}: eager certain = {}, aware certain = {}",
+        eager.certain().len(),
+        aware.certain().len()
+    );
+    let _ = writeln!(
+        body,
+        "\nPaper's claims (Thm 4.9, §6): all strategies are sound and polynomial;\nEvalᵉ coincides with (Q+,Q?); later strategies are strictly more informative\non specific instances."
+    );
+    ExperimentReport {
+        id: "E9",
+        title: "Theorem 4.9: conditional-table evaluation strategies",
+        body,
+    }
+}
+
+/// E10 — Theorems 3.11/3.12: the information-based certain-answer object
+/// grows exponentially, and exact certain answers scale exponentially with
+/// the number of nulls (coNP-hardness made visible).
+pub fn e10_certain_complexity() -> ExperimentReport {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:>8} {:>10} {:>14} {:>14}",
+        "nulls", "worlds", "certO size", "cert⊥ µs"
+    );
+    for nulls in 1..=4usize {
+        // A database with `nulls` independent nulls in a binary relation.
+        let tuples: Vec<Tuple> = (0..nulls)
+            .map(|i| tup![i as i64, Value::null(i as u32)])
+            .collect();
+        let db = database_from_literal([("R", vec!["a", "b"], tuples)]);
+        let query = RaExpr::rel("R").project(vec![1]);
+        let spec = certa::certain::worlds::exact_pool(&query, &db);
+        let worlds = spec.world_count(&db);
+        // The certO product multiplies the sizes of the answers across all
+        // worlds, so it is only materialised over a two-constant pool (the
+        // doubly exponential growth of Theorem 3.11 is visible regardless).
+        let small_spec =
+            certa::certain::worlds::WorldSpec::new([Const::Int(100), Const::Int(200)]);
+        let product = if nulls <= 3 {
+            object::cert_object_product(&query, &db, &small_spec)
+                .unwrap()
+                .len()
+                .to_string()
+        } else {
+            "(skipped)".to_string()
+        };
+        let start = Instant::now();
+        let _ = cert_with_nulls(&query, &db).unwrap();
+        let micros = start.elapsed().as_micros();
+        let _ = writeln!(
+            body,
+            "{:>8} {:>10} {:>14} {:>14}",
+            nulls, worlds, product, micros
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nPaper's claims (Thms 3.11/3.12): the certain-answer object can be\nexponentially large, and deciding certainty is coNP-complete — visible here\nas exponential growth in worlds enumerated and object size as nulls grow."
+    );
+    ExperimentReport {
+        id: "E10",
+        title: "Theorems 3.11/3.12: size and complexity of exact certain answers",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_a_report() {
+        // E3 is the slowest (it scales the database); run the cheap ones and
+        // spot-check E3's structure separately in the benches.
+        for report in [
+            e01_intro_examples(),
+            e02_naive_evaluation(),
+            e04_precision_recall(),
+            e05_bag_bounds(),
+            e06_zero_one_law(),
+            e07_logic_properties(),
+            e08_many_valued_semantics(),
+            e09_ctable_strategies(),
+            e10_certain_complexity(),
+        ] {
+            assert!(!report.body.is_empty(), "{} produced no body", report.id);
+            assert!(report.to_string().contains(report.id));
+        }
+    }
+
+    #[test]
+    fn e01_reports_false_positive_and_negative() {
+        let body = e01_intro_examples().body;
+        assert!(body.contains("'o3'"));
+        assert!(body.contains("'c2'"));
+    }
+
+    #[test]
+    fn e06_reports_one_half() {
+        let body = e06_zero_one_law().body;
+        assert!(body.contains("1/2"), "{body}");
+    }
+
+    #[test]
+    fn e07_reports_kleene_as_maximal_sublogic() {
+        let body = e07_logic_properties().body;
+        assert!(body.contains("idempotent:          false"));
+        assert!(body.contains(r#"["t", "f", "u"]"#));
+    }
+}

@@ -1,0 +1,289 @@
+//! The approximation scheme of Libkin (2016): `Q ↦ (Qt, Qf)`
+//! (Figure 2(a) of the survey).
+//!
+//! `Qt` under-approximates the certain answers to `Q`; `Qf`
+//! under-approximates the certain answers to the *complement* of `Q`
+//! (Theorem 4.6). Both rewritings have AC⁰ data complexity, but `Qf`
+//! materialises powers of the active domain (`Domᵏ`), which is what makes
+//! the scheme impractical beyond very small databases — the phenomenon
+//! measured by experiment E3.
+
+use crate::{CertainError, Result};
+use certa_algebra::{Condition, RaExpr};
+use certa_data::Schema;
+
+/// The pair of translations of Figure 2(a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationPair {
+    /// The certainly-true under-approximation `Qt`.
+    pub q_true: RaExpr,
+    /// The certainly-false under-approximation `Qf`.
+    pub q_false: RaExpr,
+}
+
+/// Compute both translations at once (they are mutually recursive).
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed for the schema or uses an
+/// operator outside the scheme's fragment (division, `Domᵏ`, `⋉⇑`).
+pub fn translate(query: &RaExpr, schema: &Schema) -> Result<TranslationPair> {
+    let desugared = desugar_intersect(query);
+    desugared.validate(schema)?;
+    translate_rec(&desugared, schema)
+}
+
+/// The certainly-true translation `Qt`.
+///
+/// # Errors
+///
+/// As [`translate`].
+pub fn q_true(query: &RaExpr, schema: &Schema) -> Result<RaExpr> {
+    Ok(translate(query, schema)?.q_true)
+}
+
+/// The certainly-false translation `Qf`.
+///
+/// # Errors
+///
+/// As [`translate`].
+pub fn q_false(query: &RaExpr, schema: &Schema) -> Result<RaExpr> {
+    Ok(translate(query, schema)?.q_false)
+}
+
+/// Rewrite intersections as double differences so that the Figure 2 rules
+/// (which cover `{R, σ, π, ×, ∪, −}`) apply: `Q₁ ∩ Q₂ ≡ Q₁ − (Q₁ − Q₂)`.
+pub(crate) fn desugar_intersect(query: &RaExpr) -> RaExpr {
+    match query {
+        RaExpr::Intersect(l, r) => {
+            let l = desugar_intersect(l);
+            let r = desugar_intersect(r);
+            l.clone().difference(l.difference(r))
+        }
+        RaExpr::Select(e, cond) => desugar_intersect(e).select(cond.clone()),
+        RaExpr::Project(e, positions) => desugar_intersect(e).project(positions.clone()),
+        RaExpr::Product(l, r) => desugar_intersect(l).product(desugar_intersect(r)),
+        RaExpr::Union(l, r) => desugar_intersect(l).union(desugar_intersect(r)),
+        RaExpr::Difference(l, r) => desugar_intersect(l).difference(desugar_intersect(r)),
+        RaExpr::Divide(l, r) => desugar_intersect(l).divide(desugar_intersect(r)),
+        RaExpr::AntiSemiJoinUnify(l, r) => {
+            desugar_intersect(l).anti_semijoin_unify(desugar_intersect(r))
+        }
+        other => other.clone(),
+    }
+}
+
+fn translate_rec(query: &RaExpr, schema: &Schema) -> Result<TranslationPair> {
+    match query {
+        RaExpr::Relation(_) | RaExpr::Literal(_) => {
+            let arity = query.arity(schema)?;
+            Ok(TranslationPair {
+                q_true: query.clone(),
+                q_false: RaExpr::DomPower(arity).anti_semijoin_unify(query.clone()),
+            })
+        }
+        RaExpr::Union(l, r) => {
+            let (l, r) = (translate_rec(l, schema)?, translate_rec(r, schema)?);
+            Ok(TranslationPair {
+                q_true: l.q_true.union(r.q_true),
+                q_false: l.q_false.intersect(r.q_false),
+            })
+        }
+        RaExpr::Difference(l, r) => {
+            let (l, r) = (translate_rec(l, schema)?, translate_rec(r, schema)?);
+            Ok(TranslationPair {
+                q_true: l.q_true.intersect(r.q_false),
+                q_false: l.q_false.union(r.q_true),
+            })
+        }
+        RaExpr::Select(e, cond) => {
+            let arity = e.arity(schema)?;
+            let inner = translate_rec(e, schema)?;
+            Ok(TranslationPair {
+                q_true: inner.q_true.select(cond.star()),
+                q_false: inner
+                    .q_false
+                    .union(RaExpr::DomPower(arity).select(negate_star(cond))),
+            })
+        }
+        RaExpr::Product(l, r) => {
+            let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
+            let (l, r) = (translate_rec(l, schema)?, translate_rec(r, schema)?);
+            Ok(TranslationPair {
+                q_true: l.q_true.product(r.q_true),
+                q_false: l
+                    .q_false
+                    .product(RaExpr::DomPower(ra))
+                    .union(RaExpr::DomPower(la).product(r.q_false)),
+            })
+        }
+        RaExpr::Project(e, positions) => {
+            let arity = e.arity(schema)?;
+            let inner = translate_rec(e, schema)?;
+            Ok(TranslationPair {
+                q_true: inner.q_true.project(positions.clone()),
+                q_false: inner
+                    .q_false
+                    .clone()
+                    .project(positions.clone())
+                    .difference(
+                        RaExpr::DomPower(arity)
+                            .difference(inner.q_false)
+                            .project(positions.clone()),
+                    ),
+            })
+        }
+        RaExpr::Intersect(..) => unreachable!("intersections are desugared before translation"),
+        RaExpr::Divide(..) => Err(CertainError::UnsupportedOperator("division")),
+        RaExpr::DomPower(_) => Err(CertainError::UnsupportedOperator("Dom^k")),
+        RaExpr::AntiSemiJoinUnify(..) => {
+            Err(CertainError::UnsupportedOperator("anti-semijoin (⋉⇑)"))
+        }
+    }
+}
+
+/// The condition `(¬θ)*`: propagate negation through `θ` and apply the `θ*`
+/// guard to the result.
+pub(crate) fn negate_star(cond: &Condition) -> Condition {
+    cond.negate().star()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{cert_with_nulls, certainly_false_among};
+    use certa_algebra::eval;
+    use certa_data::{database_from_literal, tup, Database, Relation, Value};
+
+    fn db() -> Database {
+        database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)], tup![2]]),
+        ])
+    }
+
+    fn check_guarantees(q: &RaExpr, d: &Database) {
+        // Theorem 4.6: Qt(D) ⊆ cert⊥(Q, D) and Qf(D) ⊆ cert⊥(¬Q, D).
+        let pair = translate(q, d.schema()).unwrap();
+        let qt = eval(&pair.q_true, d).unwrap();
+        let qf = eval(&pair.q_false, d).unwrap();
+        let cert = cert_with_nulls(q, d).unwrap();
+        assert!(qt.is_subset_of(&cert), "Qt ⊄ cert⊥ for {q}");
+        let false_ground = certainly_false_among(q, d, &qf).unwrap();
+        assert_eq!(false_ground, qf, "Qf contains a non-certainly-false tuple for {q}");
+    }
+
+    #[test]
+    fn base_relation_translation() {
+        let d = db();
+        let pair = translate(&RaExpr::rel("R"), d.schema()).unwrap();
+        assert_eq!(eval(&pair.q_true, &d).unwrap(), d.relation("R").unwrap().clone());
+        // Qf for S: tuples of Dom that unify with nothing in S — the null
+        // unifies with everything, so Qf(S) is empty.
+        let pair_s = translate(&RaExpr::rel("S"), d.schema()).unwrap();
+        assert!(eval(&pair_s.q_false, &d).unwrap().is_empty());
+        // Qf for R: Dom = {1, 2, ⊥0}; 1 and 2 are in R, ⊥0 unifies with
+        // nothing in R? It unifies with both, actually — so empty as well.
+        assert!(eval(&pair.q_false, &d).unwrap().is_empty());
+        check_guarantees(&RaExpr::rel("R"), &d);
+    }
+
+    #[test]
+    fn difference_guarantees() {
+        let d = db();
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        let pair = translate(&q, d.schema()).unwrap();
+        // Nothing is certain (⊥0 may be 1 or 2): Qt must be empty.
+        assert!(eval(&pair.q_true, &d).unwrap().is_empty());
+        check_guarantees(&q, &d);
+    }
+
+    #[test]
+    fn selection_guarantees_and_star_guard() {
+        let d = db();
+        // σ(a ≠ 2)(S): the null tuple is not certain.
+        let q = RaExpr::rel("S").select(Condition::neq_const(0, 2));
+        let pair = translate(&q, d.schema()).unwrap();
+        assert!(eval(&pair.q_true, &d).unwrap().is_empty());
+        check_guarantees(&q, &d);
+        // σ(a = 2)(S): the 2-tuple is certain.
+        let q = RaExpr::rel("S").select(Condition::eq_const(0, 2));
+        let pair = translate(&q, d.schema()).unwrap();
+        assert_eq!(
+            eval(&pair.q_true, &d).unwrap(),
+            Relation::from_tuples(vec![tup![2]])
+        );
+        check_guarantees(&q, &d);
+    }
+
+    #[test]
+    fn product_projection_union_guarantees() {
+        let d = db();
+        let queries = [
+            RaExpr::rel("R").product(RaExpr::rel("S")),
+            RaExpr::rel("R").product(RaExpr::rel("S")).project(vec![1]),
+            RaExpr::rel("R").union(RaExpr::rel("S")),
+            RaExpr::rel("R")
+                .union(RaExpr::rel("S"))
+                .difference(RaExpr::rel("R")),
+        ];
+        for q in queries {
+            check_guarantees(&q, &d);
+        }
+    }
+
+    #[test]
+    fn intersection_is_desugared_and_sound() {
+        let d = db();
+        let q = RaExpr::rel("R").intersect(RaExpr::rel("S"));
+        let pair = translate(&q, d.schema()).unwrap();
+        let qt = eval(&pair.q_true, &d).unwrap();
+        // 2 is certainly in both.
+        assert!(qt.contains(&tup![2]));
+        check_guarantees(&q, &d);
+    }
+
+    #[test]
+    fn q_true_equals_query_on_complete_databases() {
+        // Theorem 4.6: Qt(D) = Q(D) when D has no nulls.
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![2]]),
+        ]);
+        let queries = [
+            RaExpr::rel("R").difference(RaExpr::rel("S")),
+            RaExpr::rel("R").select(Condition::neq_const(0, 2)),
+            RaExpr::rel("R").product(RaExpr::rel("S")).project(vec![0]),
+        ];
+        for q in queries {
+            let pair = translate(&q, d.schema()).unwrap();
+            assert_eq!(eval(&pair.q_true, &d).unwrap(), eval(&q, &d).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn unsupported_operators_are_rejected() {
+        let d = db();
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .divide(RaExpr::rel("S"));
+        assert!(matches!(
+            translate(&q, d.schema()),
+            Err(CertainError::UnsupportedOperator(_))
+        ));
+    }
+
+    #[test]
+    fn translation_size_blowup_is_visible() {
+        // The Qf translation introduces Dom^k sub-expressions; its size grows
+        // quickly with query size — the root cause of E3's findings.
+        let d = db();
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .project(vec![0])
+            .difference(RaExpr::rel("R"));
+        let pair = translate(&q, d.schema()).unwrap();
+        assert!(pair.q_false.size() > q.size());
+        assert!(format!("{}", pair.q_false).contains("Dom^"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Exact certain answers (§3.2): intersection-based certain answers,
+//! certain answers with nulls, and the certainly-false complement.
+//!
+//! All computations here are exact with respect to the closed-world
+//! semantics and are obtained by brute-force enumeration of the possible
+//! worlds induced by a constant pool; they are the *ground truth* against
+//! which naïve evaluation and the approximation schemes are measured. Their
+//! cost is exponential in the number of nulls — which is not an
+//! implementation defect but the coNP-hardness of Theorem 3.12.
+
+use crate::worlds::{enumerate_worlds, exact_pool, WorldSpec};
+use crate::Result;
+use certa_algebra::{eval, naive_eval, RaExpr};
+use certa_data::{Database, Relation, Tuple};
+
+/// Intersection-based certain answers (Definition 3.7):
+/// `cert∩(Q, D) = ⋂_{D' ∈ ⟦D⟧} Q(D')`.
+///
+/// Only null-free tuples can appear in the result. The default constant pool
+/// (database constants, query constants, one fresh constant per null) makes
+/// the computation exact for generic queries.
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed or the world bound is hit.
+pub fn cert_intersection(query: &RaExpr, db: &Database) -> Result<Relation> {
+    cert_intersection_with(query, db, &exact_pool(query, db))
+}
+
+/// [`cert_intersection`] with an explicit world specification.
+///
+/// # Errors
+///
+/// As [`cert_intersection`].
+pub fn cert_intersection_with(
+    query: &RaExpr,
+    db: &Database,
+    spec: &WorldSpec,
+) -> Result<Relation> {
+    let arity = query.arity(db.schema())?;
+    let mut out: Option<Relation> = None;
+    for (_, world) in enumerate_worlds(db, spec)? {
+        let answer = eval(query, &world)?;
+        out = Some(match out {
+            None => answer,
+            Some(acc) => acc.intersection(&answer),
+        });
+        if out.as_ref().is_some_and(Relation::is_empty) {
+            break;
+        }
+    }
+    Ok(out.unwrap_or_else(|| Relation::empty(arity)))
+}
+
+/// Certain answers with nulls (Definition 3.9, cwa form):
+/// `cert⊥(Q, D) = { t̄ over dom(D) | v(t̄) ∈ Q(v(D)) for every valuation v }`.
+///
+/// Candidates are drawn from the naïve evaluation of the query: for generic
+/// queries `cert⊥(Q, D) ⊆ Qⁿᵃⁱᵛᵉ(D)`, because the bijective fresh valuation
+/// of naïve evaluation is itself a valuation.
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed or the world bound is hit.
+pub fn cert_with_nulls(query: &RaExpr, db: &Database) -> Result<Relation> {
+    cert_with_nulls_with(query, db, &exact_pool(query, db))
+}
+
+/// [`cert_with_nulls`] with an explicit world specification.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls`].
+pub fn cert_with_nulls_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
+    let candidates = naive_eval(query, db)?;
+    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
+    for (v, world) in enumerate_worlds(db, spec)? {
+        if survivors.is_empty() {
+            break;
+        }
+        let answer = eval(query, &world)?;
+        survivors.retain(|t| answer.contains(&v.apply_tuple(t)));
+    }
+    Ok(Relation::with_arity(candidates.arity(), survivors))
+}
+
+/// `true` iff the tuple is a certain answer with nulls, i.e.
+/// `v(t̄) ∈ Q(v(D))` for every valuation `v` over the default pool.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls`].
+pub fn is_certain_answer(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
+    let spec = exact_pool(query, db);
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        let answer = eval(query, &world)?;
+        if !answer.contains(&v.apply_tuple(tuple)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// `true` iff the tuple is *certainly false*: `v(t̄) ∉ Q(v(D))` for every
+/// valuation `v` — i.e. it is a certain answer to the complement of `Q`,
+/// the object under-approximated by the `Qf` translation of Figure 2(a).
+///
+/// # Errors
+///
+/// As [`cert_with_nulls`].
+pub fn is_certainly_false(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
+    let spec = exact_pool(query, db);
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        let answer = eval(query, &world)?;
+        if answer.contains(&v.apply_tuple(tuple)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// All certainly-false tuples among a set of candidates (used to validate
+/// the `Qf` translation, which must return a subset of these).
+///
+/// # Errors
+///
+/// As [`cert_with_nulls`].
+pub fn certainly_false_among(
+    query: &RaExpr,
+    db: &Database,
+    candidates: &Relation,
+) -> Result<Relation> {
+    let spec = exact_pool(query, db);
+    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        if survivors.is_empty() {
+            break;
+        }
+        let answer = eval(query, &world)?;
+        survivors.retain(|t| !answer.contains(&v.apply_tuple(t)));
+    }
+    Ok(Relation::with_arity(candidates.arity(), survivors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_algebra::Condition;
+    use certa_data::{database_from_literal, tup, Value};
+
+    /// The Figure 1 database with the NULL perturbation of the introduction.
+    fn shop_with_null() -> Database {
+        database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![
+                    tup!["o1", "Big Data", 30],
+                    tup!["o2", "SQL", 35],
+                    tup!["o3", "Logic", 50],
+                ],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", "o1"], tup!["c2", Value::null(0)]],
+            ),
+            (
+                "Customers",
+                vec!["cid", "name"],
+                vec![tup!["c1", "John"], tup!["c2", "Mary"]],
+            ),
+        ])
+    }
+
+    #[test]
+    fn unpaid_orders_certain_answers_are_empty_with_null() {
+        // §1: with the NULL, we cannot know which order is unpaid, so the
+        // certain answers to the unpaid-orders query are empty.
+        let d = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        assert!(cert_with_nulls(&q, &d).unwrap().is_empty());
+        assert!(cert_intersection(&q, &d).unwrap().is_empty());
+        // Naïve/SQL evaluation, by contrast, would return o3 — a false
+        // positive is avoided, but the answer o3 is genuinely not certain.
+        assert!(!is_certain_answer(&q, &d, &tup!["o3"]).unwrap());
+    }
+
+    #[test]
+    fn or_tautology_certain_answers() {
+        // §1: SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'
+        // has certain answer {c1, c2} even though SQL returns only c1.
+        let d = shop_with_null();
+        let cond = Condition::eq_const(1, "o2").or(Condition::neq_const(1, "o2"));
+        let q = RaExpr::rel("Payments").select(cond).project(vec![0]);
+        let cert = cert_with_nulls(&q, &d).unwrap();
+        assert!(cert.contains(&tup!["c1"]));
+        assert!(cert.contains(&tup!["c2"]));
+        assert_eq!(cert.len(), 2);
+    }
+
+    #[test]
+    fn cert_with_nulls_keeps_null_tuples() {
+        // D = {R(⊥)}, Q = R: cert⊥ = {⊥} while cert∩ = ∅ (§3.2).
+        let d = database_from_literal([("R", vec!["a"], vec![tup![Value::null(0)]])]);
+        let q = RaExpr::rel("R");
+        assert_eq!(
+            cert_with_nulls(&q, &d).unwrap(),
+            Relation::from_tuples(vec![tup![Value::null(0)]])
+        );
+        assert!(cert_intersection(&q, &d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn proposition_3_10_relationships() {
+        // cert∩ = cert⊥ ∩ Const^m, and v(cert⊥) ⊆ Q(v(D)).
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![Value::null(0)], tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![2]]),
+        ]);
+        let q = RaExpr::rel("R").union(RaExpr::rel("S"));
+        let with_nulls = cert_with_nulls(&q, &d).unwrap();
+        let intersection = cert_intersection(&q, &d).unwrap();
+        assert_eq!(with_nulls.const_tuples(), intersection);
+        assert!(with_nulls.contains(&tup![Value::null(0)]));
+        // Check the containment for a sample valuation.
+        let spec = exact_pool(&q, &d);
+        for (v, world) in enumerate_worlds(&d, &spec).unwrap() {
+            let answer = eval(&q, &world).unwrap();
+            for t in with_nulls.iter() {
+                assert!(answer.contains(&v.apply_tuple(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn difference_with_null_kills_certainty() {
+        // R = {1}, S = {⊥}: certain answers to R − S are empty (§4.1).
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![1]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        assert!(cert_with_nulls(&q, &d).unwrap().is_empty());
+        assert!(!is_certain_answer(&q, &d, &tup![1]).unwrap());
+        // But 1 is not certainly false either: it is in the answer when ⊥≠1.
+        assert!(!is_certainly_false(&q, &d, &tup![1]).unwrap());
+    }
+
+    #[test]
+    fn certainly_false_detection() {
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        // Q = σ(a = 3)(R): 5 can never be an answer; 1 can never be an
+        // answer either (selection keeps only 3s); nothing is ever returned.
+        let q = RaExpr::rel("R").select(Condition::eq_const(0, 3));
+        assert!(is_certainly_false(&q, &d, &tup![5]).unwrap());
+        assert!(is_certainly_false(&q, &d, &tup![1]).unwrap());
+        // For Q' = R itself, 1 is certainly true, 5 certainly false, and ⊥
+        // (as a null candidate) certainly true.
+        let q2 = RaExpr::rel("R");
+        assert!(is_certain_answer(&q2, &d, &tup![1]).unwrap());
+        assert!(is_certainly_false(&q2, &d, &tup![5]).unwrap());
+        let falses = certainly_false_among(
+            &q2,
+            &d,
+            &Relation::from_tuples(vec![tup![1], tup![5], tup![7]]),
+        )
+        .unwrap();
+        assert_eq!(falses, Relation::from_tuples(vec![tup![5], tup![7]]));
+    }
+
+    #[test]
+    fn complete_database_certainty_is_plain_evaluation() {
+        let d = database_from_literal([("R", vec!["a"], vec![tup![1], tup![2]])]);
+        let q = RaExpr::rel("R").select(Condition::eq_const(0, 1));
+        let expected = eval(&q, &d).unwrap();
+        assert_eq!(cert_with_nulls(&q, &d).unwrap(), expected);
+        assert_eq!(cert_intersection(&q, &d).unwrap(), expected);
+    }
+
+    #[test]
+    fn ucq_naive_eval_matches_cert_with_nulls() {
+        // Theorem 4.4 sanity check on a UCQ: naive evaluation = cert⊥ (cwa).
+        let d = database_from_literal([
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, Value::null(0)], tup![Value::null(1), 2]],
+            ),
+            ("S", vec!["b"], vec![tup![2], tup![Value::null(0)]]),
+        ]);
+        let q = RaExpr::rel("R")
+            .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+            .project(vec![0])
+            .union(RaExpr::rel("S"));
+        let naive = naive_eval(&q, &d).unwrap();
+        let cert = cert_with_nulls(&q, &d).unwrap();
+        assert_eq!(naive, cert);
+    }
+
+    #[test]
+    fn world_bound_is_enforced() {
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b", "c"],
+            vec![tup![Value::null(0), Value::null(1), Value::null(2)]],
+        )]);
+        let q = RaExpr::rel("R");
+        let spec = WorldSpec::new((0..40).map(certa_data::Const::Int)).with_bound(1000);
+        assert!(matches!(
+            cert_with_nulls_with(&q, &d, &spec),
+            Err(crate::CertainError::TooManyWorlds { .. })
+        ));
+    }
+}

@@ -1,0 +1,319 @@
+//! Integrity constraints: functional and inclusion dependencies, and the
+//! chase with functional dependencies.
+//!
+//! Constraints enter the survey in §4.3: the conditional probability
+//! `µ(Q | Σ, D, ā)` asks how likely a tuple is to be an answer given that a
+//! randomly chosen valuation satisfies the constraints. Keys and foreign
+//! keys — special cases of functional and inclusion dependencies — are the
+//! constraints found in practice, and they are generic Boolean queries, so
+//! the whole probabilistic machinery applies to them.
+
+use certa_data::{Database, NullId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A functional dependency `R : X → Y` with attribute positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Relation the dependency applies to.
+    pub relation: String,
+    /// Determinant positions.
+    pub lhs: Vec<usize>,
+    /// Dependent positions.
+    pub rhs: Vec<usize>,
+}
+
+impl FunctionalDependency {
+    /// Build `relation : lhs → rhs`.
+    pub fn new(relation: impl Into<String>, lhs: Vec<usize>, rhs: Vec<usize>) -> Self {
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// A key constraint: the given positions determine the whole tuple.
+    pub fn key(relation: impl Into<String>, key: Vec<usize>, arity: usize) -> Self {
+        let rhs = (0..arity).filter(|i| !key.contains(i)).collect();
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs: key,
+            rhs,
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?} → {:?}", self.relation, self.lhs, self.rhs)
+    }
+}
+
+/// An inclusion dependency `R[cols] ⊆ S[cols]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionDependency {
+    /// Source relation.
+    pub from_relation: String,
+    /// Source positions.
+    pub from_positions: Vec<usize>,
+    /// Target relation.
+    pub to_relation: String,
+    /// Target positions.
+    pub to_positions: Vec<usize>,
+}
+
+impl InclusionDependency {
+    /// Build `from[from_positions] ⊆ to[to_positions]`.
+    pub fn new(
+        from_relation: impl Into<String>,
+        from_positions: Vec<usize>,
+        to_relation: impl Into<String>,
+        to_positions: Vec<usize>,
+    ) -> Self {
+        InclusionDependency {
+            from_relation: from_relation.into(),
+            from_positions,
+            to_relation: to_relation.into(),
+            to_positions,
+        }
+    }
+}
+
+impl fmt::Display for InclusionDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:?} ⊆ {}{:?}",
+            self.from_relation, self.from_positions, self.to_relation, self.to_positions
+        )
+    }
+}
+
+/// A constraint: a functional or an inclusion dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// A functional dependency.
+    Fd(FunctionalDependency),
+    /// An inclusion dependency.
+    Ind(InclusionDependency),
+}
+
+impl Constraint {
+    /// Check satisfaction on a database, reading values syntactically (for
+    /// the probabilistic machinery the database is a complete possible
+    /// world, where the syntactic reading is the standard one).
+    pub fn satisfied(&self, db: &Database) -> bool {
+        match self {
+            Constraint::Fd(fd) => {
+                let Ok(rel) = db.relation(&fd.relation) else {
+                    return true;
+                };
+                let tuples: Vec<_> = rel.iter().collect();
+                for (i, a) in tuples.iter().enumerate() {
+                    for b in tuples.iter().skip(i + 1) {
+                        let lhs_agree = fd.lhs.iter().all(|&p| a[p] == b[p]);
+                        if lhs_agree && !fd.rhs.iter().all(|&p| a[p] == b[p]) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Constraint::Ind(ind) => {
+                let (Ok(from), Ok(to)) = (
+                    db.relation(&ind.from_relation),
+                    db.relation(&ind.to_relation),
+                ) else {
+                    return true;
+                };
+                from.iter().all(|a| {
+                    let projected = a.project(&ind.from_positions);
+                    to.iter()
+                        .any(|b| b.project(&ind.to_positions) == projected)
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Fd(fd) => write!(f, "{fd}"),
+            Constraint::Ind(ind) => write!(f, "{ind}"),
+        }
+    }
+}
+
+/// `true` iff the database satisfies every constraint.
+pub fn all_satisfied(constraints: &[Constraint], db: &Database) -> bool {
+    constraints.iter().all(|c| c.satisfied(db))
+}
+
+/// Chase an incomplete database with functional dependencies: whenever two
+/// tuples agree on a determinant, their dependent values are equated —
+/// nulls are merged with (or replaced by) the other value. Returns `None`
+/// when the chase fails, i.e. two distinct constants would have to be
+/// equated (the constraints are unsatisfiable on every possible world).
+///
+/// §4.3 uses the chase to reduce conditional probabilities with functional
+/// dependencies to unconditional ones: `µ(Q | Σ, D, ā) = µ(Q, DΣ, ā)`.
+pub fn chase_fds(db: &Database, fds: &[FunctionalDependency]) -> Option<Database> {
+    // Union–find over values; constants are their own representatives and
+    // may never be merged with a different constant.
+    let mut current = db.clone();
+    loop {
+        let mut merges: BTreeMap<NullId, Value> = BTreeMap::new();
+        let mut failed = false;
+        for fd in fds {
+            let Ok(rel) = current.relation(&fd.relation) else {
+                continue;
+            };
+            let tuples: Vec<_> = rel.iter().cloned().collect();
+            for (i, a) in tuples.iter().enumerate() {
+                for b in tuples.iter().skip(i + 1) {
+                    if !fd.lhs.iter().all(|&p| a[p] == b[p]) {
+                        continue;
+                    }
+                    for &p in &fd.rhs {
+                        match (&a[p], &b[p]) {
+                            (x, y) if x == y => {}
+                            (Value::Null(n), other) | (other, Value::Null(n)) => {
+                                merges.entry(*n).or_insert_with(|| other.clone());
+                            }
+                            (Value::Const(_), Value::Const(_)) => {
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if failed {
+            return None;
+        }
+        if merges.is_empty() {
+            return Some(current);
+        }
+        current = current.map_values(|v| match v {
+            Value::Null(n) => merges.get(n).cloned().unwrap_or_else(|| v.clone()),
+            _ => v.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup};
+
+    #[test]
+    fn fd_satisfaction() {
+        let ok = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, 2], tup![2, 3]],
+        )]);
+        let bad = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, 2], tup![1, 3]],
+        )]);
+        let fd = Constraint::Fd(FunctionalDependency::new("R", vec![0], vec![1]));
+        assert!(fd.satisfied(&ok));
+        assert!(!fd.satisfied(&bad));
+    }
+
+    #[test]
+    fn key_constructor_covers_remaining_positions() {
+        let key = FunctionalDependency::key("R", vec![0], 3);
+        assert_eq!(key.lhs, vec![0]);
+        assert_eq!(key.rhs, vec![1, 2]);
+    }
+
+    #[test]
+    fn ind_satisfaction() {
+        let d = database_from_literal([
+            ("S", vec!["a"], vec![tup![1], tup![2]]),
+            ("T", vec!["a"], vec![tup![1], tup![2], tup![3]]),
+        ]);
+        let ok = Constraint::Ind(InclusionDependency::new("S", vec![0], "T", vec![0]));
+        let bad = Constraint::Ind(InclusionDependency::new("T", vec![0], "S", vec![0]));
+        assert!(ok.satisfied(&d));
+        assert!(!bad.satisfied(&d));
+        assert!(all_satisfied(&[ok], &d));
+    }
+
+    #[test]
+    fn missing_relation_is_vacuously_satisfied() {
+        let d = database_from_literal([("R", vec!["a"], vec![tup![1]])]);
+        let fd = Constraint::Fd(FunctionalDependency::new("Z", vec![0], vec![0]));
+        assert!(fd.satisfied(&d));
+    }
+
+    #[test]
+    fn chase_merges_null_with_constant() {
+        // R(1, ⊥0), R(1, 5) under the FD a → b: the chase sets ⊥0 = 5.
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, Value::null(0)], tup![1, 5]],
+        )]);
+        let fd = FunctionalDependency::new("R", vec![0], vec![1]);
+        let chased = chase_fds(&d, &[fd]).unwrap();
+        assert_eq!(chased.relation("R").unwrap().len(), 1);
+        assert!(chased.relation("R").unwrap().contains(&tup![1, 5]));
+    }
+
+    #[test]
+    fn chase_merges_two_nulls_transitively() {
+        // R(1, ⊥0), R(1, ⊥1), R(2, ⊥1), R(2, 7): ⊥1 = 7 and ⊥0 = ⊥1 ⇒ 7.
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![
+                tup![1, Value::null(0)],
+                tup![1, Value::null(1)],
+                tup![2, Value::null(1)],
+                tup![2, 7],
+            ],
+        )]);
+        let fd = FunctionalDependency::new("R", vec![0], vec![1]);
+        let chased = chase_fds(&d, &[fd]).unwrap();
+        assert!(chased.is_complete());
+        assert!(chased.relation("R").unwrap().contains(&tup![1, 7]));
+        assert!(chased.relation("R").unwrap().contains(&tup![2, 7]));
+        assert_eq!(chased.relation("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chase_fails_on_constant_clash() {
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, 2], tup![1, 3]],
+        )]);
+        let fd = FunctionalDependency::new("R", vec![0], vec![1]);
+        assert!(chase_fds(&d, &[fd]).is_none());
+    }
+
+    #[test]
+    fn chase_without_violations_is_identity() {
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, Value::null(0)], tup![2, 5]],
+        )]);
+        let fd = FunctionalDependency::new("R", vec![0], vec![1]);
+        assert_eq!(chase_fds(&d, &[fd]).unwrap(), d);
+    }
+
+    #[test]
+    fn display_formats() {
+        let fd = FunctionalDependency::new("R", vec![0], vec![1]);
+        let ind = InclusionDependency::new("S", vec![0], "T", vec![0]);
+        assert!(Constraint::Fd(fd).to_string().contains('→'));
+        assert!(Constraint::Ind(ind).to_string().contains('⊆'));
+    }
+}

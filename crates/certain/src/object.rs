@@ -1,0 +1,262 @@
+//! Information-based certain answers (`certO`, §3.1–3.2): certain answers
+//! *as objects*.
+//!
+//! Under the open-world interpretation of query answers, the information
+//! order on answer relations is `A ⪯ B` iff there is a homomorphism from `A`
+//! to `B` that fixes constants (more possible worlds = less information).
+//! The greatest lower bound of a finite family of complete answers — the
+//! information-based certain answer of Definition 3.3 — is (up to
+//! homomorphic equivalence) the *direct product* of the answers, with
+//! product positions that do not agree on a constant becoming fresh labelled
+//! nulls. Minimising the product to its core gives the canonical
+//! representative.
+//!
+//! The size of the product is `∏ᵢ |Aᵢ|`, which is where the exponential
+//! lower bound of Theorem 3.11 comes from; experiment E10 measures exactly
+//! this growth.
+
+use crate::worlds::{enumerate_worlds, exact_pool, WorldSpec};
+use crate::Result;
+use certa_algebra::{eval, RaExpr};
+use certa_data::{find_homomorphism, Database, HomKind, Relation, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// The direct product of a family of answer relations: the greatest lower
+/// bound in the information order.
+///
+/// Each output position holds, conceptually, one value per input relation;
+/// positions whose values are all the same constant stay that constant,
+/// every other combination becomes a fresh null (shared across occurrences
+/// of the same combination, so joins are preserved).
+///
+/// Returns the empty relation when any of the answers is empty (the product
+/// of anything with the empty relation is empty — matching the fact that an
+/// empty possible answer forces the certain object to carry no tuples).
+pub fn answer_product(answers: &[Relation]) -> Relation {
+    let Some(first) = answers.first() else {
+        return Relation::empty(0);
+    };
+    let arity = first.arity();
+    let mut out = Relation::empty(arity);
+    if answers.iter().any(Relation::is_empty) {
+        return out;
+    }
+    // Enumerate the cartesian product of the answer sets.
+    let sizes: Vec<usize> = answers.iter().map(Relation::len).collect();
+    let tuples: Vec<Vec<&Tuple>> = answers.iter().map(|r| r.iter().collect()).collect();
+    let total: usize = sizes.iter().try_fold(1usize, |acc, &s| acc.checked_mul(s)).expect(
+        "answer_product: the product object would not fit in memory; restrict the world pool",
+    );
+    let mut null_ids: BTreeMap<Vec<Value>, u32> = BTreeMap::new();
+    for mut idx in 0..total {
+        let mut chosen = Vec::with_capacity(answers.len());
+        for (i, size) in sizes.iter().enumerate() {
+            chosen.push(tuples[i][idx % size]);
+            idx /= size;
+        }
+        let mut values = Vec::with_capacity(arity);
+        for pos in 0..arity {
+            let column: Vec<Value> = chosen.iter().map(|t| t[pos].clone()).collect();
+            let all_same_const = column
+                .first()
+                .is_some_and(|v| v.is_const() && column.iter().all(|w| w == v));
+            if all_same_const {
+                values.push(column[0].clone());
+            } else {
+                let next = null_ids.len() as u32;
+                let id = *null_ids.entry(column).or_insert(next);
+                values.push(Value::Null(id));
+            }
+        }
+        out.insert(Tuple::new(values));
+    }
+    out
+}
+
+/// Compute the core of a relation: a minimal sub-relation to which the whole
+/// relation maps homomorphically (fixing constants). The core is the
+/// canonical representative of the information-equivalence class.
+///
+/// The computation greedily tries to drop tuples while a retraction exists;
+/// it is exponential in the worst case (core computation is NP-hard) and is
+/// intended for the small instances of tests and experiments.
+pub fn core_of(relation: &Relation) -> Relation {
+    let mut current = relation.clone();
+    'outer: loop {
+        for t in current.iter().cloned().collect::<Vec<_>>() {
+            let mut smaller = current.clone();
+            smaller.remove(&t);
+            if smaller.is_empty() {
+                continue;
+            }
+            let from = relation_as_db(&current);
+            let to = relation_as_db(&smaller);
+            if find_homomorphism(&from, &to, HomKind::Arbitrary).is_some() {
+                current = smaller;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+fn relation_as_db(rel: &Relation) -> Database {
+    let names: Vec<String> = (0..rel.arity()).map(|i| format!("a{i}")).collect();
+    let schema = certa_data::Schema::from_relations([certa_data::RelationSchema::new(
+        "Rel",
+        names.iter().map(String::as_str),
+    )])
+    .expect("single relation schema");
+    let mut db = Database::new(schema);
+    db.insert_all("Rel", rel.iter().cloned())
+        .expect("arity is consistent by construction");
+    db
+}
+
+/// The information-based certain answer `certO(Q, D)` computed as the core
+/// of the direct product of the query answers over all possible worlds of
+/// the default pool.
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed or the world bound is hit.
+pub fn cert_object(query: &RaExpr, db: &Database) -> Result<Relation> {
+    cert_object_with(query, db, &exact_pool(query, db))
+}
+
+/// [`cert_object`] with an explicit world specification. The `minimise`
+/// flag controls whether the product is reduced to its core (exact but
+/// expensive) or returned as-is (an information-equivalent but larger
+/// object).
+///
+/// # Errors
+///
+/// As [`cert_object`].
+pub fn cert_object_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
+    Ok(core_of(&cert_object_product(query, db, spec)?))
+}
+
+/// The (un-minimised) product object; exposed separately so experiment E10
+/// can measure its growth without paying for core computation.
+///
+/// # Errors
+///
+/// As [`cert_object`].
+pub fn cert_object_product(
+    query: &RaExpr,
+    db: &Database,
+    spec: &WorldSpec,
+) -> Result<Relation> {
+    let mut answers = Vec::new();
+    for (_, world) in enumerate_worlds(db, spec)? {
+        answers.push(eval(query, &world)?);
+    }
+    Ok(answer_product(&answers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup, Const};
+
+    #[test]
+    fn product_of_identical_answers_is_that_answer() {
+        let a = Relation::from_tuples(vec![tup![1, 2], tup![3, 4]]);
+        let p = answer_product(&[a.clone(), a.clone()]);
+        // The product contains the original tuples (agreeing positions) plus
+        // mixed tuples with nulls; its core is the original.
+        assert!(a.is_subset_of(&p));
+        assert_eq!(core_of(&p), a);
+    }
+
+    #[test]
+    fn product_with_empty_answer_is_empty() {
+        let a = Relation::from_tuples(vec![tup![1]]);
+        let p = answer_product(&[a, Relation::empty(1)]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn disagreeing_constants_become_shared_nulls() {
+        // Answers {(1,1)} and {(2,2)}: the product is {(⊥,⊥)} with the SAME
+        // null twice, preserving the join structure.
+        let a = Relation::from_tuples(vec![tup![1, 1]]);
+        let b = Relation::from_tuples(vec![tup![2, 2]]);
+        let p = answer_product(&[a, b]);
+        assert_eq!(p.len(), 1);
+        let t = p.iter().next().unwrap();
+        assert!(t[0].is_null());
+        assert_eq!(t[0], t[1]);
+    }
+
+    #[test]
+    fn different_disagreements_get_different_nulls() {
+        let a = Relation::from_tuples(vec![tup![1, 3]]);
+        let b = Relation::from_tuples(vec![tup![2, 4]]);
+        let p = answer_product(&[a, b]);
+        let t = p.iter().next().unwrap();
+        assert!(t[0].is_null() && t[1].is_null());
+        assert_ne!(t[0], t[1]);
+    }
+
+    #[test]
+    fn cert_object_on_simple_query() {
+        // D = {R(⊥)}, Q = R. Possible answers are {c} for each constant c in
+        // the pool; the product collapses to a single null tuple — exactly
+        // the "certain answer with nulls" {⊥} in object form.
+        let d = database_from_literal([("R", vec!["a"], vec![tup![Value::null(0)]])]);
+        let q = RaExpr::rel("R");
+        let obj = cert_object(&q, &d).unwrap();
+        assert_eq!(obj.len(), 1);
+        assert!(obj.iter().next().unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn cert_object_keeps_constants_common_to_all_worlds() {
+        let d = database_from_literal([(
+            "R",
+            vec!["a"],
+            vec![tup![1], tup![Value::null(0)]],
+        )]);
+        let q = RaExpr::rel("R");
+        let obj = cert_object(&q, &d).unwrap();
+        // 1 is in every world's answer; the object must entail it.
+        assert!(obj.contains(&tup![1]));
+    }
+
+    #[test]
+    fn product_size_grows_with_world_count() {
+        // Theorem 3.11's phenomenon in miniature: the un-minimised object
+        // grows multiplicatively with the number of possible worlds.
+        let d = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![Value::null(0), 1], tup![2, Value::null(1)]],
+        )]);
+        let q = RaExpr::rel("R");
+        let small = WorldSpec::new([Const::Int(1), Const::Int(2)]);
+        let large = WorldSpec::new([Const::Int(1), Const::Int(2), Const::Int(3)]);
+        let p_small = cert_object_product(&q, &d, &small).unwrap();
+        let p_large = cert_object_product(&q, &d, &large).unwrap();
+        assert!(p_large.len() >= p_small.len());
+        assert!(p_large.len() > d.relation("R").unwrap().len());
+    }
+
+    #[test]
+    fn core_is_idempotent_and_homomorphically_equivalent() {
+        let r = Relation::from_tuples(vec![
+            tup![1, Value::null(0)],
+            tup![1, 2],
+            tup![Value::null(1), 2],
+        ]);
+        let c = core_of(&r);
+        assert_eq!(core_of(&c), c);
+        // The core maps into the original and vice versa.
+        let from = relation_as_db(&r);
+        let to = relation_as_db(&c);
+        assert!(find_homomorphism(&from, &to, HomKind::Arbitrary).is_some());
+        assert!(find_homomorphism(&to, &from, HomKind::Arbitrary).is_some());
+        // Here the core is just {(1, 2)}.
+        assert_eq!(c, Relation::from_tuples(vec![tup![1, 2]]));
+    }
+}

@@ -1,0 +1,130 @@
+//! Quality of approximate answers: precision, recall, false positives and
+//! false negatives with respect to exact certain answers.
+//!
+//! These are the measurements of the study surveyed at the end of §4.2
+//! (the uncertainty-annotated-databases comparison): a scheme with
+//! correctness guarantees has perfect precision by construction, and the
+//! interesting quantity is how its recall degrades as the amount of
+//! incompleteness grows — reproduced as experiment E4.
+
+use certa_data::Relation;
+
+/// Precision/recall summary of an approximate answer set against a ground
+/// truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerQuality {
+    /// Tuples returned by the approximation and present in the ground truth.
+    pub true_positives: usize,
+    /// Tuples returned by the approximation but absent from the ground truth.
+    pub false_positives: usize,
+    /// Ground-truth tuples missed by the approximation.
+    pub false_negatives: usize,
+}
+
+impl AnswerQuality {
+    /// Compare an approximate answer against the exact one.
+    pub fn compare(approx: &Relation, exact: &Relation) -> Self {
+        let true_positives = approx.intersection(exact).len();
+        AnswerQuality {
+            true_positives,
+            false_positives: approx.len() - true_positives,
+            false_negatives: exact.len() - true_positives,
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when the approximation is empty.
+    pub fn precision(&self) -> f64 {
+        let returned = self.true_positives + self.false_positives;
+        if returned == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / returned as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when the ground truth is empty.
+    pub fn recall(&self) -> f64 {
+        let relevant = self.true_positives + self.false_negatives;
+        if relevant == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / relevant as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// `true` iff the approximation returned no false positives (the
+    /// correctness guarantee of Definition 4.5).
+    pub fn has_correctness_guarantee(&self) -> bool {
+        self.false_positives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::tup;
+
+    #[test]
+    fn exact_match_is_perfect() {
+        let exact = Relation::from_tuples(vec![tup![1], tup![2]]);
+        let q = AnswerQuality::compare(&exact, &exact);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+        assert!(q.has_correctness_guarantee());
+    }
+
+    #[test]
+    fn under_approximation_has_perfect_precision() {
+        let exact = Relation::from_tuples(vec![tup![1], tup![2], tup![3], tup![4]]);
+        let approx = Relation::from_tuples(vec![tup![1], tup![2]]);
+        let q = AnswerQuality::compare(&approx, &exact);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.5);
+        assert_eq!(q.false_negatives, 2);
+        assert!(q.has_correctness_guarantee());
+    }
+
+    #[test]
+    fn false_positives_hurt_precision() {
+        let exact = Relation::from_tuples(vec![tup![1]]);
+        let approx = Relation::from_tuples(vec![tup![1], tup![9]]);
+        let q = AnswerQuality::compare(&approx, &exact);
+        assert_eq!(q.false_positives, 1);
+        assert!(!q.has_correctness_guarantee());
+        assert_eq!(q.precision(), 0.5);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = Relation::empty(1);
+        let exact = Relation::from_tuples(vec![tup![1]]);
+        let q = AnswerQuality::compare(&empty, &exact);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.0);
+        let q = AnswerQuality::compare(&exact, &empty);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.precision(), 0.0);
+        let q = AnswerQuality::compare(&empty, &empty);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_give_zero_f1() {
+        let a = Relation::from_tuples(vec![tup![1]]);
+        let b = Relation::from_tuples(vec![tup![2]]);
+        let q = AnswerQuality::compare(&a, &b);
+        assert_eq!(q.f1(), 0.0);
+    }
+}

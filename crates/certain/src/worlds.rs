@@ -1,0 +1,230 @@
+//! Possible-world enumeration.
+//!
+//! The semantics of an incomplete database under the closed-world assumption
+//! is `⟦D⟧ = { v(D) | v a valuation }` (§2). For exact ground-truth
+//! computations we enumerate the valuations whose range lies in a finite
+//! *constant pool*. For generic queries this is lossless as long as the pool
+//! contains every constant of the database and of the query plus at least
+//! `|Null(D)|` fresh constants: any valuation can be renamed, fixing the
+//! database and query constants, into one over the pool without affecting
+//! membership of an answer tuple (genericity), so quantification over all
+//! valuations and over pool valuations agree.
+
+use crate::{CertainError, Result};
+use certa_algebra::RaExpr;
+use certa_data::valuation::count_valuations;
+use certa_data::{Const, Database, Valuation};
+use std::collections::BTreeSet;
+
+/// Default cap on the number of worlds an exact computation may enumerate.
+pub const DEFAULT_WORLD_BOUND: usize = 2_000_000;
+
+/// Specification of the possible worlds to enumerate: the constant pool and
+/// a safety bound on the number of valuations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldSpec {
+    pool: Vec<Const>,
+    bound: usize,
+}
+
+impl WorldSpec {
+    /// Build a spec with an explicit pool and the default bound.
+    pub fn new(pool: impl IntoIterator<Item = Const>) -> Self {
+        WorldSpec {
+            pool: pool.into_iter().collect(),
+            bound: DEFAULT_WORLD_BOUND,
+        }
+    }
+
+    /// Change the bound on the number of worlds.
+    #[must_use]
+    pub fn with_bound(mut self, bound: usize) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// The constant pool.
+    pub fn pool(&self) -> &[Const] {
+        &self.pool
+    }
+
+    /// Number of valuations this spec induces on a database.
+    pub fn world_count(&self, db: &Database) -> usize {
+        count_valuations(db.nulls().len(), self.pool.len())
+    }
+
+    /// Check the bound for a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertainError::TooManyWorlds`] when the enumeration would
+    /// exceed the bound.
+    pub fn check(&self, db: &Database) -> Result<()> {
+        let worlds = self.world_count(db);
+        if worlds > self.bound {
+            return Err(CertainError::TooManyWorlds {
+                worlds,
+                bound: self.bound,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The default pool for exact computations on `(query, database)`: the
+/// constants of the database and the query plus `extra_fresh` fresh
+/// constants (at least one per null is needed for exactness; more lets the
+/// probabilistic module vary `k`).
+pub fn default_pool(query: &RaExpr, db: &Database, extra_fresh: usize) -> WorldSpec {
+    let mut pool: BTreeSet<Const> = db.consts();
+    pool.extend(query.consts());
+    let mut pool: Vec<Const> = pool.into_iter().collect();
+    for i in 0..extra_fresh {
+        pool.push(Const::str(format!("§world{i}")));
+    }
+    WorldSpec::new(pool)
+}
+
+/// A pool suitable for exact certain-answer computation: database and query
+/// constants plus `|Null(D)| + arity(Q)` fresh constants.
+///
+/// The fresh budget makes the bounded enumeration exact for generic
+/// queries: for any valuation `w` witnessing that a candidate tuple `t̄` is
+/// not (certainly) an answer, a bijection of `Const` fixing the constants
+/// of `D`, `Q` and `t̄` can move the at most `|Null(D)|` values of `w`'s
+/// range into the pool's fresh constants that do not occur in `t̄`
+/// (at most `arity(Q)` of them can), producing a pool valuation with the
+/// same behaviour by genericity.
+pub fn exact_pool(query: &RaExpr, db: &Database) -> WorldSpec {
+    let arity = query.arity(db.schema()).unwrap_or(0);
+    default_pool(query, db, (db.nulls().len() + arity).max(1))
+}
+
+/// Enumerate the valuations of the database's nulls over the spec's pool,
+/// together with the possible world each induces.
+///
+/// # Errors
+///
+/// Returns [`CertainError::TooManyWorlds`] if the enumeration would exceed
+/// the spec's bound.
+pub fn enumerate_worlds<'a>(
+    db: &'a Database,
+    spec: &'a WorldSpec,
+) -> Result<impl Iterator<Item = (Valuation, Database)> + 'a> {
+    spec.check(db)?;
+    let nulls = db.nulls();
+    Ok(all_valuations_owned(nulls, spec.pool()).map(move |v| {
+        let world = v.apply_database(db);
+        (v, world)
+    }))
+}
+
+/// Like [`certa_data::valuation::all_valuations`] but owning its inputs, so
+/// the iterator can outlive local borrows.
+fn all_valuations_owned(
+    nulls: BTreeSet<certa_data::NullId>,
+    pool: &[Const],
+) -> impl Iterator<Item = Valuation> + '_ {
+    let nulls: Vec<certa_data::NullId> = nulls.into_iter().collect();
+    let k = pool.len();
+    let total = if nulls.is_empty() {
+        1
+    } else if k == 0 {
+        0
+    } else {
+        k.checked_pow(nulls.len() as u32)
+            .expect("world enumeration overflow")
+    };
+    (0..total).map(move |mut idx| {
+        let mut val = Valuation::new();
+        for null in &nulls {
+            let c = pool[idx % k.max(1)].clone();
+            idx /= k.max(1);
+            val.assign(*null, c);
+        }
+        val
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::valuation::all_valuations as lib_all_valuations;
+    use certa_data::{database_from_literal, tup, Value};
+
+    fn db() -> Database {
+        database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, Value::null(0)], tup![Value::null(1), 2]],
+        )])
+    }
+
+    #[test]
+    fn default_pool_contains_db_and_query_constants() {
+        let q = RaExpr::rel("R").select(certa_algebra::Condition::eq_const(0, 99));
+        let spec = default_pool(&q, &db(), 2);
+        assert!(spec.pool().contains(&Const::Int(1)));
+        assert!(spec.pool().contains(&Const::Int(2)));
+        assert!(spec.pool().contains(&Const::Int(99)));
+        assert_eq!(spec.pool().len(), 5);
+    }
+
+    #[test]
+    fn world_count_and_bound() {
+        let d = db();
+        let spec = WorldSpec::new([Const::Int(1), Const::Int(2), Const::Int(3)]);
+        assert_eq!(spec.world_count(&d), 9);
+        assert!(spec.check(&d).is_ok());
+        let tight = spec.clone().with_bound(8);
+        assert!(matches!(
+            tight.check(&d),
+            Err(CertainError::TooManyWorlds { worlds: 9, bound: 8 })
+        ));
+    }
+
+    #[test]
+    fn enumerate_worlds_produces_complete_databases() {
+        let d = db();
+        let spec = WorldSpec::new([Const::Int(1), Const::Int(2)]);
+        let worlds: Vec<_> = enumerate_worlds(&d, &spec).unwrap().collect();
+        assert_eq!(worlds.len(), 4);
+        for (v, w) in &worlds {
+            assert!(w.is_complete());
+            assert_eq!(&v.apply_database(&d), w);
+        }
+        // All four valuations are distinct.
+        let distinct: BTreeSet<String> = worlds.iter().map(|(v, _)| v.to_string()).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn no_nulls_means_single_world() {
+        let d = database_from_literal([("R", vec!["a"], vec![tup![1]])]);
+        let spec = WorldSpec::new([Const::Int(1)]);
+        let worlds: Vec<_> = enumerate_worlds(&d, &spec).unwrap().collect();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].1, d);
+    }
+
+    #[test]
+    fn owned_enumeration_matches_library_enumeration() {
+        let d = db();
+        let pool = vec![Const::Int(1), Const::Int(7)];
+        let owned: Vec<String> = all_valuations_owned(d.nulls(), &pool)
+            .map(|v| v.to_string())
+            .collect();
+        let borrowed: Vec<String> = lib_all_valuations(&d.nulls(), &pool)
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn exact_pool_budget_covers_nulls_and_arity() {
+        let q = RaExpr::rel("R");
+        let spec = exact_pool(&q, &db());
+        // 2 database constants + (2 nulls + arity 2) fresh.
+        assert_eq!(spec.pool().len(), 6);
+    }
+}

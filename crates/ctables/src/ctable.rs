@@ -1,0 +1,264 @@
+//! Conditional tables and conditional databases.
+
+use crate::cond::Cond;
+use certa_data::{Database, Relation, Schema, Tuple, Valuation};
+use certa_logic::Truth3;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conditional tuple `⟨t̄, φ⟩`: the tuple `t̄` belongs to the relation
+/// whenever the condition `φ` holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTuple {
+    /// The tuple.
+    pub tuple: Tuple,
+    /// The condition under which the tuple is present.
+    pub cond: Cond,
+}
+
+impl CTuple {
+    /// A c-tuple with the always-true condition.
+    pub fn unconditional(tuple: Tuple) -> Self {
+        CTuple {
+            tuple,
+            cond: Cond::truth(),
+        }
+    }
+}
+
+impl fmt::Display for CTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.tuple, self.cond)
+    }
+}
+
+/// A conditional table: a list of c-tuples of a fixed arity.
+///
+/// Unlike plain relations, c-tables are kept as lists: two c-tuples with the
+/// same tuple but different conditions are distinct pieces of information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTable {
+    arity: usize,
+    ctuples: Vec<CTuple>,
+}
+
+impl CTable {
+    /// An empty c-table of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        CTable {
+            arity,
+            ctuples: Vec::new(),
+        }
+    }
+
+    /// Build from c-tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tuple's arity differs from `arity`.
+    pub fn from_ctuples(arity: usize, ctuples: impl IntoIterator<Item = CTuple>) -> Self {
+        let ctuples: Vec<CTuple> = ctuples.into_iter().collect();
+        assert!(
+            ctuples.iter().all(|c| c.tuple.arity() == arity),
+            "CTable::from_ctuples: arity mismatch"
+        );
+        CTable { arity, ctuples }
+    }
+
+    /// View a plain relation as a c-table with all conditions true.
+    pub fn from_relation(rel: &Relation) -> Self {
+        CTable {
+            arity: rel.arity(),
+            ctuples: rel.iter().cloned().map(CTuple::unconditional).collect(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of c-tuples.
+    pub fn len(&self) -> usize {
+        self.ctuples.len()
+    }
+
+    /// `true` iff there are no c-tuples.
+    pub fn is_empty(&self) -> bool {
+        self.ctuples.is_empty()
+    }
+
+    /// Add a c-tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, ct: CTuple) {
+        assert_eq!(ct.tuple.arity(), self.arity, "CTable::push: arity mismatch");
+        self.ctuples.push(ct);
+    }
+
+    /// Iterate over the c-tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &CTuple> {
+        self.ctuples.iter()
+    }
+
+    /// The tuples whose condition is the given ground truth value, after the
+    /// provided grounding function is applied (used for `Eval_t` and
+    /// `Eval_p`, equations (9a)/(9b) of the survey).
+    pub fn tuples_with(&self, target: &[Truth3], ground: impl Fn(&Cond) -> Truth3) -> Relation {
+        let mut out = Relation::empty(self.arity);
+        for ct in &self.ctuples {
+            if target.contains(&ground(&ct.cond)) {
+                out.insert(ct.tuple.clone());
+            }
+        }
+        out
+    }
+
+    /// The possible world of this c-table under a valuation: tuples whose
+    /// condition holds, with the valuation applied to the tuple.
+    pub fn world_under(&self, v: &Valuation) -> Relation {
+        let mut out = Relation::empty(self.arity);
+        for ct in &self.ctuples {
+            if ct.cond.eval_under(v) {
+                out.insert(v.apply_tuple(&ct.tuple));
+            }
+        }
+        out
+    }
+
+    /// Total size of all conditions (a cost measure used by benches).
+    pub fn condition_size(&self) -> usize {
+        self.ctuples.iter().map(|c| c.cond.size()).sum()
+    }
+}
+
+impl fmt::Display for CTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, ct) in self.ctuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ct}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A conditional database: one c-table per relation of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CDatabase {
+    schema: Schema,
+    tables: BTreeMap<String, CTable>,
+}
+
+impl CDatabase {
+    /// Convert an incomplete database into a conditional database in which
+    /// every condition is `true` (the starting point of the algorithms of
+    /// §4.2).
+    pub fn from_database(db: &Database) -> Self {
+        let tables = db
+            .iter()
+            .map(|(name, rel)| (name.to_string(), CTable::from_relation(rel)))
+            .collect();
+        CDatabase {
+            schema: db.schema().clone(),
+            tables,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Look up a c-table by relation name.
+    pub fn table(&self, name: &str) -> Option<&CTable> {
+        self.tables.get(name)
+    }
+
+    /// Iterate over `(name, c-table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CTable)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup, Const, Value};
+
+    fn db() -> Database {
+        database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![tup![2]]),
+        ])
+    }
+
+    #[test]
+    fn from_database_marks_everything_true() {
+        let cdb = CDatabase::from_database(&db());
+        let r = cdb.table("R").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|ct| ct.cond == Cond::truth()));
+        assert!(cdb.table("T").is_none());
+        assert_eq!(cdb.iter().count(), 2);
+    }
+
+    #[test]
+    fn tuples_with_selects_by_ground_value() {
+        let mut t = CTable::empty(1);
+        t.push(CTuple::unconditional(tup![1]));
+        t.push(CTuple {
+            tuple: tup![2],
+            cond: Cond::eq(Value::null(0), Value::int(5)),
+        });
+        t.push(CTuple {
+            tuple: tup![3],
+            cond: Cond::Truth(Truth3::False),
+        });
+        let certain = t.tuples_with(&[Truth3::True], Cond::ground_eager);
+        assert_eq!(certain, Relation::from_tuples(vec![tup![1]]));
+        let possible = t.tuples_with(&[Truth3::True, Truth3::Unknown], Cond::ground_eager);
+        assert_eq!(possible.len(), 2);
+        assert_eq!(t.condition_size(), 3);
+    }
+
+    #[test]
+    fn world_under_applies_valuation_and_filters() {
+        let mut t = CTable::empty(1);
+        t.push(CTuple {
+            tuple: tup![Value::null(0)],
+            cond: Cond::eq(Value::null(0), Value::int(7)),
+        });
+        t.push(CTuple {
+            tuple: tup![9],
+            cond: Cond::neq(Value::null(0), Value::int(7)),
+        });
+        let v7 = Valuation::from_pairs([(0, Const::Int(7))]);
+        assert_eq!(t.world_under(&v7), Relation::from_tuples(vec![tup![7]]));
+        let v8 = Valuation::from_pairs([(0, Const::Int(8))]);
+        assert_eq!(t.world_under(&v8), Relation::from_tuples(vec![tup![9]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn push_checks_arity() {
+        let mut t = CTable::empty(2);
+        t.push(CTuple::unconditional(tup![1]));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let t = CTable::from_ctuples(
+            1,
+            [CTuple {
+                tuple: tup![1],
+                cond: Cond::eq(Value::null(0), Value::int(1)),
+            }],
+        );
+        assert!(t.to_string().contains("⟨(1), ⊥0 = 1⟩"));
+    }
+}

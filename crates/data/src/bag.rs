@@ -1,0 +1,362 @@
+//! Bag-semantics relations.
+//!
+//! Real-life RDBMSs use bag semantics (§4.2, §6 of the survey): a tuple can
+//! occur with a multiplicity greater than one, union adds multiplicities and
+//! difference subtracts them down to zero. [`BagRelation`] is the bag
+//! counterpart of [`crate::Relation`].
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relation under bag semantics: a map from tuples to multiplicities ≥ 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BagRelation {
+    arity: usize,
+    /// Invariant: every stored multiplicity is ≥ 1.
+    tuples: BTreeMap<Tuple, usize>,
+}
+
+impl BagRelation {
+    /// Create an empty bag relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        BagRelation {
+            arity,
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// Build from `(tuple, multiplicity)` pairs; multiplicities of equal
+    /// tuples are added, zero multiplicities are dropped.
+    pub fn from_counted(
+        arity: usize,
+        items: impl IntoIterator<Item = (Tuple, usize)>,
+    ) -> Self {
+        let mut bag = BagRelation::empty(arity);
+        for (t, n) in items {
+            bag.insert_n(t, n);
+        }
+        bag
+    }
+
+    /// Build from a plain list of tuples (each occurrence counts once).
+    pub fn from_tuples(arity: usize, items: impl IntoIterator<Item = Tuple>) -> Self {
+        Self::from_counted(arity, items.into_iter().map(|t| (t, 1)))
+    }
+
+    /// The bag's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of *distinct* tuples.
+    pub fn distinct_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Total number of tuples counted with multiplicity.
+    pub fn total_len(&self) -> usize {
+        self.tuples.values().sum()
+    }
+
+    /// `true` iff the bag holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Multiplicity `#(t, R)` of a tuple; 0 if absent.
+    pub fn multiplicity(&self, t: &Tuple) -> usize {
+        self.tuples.get(t).copied().unwrap_or(0)
+    }
+
+    /// Insert one occurrence of a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, t: Tuple) {
+        self.insert_n(t, 1);
+    }
+
+    /// Insert `n` occurrences of a tuple (no-op when `n == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn insert_n(&mut self, t: Tuple, n: usize) {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "BagRelation::insert_n: arity mismatch (bag {}, tuple {})",
+            self.arity,
+            t.arity()
+        );
+        if n == 0 {
+            return;
+        }
+        *self.tuples.entry(t).or_insert(0) += n;
+    }
+
+    /// Iterate over `(tuple, multiplicity)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, usize)> {
+        self.tuples.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Iterate over distinct tuples.
+    pub fn distinct(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.keys()
+    }
+
+    /// Bag union: multiplicities are added (SQL `UNION ALL`).
+    pub fn union_all(&self, other: &BagRelation) -> BagRelation {
+        assert_eq!(self.arity, other.arity, "union_all: arity mismatch");
+        let mut out = self.clone();
+        for (t, n) in other.iter() {
+            out.insert_n(t.clone(), n);
+        }
+        out
+    }
+
+    /// Bag difference: multiplicities are subtracted down to zero
+    /// (SQL `EXCEPT ALL`).
+    pub fn difference_all(&self, other: &BagRelation) -> BagRelation {
+        assert_eq!(self.arity, other.arity, "difference_all: arity mismatch");
+        let mut out = BagRelation::empty(self.arity);
+        for (t, n) in self.iter() {
+            let m = other.multiplicity(t);
+            if n > m {
+                out.insert_n(t.clone(), n - m);
+            }
+        }
+        out
+    }
+
+    /// Bag intersection: multiplicities are the minimum (SQL `INTERSECT ALL`).
+    pub fn intersect_all(&self, other: &BagRelation) -> BagRelation {
+        assert_eq!(self.arity, other.arity, "intersect_all: arity mismatch");
+        let mut out = BagRelation::empty(self.arity);
+        for (t, n) in self.iter() {
+            let m = other.multiplicity(t);
+            let k = n.min(m);
+            if k > 0 {
+                out.insert_n(t.clone(), k);
+            }
+        }
+        out
+    }
+
+    /// Bag Cartesian product: multiplicities multiply.
+    pub fn product(&self, other: &BagRelation) -> BagRelation {
+        let mut out = BagRelation::empty(self.arity + other.arity);
+        for (a, n) in self.iter() {
+            for (b, m) in other.iter() {
+                out.insert_n(a.concat(b), n * m);
+            }
+        }
+        out
+    }
+
+    /// Bag projection: multiplicities of tuples that collapse are added
+    /// (SQL projection without `DISTINCT`).
+    pub fn project(&self, positions: &[usize]) -> BagRelation {
+        let mut out = BagRelation::empty(positions.len());
+        for (t, n) in self.iter() {
+            out.insert_n(t.project(positions), n);
+        }
+        out
+    }
+
+    /// Keep only tuples satisfying the predicate, with their multiplicities.
+    pub fn filter(&self, mut pred: impl FnMut(&Tuple) -> bool) -> BagRelation {
+        BagRelation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|(t, _)| pred(t))
+                .map(|(t, &n)| (t.clone(), n))
+                .collect(),
+        }
+    }
+
+    /// Duplicate elimination: the underlying set (SQL `DISTINCT`).
+    pub fn to_set(&self) -> Relation {
+        Relation::with_arity(self.arity, self.tuples.keys().cloned())
+    }
+
+    /// View a set relation as a bag in which every tuple has multiplicity 1.
+    pub fn from_set(rel: &Relation) -> BagRelation {
+        BagRelation::from_tuples(rel.arity(), rel.iter().cloned())
+    }
+
+    /// Apply a per-tuple mapping. Multiplicities of tuples that become equal
+    /// are **added** — this is the "add up multiplicities" reading of
+    /// applying a valuation to a bag database discussed in §6 of the survey.
+    pub fn map_add(&self, mut f: impl FnMut(&Tuple) -> Tuple) -> BagRelation {
+        let mut tuples: BTreeMap<Tuple, usize> = BTreeMap::new();
+        let mut arity = self.arity;
+        for (t, n) in self.iter() {
+            let mapped = f(t);
+            arity = mapped.arity();
+            *tuples.entry(mapped).or_insert(0) += n;
+        }
+        BagRelation { arity, tuples }
+    }
+
+    /// Apply a per-tuple mapping, **collapsing** tuples that become equal to
+    /// the maximum multiplicity — the alternative "collapse" reading of
+    /// applying a valuation to a bag database (§6, citing Hernich & Kolaitis).
+    pub fn map_collapse(&self, mut f: impl FnMut(&Tuple) -> Tuple) -> BagRelation {
+        let mut tuples: BTreeMap<Tuple, usize> = BTreeMap::new();
+        let mut arity = self.arity;
+        for (t, n) in self.iter() {
+            let mapped = f(t);
+            arity = mapped.arity();
+            let entry = tuples.entry(mapped).or_insert(0);
+            *entry = (*entry).max(n);
+        }
+        BagRelation { arity, tuples }
+    }
+
+    /// All nulls occurring in the bag.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.tuples.keys().flat_map(|t| t.nulls()).collect()
+    }
+
+    /// All values occurring in the bag.
+    pub fn values(&self) -> BTreeSet<Value> {
+        self.tuples
+            .keys()
+            .flat_map(|t| t.iter().cloned())
+            .collect()
+    }
+
+    /// `true` iff the bag mentions no nulls.
+    pub fn is_complete(&self) -> bool {
+        self.tuples.keys().all(Tuple::all_const)
+    }
+}
+
+impl fmt::Display for BagRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        for (i, (t, n)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}×{n}")?;
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn bag() -> BagRelation {
+        BagRelation::from_counted(1, vec![(tup![1], 2), (tup![2], 1)])
+    }
+
+    #[test]
+    fn multiplicities() {
+        let b = bag();
+        assert_eq!(b.multiplicity(&tup![1]), 2);
+        assert_eq!(b.multiplicity(&tup![2]), 1);
+        assert_eq!(b.multiplicity(&tup![3]), 0);
+        assert_eq!(b.distinct_len(), 2);
+        assert_eq!(b.total_len(), 3);
+    }
+
+    #[test]
+    fn zero_insert_is_noop() {
+        let mut b = BagRelation::empty(1);
+        b.insert_n(tup![1], 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut b = BagRelation::empty(2);
+        b.insert(tup![1]);
+    }
+
+    #[test]
+    fn union_all_adds() {
+        let b = bag().union_all(&bag());
+        assert_eq!(b.multiplicity(&tup![1]), 4);
+        assert_eq!(b.multiplicity(&tup![2]), 2);
+    }
+
+    #[test]
+    fn difference_all_subtracts_to_zero() {
+        let a = BagRelation::from_counted(1, vec![(tup![1], 3), (tup![2], 1)]);
+        let b = BagRelation::from_counted(1, vec![(tup![1], 1), (tup![2], 5)]);
+        let d = a.difference_all(&b);
+        assert_eq!(d.multiplicity(&tup![1]), 2);
+        assert_eq!(d.multiplicity(&tup![2]), 0);
+        assert_eq!(d.distinct_len(), 1);
+    }
+
+    #[test]
+    fn intersect_all_takes_min() {
+        let a = BagRelation::from_counted(1, vec![(tup![1], 3), (tup![2], 1)]);
+        let b = BagRelation::from_counted(1, vec![(tup![1], 2), (tup![3], 5)]);
+        let i = a.intersect_all(&b);
+        assert_eq!(i.multiplicity(&tup![1]), 2);
+        assert_eq!(i.distinct_len(), 1);
+    }
+
+    #[test]
+    fn product_multiplies() {
+        let a = BagRelation::from_counted(1, vec![(tup![1], 2)]);
+        let b = BagRelation::from_counted(1, vec![(tup!["x"], 3)]);
+        let p = a.product(&b);
+        assert_eq!(p.multiplicity(&tup![1, "x"]), 6);
+    }
+
+    #[test]
+    fn project_adds_collapsed() {
+        let a = BagRelation::from_counted(2, vec![(tup![1, 10], 2), (tup![1, 20], 3)]);
+        let p = a.project(&[0]);
+        assert_eq!(p.multiplicity(&tup![1]), 5);
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let b = bag();
+        let s = b.to_set();
+        assert_eq!(s.len(), 2);
+        let b2 = BagRelation::from_set(&s);
+        assert_eq!(b2.multiplicity(&tup![1]), 1);
+    }
+
+    #[test]
+    fn map_add_vs_collapse() {
+        // Two tuples that become identical under the mapping.
+        let b = BagRelation::from_counted(1, vec![(tup![Value::null(0)], 2), (tup![7], 3)]);
+        let to_seven = |t: &Tuple| t.map(|_| Value::int(7));
+        let added = b.map_add(to_seven);
+        let collapsed = b.map_collapse(to_seven);
+        assert_eq!(added.multiplicity(&tup![7]), 5);
+        assert_eq!(collapsed.multiplicity(&tup![7]), 3);
+    }
+
+    #[test]
+    fn completeness_and_values() {
+        let b = BagRelation::from_counted(1, vec![(tup![Value::null(1)], 1), (tup![2], 2)]);
+        assert!(!b.is_complete());
+        assert_eq!(b.nulls().len(), 1);
+        assert_eq!(b.values().len(), 2);
+        assert!(bag().is_complete());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bag().to_string(), "{|(1)×2, (2)×1|}");
+    }
+}

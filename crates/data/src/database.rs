@@ -1,0 +1,454 @@
+//! Incomplete relational database instances.
+
+use crate::bag::BagRelation;
+use crate::relation::Relation;
+use crate::schema::{RelationSchema, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Const, NullId, Value};
+use crate::{DataError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An incomplete relational database instance `D`.
+///
+/// Each relation name of the [`Schema`] is interpreted as a set-semantics
+/// [`Relation`] over `Const ∪ Null`. Bag-semantics interpretations are
+/// obtained on demand via [`Database::to_bags`], or by constructing relations
+/// directly as [`BagRelation`]s in a [`BagDatabase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    schema: Schema,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database over a schema (every relation empty).
+    pub fn new(schema: Schema) -> Self {
+        let relations = schema
+            .iter()
+            .map(|r| (r.name().to_string(), Relation::empty(r.arity())))
+            .collect();
+        Database { schema, relations }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Look up a relation by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the name is not in the schema.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a relation by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the name is not in the schema.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert a tuple into the named relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation is unknown or the arity does not
+    /// match the schema.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<()> {
+        let expected = self.schema.relation(relation)?.arity();
+        if tuple.arity() != expected {
+            return Err(DataError::ArityMismatch {
+                relation: relation.to_string(),
+                expected,
+                got: tuple.arity(),
+            });
+        }
+        self.relation_mut(relation)?.insert(tuple);
+        Ok(())
+    }
+
+    /// Insert many tuples into the named relation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::insert`].
+    pub fn insert_all(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<()> {
+        for t in tuples {
+            self.insert(relation, t)?;
+        }
+        Ok(())
+    }
+
+    /// Replace the contents of a relation wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation is unknown or arities mismatch.
+    pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        let expected = self.schema.relation(name)?.arity();
+        if rel.arity() != expected && !rel.is_empty() {
+            return Err(DataError::ArityMismatch {
+                relation: name.to_string(),
+                expected,
+                got: rel.arity(),
+            });
+        }
+        self.relations.insert(name.to_string(), rel);
+        Ok(())
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Set of constants occurring in the database, `Const(D)`.
+    pub fn consts(&self) -> BTreeSet<Const> {
+        self.relations.values().flat_map(Relation::consts).collect()
+    }
+
+    /// Set of nulls occurring in the database, `Null(D)`.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.relations.values().flat_map(Relation::nulls).collect()
+    }
+
+    /// The active domain `dom(D) = Const(D) ∪ Null(D)`.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.relations.values().flat_map(Relation::values).collect()
+    }
+
+    /// `true` iff the database mentions no nulls (it is *complete*, §2).
+    pub fn is_complete(&self) -> bool {
+        self.relations.values().all(Relation::is_complete)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// A fresh null identifier strictly greater than any null in the database.
+    pub fn fresh_null(&self) -> NullId {
+        self.nulls().iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Apply a per-value mapping to every tuple of every relation.
+    ///
+    /// This is how valuations `v(D)` and naïve-evaluation renamings are
+    /// implemented.
+    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Database {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (n.clone(), r.map(|t| t.map(&mut f))))
+            .collect();
+        Database {
+            schema: self.schema.clone(),
+            relations,
+        }
+    }
+
+    /// `true` iff `self ⊆ other` relation-wise (used for the owa semantics:
+    /// `D' ∈ ⟦D⟧owa` iff `v(D) ⊆ D'` for some valuation `v`).
+    pub fn is_subinstance_of(&self, other: &Database) -> bool {
+        self.relations.iter().all(|(name, rel)| {
+            other
+                .relations
+                .get(name)
+                .is_some_and(|o| rel.is_subset_of(o))
+        })
+    }
+
+    /// Union of two databases over the same schema (relation-wise union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ.
+    pub fn union(&self, other: &Database) -> Database {
+        assert_eq!(self.schema, other.schema, "Database::union: schema mismatch");
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (n.clone(), r.union(&other.relations[n])))
+            .collect();
+        Database {
+            schema: self.schema.clone(),
+            relations,
+        }
+    }
+
+    /// Convert every relation into a bag with multiplicity 1 per tuple.
+    pub fn to_bags(&self) -> BagDatabase {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (n.clone(), BagRelation::from_set(r)))
+            .collect();
+        BagDatabase {
+            schema: self.schema.clone(),
+            relations,
+        }
+    }
+
+}
+
+/// Convenience constructor: build a database from `(name, attributes,
+/// tuples)` triples, inferring the schema. Intended for tests and examples
+/// where the input is a literal.
+///
+/// # Panics
+///
+/// Panics on arity mismatches or duplicate relation names.
+pub fn database_from_literal(
+    rels: impl IntoIterator<Item = (&'static str, Vec<&'static str>, Vec<Tuple>)>,
+) -> Database {
+    let mut schema = Schema::new();
+    let mut contents: Vec<(String, Vec<Tuple>)> = Vec::new();
+    for (name, attrs, tuples) in rels {
+        schema
+            .add(RelationSchema::new(name, attrs))
+            .expect("duplicate relation in literal database");
+        contents.push((name.to_string(), tuples));
+    }
+    let mut db = Database::new(schema);
+    for (name, tuples) in contents {
+        db.insert_all(&name, tuples)
+            .expect("literal database arity mismatch");
+    }
+    db
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, rel)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name} = {rel}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A database whose relations are interpreted under bag semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BagDatabase {
+    schema: Schema,
+    relations: BTreeMap<String, BagRelation>,
+}
+
+impl BagDatabase {
+    /// Create an empty bag database over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let relations = schema
+            .iter()
+            .map(|r| (r.name().to_string(), BagRelation::empty(r.arity())))
+            .collect();
+        BagDatabase { schema, relations }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Look up a bag relation by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if absent.
+    pub fn relation(&self, name: &str) -> Result<&BagRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a bag relation by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if absent.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut BagRelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert `n` occurrences of a tuple into the named relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown relation or arity mismatch.
+    pub fn insert_n(&mut self, relation: &str, tuple: Tuple, n: usize) -> Result<()> {
+        let expected = self.schema.relation(relation)?.arity();
+        if tuple.arity() != expected {
+            return Err(DataError::ArityMismatch {
+                relation: relation.to_string(),
+                expected,
+                got: tuple.arity(),
+            });
+        }
+        self.relation_mut(relation)?.insert_n(tuple, n);
+        Ok(())
+    }
+
+    /// Iterate over `(name, bag relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BagRelation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Set of nulls occurring in the database.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.relations.values().flat_map(BagRelation::nulls).collect()
+    }
+
+    /// The active domain of the bag database.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.relations.values().flat_map(BagRelation::values).collect()
+    }
+
+    /// `true` iff no relation mentions a null.
+    pub fn is_complete(&self) -> bool {
+        self.relations.values().all(BagRelation::is_complete)
+    }
+
+    /// Forget multiplicities, producing the set-semantics database.
+    pub fn to_sets(&self) -> Database {
+        let mut db = Database::new(self.schema.clone());
+        for (name, bag) in self.iter() {
+            db.set_relation(name, bag.to_set())
+                .expect("schema mismatch converting bag database to sets");
+        }
+        db
+    }
+
+    /// Apply a per-value mapping, adding multiplicities of collapsing tuples.
+    pub fn map_values_add(&self, mut f: impl FnMut(&Value) -> Value) -> BagDatabase {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (n.clone(), r.map_add(|t| t.map(&mut f))))
+            .collect();
+        BagDatabase {
+            schema: self.schema.clone(),
+            relations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn db() -> Database {
+        database_from_literal([
+            ("R", vec!["a", "b"], vec![tup![1, 2], tup![3, Value::null(0)]]),
+            ("S", vec!["c"], vec![tup![Value::null(1)]]),
+        ])
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let d = db();
+        assert_eq!(d.schema().len(), 2);
+        assert_eq!(d.relation("R").unwrap().len(), 2);
+        assert_eq!(d.relation("S").unwrap().len(), 1);
+        assert!(d.relation("T").is_err());
+        assert_eq!(d.total_tuples(), 3);
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut d = db();
+        assert!(d.insert("R", tup![1]).is_err());
+        assert!(d.insert("R", tup![9, 9]).is_ok());
+        assert_eq!(d.relation("R").unwrap().len(), 3);
+        assert!(d.insert("Nope", tup![1]).is_err());
+    }
+
+    #[test]
+    fn domains() {
+        let d = db();
+        assert_eq!(d.nulls().len(), 2);
+        assert_eq!(d.consts().len(), 3);
+        assert_eq!(d.active_domain().len(), 5);
+        assert!(!d.is_complete());
+        assert_eq!(d.fresh_null(), 2);
+    }
+
+    #[test]
+    fn map_values_applies_valuation_like_maps() {
+        let d = db();
+        let complete = d.map_values(|v| match v {
+            Value::Null(_) => Value::int(0),
+            other => other.clone(),
+        });
+        assert!(complete.is_complete());
+        assert!(complete.relation("R").unwrap().contains(&tup![3, 0]));
+    }
+
+    #[test]
+    fn subinstance_and_union() {
+        let d = db();
+        let mut bigger = d.clone();
+        bigger.insert("R", tup![7, 7]).unwrap();
+        assert!(d.is_subinstance_of(&bigger));
+        assert!(!bigger.is_subinstance_of(&d));
+        let u = d.union(&bigger);
+        assert_eq!(u.relation("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn set_relation_validates() {
+        let mut d = db();
+        assert!(d.set_relation("S", Relation::from_tuples(vec![tup![5]])).is_ok());
+        assert!(d
+            .set_relation("S", Relation::from_tuples(vec![tup![5, 6]]))
+            .is_err());
+        assert!(d.set_relation("S", Relation::empty(9)).is_ok());
+    }
+
+    #[test]
+    fn bag_database_round_trip() {
+        let d = db();
+        let bags = d.to_bags();
+        assert!(!bags.is_complete());
+        assert_eq!(bags.relation("R").unwrap().total_len(), 2);
+        let back = bags.to_sets();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn bag_database_insert_and_map() {
+        let mut b = BagDatabase::new(db().schema().clone());
+        b.insert_n("R", tup![1, 1], 3).unwrap();
+        assert!(b.insert_n("R", tup![1], 1).is_err());
+        assert_eq!(b.relation("R").unwrap().multiplicity(&tup![1, 1]), 3);
+        let mapped = b.map_values_add(|v| v.clone());
+        assert_eq!(mapped.relation("R").unwrap().total_len(), 3);
+        assert_eq!(b.active_domain().len(), 1);
+        assert_eq!(b.nulls().len(), 0);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let s = db().to_string();
+        assert!(s.contains("R = "));
+        assert!(s.contains("S = "));
+    }
+}

@@ -1,0 +1,309 @@
+//! Homomorphisms between database instances.
+//!
+//! The semantics of incompleteness can be phrased with homomorphisms (§4.1):
+//! `D' ∈ ⟦D⟧owa` iff there is a homomorphism `h : D → D'` that is the
+//! identity on constants, and `D' ∈ ⟦D⟧` (cwa) iff additionally
+//! `h(D) = D'` (a *strong onto* homomorphism). *Onto* homomorphisms — those
+//! surjective on the active domain — give a third natural semantics.
+//!
+//! Naïve evaluation computes certain answers for a query under the
+//! `⟦·⟧_H` semantics exactly when the query is preserved under the
+//! homomorphisms in `H` (Theorem 4.3), so this module is the semantic
+//! backbone of the E2 experiment.
+
+use crate::database::Database;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The three classes of homomorphism discussed in §4.1 of the survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomKind {
+    /// Arbitrary homomorphisms (identity on constants): the owa semantics.
+    Arbitrary,
+    /// Onto (surjective on the active domain): `h(dom(D)) = dom(D')`.
+    Onto,
+    /// Strong onto: `h(D) = D'` — the cwa semantics.
+    StrongOnto,
+}
+
+/// A homomorphism `h : dom(D) → dom(D')`, represented as a finite map.
+///
+/// Values not in the map are implicitly fixed (useful because homomorphisms
+/// must be the identity on constants).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Homomorphism {
+    map: BTreeMap<Value, Value>,
+}
+
+impl Homomorphism {
+    /// The empty (identity) homomorphism.
+    pub fn new() -> Self {
+        Homomorphism::default()
+    }
+
+    /// Build from explicit pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        Homomorphism {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Image of a single value (identity outside the map).
+    pub fn apply_value(&self, v: &Value) -> Value {
+        self.map.get(v).cloned().unwrap_or_else(|| v.clone())
+    }
+
+    /// Image of a tuple.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.map(|v| self.apply_value(v))
+    }
+
+    /// Image of a database, `h(D)`.
+    pub fn apply_database(&self, d: &Database) -> Database {
+        d.map_values(|v| self.apply_value(v))
+    }
+
+    /// The explicit assignments of this homomorphism.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Value)> {
+        self.map.iter()
+    }
+
+    /// `true` iff the homomorphism maps every constant to itself.
+    pub fn is_identity_on_constants(&self) -> bool {
+        self.map
+            .iter()
+            .all(|(from, to)| !from.is_const() || from == to)
+    }
+}
+
+/// Check that `h` is a homomorphism from `from` to `to` of the given kind,
+/// i.e. (i) identity on constants, (ii) every fact of `from` maps into `to`,
+/// and (iii) the surjectivity condition of `kind` holds.
+pub fn is_homomorphism(h: &Homomorphism, from: &Database, to: &Database, kind: HomKind) -> bool {
+    if !h.is_identity_on_constants() {
+        return false;
+    }
+    // Every fact maps to a fact.
+    for (name, rel) in from.iter() {
+        let Ok(target) = to.relation(name) else {
+            return false;
+        };
+        for t in rel.iter() {
+            if !target.contains(&h.apply_tuple(t)) {
+                return false;
+            }
+        }
+    }
+    match kind {
+        HomKind::Arbitrary => true,
+        HomKind::Onto => {
+            let image: BTreeSet<Value> = from
+                .active_domain()
+                .iter()
+                .map(|v| h.apply_value(v))
+                .collect();
+            image == to.active_domain()
+        }
+        HomKind::StrongOnto => &h.apply_database(from) == to,
+    }
+}
+
+/// Search for a homomorphism of the given kind from `from` to `to` that is
+/// the identity on constants. Returns the first one found.
+///
+/// The search is a straightforward backtracking assignment of the nulls of
+/// `from` to values of `to`'s active domain, checked fact-by-fact. It is
+/// exponential in the number of nulls of `from` in the worst case — which is
+/// exactly the coNP-hardness the survey discusses — and is intended for the
+/// small instances used for ground truth and tests.
+pub fn find_homomorphism(from: &Database, to: &Database, kind: HomKind) -> Option<Homomorphism> {
+    // Constants of `from` must appear verbatim wherever facts require them;
+    // quick sanity check: every constant-only fact of `from` must be in `to`
+    // only when under StrongOnto/Arbitrary mapping — handled by search below.
+    let nulls: Vec<Value> = from.nulls().into_iter().map(Value::Null).collect();
+    let targets: Vec<Value> = to.active_domain().into_iter().collect();
+    if targets.is_empty() && !nulls.is_empty() {
+        // No values to map nulls to; a homomorphism exists only if `from` has
+        // no facts mentioning nulls (then the empty map might still work).
+    }
+    let mut assignment: BTreeMap<Value, Value> = BTreeMap::new();
+    search(from, to, kind, &nulls, &targets, 0, &mut assignment)
+}
+
+fn search(
+    from: &Database,
+    to: &Database,
+    kind: HomKind,
+    nulls: &[Value],
+    targets: &[Value],
+    depth: usize,
+    assignment: &mut BTreeMap<Value, Value>,
+) -> Option<Homomorphism> {
+    if depth == nulls.len() {
+        let h = Homomorphism {
+            map: assignment.clone(),
+        };
+        return if is_homomorphism(&h, from, to, kind) {
+            Some(h)
+        } else {
+            None
+        };
+    }
+    for target in targets {
+        assignment.insert(nulls[depth].clone(), target.clone());
+        // Prune: partial assignment must not already violate a fully-assigned fact.
+        if partial_consistent(from, to, assignment) {
+            if let Some(h) = search(from, to, kind, nulls, targets, depth + 1, assignment) {
+                return Some(h);
+            }
+        }
+        assignment.remove(&nulls[depth]);
+    }
+    None
+}
+
+/// A partial assignment is consistent if every fact whose values are all
+/// either constants or assigned nulls maps to an existing fact.
+fn partial_consistent(from: &Database, to: &Database, assignment: &BTreeMap<Value, Value>) -> bool {
+    for (name, rel) in from.iter() {
+        let Ok(target) = to.relation(name) else {
+            return false;
+        };
+        'tuples: for t in rel.iter() {
+            let mut image = Vec::with_capacity(t.arity());
+            for v in t.iter() {
+                match v {
+                    Value::Const(_) => image.push(v.clone()),
+                    Value::Null(_) => match assignment.get(v) {
+                        Some(w) => image.push(w.clone()),
+                        None => continue 'tuples,
+                    },
+                }
+            }
+            if !target.contains(&Tuple::new(image)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff `candidate ∈ ⟦d⟧owa`, i.e. `candidate` is complete and there is
+/// a homomorphism from `d` to `candidate` fixing constants.
+pub fn in_owa_semantics(d: &Database, candidate: &Database) -> bool {
+    candidate.is_complete() && find_homomorphism(d, candidate, HomKind::Arbitrary).is_some()
+}
+
+/// `true` iff `candidate ∈ ⟦d⟧` (cwa), i.e. `candidate` is complete and is
+/// the image of `d` under some valuation (equivalently, a strong onto
+/// homomorphism fixing constants exists).
+pub fn in_cwa_semantics(d: &Database, candidate: &Database) -> bool {
+    candidate.is_complete() && find_homomorphism(d, candidate, HomKind::StrongOnto).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::database_from_literal;
+    use crate::tup;
+
+    fn edge_db(tuples: Vec<Tuple>) -> Database {
+        database_from_literal([("R", vec!["a", "b"], tuples)])
+    }
+
+    #[test]
+    fn identity_on_constants_enforced() {
+        let h = Homomorphism::from_pairs([(Value::int(1), Value::int(2))]);
+        assert!(!h.is_identity_on_constants());
+        let ok = Homomorphism::from_pairs([(Value::null(0), Value::int(2))]);
+        assert!(ok.is_identity_on_constants());
+    }
+
+    #[test]
+    fn paper_example_onto_but_not_strong_onto() {
+        // D = {R(⊥1,⊥2)}, D' = {R(1,2), R(2,1)}; h(⊥1)=1, h(⊥2)=2 is onto
+        // but not strong onto (§4.1).
+        let d = edge_db(vec![tup![Value::null(1), Value::null(2)]]);
+        let d2 = edge_db(vec![tup![1, 2], tup![2, 1]]);
+        let h = Homomorphism::from_pairs([
+            (Value::null(1), Value::int(1)),
+            (Value::null(2), Value::int(2)),
+        ]);
+        assert!(is_homomorphism(&h, &d, &d2, HomKind::Arbitrary));
+        assert!(is_homomorphism(&h, &d, &d2, HomKind::Onto));
+        assert!(!is_homomorphism(&h, &d, &d2, HomKind::StrongOnto));
+    }
+
+    #[test]
+    fn find_arbitrary_homomorphism_path() {
+        // {(1,⊥), (⊥,2)} maps into {(1,3),(3,2)} with ⊥ ↦ 3.
+        let d = edge_db(vec![tup![1, Value::null(0)], tup![Value::null(0), 2]]);
+        let target = edge_db(vec![tup![1, 3], tup![3, 2]]);
+        let h = find_homomorphism(&d, &target, HomKind::Arbitrary).expect("hom should exist");
+        assert_eq!(h.apply_value(&Value::null(0)), Value::int(3));
+        // No homomorphism into a target without the middle vertex.
+        let bad = edge_db(vec![tup![1, 3], tup![4, 2]]);
+        assert!(find_homomorphism(&d, &bad, HomKind::Arbitrary).is_none());
+    }
+
+    #[test]
+    fn strong_onto_matches_valuation_images() {
+        let d = edge_db(vec![tup![1, Value::null(0)]]);
+        let world = edge_db(vec![tup![1, 7]]);
+        assert!(in_cwa_semantics(&d, &world));
+        // A bigger complete database is in owa but not cwa semantics.
+        let bigger = edge_db(vec![tup![1, 7], tup![8, 8]]);
+        assert!(in_owa_semantics(&d, &bigger));
+        assert!(!in_cwa_semantics(&d, &bigger));
+    }
+
+    #[test]
+    fn incomplete_candidates_are_rejected() {
+        let d = edge_db(vec![tup![1, Value::null(0)]]);
+        let incomplete = edge_db(vec![tup![1, Value::null(5)]]);
+        assert!(!in_owa_semantics(&d, &incomplete));
+        assert!(!in_cwa_semantics(&d, &incomplete));
+    }
+
+    #[test]
+    fn constants_must_be_preserved() {
+        let d = edge_db(vec![tup![1, 2]]);
+        let other = edge_db(vec![tup![3, 4]]);
+        assert!(find_homomorphism(&d, &other, HomKind::Arbitrary).is_none());
+        assert!(in_owa_semantics(&d, &d));
+        assert!(in_cwa_semantics(&d, &d));
+    }
+
+    #[test]
+    fn repeated_nulls_must_map_consistently() {
+        // R(⊥0,⊥0) needs a "loop" tuple in the target.
+        let d = edge_db(vec![tup![Value::null(0), Value::null(0)]]);
+        let no_loop = edge_db(vec![tup![1, 2]]);
+        let loop_db = edge_db(vec![tup![1, 2], tup![3, 3]]);
+        assert!(find_homomorphism(&d, &no_loop, HomKind::Arbitrary).is_none());
+        let h = find_homomorphism(&d, &loop_db, HomKind::Arbitrary).unwrap();
+        assert_eq!(h.apply_value(&Value::null(0)), Value::int(3));
+    }
+
+    #[test]
+    fn onto_requires_covering_active_domain() {
+        let d = edge_db(vec![tup![Value::null(0), Value::null(1)]]);
+        let small = edge_db(vec![tup![5, 5]]);
+        // Arbitrary hom exists (both nulls to 5) and is also onto
+        // (image {5} = dom(small)); strong onto also holds since
+        // h(D) = {R(5,5)} = small.
+        assert!(find_homomorphism(&d, &small, HomKind::Onto).is_some());
+        let two = edge_db(vec![tup![5, 6], tup![6, 5]]);
+        // h = (⊥0→5, ⊥1→6) is onto two's domain {5,6} but h(D) ⊊ two.
+        assert!(find_homomorphism(&d, &two, HomKind::Onto).is_some());
+        assert!(find_homomorphism(&d, &two, HomKind::StrongOnto).is_none());
+    }
+
+    #[test]
+    fn missing_relation_in_target_fails() {
+        let d = database_from_literal([("R", vec!["a"], vec![tup![1]])]);
+        let other = database_from_literal([("S", vec!["a"], vec![tup![1]])]);
+        assert!(find_homomorphism(&d, &other, HomKind::Arbitrary).is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Relational schemas: relation names, arities and attribute names.
+
+use crate::{DataError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema of a single relation: its name and named attributes.
+///
+/// The paper's model only needs arities, but attribute names make the
+/// relational-algebra selection conditions (`A = B`, `const(A)`, …) and the
+/// SQL front-end far more pleasant to use, so we carry them throughout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Create a relation schema from a name and attribute names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name.
+    pub fn new(name: impl Into<String>, attributes: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &attributes {
+            assert!(seen.insert(a.clone()), "duplicate attribute `{a}`");
+        }
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names in positional order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Position of an attribute by name.
+    pub fn position(&self, attribute: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a == attribute)
+            .ok_or_else(|| DataError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: attribute.to_string(),
+            })
+    }
+
+    /// Attribute name at a position, if in range.
+    pub fn attribute_at(&self, position: usize) -> Option<&str> {
+        self.attributes.get(position).map(String::as_str)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A relational schema: a set of relation names with associated arities and
+/// attribute names (§2 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<String, RelationSchema>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build a schema from relation schemas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DuplicateRelation`] if two relations share a name.
+    pub fn from_relations(rels: impl IntoIterator<Item = RelationSchema>) -> Result<Self> {
+        let mut schema = Schema::new();
+        for r in rels {
+            schema.add(r)?;
+        }
+        Ok(schema)
+    }
+
+    /// Add a relation schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DuplicateRelation`] if the name is already taken.
+    pub fn add(&mut self, rel: RelationSchema) -> Result<()> {
+        if self.relations.contains_key(rel.name()) {
+            return Err(DataError::DuplicateRelation(rel.name().to_string()));
+        }
+        self.relations.insert(rel.name().to_string(), rel);
+        Ok(())
+    }
+
+    /// Look up a relation schema by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if absent.
+    pub fn relation(&self, name: &str) -> Result<&RelationSchema> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// `true` iff the schema contains a relation with the given name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over the relation schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+
+    /// Number of relations in the schema.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> RelationSchema {
+        RelationSchema::new("Orders", ["oid", "title", "price"])
+    }
+
+    #[test]
+    fn relation_schema_basics() {
+        let r = orders();
+        assert_eq!(r.name(), "Orders");
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.position("price").unwrap(), 2);
+        assert_eq!(r.attribute_at(1), Some("title"));
+        assert_eq!(r.attribute_at(9), None);
+        assert!(r.position("nope").is_err());
+        assert_eq!(r.to_string(), "Orders(oid, title, price)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attribute_panics() {
+        let _ = RelationSchema::new("R", ["a", "a"]);
+    }
+
+    #[test]
+    fn schema_add_and_lookup() {
+        let mut s = Schema::new();
+        s.add(orders()).unwrap();
+        s.add(RelationSchema::new("Payments", ["cid", "oid"])).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains("Orders"));
+        assert!(!s.contains("Customers"));
+        assert_eq!(s.relation("Payments").unwrap().arity(), 2);
+        assert!(matches!(
+            s.relation("Nope"),
+            Err(DataError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let mut s = Schema::new();
+        s.add(orders()).unwrap();
+        assert!(matches!(
+            s.add(RelationSchema::new("Orders", ["x"])),
+            Err(DataError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn from_relations_and_display() {
+        let s = Schema::from_relations([
+            RelationSchema::new("R", ["a"]),
+            RelationSchema::new("S", ["b"]),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "R(a)\nS(b)");
+        assert!(!s.is_empty());
+    }
+}

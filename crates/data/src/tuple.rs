@@ -1,0 +1,257 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::value::{Const, NullId, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple (row) of values.
+///
+/// Tuples are immutable once built; the boxed-slice representation keeps the
+/// struct at two words and avoids excess capacity, since relations hold very
+/// many of them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from any iterable of values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// The empty tuple `()` — the only tuple of arity zero, used for Boolean
+    /// query answers (§2 of the paper).
+    pub fn empty() -> Self {
+        Tuple { values: Box::new([]) }
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Component at position `i` (0-based), if any.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// The underlying values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// `true` iff every component is a constant (written `Const(ā)` in the
+    /// paper, e.g. in the null-free semantics of §5.2).
+    pub fn all_const(&self) -> bool {
+        self.values.iter().all(Value::is_const)
+    }
+
+    /// `true` iff at least one component is a null.
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+
+    /// The set of null identifiers occurring in the tuple.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.values
+            .iter()
+            .filter_map(Value::as_null)
+            .collect()
+    }
+
+    /// The set of constants occurring in the tuple.
+    pub fn consts(&self) -> BTreeSet<Const> {
+        self.values
+            .iter()
+            .filter_map(|v| v.as_const().cloned())
+            .collect()
+    }
+
+    /// Concatenation `r̄ s̄` of two tuples (juxtaposition in the paper,
+    /// used by the Cartesian product).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .chain(other.values.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Projection of the tuple onto the given 0-based positions.
+    ///
+    /// Positions may repeat and may appear in any order, matching the
+    /// generality of the π operator with attribute lists.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple {
+            values: positions
+                .iter()
+                .map(|&i| self.values[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Apply a per-value mapping, producing a new tuple.
+    pub fn map(&self, mut f: impl FnMut(&Value) -> Value) -> Tuple {
+        Tuple {
+            values: self.values.iter().map(|v| f(v)).collect(),
+        }
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+}
+
+/// Build a tuple from a terse literal list. Integers, string literals and
+/// `null(i)` calls are accepted:
+///
+/// ```
+/// use certa_data::{tup, Value};
+/// let t = tup![1, "abc", Value::null(0)];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Tuple {
+        Tuple::new(vec![Value::int(1), Value::str("a"), Value::null(0)])
+    }
+
+    #[test]
+    fn arity_and_get() {
+        let t = abc();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::int(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t[1], Value::str("a"));
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert!(t.is_empty());
+        assert!(t.all_const());
+        assert!(!t.has_null());
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn null_and_const_extraction() {
+        let t = abc();
+        assert!(t.has_null());
+        assert!(!t.all_const());
+        assert_eq!(t.nulls().into_iter().collect::<Vec<_>>(), vec![0]);
+        let consts = t.consts();
+        assert!(consts.contains(&Const::Int(1)));
+        assert!(consts.contains(&Const::str("a")));
+        assert_eq!(consts.len(), 2);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let t = Tuple::new(vec![Value::int(1)]);
+        let s = Tuple::new(vec![Value::int(2), Value::int(3)]);
+        let c = t.concat(&s);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c[0], Value::int(1));
+        assert_eq!(c[2], Value::int(3));
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = abc();
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p[0], Value::null(0));
+        assert_eq!(p[1], Value::int(1));
+        assert_eq!(p[2], Value::int(1));
+    }
+
+    #[test]
+    fn map_replaces_values() {
+        let t = abc();
+        let m = t.map(|v| if v.is_null() { Value::int(9) } else { v.clone() });
+        assert!(m.all_const());
+        assert_eq!(m[2], Value::int(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(abc().to_string(), "(1, 'a', ⊥0)");
+    }
+
+    #[test]
+    fn tup_macro() {
+        let t = tup![1, "x", Value::null(4)];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t[1], Value::str("x"));
+        assert_eq!(t[2], Value::null(4));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = tup![1, 2];
+        let b = tup![1, 3];
+        let c = tup![2, 0];
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

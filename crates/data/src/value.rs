@@ -1,0 +1,232 @@
+//! Values: constants and marked nulls.
+//!
+//! The survey's data model (§2) populates databases from two disjoint,
+//! countably infinite sets: constants (`Const`) and nulls (`Null`). We model
+//! constants as either interned strings or 64-bit integers (real databases
+//! are typed; see §6 "Types of attributes" — integers are enough to exercise
+//! every algorithm in the survey while keeping comparisons cheap), and nulls
+//! as `⊥ᵢ` for a 32-bit identifier `i`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a marked null. ⊥ᵢ is represented by `NullId(i)`.
+pub type NullId = u32;
+
+/// A constant from the set `Const`.
+///
+/// Constants are totally ordered and hashable so that relations can be kept
+/// in canonical order and joins can be hash-based.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (reference counted: constants are shared freely
+    /// between tuples, relations and query answers).
+    Str(Arc<str>),
+}
+
+impl Const {
+    /// Build a string constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Const::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer constant.
+    pub const fn int(i: i64) -> Self {
+        Const::Int(i)
+    }
+
+    /// Returns the integer payload if this constant is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Const::Int(i) => Some(*i),
+            Const::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload if this constant is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Const::Int(_) => None,
+            Const::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Self {
+        Const::Int(i)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::str(s)
+    }
+}
+
+impl From<String> for Const {
+    fn from(s: String) -> Self {
+        Const::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// A database value: either a constant or a marked null `⊥ᵢ`.
+///
+/// The ordering places all constants before all nulls; among constants the
+/// order is the [`Const`] order, among nulls the order is by identifier.
+/// This ordering is only used to keep relation contents canonical — it has
+/// no semantic meaning (the survey's model has no order predicate on nulls).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A constant.
+    Const(Const),
+    /// A marked null ⊥ᵢ.
+    Null(NullId),
+}
+
+impl Value {
+    /// Build an integer constant value.
+    pub const fn int(i: i64) -> Self {
+        Value::Const(Const::Int(i))
+    }
+
+    /// Build a string constant value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Const(Const::str(s))
+    }
+
+    /// Build a marked null ⊥ᵢ.
+    pub const fn null(id: NullId) -> Self {
+        Value::Null(id)
+    }
+
+    /// `true` iff the value is a constant (the `const(x)` atomic predicate
+    /// of the paper's selection-condition grammar).
+    pub const fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// `true` iff the value is a null (the `null(x)` atomic predicate).
+    pub const fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Returns the constant if this value is one.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// Returns the null identifier if this value is a null.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(n) => Some(*n),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn const_constructors_round_trip() {
+        assert_eq!(Const::int(7).as_int(), Some(7));
+        assert_eq!(Const::str("abc").as_str(), Some("abc"));
+        assert_eq!(Const::int(7).as_str(), None);
+        assert_eq!(Const::str("abc").as_int(), None);
+    }
+
+    #[test]
+    fn value_kind_predicates() {
+        assert!(Value::int(1).is_const());
+        assert!(!Value::int(1).is_null());
+        assert!(Value::null(3).is_null());
+        assert!(!Value::null(3).is_const());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::int(5).as_const(), Some(&Const::Int(5)));
+        assert_eq!(Value::int(5).as_null(), None);
+        assert_eq!(Value::null(2).as_null(), Some(2));
+        assert_eq!(Value::null(2).as_const(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("o1").to_string(), "'o1'");
+        assert_eq!(Value::null(7).to_string(), "⊥7");
+    }
+
+    #[test]
+    fn constants_order_before_nulls() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::null(0));
+        set.insert(Value::int(100));
+        set.insert(Value::str("zzz"));
+        let v: Vec<_> = set.into_iter().collect();
+        assert!(v.iter().position(|x| x.is_null()).unwrap() > 1);
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Value = 3i64.into();
+        let b: Value = "x".into();
+        let c: Const = "y".into();
+        assert_eq!(a, Value::int(3));
+        assert_eq!(b, Value::str("x"));
+        assert_eq!(Value::from(c), Value::str("y"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert_ne!(Value::str("a"), Value::str("b"));
+        assert_ne!(Value::null(1), Value::null(2));
+        assert_ne!(Value::int(1), Value::null(1));
+    }
+}

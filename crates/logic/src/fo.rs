@@ -1,0 +1,364 @@
+//! First-order logic (relational calculus) formulae.
+//!
+//! The atoms are those of §2 of the survey: relational atoms `R(x̄)`,
+//! equality `x = y`, the constant test `const(x)` and the null test
+//! `null(x)`. Formulae are closed under `∧`, `∨`, `¬`, `∃` and `∀`, plus the
+//! assertion operator `↑` needed to capture SQL's `WHERE` clause (§5.2,
+//! `FO↑SQL`).
+
+use certa_data::Const;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant literal.
+    Const(Const),
+}
+
+impl Term {
+    /// Build a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Build a constant term.
+    pub fn constant(c: impl Into<Const>) -> Term {
+        Term::Const(c.into())
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A first-order formula over the paper's vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Relational atom `R(t̄)`.
+    Rel(String, Vec<Term>),
+    /// Equality atom `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `const(t)`: the term denotes a constant.
+    ConstTest(Term),
+    /// `null(t)`: the term denotes a null.
+    NullTest(Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification over the active domain.
+    Exists(String, Box<Formula>),
+    /// Universal quantification over the active domain.
+    Forall(String, Box<Formula>),
+    /// The assertion operator `↑φ` of `FO↑SQL` (§5.2): collapses `u` to `f`.
+    Assert(Box<Formula>),
+}
+
+impl Formula {
+    /// Relational atom with variable names.
+    pub fn rel(name: impl Into<String>, terms: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Rel(name.into(), terms.into_iter().collect())
+    }
+
+    /// Equality of two terms.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Existential quantification.
+    pub fn exists(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    /// Universal quantification.
+    pub fn forall(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    /// The assertion operator.
+    pub fn assert(self) -> Formula {
+        Formula::Assert(Box::new(self))
+    }
+
+    /// Free variables of the formula, in sorted order.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        match self {
+            Formula::Rel(_, terms) => terms
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect(),
+            Formula::Eq(a, b) => [a, b]
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect(),
+            Formula::ConstTest(t) | Formula::NullTest(t) => {
+                t.as_var().map(str::to_string).into_iter().collect()
+            }
+            Formula::Not(inner) | Formula::Assert(inner) => inner.free_vars(),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                let mut s = a.free_vars();
+                s.extend(b.free_vars());
+                s
+            }
+            Formula::Exists(v, body) | Formula::Forall(v, body) => {
+                let mut s = body.free_vars();
+                s.remove(v);
+                s
+            }
+        }
+    }
+
+    /// `true` iff the formula has no free variables (a Boolean query).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// `true` iff the formula uses the assertion operator anywhere.
+    pub fn uses_assertion(&self) -> bool {
+        match self {
+            Formula::Assert(_) => true,
+            Formula::Not(inner) => inner.uses_assertion(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.uses_assertion() || b.uses_assertion(),
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.uses_assertion(),
+            _ => false,
+        }
+    }
+
+    /// `true` iff the formula is in the existential-positive fragment
+    /// (∃, ∧, ∨ over relational and equality atoms) — i.e. defines a UCQ.
+    pub fn is_existential_positive(&self) -> bool {
+        match self {
+            Formula::Rel(..) | Formula::Eq(..) => true,
+            Formula::ConstTest(_) | Formula::NullTest(_) => false,
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.is_existential_positive() && b.is_existential_positive()
+            }
+            Formula::Exists(_, body) => body.is_existential_positive(),
+            Formula::Not(_) | Formula::Forall(..) | Formula::Assert(_) => false,
+        }
+    }
+
+    /// `true` iff the formula is positive (∃, ∀, ∧, ∨ — no negation), the
+    /// fragment preserved under onto homomorphisms (§4.1).
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Formula::Rel(..) | Formula::Eq(..) => true,
+            Formula::ConstTest(_) | Formula::NullTest(_) => false,
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_positive() && b.is_positive(),
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.is_positive(),
+            Formula::Not(_) | Formula::Assert(_) => false,
+        }
+    }
+
+    /// `true` iff the formula lies in the Pos∀G fragment of §4.1: positive
+    /// formulae closed under the guarded-universal formation rule
+    /// `∀x̄ (α(x̄) → φ(x̄, ȳ))` with `α` an atomic formula. Negation is only
+    /// allowed as the implication's guard, i.e. as `¬α ∨ φ` with `α` atomic
+    /// directly under a universal quantifier.
+    pub fn is_pos_forall_guarded(&self) -> bool {
+        match self {
+            Formula::Rel(..) | Formula::Eq(..) => true,
+            Formula::ConstTest(_) | Formula::NullTest(_) => false,
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.is_pos_forall_guarded() && b.is_pos_forall_guarded()
+            }
+            Formula::Exists(_, body) => body.is_pos_forall_guarded(),
+            Formula::Forall(_, body) => {
+                // Either an ordinary positive body, or a guarded implication
+                // (possibly under further universal quantifiers).
+                body.is_guarded_implication_or_positive()
+            }
+            Formula::Not(_) | Formula::Assert(_) => false,
+        }
+    }
+
+    fn is_guarded_implication_or_positive(&self) -> bool {
+        match self {
+            // ¬α ∨ φ with α atomic.
+            Formula::Or(lhs, rhs) => match (&**lhs, &**rhs) {
+                (Formula::Not(guard), body) | (body, Formula::Not(guard)) => {
+                    guard.is_atomic() && body.is_pos_forall_guarded()
+                }
+                _ => self.is_pos_forall_guarded(),
+            },
+            Formula::Forall(_, body) => body.is_guarded_implication_or_positive(),
+            _ => self.is_pos_forall_guarded(),
+        }
+    }
+
+    /// `true` iff the formula is an atom.
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Formula::Rel(..) | Formula::Eq(..) | Formula::ConstTest(_) | Formula::NullTest(_)
+        )
+    }
+
+    /// Names of relations mentioned by the formula.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::Rel(name, _) => {
+                out.insert(name.clone());
+            }
+            Formula::Not(inner) | Formula::Assert(inner) => inner.collect_relations(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.collect_relations(out),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Rel(name, terms) => {
+                write!(f, "{name}(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::ConstTest(t) => write!(f, "const({t})"),
+            Formula::NullTest(t) => write!(f, "null({t})"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Exists(v, body) => write!(f, "∃{v} {body}"),
+            Formula::Forall(v, body) => write!(f, "∀{v} {body}"),
+            Formula::Assert(inner) => write!(f, "↑{inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+
+    fn y() -> Term {
+        Term::var("y")
+    }
+
+    #[test]
+    fn free_variables() {
+        let f = Formula::exists("y", Formula::rel("R", [x(), y()]));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec!["x"]);
+        assert!(!f.is_sentence());
+        let closed = Formula::exists("x", f);
+        assert!(closed.is_sentence());
+    }
+
+    #[test]
+    fn constants_have_no_free_variables() {
+        let f = Formula::eq(Term::constant(1), Term::constant(2));
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn fragment_classification() {
+        let ucq = Formula::exists("x", Formula::rel("R", [x()]).or(Formula::rel("S", [x()])));
+        assert!(ucq.is_existential_positive());
+        assert!(ucq.is_positive());
+        assert!(ucq.is_pos_forall_guarded());
+
+        let pos = Formula::forall("x", Formula::rel("R", [x()]));
+        assert!(!pos.is_existential_positive());
+        assert!(pos.is_positive());
+
+        let neg = Formula::rel("R", [x()]).not();
+        assert!(!neg.is_positive());
+        assert!(!neg.is_pos_forall_guarded());
+    }
+
+    #[test]
+    fn guarded_universal_is_pos_forall_g() {
+        // ∀x (¬R(x) ∨ S(x)) — i.e. ∀x (R(x) → S(x)) — is in Pos∀G but not
+        // positive-only syntax (it uses a negated guard).
+        let f = Formula::forall(
+            "x",
+            Formula::rel("R", [x()]).not().or(Formula::rel("S", [x()])),
+        );
+        assert!(f.is_pos_forall_guarded());
+        assert!(!f.is_positive());
+        // A non-atomic guard falls outside the fragment.
+        let bad = Formula::forall(
+            "x",
+            Formula::rel("R", [x()])
+                .and(Formula::rel("S", [x()]))
+                .not()
+                .or(Formula::rel("S", [x()])),
+        );
+        assert!(!bad.is_pos_forall_guarded());
+    }
+
+    #[test]
+    fn assertion_detection() {
+        let f = Formula::exists("x", Formula::rel("R", [x()]).assert());
+        assert!(f.uses_assertion());
+        assert!(!Formula::rel("R", [x()]).uses_assertion());
+        assert!(!f.is_existential_positive());
+    }
+
+    #[test]
+    fn relation_collection_and_display() {
+        let f = Formula::rel("R", [x()]).and(Formula::rel("S", [y()]).not());
+        assert_eq!(
+            f.relations().into_iter().collect::<Vec<_>>(),
+            vec!["R".to_string(), "S".to_string()]
+        );
+        assert_eq!(f.to_string(), "(R(x) ∧ ¬S(y))");
+        let g = Formula::forall("x", Formula::NullTest(x()).or(Formula::ConstTest(x())));
+        assert_eq!(g.to_string(), "∀x (null(x) ∨ const(x))");
+    }
+}

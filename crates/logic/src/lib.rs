@@ -1,0 +1,79 @@
+//! # certa-logic
+//!
+//! Propositional and first-order many-valued logics for incomplete
+//! information, following §5 of the PODS 2020 survey "Coping with Incomplete
+//! Data: Recent Advances".
+//!
+//! * [`truth`] — truth values and propositional logics: the Boolean logic
+//!   `L2v`, Kleene's three-valued logic `L3v` (Figure 3), the six-valued
+//!   epistemic logic `L6v` derived from possible-worlds interpretations
+//!   (§5.2), and the extension `L3v↑` with Bochvar's assertion operator that
+//!   captures SQL's `WHERE` clause;
+//! * [`props`] — property checkers used by Theorem 5.3 and Theorem 5.1:
+//!   idempotence, weak idempotence, distributivity, knowledge-order
+//!   monotonicity, and the search for maximal well-behaved sublogics;
+//! * [`fo`] — first-order (relational calculus) formulae with the paper's
+//!   atoms: relational atoms, equality, `const(x)` and `null(x)`;
+//! * [`semantics`] — many-valued semantics of FO formulae over incomplete
+//!   databases: the Boolean, unification-based, null-free and SQL (mixed)
+//!   semantics of atoms, lifted through Kleene connectives and active-domain
+//!   quantification; plus the `FO↑SQL` evaluation with the assertion
+//!   operator;
+//! * [`translate`] — the translations behind Theorems 5.4–5.5: every
+//!   `FO(L3v)` formula under a mixed (Boolean / null-free) atom semantics is
+//!   captured by Boolean first-order formulae, one per truth value.
+
+pub mod fo;
+pub mod props;
+pub mod semantics;
+pub mod translate;
+pub mod truth;
+
+pub use fo::{Formula, Term};
+pub use semantics::{eval_formula, query_answers, Assignment, AtomSemantics};
+pub use truth::{Kleene, SixValued, Truth3, Truth6};
+
+/// Errors raised by the logic crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A free variable was not bound by the assignment.
+    UnboundVariable(String),
+    /// A relation mentioned in a formula is missing from the database.
+    UnknownRelation(String),
+    /// A relational atom's arity differs from the schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Number of terms in the atom.
+        got: usize,
+    },
+    /// The operation requires a formula without the assertion operator.
+    AssertionNotSupported,
+}
+
+impl std::fmt::Display for LogicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            LogicError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            LogicError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: schema says {expected}, atom has {got}"
+            ),
+            LogicError::AssertionNotSupported => {
+                write!(f, "the assertion operator ↑ is not supported in this context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LogicError>;

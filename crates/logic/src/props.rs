@@ -1,0 +1,334 @@
+//! Structural properties of propositional many-valued logics.
+//!
+//! These checkers back two results of the survey:
+//!
+//! * **Theorem 5.3**: the maximal sublogic of `L6v` that is both
+//!   distributive and idempotent is Kleene's `L3v` — so, at the
+//!   propositional level, SQL's designers chose the right logic;
+//! * **Theorem 5.1**: many-valued evaluation has correctness guarantees as
+//!   soon as the connectives respect the knowledge order (and the assertion
+//!   operator of SQL's `WHERE` clause is exactly the connective that does
+//!   not).
+
+use crate::truth::{PropositionalLogic, Truth3, Truth6};
+
+/// `true` iff `∧` and `∨` are idempotent on every value of the logic:
+/// `a ∧ a = a` and `a ∨ a = a`.
+pub fn is_idempotent<L: PropositionalLogic>(logic: &L) -> bool {
+    logic
+        .values()
+        .iter()
+        .all(|&a| logic.and(a, a) == a && logic.or(a, a) == a)
+}
+
+/// `true` iff `∧` and `∨` are *weakly* idempotent:
+/// `a ∨ a ∨ a = a ∨ a` and `a ∧ a ∧ a = a ∧ a` (the condition under which
+/// Boolean FO captures a many-valued FO logic, §5.2).
+pub fn is_weakly_idempotent<L: PropositionalLogic>(logic: &L) -> bool {
+    logic.values().iter().all(|&a| {
+        logic.or(logic.or(a, a), a) == logic.or(a, a)
+            && logic.and(logic.and(a, a), a) == logic.and(a, a)
+    })
+}
+
+/// `true` iff the logic is distributive:
+/// `a ∧ (b ∨ c) = (a ∧ b) ∨ (a ∧ c)` and dually, for all values.
+pub fn is_distributive<L: PropositionalLogic>(logic: &L) -> bool {
+    let vs = logic.values();
+    vs.iter().all(|&a| {
+        vs.iter().all(|&b| {
+            vs.iter().all(|&c| {
+                logic.and(a, logic.or(b, c)) == logic.or(logic.and(a, b), logic.and(a, c))
+                    && logic.or(a, logic.and(b, c))
+                        == logic.and(logic.or(a, b), logic.or(a, c))
+            })
+        })
+    })
+}
+
+/// `true` iff `∧` and `∨` are commutative and associative (sanity property
+/// required for the standard query-optimisation identities of §5.2).
+pub fn is_commutative_associative<L: PropositionalLogic>(logic: &L) -> bool {
+    let vs = logic.values();
+    let comm = vs
+        .iter()
+        .all(|&a| vs.iter().all(|&b| logic.and(a, b) == logic.and(b, a) && logic.or(a, b) == logic.or(b, a)));
+    let assoc = vs.iter().all(|&a| {
+        vs.iter().all(|&b| {
+            vs.iter().all(|&c| {
+                logic.and(logic.and(a, b), c) == logic.and(a, logic.and(b, c))
+                    && logic.or(logic.or(a, b), c) == logic.or(a, logic.or(b, c))
+            })
+        })
+    });
+    comm && assoc
+}
+
+/// `true` iff every connective of the logic is monotone with respect to the
+/// knowledge order (condition (2) of Theorem 5.1).
+pub fn respects_knowledge_order<L: PropositionalLogic>(logic: &L) -> bool {
+    let vs = logic.values();
+    let unary = vs.iter().all(|&a| {
+        vs.iter().all(|&a2| {
+            !logic.knowledge_le(a, a2) || logic.knowledge_le(logic.not(a), logic.not(a2))
+        })
+    });
+    let binary = vs.iter().all(|&a| {
+        vs.iter().all(|&a2| {
+            vs.iter().all(|&b| {
+                vs.iter().all(|&b2| {
+                    if logic.knowledge_le(a, a2) && logic.knowledge_le(b, b2) {
+                        logic.knowledge_le(logic.and(a, b), logic.and(a2, b2))
+                            && logic.knowledge_le(logic.or(a, b), logic.or(a2, b2))
+                    } else {
+                        true
+                    }
+                })
+            })
+        })
+    });
+    unary && binary
+}
+
+/// `true` iff a unary operator is monotone with respect to the knowledge
+/// order. Used to show that the assertion operator `↑` breaks monotonicity
+/// (the "culprit" of §5.2): `u ⪯ t` but `↑u = f ⋠ t = ↑t`.
+pub fn unary_respects_knowledge_order<L, F>(logic: &L, op: F) -> bool
+where
+    L: PropositionalLogic,
+    F: Fn(L::Value) -> L::Value,
+{
+    let vs = logic.values();
+    vs.iter().all(|&a| {
+        vs.iter()
+            .all(|&b| !logic.knowledge_le(a, b) || logic.knowledge_le(op(a), op(b)))
+    })
+}
+
+/// A sublogic of `L6v`: a subset of its truth values closed under `∧`, `∨`
+/// and `¬`, with the inherited tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubLogic<'a> {
+    parent: &'a crate::truth::SixValued,
+    values: Vec<Truth6>,
+}
+
+impl<'a> SubLogic<'a> {
+    /// Construct the sublogic induced by a set of values, if that set is
+    /// closed under the parent's connectives.
+    pub fn new(parent: &'a crate::truth::SixValued, values: Vec<Truth6>) -> Option<Self> {
+        let closed = values.iter().all(|&a| {
+            values.contains(&parent.not6(a))
+                && values
+                    .iter()
+                    .all(|&b| values.contains(&parent.and6(a, b)) && values.contains(&parent.or6(a, b)))
+        });
+        closed.then_some(SubLogic { parent, values })
+    }
+
+    /// The carrier set.
+    pub fn values_slice(&self) -> &[Truth6] {
+        &self.values
+    }
+}
+
+impl PropositionalLogic for SubLogic<'_> {
+    type Value = Truth6;
+
+    fn values(&self) -> Vec<Truth6> {
+        self.values.clone()
+    }
+
+    fn and(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.parent.and6(a, b)
+    }
+
+    fn or(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.parent.or6(a, b)
+    }
+
+    fn not(&self, a: Truth6) -> Truth6 {
+        self.parent.not6(a)
+    }
+
+    fn knowledge_le(&self, a: Truth6, b: Truth6) -> bool {
+        a.knowledge_le(b)
+    }
+
+    fn bottom(&self) -> Option<Truth6> {
+        self.values.contains(&Truth6::Unknown).then_some(Truth6::Unknown)
+    }
+}
+
+/// Enumerate all sublogics of `L6v` (subsets of truth values closed under
+/// the connectives) that are both distributive and idempotent, and return
+/// the maximal ones by set inclusion.
+///
+/// Theorem 5.3 states the unique maximal such sublogic is `{t, f, u}` with
+/// Kleene's tables; the E7 experiment and the test-suite check precisely
+/// this output.
+pub fn maximal_distributive_idempotent_sublogics(
+    parent: &crate::truth::SixValued,
+) -> Vec<Vec<Truth6>> {
+    let all = Truth6::ALL;
+    let mut good: Vec<Vec<Truth6>> = Vec::new();
+    // Enumerate all 2^6 subsets.
+    for mask in 1u32..(1 << all.len()) {
+        let subset: Vec<Truth6> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| *v)
+            .collect();
+        if let Some(sub) = SubLogic::new(parent, subset.clone()) {
+            if is_distributive(&sub) && is_idempotent(&sub) {
+                good.push(subset);
+            }
+        }
+    }
+    // Keep only maximal ones.
+    let maximal: Vec<Vec<Truth6>> = good
+        .iter()
+        .filter(|s| {
+            !good
+                .iter()
+                .any(|t| t.len() > s.len() && s.iter().all(|v| t.contains(v)))
+        })
+        .cloned()
+        .collect();
+    maximal
+}
+
+/// The `L3v↑` logic: Kleene's logic extended with the assertion operator.
+/// Exposed as a unary-operator pair so monotonicity checks can target the
+/// assertion specifically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KleeneWithAssertion;
+
+impl KleeneWithAssertion {
+    /// The assertion operator `↑`.
+    pub fn assert(&self, a: Truth3) -> Truth3 {
+        a.assert()
+    }
+}
+
+impl PropositionalLogic for KleeneWithAssertion {
+    type Value = Truth3;
+
+    fn values(&self) -> Vec<Truth3> {
+        Truth3::ALL.to_vec()
+    }
+
+    fn and(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.and(b)
+    }
+
+    fn or(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.or(b)
+    }
+
+    fn not(&self, a: Truth3) -> Truth3 {
+        a.not()
+    }
+
+    fn knowledge_le(&self, a: Truth3, b: Truth3) -> bool {
+        a.knowledge_le(b)
+    }
+
+    fn bottom(&self) -> Option<Truth3> {
+        Some(Truth3::Unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{Boolean2, Kleene, SixValued};
+
+    #[test]
+    fn kleene_is_distributive_idempotent_and_monotone() {
+        let l3 = Kleene;
+        assert!(is_idempotent(&l3));
+        assert!(is_weakly_idempotent(&l3));
+        assert!(is_distributive(&l3));
+        assert!(is_commutative_associative(&l3));
+        assert!(respects_knowledge_order(&l3));
+    }
+
+    #[test]
+    fn boolean_logic_is_well_behaved() {
+        let l2 = Boolean2;
+        assert!(is_idempotent(&l2));
+        assert!(is_distributive(&l2));
+        assert!(is_commutative_associative(&l2));
+    }
+
+    #[test]
+    fn six_valued_logic_is_neither_distributive_nor_idempotent() {
+        let l6 = SixValued::default();
+        assert!(!is_idempotent(&l6));
+        assert!(!is_distributive(&l6));
+    }
+
+    #[test]
+    fn six_valued_logic_still_respects_knowledge_order() {
+        // The connectives of L6v are knowledge-monotone; it is only the
+        // assertion operator (absent from L6v) that breaks monotonicity.
+        let l6 = SixValued::default();
+        assert!(respects_knowledge_order(&l6));
+    }
+
+    #[test]
+    fn theorem_5_3_maximal_sublogic_is_kleene() {
+        let l6 = SixValued::default();
+        let maximal = maximal_distributive_idempotent_sublogics(&l6);
+        assert_eq!(maximal.len(), 1, "unique maximal sublogic expected");
+        let mut vals = maximal[0].clone();
+        vals.sort();
+        let mut expected = vec![Truth6::True, Truth6::False, Truth6::Unknown];
+        expected.sort();
+        assert_eq!(vals, expected);
+        // And on that carrier the tables are Kleene's (checked value-wise).
+        let sub = SubLogic::new(&l6, maximal[0].clone()).unwrap();
+        for &a in sub.values_slice() {
+            for &b in sub.values_slice() {
+                let a3 = a.as_truth3().unwrap();
+                let b3 = b.as_truth3().unwrap();
+                assert_eq!(sub.and(a, b).as_truth3(), Some(a3.and(b3)));
+                assert_eq!(sub.or(a, b).as_truth3(), Some(a3.or(b3)));
+            }
+        }
+    }
+
+    #[test]
+    fn assertion_operator_breaks_knowledge_monotonicity() {
+        let l3a = KleeneWithAssertion;
+        // The base connectives are monotone...
+        assert!(respects_knowledge_order(&l3a));
+        // ... but the assertion operator is not.
+        assert!(!unary_respects_knowledge_order(&l3a, |v| l3a.assert(v)));
+        // Negation, by contrast, is monotone.
+        assert!(unary_respects_knowledge_order(&l3a, |v| l3a.not(v)));
+    }
+
+    #[test]
+    fn sublogic_requires_closure() {
+        let l6 = SixValued::default();
+        // {t} alone is not closed under negation.
+        assert!(SubLogic::new(&l6, vec![Truth6::True]).is_none());
+        // {t, f} is closed and Boolean.
+        let tf = SubLogic::new(&l6, vec![Truth6::True, Truth6::False]).unwrap();
+        assert!(is_idempotent(&tf));
+        assert!(is_distributive(&tf));
+        assert_eq!(tf.bottom(), None);
+    }
+
+    #[test]
+    fn weak_idempotence_of_kleene_and_assertion_logic() {
+        // Weak idempotence (a∨a∨a = a∨a) is the condition under which
+        // Boolean FO captures a many-valued FO logic (§5.2); Kleene's logic
+        // satisfies the full idempotence and a fortiori the weak one.
+        assert!(is_weakly_idempotent(&Kleene));
+        assert!(is_weakly_idempotent(&KleeneWithAssertion));
+    }
+}

@@ -1,0 +1,493 @@
+//! Many-valued semantics of first-order formulae over incomplete databases.
+//!
+//! A first-order many-valued logic is a pair `(FO(L), ⟦·⟧)` (§5): formulae
+//! built from the connectives of a propositional logic `L`, together with a
+//! semantics assigning to each formula, database and assignment a truth
+//! value, compositional in the connectives (equations (10)–(11) of the
+//! paper) with quantifiers ranging over the active domain.
+//!
+//! This module fixes `L = L3v` (Kleene) — optionally extended with the
+//! assertion operator — and provides the four atom semantics discussed in
+//! §5.1–5.2:
+//!
+//! * [`AtomSemantics::Boolean`] — the textbook two-valued semantics (12);
+//! * [`AtomSemantics::Unification`] — the `⟦·⟧unif` semantics (13a)/(13b)
+//!   with correctness guarantees w.r.t. certain answers with nulls
+//!   (Corollary 5.2);
+//! * [`AtomSemantics::NullFree`] — the `⟦·⟧nullfree` semantics (14), the way
+//!   SQL treats comparisons;
+//! * [`AtomSemantics::Sql`] — the mixed semantics (15): Boolean semantics
+//!   for base relations, null-free semantics for equality. Together with the
+//!   assertion operator this is the FO core of SQL, `FO↑SQL`.
+
+use crate::fo::{Formula, Term};
+use crate::truth::Truth3;
+use crate::{LogicError, Result};
+use certa_data::{unify, Database, Relation, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// An assignment of database values to variable names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: BTreeMap<String, Value>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// Build from `(variable, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Self {
+        Assignment {
+            map: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Bind a variable, returning the previous binding if any.
+    pub fn bind(&mut self, var: impl Into<String>, value: Value) -> Option<Value> {
+        self.map.insert(var.into(), value)
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Resolve a term to a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::UnboundVariable`] for an unbound variable.
+    pub fn resolve(&self, term: &Term) -> Result<Value> {
+        match term {
+            Term::Var(v) => self
+                .map
+                .get(v)
+                .cloned()
+                .ok_or_else(|| LogicError::UnboundVariable(v.clone())),
+            Term::Const(c) => Ok(Value::Const(c.clone())),
+        }
+    }
+}
+
+/// The atom semantics of §5.1–5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomSemantics {
+    /// The standard two-valued semantics (12): `R(ā)` is `t` iff `ā ∈ R`,
+    /// `a = b` is `t` iff the values are (syntactically) equal.
+    Boolean,
+    /// The unification-based semantics `⟦·⟧unif` (13): `R(ā)` is `f` only
+    /// when no tuple of `R` unifies with `ā`; `a = b` is `f` only when both
+    /// are distinct constants.
+    Unification,
+    /// The null-free semantics `⟦·⟧nullfree` (14): any atom involving a null
+    /// evaluates to `u`.
+    NullFree,
+    /// SQL's mixed semantics (15): Boolean semantics for base relations,
+    /// null-free semantics for equality.
+    Sql,
+}
+
+impl AtomSemantics {
+    /// Truth value of a relational atom `R(ā)` for a relation instance.
+    pub fn rel_atom(self, relation: &Relation, args: &Tuple) -> Truth3 {
+        match self {
+            AtomSemantics::Boolean | AtomSemantics::Sql => {
+                Truth3::from_bool(relation.contains(args))
+            }
+            AtomSemantics::Unification => {
+                if relation.contains(args) {
+                    Truth3::True
+                } else if relation.iter().any(|b| unify(args, b).is_some()) {
+                    Truth3::Unknown
+                } else {
+                    Truth3::False
+                }
+            }
+            AtomSemantics::NullFree => {
+                if !args.all_const() {
+                    Truth3::Unknown
+                } else {
+                    Truth3::from_bool(relation.contains(args))
+                }
+            }
+        }
+    }
+
+    /// Truth value of an equality atom `a = b`.
+    pub fn eq_atom(self, a: &Value, b: &Value) -> Truth3 {
+        match self {
+            AtomSemantics::Boolean => Truth3::from_bool(a == b),
+            AtomSemantics::Unification => {
+                if a == b {
+                    Truth3::True
+                } else if a.is_const() && b.is_const() {
+                    Truth3::False
+                } else {
+                    Truth3::Unknown
+                }
+            }
+            AtomSemantics::NullFree | AtomSemantics::Sql => {
+                if a.is_null() || b.is_null() {
+                    Truth3::Unknown
+                } else {
+                    Truth3::from_bool(a == b)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate a formula on a database under an assignment with the given atom
+/// semantics; connectives follow Kleene's logic, quantifiers range over the
+/// active domain, and `↑` is Bochvar's assertion.
+///
+/// # Errors
+///
+/// Returns an error for unbound variables, unknown relations, or relational
+/// atoms whose arity disagrees with the schema.
+pub fn eval_formula(
+    formula: &Formula,
+    db: &Database,
+    assignment: &Assignment,
+    semantics: AtomSemantics,
+) -> Result<Truth3> {
+    match formula {
+        Formula::Rel(name, terms) => {
+            let relation = db
+                .relation(name)
+                .map_err(|_| LogicError::UnknownRelation(name.clone()))?;
+            if relation.arity() != terms.len() {
+                return Err(LogicError::ArityMismatch {
+                    relation: name.clone(),
+                    expected: relation.arity(),
+                    got: terms.len(),
+                });
+            }
+            let mut values = Vec::with_capacity(terms.len());
+            for t in terms {
+                values.push(assignment.resolve(t)?);
+            }
+            Ok(semantics.rel_atom(relation, &Tuple::new(values)))
+        }
+        Formula::Eq(a, b) => {
+            let (va, vb) = (assignment.resolve(a)?, assignment.resolve(b)?);
+            Ok(semantics.eq_atom(&va, &vb))
+        }
+        Formula::ConstTest(t) => Ok(Truth3::from_bool(assignment.resolve(t)?.is_const())),
+        Formula::NullTest(t) => Ok(Truth3::from_bool(assignment.resolve(t)?.is_null())),
+        Formula::Not(inner) => Ok(eval_formula(inner, db, assignment, semantics)?.not()),
+        Formula::And(a, b) => Ok(eval_formula(a, db, assignment, semantics)?
+            .and(eval_formula(b, db, assignment, semantics)?)),
+        Formula::Or(a, b) => Ok(eval_formula(a, db, assignment, semantics)?
+            .or(eval_formula(b, db, assignment, semantics)?)),
+        Formula::Exists(var, body) => {
+            // Empty disjunction is f.
+            let mut acc = Truth3::False;
+            for value in db.active_domain() {
+                let mut inner = assignment.clone();
+                inner.bind(var.clone(), value);
+                acc = acc.or(eval_formula(body, db, &inner, semantics)?);
+                if acc == Truth3::True {
+                    break;
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Forall(var, body) => {
+            // Empty conjunction is t.
+            let mut acc = Truth3::True;
+            for value in db.active_domain() {
+                let mut inner = assignment.clone();
+                inner.bind(var.clone(), value);
+                acc = acc.and(eval_formula(body, db, &inner, semantics)?);
+                if acc == Truth3::False {
+                    break;
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Assert(inner) => Ok(eval_formula(inner, db, assignment, semantics)?.assert()),
+    }
+}
+
+/// Classical (two-valued) evaluation of a Boolean FO formula: the Boolean
+/// atom semantics never produces `u` and Kleene's connectives restricted to
+/// `{t, f}` are the classical ones.
+///
+/// # Errors
+///
+/// As [`eval_formula`].
+pub fn eval_classical(formula: &Formula, db: &Database, assignment: &Assignment) -> Result<bool> {
+    Ok(eval_formula(formula, db, assignment, AtomSemantics::Boolean)?.is_true())
+}
+
+/// The query `Q_φ(D) = { ā | ⟦φ⟧_{D,ā} = t }` (§5.2): answers over the
+/// active domain on which the formula evaluates to `t`.
+///
+/// `free_vars` fixes the order of the output columns; it must cover the free
+/// variables of the formula.
+///
+/// # Errors
+///
+/// As [`eval_formula`], plus an unbound-variable error if `free_vars` misses
+/// a free variable.
+pub fn query_answers(
+    formula: &Formula,
+    free_vars: &[&str],
+    db: &Database,
+    semantics: AtomSemantics,
+) -> Result<Relation> {
+    answers_with_value(formula, free_vars, db, semantics, Truth3::True)
+}
+
+/// Answers on which the formula takes a *given* truth value — useful for
+/// inspecting the `f` and `u` regions of a three-valued query.
+///
+/// # Errors
+///
+/// As [`query_answers`].
+pub fn answers_with_value(
+    formula: &Formula,
+    free_vars: &[&str],
+    db: &Database,
+    semantics: AtomSemantics,
+    target: Truth3,
+) -> Result<Relation> {
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    let k = free_vars.len();
+    let mut out = Relation::empty(k);
+    let total: usize = if k == 0 {
+        1
+    } else if domain.is_empty() {
+        0
+    } else {
+        domain.len().pow(k as u32)
+    };
+    for mut idx in 0..total {
+        let mut assignment = Assignment::new();
+        let mut values = Vec::with_capacity(k);
+        for var in free_vars {
+            let v = domain[idx % domain.len().max(1)].clone();
+            idx /= domain.len().max(1);
+            assignment.bind(*var, v.clone());
+            values.push(v);
+        }
+        if eval_formula(formula, db, &assignment, semantics)? == target {
+            out.insert(Tuple::new(values));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup};
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+
+    fn db() -> Database {
+        database_from_literal([
+            ("R", vec!["a", "b"], vec![tup![1, Value::null(0)], tup![2, 3]]),
+            ("S", vec!["a"], vec![tup![1], tup![Value::null(1)]]),
+        ])
+    }
+
+    #[test]
+    fn boolean_atom_semantics() {
+        let d = db();
+        let phi = Formula::rel("R", [Term::constant(2), Term::constant(3)]);
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Boolean).unwrap(),
+            Truth3::True
+        );
+        let phi = Formula::rel("R", [Term::constant(1), Term::constant(1)]);
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Boolean).unwrap(),
+            Truth3::False
+        );
+    }
+
+    #[test]
+    fn unification_semantics_example_from_paper() {
+        // §5.1: D = {R(1, ⊥)}, ā = (1, 1). The Boolean semantics says f,
+        // which has no correctness guarantee; the unification semantics
+        // says u because (1,1) unifies with (1,⊥).
+        let d = database_from_literal([("R", vec!["a", "b"], vec![tup![1, Value::null(0)]])]);
+        let phi = Formula::rel("R", [Term::constant(1), Term::constant(1)]);
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Boolean).unwrap(),
+            Truth3::False
+        );
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Unification).unwrap(),
+            Truth3::Unknown
+        );
+        // A tuple unifying with nothing is certainly false.
+        let phi = Formula::rel("R", [Term::constant(7), Term::constant(1)]);
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Unification).unwrap(),
+            Truth3::False
+        );
+        // A tuple literally present is true.
+        let phi = Formula::rel(
+            "R",
+            [Term::constant(1), Term::Var("x".into())],
+        );
+        let mut a = Assignment::new();
+        a.bind("x", Value::null(0));
+        assert_eq!(
+            eval_formula(&phi, &d, &a, AtomSemantics::Unification).unwrap(),
+            Truth3::True
+        );
+    }
+
+    #[test]
+    fn equality_semantics_variants() {
+        let c1 = Value::int(1);
+        let c2 = Value::int(2);
+        let n = Value::null(0);
+        for (sem, a, b, expect) in [
+            (AtomSemantics::Boolean, &c1, &c1, Truth3::True),
+            (AtomSemantics::Boolean, &c1, &n, Truth3::False),
+            (AtomSemantics::Unification, &n, &n, Truth3::True),
+            (AtomSemantics::Unification, &c1, &n, Truth3::Unknown),
+            (AtomSemantics::Unification, &c1, &c2, Truth3::False),
+            (AtomSemantics::NullFree, &n, &n, Truth3::Unknown),
+            (AtomSemantics::NullFree, &c1, &c2, Truth3::False),
+            (AtomSemantics::Sql, &c1, &n, Truth3::Unknown),
+            (AtomSemantics::Sql, &c1, &c1, Truth3::True),
+        ] {
+            assert_eq!(sem.eq_atom(a, b), expect, "{sem:?} {a} = {b}");
+        }
+    }
+
+    #[test]
+    fn nullfree_relation_atom() {
+        let d = db();
+        let r = d.relation("R").unwrap();
+        assert_eq!(
+            AtomSemantics::NullFree.rel_atom(r, &tup![2, 3]),
+            Truth3::True
+        );
+        assert_eq!(
+            AtomSemantics::NullFree.rel_atom(r, &tup![9, 9]),
+            Truth3::False
+        );
+        assert_eq!(
+            AtomSemantics::NullFree.rel_atom(r, &tup![1, Value::null(0)]),
+            Truth3::Unknown
+        );
+    }
+
+    #[test]
+    fn quantifiers_over_active_domain() {
+        let d = db();
+        // ∃x S(x) is true.
+        let phi = Formula::exists("x", Formula::rel("S", [x()]));
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Sql).unwrap(),
+            Truth3::True
+        );
+        // ∀x S(x) is false under SQL semantics (constant 2 is not in S and
+        // the atom is two-valued for constants).
+        let phi = Formula::forall("x", Formula::rel("S", [x()]));
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Sql).unwrap(),
+            Truth3::False
+        );
+    }
+
+    #[test]
+    fn quantifiers_on_empty_database() {
+        let d = database_from_literal([("R", vec!["a"], vec![])]);
+        let phi = Formula::exists("x", Formula::rel("R", [x()]));
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Boolean).unwrap(),
+            Truth3::False
+        );
+        let phi = Formula::forall("x", Formula::rel("R", [x()]));
+        assert_eq!(
+            eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Boolean).unwrap(),
+            Truth3::True
+        );
+    }
+
+    #[test]
+    fn assertion_operator_collapses_unknown_to_false() {
+        let d = db();
+        // x = ⊥ is u under SQL semantics; asserted it becomes f, so the
+        // negation of the asserted atom is t (SQL's NOT IN behaviour).
+        let mut a = Assignment::new();
+        a.bind("x", Value::int(1));
+        let eq_null = Formula::eq(x(), Term::Var("y".into()));
+        let mut ab = a.clone();
+        ab.bind("y", Value::null(0));
+        assert_eq!(
+            eval_formula(&eq_null, &d, &ab, AtomSemantics::Sql).unwrap(),
+            Truth3::Unknown
+        );
+        assert_eq!(
+            eval_formula(&eq_null.clone().assert(), &d, &ab, AtomSemantics::Sql).unwrap(),
+            Truth3::False
+        );
+        assert_eq!(
+            eval_formula(&eq_null.assert().not(), &d, &ab, AtomSemantics::Sql).unwrap(),
+            Truth3::True
+        );
+    }
+
+    #[test]
+    fn errors_for_malformed_inputs() {
+        let d = db();
+        let phi = Formula::rel("Nope", [x()]);
+        let mut a = Assignment::new();
+        a.bind("x", Value::int(1));
+        assert!(matches!(
+            eval_formula(&phi, &d, &a, AtomSemantics::Boolean),
+            Err(LogicError::UnknownRelation(_))
+        ));
+        let phi = Formula::rel("R", [x()]);
+        assert!(matches!(
+            eval_formula(&phi, &d, &a, AtomSemantics::Boolean),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+        let phi = Formula::eq(x(), Term::var("unbound"));
+        assert!(matches!(
+            eval_formula(&phi, &d, &a, AtomSemantics::Boolean),
+            Err(LogicError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn query_answers_collects_true_tuples() {
+        let d = db();
+        // φ(x) = S(x): under SQL semantics the null tuple is in S literally,
+        // so both 1 and ⊥1 answer; under null-free semantics ⊥1 gives u.
+        let phi = Formula::rel("S", [x()]);
+        let sql = query_answers(&phi, &["x"], &d, AtomSemantics::Sql).unwrap();
+        assert!(sql.contains(&tup![1]));
+        assert!(sql.contains(&tup![Value::null(1)]));
+        let nf = query_answers(&phi, &["x"], &d, AtomSemantics::NullFree).unwrap();
+        assert!(nf.contains(&tup![1]));
+        assert!(!nf.contains(&tup![Value::null(1)]));
+        let unknowns =
+            answers_with_value(&phi, &["x"], &d, AtomSemantics::NullFree, Truth3::Unknown)
+                .unwrap();
+        assert!(unknowns.contains(&tup![Value::null(1)]));
+    }
+
+    #[test]
+    fn boolean_query_answers_have_arity_zero() {
+        let d = db();
+        let phi = Formula::exists("x", Formula::rel("S", [x()]));
+        let out = query_answers(&phi, &[], &d, AtomSemantics::Boolean).unwrap();
+        assert!(out.as_bool());
+        assert_eq!(out.arity(), 0);
+    }
+}

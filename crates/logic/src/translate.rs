@@ -1,0 +1,325 @@
+//! Translation of many-valued first-order logics into Boolean first-order
+//! logic (Theorems 5.4 and 5.5 of the survey).
+//!
+//! The key observation of §5.2 is that, although SQL evaluates conditions in
+//! Kleene's three-valued logic, the resulting query language is *no more
+//! expressive* than ordinary Boolean first-order logic: for every formula
+//! `φ` of `FO(L3v)` (under a mixed atom semantics) and every truth value
+//! `τ`, there is a Boolean formula `ψτ` with `⟦φ⟧_{D,ā} = τ` iff
+//! `D ⊨ ψτ(ā)`. The same holds for `FO↑SQL`, the extension with the
+//! assertion operator that captures real SQL evaluation (Theorem 5.5).
+//!
+//! The translation is the classic "pair of certificates" construction: each
+//! formula is mapped to a pair `(pos, neg)` of Boolean formulae
+//! characterising where it is `t` and where it is `f`; `u` is the complement
+//! of both.
+
+use crate::fo::{Formula, Term};
+use crate::semantics::AtomSemantics;
+use crate::truth::Truth3;
+use crate::{LogicError, Result};
+
+/// The pair of Boolean certificates for a many-valued formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanCapture {
+    /// Boolean formula holding exactly where the source formula is `t`.
+    pub pos: Formula,
+    /// Boolean formula holding exactly where the source formula is `f`.
+    pub neg: Formula,
+}
+
+impl BooleanCapture {
+    /// The Boolean formula characterising a given truth value of the source
+    /// formula (`u` is captured by `¬pos ∧ ¬neg`).
+    pub fn for_value(&self, value: Truth3) -> Formula {
+        match value {
+            Truth3::True => self.pos.clone(),
+            Truth3::False => self.neg.clone(),
+            Truth3::Unknown => self
+                .pos
+                .clone()
+                .not()
+                .and(self.neg.clone().not()),
+        }
+    }
+}
+
+/// A conjunction of `const(t)` tests over the given terms (the guard that
+/// makes null-involving comparisons fall into the `u` region).
+fn const_guard(terms: &[Term]) -> Formula {
+    let mut out: Option<Formula> = None;
+    for t in terms {
+        let test = Formula::ConstTest(t.clone());
+        out = Some(match out {
+            None => test,
+            Some(acc) => acc.and(test),
+        });
+    }
+    out.unwrap_or_else(|| {
+        // No terms: the guard is vacuously true; encode as const(c) for a
+        // fixed constant, which always holds.
+        Formula::ConstTest(Term::constant(0))
+    })
+}
+
+/// Translate a formula of `FO(L3v)` (optionally with the assertion operator,
+/// i.e. `FO↑SQL`) under the given atom semantics into its Boolean
+/// certificates.
+///
+/// Supported atom semantics: [`AtomSemantics::Boolean`],
+/// [`AtomSemantics::NullFree`], [`AtomSemantics::Sql`], and
+/// [`AtomSemantics::Unification`] *for equality atoms only* — the
+/// unification semantics of relational atoms needs an explicit encoding of
+/// tuple unifiability which is outside the scope of this translation (its
+/// correctness guarantees are exercised directly via
+/// [`crate::semantics::eval_formula`] instead).
+///
+/// # Errors
+///
+/// Returns [`LogicError::UnknownRelation`]-free structural errors only:
+/// specifically, an error when a relational atom is translated under the
+/// unification semantics.
+pub fn to_boolean(formula: &Formula, semantics: AtomSemantics) -> Result<BooleanCapture> {
+    match formula {
+        Formula::Rel(name, terms) => match semantics {
+            AtomSemantics::Boolean | AtomSemantics::Sql => Ok(BooleanCapture {
+                pos: Formula::rel(name.clone(), terms.clone()),
+                neg: Formula::rel(name.clone(), terms.clone()).not(),
+            }),
+            AtomSemantics::NullFree => {
+                let guard = const_guard(terms);
+                Ok(BooleanCapture {
+                    pos: Formula::rel(name.clone(), terms.clone()).and(guard.clone()),
+                    neg: Formula::rel(name.clone(), terms.clone()).not().and(guard),
+                })
+            }
+            AtomSemantics::Unification => Err(LogicError::AssertionNotSupported),
+        },
+        Formula::Eq(a, b) => {
+            let eq = Formula::eq(a.clone(), b.clone());
+            match semantics {
+                AtomSemantics::Boolean => Ok(BooleanCapture {
+                    pos: eq.clone(),
+                    neg: eq.not(),
+                }),
+                AtomSemantics::NullFree | AtomSemantics::Sql => {
+                    let guard = const_guard(&[a.clone(), b.clone()]);
+                    Ok(BooleanCapture {
+                        pos: eq.clone().and(guard.clone()),
+                        neg: eq.not().and(guard),
+                    })
+                }
+                AtomSemantics::Unification => {
+                    // ⟦x = y⟧unif: t iff syntactically equal, f iff distinct
+                    // constants, u otherwise.
+                    let guard = const_guard(&[a.clone(), b.clone()]);
+                    Ok(BooleanCapture {
+                        pos: eq.clone(),
+                        neg: eq.not().and(guard),
+                    })
+                }
+            }
+        }
+        Formula::ConstTest(t) => Ok(BooleanCapture {
+            pos: Formula::ConstTest(t.clone()),
+            neg: Formula::NullTest(t.clone()),
+        }),
+        Formula::NullTest(t) => Ok(BooleanCapture {
+            pos: Formula::NullTest(t.clone()),
+            neg: Formula::ConstTest(t.clone()),
+        }),
+        Formula::Not(inner) => {
+            let inner = to_boolean(inner, semantics)?;
+            Ok(BooleanCapture {
+                pos: inner.neg,
+                neg: inner.pos,
+            })
+        }
+        Formula::And(a, b) => {
+            let (a, b) = (to_boolean(a, semantics)?, to_boolean(b, semantics)?);
+            Ok(BooleanCapture {
+                pos: a.pos.clone().and(b.pos.clone()),
+                neg: a.neg.or(b.neg),
+            })
+        }
+        Formula::Or(a, b) => {
+            let (a, b) = (to_boolean(a, semantics)?, to_boolean(b, semantics)?);
+            Ok(BooleanCapture {
+                pos: a.pos.or(b.pos),
+                neg: a.neg.and(b.neg),
+            })
+        }
+        Formula::Exists(v, body) => {
+            let body = to_boolean(body, semantics)?;
+            Ok(BooleanCapture {
+                pos: Formula::exists(v.clone(), body.pos),
+                neg: Formula::forall(v.clone(), body.neg),
+            })
+        }
+        Formula::Forall(v, body) => {
+            let body = to_boolean(body, semantics)?;
+            Ok(BooleanCapture {
+                pos: Formula::forall(v.clone(), body.pos),
+                neg: Formula::exists(v.clone(), body.neg),
+            })
+        }
+        Formula::Assert(inner) => {
+            let inner = to_boolean(inner, semantics)?;
+            Ok(BooleanCapture {
+                pos: inner.pos.clone(),
+                neg: inner.pos.not(),
+            })
+        }
+    }
+}
+
+/// Convenience wrapper: the Boolean formula that holds exactly where the
+/// many-valued formula evaluates to the given truth value (Theorem 5.4's
+/// `ψτ`).
+///
+/// # Errors
+///
+/// As [`to_boolean`].
+pub fn capture_value(
+    formula: &Formula,
+    semantics: AtomSemantics,
+    value: Truth3,
+) -> Result<Formula> {
+    Ok(to_boolean(formula, semantics)?.for_value(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{answers_with_value, eval_formula, query_answers, Assignment};
+    use certa_data::{database_from_literal, tup, Database, Value};
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+
+    fn y() -> Term {
+        Term::var("y")
+    }
+
+    fn db() -> Database {
+        database_from_literal([
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, Value::null(0)], tup![2, 3], tup![Value::null(1), 4]],
+            ),
+            ("S", vec!["a"], vec![tup![1], tup![Value::null(2)], tup![4]]),
+        ])
+    }
+
+    /// Exhaustively check that the Boolean capture agrees with the
+    /// three-valued evaluation on every assignment of the free variables.
+    fn check_capture(formula: &Formula, free: &[&str], db: &Database, sem: AtomSemantics) {
+        let capture = to_boolean(formula, sem).expect("translation should succeed");
+        for target in Truth3::ALL {
+            let expected = answers_with_value(formula, free, db, sem, target).unwrap();
+            let boolean = capture.for_value(target);
+            let got = query_answers(&boolean, free, db, AtomSemantics::Boolean).unwrap();
+            assert_eq!(
+                expected, got,
+                "mismatch for {formula} at {target} under {sem:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_equality_atom_capture() {
+        let phi = Formula::eq(x(), y());
+        check_capture(&phi, &["x", "y"], &db(), AtomSemantics::Sql);
+        check_capture(&phi, &["x", "y"], &db(), AtomSemantics::NullFree);
+        check_capture(&phi, &["x", "y"], &db(), AtomSemantics::Unification);
+        check_capture(&phi, &["x", "y"], &db(), AtomSemantics::Boolean);
+    }
+
+    #[test]
+    fn sql_relation_atom_capture() {
+        let phi = Formula::rel("S", [x()]);
+        check_capture(&phi, &["x"], &db(), AtomSemantics::Sql);
+        check_capture(&phi, &["x"], &db(), AtomSemantics::NullFree);
+        check_capture(&phi, &["x"], &db(), AtomSemantics::Boolean);
+    }
+
+    #[test]
+    fn unification_relation_atom_is_rejected() {
+        let phi = Formula::rel("S", [x()]);
+        assert!(to_boolean(&phi, AtomSemantics::Unification).is_err());
+    }
+
+    #[test]
+    fn connectives_and_quantifiers_capture() {
+        // φ(x) = ∃y (R(x, y) ∧ ¬(y = 3))
+        let phi = Formula::exists(
+            "y",
+            Formula::rel("R", [x(), y()]).and(Formula::eq(y(), Term::constant(3)).not()),
+        );
+        check_capture(&phi, &["x"], &db(), AtomSemantics::Sql);
+        check_capture(&phi, &["x"], &db(), AtomSemantics::NullFree);
+
+        // ψ(x) = ∀y (¬R(x, y) ∨ S(y))
+        let psi = Formula::forall(
+            "y",
+            Formula::rel("R", [x(), y()]).not().or(Formula::rel("S", [y()])),
+        );
+        check_capture(&psi, &["x"], &db(), AtomSemantics::Sql);
+        check_capture(&psi, &["x"], &db(), AtomSemantics::NullFree);
+    }
+
+    #[test]
+    fn assertion_capture_matches_fo_up_sql() {
+        // SQL's WHERE-clause behaviour: ↑(x = y) under the mixed semantics.
+        let phi = Formula::eq(x(), y()).assert();
+        check_capture(&phi, &["x", "y"], &db(), AtomSemantics::Sql);
+        // A NOT IN-style pattern: ¬↑∃y (S(y) ∧ x = y).
+        let not_in = Formula::exists("y", Formula::rel("S", [y()]).and(Formula::eq(x(), y())))
+            .assert()
+            .not();
+        check_capture(&not_in, &["x"], &db(), AtomSemantics::Sql);
+    }
+
+    #[test]
+    fn null_and_const_tests_capture() {
+        let phi = Formula::NullTest(x()).or(Formula::ConstTest(x()));
+        check_capture(&phi, &["x"], &db(), AtomSemantics::Sql);
+        // The disjunction is always t, never u — the capture of u is empty.
+        let cap = to_boolean(&phi, AtomSemantics::Sql).unwrap();
+        let u_answers = query_answers(&cap.for_value(Truth3::Unknown), &["x"], &db(), AtomSemantics::Boolean).unwrap();
+        assert!(u_answers.is_empty());
+    }
+
+    #[test]
+    fn boolean_sentence_capture() {
+        // Sentence: ∃x (S(x) ∧ x = 1) — true; its capture must agree.
+        let phi = Formula::exists("x", Formula::rel("S", [x()]).and(Formula::eq(x(), Term::constant(1))));
+        let d = db();
+        let val = eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Sql).unwrap();
+        assert_eq!(val, Truth3::True);
+        let cap = to_boolean(&phi, AtomSemantics::Sql).unwrap();
+        assert!(
+            crate::semantics::eval_classical(&cap.for_value(Truth3::True), &d, &Assignment::new())
+                .unwrap()
+        );
+        assert!(
+            !crate::semantics::eval_classical(&cap.for_value(Truth3::False), &d, &Assignment::new())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn for_value_unknown_is_complement() {
+        let phi = Formula::eq(x(), Term::constant(1));
+        let cap = to_boolean(&phi, AtomSemantics::Sql).unwrap();
+        let u = cap.for_value(Truth3::Unknown);
+        // On the null value the equality is u, so ψu must hold.
+        let mut a = Assignment::new();
+        a.bind("x", Value::null(0));
+        assert!(crate::semantics::eval_classical(&u, &db(), &a).unwrap());
+        a.bind("x", Value::int(1));
+        assert!(!crate::semantics::eval_classical(&u, &db(), &a).unwrap());
+    }
+}

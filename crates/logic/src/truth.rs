@@ -1,0 +1,654 @@
+//! Truth values and propositional many-valued logics.
+//!
+//! A propositional many-valued logic is a pair `(T, Ω)` of a set of truth
+//! values and a set of connectives (§5 of the survey). This module provides:
+//!
+//! * [`Truth3`] and [`Kleene`]: Kleene's three-valued logic `L3v` (Figure 3
+//!   of the paper), the logic underlying SQL, plus Bochvar's *assertion*
+//!   operator `↑` which collapses `u` to `f` (the `L3v↑` logic of §5.2);
+//! * [`Truth6`] and [`SixValued`]: the six-valued logic `L6v` derived in
+//!   §5.2 from epistemic modalities over possible-worlds interpretations.
+//!   Its truth tables are *not* hard-coded: they are derived by enumerating
+//!   small propositional interpretations `(W, t, f)` and taking, for each
+//!   pair of argument values, the most general value consistent with every
+//!   realizable outcome (the greatest lower bound in the knowledge order).
+//!   This follows the construction in the paper and is what Theorem 5.3 is
+//!   checked against in the test-suite and the E7 experiment.
+
+use std::fmt;
+
+/// Kleene's three truth values: true, false, unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Truth3 {
+    /// True.
+    True,
+    /// False.
+    False,
+    /// Unknown — the no-information value, bottom of the knowledge order.
+    Unknown,
+}
+
+impl Truth3 {
+    /// All three truth values.
+    pub const ALL: [Truth3; 3] = [Truth3::True, Truth3::False, Truth3::Unknown];
+
+    /// Embed a Boolean.
+    pub const fn from_bool(b: bool) -> Truth3 {
+        if b {
+            Truth3::True
+        } else {
+            Truth3::False
+        }
+    }
+
+    /// Kleene conjunction.
+    pub const fn and(self, other: Truth3) -> Truth3 {
+        match (self, other) {
+            (Truth3::False, _) | (_, Truth3::False) => Truth3::False,
+            (Truth3::True, Truth3::True) => Truth3::True,
+            _ => Truth3::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub const fn or(self, other: Truth3) -> Truth3 {
+        match (self, other) {
+            (Truth3::True, _) | (_, Truth3::True) => Truth3::True,
+            (Truth3::False, Truth3::False) => Truth3::False,
+            _ => Truth3::Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    pub const fn not(self) -> Truth3 {
+        match self {
+            Truth3::True => Truth3::False,
+            Truth3::False => Truth3::True,
+            Truth3::Unknown => Truth3::Unknown,
+        }
+    }
+
+    /// Bochvar's assertion operator `↑`: maps `t` to `t` and both `f` and
+    /// `u` to `f`. This is the operator SQL implicitly applies at the end of
+    /// every `WHERE` clause (§5.2).
+    pub const fn assert(self) -> Truth3 {
+        match self {
+            Truth3::True => Truth3::True,
+            _ => Truth3::False,
+        }
+    }
+
+    /// `true` iff the value is `t`.
+    pub const fn is_true(self) -> bool {
+        matches!(self, Truth3::True)
+    }
+
+    /// `true` iff the value is `f`.
+    pub const fn is_false(self) -> bool {
+        matches!(self, Truth3::False)
+    }
+
+    /// `true` iff the value is `u`.
+    pub const fn is_unknown(self) -> bool {
+        matches!(self, Truth3::Unknown)
+    }
+
+    /// The knowledge order `⪯` of §5.1: `u ⪯ t`, `u ⪯ f`, and every value is
+    /// below itself; `t` and `f` are incomparable.
+    pub const fn knowledge_le(self, other: Truth3) -> bool {
+        matches!(
+            (self, other),
+            (Truth3::Unknown, _) | (Truth3::True, Truth3::True) | (Truth3::False, Truth3::False)
+        )
+    }
+}
+
+impl fmt::Display for Truth3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Truth3::True => write!(f, "t"),
+            Truth3::False => write!(f, "f"),
+            Truth3::Unknown => write!(f, "u"),
+        }
+    }
+}
+
+impl From<bool> for Truth3 {
+    fn from(b: bool) -> Self {
+        Truth3::from_bool(b)
+    }
+}
+
+/// A zero-sized handle exposing Kleene's logic through the generic
+/// [`PropositionalLogic`] interface used by the property checkers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Kleene;
+
+/// A propositional many-valued logic presented extensionally: a finite set
+/// of truth values with `∧`, `∨`, `¬` tables and a knowledge order.
+///
+/// The property checkers in [`crate::props`] are generic over this trait so
+/// that the same machinery applies to `L2v`, `L3v`, `L3v↑` and `L6v`.
+pub trait PropositionalLogic {
+    /// The truth-value type.
+    type Value: Copy + Eq + fmt::Debug;
+
+    /// All truth values of the logic.
+    fn values(&self) -> Vec<Self::Value>;
+    /// Conjunction table.
+    fn and(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+    /// Disjunction table.
+    fn or(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+    /// Negation table.
+    fn not(&self, a: Self::Value) -> Self::Value;
+    /// Knowledge order `a ⪯ b` (reflexive, transitive).
+    fn knowledge_le(&self, a: Self::Value, b: Self::Value) -> bool;
+    /// The designated no-information value `τ₀` (bottom of the knowledge
+    /// order), if the logic has one.
+    fn bottom(&self) -> Option<Self::Value>;
+}
+
+impl PropositionalLogic for Kleene {
+    type Value = Truth3;
+
+    fn values(&self) -> Vec<Truth3> {
+        Truth3::ALL.to_vec()
+    }
+
+    fn and(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.and(b)
+    }
+
+    fn or(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.or(b)
+    }
+
+    fn not(&self, a: Truth3) -> Truth3 {
+        a.not()
+    }
+
+    fn knowledge_le(&self, a: Truth3, b: Truth3) -> bool {
+        a.knowledge_le(b)
+    }
+
+    fn bottom(&self) -> Option<Truth3> {
+        Some(Truth3::Unknown)
+    }
+}
+
+/// The classical two-valued Boolean logic `L2v`, i.e. Kleene's logic
+/// restricted to `{t, f}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Boolean2;
+
+impl PropositionalLogic for Boolean2 {
+    type Value = Truth3;
+
+    fn values(&self) -> Vec<Truth3> {
+        vec![Truth3::True, Truth3::False]
+    }
+
+    fn and(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.and(b)
+    }
+
+    fn or(&self, a: Truth3, b: Truth3) -> Truth3 {
+        a.or(b)
+    }
+
+    fn not(&self, a: Truth3) -> Truth3 {
+        a.not()
+    }
+
+    fn knowledge_le(&self, a: Truth3, b: Truth3) -> bool {
+        a == b
+    }
+
+    fn bottom(&self) -> Option<Truth3> {
+        None
+    }
+}
+
+/// The six truth values of the epistemic logic `L6v` (§5.2).
+///
+/// Each value records what is known about a proposition `α` across a set of
+/// possible worlds with possibly partial information:
+///
+/// | value | meaning | profile `(t(α), f(α))` |
+/// |---|---|---|
+/// | `True` | α true in all worlds | `(W, ∅)` |
+/// | `False` | α false in all worlds | `(∅, W)` |
+/// | `Sometimes` | true in some worlds, false in others | `(partial, partial)` |
+/// | `SometimesTrue` | true somewhere, never known false | `(partial, ∅)` |
+/// | `SometimesFalse` | false somewhere, never known true | `(∅, partial)` |
+/// | `Unknown` | no information at all | `(∅, ∅)` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Truth6 {
+    /// α holds in every world.
+    True,
+    /// α fails in every world.
+    False,
+    /// α holds in some worlds and fails in others.
+    Sometimes,
+    /// α holds in some world; it is not known to fail anywhere.
+    SometimesTrue,
+    /// α fails in some world; it is not known to hold anywhere.
+    SometimesFalse,
+    /// Nothing is known about α.
+    Unknown,
+}
+
+impl Truth6 {
+    /// All six truth values.
+    pub const ALL: [Truth6; 6] = [
+        Truth6::True,
+        Truth6::False,
+        Truth6::Sometimes,
+        Truth6::SometimesTrue,
+        Truth6::SometimesFalse,
+        Truth6::Unknown,
+    ];
+
+    /// Short name as used in the paper (`t`, `f`, `s`, `st`, `sf`, `u`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Truth6::True => "t",
+            Truth6::False => "f",
+            Truth6::Sometimes => "s",
+            Truth6::SometimesTrue => "st",
+            Truth6::SometimesFalse => "sf",
+            Truth6::Unknown => "u",
+        }
+    }
+
+    /// The knowledge order on `L6v`: `u` is the bottom; `st ⪯ t`, `st ⪯ s`,
+    /// `sf ⪯ f`, `sf ⪯ s`; `t`, `f`, `s` are maximal and pairwise
+    /// incomparable.
+    pub fn knowledge_le(self, other: Truth6) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (Truth6::Unknown, _)
+                    | (Truth6::SometimesTrue, Truth6::True)
+                    | (Truth6::SometimesTrue, Truth6::Sometimes)
+                    | (Truth6::SometimesFalse, Truth6::False)
+                    | (Truth6::SometimesFalse, Truth6::Sometimes)
+            )
+    }
+
+    /// Greatest lower bound in the knowledge order.
+    pub fn knowledge_meet(self, other: Truth6) -> Truth6 {
+        if self.knowledge_le(other) {
+            return self;
+        }
+        if other.knowledge_le(self) {
+            return other;
+        }
+        // The only non-trivial meets between incomparable elements:
+        // t ⊓ s = st, f ⊓ s = sf; everything else falls to u.
+        match (self, other) {
+            (Truth6::True, Truth6::Sometimes) | (Truth6::Sometimes, Truth6::True) => {
+                Truth6::SometimesTrue
+            }
+            (Truth6::False, Truth6::Sometimes) | (Truth6::Sometimes, Truth6::False) => {
+                Truth6::SometimesFalse
+            }
+            _ => Truth6::Unknown,
+        }
+    }
+
+    /// The restriction of a six-valued value to Kleene's three values, when
+    /// it is one of them.
+    pub fn as_truth3(self) -> Option<Truth3> {
+        match self {
+            Truth6::True => Some(Truth3::True),
+            Truth6::False => Some(Truth3::False),
+            Truth6::Unknown => Some(Truth3::Unknown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Truth6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Per-world status of a proposition in a partial possible-worlds
+/// interpretation: the world may satisfy it, falsify it, or say nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorldStatus {
+    True,
+    False,
+    Gap,
+}
+
+const WORLD_STATUSES: [WorldStatus; 3] = [WorldStatus::True, WorldStatus::False, WorldStatus::Gap];
+
+/// Abstract profile of a proposition over a world set: whether it is true
+/// somewhere / everywhere and false somewhere / everywhere.
+fn profile(statuses: &[WorldStatus]) -> Truth6 {
+    let some_true = statuses.iter().any(|s| *s == WorldStatus::True);
+    let some_false = statuses.iter().any(|s| *s == WorldStatus::False);
+    let all_true = statuses.iter().all(|s| *s == WorldStatus::True);
+    let all_false = statuses.iter().all(|s| *s == WorldStatus::False);
+    match (some_true, some_false, all_true, all_false) {
+        (_, _, true, _) => Truth6::True,
+        (_, _, _, true) => Truth6::False,
+        (true, true, _, _) => Truth6::Sometimes,
+        (true, false, _, _) => Truth6::SometimesTrue,
+        (false, true, _, _) => Truth6::SometimesFalse,
+        (false, false, _, _) => Truth6::Unknown,
+    }
+}
+
+/// Per-world conjunction: strong Kleene on the three world statuses.
+fn world_and(a: WorldStatus, b: WorldStatus) -> WorldStatus {
+    match (a, b) {
+        (WorldStatus::False, _) | (_, WorldStatus::False) => WorldStatus::False,
+        (WorldStatus::True, WorldStatus::True) => WorldStatus::True,
+        _ => WorldStatus::Gap,
+    }
+}
+
+fn world_or(a: WorldStatus, b: WorldStatus) -> WorldStatus {
+    match (a, b) {
+        (WorldStatus::True, _) | (_, WorldStatus::True) => WorldStatus::True,
+        (WorldStatus::False, WorldStatus::False) => WorldStatus::False,
+        _ => WorldStatus::Gap,
+    }
+}
+
+fn world_not(a: WorldStatus) -> WorldStatus {
+    match a {
+        WorldStatus::True => WorldStatus::False,
+        WorldStatus::False => WorldStatus::True,
+        WorldStatus::Gap => WorldStatus::Gap,
+    }
+}
+
+/// The six-valued logic `L6v`, with truth tables derived from the epistemic
+/// construction of §5.2.
+///
+/// For every pair of argument values `(τ₁, τ₂)` and connective `ω`, the
+/// derivation enumerates all interpretations over up to [`MAX_WORLDS`]
+/// possible worlds in which `α` has value `τ₁` and `β` has value `τ₂`,
+/// collects the values that `ω(α, β)` can take, and — when more than one is
+/// consistent — chooses the most general one, i.e. the greatest lower bound
+/// of the achievable set in the knowledge order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SixValued {
+    and_table: [[Truth6; 6]; 6],
+    or_table: [[Truth6; 6]; 6],
+    not_table: [Truth6; 6],
+}
+
+/// Number of possible worlds used when deriving the `L6v` tables. Four
+/// worlds are enough to realize every pair of profiles and every achievable
+/// outcome; we use five for safety margin (the tables are stable from four
+/// onward, which the tests check).
+pub const MAX_WORLDS: usize = 5;
+
+impl Default for SixValued {
+    fn default() -> Self {
+        Self::derive(MAX_WORLDS)
+    }
+}
+
+impl SixValued {
+    /// Derive the truth tables using interpretations with up to `max_worlds`
+    /// worlds.
+    pub fn derive(max_worlds: usize) -> Self {
+        let mut and_sets = vec![vec![Vec::new(); 6]; 6];
+        let mut or_sets = vec![vec![Vec::new(); 6]; 6];
+        let mut not_sets = vec![Vec::new(); 6];
+
+        // Enumerate interpretations: a number of worlds and, per world, a
+        // status for α and a status for β.
+        for n in 1..=max_worlds {
+            let combos = 9usize.pow(n as u32);
+            for mut code in 0..combos {
+                let mut alpha = Vec::with_capacity(n);
+                let mut beta = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pair = code % 9;
+                    code /= 9;
+                    alpha.push(WORLD_STATUSES[pair % 3]);
+                    beta.push(WORLD_STATUSES[pair / 3]);
+                }
+                let pa = profile(&alpha) as usize;
+                let pb = profile(&beta) as usize;
+                let conj: Vec<WorldStatus> = alpha
+                    .iter()
+                    .zip(beta.iter())
+                    .map(|(a, b)| world_and(*a, *b))
+                    .collect();
+                let disj: Vec<WorldStatus> = alpha
+                    .iter()
+                    .zip(beta.iter())
+                    .map(|(a, b)| world_or(*a, *b))
+                    .collect();
+                let neg: Vec<WorldStatus> = alpha.iter().map(|a| world_not(*a)).collect();
+                push_unique(&mut and_sets[pa][pb], profile(&conj));
+                push_unique(&mut or_sets[pa][pb], profile(&disj));
+                push_unique(&mut not_sets[pa], profile(&neg));
+            }
+        }
+
+        let mut and_table = [[Truth6::Unknown; 6]; 6];
+        let mut or_table = [[Truth6::Unknown; 6]; 6];
+        let mut not_table = [Truth6::Unknown; 6];
+        for (i, a) in Truth6::ALL.iter().enumerate() {
+            for (j, _b) in Truth6::ALL.iter().enumerate() {
+                and_table[i][j] = most_general(&and_sets[i][j]);
+                or_table[i][j] = most_general(&or_sets[i][j]);
+            }
+            not_table[i] = most_general(&not_sets[i]);
+            // Every profile is realizable with at least one world, so the
+            // achievable sets are never empty.
+            debug_assert!(!not_sets[i].is_empty(), "profile {a:?} unrealizable");
+        }
+        SixValued {
+            and_table,
+            or_table,
+            not_table,
+        }
+    }
+
+    /// Conjunction in `L6v`.
+    pub fn and6(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.and_table[a as usize][b as usize]
+    }
+
+    /// Disjunction in `L6v`.
+    pub fn or6(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.or_table[a as usize][b as usize]
+    }
+
+    /// Negation in `L6v`.
+    pub fn not6(&self, a: Truth6) -> Truth6 {
+        self.not_table[a as usize]
+    }
+}
+
+fn push_unique(v: &mut Vec<Truth6>, t: Truth6) {
+    if !v.contains(&t) {
+        v.push(t);
+    }
+}
+
+/// The most general value consistent with every achievable outcome: the
+/// greatest lower bound of the set in the knowledge order.
+fn most_general(achievable: &[Truth6]) -> Truth6 {
+    let mut iter = achievable.iter();
+    let first = *iter.next().expect("most_general: empty achievable set");
+    iter.fold(first, |acc, t| acc.knowledge_meet(*t))
+}
+
+impl PropositionalLogic for SixValued {
+    type Value = Truth6;
+
+    fn values(&self) -> Vec<Truth6> {
+        Truth6::ALL.to_vec()
+    }
+
+    fn and(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.and6(a, b)
+    }
+
+    fn or(&self, a: Truth6, b: Truth6) -> Truth6 {
+        self.or6(a, b)
+    }
+
+    fn not(&self, a: Truth6) -> Truth6 {
+        self.not6(a)
+    }
+
+    fn knowledge_le(&self, a: Truth6, b: Truth6) -> bool {
+        a.knowledge_le(b)
+    }
+
+    fn bottom(&self) -> Option<Truth6> {
+        Some(Truth6::Unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_truth_tables_match_figure_3() {
+        use Truth3::{False as F, True as T, Unknown as U};
+        // ∧ table.
+        assert_eq!(T.and(T), T);
+        assert_eq!(T.and(F), F);
+        assert_eq!(T.and(U), U);
+        assert_eq!(F.and(U), F);
+        assert_eq!(U.and(U), U);
+        // ∨ table.
+        assert_eq!(T.or(F), T);
+        assert_eq!(F.or(F), F);
+        assert_eq!(F.or(U), U);
+        assert_eq!(T.or(U), T);
+        assert_eq!(U.or(U), U);
+        // ¬ table.
+        assert_eq!(T.not(), F);
+        assert_eq!(F.not(), T);
+        assert_eq!(U.not(), U);
+    }
+
+    #[test]
+    fn assertion_operator_collapses_unknown() {
+        assert_eq!(Truth3::True.assert(), Truth3::True);
+        assert_eq!(Truth3::False.assert(), Truth3::False);
+        assert_eq!(Truth3::Unknown.assert(), Truth3::False);
+    }
+
+    #[test]
+    fn knowledge_order_on_three_values() {
+        assert!(Truth3::Unknown.knowledge_le(Truth3::True));
+        assert!(Truth3::Unknown.knowledge_le(Truth3::False));
+        assert!(Truth3::True.knowledge_le(Truth3::True));
+        assert!(!Truth3::True.knowledge_le(Truth3::False));
+        assert!(!Truth3::True.knowledge_le(Truth3::Unknown));
+    }
+
+    #[test]
+    fn assertion_does_not_preserve_knowledge_order() {
+        // u ⪯ t but ↑u = f is not ⪯ ↑t = t — the culprit identified in §5.2.
+        assert!(Truth3::Unknown.knowledge_le(Truth3::True));
+        assert!(!Truth3::Unknown.assert().knowledge_le(Truth3::True.assert()));
+    }
+
+    #[test]
+    fn boolean_restriction() {
+        let l2 = Boolean2;
+        assert_eq!(l2.values().len(), 2);
+        assert_eq!(l2.bottom(), None);
+        assert_eq!(l2.and(Truth3::True, Truth3::False), Truth3::False);
+    }
+
+    #[test]
+    fn six_valued_knowledge_order_and_meet() {
+        use Truth6::*;
+        assert!(Unknown.knowledge_le(True));
+        assert!(SometimesTrue.knowledge_le(True));
+        assert!(SometimesTrue.knowledge_le(Sometimes));
+        assert!(!SometimesTrue.knowledge_le(False));
+        assert!(!True.knowledge_le(Sometimes));
+        assert_eq!(True.knowledge_meet(Sometimes), SometimesTrue);
+        assert_eq!(False.knowledge_meet(Sometimes), SometimesFalse);
+        assert_eq!(True.knowledge_meet(False), Unknown);
+        assert_eq!(True.knowledge_meet(True), True);
+        assert_eq!(SometimesTrue.knowledge_meet(SometimesFalse), Unknown);
+    }
+
+    #[test]
+    fn six_valued_tables_restrict_to_kleene() {
+        // Theorem 5.3's easy half: on {t, f, u} the derived tables are
+        // exactly Kleene's.
+        let l6 = SixValued::default();
+        use Truth6::*;
+        for a in [True, False, Unknown] {
+            for b in [True, False, Unknown] {
+                let a3 = a.as_truth3().unwrap();
+                let b3 = b.as_truth3().unwrap();
+                assert_eq!(l6.and6(a, b).as_truth3(), Some(a3.and(b3)), "{a}∧{b}");
+                assert_eq!(l6.or6(a, b).as_truth3(), Some(a3.or(b3)), "{a}∨{b}");
+            }
+            assert_eq!(l6.not6(a).as_truth3(), Some(a.as_truth3().unwrap().not()));
+        }
+    }
+
+    #[test]
+    fn six_valued_negation_swaps_sometimes_true_false() {
+        let l6 = SixValued::default();
+        assert_eq!(l6.not6(Truth6::SometimesTrue), Truth6::SometimesFalse);
+        assert_eq!(l6.not6(Truth6::SometimesFalse), Truth6::SometimesTrue);
+        assert_eq!(l6.not6(Truth6::Sometimes), Truth6::Sometimes);
+    }
+
+    #[test]
+    fn six_valued_is_not_idempotent() {
+        // s ∧ s can come out as something other than s, because two
+        // different "sometimes" propositions can jointly be unsatisfiable.
+        let l6 = SixValued::default();
+        let s = Truth6::Sometimes;
+        assert_ne!(l6.and6(s, s), s);
+    }
+
+    #[test]
+    fn derivation_is_stable_in_number_of_worlds() {
+        // Tables derived with 4 and with 5 worlds agree, so the enumeration
+        // has converged.
+        assert_eq!(SixValued::derive(4), SixValued::derive(5));
+    }
+
+    #[test]
+    fn six_valued_conjunction_spot_checks() {
+        let l6 = SixValued::default();
+        use Truth6::*;
+        // f is annihilating for ∧ and t for ∨ — these hold in every world.
+        for v in Truth6::ALL {
+            assert_eq!(l6.and6(False, v), False, "f ∧ {v}");
+            assert_eq!(l6.or6(True, v), True, "t ∨ {v}");
+        }
+        // t ∧ st: in every realization α is true everywhere, β true
+        // somewhere and never false, so the conjunction is true somewhere,
+        // never false — st.
+        assert_eq!(l6.and6(True, SometimesTrue), SometimesTrue);
+        // u against anything gives a value below it in knowledge.
+        for v in Truth6::ALL {
+            assert!(l6.and6(Unknown, v).knowledge_le(v) || l6.and6(Unknown, v) == False);
+        }
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(Truth6::SometimesTrue.to_string(), "st");
+        assert_eq!(Truth3::Unknown.to_string(), "u");
+        assert_eq!(Truth6::Sometimes.symbol(), "s");
+    }
+}

@@ -1,0 +1,177 @@
+//! Abstract syntax for the supported SQL fragment.
+
+use certa_data::Const;
+use std::fmt;
+
+/// A column reference, optionally qualified by a table name or alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// The qualifying table or alias, if any.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// An item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `*`: every column of every table in the `FROM` clause.
+    Star,
+    /// A single column.
+    Column(ColumnRef),
+}
+
+/// A table reference in the `FROM` clause: a base table with an optional
+/// alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// The base table name.
+    pub table: String,
+    /// The alias used to qualify columns, defaulting to the table name.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The effective name used for column qualification.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A scalar expression or predicate in a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlExpr {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal constant.
+    Literal(Const),
+    /// The `NULL` literal.
+    Null,
+    /// Equality comparison.
+    Eq(Box<SqlExpr>, Box<SqlExpr>),
+    /// Disequality comparison (`<>` / `!=`).
+    Neq(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical conjunction.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical disjunction.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical negation.
+    Not(Box<SqlExpr>),
+    /// `expr IS NULL` (`negated` flips it to `IS NOT NULL`).
+    IsNull {
+        /// The tested expression.
+        expr: Box<SqlExpr>,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        /// The probe expression.
+        expr: Box<SqlExpr>,
+        /// The subquery (must return a single column).
+        subquery: Box<SelectStatement>,
+        /// `true` for `NOT IN`.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        subquery: Box<SelectStatement>,
+        /// `true` for `NOT EXISTS`.
+        negated: bool,
+    },
+}
+
+/// A `SELECT` statement of the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStatement {
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` clause.
+    pub from: Vec<TableRef>,
+    /// The optional `WHERE` clause.
+    pub where_clause: Option<SqlExpr>,
+}
+
+impl SelectStatement {
+    /// `true` iff the statement uses no subqueries anywhere.
+    pub fn is_subquery_free(&self) -> bool {
+        fn expr_free(e: &SqlExpr) -> bool {
+            match e {
+                SqlExpr::InSubquery { .. } | SqlExpr::Exists { .. } => false,
+                SqlExpr::Eq(a, b) | SqlExpr::Neq(a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+                    expr_free(a) && expr_free(b)
+                }
+                SqlExpr::Not(a) => expr_free(a),
+                SqlExpr::IsNull { expr, .. } => expr_free(expr),
+                SqlExpr::Column(_) | SqlExpr::Literal(_) | SqlExpr::Null => true,
+            }
+        }
+        self.where_clause.as_ref().map_or(true, expr_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str) -> SqlExpr {
+        SqlExpr::Column(ColumnRef {
+            table: None,
+            column: name.to_string(),
+        })
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef {
+            table: "Orders".into(),
+            alias: Some("O".into()),
+        };
+        assert_eq!(t.binding(), "O");
+        let t = TableRef {
+            table: "Orders".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "Orders");
+    }
+
+    #[test]
+    fn subquery_detection() {
+        let plain = SelectStatement {
+            items: vec![SelectItem::Star],
+            from: vec![TableRef {
+                table: "R".into(),
+                alias: None,
+            }],
+            where_clause: Some(SqlExpr::Eq(Box::new(col("a")), Box::new(col("b")))),
+        };
+        assert!(plain.is_subquery_free());
+        let nested = SelectStatement {
+            where_clause: Some(SqlExpr::Exists {
+                subquery: Box::new(plain.clone()),
+                negated: false,
+            }),
+            ..plain.clone()
+        };
+        assert!(!nested.is_subquery_free());
+    }
+
+    #[test]
+    fn column_display() {
+        let c = ColumnRef {
+            table: Some("O".into()),
+            column: "oid".into(),
+        };
+        assert_eq!(c.to_string(), "O.oid");
+    }
+}

@@ -1,0 +1,430 @@
+//! Three-valued SQL evaluation over incomplete databases.
+//!
+//! The evaluation follows SQL's semantics precisely, as analysed in §5 of
+//! the survey:
+//!
+//! * a comparison involving `NULL` evaluates to **unknown**;
+//! * `AND`, `OR`, `NOT` follow Kleene's truth tables (Figure 3);
+//! * `x [NOT] IN (subquery)` uses the standard SQL rules: `IN` is true if
+//!   some element matches, false if no element could match, and unknown if
+//!   the only reason no element matches is a `NULL` comparison;
+//! * `[NOT] EXISTS` is two-valued;
+//! * the `WHERE` clause keeps exactly the rows whose condition is **true**
+//!   — SQL's implicit assertion operator, the culprit of §5.2;
+//! * duplicates are preserved (bag semantics).
+//!
+//! Evaluation is deliberately naïve (nested loops); the goal is semantic
+//! fidelity, not query-engine performance — the performance experiments use
+//! the relational-algebra engine instead.
+
+use crate::ast::{ColumnRef, SelectItem, SelectStatement, SqlExpr, TableRef};
+use crate::{Result, SqlError};
+use certa_data::{BagRelation, Database, Tuple, Value};
+use certa_logic::Truth3;
+
+/// One scope of column bindings: for each table binding in a `FROM` clause,
+/// the attribute names and the current row.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    bindings: Vec<(String, Vec<String>, Tuple)>,
+}
+
+impl Scope {
+    /// Resolve a column reference in this scope; `None` if absent, error if
+    /// ambiguous.
+    fn resolve(&self, col: &ColumnRef) -> Result<Option<Value>> {
+        let mut found: Option<Value> = None;
+        for (binding, attrs, tuple) in &self.bindings {
+            if let Some(table) = &col.table {
+                if table != binding {
+                    continue;
+                }
+            }
+            if let Some(pos) = attrs.iter().position(|a| a == &col.column) {
+                if found.is_some() && col.table.is_none() {
+                    return Err(SqlError::UnknownColumn(format!(
+                        "{} (ambiguous)",
+                        col.column
+                    )));
+                }
+                found = Some(tuple[pos].clone());
+                if col.table.is_some() {
+                    break;
+                }
+            }
+        }
+        Ok(found)
+    }
+}
+
+/// Execute a `SELECT` statement on a database, returning a bag of rows (SQL
+/// preserves duplicates).
+///
+/// # Errors
+///
+/// Returns an error for unknown tables or columns.
+pub fn execute(stmt: &SelectStatement, db: &Database) -> Result<BagRelation> {
+    execute_in_scope(stmt, db, &Scope::default())
+}
+
+fn execute_in_scope(stmt: &SelectStatement, db: &Database, outer: &Scope) -> Result<BagRelation> {
+    let tables = resolve_tables(stmt, db)?;
+    let mut rows: Vec<Tuple> = Vec::new();
+    let mut output_arity = None;
+    product_rows(&tables, 0, &mut Vec::new(), &mut |bindings| {
+        let mut scope = Scope {
+            bindings: bindings.to_vec(),
+        };
+        // Inner bindings shadow outer ones; append the outer bindings after
+        // so unqualified resolution prefers the inner scope.
+        scope.bindings.extend(outer.bindings.iter().cloned());
+        let keep = match &stmt.where_clause {
+            None => Truth3::True,
+            Some(cond) => eval_expr(cond, db, &scope)?,
+        };
+        if keep == Truth3::True {
+            let row = project_row(stmt, bindings)?;
+            output_arity = Some(row.arity());
+            rows.push(row);
+        }
+        Ok(())
+    })?;
+    let arity = output_arity.unwrap_or_else(|| projected_arity(stmt, &tables));
+    Ok(BagRelation::from_tuples(arity, rows))
+}
+
+type Binding = (String, Vec<String>, Tuple);
+
+fn resolve_tables(stmt: &SelectStatement, db: &Database) -> Result<Vec<(TableRef, Vec<String>, Vec<Tuple>)>> {
+    stmt.from
+        .iter()
+        .map(|tref| {
+            let schema = db
+                .schema()
+                .relation(&tref.table)
+                .map_err(|_| SqlError::UnknownTable(tref.table.clone()))?;
+            let rel = db
+                .relation(&tref.table)
+                .map_err(|_| SqlError::UnknownTable(tref.table.clone()))?;
+            Ok((
+                tref.clone(),
+                schema.attributes().to_vec(),
+                rel.iter().cloned().collect(),
+            ))
+        })
+        .collect()
+}
+
+fn product_rows(
+    tables: &[(TableRef, Vec<String>, Vec<Tuple>)],
+    index: usize,
+    current: &mut Vec<Binding>,
+    callback: &mut impl FnMut(&[Binding]) -> Result<()>,
+) -> Result<()> {
+    if index == tables.len() {
+        return callback(current);
+    }
+    let (tref, attrs, tuples) = &tables[index];
+    for t in tuples {
+        current.push((tref.binding().to_string(), attrs.clone(), t.clone()));
+        product_rows(tables, index + 1, current, callback)?;
+        current.pop();
+    }
+    Ok(())
+}
+
+fn projected_arity(stmt: &SelectStatement, tables: &[(TableRef, Vec<String>, Vec<Tuple>)]) -> usize {
+    match stmt.items.as_slice() {
+        [SelectItem::Star] => tables.iter().map(|(_, attrs, _)| attrs.len()).sum(),
+        items => items.len(),
+    }
+}
+
+fn project_row(stmt: &SelectStatement, bindings: &[Binding]) -> Result<Tuple> {
+    match stmt.items.as_slice() {
+        [SelectItem::Star] => Ok(Tuple::new(
+            bindings
+                .iter()
+                .flat_map(|(_, _, t)| t.iter().cloned())
+                .collect::<Vec<_>>(),
+        )),
+        items => {
+            let scope = Scope {
+                bindings: bindings.to_vec(),
+            };
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                let SelectItem::Column(col) = item else {
+                    return Err(SqlError::Unsupported(
+                        "`*` mixed with named columns".to_string(),
+                    ));
+                };
+                match scope.resolve(col)? {
+                    Some(v) => values.push(v),
+                    None => return Err(SqlError::UnknownColumn(col.to_string())),
+                }
+            }
+            Ok(Tuple::new(values))
+        }
+    }
+}
+
+/// Evaluate a scalar term to a value (`None` encodes SQL's `NULL` literal).
+fn eval_term(expr: &SqlExpr, scope: &Scope) -> Result<Option<Value>> {
+    match expr {
+        SqlExpr::Column(col) => match scope.resolve(col)? {
+            Some(v) => Ok(Some(v)),
+            None => Err(SqlError::UnknownColumn(col.to_string())),
+        },
+        SqlExpr::Literal(c) => Ok(Some(Value::Const(c.clone()))),
+        SqlExpr::Null => Ok(None),
+        other => Err(SqlError::Unsupported(format!(
+            "expected a scalar term, found {other:?}"
+        ))),
+    }
+}
+
+/// SQL comparison of two optional values: any `NULL` (literal or stored
+/// null) makes the comparison unknown.
+fn compare(a: &Option<Value>, b: &Option<Value>, negated: bool) -> Truth3 {
+    match (a, b) {
+        (Some(Value::Const(x)), Some(Value::Const(y))) => {
+            Truth3::from_bool((x == y) != negated)
+        }
+        _ => Truth3::Unknown,
+    }
+}
+
+fn eval_expr(expr: &SqlExpr, db: &Database, scope: &Scope) -> Result<Truth3> {
+    match expr {
+        SqlExpr::Eq(a, b) => Ok(compare(&eval_term(a, scope)?, &eval_term(b, scope)?, false)),
+        SqlExpr::Neq(a, b) => Ok(compare(&eval_term(a, scope)?, &eval_term(b, scope)?, true)),
+        SqlExpr::And(a, b) => Ok(eval_expr(a, db, scope)?.and(eval_expr(b, db, scope)?)),
+        SqlExpr::Or(a, b) => Ok(eval_expr(a, db, scope)?.or(eval_expr(b, db, scope)?)),
+        SqlExpr::Not(inner) => Ok(eval_expr(inner, db, scope)?.not()),
+        SqlExpr::IsNull { expr, negated } => {
+            let value = eval_term(expr, scope)?;
+            let is_null = match value {
+                None => true,
+                Some(v) => v.is_null(),
+            };
+            Ok(Truth3::from_bool(is_null != *negated))
+        }
+        SqlExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let probe = eval_term(expr, scope)?;
+            let rows = execute_in_scope(subquery, db, scope)?;
+            let mut acc = Truth3::False;
+            for (row, _) in rows.iter() {
+                if row.arity() != 1 {
+                    return Err(SqlError::Unsupported(
+                        "IN subquery must return a single column".to_string(),
+                    ));
+                }
+                let element = Some(row[0].clone());
+                acc = acc.or(compare(&probe, &element, false));
+            }
+            Ok(if *negated { acc.not() } else { acc })
+        }
+        SqlExpr::Exists { subquery, negated } => {
+            let rows = execute_in_scope(subquery, db, scope)?;
+            let exists = Truth3::from_bool(!rows.is_empty());
+            Ok(if *negated { exists.not() } else { exists })
+        }
+        SqlExpr::Column(_) | SqlExpr::Literal(_) | SqlExpr::Null => Err(SqlError::Unsupported(
+            "a scalar term cannot be used as a predicate".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use certa_data::{database_from_literal, tup};
+
+    /// The Figure 1 database, optionally with the NULL of the introduction.
+    fn shop(with_null: bool) -> Database {
+        let second_payment = if with_null {
+            tup!["c2", Value::null(0)]
+        } else {
+            tup!["c2", "o2"]
+        };
+        database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![
+                    tup!["o1", "Big Data", 30],
+                    tup!["o2", "SQL", 35],
+                    tup!["o3", "Logic", 50],
+                ],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", "o1"], second_payment],
+            ),
+            (
+                "Customers",
+                vec!["cid", "name"],
+                vec![tup!["c1", "John"], tup!["c2", "Mary"]],
+            ),
+        ])
+    }
+
+    const UNPAID: &str =
+        "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+    const NO_PAID_ORDER: &str = "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
+         (SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)";
+
+    #[test]
+    fn unpaid_orders_without_null() {
+        let db = shop(false);
+        let out = execute(&parse(UNPAID).unwrap(), &db).unwrap();
+        assert_eq!(out.to_set(), certa_data::Relation::from_tuples(vec![tup!["o3"]]));
+    }
+
+    #[test]
+    fn unpaid_orders_with_null_returns_empty_false_negative() {
+        // §1: with the NULL, SQL returns the empty table — a false negative
+        // is avoided only by accident; the real phenomenon is that o3 is
+        // dropped even though it might be unpaid.
+        let db = shop(true);
+        let out = execute(&parse(UNPAID).unwrap(), &db).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn customers_without_paid_order_with_null_returns_false_positive() {
+        // §1: with the NULL, SQL returns c2 even though c2 is not a certain
+        // answer (a false positive).
+        let db = shop(true);
+        let out = execute(&parse(NO_PAID_ORDER).unwrap(), &db).unwrap();
+        assert_eq!(
+            out.to_set(),
+            certa_data::Relation::from_tuples(vec![tup!["c2"]])
+        );
+        // Without the NULL the answer is empty.
+        let out = execute(&parse(NO_PAID_ORDER).unwrap(), &shop(false)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn or_tautology_misses_certain_answer() {
+        // §1: the certain answer is {c1, c2} but SQL returns only c1.
+        let db = shop(true);
+        let q = parse("SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'").unwrap();
+        let out = execute(&q, &db).unwrap();
+        assert_eq!(out.to_set(), certa_data::Relation::from_tuples(vec![tup!["c1"]]));
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let db = shop(true);
+        let q = parse("SELECT cid FROM Payments WHERE oid IS NULL").unwrap();
+        assert_eq!(
+            execute(&q, &db).unwrap().to_set(),
+            certa_data::Relation::from_tuples(vec![tup!["c2"]])
+        );
+        let q = parse("SELECT cid FROM Payments WHERE oid IS NOT NULL").unwrap();
+        assert_eq!(
+            execute(&q, &db).unwrap().to_set(),
+            certa_data::Relation::from_tuples(vec![tup!["c1"]])
+        );
+    }
+
+    #[test]
+    fn joins_and_projection_with_star() {
+        let db = shop(false);
+        let q = parse(
+            "SELECT * FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'",
+        )
+        .unwrap();
+        let out = execute(&q, &db).unwrap();
+        assert_eq!(out.total_len(), 1);
+        assert_eq!(out.arity(), 5);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown_not_false() {
+        // WHERE oid = NULL never returns anything, and neither does its
+        // negation — the hallmark of three-valued logic.
+        let db = shop(true);
+        for q in [
+            "SELECT cid FROM Payments WHERE oid = NULL",
+            "SELECT cid FROM Payments WHERE NOT (oid = NULL)",
+        ] {
+            assert!(execute(&parse(q).unwrap(), &db).unwrap().is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn in_subquery_unknown_semantics() {
+        // 'o2' IN (SELECT oid FROM Payments) with Payments.oid ∈ {o1, ⊥}:
+        // no match, but the null makes it unknown, so NOT IN is also not
+        // true — both queries return nothing for o2.
+        let db = shop(true);
+        let q_in = parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
+        let in_rows = execute(&q_in, &db).unwrap().to_set();
+        assert_eq!(in_rows, certa_data::Relation::from_tuples(vec![tup!["o1"]]));
+        let q_not_in = parse(UNPAID).unwrap();
+        assert!(execute(&q_not_in, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let db = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, 10], tup![1, 20]],
+        )]);
+        let q = parse("SELECT a FROM R").unwrap();
+        let out = execute(&q, &db).unwrap();
+        assert_eq!(out.multiplicity(&tup![1]), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = shop(false);
+        assert!(matches!(
+            execute(&parse("SELECT x FROM Nope").unwrap(), &db),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&parse("SELECT nope FROM Orders").unwrap(), &db),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        // Ambiguous unqualified column across two tables.
+        assert!(matches!(
+            execute(
+                &parse("SELECT title FROM Orders, Payments WHERE oid = 'o1'").unwrap(),
+                &db
+            ),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        // Multi-column IN subquery is rejected.
+        assert!(matches!(
+            execute(
+                &parse("SELECT oid FROM Orders WHERE oid IN (SELECT * FROM Payments)").unwrap(),
+                &db
+            ),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn correlated_exists_sees_outer_scope() {
+        let db = shop(false);
+        let q = parse(
+            "SELECT name FROM Customers C WHERE EXISTS \
+             (SELECT * FROM Payments P WHERE P.cid = C.cid)",
+        )
+        .unwrap();
+        let out = execute(&q, &db).unwrap();
+        assert_eq!(out.total_len(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Tokenizer for the supported SQL fragment.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A keyword or identifier (keywords are recognised case-insensitively
+    /// by the parser; the original spelling is preserved here).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (single-quoted in the source).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `*`
+    Star,
+}
+
+impl Token {
+    /// `true` iff the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize an SQL string.
+///
+/// # Errors
+///
+/// Returns a [`SqlError::Lex`] on unterminated strings or unexpected
+/// characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex(i, "expected `<>`".to_string()));
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex(i, "expected `!=`".to_string()));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(SqlError::Lex(i, "unterminated string literal".to_string()));
+                }
+                tokens.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|e| SqlError::Lex(start, format!("bad integer `{text}`: {e}")))?;
+                tokens.push(Token::Int(value));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex(i, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_query() {
+        let toks = tokenize("SELECT oid FROM Orders WHERE price = 30").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert!(toks[0].is_keyword("select"));
+        assert_eq!(toks[7], Token::Int(30));
+    }
+
+    #[test]
+    fn tokenizes_strings_and_operators() {
+        let toks = tokenize("a <> 'o2' AND b != 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Neq,
+                Token::Str("o2".into()),
+                Token::Ident("AND".into()),
+                Token::Ident("b".into()),
+                Token::Neq,
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_punctuation_and_qualified_names() {
+        let toks = tokenize("SELECT C.cid, * FROM Customers C").unwrap();
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Comma));
+        assert!(toks.contains(&Token::Star));
+    }
+
+    #[test]
+    fn negative_numbers_and_errors() {
+        assert_eq!(tokenize("-5").unwrap(), vec![Token::Int(-5)]);
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Lex(_, _))));
+        assert!(matches!(tokenize("a < b"), Err(SqlError::Lex(_, _))));
+        assert!(matches!(tokenize("a ! b"), Err(SqlError::Lex(_, _))));
+        assert!(matches!(tokenize("a # b"), Err(SqlError::Lex(_, _))));
+    }
+}

@@ -1,0 +1,67 @@
+//! # certa-sql
+//!
+//! A small SQL front-end with a *faithful* reproduction of SQL's
+//! three-valued-logic evaluation over databases with nulls, used to
+//! reproduce the introduction of the PODS 2020 survey "Coping with
+//! Incomplete Data: Recent Advances" (false positives and false negatives
+//! of SQL with respect to certain answers) and the `FO↑SQL` analysis of
+//! §5.2.
+//!
+//! The supported fragment is the "core SQL" of the survey: `SELECT` /
+//! `FROM` / `WHERE` with equality and disequality comparisons, `AND`, `OR`,
+//! `NOT`, `IS [NOT] NULL`, `[NOT] IN (subquery)` and `[NOT] EXISTS
+//! (subquery)`, with correlated subqueries. Evaluation follows SQL's rules:
+//! comparisons involving `NULL` evaluate to *unknown*, the connectives
+//! follow Kleene's logic (Figure 3), and the `WHERE` clause keeps exactly
+//! the rows whose condition evaluates to *true* — the assertion operator of
+//! §5.2.
+//!
+//! * [`parse`] — lexer and recursive-descent parser for the fragment;
+//! * [`execute`] — three-valued evaluation over a [`certa_data::Database`]
+//!   under bag semantics (duplicates preserved, as in SQL);
+//! * [`lower`] — lowering of the subquery-free core (plus uncorrelated
+//!   `[NOT] IN`) to relational algebra, so SQL queries can be fed to the
+//!   approximation schemes of `certa-certain`.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{SelectItem, SelectStatement, SqlExpr, TableRef};
+pub use eval::execute;
+pub use lower::lower_to_algebra;
+pub use parser::parse;
+
+/// Errors raised by the SQL front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at the given character position.
+    Lex(usize, String),
+    /// Parse error with a human-readable message.
+    Parse(String),
+    /// An unknown table was referenced.
+    UnknownTable(String),
+    /// An unknown or ambiguous column was referenced.
+    UnknownColumn(String),
+    /// The statement falls outside the fragment a given operation supports.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(pos, msg) => write!(f, "lexical error at position {pos}: {msg}"),
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown or ambiguous column `{c}`"),
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL feature: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,391 @@
+//! Lowering of the subquery-free SQL core (plus uncorrelated `[NOT] IN`)
+//! to relational algebra.
+//!
+//! This is the bridge that lets SQL queries flow into the approximation
+//! schemes of `certa-certain`: parse with [`crate::parse`], lower with
+//! [`lower_to_algebra`], then rewrite with `q_plus` / `q_question` and
+//! evaluate with the algebra engine. The lowering is *syntactic* — it maps
+//! SQL text to the algebra expression a textbook would give — so the
+//! three-valued behaviour of SQL is **not** baked in: evaluating the lowered
+//! expression naïvely corresponds to treating nulls as values, and it is the
+//! job of the rewritings to restore correctness guarantees.
+//!
+//! Supported: `SELECT` / `FROM` / `WHERE` with comparisons, `AND`, `OR`,
+//! `IS [NOT] NULL`, and `[NOT] IN (subquery)` where the subquery is itself
+//! lowerable and does not refer to the outer scope. `EXISTS` and general
+//! `NOT` are rejected with [`SqlError::Unsupported`].
+
+use crate::ast::{ColumnRef, SelectItem, SelectStatement, SqlExpr};
+use crate::{Result, SqlError};
+use certa_algebra::{Condition, Operand, RaExpr};
+use certa_data::Schema;
+
+/// The result of lowering: an algebra expression plus its output column
+/// names (qualified as `binding.attribute`).
+#[derive(Debug, Clone)]
+pub struct LoweredQuery {
+    /// The relational-algebra expression.
+    pub expr: RaExpr,
+    /// The output column names.
+    pub columns: Vec<String>,
+}
+
+/// Lower a parsed `SELECT` statement to relational algebra.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Unsupported`] for statements outside the lowerable
+/// fragment and name-resolution errors for unknown tables or columns.
+pub fn lower_to_algebra(stmt: &SelectStatement, schema: &Schema) -> Result<LoweredQuery> {
+    // Build the FROM product and the column environment.
+    let mut columns: Vec<String> = Vec::new();
+    let mut expr: Option<RaExpr> = None;
+    for tref in &stmt.from {
+        let rel_schema = schema
+            .relation(&tref.table)
+            .map_err(|_| SqlError::UnknownTable(tref.table.clone()))?;
+        for attr in rel_schema.attributes() {
+            columns.push(format!("{}.{}", tref.binding(), attr));
+        }
+        let scan = RaExpr::rel(&tref.table);
+        expr = Some(match expr {
+            None => scan,
+            Some(acc) => acc.product(scan),
+        });
+    }
+    let mut expr = expr.ok_or_else(|| SqlError::Parse("empty FROM clause".to_string()))?;
+
+    // WHERE clause: split into plain conditions and [NOT] IN constraints.
+    if let Some(where_clause) = &stmt.where_clause {
+        let (condition, membership) = lower_where(where_clause, &columns, schema)?;
+        expr = expr.select(condition);
+        for m in membership {
+            expr = apply_membership(expr, &columns, m, schema)?;
+        }
+    }
+
+    // Projection.
+    let (expr, columns) = lower_projection(stmt, expr, &columns)?;
+    Ok(LoweredQuery { expr, columns })
+}
+
+/// A `[NOT] IN` constraint extracted from the `WHERE` clause.
+struct Membership {
+    probe: usize,
+    subquery: LoweredQuery,
+    negated: bool,
+}
+
+fn lower_projection(
+    stmt: &SelectStatement,
+    expr: RaExpr,
+    columns: &[String],
+) -> Result<(RaExpr, Vec<String>)> {
+    match stmt.items.as_slice() {
+        [SelectItem::Star] => Ok((expr, columns.to_vec())),
+        items => {
+            let mut positions = Vec::with_capacity(items.len());
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                let SelectItem::Column(col) = item else {
+                    return Err(SqlError::Unsupported(
+                        "`*` mixed with named columns".to_string(),
+                    ));
+                };
+                let pos = resolve_column(col, columns)?;
+                positions.push(pos);
+                names.push(columns[pos].clone());
+            }
+            Ok((expr.project(positions), names))
+        }
+    }
+}
+
+fn resolve_column(col: &ColumnRef, columns: &[String]) -> Result<usize> {
+    let matches: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| match &col.table {
+            Some(t) => c.as_str() == format!("{t}.{}", col.column),
+            None => c.rsplit('.').next() == Some(col.column.as_str()),
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(SqlError::UnknownColumn(col.to_string())),
+        _ => Err(SqlError::UnknownColumn(format!("{col} (ambiguous)"))),
+    }
+}
+
+fn lower_operand(expr: &SqlExpr, columns: &[String]) -> Result<Operand> {
+    match expr {
+        SqlExpr::Column(col) => Ok(Operand::Attr(resolve_column(col, columns)?)),
+        SqlExpr::Literal(c) => Ok(Operand::Const(c.clone())),
+        other => Err(SqlError::Unsupported(format!(
+            "operand {other:?} cannot be lowered"
+        ))),
+    }
+}
+
+/// Lower a `WHERE` expression into a selection condition plus a list of
+/// membership constraints. Only conjunctions may combine membership
+/// constraints with other predicates (disjunctions of `IN` are rejected).
+fn lower_where(
+    expr: &SqlExpr,
+    columns: &[String],
+    schema: &Schema,
+) -> Result<(Condition, Vec<Membership>)> {
+    match expr {
+        SqlExpr::And(a, b) => {
+            let (ca, mut ma) = lower_where(a, columns, schema)?;
+            let (cb, mb) = lower_where(b, columns, schema)?;
+            ma.extend(mb);
+            Ok((ca.and(cb), ma))
+        }
+        SqlExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let SqlExpr::Column(col) = expr.as_ref() else {
+                return Err(SqlError::Unsupported(
+                    "IN probe must be a column".to_string(),
+                ));
+            };
+            let probe = resolve_column(col, columns)?;
+            let lowered = lower_to_algebra(subquery, schema)?;
+            if lowered.columns.len() != 1 {
+                return Err(SqlError::Unsupported(
+                    "IN subquery must return a single column".to_string(),
+                ));
+            }
+            Ok((
+                Condition::True,
+                vec![Membership {
+                    probe,
+                    subquery: lowered,
+                    negated: *negated,
+                }],
+            ))
+        }
+        other => Ok((lower_plain_condition(other, columns)?, Vec::new())),
+    }
+}
+
+/// Lower a predicate containing no subqueries into a selection condition.
+fn lower_plain_condition(expr: &SqlExpr, columns: &[String]) -> Result<Condition> {
+    match expr {
+        SqlExpr::Eq(a, b) => Ok(Condition::Eq(
+            lower_operand(a, columns)?,
+            lower_operand(b, columns)?,
+        )),
+        SqlExpr::Neq(a, b) => Ok(Condition::Neq(
+            lower_operand(a, columns)?,
+            lower_operand(b, columns)?,
+        )),
+        SqlExpr::And(a, b) => Ok(lower_plain_condition(a, columns)?
+            .and(lower_plain_condition(b, columns)?)),
+        SqlExpr::Or(a, b) => Ok(lower_plain_condition(a, columns)?
+            .or(lower_plain_condition(b, columns)?)),
+        SqlExpr::IsNull { expr, negated } => {
+            let SqlExpr::Column(col) = expr.as_ref() else {
+                return Err(SqlError::Unsupported(
+                    "IS NULL applies to columns only".to_string(),
+                ));
+            };
+            let pos = resolve_column(col, columns)?;
+            Ok(if *negated {
+                Condition::IsConst(pos)
+            } else {
+                Condition::IsNull(pos)
+            })
+        }
+        other => Err(SqlError::Unsupported(format!(
+            "predicate {other:?} cannot be lowered to relational algebra"
+        ))),
+    }
+}
+
+/// Apply a membership constraint: `IN` becomes a semijoin (projection of a
+/// join), `NOT IN` becomes a set difference on the probe column combined
+/// back with a join — both expressed with the paper's core operators.
+fn apply_membership(
+    expr: RaExpr,
+    columns: &[String],
+    m: Membership,
+    _schema: &Schema,
+) -> Result<RaExpr> {
+    let width = columns.len();
+    let sub = m.subquery.expr;
+    if m.negated {
+        // Keep rows whose probe column is NOT in the subquery: join the row
+        // with the complement via difference on the probe column.
+        // rows ⋉̸ sub  =  rows joined with (π_probe(rows) − sub).
+        let anti = expr
+            .clone()
+            .project(vec![m.probe])
+            .difference(sub);
+        Ok(expr
+            .product(anti)
+            .select(Condition::eq_attr(m.probe, width))
+            .project((0..width).collect::<Vec<_>>()))
+    } else {
+        // Semijoin: keep rows whose probe column appears in the subquery.
+        Ok(expr
+            .product(sub)
+            .select(Condition::eq_attr(m.probe, width))
+            .project((0..width).collect::<Vec<_>>()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use certa_algebra::eval;
+    use certa_data::{database_from_literal, tup, Database, Relation, Value};
+
+    fn shop() -> Database {
+        database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![
+                    tup!["o1", "Big Data", 30],
+                    tup!["o2", "SQL", 35],
+                    tup!["o3", "Logic", 50],
+                ],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", "o1"], tup!["c2", "o2"]],
+            ),
+        ])
+    }
+
+    #[test]
+    fn lowers_select_project_join() {
+        let db = shop();
+        let stmt = parse(
+            "SELECT O.title FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'",
+        )
+        .unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        assert_eq!(lowered.columns, vec!["O.title"]);
+        let out = eval(&lowered.expr, &db).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["Big Data"]]));
+    }
+
+    #[test]
+    fn lowers_not_in_to_difference_pattern() {
+        let db = shop();
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        let out = eval(&lowered.expr, &db).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["o3"]]));
+    }
+
+    #[test]
+    fn lowers_in_to_semijoin_pattern() {
+        let db = shop();
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        let out = eval(&lowered.expr, &db).unwrap();
+        assert_eq!(out, Relation::from_tuples(vec![tup!["o1"], tup!["o2"]]));
+    }
+
+    #[test]
+    fn lowered_not_in_feeds_certain_answer_machinery() {
+        // With a null in Payments, the naïve evaluation of the lowered query
+        // differs from its certain answers — the pipeline the approximation
+        // schemes operate on.
+        let db = database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![tup!["o1", "Big Data", 30], tup!["o3", "Logic", 50]],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", Value::null(0)]],
+            ),
+        ]);
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        let naive = certa_algebra::naive_eval(&lowered.expr, &db).unwrap();
+        assert_eq!(naive.len(), 2);
+    }
+
+    #[test]
+    fn lowers_is_null_and_disjunction() {
+        let db = database_from_literal([(
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, Value::null(0)], tup![2, 3]],
+        )]);
+        let stmt = parse("SELECT a FROM R WHERE b IS NULL OR b = 3").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        let out = eval(&lowered.expr, &db).unwrap();
+        assert_eq!(out.len(), 2);
+        let stmt = parse("SELECT a FROM R WHERE b IS NOT NULL").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        assert_eq!(eval(&lowered.expr, &db).unwrap(), Relation::from_tuples(vec![tup![2]]));
+    }
+
+    #[test]
+    fn star_projection_keeps_all_columns() {
+        let db = shop();
+        let stmt = parse("SELECT * FROM Payments").unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        assert_eq!(lowered.columns.len(), 2);
+        assert_eq!(eval(&lowered.expr, &db).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_exists_and_unknown_names() {
+        let db = shop();
+        let stmt = parse(
+            "SELECT cid FROM Customers WHERE EXISTS (SELECT * FROM Payments)",
+        )
+        .unwrap();
+        assert!(matches!(
+            lower_to_algebra(&stmt, db.schema()),
+            Err(SqlError::UnknownTable(_)) | Err(SqlError::Unsupported(_))
+        ));
+        let stmt = parse("SELECT nope FROM Orders").unwrap();
+        assert!(matches!(
+            lower_to_algebra(&stmt, db.schema()),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        let stmt = parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT * FROM Payments)")
+            .unwrap();
+        assert!(matches!(
+            lower_to_algebra(&stmt, db.schema()),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn lowered_query_matches_sql_on_complete_data() {
+        // On complete databases the lowered algebra and the SQL evaluator
+        // agree (both are the textbook semantics there).
+        let db = shop();
+        for q in [
+            "SELECT oid FROM Orders WHERE price = 30 OR price = 50",
+            "SELECT O.oid FROM Orders O, Payments P WHERE O.oid = P.oid",
+            "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)",
+        ] {
+            let stmt = parse(q).unwrap();
+            let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+            let algebra_out = eval(&lowered.expr, &db).unwrap();
+            let sql_out = crate::eval::execute(&stmt, &db).unwrap().to_set();
+            assert_eq!(algebra_out, sql_out, "{q}");
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Recursive-descent parser for the supported SQL fragment.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select    ::= SELECT items FROM tables [WHERE expr]
+//! items     ::= '*' | item (',' item)*
+//! item      ::= [ident '.'] ident
+//! tables    ::= table (',' table)*
+//! table     ::= ident [ident]            -- optional alias
+//! expr      ::= and_expr (OR and_expr)*
+//! and_expr  ::= not_expr (AND not_expr)*
+//! not_expr  ::= NOT not_expr | primary
+//! primary   ::= EXISTS '(' select ')'
+//!             | '(' expr ')'
+//!             | term IS [NOT] NULL
+//!             | term [NOT] IN '(' select ')'
+//!             | term ('=' | '<>') term
+//! term      ::= [ident '.'] ident | integer | string | NULL
+//! ```
+
+use crate::ast::{ColumnRef, SelectItem, SelectStatement, SqlExpr, TableRef};
+use crate::lexer::{tokenize, Token};
+use crate::{Result, SqlError};
+use certa_data::Const;
+
+/// Parse an SQL `SELECT` statement.
+///
+/// # Errors
+///
+/// Returns a lexing or parsing error for input outside the fragment.
+pub fn parse(input: &str) -> Result<SelectStatement> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.select()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing input at token {}",
+            parser.pos
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.advance() {
+            Some(t) if t.is_keyword(kw) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        match self.advance() {
+            Some(t) if &t == token => Ok(()),
+            other => Err(SqlError::Parse(format!(
+                "expected {token:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn keyword_ahead(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_keyword(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let items = self.items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.tables()?;
+        let where_clause = if self.keyword_ahead("WHERE") {
+            self.advance();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            items,
+            from,
+            where_clause,
+        })
+    }
+
+    fn items(&mut self) -> Result<Vec<SelectItem>> {
+        if self.peek() == Some(&Token::Star) {
+            self.advance();
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![SelectItem::Column(self.column_ref()?)];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            items.push(SelectItem::Column(self.column_ref()?));
+        }
+        Ok(items)
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.advance();
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn tables(&mut self) -> Result<Vec<TableRef>> {
+        let mut tables = vec![self.table_ref()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            tables.push(self.table_ref()?);
+        }
+        Ok(tables)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // An alias is a bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !["WHERE", "AND", "OR", "ORDER", "GROUP"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+            {
+                Some(self.ident()?)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.keyword_ahead("OR") {
+            self.advance();
+            let right = self.and_expr()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.keyword_ahead("AND") {
+            self.advance();
+            let right = self.not_expr()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr> {
+        if self.keyword_ahead("NOT") {
+            // Could be NOT EXISTS or a general negation.
+            self.advance();
+            if self.keyword_ahead("EXISTS") {
+                self.advance();
+                let subquery = self.parenthesised_select()?;
+                return Ok(SqlExpr::Exists {
+                    subquery: Box::new(subquery),
+                    negated: true,
+                });
+            }
+            let inner = self.not_expr()?;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        if self.keyword_ahead("EXISTS") {
+            self.advance();
+            let subquery = self.parenthesised_select()?;
+            return Ok(SqlExpr::Exists {
+                subquery: Box::new(subquery),
+                negated: false,
+            });
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.advance();
+            let inner = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let left = self.term()?;
+        // IS [NOT] NULL
+        if self.keyword_ahead("IS") {
+            self.advance();
+            let negated = if self.keyword_ahead("NOT") {
+                self.advance();
+                true
+            } else {
+                false
+            };
+            self.expect_keyword("NULL")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN (subquery)
+        let mut negated_in = false;
+        if self.keyword_ahead("NOT") {
+            self.advance();
+            negated_in = true;
+            self.expect_keyword("IN")?;
+            let subquery = self.parenthesised_select()?;
+            return Ok(SqlExpr::InSubquery {
+                expr: Box::new(left),
+                subquery: Box::new(subquery),
+                negated: negated_in,
+            });
+        }
+        if self.keyword_ahead("IN") {
+            self.advance();
+            let subquery = self.parenthesised_select()?;
+            return Ok(SqlExpr::InSubquery {
+                expr: Box::new(left),
+                subquery: Box::new(subquery),
+                negated: negated_in,
+            });
+        }
+        // Comparison.
+        match self.advance() {
+            Some(Token::Eq) => Ok(SqlExpr::Eq(Box::new(left), Box::new(self.term()?))),
+            Some(Token::Neq) => Ok(SqlExpr::Neq(Box::new(left), Box::new(self.term()?))),
+            other => Err(SqlError::Parse(format!(
+                "expected comparison operator, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parenthesised_select(&mut self) -> Result<SelectStatement> {
+        self.expect(&Token::LParen)?;
+        let stmt = self.select()?;
+        self.expect(&Token::RParen)?;
+        Ok(stmt)
+    }
+
+    fn term(&mut self) -> Result<SqlExpr> {
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(SqlExpr::Literal(Const::Int(i))),
+            Some(Token::Str(s)) => Ok(SqlExpr::Literal(Const::str(s))),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(SqlExpr::Null),
+            Some(Token::Ident(first)) => {
+                if self.peek() == Some(&Token::Dot) {
+                    self.advance();
+                    let column = self.ident()?;
+                    Ok(SqlExpr::Column(ColumnRef {
+                        table: Some(first),
+                        column,
+                    }))
+                } else {
+                    Ok(SqlExpr::Column(ColumnRef {
+                        table: None,
+                        column: first,
+                    }))
+                }
+            }
+            other => Err(SqlError::Parse(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let stmt = parse("SELECT oid FROM Orders").unwrap();
+        assert_eq!(stmt.items.len(), 1);
+        assert_eq!(stmt.from.len(), 1);
+        assert!(stmt.where_clause.is_none());
+        assert!(stmt.is_subquery_free());
+    }
+
+    #[test]
+    fn parses_star_and_aliases() {
+        let stmt = parse("SELECT * FROM Orders O, Payments P WHERE O.oid = P.oid").unwrap();
+        assert_eq!(stmt.items, vec![SelectItem::Star]);
+        assert_eq!(stmt.from[0].binding(), "O");
+        assert_eq!(stmt.from[1].binding(), "P");
+        assert!(matches!(stmt.where_clause, Some(SqlExpr::Eq(_, _))));
+    }
+
+    #[test]
+    fn parses_not_in_subquery() {
+        let stmt = parse(
+            "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)",
+        )
+        .unwrap();
+        match stmt.where_clause.unwrap() {
+            SqlExpr::InSubquery { negated, subquery, .. } => {
+                assert!(negated);
+                assert_eq!(subquery.from[0].table, "Payments");
+            }
+            other => panic!("expected NOT IN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_exists_correlated() {
+        let stmt = parse(
+            "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
+             (SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)",
+        )
+        .unwrap();
+        match stmt.where_clause.unwrap() {
+            SqlExpr::Exists { negated, subquery } => {
+                assert!(negated);
+                assert_eq!(subquery.from.len(), 2);
+            }
+            other => panic!("expected NOT EXISTS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_and_precedence() {
+        let stmt = parse("SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'").unwrap();
+        match stmt.where_clause.unwrap() {
+            SqlExpr::Or(l, r) => {
+                assert!(matches!(*l, SqlExpr::Eq(_, _)));
+                assert!(matches!(*r, SqlExpr::Neq(_, _)));
+            }
+            other => panic!("expected OR, got {other:?}"),
+        }
+        // AND binds tighter than OR.
+        let stmt = parse("SELECT a FROM R WHERE a = 1 OR a = 2 AND b = 3").unwrap();
+        assert!(matches!(stmt.where_clause.unwrap(), SqlExpr::Or(_, _)));
+    }
+
+    #[test]
+    fn parses_is_null_and_not() {
+        let stmt = parse("SELECT a FROM R WHERE a IS NULL").unwrap();
+        assert!(matches!(
+            stmt.where_clause.unwrap(),
+            SqlExpr::IsNull { negated: false, .. }
+        ));
+        let stmt = parse("SELECT a FROM R WHERE a IS NOT NULL").unwrap();
+        assert!(matches!(
+            stmt.where_clause.unwrap(),
+            SqlExpr::IsNull { negated: true, .. }
+        ));
+        let stmt = parse("SELECT a FROM R WHERE NOT (a = 1)").unwrap();
+        assert!(matches!(stmt.where_clause.unwrap(), SqlExpr::Not(_)));
+    }
+
+    #[test]
+    fn parses_null_literal_comparison() {
+        let stmt = parse("SELECT a FROM R WHERE a = NULL").unwrap();
+        match stmt.where_clause.unwrap() {
+            SqlExpr::Eq(_, r) => assert_eq!(*r, SqlExpr::Null),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT a FROM R WHERE").is_err());
+        assert!(parse("SELECT a FROM R extra garbage here =").is_err());
+        assert!(parse("UPDATE R SET a = 1").is_err());
+        assert!(parse("SELECT a FROM R WHERE a").is_err());
+    }
+
+    #[test]
+    fn in_subquery_without_not() {
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
+        assert!(matches!(
+            stmt.where_clause.unwrap(),
+            SqlExpr::InSubquery { negated: false, .. }
+        ));
+    }
+}

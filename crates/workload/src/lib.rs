@@ -1,0 +1,24 @@
+//! # certa-workload
+//!
+//! Workload generators for the experiments of the PODS 2020 survey
+//! reproduction:
+//!
+//! * [`shop`] — the orders/payments/customers database of Figure 1, with
+//!   and without the NULL perturbation of the introduction, plus the three
+//!   queries discussed there (as SQL text and as relational algebra);
+//! * [`tpch`] — a synthetic TPC-H-like schema and data generator with a
+//!   configurable scale factor and null-injection rate, together with a
+//!   suite of relational-algebra queries exercising the algebraic shapes of
+//!   the TPC-H workload (joins, anti-joins, unions, selections, division);
+//!   this substitutes for the TPC Benchmark H data used by the experiments
+//!   the survey reports (see DESIGN.md §1 for the substitution argument);
+//! * [`random`] — random databases and random relational-algebra queries
+//!   for property-based testing and the naïve-evaluation experiments.
+
+pub mod random;
+pub mod shop;
+pub mod tpch;
+
+pub use random::{random_database, random_query, RandomDbConfig, RandomQueryConfig};
+pub use shop::{shop_database, ShopQueries};
+pub use tpch::{TpchConfig, TpchGenerator, TpchQuery};

@@ -1,0 +1,246 @@
+//! Random databases and random relational-algebra queries.
+//!
+//! Used by the property-based tests and by experiment E2 (naïve evaluation
+//! versus exact certain answers on randomly generated instances).
+
+use certa_algebra::{Condition, RaExpr};
+use certa_data::{Database, RelationSchema, Schema, Tuple, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the random database generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDbConfig {
+    /// Relation names with arities.
+    pub relations: Vec<(String, usize)>,
+    /// Number of tuples per relation.
+    pub tuples_per_relation: usize,
+    /// Constants are drawn from `0..domain_size`.
+    pub domain_size: i64,
+    /// Number of distinct nulls available for injection.
+    pub null_count: u32,
+    /// Probability that a position holds a null instead of a constant.
+    pub null_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDbConfig {
+    fn default() -> Self {
+        RandomDbConfig {
+            relations: vec![("R".to_string(), 2), ("S".to_string(), 1)],
+            tuples_per_relation: 4,
+            domain_size: 4,
+            null_count: 2,
+            null_rate: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a random database according to the configuration.
+///
+/// The same null identifier can occur several times (marked-null model).
+pub fn random_database(config: &RandomDbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::from_relations(config.relations.iter().map(|(name, arity)| {
+        RelationSchema::new(
+            name.clone(),
+            (0..*arity).map(|i| format!("a{i}")).collect::<Vec<_>>(),
+        )
+    }))
+    .expect("random schema is well-formed");
+    let mut db = Database::new(schema);
+    for (name, arity) in &config.relations {
+        for _ in 0..config.tuples_per_relation {
+            let tuple = Tuple::new((0..*arity).map(|_| {
+                if config.null_count > 0 && rng.gen_bool(config.null_rate.clamp(0.0, 1.0)) {
+                    Value::null(rng.gen_range(0..config.null_count))
+                } else {
+                    Value::int(rng.gen_range(0..config.domain_size))
+                }
+            }));
+            db.insert(name, tuple).expect("arity matches by construction");
+        }
+    }
+    db
+}
+
+/// Configuration of the random query generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomQueryConfig {
+    /// Maximum operator depth.
+    pub max_depth: usize,
+    /// Allow the difference operator (turning the query into full RA).
+    pub allow_difference: bool,
+    /// Allow disequality selections.
+    pub allow_disequality: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> Self {
+        RandomQueryConfig {
+            max_depth: 3,
+            allow_difference: true,
+            allow_disequality: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a random well-formed query over the given schema.
+///
+/// The generator only produces queries in the paper's core fragment
+/// (relations, σ, π, ×, ∪, −), with operand arities kept consistent.
+pub fn random_query(schema: &Schema, config: &RandomQueryConfig) -> RaExpr {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let relations: Vec<(String, usize)> = schema
+        .iter()
+        .map(|r| (r.name().to_string(), r.arity()))
+        .collect();
+    gen_expr(&relations, config, &mut rng, config.max_depth).0
+}
+
+fn gen_expr(
+    relations: &[(String, usize)],
+    config: &RandomQueryConfig,
+    rng: &mut StdRng,
+    depth: usize,
+) -> (RaExpr, usize) {
+    if depth == 0 || rng.gen_bool(0.3) {
+        let (name, arity) = relations[rng.gen_range(0..relations.len())].clone();
+        return (RaExpr::rel(name), arity);
+    }
+    let choice = rng.gen_range(0..5);
+    match choice {
+        // Selection.
+        0 => {
+            let (inner, arity) = gen_expr(relations, config, rng, depth - 1);
+            let attr = rng.gen_range(0..arity.max(1));
+            let cond = if config.allow_disequality && rng.gen_bool(0.3) {
+                Condition::neq_const(attr, rng.gen_range(0..4))
+            } else if rng.gen_bool(0.5) && arity >= 2 {
+                Condition::eq_attr(attr, rng.gen_range(0..arity))
+            } else {
+                Condition::eq_const(attr, rng.gen_range(0..4))
+            };
+            (inner.select(cond), arity)
+        }
+        // Projection.
+        1 => {
+            let (inner, arity) = gen_expr(relations, config, rng, depth - 1);
+            let keep = rng.gen_range(1..=arity.max(1));
+            let positions: Vec<usize> = (0..keep).map(|_| rng.gen_range(0..arity.max(1))).collect();
+            let out_arity = positions.len();
+            (inner.project(positions), out_arity)
+        }
+        // Product.
+        2 => {
+            let (l, la) = gen_expr(relations, config, rng, depth - 1);
+            let (r, ra) = gen_expr(relations, config, rng, depth - 1);
+            (l.product(r), la + ra)
+        }
+        // Union of two copies with matching arity: use the same subexpression
+        // shape on both sides to guarantee equal arities.
+        3 => {
+            let (l, la) = gen_expr(relations, config, rng, depth - 1);
+            let (r, ra) = gen_expr(relations, config, rng, depth - 1);
+            if la == ra {
+                (l.union(r), la)
+            } else {
+                // Align arities by projecting both to their first column.
+                (l.project(vec![0]).union(r.project(vec![0])), 1)
+            }
+        }
+        // Difference (or a fallback when not allowed).
+        _ => {
+            let (l, la) = gen_expr(relations, config, rng, depth - 1);
+            let (r, ra) = gen_expr(relations, config, rng, depth - 1);
+            if !config.allow_difference {
+                return if la == ra {
+                    (l.union(r), la)
+                } else {
+                    (l.project(vec![0]).union(r.project(vec![0])), 1)
+                };
+            }
+            if la == ra {
+                (l.difference(r), la)
+            } else {
+                (l.project(vec![0]).difference(r.project(vec![0])), 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_algebra::{classify, naive_eval, Fragment};
+
+    #[test]
+    fn random_database_is_deterministic_and_respects_config() {
+        let cfg = RandomDbConfig::default();
+        let a = random_database(&cfg);
+        let b = random_database(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.schema().len(), 2);
+        assert!(a.relation("R").unwrap().len() <= cfg.tuples_per_relation);
+        // With null_rate = 0 the database is complete.
+        let complete = random_database(&RandomDbConfig {
+            null_rate: 0.0,
+            ..RandomDbConfig::default()
+        });
+        assert!(complete.is_complete());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_database(&RandomDbConfig::default());
+        let b = random_database(&RandomDbConfig {
+            seed: 99,
+            ..RandomDbConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_queries_are_well_formed() {
+        let schema = random_database(&RandomDbConfig::default());
+        for seed in 0..50 {
+            let q = random_query(
+                schema.schema(),
+                &RandomQueryConfig {
+                    seed,
+                    ..RandomQueryConfig::default()
+                },
+            );
+            q.validate(schema.schema())
+                .unwrap_or_else(|e| panic!("seed {seed}: {q} invalid: {e}"));
+            // And they evaluate without error.
+            naive_eval(&q, &schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn positive_only_generator_stays_in_positive_fragment() {
+        let db = random_database(&RandomDbConfig::default());
+        for seed in 0..30 {
+            let q = random_query(
+                db.schema(),
+                &RandomQueryConfig {
+                    allow_difference: false,
+                    allow_disequality: false,
+                    seed,
+                    ..RandomQueryConfig::default()
+                },
+            );
+            let fragment = classify(&q);
+            assert!(
+                fragment <= Fragment::PositiveRa,
+                "seed {seed}: {q} classified as {fragment:?}"
+            );
+        }
+    }
+}

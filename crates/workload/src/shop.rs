@@ -1,0 +1,158 @@
+//! The Figure 1 database of the survey and the queries of its introduction.
+
+use certa_algebra::{Condition, RaExpr};
+use certa_data::{database_from_literal, tup, Database, Value};
+
+/// Build the orders/payments/customers database of Figure 1.
+///
+/// With `with_null = true`, the `oid` value of the second `Payments` tuple
+/// is replaced by a null — the single change that makes SQL's answers
+/// change drastically in the introduction.
+pub fn shop_database(with_null: bool) -> Database {
+    let second_payment = if with_null {
+        tup!["c2", Value::null(0)]
+    } else {
+        tup!["c2", "o2"]
+    };
+    database_from_literal([
+        (
+            "Orders",
+            vec!["oid", "title", "price"],
+            vec![
+                tup!["o1", "Big Data", 30],
+                tup!["o2", "SQL", 35],
+                tup!["o3", "Logic", 50],
+            ],
+        ),
+        (
+            "Payments",
+            vec!["cid", "oid"],
+            vec![tup!["c1", "o1"], second_payment],
+        ),
+        (
+            "Customers",
+            vec!["cid", "name"],
+            vec![tup!["c1", "John"], tup!["c2", "Mary"]],
+        ),
+    ])
+}
+
+/// The three queries of the survey's introduction, in SQL and in relational
+/// algebra.
+pub struct ShopQueries;
+
+impl ShopQueries {
+    /// SQL text of the unpaid-orders query.
+    pub const UNPAID_ORDERS_SQL: &'static str =
+        "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+
+    /// SQL text of the customers-without-a-paid-order query.
+    pub const NO_PAID_ORDER_SQL: &'static str =
+        "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
+         (SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)";
+
+    /// SQL text of the OR-tautology query.
+    pub const OR_TAUTOLOGY_SQL: &'static str =
+        "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'";
+
+    /// The unpaid-orders query as relational algebra:
+    /// `π_oid(Orders) − π_oid(Payments)`.
+    pub fn unpaid_orders() -> RaExpr {
+        RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]))
+    }
+
+    /// The customers-without-a-paid-order query as relational algebra:
+    /// `π_cid(Customers) − π_cid(σ_{P.oid = O.oid}(Payments × Orders))`.
+    pub fn customers_without_paid_order() -> RaExpr {
+        let paid_customers = RaExpr::rel("Payments")
+            .product(RaExpr::rel("Orders"))
+            .select(Condition::eq_attr(1, 2))
+            .project(vec![0]);
+        RaExpr::rel("Customers").project(vec![0]).difference(paid_customers)
+    }
+
+    /// The OR-tautology query as relational algebra:
+    /// `π_cid(σ_{oid = 'o2' ∨ oid ≠ 'o2'}(Payments))`.
+    pub fn or_tautology() -> RaExpr {
+        RaExpr::rel("Payments")
+            .select(Condition::eq_const(1, "o2").or(Condition::neq_const(1, "o2")))
+            .project(vec![0])
+    }
+
+    /// The `R − (S − T)` query of §5.1 (as SQL with nested `NOT IN`),
+    /// together with the database on which SQL returns an almost certainly
+    /// false answer.
+    pub fn nested_not_in_example() -> (Database, &'static str, RaExpr) {
+        let db = database_from_literal([
+            ("R", vec!["A"], vec![tup![1]]),
+            ("S", vec!["A"], vec![tup![1]]),
+            ("T", vec!["A"], vec![tup![Value::null(0)]]),
+        ]);
+        let sql = "SELECT R.A FROM R WHERE R.A NOT IN \
+                   (SELECT S.A FROM S WHERE S.A NOT IN (SELECT A FROM T))";
+        let algebra = RaExpr::rel("R").difference(RaExpr::rel("S").difference(RaExpr::rel("T")));
+        (db, sql, algebra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_algebra::eval;
+    use certa_data::Relation;
+
+    #[test]
+    fn complete_database_answers_match_the_paper() {
+        let db = shop_database(false);
+        assert_eq!(
+            eval(&ShopQueries::unpaid_orders(), &db).unwrap(),
+            Relation::from_tuples(vec![tup!["o3"]])
+        );
+        assert!(eval(&ShopQueries::customers_without_paid_order(), &db)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            eval(&ShopQueries::or_tautology(), &db).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn database_shapes() {
+        let complete = shop_database(false);
+        let with_null = shop_database(true);
+        assert!(complete.is_complete());
+        assert!(!with_null.is_complete());
+        assert_eq!(with_null.nulls().len(), 1);
+        assert_eq!(complete.total_tuples(), 7);
+    }
+
+    #[test]
+    fn sql_and_algebra_versions_agree_on_complete_data() {
+        let db = shop_database(false);
+        let stmt = certa_sql::parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+        let sql_out = certa_sql::execute(&stmt, &db).unwrap().to_set();
+        let ra_out = eval(&ShopQueries::unpaid_orders(), &db).unwrap();
+        assert_eq!(sql_out, ra_out);
+        let stmt = certa_sql::parse(ShopQueries::OR_TAUTOLOGY_SQL).unwrap();
+        let sql_out = certa_sql::execute(&stmt, &db).unwrap().to_set();
+        let ra_out = eval(&ShopQueries::or_tautology(), &db).unwrap();
+        assert_eq!(sql_out, ra_out);
+    }
+
+    #[test]
+    fn nested_not_in_example_shapes() {
+        let (db, sql, algebra) = ShopQueries::nested_not_in_example();
+        assert_eq!(db.nulls().len(), 1);
+        let stmt = certa_sql::parse(sql).unwrap();
+        // SQL returns {1} on this database (the §5.1 example) ...
+        let sql_out = certa_sql::execute(&stmt, &db).unwrap().to_set();
+        assert_eq!(sql_out, Relation::from_tuples(vec![tup![1]]));
+        // ... even though naive evaluation of the algebra version (treating
+        // the null as a value) returns the empty relation.
+        let naive = certa_algebra::naive_eval(&algebra, &db).unwrap();
+        assert!(naive.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Probabilistic (almost-certain) answers and the 0–1 law of §4.3, plus
+//! conditional probabilities under integrity constraints.
+//!
+//! Run with: `cargo run --example probabilistic_answers`
+
+use certa::certain::constraints::{Constraint, FunctionalDependency, InclusionDependency};
+use certa::certain::prob;
+use certa::prelude::*;
+
+fn main() {
+    // The running example of §4.3: R = {1}, S = {⊥}.
+    let db = database_from_literal([
+        ("R", vec!["a"], vec![tup![1]]),
+        ("S", vec!["a"], vec![tup![Value::null(0)]]),
+    ]);
+    let query = RaExpr::rel("R").difference(RaExpr::rel("S"));
+    println!("D: R = {{1}}, S = {{⊥}};  Q = R − S\n");
+
+    println!("certain answer?            : {}", is_certain_answer(&query, &db, &tup![1]).unwrap());
+    println!("almost certainly true?     : {}", almost_certainly_true(&query, &db, &tup![1]).unwrap());
+    println!("µ_k(Q, D, 1) as k grows:");
+    for k in [2usize, 4, 8, 16, 32] {
+        let frac = mu_k(&query, &db, &tup![1], k).unwrap();
+        println!(
+            "  k = {k:>3}: {}/{} = {:.4}",
+            frac.numerator,
+            frac.denominator,
+            frac.as_f64()
+        );
+    }
+    println!("→ the measure converges to 1 even though (1) is not certain.\n");
+
+    // Conditioning on an inclusion constraint S ⊆ T turns the limit into a
+    // genuine probability (1/2), Theorem 4.11's example.
+    let db2 = database_from_literal([
+        ("T", vec!["a"], vec![tup![1], tup![2]]),
+        ("S", vec!["a"], vec![tup![Value::null(0)]]),
+    ]);
+    let q2 = RaExpr::rel("T").difference(RaExpr::rel("S"));
+    let sigma = vec![Constraint::Ind(InclusionDependency::new(
+        "S",
+        vec![0],
+        "T",
+        vec![0],
+    ))];
+    println!("D: T = {{1,2}}, S = {{⊥}};  Σ: S ⊆ T;  Q = T − S");
+    for k in [2usize, 4, 8, 16] {
+        let frac = prob::mu_k_with_constraints(&q2, &db2, &tup![1], k, &sigma).unwrap();
+        println!(
+            "  µ_k(Q | Σ, D, 1) at k = {k:>2}: {}/{} = {:.4}",
+            frac.numerator,
+            frac.denominator,
+            frac.as_f64()
+        );
+    }
+    println!("→ exactly 1/2 for every k: the conditional limit is rational but not 0/1.\n");
+
+    // Functional dependencies are even tamer: conditioning on an FD is the
+    // same as chasing the database with it.
+    let db3 = database_from_literal([(
+        "Emp",
+        vec!["name", "dept"],
+        vec![tup!["ann", Value::null(0)], tup!["ann", "sales"], tup!["bob", "hr"]],
+    )]);
+    let fd = FunctionalDependency::new("Emp", vec![0], vec![1]);
+    let q3 = RaExpr::rel("Emp");
+    println!("D: Emp = {{(ann, ⊥), (ann, sales), (bob, hr)}};  Σ: name → dept");
+    println!(
+        "  µ(Emp ∋ (ann, sales) | Σ) = {}",
+        prob::mu_limit_with_fds(&q3, &db3, &tup!["ann", "sales"], &[fd.clone()]).unwrap()
+    );
+    println!(
+        "  without the FD, µ_4       = {:.3}",
+        mu_k(&q3, &db3, &tup!["ann", "sales"], 4).unwrap().as_f64()
+    );
+
+    // Monte-Carlo estimation agrees with exact counting on larger pools.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sampled = prob::mu_k_sampled(&query, &db, &tup![1], 50, &[], 5000, &mut rng).unwrap();
+    println!(
+        "\nMonte-Carlo estimate of µ_50(R − S, D, 1) from 5000 samples: {:.4}",
+        sampled.as_f64()
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build an incomplete database, ask a query, and compare what
+//! SQL-style evaluation, certain answers, and the approximation schemes say.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use certa::prelude::*;
+
+fn main() {
+    // A tiny library database: readers, loans, and one loan whose book id
+    // went missing during data entry.
+    let db = database_from_literal([
+        (
+            "Books",
+            vec!["book", "title"],
+            vec![
+                tup!["b1", "Incomplete Information"],
+                tup!["b2", "Three-Valued Logic"],
+                tup!["b3", "Certain Answers"],
+            ],
+        ),
+        (
+            "Loans",
+            vec!["reader", "book"],
+            vec![tup!["alice", "b1"], tup!["bob", Value::null(0)]],
+        ),
+    ]);
+    println!("Database:\n{db}\n");
+
+    // Which books are currently NOT on loan?
+    let available = RaExpr::rel("Books")
+        .project(vec![0])
+        .difference(RaExpr::rel("Loans").project(vec![1]));
+    println!("Query: π_book(Books) − π_book(Loans)\n");
+
+    // 1. Naïve (SQL-style) evaluation treats the null as just another value.
+    let naive = naive_eval(&available, &db).expect("query is well-formed");
+    println!("naïve evaluation        : {naive}");
+
+    // 2. Certain answers: true in every possible world.
+    let certain = cert_with_nulls(&available, &db).expect("small database");
+    println!("certain answers (cert⊥) : {certain}");
+
+    // 3. The (Q+, Q?) approximation brackets the truth without enumerating
+    //    possible worlds.
+    let plus = q_plus(&available, db.schema()).expect("supported fragment");
+    let question = q_question(&available, db.schema()).expect("supported fragment");
+    println!("certain approximation Q+: {}", eval(&plus, &db).unwrap());
+    println!("possible answers      Q?: {}", eval(&question, &db).unwrap());
+
+    // 4. Probabilistically, b3 is almost certainly available: the missing
+    //    book id is unlikely to be exactly b3.
+    for book in ["b1", "b2", "b3"] {
+        let mu = mu_k(&available, &db, &tup![book], 10).unwrap();
+        println!(
+            "µ_10(available, {book})   : {}/{} = {:.2}",
+            mu.numerator,
+            mu.denominator,
+            mu.as_f64()
+        );
+    }
+
+    // 5. And the same analysis through the SQL front-end.
+    let stmt = sql_parse(
+        "SELECT book FROM Books WHERE book NOT IN (SELECT book FROM Loans)",
+    )
+    .unwrap();
+    let sql_answer = sql_execute(&stmt, &db).unwrap();
+    println!("\nSQL answers the NOT IN query with: {sql_answer}");
+    println!("…which misses that b2/b3 are only *probably* available, and");
+    println!("returns nothing certain at all — the gap this library measures.");
+}

@@ -1,0 +1,62 @@
+//! The survey's introduction, end to end: Figure 1's database, one injected
+//! NULL, and the three queries showing SQL's false negatives and false
+//! positives with respect to certain answers.
+//!
+//! Run with: `cargo run --example unpaid_orders`
+
+use certa::prelude::*;
+
+fn main() {
+    for with_null in [false, true] {
+        let db = shop_database(with_null);
+        println!("===============================================");
+        println!(
+            "Database {}:\n{db}\n",
+            if with_null {
+                "WITH the oid NULL in Payments"
+            } else {
+                "without nulls (as printed in Figure 1)"
+            }
+        );
+
+        // Query 1: unpaid orders (SQL uses NOT IN).
+        let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+        let sql_answer = sql_execute(&stmt, &db).unwrap().to_set();
+        let cert = cert_with_nulls(&ShopQueries::unpaid_orders(), &db).unwrap();
+        println!("unpaid orders:");
+        println!("  SQL            : {sql_answer}");
+        println!("  certain answers: {cert}");
+
+        // Query 2: customers without a paid order (SQL uses NOT EXISTS).
+        let stmt = sql_parse(ShopQueries::NO_PAID_ORDER_SQL).unwrap();
+        let sql_answer = sql_execute(&stmt, &db).unwrap().to_set();
+        let cert = cert_with_nulls(&ShopQueries::customers_without_paid_order(), &db).unwrap();
+        println!("customers without a paid order:");
+        println!("  SQL            : {sql_answer}");
+        println!("  certain answers: {cert}");
+
+        // Query 3: the OR-tautology.
+        let stmt = sql_parse(ShopQueries::OR_TAUTOLOGY_SQL).unwrap();
+        let sql_answer = sql_execute(&stmt, &db).unwrap().to_set();
+        let cert = cert_with_nulls(&ShopQueries::or_tautology(), &db).unwrap();
+        println!("payers of o2 or of something other than o2:");
+        println!("  SQL            : {sql_answer}");
+        println!("  certain answers: {cert}");
+
+        if with_null {
+            println!();
+            println!("With a single NULL, SQL turned a certain answer (o3) into");
+            println!("a miss, invented c2 as an answer, and dropped c2 from a");
+            println!("tautology — false negatives and false positives at once.");
+
+            // The approximation schemes repair this without enumerating
+            // possible worlds:
+            let q = ShopQueries::or_tautology();
+            let plus = q_plus(&q, db.schema()).unwrap();
+            println!(
+                "\nQ+ for the tautology query returns {} — sound, unlike SQL's c2-free\nanswer it comes with a guarantee; the exact certain answers add c2.",
+                eval(&plus, &db).unwrap()
+            );
+        }
+    }
+}

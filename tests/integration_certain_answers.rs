@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: exact certain answers versus naïve
+//! evaluation, homomorphism preservation (Theorem 4.3/4.4), and the
+//! relationships between the certainty notions of §3.
+
+use certa::certain::object;
+use certa::certain::worlds::{enumerate_worlds, exact_pool};
+use certa::prelude::*;
+
+/// Theorem 4.4 (cwa half): naïve evaluation computes certain answers with
+/// nulls for UCQ and Pos∀G queries, on a spread of random databases.
+#[test]
+fn naive_eval_is_exact_for_positive_queries_under_cwa() {
+    for seed in 0..12u64 {
+        let db = random_database(&RandomDbConfig {
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.3,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        for qseed in 0..8u64 {
+            let query = random_query(
+                db.schema(),
+                &RandomQueryConfig {
+                    max_depth: 3,
+                    allow_difference: false,
+                    allow_disequality: false,
+                    seed: qseed,
+                },
+            );
+            assert!(classify(&query) <= Fragment::PosForallG);
+            let naive = naive_eval(&query, &db).unwrap();
+            let exact = cert_with_nulls(&query, &db).unwrap();
+            assert_eq!(
+                naive, exact,
+                "naïve ≠ certain for positive query {query} on seed {seed}/{qseed}\n{db}"
+            );
+        }
+    }
+}
+
+/// Pos∀G beyond UCQ: the division query "employees working on all projects"
+/// is handled correctly by naïve evaluation under cwa (Theorem 4.4), even
+/// though it is not a UCQ.
+#[test]
+fn division_query_naive_eval_matches_certain_answers() {
+    let db = database_from_literal([
+        (
+            "Works",
+            vec!["emp", "proj"],
+            vec![
+                tup!["ann", "p1"],
+                tup!["ann", Value::null(0)],
+                tup!["bob", "p1"],
+                tup![Value::null(1), "p2"],
+            ],
+        ),
+        ("Projects", vec!["proj"], vec![tup!["p1"], tup!["p2"]]),
+    ]);
+    let query = RaExpr::rel("Works").divide(RaExpr::rel("Projects"));
+    assert_eq!(classify(&query), Fragment::PosForallG);
+    let naive = naive_eval(&query, &db).unwrap();
+    let exact = cert_with_nulls(&query, &db).unwrap();
+    assert_eq!(naive, exact);
+}
+
+/// For full relational algebra, naïve evaluation is *not* certain-answer
+/// correct (the {1} − {⊥} example), but it always contains the certain
+/// answers (it is the almost-certainly-true set, Theorem 4.10).
+#[test]
+fn naive_eval_overapproximates_certain_answers_for_full_ra() {
+    // The canonical separating instance: R = {1}, S = {⊥}, Q = R − S.
+    let canonical = database_from_literal([
+        ("R", vec!["a"], vec![tup![1]]),
+        ("S", vec!["a"], vec![tup![Value::null(0)]]),
+    ]);
+    let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+    let mut naive_strictly_larger =
+        usize::from(cert_with_nulls(&q, &canonical).unwrap().len() < naive_eval(&q, &canonical).unwrap().len());
+    assert_eq!(naive_strictly_larger, 1);
+    for seed in 0..10u64 {
+        let db = random_database(&RandomDbConfig {
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.35,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        for qseed in 0..6u64 {
+            let query = random_query(
+                db.schema(),
+                &RandomQueryConfig {
+                    max_depth: 3,
+                    allow_difference: true,
+                    allow_disequality: true,
+                    seed: qseed,
+                },
+            );
+            let naive = naive_eval(&query, &db).unwrap();
+            let exact = cert_with_nulls(&query, &db).unwrap();
+            assert!(
+                exact.is_subset_of(&naive),
+                "cert⊥ ⊄ naïve for {query} (seed {seed}/{qseed})"
+            );
+            if exact.len() < naive.len() {
+                naive_strictly_larger += 1;
+            }
+        }
+    }
+    assert!(
+        naive_strictly_larger > 0,
+        "expected at least one query where naïve evaluation is not exact"
+    );
+}
+
+/// Proposition 3.10: cert∩ is exactly the null-free part of cert⊥, and every
+/// valuation maps cert⊥ into the corresponding world's answer.
+#[test]
+fn certainty_notions_are_consistent() {
+    for seed in 0..8u64 {
+        let db = random_database(&RandomDbConfig {
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.3,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        for qseed in 0..5u64 {
+            let query = random_query(db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let with_nulls = cert_with_nulls(&query, &db).unwrap();
+            let intersection = cert_intersection(&query, &db).unwrap();
+            assert_eq!(with_nulls.const_tuples(), intersection, "query {query} seed {seed}/{qseed}");
+            let spec = exact_pool(&query, &db);
+            for (v, world) in enumerate_worlds(&db, &spec).unwrap() {
+                let answer = eval(&query, &world).unwrap();
+                assert!(v.apply_relation(&with_nulls).is_subset_of(&answer));
+            }
+        }
+    }
+}
+
+/// The certain-answer object (certO) entails every intersection-based
+/// certain answer: all constant tuples of cert∩ appear in the product of
+/// the possible answers (the product is taken over a small world pool —
+/// enough for the containment, and the full product is doubly exponential,
+/// which is the point of Theorem 3.11).
+#[test]
+fn cert_object_contains_intersection_certain_answers() {
+    use certa::certain::worlds::WorldSpec;
+    let db = database_from_literal([
+        (
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, 2], tup![1, Value::null(0)], tup![Value::null(1), 4]],
+        ),
+        ("S", vec!["b"], vec![tup![2], tup![4]]),
+    ]);
+    let small_pool = WorldSpec::new([Const::Int(100), Const::Int(200)]);
+    for query in [
+        RaExpr::rel("R"),
+        RaExpr::rel("R").project(vec![0]),
+        RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2).project(vec![0, 1]),
+    ] {
+        let object = object::cert_object_product(&query, &db, &small_pool).unwrap();
+        let intersection = cert_intersection(&query, &db).unwrap();
+        for t in intersection.iter() {
+            assert!(
+                object.contains(t),
+                "certO product misses intersection-certain tuple {t} for {query}"
+            );
+        }
+    }
+}
+
+/// The world-enumeration bound protects against accidental exponential
+/// blow-ups: a database with many nulls triggers the TooManyWorlds error
+/// instead of hanging.
+#[test]
+fn world_bound_guards_exponential_enumeration() {
+    let db = random_database(&RandomDbConfig {
+        relations: vec![("R".to_string(), 3)],
+        tuples_per_relation: 30,
+        domain_size: 40,
+        null_count: 30,
+        null_rate: 0.9,
+        seed: 5,
+        ..RandomDbConfig::default()
+    });
+    assert!(db.nulls().len() >= 10);
+    let query = RaExpr::rel("R");
+    assert!(cert_with_nulls(&query, &db).is_err());
+}

@@ -1,0 +1,226 @@
+//! Integration tests for the many-valued-logic layer (§5): correctness
+//! guarantees of the unification semantics, the agreement between the SQL
+//! front-end and the FO↑SQL formalisation, and the Boolean-FO capture on
+//! random databases.
+
+use certa::logic::translate;
+use certa::prelude::*;
+
+/// Corollary 5.2: whenever ⟦φ⟧unif is t, the tuple is a certain answer with
+/// nulls; whenever it is f, the tuple is certainly false. Checked for
+/// relational atoms and small composite formulae on random databases.
+#[test]
+fn unification_semantics_has_correctness_guarantees() {
+    for seed in 0..10u64 {
+        let db = random_database(&RandomDbConfig {
+            relations: vec![("R".to_string(), 2)],
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.35,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        // φ(x, y) = R(x, y); the corresponding algebra query is R itself.
+        let phi = Formula::rel("R", [Term::var("x"), Term::var("y")]);
+        let query = RaExpr::rel("R");
+        let certain_true = query_answers(&phi, &["x", "y"], &db, AtomSemantics::Unification).unwrap();
+        for t in certain_true.iter() {
+            assert!(
+                is_certain_answer(&query, &db, t).unwrap(),
+                "⟦R⟧unif said t but {t} is not certain (seed {seed})\n{db}"
+            );
+        }
+        let certain_false = certa::logic::semantics::answers_with_value(
+            &phi,
+            &["x", "y"],
+            &db,
+            AtomSemantics::Unification,
+            Truth3::False,
+        )
+        .unwrap();
+        for t in certain_false.iter() {
+            assert!(
+                is_certainly_false(&query, &db, t).unwrap(),
+                "⟦R⟧unif said f but {t} is not certainly false (seed {seed})\n{db}"
+            );
+        }
+    }
+}
+
+/// The Boolean semantics, by contrast, mislabels tuples as false: the §5.1
+/// example where R(1,1) is "false" even though R contains (1, ⊥).
+#[test]
+fn boolean_semantics_lacks_correctness_guarantees() {
+    let db = database_from_literal([("R", vec!["a", "b"], vec![tup![1, Value::null(0)]])]);
+    let phi = Formula::rel("R", [Term::constant(1), Term::constant(1)]);
+    let value = eval_formula(&phi, &db, &Assignment::new(), AtomSemantics::Boolean).unwrap();
+    assert_eq!(value, Truth3::False);
+    // ... but (1,1) is not certainly false: the valuation ⊥ ↦ 1 puts it in R.
+    assert!(!is_certainly_false(&RaExpr::rel("R"), &db, &tup![1, 1]).unwrap());
+    // The unification semantics correctly reports u.
+    let value = eval_formula(&phi, &db, &Assignment::new(), AtomSemantics::Unification).unwrap();
+    assert_eq!(value, Truth3::Unknown);
+}
+
+/// Theorem 5.4/5.5 on random databases: the Boolean capture of a formula
+/// under the SQL mixed semantics (with and without the assertion operator)
+/// agrees with the three-valued evaluation for every truth value.
+#[test]
+fn boolean_fo_captures_sql_semantics_on_random_databases() {
+    let formulas = [
+        // ∃y (R(x,y) ∧ y = 1)
+        Formula::exists(
+            "y",
+            Formula::rel("R", [Term::var("x"), Term::var("y")])
+                .and(Formula::eq(Term::var("y"), Term::constant(1))),
+        ),
+        // ¬∃y (R(x,y) ∧ ¬(y = 1))   — a NOT EXISTS shape
+        Formula::exists(
+            "y",
+            Formula::rel("R", [Term::var("x"), Term::var("y")])
+                .and(Formula::eq(Term::var("y"), Term::constant(1)).not()),
+        )
+        .not(),
+        // SQL's NOT IN: ¬↑∃y (S(y) ∧ x = y)
+        Formula::exists(
+            "y",
+            Formula::rel("S", [Term::var("y")]).and(Formula::eq(Term::var("x"), Term::var("y"))),
+        )
+        .assert()
+        .not(),
+        // ∀y (¬R(x,y) ∨ S(y))
+        Formula::forall(
+            "y",
+            Formula::rel("R", [Term::var("x"), Term::var("y")])
+                .not()
+                .or(Formula::rel("S", [Term::var("y")])),
+        ),
+    ];
+    for seed in 0..8u64 {
+        let db = random_database(&RandomDbConfig {
+            relations: vec![("R".to_string(), 2), ("S".to_string(), 1)],
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.3,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        for phi in &formulas {
+            let capture = translate::to_boolean(phi, AtomSemantics::Sql).unwrap();
+            for target in Truth3::ALL {
+                let expected = certa::logic::semantics::answers_with_value(
+                    phi,
+                    &["x"],
+                    &db,
+                    AtomSemantics::Sql,
+                    target,
+                )
+                .unwrap();
+                let got = query_answers(
+                    &capture.for_value(target),
+                    &["x"],
+                    &db,
+                    AtomSemantics::Boolean,
+                )
+                .unwrap();
+                assert_eq!(expected, got, "{phi} at {target} (seed {seed})\n{db}");
+            }
+        }
+    }
+}
+
+/// The FO↑SQL account of SQL (§5.2) agrees with the SQL engine: for the
+/// Figure 1 NOT IN query, the formula ∃-form with the assertion operator
+/// returns exactly SQL's rows.
+#[test]
+fn fo_up_sql_matches_sql_engine_on_not_in() {
+    let db = shop_database(true);
+    // SQL: SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)
+    // FO↑SQL: answers x with Orders(x, t, p) for some t, p and
+    //          ↑¬∃c∃o (Payments(c, o) ∧ x = o)  — the assertion operator
+    //          sits at the WHERE boundary, i.e. it applies to the already
+    //          negated membership condition.
+    let phi = Formula::exists(
+        "t",
+        Formula::exists(
+            "p",
+            Formula::rel("Orders", [Term::var("x"), Term::var("t"), Term::var("p")]),
+        ),
+    )
+    .and(
+        Formula::exists(
+            "c",
+            Formula::exists(
+                "o",
+                Formula::rel("Payments", [Term::var("c"), Term::var("o")])
+                    .and(Formula::eq(Term::var("x"), Term::var("o"))),
+            ),
+        )
+        .not()
+        .assert(),
+    );
+    let fo_answers = query_answers(&phi, &["x"], &db, AtomSemantics::Sql).unwrap();
+    let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+    let sql_answers = sql_execute(&stmt, &db).unwrap().to_set();
+    assert_eq!(fo_answers, sql_answers);
+    // And on the complete database too.
+    let db = shop_database(false);
+    let fo_answers = query_answers(&phi, &["x"], &db, AtomSemantics::Sql).unwrap();
+    let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+    let sql_answers = sql_execute(&stmt, &db).unwrap().to_set();
+    assert_eq!(fo_answers, sql_answers);
+}
+
+/// Without the assertion operator (plain FOSQL), query answers are always
+/// almost certainly true (§5.2); with it, they need not be. The nested
+/// NOT IN example separates the two.
+#[test]
+fn assertion_operator_separates_fosql_from_fo_up_sql() {
+    let (db, _, algebra) = ShopQueries::nested_not_in_example();
+    // FO↑SQL version of the nested NOT IN query over the single attribute A:
+    // R(x) ∧ ↑¬∃y (S(y) ∧ x = y ∧ ↑¬∃z (T(z) ∧ y = z)).
+    let with_assert = Formula::rel("R", [Term::var("x")]).and(
+        Formula::exists(
+            "y",
+            Formula::rel("S", [Term::var("y")])
+                .and(Formula::eq(Term::var("x"), Term::var("y")))
+                .and(
+                    Formula::exists(
+                        "z",
+                        Formula::rel("T", [Term::var("z")])
+                            .and(Formula::eq(Term::var("y"), Term::var("z"))),
+                    )
+                    .not()
+                    .assert(),
+                ),
+        )
+        .not()
+        .assert(),
+    );
+    let answers = query_answers(&with_assert, &["x"], &db, AtomSemantics::Sql).unwrap();
+    assert!(answers.contains(&tup![1]));
+    // 1 is almost certainly NOT an answer to the real query.
+    assert!(!almost_certainly_true(&algebra, &db, &tup![1]).unwrap());
+    // The Kleene version without the assertion operator does not return 1 as
+    // a (certainly) true answer.
+    let without_assert = Formula::rel("R", [Term::var("x")]).and(
+        Formula::exists(
+            "y",
+            Formula::rel("S", [Term::var("y")])
+                .and(Formula::eq(Term::var("x"), Term::var("y")))
+                .and(
+                    Formula::exists(
+                        "z",
+                        Formula::rel("T", [Term::var("z")])
+                            .and(Formula::eq(Term::var("y"), Term::var("z"))),
+                    )
+                    .not(),
+                ),
+        )
+        .not(),
+    );
+    let answers = query_answers(&without_assert, &["x"], &db, AtomSemantics::Sql).unwrap();
+    assert!(!answers.contains(&tup![1]));
+}

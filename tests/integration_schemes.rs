@@ -1,0 +1,208 @@
+//! Cross-crate integration tests for the approximation schemes of §4.2:
+//! correctness guarantees of (Qt, Qf) and (Q+, Q?) on random instances,
+//! their relationship to the conditional-table strategies (Theorem 4.9),
+//! and the bag-semantics bounds (Theorem 4.8).
+
+use certa::certain::{approx37, approx51, bag_bounds, cert};
+use certa::prelude::*;
+
+fn random_setup(seed: u64, qseed: u64) -> (Database, RaExpr) {
+    let db = random_database(&RandomDbConfig {
+        tuples_per_relation: 3,
+        domain_size: 3,
+        null_count: 2,
+        null_rate: 0.3,
+        seed,
+        ..RandomDbConfig::default()
+    });
+    let query = random_query(
+        db.schema(),
+        &RandomQueryConfig {
+            max_depth: 3,
+            allow_difference: true,
+            allow_disequality: true,
+            seed: qseed,
+        },
+    );
+    (db, query)
+}
+
+/// Theorem 4.6: Qt(D) ⊆ cert⊥(Q, D) and Qf(D) consists of certainly-false
+/// tuples, across random full-RA queries.
+#[test]
+fn qt_qf_correctness_guarantees_on_random_queries() {
+    for seed in 0..8u64 {
+        for qseed in 0..5u64 {
+            let (db, query) = random_setup(seed, qseed);
+            let Ok(pair) = approx51::translate(&query, db.schema()) else {
+                continue;
+            };
+            let qt = eval(&pair.q_true, &db).unwrap();
+            let exact = cert_with_nulls(&query, &db).unwrap();
+            assert!(
+                qt.is_subset_of(&exact),
+                "Qt ⊄ cert⊥ for {query} (seed {seed}/{qseed})"
+            );
+            let qf = eval(&pair.q_false, &db).unwrap();
+            let certainly_false = cert::certainly_false_among(&query, &db, &qf).unwrap();
+            assert_eq!(
+                certainly_false, qf,
+                "Qf returned a possibly-true tuple for {query} (seed {seed}/{qseed})"
+            );
+        }
+    }
+}
+
+/// Theorem 4.7: v(Q+(D)) ⊆ Q(v(D)) ⊆ v(Q?(D)) for every valuation, plus
+/// Q+(D) = Q(D) on complete databases.
+#[test]
+fn q_plus_q_question_sandwich_on_random_queries() {
+    use certa::certain::worlds::{enumerate_worlds, exact_pool};
+    for seed in 0..8u64 {
+        for qseed in 0..5u64 {
+            let (db, query) = random_setup(seed, qseed);
+            let pair = approx37::translate(&query, db.schema()).unwrap();
+            let plus = eval(&pair.q_plus, &db).unwrap();
+            let question = eval(&pair.q_question, &db).unwrap();
+            let spec = exact_pool(&query, &db);
+            for (v, world) in enumerate_worlds(&db, &spec).unwrap() {
+                let answer = eval(&query, &world).unwrap();
+                assert!(v.apply_relation(&plus).is_subset_of(&answer));
+                assert!(answer.is_subset_of(&v.apply_relation(&question)));
+            }
+        }
+    }
+}
+
+/// On complete databases both schemes coincide with the plain evaluation.
+#[test]
+fn schemes_collapse_on_complete_databases() {
+    for seed in 0..6u64 {
+        let db = random_database(&RandomDbConfig {
+            null_rate: 0.0,
+            null_count: 0,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        assert!(db.is_complete());
+        for qseed in 0..5u64 {
+            let query = random_query(db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let expected = eval(&query, &db).unwrap();
+            let pair = approx37::translate(&query, db.schema()).unwrap();
+            assert_eq!(eval(&pair.q_plus, &db).unwrap(), expected);
+            assert_eq!(eval(&pair.q_question, &db).unwrap(), expected);
+            if let Ok(pair51) = approx51::translate(&query, db.schema()) {
+                assert_eq!(eval(&pair51.q_true, &db).unwrap(), expected);
+            }
+        }
+    }
+}
+
+/// Theorem 4.9: every c-table strategy has correctness guarantees, and the
+/// eager strategy coincides with the (Q+, Q?) scheme:
+/// `Q+(D) = Evalᵉ_t(Q, D)` and `Q?(D) = Evalᵉ_p(Q, D)`.
+#[test]
+fn ctable_strategies_match_q_plus_scheme() {
+    for seed in 0..8u64 {
+        for qseed in 0..5u64 {
+            let (db, query) = random_setup(seed, qseed);
+            let pair = approx37::translate(&query, db.schema()).unwrap();
+            let plus = eval(&pair.q_plus, &db).unwrap();
+            let question = eval(&pair.q_question, &db).unwrap();
+            let eager = eval_conditional(&query, &db, Strategy::Eager).unwrap();
+            assert_eq!(
+                eager.certain(),
+                plus,
+                "Evalᵉ_t ≠ Q+ for {query} (seed {seed}/{qseed})"
+            );
+            assert_eq!(
+                eager.possible(),
+                question,
+                "Evalᵉ_p ≠ Q? for {query} (seed {seed}/{qseed})"
+            );
+            // Correctness guarantee for all strategies.
+            let exact = cert_with_nulls(&query, &db).unwrap();
+            for strategy in Strategy::ALL {
+                let result = eval_conditional(&query, &db, strategy).unwrap();
+                assert!(
+                    result.certain().is_subset_of(&exact),
+                    "Eval^{} not sound for {query} (seed {seed}/{qseed})",
+                    strategy.symbol()
+                );
+            }
+        }
+    }
+}
+
+/// The strategies are ordered: eager ⊆ semi-eager ⊆ aware on their certain
+/// answers (the containments discussed in §6 "Quality of approximations").
+#[test]
+fn ctable_strategies_are_ordered_by_informativeness() {
+    for seed in 0..8u64 {
+        for qseed in 0..5u64 {
+            let (db, query) = random_setup(seed, qseed);
+            let eager = eval_conditional(&query, &db, Strategy::Eager).unwrap().certain();
+            let semi = eval_conditional(&query, &db, Strategy::SemiEager)
+                .unwrap()
+                .certain();
+            let aware = eval_conditional(&query, &db, Strategy::Aware).unwrap().certain();
+            assert!(eager.is_subset_of(&semi), "{query} seed {seed}/{qseed}");
+            assert!(semi.is_subset_of(&aware), "{query} seed {seed}/{qseed}");
+        }
+    }
+}
+
+/// Theorem 4.8 on random bag databases: the (Q+, Q?) multiplicities bracket
+/// the exact minimum multiplicity.
+#[test]
+fn bag_bounds_sandwich_on_random_databases() {
+    for seed in 0..6u64 {
+        let set_db = random_database(&RandomDbConfig {
+            tuples_per_relation: 3,
+            domain_size: 3,
+            null_count: 2,
+            null_rate: 0.3,
+            seed,
+            ..RandomDbConfig::default()
+        });
+        // Duplicate some tuples to make the bags non-trivial.
+        let mut bag_db = set_db.to_bags();
+        for (name, rel) in set_db.iter() {
+            if let Some(first) = rel.iter().next() {
+                bag_db.relation_mut(name).unwrap().insert_n(first.clone(), 2);
+            }
+        }
+        for qseed in 0..4u64 {
+            let query = random_query(set_db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let candidates: Vec<Tuple> = naive_eval(&query, &set_db)
+                .unwrap()
+                .iter()
+                .cloned()
+                .collect();
+            for t in candidates.into_iter().take(3) {
+                let (lower, exact_box, upper) =
+                    bag_bounds::certainty_sandwich(&query, &bag_db, &t).unwrap();
+                assert!(lower <= exact_box, "{query} {t} seed {seed}/{qseed}");
+                assert!(exact_box <= upper, "{query} {t} seed {seed}/{qseed}");
+            }
+        }
+    }
+}
+
+/// The quality metrics of E4: Q+ always has precision 1 against the exact
+/// certain answers, and never beats them on recall.
+#[test]
+fn q_plus_quality_metrics() {
+    for seed in 0..8u64 {
+        for qseed in 0..4u64 {
+            let (db, query) = random_setup(seed, qseed);
+            let pair = approx37::translate(&query, db.schema()).unwrap();
+            let plus = eval(&pair.q_plus, &db).unwrap();
+            let exact = cert_with_nulls(&query, &db).unwrap();
+            let quality = AnswerQuality::compare(&plus, &exact);
+            assert_eq!(quality.precision(), 1.0, "{query} seed {seed}/{qseed}");
+            assert!(quality.recall() <= 1.0);
+            assert!(quality.has_correctness_guarantee());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the SQL pipeline: parsing, three-valued execution,
+//! lowering to relational algebra, and the relationship between SQL's
+//! answers, certain answers, and almost-certain answers (§1, §4.3, §5.2).
+
+use certa::prelude::*;
+
+#[test]
+fn figure_1_false_negatives_and_false_positives() {
+    let complete = shop_database(false);
+    let with_null = shop_database(true);
+
+    // Without nulls: SQL and certain answers agree on all three queries.
+    for (sql, algebra) in [
+        (ShopQueries::UNPAID_ORDERS_SQL, ShopQueries::unpaid_orders()),
+        (
+            ShopQueries::NO_PAID_ORDER_SQL,
+            ShopQueries::customers_without_paid_order(),
+        ),
+        (ShopQueries::OR_TAUTOLOGY_SQL, ShopQueries::or_tautology()),
+    ] {
+        let stmt = sql_parse(sql).unwrap();
+        let sql_answer = sql_execute(&stmt, &complete).unwrap().to_set();
+        let certain = cert_with_nulls(&algebra, &complete).unwrap();
+        assert_eq!(sql_answer, certain, "{sql}");
+    }
+
+    // With the null: the unpaid-orders query loses its answer (the certain
+    // answers are empty too, but SQL *also* fails to report o3 as possible),
+    // the NOT EXISTS query invents c2, and the tautology query misses c2.
+    let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+    assert!(sql_execute(&stmt, &with_null).unwrap().is_empty());
+    assert!(cert_with_nulls(&ShopQueries::unpaid_orders(), &with_null)
+        .unwrap()
+        .is_empty());
+
+    let stmt = sql_parse(ShopQueries::NO_PAID_ORDER_SQL).unwrap();
+    let sql_answer = sql_execute(&stmt, &with_null).unwrap().to_set();
+    assert_eq!(sql_answer, Relation::from_tuples(vec![tup!["c2"]]));
+    // c2 is a false positive: it is not certain.
+    let certain = cert_with_nulls(&ShopQueries::customers_without_paid_order(), &with_null).unwrap();
+    assert!(certain.is_empty());
+    // It is not even almost certainly true (µ = 0): for a random
+    // interpretation of the null, c2's payment matches some order only with
+    // vanishing probability — but the order id must match an existing order
+    // for c2 to have a paid order, so the naive answer *does* contain c2.
+    assert!(
+        almost_certainly_true(
+            &ShopQueries::customers_without_paid_order(),
+            &with_null,
+            &tup!["c2"]
+        )
+        .unwrap()
+    );
+
+    let stmt = sql_parse(ShopQueries::OR_TAUTOLOGY_SQL).unwrap();
+    let sql_answer = sql_execute(&stmt, &with_null).unwrap().to_set();
+    let certain = cert_with_nulls(&ShopQueries::or_tautology(), &with_null).unwrap();
+    assert_eq!(sql_answer, Relation::from_tuples(vec![tup!["c1"]]));
+    assert_eq!(
+        certain,
+        Relation::from_tuples(vec![tup!["c1"], tup!["c2"]])
+    );
+    // SQL missed a certain answer: a false negative.
+    assert!(sql_answer.is_subset_of(&certain));
+    assert_ne!(sql_answer, certain);
+}
+
+#[test]
+fn nested_not_in_returns_almost_certainly_false_answer() {
+    // §5.1/§5.2: SQL's R − (S − T) query returns 1, yet µ(Q, D, 1) = 0 —
+    // SQL can return answers that are almost certainly false, because its
+    // WHERE clause applies the assertion operator mid-query.
+    let (db, sql, algebra) = ShopQueries::nested_not_in_example();
+    let stmt = sql_parse(sql).unwrap();
+    let sql_answer = sql_execute(&stmt, &db).unwrap().to_set();
+    assert_eq!(sql_answer, Relation::from_tuples(vec![tup![1]]));
+    assert!(!almost_certainly_true(&algebra, &db, &tup![1]).unwrap());
+    assert!(!is_certain_answer(&algebra, &db, &tup![1]).unwrap());
+    // The measure µ_k is 1/k: 1 is an answer only in the single world where
+    // ⊥ happens to be 1, so the limit µ is 0 (almost certainly false).
+    for k in [2usize, 4, 8] {
+        let frac = mu_k(&algebra, &db, &tup![1], k).unwrap();
+        assert_eq!((frac.numerator, frac.denominator), (1, k));
+    }
+}
+
+#[test]
+fn lowered_sql_flows_into_approximation_schemes() {
+    // Parse SQL → lower to algebra → rewrite with Q+ → evaluate: the full
+    // pipeline a "correct SQL" implementation would use (§4.2).
+    let db = shop_database(true);
+    let stmt = sql_parse(ShopQueries::UNPAID_ORDERS_SQL).unwrap();
+    let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+    let plus = q_plus(&lowered.expr, db.schema()).unwrap();
+    let question = q_question(&lowered.expr, db.schema()).unwrap();
+    let certain_approx = eval(&plus, &db).unwrap();
+    let possible_approx = eval(&question, &db).unwrap();
+    let exact = cert_with_nulls(&lowered.expr, &db).unwrap();
+    assert!(certain_approx.is_subset_of(&exact));
+    // o3 is a possible answer that plain SQL silently dropped.
+    assert!(possible_approx
+        .iter()
+        .any(|t| t == &tup!["o3"]));
+}
+
+#[test]
+fn sql_where_true_rows_are_almost_certainly_true_for_flat_queries() {
+    // For queries whose WHERE clause contains no subqueries, SQL's answers
+    // coincide with naïve evaluation of the lowered algebra, hence they are
+    // almost certainly true (the FOSQL case of §5.2, before the assertion
+    // operator is nested).
+    let db = shop_database(true);
+    for sql in [
+        "SELECT cid FROM Payments WHERE oid = 'o1'",
+        "SELECT oid FROM Orders WHERE price <> 35",
+        "SELECT O.oid FROM Orders O, Payments P WHERE O.oid = P.oid",
+    ] {
+        let stmt = sql_parse(sql).unwrap();
+        let rows = sql_execute(&stmt, &db).unwrap();
+        let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
+        for (tuple, _) in rows.iter() {
+            // Every SQL-returned row shows up in the naive evaluation.
+            let naive = naive_eval(&lowered.expr, &db).unwrap();
+            assert!(naive.contains(tuple) || tuple.has_null(), "{sql}: {tuple}");
+        }
+    }
+}
+
+#[test]
+fn sql_is_null_finds_codd_nulls_injected_by_generator() {
+    let db = TpchGenerator::new(TpchConfig {
+        null_rate: 0.3,
+        seed: 11,
+        ..TpchConfig::default()
+    })
+    .generate();
+    let stmt = sql_parse("SELECT orderkey FROM Orders WHERE custkey IS NULL").unwrap();
+    let rows = sql_execute(&stmt, &db).unwrap();
+    // The generator injects nulls at a 30% rate into 90 orders; some must be
+    // caught, and every returned order key is a constant.
+    assert!(!rows.is_empty());
+    assert!(rows.distinct().all(|t| t.all_const()));
+}
+
+#[test]
+fn correlated_not_exists_against_generated_data_runs() {
+    let db = TpchGenerator::new(TpchConfig {
+        customers: 10,
+        null_rate: 0.1,
+        seed: 3,
+        ..TpchConfig::default()
+    })
+    .generate();
+    let stmt = sql_parse(
+        "SELECT name FROM Customer C WHERE NOT EXISTS \
+         (SELECT * FROM Orders O WHERE O.custkey = C.custkey)",
+    )
+    .unwrap();
+    let rows = sql_execute(&stmt, &db).unwrap();
+    // Every customer has orders, but some order.custkey values are null, so
+    // the correlated comparison can be unknown; the query must still run
+    // and return only constants.
+    assert!(rows.distinct().all(|t| t.all_const()));
+}

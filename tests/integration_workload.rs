@@ -1,0 +1,111 @@
+//! Integration tests pinning down the concrete numbers shown by the
+//! examples and the experiment harness, so that the narrative in the
+//! README/examples cannot silently drift from what the library computes.
+
+use certa::prelude::*;
+
+/// The quickstart example's library database and its headline numbers.
+#[test]
+fn quickstart_scenario_numbers() {
+    let db = database_from_literal([
+        (
+            "Books",
+            vec!["book", "title"],
+            vec![
+                tup!["b1", "Incomplete Information"],
+                tup!["b2", "Three-Valued Logic"],
+                tup!["b3", "Certain Answers"],
+            ],
+        ),
+        (
+            "Loans",
+            vec!["reader", "book"],
+            vec![tup!["alice", "b1"], tup!["bob", Value::null(0)]],
+        ),
+    ]);
+    let available = RaExpr::rel("Books")
+        .project(vec![0])
+        .difference(RaExpr::rel("Loans").project(vec![1]));
+
+    let naive = naive_eval(&available, &db).unwrap();
+    assert_eq!(
+        naive,
+        Relation::from_tuples(vec![tup!["b2"], tup!["b3"]])
+    );
+    assert!(cert_with_nulls(&available, &db).unwrap().is_empty());
+    let plus = q_plus(&available, db.schema()).unwrap();
+    assert!(eval(&plus, &db).unwrap().is_empty());
+    let question = q_question(&available, db.schema()).unwrap();
+    assert_eq!(eval(&question, &db).unwrap(), naive);
+
+    // µ_10: b1 is on loan for sure, b2/b3 are available in 9 of 10 worlds.
+    let mu_b1 = mu_k(&available, &db, &tup!["b1"], 10).unwrap();
+    let mu_b2 = mu_k(&available, &db, &tup!["b2"], 10).unwrap();
+    assert_eq!((mu_b1.numerator, mu_b1.denominator), (0, 10));
+    assert_eq!((mu_b2.numerator, mu_b2.denominator), (9, 10));
+
+    // SQL's NOT IN returns nothing at all.
+    let stmt =
+        sql_parse("SELECT book FROM Books WHERE book NOT IN (SELECT book FROM Loans)").unwrap();
+    assert!(sql_execute(&stmt, &db).unwrap().is_empty());
+}
+
+/// The strict-containment witness used by experiment E9: only the aware
+/// strategy recognises the tautological selection condition.
+#[test]
+fn aware_strategy_strict_containment_witness() {
+    let db = database_from_literal([("S", vec!["a"], vec![tup![Value::null(0)], tup![2]])]);
+    let query =
+        RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
+    let eager = eval_conditional(&query, &db, Strategy::Eager).unwrap();
+    let aware = eval_conditional(&query, &db, Strategy::Aware).unwrap();
+    assert_eq!(eager.certain().len(), 1);
+    assert_eq!(aware.certain().len(), 2);
+    assert!(eager.certain().is_subset_of(&aware.certain()));
+    // Both are sound: the exact certain answers are {⊥, 2}.
+    let exact = cert_with_nulls(&query, &db).unwrap();
+    assert_eq!(exact.len(), 2);
+    assert!(aware.certain().is_subset_of(&exact));
+}
+
+/// The TPC-H-like generator behaves as the scaling experiment assumes:
+/// sizes scale with the target, nulls appear at the requested rate, and the
+/// translatable query suite runs end-to-end through the (Q+, Q?) pipeline.
+#[test]
+fn tpch_workload_feeds_the_scheme_pipeline() {
+    let db = TpchGenerator::new(TpchConfig::scaled_to(300, 0.05, 7)).generate();
+    assert!(db.total_tuples() > 150 && db.total_tuples() < 600);
+    assert!(!db.is_complete());
+    for query in TpchGenerator::translatable_queries() {
+        let plus = q_plus(&query.expr, db.schema()).unwrap();
+        let question = q_question(&query.expr, db.schema()).unwrap();
+        let certain = eval(&plus, &db).unwrap();
+        let possible = eval(&question, &db).unwrap();
+        assert!(
+            certain.is_subset_of(&possible),
+            "{}: Q+ ⊄ Q?",
+            query.name
+        );
+        // The Q+ answers also sit inside the naive evaluation (they are
+        // almost certainly true, so in particular naive answers).
+        let naive = naive_eval(&query.expr, &db).unwrap();
+        assert!(certain.is_subset_of(&naive), "{}: Q+ ⊄ naive", query.name);
+    }
+}
+
+/// Answer-quality bookkeeping used by experiment E4, on a hand-checked
+/// instance: the tautology query's certain answers include the null tuple,
+/// which Q+ misses — precision 1, recall 1/2.
+#[test]
+fn tautology_query_recall_loss_is_exactly_one_half() {
+    let db = database_from_literal([("S", vec!["a"], vec![tup![Value::null(0)], tup![2]])]);
+    let query =
+        RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
+    let plus = eval(&q_plus(&query, db.schema()).unwrap(), &db).unwrap();
+    let exact = cert_with_nulls(&query, &db).unwrap();
+    let quality = AnswerQuality::compare(&plus, &exact);
+    assert_eq!(quality.precision(), 1.0);
+    assert_eq!(quality.recall(), 0.5);
+    assert_eq!(quality.false_negatives, 1);
+    assert!(quality.has_correctness_guarantee());
+}

@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) for the core invariants of the library:
+//! unification, valuations, relational-algebra identities, Kleene-logic
+//! laws, and the soundness of the approximation schemes on arbitrary
+//! generated instances.
+
+use certa::certain::approx37;
+use certa::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Strategy for values over a small constant domain with a few nulls.
+fn value_strategy() -> impl PropStrategy<Value = Value> {
+    prop_oneof![
+        (0i64..5).prop_map(Value::int),
+        (0u32..3).prop_map(Value::null),
+    ]
+}
+
+fn tuple_strategy(arity: usize) -> impl PropStrategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), arity).prop_map(Tuple::from)
+}
+
+fn valuation_strategy() -> impl PropStrategy<Value = Valuation> {
+    proptest::collection::btree_map(0u32..3, 0i64..5, 0..3).prop_map(|m| {
+        Valuation::from_pairs(m.into_iter().map(|(n, c)| (n, Const::Int(c))))
+    })
+}
+
+/// A small random database over a fixed 2-relation schema.
+fn database_strategy() -> impl PropStrategy<Value = Database> {
+    (
+        proptest::collection::vec(tuple_strategy(2), 0..5),
+        proptest::collection::vec(tuple_strategy(1), 0..4),
+    )
+        .prop_map(|(r, s)| {
+            database_from_literal([("R", vec!["a", "b"], r), ("S", vec!["c"], s)])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unification is symmetric, and unifiable tuples have a witnessing
+    /// valuation that really equalises them.
+    #[test]
+    fn unification_symmetry_and_witness(a in tuple_strategy(3), b in tuple_strategy(3)) {
+        use certa::data::{unifiable, unify};
+        prop_assert_eq!(unifiable(&a, &b), unifiable(&b, &a));
+        if let Some(v) = unify(&a, &b) {
+            prop_assert_eq!(v.apply_tuple(&a), v.apply_tuple(&b));
+        }
+    }
+
+    /// A total valuation always produces a complete database, and applying
+    /// it twice is the same as applying it once (idempotence on the image).
+    #[test]
+    fn valuations_complete_and_idempotent(db in database_strategy()) {
+        let nulls = db.nulls();
+        let pool: Vec<Const> = (0..4).map(Const::Int).collect();
+        let first = certa::data::valuation::all_valuations(&nulls, &pool).next();
+        if let Some(v) = first {
+            let world = v.apply_database(&db);
+            prop_assert!(world.is_complete());
+            prop_assert_eq!(v.apply_database(&world), world);
+        }
+    }
+
+    /// Kleene connectives: commutativity, associativity, De Morgan, and
+    /// monotonicity in the knowledge order.
+    #[test]
+    fn kleene_laws(a in 0usize..3, b in 0usize..3, c in 0usize..3) {
+        let (a, b, c) = (Truth3::ALL[a], Truth3::ALL[b], Truth3::ALL[c]);
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        prop_assert_eq!(a.and(b.and(c)), a.and(b).and(c));
+        prop_assert_eq!(a.or(b.or(c)), a.or(b).or(c));
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+        // Knowledge monotonicity of ∧ in each argument.
+        for x in Truth3::ALL {
+            if x.knowledge_le(a) {
+                prop_assert!(x.and(b).knowledge_le(a.and(b)));
+            }
+        }
+    }
+
+    /// Relational-algebra identities under set semantics: commutativity of
+    /// ∪ and ∩, distributivity of σ over ∪, and π ∘ π composition.
+    #[test]
+    fn algebra_identities(db in database_strategy(), k in 0i64..5) {
+        let r = RaExpr::rel("R");
+        let s = RaExpr::rel("R").select(Condition::eq_const(0, k));
+        let union_lr = eval(&r.clone().union(s.clone()), &db).unwrap();
+        let union_rl = eval(&s.clone().union(r.clone()), &db).unwrap();
+        prop_assert_eq!(union_lr, union_rl);
+        // σ distributes over ∪.
+        let cond = Condition::eq_const(1, k);
+        let lhs = eval(&r.clone().union(s.clone()).select(cond.clone()), &db).unwrap();
+        let rhs = eval(
+            &r.clone().select(cond.clone()).union(s.clone().select(cond)),
+            &db,
+        )
+        .unwrap();
+        prop_assert_eq!(lhs, rhs);
+        // Projecting twice is projecting once.
+        let p1 = eval(&r.clone().project(vec![0, 1]).project(vec![0]), &db).unwrap();
+        let p2 = eval(&r.clone().project(vec![0]), &db).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Naïve evaluation commutes with valuations for queries in the positive
+    /// fragment: v(Qⁿᵃⁱᵛᵉ(D)) ⊆ Q(v(D)) (the preservation property behind
+    /// Theorem 4.4).
+    #[test]
+    fn positive_queries_preserved_under_valuations(
+        db in database_strategy(),
+        v in valuation_strategy(),
+        qseed in 0u64..20,
+    ) {
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                max_depth: 2,
+                allow_difference: false,
+                allow_disequality: false,
+                seed: qseed,
+            },
+        );
+        let naive = naive_eval(&query, &db).unwrap();
+        // Make the valuation total on the database's nulls by filling gaps.
+        let mut total = v.clone();
+        for n in db.nulls() {
+            if total.get(n).is_none() {
+                total.assign(n, Const::Int(0));
+            }
+        }
+        let world = total.apply_database(&db);
+        let answer = eval(&query, &world).unwrap();
+        prop_assert!(total.apply_relation(&naive).is_subset_of(&answer),
+            "query {} on db {}", query, db);
+    }
+
+    /// Q+ is always a subset of Q? on the same database, and both collapse
+    /// to Q on complete databases.
+    #[test]
+    fn q_plus_subset_of_q_question(db in database_strategy(), qseed in 0u64..20) {
+        let query = random_query(db.schema(), &RandomQueryConfig {
+            max_depth: 2,
+            allow_difference: true,
+            allow_disequality: true,
+            seed: qseed,
+        });
+        let pair = approx37::translate(&query, db.schema()).unwrap();
+        let plus = eval(&pair.q_plus, &db).unwrap();
+        let question = eval(&pair.q_question, &db).unwrap();
+        prop_assert!(plus.is_subset_of(&question), "query {} on db {}", query, db);
+        if db.is_complete() {
+            let exact = eval(&query, &db).unwrap();
+            prop_assert_eq!(plus, exact.clone());
+            prop_assert_eq!(question, exact);
+        }
+    }
+
+    /// The eager conditional-table strategy agrees with (Q+, Q?) on
+    /// arbitrary generated databases and queries (Theorem 4.9's last claim).
+    #[test]
+    fn eager_ctables_match_q_plus(db in database_strategy(), qseed in 0u64..12) {
+        let query = random_query(db.schema(), &RandomQueryConfig {
+            max_depth: 2,
+            allow_difference: true,
+            allow_disequality: true,
+            seed: qseed,
+        });
+        let pair = approx37::translate(&query, db.schema()).unwrap();
+        let eager = eval_conditional(&query, &db, certa::ctables::Strategy::Eager).unwrap();
+        prop_assert_eq!(eager.certain(), eval(&pair.q_plus, &db).unwrap());
+        prop_assert_eq!(eager.possible(), eval(&pair.q_question, &db).unwrap());
+    }
+
+    /// Bag and set evaluation agree after duplicate elimination on
+    /// duplicate-free inputs.
+    #[test]
+    fn bag_eval_matches_set_eval(db in database_strategy(), qseed in 0u64..15) {
+        let query = random_query(db.schema(), &RandomQueryConfig {
+            max_depth: 2,
+            allow_difference: false,
+            allow_disequality: true,
+            seed: qseed,
+        });
+        let set_out = eval(&query, &db).unwrap();
+        let bag_out = certa::algebra::bag_eval::eval_bag(&query, &db.to_bags()).unwrap();
+        prop_assert_eq!(bag_out.to_set(), set_out);
+    }
+
+    /// µ_k is monotone in the sense of the 0–1 law: if a tuple is in the
+    /// naive answer, its measure approaches 1 (is at least 1 − |nulls|·m/k
+    /// in the worst case, so for large k it is positive); if it is not, the
+    /// measure at large k is below that of naive tuples.
+    #[test]
+    fn mu_k_respects_naive_membership(db in database_strategy()) {
+        let query = RaExpr::rel("R").project(vec![0]);
+        let naive = naive_eval(&query, &db).unwrap();
+        for t in naive.iter().take(2) {
+            let frac = mu_k(&query, &db, t, 12).unwrap();
+            prop_assert!(frac.numerator > 0, "tuple {} should have support", t);
+        }
+    }
+}
