@@ -100,10 +100,12 @@ impl QueryBuilder {
             .collect();
         match matches.as_slice() {
             [i] => Ok(*i),
-            _ => Err(AlgebraError::Data(certa_data::DataError::UnknownAttribute {
-                relation: "<query>".to_string(),
-                attribute: name.to_string(),
-            })),
+            _ => Err(AlgebraError::Data(
+                certa_data::DataError::UnknownAttribute {
+                    relation: "<query>".to_string(),
+                    attribute: name.to_string(),
+                },
+            )),
         }
     }
 
@@ -113,10 +115,7 @@ impl QueryBuilder {
     /// # Errors
     ///
     /// Propagates name-resolution errors from the closure.
-    pub fn select_with(
-        self,
-        f: impl FnOnce(&QueryBuilder) -> Result<Condition>,
-    ) -> Result<Self> {
+    pub fn select_with(self, f: impl FnOnce(&QueryBuilder) -> Result<Condition>) -> Result<Self> {
         let cond = f(&self)?;
         Ok(QueryBuilder {
             expr: self.expr.select(cond),
@@ -254,7 +253,10 @@ mod tests {
         let d = db();
         let b = QueryBuilder::scan(d.schema(), "Orders")
             .unwrap()
-            .join(QueryBuilder::scan(d.schema(), "Payments").unwrap(), &[("oid", "oid")])
+            .join(
+                QueryBuilder::scan(d.schema(), "Payments").unwrap(),
+                &[("oid", "oid")],
+            )
             .unwrap();
         assert!(b.position("oid").is_err());
         assert_eq!(b.position("Payments.oid").unwrap(), 4);
@@ -265,7 +267,10 @@ mod tests {
         let d = db();
         let q = QueryBuilder::scan(d.schema(), "Orders")
             .unwrap()
-            .join(QueryBuilder::scan(d.schema(), "Payments").unwrap(), &[("oid", "oid")])
+            .join(
+                QueryBuilder::scan(d.schema(), "Payments").unwrap(),
+                &[("oid", "oid")],
+            )
             .unwrap()
             .filter_eq("cid", "c1")
             .unwrap()
@@ -321,14 +326,21 @@ mod tests {
     #[test]
     fn divide_and_union_column_tracking() {
         let d = database_from_literal([
-            ("W", vec!["e", "p"], vec![tup![1, 10], tup![1, 20], tup![2, 10]]),
+            (
+                "W",
+                vec!["e", "p"],
+                vec![tup![1, 10], tup![1, 20], tup![2, 10]],
+            ),
             ("P", vec!["p"], vec![tup![10], tup![20]]),
         ]);
         let q = QueryBuilder::scan(d.schema(), "W")
             .unwrap()
             .divide(QueryBuilder::scan(d.schema(), "P").unwrap());
         assert_eq!(q.columns(), ["W.e"]);
-        assert_eq!(eval(q.expr(), &d).unwrap(), Relation::from_tuples(vec![tup![1]]));
+        assert_eq!(
+            eval(q.expr(), &d).unwrap(),
+            Relation::from_tuples(vec![tup![1]])
+        );
         let u = QueryBuilder::scan(d.schema(), "P")
             .unwrap()
             .union(QueryBuilder::scan(d.schema(), "P").unwrap());

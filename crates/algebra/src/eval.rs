@@ -3,9 +3,18 @@
 //! Nulls are treated as ordinary values (syntactic equality), which is the
 //! evaluation that underlies naïve evaluation (§4.1). Correctness with
 //! respect to certain answers is the business of the higher-level crates.
+//!
+//! Since the physical-engine refactor, [`eval`] is a thin adapter: it
+//! validates the expression and dispatches to [`crate::physical`]'s
+//! annotation-generic pipeline instantiated at [`crate::physical::SetAnn`]
+//! (hash joins, scan-pushed selections, no per-node set rebuilds). The
+//! seed's recursive interpreter survives as
+//! [`crate::reference::eval_set_reference`] for oracle testing and
+//! ablations.
 
 use crate::expr::RaExpr;
-use crate::{AlgebraError, Result};
+use crate::physical;
+use crate::Result;
 use certa_data::{unify, Database, Relation, Tuple, Value};
 
 /// Evaluate an expression on a database under set semantics.
@@ -18,43 +27,7 @@ use certa_data::{unify, Database, Relation, Tuple, Value};
 pub fn eval(expr: &RaExpr, db: &Database) -> Result<Relation> {
     // Validate up front so evaluation code can index freely.
     expr.validate(db.schema())?;
-    eval_unchecked(expr, db)
-}
-
-/// Evaluation without re-validation; callers must have validated the
-/// expression against the database's schema.
-pub(crate) fn eval_unchecked(expr: &RaExpr, db: &Database) -> Result<Relation> {
-    match expr {
-        RaExpr::Relation(name) => Ok(db
-            .relation(name)
-            .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?
-            .clone()),
-        RaExpr::Select(e, cond) => {
-            let input = eval_unchecked(e, db)?;
-            Ok(input.filter(|t| cond.eval(t)))
-        }
-        RaExpr::Project(e, positions) => Ok(eval_unchecked(e, db)?.project(positions)),
-        RaExpr::Product(l, r) => Ok(eval_unchecked(l, db)?.product(&eval_unchecked(r, db)?)),
-        RaExpr::Union(l, r) => Ok(eval_unchecked(l, db)?.union(&eval_unchecked(r, db)?)),
-        RaExpr::Intersect(l, r) => {
-            Ok(eval_unchecked(l, db)?.intersection(&eval_unchecked(r, db)?))
-        }
-        RaExpr::Difference(l, r) => {
-            Ok(eval_unchecked(l, db)?.difference(&eval_unchecked(r, db)?))
-        }
-        RaExpr::Divide(l, r) => {
-            let dividend = eval_unchecked(l, db)?;
-            let divisor = eval_unchecked(r, db)?;
-            Ok(divide(&dividend, &divisor))
-        }
-        RaExpr::DomPower(k) => Ok(dom_power(db, *k)),
-        RaExpr::AntiSemiJoinUnify(l, r) => {
-            let left = eval_unchecked(l, db)?;
-            let right = eval_unchecked(r, db)?;
-            Ok(anti_semijoin_unify(&left, &right))
-        }
-        RaExpr::Literal(rel) => Ok(rel.clone()),
-    }
+    physical::eval_set(expr, db)
 }
 
 /// Relational division `R ÷ S`: tuples `ā` over the first
@@ -67,11 +40,29 @@ pub fn divide(dividend: &Relation, divisor: &Relation) -> Relation {
     let n = dividend.arity() - divisor.arity();
     let head: Vec<usize> = (0..n).collect();
     let candidates = dividend.project(&head);
-    candidates.filter(|a| {
-        divisor
-            .iter()
-            .all(|b| dividend.contains(&a.concat(b)))
-    })
+    candidates.filter(|a| divisor.iter().all(|b| dividend.contains(&a.concat(b))))
+}
+
+/// All `k`-tuples over the given domain, in index order (the tuple stream
+/// behind the `Domᵏ` operator, shared by every annotation domain).
+pub(crate) fn dom_power_over(domain: &[Value], k: usize) -> Vec<Tuple> {
+    if k == 0 {
+        return vec![Tuple::empty()];
+    }
+    if domain.is_empty() {
+        return Vec::new();
+    }
+    let total = domain.len().pow(k as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut values = Vec::with_capacity(k);
+        for _ in 0..k {
+            values.push(domain[idx % domain.len()].clone());
+            idx /= domain.len();
+        }
+        out.push(Tuple::new(values));
+    }
+    out
 }
 
 /// The active-domain power `Domᵏ(D)`: all `k`-tuples over `dom(D)`.
@@ -80,24 +71,7 @@ pub fn divide(dividend: &Relation, divisor: &Relation) -> Relation {
 /// translations of Figure 2(a); its cost is what the (Q+,Q?) scheme avoids.
 pub fn dom_power(db: &Database, k: usize) -> Relation {
     let domain: Vec<Value> = db.active_domain().into_iter().collect();
-    let mut out = Relation::empty(k);
-    if k == 0 {
-        out.insert(Tuple::empty());
-        return out;
-    }
-    if domain.is_empty() {
-        return out;
-    }
-    let total = domain.len().pow(k as u32);
-    for mut idx in 0..total {
-        let mut values = Vec::with_capacity(k);
-        for _ in 0..k {
-            values.push(domain[idx % domain.len()].clone());
-            idx /= domain.len();
-        }
-        out.insert(Tuple::new(values));
-    }
-    out
+    Relation::with_arity(k, dom_power_over(&domain, k))
 }
 
 /// The unification anti-semijoin `L ⋉⇑ R`: tuples of `L` that unify with no
@@ -164,7 +138,9 @@ mod tests {
         assert_eq!(eval(&u, &d).unwrap().len(), 3);
         let i = RaExpr::rel("S").intersect(RaExpr::rel("R").project(vec![0]));
         assert_eq!(eval(&i, &d).unwrap().len(), 2);
-        let m = RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"));
+        let m = RaExpr::rel("R")
+            .project(vec![0])
+            .difference(RaExpr::rel("S"));
         assert_eq!(eval(&m, &d).unwrap(), Relation::from_tuples(vec![tup![1]]));
     }
 
@@ -173,7 +149,7 @@ mod tests {
         let d = db();
         let p = RaExpr::rel("R").product(RaExpr::rel("S"));
         assert_eq!(eval(&p, &d).unwrap().len(), 8);
-        // R ⋈ S on R.b = S.c
+        // R ⋈ S on R.b = S.c — planned as a hash join.
         let j = RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2);
         let r = eval(&j, &d).unwrap();
         assert_eq!(r.len(), 3);
@@ -205,7 +181,10 @@ mod tests {
             ("Projects", vec!["proj"], vec![]),
         ]);
         let q = RaExpr::rel("Works").divide(RaExpr::rel("Projects"));
-        assert_eq!(eval(&q, &d).unwrap(), Relation::from_tuples(vec![tup!["ann"]]));
+        assert_eq!(
+            eval(&q, &d).unwrap(),
+            Relation::from_tuples(vec![tup!["ann"]])
+        );
     }
 
     #[test]

@@ -393,7 +393,10 @@ impl RaExpr {
                 let a = e.arity(schema)?;
                 if let Some(p) = cond.max_position() {
                     if p >= a {
-                        return Err(AlgebraError::PositionOutOfRange { position: p, arity: a });
+                        return Err(AlgebraError::PositionOutOfRange {
+                            position: p,
+                            arity: a,
+                        });
                     }
                 }
                 Ok(a)
@@ -402,7 +405,10 @@ impl RaExpr {
                 let a = e.arity(schema)?;
                 for &p in positions {
                     if p >= a {
-                        return Err(AlgebraError::PositionOutOfRange { position: p, arity: a });
+                        return Err(AlgebraError::PositionOutOfRange {
+                            position: p,
+                            arity: a,
+                        });
                     }
                 }
                 Ok(positions.len())
@@ -426,7 +432,10 @@ impl RaExpr {
             RaExpr::Divide(l, r) => {
                 let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
                 if la <= ra {
-                    return Err(AlgebraError::InvalidDivision { dividend: la, divisor: ra });
+                    return Err(AlgebraError::InvalidDivision {
+                        dividend: la,
+                        divisor: ra,
+                    });
                 }
                 Ok(la - ra)
             }
@@ -592,10 +601,13 @@ mod tests {
             )
         );
         // Double negation is the identity on this fragment.
-        assert_eq!(n.negate(), Condition::And(
-            Box::new(Condition::eq_attr(0, 1)),
-            Box::new(Condition::IsNull(0))
-        ));
+        assert_eq!(
+            n.negate(),
+            Condition::And(
+                Box::new(Condition::eq_attr(0, 1)),
+                Box::new(Condition::IsNull(0))
+            )
+        );
     }
 
     #[test]
@@ -628,7 +640,9 @@ mod tests {
         assert!(Condition::eq_attr(0, 1).is_positive());
         assert!(!Condition::neq_attr(0, 1).is_positive());
         assert!(Condition::eq_attr(0, 1).is_conjunctive_equalities());
-        assert!(!Condition::eq_attr(0, 1).or(Condition::eq_attr(1, 0)).is_conjunctive_equalities());
+        assert!(!Condition::eq_attr(0, 1)
+            .or(Condition::eq_attr(1, 0))
+            .is_conjunctive_equalities());
         assert!(!Condition::IsNull(0).is_conjunctive_equalities());
     }
 
@@ -645,7 +659,13 @@ mod tests {
     fn arity_computation() {
         let s = schema();
         assert_eq!(RaExpr::rel("R").arity(&s).unwrap(), 2);
-        assert_eq!(RaExpr::rel("R").product(RaExpr::rel("S")).arity(&s).unwrap(), 3);
+        assert_eq!(
+            RaExpr::rel("R")
+                .product(RaExpr::rel("S"))
+                .arity(&s)
+                .unwrap(),
+            3
+        );
         assert_eq!(RaExpr::rel("R").project(vec![1]).arity(&s).unwrap(), 1);
         assert_eq!(RaExpr::DomPower(4).arity(&s).unwrap(), 4);
         assert_eq!(
@@ -674,13 +694,13 @@ mod tests {
             Err(AlgebraError::InvalidDivision { .. })
         ));
         assert!(matches!(
-            RaExpr::rel("R")
-                .select(Condition::eq_attr(0, 7))
-                .arity(&s),
+            RaExpr::rel("R").select(Condition::eq_attr(0, 7)).arity(&s),
             Err(AlgebraError::PositionOutOfRange { .. })
         ));
         assert!(matches!(
-            RaExpr::rel("R").anti_semijoin_unify(RaExpr::rel("S")).arity(&s),
+            RaExpr::rel("R")
+                .anti_semijoin_unify(RaExpr::rel("S"))
+                .arity(&s),
             Err(AlgebraError::ArityMismatch { .. })
         ));
     }
@@ -690,7 +710,11 @@ mod tests {
         let q = RaExpr::rel("R")
             .select(Condition::eq_const(0, "x"))
             .union(RaExpr::rel("R"))
-            .difference(RaExpr::rel("S").product(RaExpr::rel("S")).project(vec![0, 1]));
+            .difference(
+                RaExpr::rel("S")
+                    .product(RaExpr::rel("S"))
+                    .project(vec![0, 1]),
+            );
         assert_eq!(q.relations(), vec!["R".to_string(), "S".to_string()]);
         assert_eq!(q.consts(), vec![Const::str("x")]);
         assert!(q.size() >= 6);

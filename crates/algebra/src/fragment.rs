@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn difference_and_disequality_are_full_ra() {
-        assert_eq!(classify(&r().difference(RaExpr::rel("S"))), Fragment::FullRa);
+        assert_eq!(
+            classify(&r().difference(RaExpr::rel("S"))),
+            Fragment::FullRa
+        );
         assert_eq!(
             classify(&r().select(Condition::neq_attr(0, 1))),
             Fragment::FullRa
@@ -194,7 +197,10 @@ mod tests {
             classify(&r().select(Condition::IsNull(0))),
             Fragment::FullRa
         );
-        assert_eq!(classify(&r().anti_semijoin_unify(RaExpr::rel("S"))), Fragment::FullRa);
+        assert_eq!(
+            classify(&r().anti_semijoin_unify(RaExpr::rel("S"))),
+            Fragment::FullRa
+        );
         assert_eq!(classify(&RaExpr::DomPower(2)), Fragment::FullRa);
     }
 

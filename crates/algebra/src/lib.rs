@@ -14,15 +14,35 @@
 //!   `const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ∨θ | θ∧θ`,
 //!   together with negation-propagation, the `θ*` rewriting of Figure 2 and
 //!   the SQL-style rewriting used by the SQL front-end;
+//! * [`physical`] — the **annotation-generic physical engine**: one
+//!   operator pipeline (hash join, scan-pushed selection, hash-resolved
+//!   intersection/difference) instantiated over annotation domains;
 //! * [`eval`] — set-semantics evaluation (nulls treated as plain values,
-//!   i.e. the evaluation underlying naïve evaluation);
-//! * [`bag_eval`] — bag-semantics evaluation consistent with SQL (§4.2);
-//! * [`naive`] — naïve evaluation `Qⁿᵃⁱᵛᵉ(D) = v⁻¹(Q(v(D)))` (§4.1);
+//!   i.e. the evaluation underlying naïve evaluation), an adapter over the
+//!   physical engine at [`physical::SetAnn`];
+//! * [`bag_eval`] — bag-semantics evaluation consistent with SQL (§4.2), an
+//!   adapter over the physical engine at [`physical::BagAnn`];
+//! * [`naive`] — naïve evaluation `Qⁿᵃⁱᵛᵉ(D) = v⁻¹(Q(v(D)))` (§4.1),
+//!   routed through [`eval`] and therefore through the engine;
+//! * [`reference`] — the seed's recursive clone-per-node interpreters, kept
+//!   as oracles for property tests and ablation benches;
 //! * [`fragment`] — syntactic classification of queries into the fragments
 //!   for which the survey gives naïve-evaluation guarantees (CQ, UCQ /
 //!   positive RA, Pos∀G, full RA);
 //! * [`builder`] — ergonomic construction of expressions against a schema,
 //!   with attribute names resolved to positions.
+//!
+//! ## One engine, three semantics
+//!
+//! Set semantics (§4), bag semantics (§5) and conditional tables (§3) are
+//! the same relational-algebra evaluation over different *annotation
+//! domains* — presence, multiplicity, and local conditions respectively.
+//! The [`physical`] module implements the evaluation once, generically over
+//! the [`physical::Annotation`] trait; `certa-ctables` instantiates it a
+//! third time with c-table conditions. Which paper section each instance
+//! implements, the laws the trait demands, and how to add a fourth domain
+//! are documented in `ARCHITECTURE.md` at the repository root and on the
+//! [`physical`] module itself.
 
 pub mod bag_eval;
 pub mod builder;
@@ -30,12 +50,15 @@ pub mod eval;
 pub mod expr;
 pub mod fragment;
 pub mod naive;
+pub mod physical;
+pub mod reference;
 
 pub use builder::QueryBuilder;
 pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
 pub use naive::naive_eval;
+pub use physical::{AnnRel, Annotation, BagAnn, OpKind, PhysOp, SetAnn, Source};
 
 /// Errors raised while validating or evaluating relational-algebra
 /// expressions.
@@ -66,6 +89,9 @@ pub enum AlgebraError {
         /// Arity of the divisor.
         divisor: usize,
     },
+    /// An extended operator was evaluated in an annotation domain that does
+    /// not support it (e.g. `Domᵏ` under conditional semantics).
+    UnsupportedOperator(&'static str),
     /// An error bubbled up from the data layer.
     Data(certa_data::DataError),
 }
@@ -75,15 +101,28 @@ impl std::fmt::Display for AlgebraError {
         match self {
             AlgebraError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             AlgebraError::PositionOutOfRange { position, arity } => {
-                write!(f, "attribute position {position} out of range for arity {arity}")
+                write!(
+                    f,
+                    "attribute position {position} out of range for arity {arity}"
+                )
             }
-            AlgebraError::ArityMismatch { operator, left, right } => {
+            AlgebraError::ArityMismatch {
+                operator,
+                left,
+                right,
+            } => {
                 write!(f, "arity mismatch for {operator}: {left} vs {right}")
             }
             AlgebraError::InvalidDivision { dividend, divisor } => write!(
                 f,
                 "invalid division: dividend arity {dividend} must exceed divisor arity {divisor}"
             ),
+            AlgebraError::UnsupportedOperator(op) => {
+                write!(
+                    f,
+                    "operator `{op}` is not supported by this annotation domain"
+                )
+            }
             AlgebraError::Data(e) => write!(f, "{e}"),
         }
     }

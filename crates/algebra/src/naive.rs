@@ -144,7 +144,11 @@ mod tests {
         // Nulls act as values: ⊥0 joins with ⊥0 but not with ⊥1.
         let d = database_from_literal([
             ("R", vec!["a"], vec![tup![Value::null(0)]]),
-            ("S", vec!["a"], vec![tup![Value::null(0)], tup![Value::null(1)]]),
+            (
+                "S",
+                vec!["a"],
+                vec![tup![Value::null(0)], tup![Value::null(1)]],
+            ),
         ]);
         let q = RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(0, 0)], 1);
         let out = naive_eval(&q, &d).unwrap();

@@ -1,0 +1,1040 @@
+//! The annotation-generic physical evaluation engine.
+//!
+//! The survey's three evaluation semantics — sets (§4), bags (§5/SQL) and
+//! conditional tables (§3/§4.2) — are the *same* relational-algebra
+//! evaluation instantiated over different annotation domains: a tuple is
+//! annotated with its *presence* (sets), its *multiplicity* (bags) or its
+//! *local condition* (c-tables), and each algebra operator combines
+//! annotations with domain operations that form a commutative-semiring-style
+//! structure:
+//!
+//! | operator | annotation operation |
+//! |---|---|
+//! | union, duplicate-collapsing projection | [`Annotation::plus`] |
+//! | product, join | [`Annotation::times`] |
+//! | intersection | [`Annotation::meet`] |
+//! | difference | [`Annotation::monus`] |
+//! | selection σ_θ | [`Annotation::select`] |
+//!
+//! This module implements that evaluation **once**, as a pipeline of
+//! physical operators over [`AnnRel`] (a vector of annotated rows), and the
+//! public evaluators — [`crate::eval::eval`], [`crate::bag_eval::eval_bag`]
+//! and `certa_ctables::eval_conditional` — are thin adapters that pick an
+//! annotation domain and convert the result back to their legacy types.
+//!
+//! Compared with the seed's clone-per-node tree-walking interpreters, the
+//! engine:
+//!
+//! * plans `σ_θ(E₁ × E₂)` with equi-join conjuncts into a **hash join**
+//!   ([`PhysOp::HashJoin`]), probing a [`certa_data::KeyIndex`] instead of
+//!   materialising the product (rows whose key involves a null fall back to
+//!   symbolic pairing when the domain demands it, see
+//!   [`Annotation::SYMBOLIC_NULLS`]);
+//! * pushes selections into scans ([`PhysOp::Scan`]'s `filter`), so
+//!   filtered-out base tuples are never materialised;
+//! * moves intermediate results through operators by value — no
+//!   `BTreeSet` is rebuilt per operator node;
+//! * resolves intersection and difference by hash lookup on the full tuple
+//!   rather than by pairwise scans.
+//!
+//! Adding a new annotation domain (provenance polynomials, access levels,
+//! probabilities, …) means implementing [`Annotation`] and a [`Source`];
+//! every operator, the planner and the hash-join fast path come for free.
+//! See `ARCHITECTURE.md` for the full design discussion.
+
+use crate::expr::{Condition, Operand, RaExpr};
+use crate::{AlgebraError, Result};
+use certa_data::index::{extract_key, key_has_null, KeyIndex};
+use certa_data::{BagDatabase, BagRelation, Database, Relation, Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// An annotation domain: the commutative-semiring-style structure an
+/// evaluation semantics attaches to tuples.
+///
+/// Laws expected by the engine (for rows that survive, i.e. non-[`is_zero`]
+/// annotations): `plus` and `times` are commutative and associative with
+/// units `zero`/[`one`]; `times` distributes over `plus`; `select` with
+/// [`Condition::True`] is the identity. Domains whose duplicate rows carry
+/// independent information (c-tables) opt out of duplicate merging via
+/// [`MERGE_DUPLICATES`].
+///
+/// [`is_zero`]: Annotation::is_zero
+/// [`one`]: Annotation::one
+/// [`MERGE_DUPLICATES`]: Annotation::MERGE_DUPLICATES
+pub trait Annotation: Clone + Sized {
+    /// Whether equal tuples should be merged with [`Annotation::plus`]
+    /// (sets, bags) or kept as separate rows (c-tables, where two rows with
+    /// the same tuple but different conditions are distinct information).
+    const MERGE_DUPLICATES: bool;
+
+    /// Whether join keys containing marked nulls must bypass the syntactic
+    /// hash path and be paired *symbolically* through
+    /// [`Annotation::select`]. Set- and bag-semantics compare nulls
+    /// syntactically (⊥ᵢ = ⊥ᵢ), so they hash everything; conditional
+    /// evaluation keeps `⊥ᵢ = c` as a symbolic condition instead.
+    const SYMBOLIC_NULLS: bool;
+
+    /// Whether the extended operators (÷, `Domᵏ`, `⋉⇑`), which are defined
+    /// on tuple *support* only, make sense in this domain.
+    const SUPPORTS_EXTENDED: bool;
+
+    /// The annotation of an unconditionally present base tuple.
+    fn one() -> Self;
+
+    /// `true` iff the annotation is absorbing — the row carries no
+    /// information and is dropped.
+    fn is_zero(&self) -> bool;
+
+    /// Merge the annotations of two copies of the same tuple
+    /// (union, duplicate-collapsing projection).
+    fn plus(&mut self, other: Self);
+
+    /// Combine annotations across a join or product.
+    fn times(&self, other: &Self) -> Self;
+
+    /// Combine annotations for intersection. Defaults to [`times`]
+    /// (presence ∧ presence); bags override with `min`.
+    ///
+    /// [`times`]: Annotation::times
+    fn meet(&self, other: &Self) -> Self {
+        self.times(other)
+    }
+
+    /// Remove `other`'s contribution for difference: the annotation of a
+    /// left row whose tuple also appears on the right with annotation
+    /// `other`.
+    fn monus(&self, other: &Self) -> Self;
+
+    /// Evaluate a selection condition against the row's tuple, scaling the
+    /// annotation (to zero when the condition rejects the row; to a
+    /// symbolic condition under conditional semantics).
+    fn select(&self, cond: &Condition, tuple: &Tuple) -> Self;
+
+    /// Difference `left − right`. The default resolves matches by hash
+    /// lookup on the full tuple (syntactic equality) and combines with
+    /// [`Annotation::monus`]; conditional semantics overrides this with
+    /// unification-aware symbolic matching.
+    ///
+    /// The default requires [`MERGE_DUPLICATES`] (at most one right-side
+    /// row per tuple); non-merging domains must override it, as the
+    /// hash lookup would silently drop duplicate rows' contributions.
+    ///
+    /// [`MERGE_DUPLICATES`]: Annotation::MERGE_DUPLICATES
+    fn difference(left: AnnRel<Self>, right: &AnnRel<Self>) -> AnnRel<Self> {
+        debug_assert!(
+            Self::MERGE_DUPLICATES,
+            "default Annotation::difference requires duplicate-merged rows; override it"
+        );
+        let map = right.tuple_map();
+        let mut out = AnnRel::new(left.arity());
+        for (t, a) in left.rows {
+            let ann = match map.get(&t) {
+                Some(b) => a.monus(b),
+                None => a,
+            };
+            out.push(t, ann);
+        }
+        out
+    }
+
+    /// Intersection `left ∩ right`. The default resolves matches by hash
+    /// lookup on the full tuple and combines with [`Annotation::meet`];
+    /// conditional semantics overrides this with pairwise symbolic
+    /// matching.
+    ///
+    /// Like [`Annotation::difference`], the default requires
+    /// [`MERGE_DUPLICATES`]; non-merging domains must override it.
+    ///
+    /// [`MERGE_DUPLICATES`]: Annotation::MERGE_DUPLICATES
+    fn intersect(left: AnnRel<Self>, right: &AnnRel<Self>) -> AnnRel<Self> {
+        debug_assert!(
+            Self::MERGE_DUPLICATES,
+            "default Annotation::intersect requires duplicate-merged rows; override it"
+        );
+        let map = right.tuple_map();
+        let mut out = AnnRel::new(left.arity());
+        for (t, a) in left.rows {
+            if let Some(b) = map.get(&t) {
+                let ann = a.meet(b);
+                out.push(t, ann);
+            }
+        }
+        out
+    }
+}
+
+/// Set-semantics annotation: presence. `times`/`meet` are conjunction,
+/// `plus` is disjunction, and difference zeroes a row whose tuple appears on
+/// the right — reproducing [`certa_data::Relation`]'s set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetAnn(pub bool);
+
+impl Annotation for SetAnn {
+    const MERGE_DUPLICATES: bool = true;
+    const SYMBOLIC_NULLS: bool = false;
+    const SUPPORTS_EXTENDED: bool = true;
+
+    fn one() -> Self {
+        SetAnn(true)
+    }
+
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+
+    fn plus(&mut self, other: Self) {
+        self.0 |= other.0;
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        SetAnn(self.0 && other.0)
+    }
+
+    fn monus(&self, other: &Self) -> Self {
+        SetAnn(self.0 && !other.0)
+    }
+
+    fn select(&self, cond: &Condition, tuple: &Tuple) -> Self {
+        SetAnn(self.0 && cond.eval(tuple))
+    }
+}
+
+/// Bag-semantics annotation: multiplicity. `plus` adds (`UNION ALL`),
+/// `times` multiplies (products), `meet` takes the minimum
+/// (`INTERSECT ALL`) and `monus` subtracts down to zero (`EXCEPT ALL`),
+/// reproducing [`certa_data::BagRelation`]'s operations (§5 of the survey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagAnn(pub usize);
+
+impl Annotation for BagAnn {
+    const MERGE_DUPLICATES: bool = true;
+    const SYMBOLIC_NULLS: bool = false;
+    const SUPPORTS_EXTENDED: bool = true;
+
+    fn one() -> Self {
+        BagAnn(1)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn plus(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        BagAnn(self.0 * other.0)
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        BagAnn(self.0.min(other.0))
+    }
+
+    fn monus(&self, other: &Self) -> Self {
+        BagAnn(self.0.saturating_sub(other.0))
+    }
+
+    fn select(&self, cond: &Condition, tuple: &Tuple) -> Self {
+        if cond.eval(tuple) {
+            *self
+        } else {
+            BagAnn(0)
+        }
+    }
+}
+
+/// A relation annotated over a domain `A`: a fixed arity plus rows of
+/// `(tuple, annotation)` pairs. Rows with zero annotations are never stored.
+#[derive(Debug, Clone)]
+pub struct AnnRel<A> {
+    arity: usize,
+    rows: Vec<(Tuple, A)>,
+}
+
+impl<A: Annotation> AnnRel<A> {
+    /// An empty annotated relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        AnnRel {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[(Tuple, A)] {
+        &self.rows
+    }
+
+    /// Consume the relation, yielding its rows.
+    pub fn into_rows(self) -> Vec<(Tuple, A)> {
+        self.rows
+    }
+
+    /// Append a row, dropping it if the annotation is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, tuple: Tuple, ann: A) {
+        assert_eq!(
+            tuple.arity(),
+            self.arity,
+            "AnnRel::push: arity mismatch (relation {}, tuple {})",
+            self.arity,
+            tuple.arity()
+        );
+        if !ann.is_zero() {
+            self.rows.push((tuple, ann));
+        }
+    }
+
+    /// Collapse duplicate tuples with [`Annotation::plus`] when the domain
+    /// merges duplicates; a no-op otherwise.
+    fn merged(mut self) -> Self {
+        if !A::MERGE_DUPLICATES || self.rows.len() < 2 {
+            return self;
+        }
+        let mut map: HashMap<Tuple, A> = HashMap::with_capacity(self.rows.len());
+        for (t, a) in self.rows.drain(..) {
+            match map.entry(t) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().plus(a),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(a);
+                }
+            }
+        }
+        self.rows = map.into_iter().filter(|(_, a)| !a.is_zero()).collect();
+        self
+    }
+
+    /// Hash map from tuple to annotation (duplicate-merged domains only;
+    /// used by the default difference/intersection).
+    fn tuple_map(&self) -> HashMap<&Tuple, &A> {
+        self.rows.iter().map(|(t, a)| (t, a)).collect()
+    }
+
+    /// The support: distinct tuples with non-zero annotations, as a plain
+    /// set relation.
+    pub fn support(&self) -> Relation {
+        Relation::with_arity(self.arity, self.rows.iter().map(|(t, _)| t.clone()))
+    }
+}
+
+/// A provider of annotated base relations: the database type an annotation
+/// domain evaluates over.
+pub trait Source<A: Annotation> {
+    /// Scan a base relation, applying a pushed-down selection while
+    /// converting (filtered-out rows are never materialised).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation does not exist.
+    fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<AnnRel<A>>;
+
+    /// The active domain (for the `Domᵏ` extended operator).
+    fn active_domain(&self) -> Vec<Value>;
+}
+
+/// Set-semantics source: a [`Database`] scanned with [`SetAnn`] presence.
+pub struct SetSource<'a>(pub &'a Database);
+
+impl Source<SetAnn> for SetSource<'_> {
+    fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<AnnRel<SetAnn>> {
+        let rel = self
+            .0
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?;
+        let mut out = AnnRel::new(rel.arity());
+        for t in rel.iter() {
+            if filter.is_none_or(|c| c.eval(t)) {
+                out.push(t.clone(), SetAnn::one());
+            }
+        }
+        Ok(out)
+    }
+
+    fn active_domain(&self) -> Vec<Value> {
+        self.0.active_domain().into_iter().collect()
+    }
+}
+
+/// Bag-semantics source: a [`BagDatabase`] scanned with [`BagAnn`]
+/// multiplicities.
+pub struct BagSource<'a>(pub &'a BagDatabase);
+
+impl Source<BagAnn> for BagSource<'_> {
+    fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<AnnRel<BagAnn>> {
+        let rel = self
+            .0
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?;
+        let mut out = AnnRel::new(rel.arity());
+        for (t, n) in rel.iter() {
+            if filter.is_none_or(|c| c.eval(t)) {
+                out.push(t.clone(), BagAnn(n));
+            }
+        }
+        Ok(out)
+    }
+
+    fn active_domain(&self) -> Vec<Value> {
+        self.0.active_domain().into_iter().collect()
+    }
+}
+
+/// The operator kind an executed node reported to the evaluation hook —
+/// conditional evaluation uses this to decide where each grounding strategy
+/// normalises (e.g. the lazy strategy grounds after differences only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Base-relation scan (possibly with a pushed-down selection).
+    Scan,
+    /// Literal relation.
+    Literal,
+    /// Selection σ_θ.
+    Select,
+    /// Projection π.
+    Project,
+    /// Hash join (a fused σ×).
+    Join,
+    /// Cartesian product.
+    Product,
+    /// Union.
+    Union,
+    /// Intersection.
+    Intersect,
+    /// Difference.
+    Difference,
+    /// Division.
+    Divide,
+    /// Active-domain power.
+    DomPower,
+    /// Unification anti-semijoin.
+    AntiSemiJoinUnify,
+}
+
+/// A physical operator tree, produced by [`plan`] from an [`RaExpr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysOp {
+    /// Scan of a base relation with an optional pushed-down selection.
+    Scan {
+        /// Relation name.
+        name: String,
+        /// Selection applied while scanning.
+        filter: Option<Condition>,
+    },
+    /// A literal relation.
+    Literal(Relation),
+    /// Selection over a sub-plan.
+    Select(Box<PhysOp>, Condition),
+    /// Projection onto positions.
+    Project(Box<PhysOp>, Vec<usize>),
+    /// Hash equi-join: the fusion of `σ_θ(L × R)` where `θ` contains
+    /// equality conjuncts between the two sides.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysOp>,
+        /// Right input.
+        right: Box<PhysOp>,
+        /// Arity of the left input (key positions on the right are relative
+        /// to the right input).
+        left_arity: usize,
+        /// Equi-join key pairs `(left position, right position)`.
+        pairs: Vec<(usize, usize)>,
+        /// Non-key conjuncts of `θ`, applied to the concatenated tuple.
+        residual: Condition,
+        /// The original `θ`, applied whole to symbolically-paired rows.
+        on: Condition,
+    },
+    /// Cartesian product.
+    Product(Box<PhysOp>, Box<PhysOp>),
+    /// Union.
+    Union(Box<PhysOp>, Box<PhysOp>),
+    /// Intersection.
+    Intersect(Box<PhysOp>, Box<PhysOp>),
+    /// Difference.
+    Difference(Box<PhysOp>, Box<PhysOp>),
+    /// Division (extended; support-based).
+    Divide(Box<PhysOp>, Box<PhysOp>),
+    /// Active-domain power (extended; support-based).
+    DomPower(usize),
+    /// Unification anti-semijoin (extended; support-based).
+    AntiSemiJoinUnify(Box<PhysOp>, Box<PhysOp>),
+}
+
+/// Split a condition into its top-level conjuncts (`∧`-chain leaves).
+fn conjuncts(cond: &Condition, out: &mut Vec<Condition>) {
+    match cond {
+        Condition::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rebuild a conjunction from conjuncts (`True` when empty).
+fn conjoin(conds: impl IntoIterator<Item = Condition>) -> Condition {
+    conds.into_iter().fold(Condition::True, |acc, c| acc.and(c))
+}
+
+/// Translate a (validated) algebra expression into a physical plan,
+/// detecting hash joins and pushing selections into scans.
+///
+/// # Errors
+///
+/// Returns an error if the expression is ill-formed for the schema (the
+/// planner needs sub-expression arities to split join conditions).
+pub fn plan(expr: &RaExpr, schema: &Schema) -> Result<PhysOp> {
+    Ok(match expr {
+        RaExpr::Relation(name) => PhysOp::Scan {
+            name: name.clone(),
+            filter: None,
+        },
+        RaExpr::Literal(rel) => PhysOp::Literal(rel.clone()),
+        RaExpr::Select(e, cond) => plan_select(e, cond, schema)?,
+        RaExpr::Project(e, positions) => {
+            PhysOp::Project(Box::new(plan(e, schema)?), positions.clone())
+        }
+        RaExpr::Product(l, r) => {
+            PhysOp::Product(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+        RaExpr::Union(l, r) => {
+            PhysOp::Union(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+        RaExpr::Intersect(l, r) => {
+            PhysOp::Intersect(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+        RaExpr::Difference(l, r) => {
+            PhysOp::Difference(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+        RaExpr::Divide(l, r) => {
+            PhysOp::Divide(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+        RaExpr::DomPower(k) => PhysOp::DomPower(*k),
+        RaExpr::AntiSemiJoinUnify(l, r) => {
+            PhysOp::AntiSemiJoinUnify(Box::new(plan(l, schema)?), Box::new(plan(r, schema)?))
+        }
+    })
+}
+
+/// Plan a selection: fuse `σ_θ(L × R)` into a hash join when `θ` has
+/// cross-side equality conjuncts, push the filter into a bare scan, or fall
+/// back to a plain select node.
+fn plan_select(input: &RaExpr, cond: &Condition, schema: &Schema) -> Result<PhysOp> {
+    if let RaExpr::Product(l, r) = input {
+        let left_arity = l.arity(schema)?;
+        let mut leaves = Vec::new();
+        conjuncts(cond, &mut leaves);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut residual: Vec<Condition> = Vec::new();
+        for leaf in leaves {
+            match &leaf {
+                Condition::Eq(Operand::Attr(i), Operand::Attr(j)) => {
+                    if *i < left_arity && *j >= left_arity {
+                        pairs.push((*i, *j - left_arity));
+                    } else if *j < left_arity && *i >= left_arity {
+                        pairs.push((*j, *i - left_arity));
+                    } else {
+                        residual.push(leaf);
+                    }
+                }
+                _ => residual.push(leaf),
+            }
+        }
+        if !pairs.is_empty() {
+            return Ok(PhysOp::HashJoin {
+                left: Box::new(plan(l, schema)?),
+                right: Box::new(plan(r, schema)?),
+                left_arity,
+                pairs,
+                residual: conjoin(residual),
+                on: cond.clone(),
+            });
+        }
+    }
+    let inner = plan(input, schema)?;
+    if let PhysOp::Scan { name, filter: None } = inner {
+        return Ok(PhysOp::Scan {
+            name,
+            filter: Some(cond.clone()),
+        });
+    }
+    Ok(PhysOp::Select(Box::new(inner), cond.clone()))
+}
+
+/// Execute a physical plan over a source, reporting every produced
+/// intermediate to `hook` (which may rewrite it — conditional evaluation
+/// uses this to implement the grounding strategies; set/bag evaluation
+/// passes the identity).
+///
+/// # Errors
+///
+/// Returns an error on unknown relations, or on extended operators in a
+/// domain that does not support them.
+pub fn execute<A, S, H>(op: &PhysOp, source: &S, hook: &mut H) -> Result<AnnRel<A>>
+where
+    A: Annotation,
+    S: Source<A>,
+    H: FnMut(OpKind, AnnRel<A>) -> AnnRel<A>,
+{
+    let (kind, rel) = match op {
+        PhysOp::Scan { name, filter } => {
+            let rel = source.scan(name, filter.as_ref())?;
+            (
+                if filter.is_some() {
+                    OpKind::Select
+                } else {
+                    OpKind::Scan
+                },
+                rel,
+            )
+        }
+        PhysOp::Literal(lit) => {
+            let mut rel = AnnRel::new(lit.arity());
+            for t in lit.iter() {
+                rel.push(t.clone(), A::one());
+            }
+            (OpKind::Literal, rel)
+        }
+        PhysOp::Select(e, cond) => {
+            let input = execute(e, source, hook)?;
+            (OpKind::Select, select_rel(input, cond))
+        }
+        PhysOp::Project(e, positions) => {
+            let input = execute(e, source, hook)?;
+            let mut out = AnnRel::new(positions.len());
+            for (t, a) in input.into_rows() {
+                out.push(t.project(positions), a);
+            }
+            (OpKind::Project, out.merged())
+        }
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_arity,
+            pairs,
+            residual,
+            on,
+        } => {
+            let l = execute(left, source, hook)?;
+            let r = execute(right, source, hook)?;
+            debug_assert_eq!(l.arity(), *left_arity);
+            (OpKind::Join, hash_join(&l, &r, pairs, residual, on))
+        }
+        PhysOp::Product(le, re) => {
+            let l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            let mut out = AnnRel::new(l.arity() + r.arity());
+            for (lt, la) in l.rows() {
+                for (rt, ra) in r.rows() {
+                    out.push(lt.concat(rt), la.times(ra));
+                }
+            }
+            (OpKind::Product, out)
+        }
+        PhysOp::Union(le, re) => {
+            let mut l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            for (t, a) in r.into_rows() {
+                l.push(t, a);
+            }
+            (OpKind::Union, l.merged())
+        }
+        PhysOp::Intersect(le, re) => {
+            let l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            (OpKind::Intersect, A::intersect(l, &r))
+        }
+        PhysOp::Difference(le, re) => {
+            let l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            (OpKind::Difference, A::difference(l, &r))
+        }
+        PhysOp::Divide(le, re) => {
+            require_extended::<A>("division")?;
+            let l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            let quotient = crate::eval::divide(&l.support(), &r.support());
+            let mut out = AnnRel::new(quotient.arity());
+            for t in quotient.iter() {
+                out.push(t.clone(), A::one());
+            }
+            (OpKind::Divide, out)
+        }
+        PhysOp::DomPower(k) => {
+            require_extended::<A>("Dom^k")?;
+            let domain = source.active_domain();
+            let mut out = AnnRel::new(*k);
+            for t in crate::eval::dom_power_over(&domain, *k) {
+                out.push(t, A::one());
+            }
+            (OpKind::DomPower, out)
+        }
+        PhysOp::AntiSemiJoinUnify(le, re) => {
+            require_extended::<A>("anti-semijoin (⋉⇑)")?;
+            let l = execute(le, source, hook)?;
+            let r = execute(re, source, hook)?;
+            (OpKind::AntiSemiJoinUnify, anti_unify(l, &r))
+        }
+    };
+    Ok(hook(kind, rel))
+}
+
+fn require_extended<A: Annotation>(name: &'static str) -> Result<()> {
+    if A::SUPPORTS_EXTENDED {
+        Ok(())
+    } else {
+        Err(AlgebraError::UnsupportedOperator(name))
+    }
+}
+
+/// Apply a selection to every row through the domain's filter hook.
+fn select_rel<A: Annotation>(input: AnnRel<A>, cond: &Condition) -> AnnRel<A> {
+    let mut out = AnnRel::new(input.arity());
+    for (t, a) in input.into_rows() {
+        let ann = a.select(cond, &t);
+        out.push(t, ann);
+    }
+    out
+}
+
+/// Hash equi-join. Rows whose key is free of nulls (or every row, for
+/// domains with syntactic null equality) are matched through a
+/// [`KeyIndex`]; the rest are paired symbolically with the whole other side
+/// and filtered through [`Annotation::select`] with the full join
+/// condition.
+fn hash_join<A: Annotation>(
+    left: &AnnRel<A>,
+    right: &AnnRel<A>,
+    pairs: &[(usize, usize)],
+    residual: &Condition,
+    on: &Condition,
+) -> AnnRel<A> {
+    let lkeys: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+    let rkeys: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+    let out_arity = left.arity() + right.arity();
+    let mut out = AnnRel::new(out_arity);
+
+    // Partition the right side: hashable rows vs. rows needing symbolic
+    // pairing (null in the key under a symbolic domain).
+    let mut index = KeyIndex::new();
+    let mut right_symbolic: Vec<usize> = Vec::new();
+    for (i, (t, _)) in right.rows().iter().enumerate() {
+        if A::SYMBOLIC_NULLS && key_has_null(t, &rkeys) {
+            right_symbolic.push(i);
+        } else {
+            index.insert(t, &rkeys, i);
+        }
+    }
+
+    let push_symbolic = |out: &mut AnnRel<A>, lt: &Tuple, la: &A, rt: &Tuple, ra: &A| {
+        let t = lt.concat(rt);
+        let ann = la.times(ra).select(on, &t);
+        out.push(t, ann);
+    };
+
+    for (lt, la) in left.rows() {
+        if A::SYMBOLIC_NULLS && key_has_null(lt, &lkeys) {
+            // Symbolic left row: pair with everything on the right.
+            for (rt, ra) in right.rows() {
+                push_symbolic(&mut out, lt, la, rt, ra);
+            }
+            continue;
+        }
+        let key = extract_key(lt, &lkeys);
+        for &i in index.probe_key(&key) {
+            let (rt, ra) = &right.rows()[i];
+            let t = lt.concat(rt);
+            let mut ann = la.times(ra);
+            if *residual != Condition::True {
+                ann = ann.select(residual, &t);
+            }
+            out.push(t, ann);
+        }
+        // Hashable left row against symbolic right rows.
+        for &i in &right_symbolic {
+            let (rt, ra) = &right.rows()[i];
+            push_symbolic(&mut out, lt, la, rt, ra);
+        }
+    }
+    out
+}
+
+/// Unification anti-semijoin on supports, keeping left annotations. The
+/// right side is partitioned into complete tuples (matched by hash lookup)
+/// and null-bearing tuples (matched by pairwise unification).
+fn anti_unify<A: Annotation>(left: AnnRel<A>, right: &AnnRel<A>) -> AnnRel<A> {
+    use std::collections::HashSet;
+    let mut complete: HashSet<&Tuple> = HashSet::new();
+    let mut with_nulls: Vec<&Tuple> = Vec::new();
+    for (t, _) in right.rows() {
+        if t.has_null() {
+            with_nulls.push(t);
+        } else {
+            complete.insert(t);
+        }
+    }
+    let mut out = AnnRel::new(left.arity());
+    for (t, a) in left.rows {
+        let survives = if t.has_null() {
+            // A null-bearing left tuple can unify with complete tuples too.
+            !complete.iter().any(|r| certa_data::unifiable(&t, r))
+                && !with_nulls.iter().any(|r| certa_data::unifiable(&t, r))
+        } else {
+            !complete.contains(&t) && !with_nulls.iter().any(|r| certa_data::unifiable(&t, r))
+        };
+        if survives {
+            out.push(t, a);
+        }
+    }
+    out
+}
+
+/// The identity hook: no per-operator rewriting (set and bag semantics).
+pub fn identity_hook<A: Annotation>(_: OpKind, rel: AnnRel<A>) -> AnnRel<A> {
+    rel
+}
+
+/// Evaluate a validated expression under set semantics through the physical
+/// engine.
+///
+/// # Errors
+///
+/// Returns an error on unknown relations (other ill-formedness is caught by
+/// the caller's validation).
+pub fn eval_set(expr: &RaExpr, db: &Database) -> Result<Relation> {
+    let physical = plan(expr, db.schema())?;
+    let out = execute(&physical, &SetSource(db), &mut identity_hook)?;
+    let arity = out.arity();
+    Ok(Relation::with_arity(
+        arity,
+        out.into_rows().into_iter().map(|(t, _)| t),
+    ))
+}
+
+/// Evaluate a validated expression under bag semantics through the physical
+/// engine.
+///
+/// # Errors
+///
+/// As [`eval_set`].
+pub fn eval_bag_physical(expr: &RaExpr, db: &BagDatabase) -> Result<BagRelation> {
+    let physical = plan(expr, db.schema())?;
+    let out = execute(&physical, &BagSource(db), &mut identity_hook)?;
+    let arity = out.arity();
+    Ok(BagRelation::from_counted(
+        arity,
+        out.into_rows().into_iter().map(|(t, BagAnn(n))| (t, n)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Condition;
+    use certa_data::{database_from_literal, tup};
+
+    fn db() -> Database {
+        database_from_literal([
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, 2], tup![1, 3], tup![2, 2], tup![3, Value::null(0)]],
+            ),
+            ("S", vec!["c"], vec![tup![2], tup![3]]),
+        ])
+    }
+
+    #[test]
+    fn planner_detects_hash_join() {
+        let d = db();
+        let q = RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2);
+        let p = plan(&q, d.schema()).unwrap();
+        match p {
+            PhysOp::HashJoin {
+                left_arity,
+                pairs,
+                residual,
+                ..
+            } => {
+                assert_eq!(left_arity, 2);
+                assert_eq!(pairs, vec![(1, 0)]);
+                assert_eq!(residual, Condition::True);
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_keeps_residual_conjuncts() {
+        let d = db();
+        let cond = Condition::eq_attr(1, 2).and(Condition::eq_const(0, 1));
+        let q = RaExpr::rel("R").product(RaExpr::rel("S")).select(cond);
+        match plan(&q, d.schema()).unwrap() {
+            PhysOp::HashJoin {
+                pairs, residual, ..
+            } => {
+                assert_eq!(pairs, vec![(1, 0)]);
+                assert_eq!(residual, Condition::eq_const(0, 1));
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_pushes_selection_into_scan() {
+        let d = db();
+        let q = RaExpr::rel("R").select(Condition::eq_const(0, 1));
+        match plan(&q, d.schema()).unwrap() {
+            PhysOp::Scan {
+                filter: Some(_), ..
+            } => {}
+            other => panic!("expected filtered scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_leaves_disjunctive_conditions_on_product() {
+        let d = db();
+        let cond = Condition::eq_attr(1, 2).or(Condition::eq_const(0, 1));
+        let q = RaExpr::rel("R").product(RaExpr::rel("S")).select(cond);
+        match plan(&q, d.schema()).unwrap() {
+            PhysOp::Select(inner, _) => assert!(matches!(*inner, PhysOp::Product(..))),
+            other => panic!("expected select over product, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_on_nulls() {
+        // Nulls hash syntactically under set semantics: ⊥0 joins with ⊥0.
+        let d = database_from_literal([
+            ("L", vec!["a"], vec![tup![Value::null(0)], tup![1]]),
+            (
+                "P",
+                vec!["b"],
+                vec![tup![Value::null(0)], tup![Value::null(1)], tup![1]],
+            ),
+        ]);
+        let q = RaExpr::rel("L").join_on(RaExpr::rel("P"), &[(0, 0)], 1);
+        let out = eval_set(&q, &d).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tup![Value::null(0), Value::null(0)]));
+        assert!(out.contains(&tup![1, 1]));
+    }
+
+    #[test]
+    fn set_engine_matches_reference_on_operators() {
+        let d = db();
+        let queries = vec![
+            RaExpr::rel("R"),
+            RaExpr::rel("R").select(Condition::neq_const(1, 2)),
+            RaExpr::rel("R").project(vec![0]),
+            RaExpr::rel("R").product(RaExpr::rel("S")),
+            RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2),
+            RaExpr::rel("S").union(RaExpr::rel("R").project(vec![1])),
+            RaExpr::rel("S").intersect(RaExpr::rel("R").project(vec![0])),
+            RaExpr::rel("R")
+                .project(vec![0])
+                .difference(RaExpr::rel("S")),
+            RaExpr::rel("R").divide(RaExpr::rel("S")),
+            RaExpr::rel("R")
+                .project(vec![0])
+                .anti_semijoin_unify(RaExpr::rel("S")),
+            RaExpr::DomPower(2),
+        ];
+        for q in queries {
+            let fast = eval_set(&q, &d).unwrap();
+            let slow = crate::reference::eval_set_reference(&q, &d).unwrap();
+            assert_eq!(fast, slow, "query {q}");
+        }
+    }
+
+    #[test]
+    fn bag_engine_multiplicities() {
+        let sets = database_from_literal([("R", vec!["a"], vec![]), ("S", vec!["a"], vec![])]);
+        let mut b = BagDatabase::new(sets.schema().clone());
+        b.insert_n("R", tup![1], 3).unwrap();
+        b.insert_n("R", tup![2], 1).unwrap();
+        b.insert_n("S", tup![1], 2).unwrap();
+        let q = RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(0, 0)], 1);
+        let out = eval_bag_physical(&q, &b).unwrap();
+        assert_eq!(out.multiplicity(&tup![1, 1]), 6);
+        assert_eq!(out.total_len(), 6);
+    }
+
+    #[test]
+    fn extended_operators_rejected_without_support() {
+        // A toy annotation that opts out of extended operators.
+        #[derive(Clone)]
+        struct NoExt;
+        impl Annotation for NoExt {
+            const MERGE_DUPLICATES: bool = false;
+            const SYMBOLIC_NULLS: bool = false;
+            const SUPPORTS_EXTENDED: bool = false;
+            fn one() -> Self {
+                NoExt
+            }
+            fn is_zero(&self) -> bool {
+                false
+            }
+            fn plus(&mut self, _: Self) {}
+            fn times(&self, _: &Self) -> Self {
+                NoExt
+            }
+            fn monus(&self, _: &Self) -> Self {
+                NoExt
+            }
+            fn select(&self, _: &Condition, _: &Tuple) -> Self {
+                NoExt
+            }
+        }
+        struct Empty;
+        impl Source<NoExt> for Empty {
+            fn scan(&self, _: &str, _: Option<&Condition>) -> Result<AnnRel<NoExt>> {
+                Ok(AnnRel::new(1))
+            }
+            fn active_domain(&self) -> Vec<Value> {
+                Vec::new()
+            }
+        }
+        let err = execute(&PhysOp::DomPower(2), &Empty, &mut identity_hook::<NoExt>);
+        assert!(matches!(
+            err,
+            Err(AlgebraError::UnsupportedOperator("Dom^k"))
+        ));
+    }
+
+    #[test]
+    fn merged_collapses_duplicates() {
+        let mut rel: AnnRel<BagAnn> = AnnRel::new(1);
+        rel.push(tup![1], BagAnn(2));
+        rel.push(tup![1], BagAnn(3));
+        rel.push(tup![2], BagAnn(1));
+        let merged = rel.merged();
+        assert_eq!(merged.len(), 2);
+        let m: usize = merged
+            .rows()
+            .iter()
+            .find(|(t, _)| *t == tup![1])
+            .map(|(_, BagAnn(n))| *n)
+            .unwrap();
+        assert_eq!(m, 5);
+    }
+}

@@ -28,8 +28,7 @@ fn a01_antijoin(c: &mut Criterion) {
                 right.iter().cloned().partition(|t| t.has_null());
             let complete: certa::data::Relation = complete.into_iter().collect();
             left.filter(|l| {
-                !complete.contains(l)
-                    && !with_nulls.iter().any(|r| certa::data::unifiable(l, r))
+                !complete.contains(l) && !with_nulls.iter().any(|r| certa::data::unifiable(l, r))
             })
         })
     });
@@ -48,7 +47,6 @@ fn a02_dom_product(c: &mut Criterion) {
         nations: 2,
         null_rate: 0.1,
         seed: 3,
-        ..TpchConfig::default()
     })
     .generate();
     let mut group = c.benchmark_group("a02_dom_product");
@@ -78,13 +76,22 @@ fn a03_ctable_conds(c: &mut Criterion) {
     let query = TpchGenerator::queries()[1].expr.clone();
     let mut group = c.benchmark_group("a03_ctable_conds");
     group.bench_function("eager_grounding", |b| {
-        b.iter(|| eval_conditional(&query, &db, Strategy::Eager).unwrap().certain())
+        b.iter(|| {
+            eval_conditional(&query, &db, Strategy::Eager)
+                .unwrap()
+                .certain()
+        })
     });
     group.bench_function("aware_exact_grounding", |b| {
-        b.iter(|| eval_conditional(&query, &db, Strategy::Aware).unwrap().certain())
+        b.iter(|| {
+            eval_conditional(&query, &db, Strategy::Aware)
+                .unwrap()
+                .certain()
+        })
     });
     group.bench_function("exact_grounding_of_tautology", |b| {
-        let cond = Cond::eq(Value::null(0), Value::int(1)).or(Cond::neq(Value::null(0), Value::int(1)));
+        let cond =
+            Cond::eq(Value::null(0), Value::int(1)).or(Cond::neq(Value::null(0), Value::int(1)));
         b.iter(|| cond.ground_exact())
     });
     group.finish();
@@ -93,10 +100,20 @@ fn a03_ctable_conds(c: &mut Criterion) {
 /// a04: exact µ_k counting versus Monte-Carlo estimation.
 fn a04_prob_estimation(c: &mut Criterion) {
     let db = database_from_literal([
-        ("R", vec!["a", "b"], vec![tup![1, Value::null(0)], tup![2, Value::null(1)], tup![3, Value::null(2)]]),
+        (
+            "R",
+            vec!["a", "b"],
+            vec![
+                tup![1, Value::null(0)],
+                tup![2, Value::null(1)],
+                tup![3, Value::null(2)],
+            ],
+        ),
         ("S", vec!["a"], vec![tup![1]]),
     ]);
-    let query = RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"));
+    let query = RaExpr::rel("R")
+        .project(vec![0])
+        .difference(RaExpr::rel("S"));
     let mut group = c.benchmark_group("a04_prob_estimation");
     group.bench_function("exact_mu_k_12", |b| {
         b.iter(|| mu_k(&query, &db, &tup![2], 12).unwrap())
@@ -110,5 +127,55 @@ fn a04_prob_estimation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, a01_antijoin, a02_dom_product, a03_ctable_conds, a04_prob_estimation);
+/// a05: the annotation-generic physical engine (hash join, scan-pushed
+/// selections, move-through pipeline) versus the seed's clone-per-node
+/// recursive interpreter, on a join-heavy workload: the three-way
+/// Customer ⋈ Orders ⋈ Lineitem chain plus a selective filter, under both
+/// set and conditional semantics.
+fn a05_physical_engine(c: &mut Criterion) {
+    let db = TpchGenerator::new(TpchConfig::scaled_to(2000, 0.05, 11)).generate();
+    // Customer ⋈ Orders on custkey, then ⋈ Lineitem on orderkey, keeping a
+    // selective totalprice filter as a residual conjunct.
+    let customers_orders = RaExpr::rel("Customer").join_on(RaExpr::rel("Orders"), &[(0, 1)], 3);
+    let three_way = customers_orders
+        .clone()
+        .join_on(RaExpr::rel("Lineitem"), &[(3, 0)], 6)
+        .select(Condition::neq_const(5, 0))
+        .project(vec![1, 3, 7]);
+    let mut group = c.benchmark_group("a05_physical_engine");
+    group.bench_function("set_hash_join_engine", |b| {
+        b.iter(|| eval(&three_way, &db).unwrap())
+    });
+    group.bench_function("set_clone_per_node_reference", |b| {
+        b.iter(|| certa::algebra::reference::eval_set_reference(&three_way, &db).unwrap())
+    });
+    let small = TpchGenerator::new(TpchConfig::scaled_to(250, 0.08, 11)).generate();
+    let two_way = RaExpr::rel("Customer")
+        .join_on(RaExpr::rel("Orders"), &[(0, 1)], 3)
+        .project(vec![1, 3]);
+    group.bench_function("ctable_eager_engine", |b| {
+        b.iter(|| {
+            eval_conditional(&two_way, &small, Strategy::Eager)
+                .unwrap()
+                .certain()
+        })
+    });
+    group.bench_function("ctable_eager_clone_per_node_reference", |b| {
+        b.iter(|| {
+            certa::ctables::eval::eval_conditional_reference(&two_way, &small, Strategy::Eager)
+                .unwrap()
+                .certain()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    a01_antijoin,
+    a02_dom_product,
+    a03_ctable_conds,
+    a04_prob_estimation,
+    a05_physical_engine
+);
 criterion_main!(benches);

@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
     );
     let division = RaExpr::rel("R").divide(RaExpr::rel("S"));
     let mut group = c.benchmark_group("e02_naive_eval");
-    group.bench_function("naive_eval_ucq", |b| b.iter(|| naive_eval(&ucq, &db).unwrap()));
+    group.bench_function("naive_eval_ucq", |b| {
+        b.iter(|| naive_eval(&ucq, &db).unwrap())
+    });
     group.bench_function("exact_cert_ucq", |b| {
         b.iter(|| cert_with_nulls(&ucq, &db).unwrap())
     });

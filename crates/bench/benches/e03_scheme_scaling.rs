@@ -26,9 +26,11 @@ fn bench(c: &mut Criterion) {
         // in the `experiments` binary instead. Here we only benchmark the
         // cost of *building* its translation, which is still cheap.
         let _ = approx51::translate(&query, db.schema()).unwrap();
-        group.bench_with_input(BenchmarkId::new("qt_qf_translation_only", tuples), &db, |b, db| {
-            b.iter(|| approx51::translate(&query, db.schema()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qt_qf_translation_only", tuples),
+            &db,
+            |b, db| b.iter(|| approx51::translate(&query, db.schema()).unwrap()),
+        );
     }
     group.finish();
 }

@@ -15,17 +15,26 @@ fn bench(c: &mut Criterion) {
             null_count: 3,
             null_rate: rate_pct as f64 / 100.0,
             seed: rate_pct,
-            ..RandomDbConfig::default()
         });
-        let query = random_query(db.schema(), &RandomQueryConfig { seed: 3, ..RandomQueryConfig::default() });
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                seed: 3,
+                ..RandomQueryConfig::default()
+            },
+        );
         let pair = approx37::translate(&query, db.schema()).unwrap();
-        group.bench_with_input(BenchmarkId::new("q_plus_quality", rate_pct), &db, |b, db| {
-            b.iter(|| {
-                let approx = eval(&pair.q_plus, db).unwrap();
-                let exact = cert_with_nulls(&query, db).unwrap();
-                AnswerQuality::compare(&approx, &exact)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("q_plus_quality", rate_pct),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let approx = eval(&pair.q_plus, db).unwrap();
+                    let exact = cert_with_nulls(&query, db).unwrap();
+                    AnswerQuality::compare(&approx, &exact)
+                })
+            },
+        );
     }
     group.finish();
 }

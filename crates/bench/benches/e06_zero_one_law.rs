@@ -9,10 +9,16 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let db = database_from_literal([
-        ("R", vec!["a", "b"], vec![tup![1, Value::null(0)], tup![2, Value::null(1)]]),
+        (
+            "R",
+            vec!["a", "b"],
+            vec![tup![1, Value::null(0)], tup![2, Value::null(1)]],
+        ),
         ("S", vec!["a"], vec![tup![Value::null(2)]]),
     ]);
-    let query = RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"));
+    let query = RaExpr::rel("R")
+        .project(vec![0])
+        .difference(RaExpr::rel("S"));
     let mut group = c.benchmark_group("e06_zero_one_law");
     for k in [4usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("mu_k_exact", k), &k, |b, &k| {

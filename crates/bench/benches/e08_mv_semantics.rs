@@ -13,7 +13,6 @@ fn bench(c: &mut Criterion) {
         null_count: 3,
         null_rate: 0.3,
         seed: 5,
-        ..RandomDbConfig::default()
     });
     let phi = Formula::exists(
         "y",

@@ -15,7 +15,6 @@ fn bench(c: &mut Criterion) {
         nations: 3,
         null_rate: 0.15,
         seed: 13,
-        ..TpchConfig::default()
     })
     .generate();
     let query = TpchGenerator::queries()[1].expr.clone();

@@ -18,9 +18,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| cert_with_nulls(&query, db).unwrap())
         });
         let spec = WorldSpec::new([Const::Int(100), Const::Int(200)]);
-        group.bench_with_input(BenchmarkId::new("cert_object_product", nulls), &db, |b, db| {
-            b.iter(|| object::cert_object_product(&query, db, &spec).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cert_object_product", nulls),
+            &db,
+            |b, db| b.iter(|| object::cert_object_product(&query, db, &spec).unwrap()),
+        );
     }
     group.finish();
 }

@@ -60,13 +60,21 @@ pub fn e01_intro_examples() -> ExperimentReport {
     for with_null in [false, true] {
         let db = shop_database(with_null);
         let cases = [
-            ("unpaid orders (NOT IN)", ShopQueries::UNPAID_ORDERS_SQL, ShopQueries::unpaid_orders()),
+            (
+                "unpaid orders (NOT IN)",
+                ShopQueries::UNPAID_ORDERS_SQL,
+                ShopQueries::unpaid_orders(),
+            ),
             (
                 "customers w/o paid order (NOT EXISTS)",
                 ShopQueries::NO_PAID_ORDER_SQL,
                 ShopQueries::customers_without_paid_order(),
             ),
-            ("oid = 'o2' OR oid <> 'o2'", ShopQueries::OR_TAUTOLOGY_SQL, ShopQueries::or_tautology()),
+            (
+                "oid = 'o2' OR oid <> 'o2'",
+                ShopQueries::OR_TAUTOLOGY_SQL,
+                ShopQueries::or_tautology(),
+            ),
         ];
         for (name, sql, algebra) in cases {
             let sql_answer = sql_execute(&sql_parse(sql).unwrap(), &db).unwrap().to_set();
@@ -128,7 +136,9 @@ pub fn e02_naive_evaluation() -> ExperimentReport {
                     // The canonical full-RA shape on which naïve evaluation is
                     // wrong whenever the subtrahend carries a null:
                     // π_a(R) − S (the paper's {1} − {⊥} in workload clothes).
-                    RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S"))
+                    RaExpr::rel("R")
+                        .project(vec![0])
+                        .difference(RaExpr::rel("S"))
                 } else {
                     random_query(
                         db.schema(),
@@ -254,7 +264,9 @@ pub fn e04_precision_recall() -> ExperimentReport {
                 RaExpr::rel("R")
                     .select(Condition::eq_const(0, 1).or(Condition::neq_const(0, 1)))
                     .project(vec![0]),
-                RaExpr::rel("R").project(vec![0]).difference(RaExpr::rel("S")),
+                RaExpr::rel("R")
+                    .project(vec![0])
+                    .difference(RaExpr::rel("S")),
                 RaExpr::rel("S").difference(RaExpr::rel("R").project(vec![1])),
                 RaExpr::rel("R").project(vec![1]).union(RaExpr::rel("S")),
                 RaExpr::rel("R")
@@ -270,7 +282,6 @@ pub fn e04_precision_recall() -> ExperimentReport {
                 null_count: 3,
                 null_rate: rate,
                 seed,
-                ..RandomDbConfig::default()
             });
             for query in suite(db.schema()) {
                 let pair = approx37::translate(&query, db.schema()).unwrap();
@@ -324,7 +335,10 @@ pub fn e05_bag_bounds() -> ExperimentReport {
         ("R", RaExpr::rel("R")),
         ("R ∪ S", RaExpr::rel("R").union(RaExpr::rel("S"))),
         ("R − S", RaExpr::rel("R").difference(RaExpr::rel("S"))),
-        ("σ(a=1)(R)", RaExpr::rel("R").select(Condition::eq_const(0, 1))),
+        (
+            "σ(a=1)(R)",
+            RaExpr::rel("R").select(Condition::eq_const(0, 1)),
+        ),
     ];
     let candidates = [tup![1], tup![2], tup![Value::null(0)]];
     for (name, query) in &queries {
@@ -427,7 +441,11 @@ pub fn e07_logic_properties() -> ExperimentReport {
     let l6 = truth::SixValued::default();
     let _ = writeln!(body, "\nDerived six-valued logic L6v:");
     let _ = writeln!(body, "  idempotent:          {}", props::is_idempotent(&l6));
-    let _ = writeln!(body, "  distributive:        {}", props::is_distributive(&l6));
+    let _ = writeln!(
+        body,
+        "  distributive:        {}",
+        props::is_distributive(&l6)
+    );
     let _ = writeln!(
         body,
         "  knowledge-monotone:  {}",
@@ -476,7 +494,6 @@ pub fn e08_many_valued_semantics() -> ExperimentReport {
             null_count: 2,
             null_rate: 0.35,
             seed,
-            ..RandomDbConfig::default()
         });
         let phi = Formula::rel("R", [Term::var("x"), Term::var("y")]);
         let query = RaExpr::rel("R");
@@ -568,7 +585,6 @@ pub fn e09_ctable_strategies() -> ExperimentReport {
         nations: 3,
         null_rate: 0.15,
         seed: 13,
-        ..TpchConfig::default()
     })
     .generate();
     let queries = TpchGenerator::translatable_queries();
@@ -646,8 +662,7 @@ pub fn e10_certain_complexity() -> ExperimentReport {
         // The certO product multiplies the sizes of the answers across all
         // worlds, so it is only materialised over a two-constant pool (the
         // doubly exponential growth of Theorem 3.11 is visible regardless).
-        let small_spec =
-            certa::certain::worlds::WorldSpec::new([Const::Int(100), Const::Int(200)]);
+        let small_spec = certa::certain::worlds::WorldSpec::new([Const::Int(100), Const::Int(200)]);
         let product = if nulls <= 3 {
             object::cert_object_product(&query, &db, &small_spec)
                 .unwrap()

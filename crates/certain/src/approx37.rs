@@ -215,8 +215,16 @@ mod tests {
         ];
         for q in queries {
             let pair = translate(&q, d.schema()).unwrap();
-            assert_eq!(eval(&pair.q_plus, &d).unwrap(), eval(&q, &d).unwrap(), "{q}");
-            assert_eq!(eval(&pair.q_question, &d).unwrap(), eval(&q, &d).unwrap(), "{q}");
+            assert_eq!(
+                eval(&pair.q_plus, &d).unwrap(),
+                eval(&q, &d).unwrap(),
+                "{q}"
+            );
+            assert_eq!(
+                eval(&pair.q_question, &d).unwrap(),
+                eval(&q, &d).unwrap(),
+                "{q}"
+            );
         }
     }
 

@@ -122,15 +122,11 @@ fn translate_rec(query: &RaExpr, schema: &Schema) -> Result<TranslationPair> {
             let inner = translate_rec(e, schema)?;
             Ok(TranslationPair {
                 q_true: inner.q_true.project(positions.clone()),
-                q_false: inner
-                    .q_false
-                    .clone()
-                    .project(positions.clone())
-                    .difference(
-                        RaExpr::DomPower(arity)
-                            .difference(inner.q_false)
-                            .project(positions.clone()),
-                    ),
+                q_false: inner.q_false.clone().project(positions.clone()).difference(
+                    RaExpr::DomPower(arity)
+                        .difference(inner.q_false)
+                        .project(positions.clone()),
+                ),
             })
         }
         RaExpr::Intersect(..) => unreachable!("intersections are desugared before translation"),
@@ -170,14 +166,20 @@ mod tests {
         let cert = cert_with_nulls(q, d).unwrap();
         assert!(qt.is_subset_of(&cert), "Qt ⊄ cert⊥ for {q}");
         let false_ground = certainly_false_among(q, d, &qf).unwrap();
-        assert_eq!(false_ground, qf, "Qf contains a non-certainly-false tuple for {q}");
+        assert_eq!(
+            false_ground, qf,
+            "Qf contains a non-certainly-false tuple for {q}"
+        );
     }
 
     #[test]
     fn base_relation_translation() {
         let d = db();
         let pair = translate(&RaExpr::rel("R"), d.schema()).unwrap();
-        assert_eq!(eval(&pair.q_true, &d).unwrap(), d.relation("R").unwrap().clone());
+        assert_eq!(
+            eval(&pair.q_true, &d).unwrap(),
+            d.relation("R").unwrap().clone()
+        );
         // Qf for S: tuples of Dom that unify with nothing in S — the null
         // unifies with everything, so Qf(S) is empty.
         let pair_s = translate(&RaExpr::rel("S"), d.schema()).unwrap();
@@ -257,7 +259,11 @@ mod tests {
         ];
         for q in queries {
             let pair = translate(&q, d.schema()).unwrap();
-            assert_eq!(eval(&pair.q_true, &d).unwrap(), eval(&q, &d).unwrap(), "{q}");
+            assert_eq!(
+                eval(&pair.q_true, &d).unwrap(),
+                eval(&q, &d).unwrap(),
+                "{q}"
+            );
         }
     }
 

@@ -141,10 +141,7 @@ mod tests {
     use certa_data::{database_from_literal, tup, Value};
 
     fn bag_db() -> BagDatabase {
-        let sets = database_from_literal([
-            ("R", vec!["a"], vec![]),
-            ("S", vec!["a"], vec![]),
-        ]);
+        let sets = database_from_literal([("R", vec!["a"], vec![]), ("S", vec!["a"], vec![])]);
         let mut b = BagDatabase::new(sets.schema().clone());
         b.insert_n("R", tup![1], 2).unwrap();
         b.insert_n("R", tup![Value::null(0)], 1).unwrap();
@@ -160,7 +157,10 @@ mod tests {
         assert_eq!(multiplicity_range(&q, &b, &tup![1]).unwrap(), (2, 3));
         // The null candidate: under a valuation v it becomes v(⊥0), which
         // always has multiplicity ≥ 1 (itself), and 3 when v(⊥0) = 1.
-        assert_eq!(multiplicity_range(&q, &b, &tup![Value::null(0)]).unwrap(), (1, 3));
+        assert_eq!(
+            multiplicity_range(&q, &b, &tup![Value::null(0)]).unwrap(),
+            (1, 3)
+        );
         // A constant not in R and not reachable: 0 everywhere... except 2 is
         // reachable when ⊥0 = 2 — but 2 is not in the canonical pool? It is:
         // the pool contains database constants {1} plus fresh ones, so the

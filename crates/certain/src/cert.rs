@@ -32,11 +32,7 @@ pub fn cert_intersection(query: &RaExpr, db: &Database) -> Result<Relation> {
 /// # Errors
 ///
 /// As [`cert_intersection`].
-pub fn cert_intersection_with(
-    query: &RaExpr,
-    db: &Database,
-    spec: &WorldSpec,
-) -> Result<Relation> {
+pub fn cert_intersection_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
     let arity = query.arity(db.schema())?;
     let mut out: Option<Relation> = None;
     for (_, world) in enumerate_worlds(db, spec)? {

@@ -129,8 +129,7 @@ impl Constraint {
                 };
                 from.iter().all(|a| {
                     let projected = a.project(&ind.from_positions);
-                    to.iter()
-                        .any(|b| b.project(&ind.to_positions) == projected)
+                    to.iter().any(|b| b.project(&ind.to_positions) == projected)
                 })
             }
         }
@@ -210,16 +209,8 @@ mod tests {
 
     #[test]
     fn fd_satisfaction() {
-        let ok = database_from_literal([(
-            "R",
-            vec!["a", "b"],
-            vec![tup![1, 2], tup![2, 3]],
-        )]);
-        let bad = database_from_literal([(
-            "R",
-            vec!["a", "b"],
-            vec![tup![1, 2], tup![1, 3]],
-        )]);
+        let ok = database_from_literal([("R", vec!["a", "b"], vec![tup![1, 2], tup![2, 3]])]);
+        let bad = database_from_literal([("R", vec!["a", "b"], vec![tup![1, 2], tup![1, 3]])]);
         let fd = Constraint::Fd(FunctionalDependency::new("R", vec![0], vec![1]));
         assert!(fd.satisfied(&ok));
         assert!(!fd.satisfied(&bad));
@@ -289,11 +280,7 @@ mod tests {
 
     #[test]
     fn chase_fails_on_constant_clash() {
-        let d = database_from_literal([(
-            "R",
-            vec!["a", "b"],
-            vec![tup![1, 2], tup![1, 3]],
-        )]);
+        let d = database_from_literal([("R", vec!["a", "b"], vec![tup![1, 2], tup![1, 3]])]);
         let fd = FunctionalDependency::new("R", vec![0], vec![1]);
         assert!(chase_fds(&d, &[fd]).is_none());
     }

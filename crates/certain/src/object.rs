@@ -44,9 +44,12 @@ pub fn answer_product(answers: &[Relation]) -> Relation {
     // Enumerate the cartesian product of the answer sets.
     let sizes: Vec<usize> = answers.iter().map(Relation::len).collect();
     let tuples: Vec<Vec<&Tuple>> = answers.iter().map(|r| r.iter().collect()).collect();
-    let total: usize = sizes.iter().try_fold(1usize, |acc, &s| acc.checked_mul(s)).expect(
-        "answer_product: the product object would not fit in memory; restrict the world pool",
-    );
+    let total: usize = sizes
+        .iter()
+        .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+        .expect(
+            "answer_product: the product object would not fit in memory; restrict the world pool",
+        );
     let mut null_ids: BTreeMap<Vec<Value>, u32> = BTreeMap::new();
     for mut idx in 0..total {
         let mut chosen = Vec::with_capacity(answers.len());
@@ -142,11 +145,7 @@ pub fn cert_object_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Resu
 /// # Errors
 ///
 /// As [`cert_object`].
-pub fn cert_object_product(
-    query: &RaExpr,
-    db: &Database,
-    spec: &WorldSpec,
-) -> Result<Relation> {
+pub fn cert_object_product(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
     let mut answers = Vec::new();
     for (_, world) in enumerate_worlds(db, spec)? {
         answers.push(eval(query, &world)?);
@@ -213,11 +212,7 @@ mod tests {
 
     #[test]
     fn cert_object_keeps_constants_common_to_all_worlds() {
-        let d = database_from_literal([(
-            "R",
-            vec!["a"],
-            vec![tup![1], tup![Value::null(0)]],
-        )]);
+        let d = database_from_literal([("R", vec!["a"], vec![tup![1], tup![Value::null(0)]])]);
         let q = RaExpr::rel("R");
         let obj = cert_object(&q, &d).unwrap();
         // 1 is in every world's answer; the object must entail it.

@@ -22,7 +22,7 @@
 
 use crate::constraints::{all_satisfied, chase_fds, Constraint, FunctionalDependency};
 use crate::worlds::WorldSpec;
-use crate::{CertainError, Result};
+use crate::Result;
 use certa_algebra::{eval, naive_eval, RaExpr};
 use certa_data::valuation::all_valuations;
 use certa_data::{Const, Database, Tuple};
@@ -136,7 +136,9 @@ pub fn mu_k_with_constraints(
     k: usize,
     constraints: &[Constraint],
 ) -> Result<Fraction> {
-    mu_k_conditional(query, db, tuple, k, |world| all_satisfied(constraints, world))
+    mu_k_conditional(query, db, tuple, k, |world| {
+        all_satisfied(constraints, world)
+    })
 }
 
 /// Monte-Carlo estimate of `µ_k(Q | Σ, D, ā)` using `samples` random
@@ -232,7 +234,7 @@ pub fn mu_limit_with_fds(
         Some(chased) => {
             // The chase may have replaced nulls in the candidate tuple too.
             let mapped = tuple.clone();
-            mu_limit(query, &chased, &mapped).map_err(CertainError::from)
+            mu_limit(query, &chased, &mapped)
         }
     }
 }
@@ -333,7 +335,10 @@ mod tests {
         let sampled = mu_k_sampled(&q, &d, &tup![1], 10, &[], 2000, &mut rng)
             .unwrap()
             .as_f64();
-        assert!((exact - sampled).abs() < 0.05, "exact {exact} vs sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.05,
+            "exact {exact} vs sampled {sampled}"
+        );
     }
 
     #[test]
@@ -347,27 +352,21 @@ mod tests {
         )]);
         let q = RaExpr::rel("R");
         let fd = FunctionalDependency::new("R", vec![0], vec![1]);
-        assert_eq!(mu_limit_with_fds(&q, &d, &tup![1, 5], &[fd.clone()]).unwrap(), 1.0);
+        assert_eq!(
+            mu_limit_with_fds(&q, &d, &tup![1, 5], std::slice::from_ref(&fd)).unwrap(),
+            1.0
+        );
         // Unconditionally, (1, 5) is certain too (it is literally in R), so
         // compare with a tuple that is only certain under the FD.
-        let frac = mu_k_with_constraints(
-            &q,
-            &d,
-            &tup![1, Value::null(0)],
-            4,
-            &[Constraint::Fd(fd)],
-        )
-        .unwrap();
+        let frac =
+            mu_k_with_constraints(&q, &d, &tup![1, Value::null(0)], 4, &[Constraint::Fd(fd)])
+                .unwrap();
         assert_eq!(frac.as_f64(), 1.0);
     }
 
     #[test]
     fn chase_failure_gives_zero() {
-        let d = database_from_literal([(
-            "R",
-            vec!["a", "b"],
-            vec![tup![1, 2], tup![1, 3]],
-        )]);
+        let d = database_from_literal([("R", vec!["a", "b"], vec![tup![1, 2], tup![1, 3]])]);
         let q = RaExpr::rel("R");
         let fd = FunctionalDependency::new("R", vec![0], vec![1]);
         assert_eq!(mu_limit_with_fds(&q, &d, &tup![1, 2], &[fd]).unwrap(), 0.0);

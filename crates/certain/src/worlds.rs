@@ -179,7 +179,10 @@ mod tests {
         let tight = spec.clone().with_bound(8);
         assert!(matches!(
             tight.check(&d),
-            Err(CertainError::TooManyWorlds { worlds: 9, bound: 8 })
+            Err(CertainError::TooManyWorlds {
+                worlds: 9,
+                bound: 8
+            })
         ));
     }
 

@@ -1,9 +1,30 @@
 //! Conditional evaluation of relational algebra on c-tables, and the four
 //! approximation strategies of Greco et al. (§4.2, Theorem 4.9).
+//!
+//! Since the physical-engine refactor, conditional evaluation is the third
+//! instantiation of `certa_algebra`'s annotation-generic pipeline: the
+//! annotation domain is [`CondAnn`] (a c-table local condition), `times` is
+//! condition conjunction, selection instantiates the algebraic condition
+//! symbolically, and difference/intersection override the engine defaults
+//! with symbolic matching (unification-filtered for difference). The four
+//! grounding strategies
+//! plug in as the engine's per-operator *hook*: eager and semi-eager ground
+//! after every operator, lazy after differences only, aware not at all.
+//!
+//! Join keys made of constants take the same hash path as set/bag
+//! evaluation (a constant key either matches syntactically — condition
+//! `t` — or cannot match — condition `f`); only rows whose key involves a
+//! marked null fall back to symbolic pairing, which is what
+//! [`CondAnn`]'s `SYMBOLIC_NULLS` flag requests.
+//!
+//! The seed's recursive evaluator is kept as
+//! [`eval_conditional_reference`], the oracle the property tests compare
+//! against.
 
 use crate::cond::Cond;
 use crate::ctable::{CDatabase, CTable, CTuple};
 use crate::{CtError, Result};
+use certa_algebra::physical::{self, AnnRel, Annotation, OpKind, Source};
 use certa_algebra::{Condition, Operand, RaExpr};
 use certa_data::{Database, Relation, Tuple, Value};
 use certa_logic::Truth3;
@@ -51,6 +72,123 @@ impl Strategy {
     }
 }
 
+/// The c-table annotation: a local condition. `times` is conjunction (the
+/// product rule), `plus` is disjunction, zero is the ground-false condition,
+/// and selection conjoins the symbolically instantiated algebra condition.
+///
+/// This is the third [`Annotation`] instance of the shared physical engine,
+/// next to `SetAnn` (§4, presence) and `BagAnn` (§5, multiplicity); it
+/// implements the conditional evaluation of §3/§4.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondAnn(pub Cond);
+
+impl Annotation for CondAnn {
+    // Two c-tuples with the same tuple but different conditions are distinct
+    // information: never merge rows.
+    const MERGE_DUPLICATES: bool = false;
+    // A null in a join key may *symbolically* equal other values; such rows
+    // must bypass the syntactic hash path.
+    const SYMBOLIC_NULLS: bool = true;
+    // ÷, Dom^k and ⋉⇑ are support-based; they have no conditional reading.
+    const SUPPORTS_EXTENDED: bool = false;
+
+    fn one() -> Self {
+        CondAnn(Cond::truth())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == Cond::Truth(Truth3::False)
+    }
+
+    fn plus(&mut self, other: Self) {
+        self.0 = std::mem::replace(&mut self.0, Cond::truth()).or(other.0);
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        CondAnn(self.0.clone().and(other.0.clone()))
+    }
+
+    fn monus(&self, other: &Self) -> Self {
+        CondAnn(self.0.clone().and(other.0.clone().not()))
+    }
+
+    fn select(&self, cond: &Condition, tuple: &Tuple) -> Self {
+        CondAnn(self.0.clone().and(instantiate_condition(cond, tuple)))
+    }
+
+    /// Conditional difference: a left row survives each right row `⟨s̄, β⟩`
+    /// unless that row is present *and* coincides with it, so the condition
+    /// accumulates `¬(β ∧ s̄ = t̄)` over every unifiable right row
+    /// (non-unifiable rows can never coincide and contribute nothing).
+    fn difference(left: AnnRel<Self>, right: &AnnRel<Self>) -> AnnRel<Self> {
+        let mut out = AnnRel::new(left.arity());
+        for (t, CondAnn(a)) in left.into_rows() {
+            let mut cond = a;
+            for (s, CondAnn(b)) in right.rows() {
+                if !certa_data::unifiable(&t, s) {
+                    continue;
+                }
+                let matched = b.clone().and(Cond::tuple_eq(&t, s));
+                if matched == Cond::Truth(Truth3::False) {
+                    continue;
+                }
+                cond = cond.and(matched.not());
+            }
+            out.push(t, CondAnn(cond));
+        }
+        out
+    }
+
+    /// Conditional intersection: every pair contributes the left tuple
+    /// under `α ∧ β ∧ t̄ = s̄`. Non-unifiable pairs are **not** pruned, to
+    /// match the seed evaluator atom-for-atom: their matching condition is
+    /// unsatisfiable but grounds eagerly to `u` (e.g. `⊥₀ = 1 ∧ ⊥₀ = 2`),
+    /// and the oracle keeps such rows in `Eval_p`.
+    fn intersect(left: AnnRel<Self>, right: &AnnRel<Self>) -> AnnRel<Self> {
+        let mut out = AnnRel::new(left.arity());
+        for (t, CondAnn(a)) in left.rows() {
+            for (s, CondAnn(b)) in right.rows() {
+                let matching = Cond::tuple_eq(t, s);
+                let combined = a.clone().and(b.clone()).and(matching);
+                out.push(t.clone(), CondAnn(combined));
+            }
+        }
+        out
+    }
+}
+
+/// Source adapter: scan a conditional database with [`CondAnn`] conditions,
+/// applying pushed-down selections symbolically.
+struct CondSource<'a>(&'a CDatabase);
+
+impl Source<CondAnn> for CondSource<'_> {
+    fn scan(
+        &self,
+        name: &str,
+        filter: Option<&Condition>,
+    ) -> certa_algebra::Result<AnnRel<CondAnn>> {
+        let table = self
+            .0
+            .table(name)
+            .ok_or_else(|| certa_algebra::AlgebraError::UnknownRelation(name.to_string()))?;
+        let mut out = AnnRel::new(table.arity());
+        for ct in table.iter() {
+            let mut ann = CondAnn(ct.cond.clone());
+            if let Some(cond) = filter {
+                ann = ann.select(cond, &ct.tuple);
+            }
+            out.push(ct.tuple.clone(), ann);
+        }
+        Ok(out)
+    }
+
+    fn active_domain(&self) -> Vec<Value> {
+        // Extended operators are rejected before execution; nothing scans
+        // the active domain under conditional semantics.
+        Vec::new()
+    }
+}
+
 /// The result of a conditional evaluation: the final c-table plus the
 /// strategy that produced it, from which the certain (`Eval_t`) and possible
 /// (`Eval_p`) answer sets of equations (9a)/(9b) are extracted.
@@ -76,9 +214,10 @@ impl ConditionalResult {
     /// `Eval_p(Q, D)`: tuples whose condition grounds to `t` or `u` — an
     /// over-approximation of possible answers.
     pub fn possible(&self) -> Relation {
-        self.table.tuples_with(&[Truth3::True, Truth3::Unknown], |c| {
-            self.strategy.final_ground(c)
-        })
+        self.table
+            .tuples_with(&[Truth3::True, Truth3::Unknown], |c| {
+                self.strategy.final_ground(c)
+            })
     }
 
     /// Total condition size of the result (cost measure for benches).
@@ -88,7 +227,7 @@ impl ConditionalResult {
 }
 
 /// Evaluate a relational-algebra query conditionally on an incomplete
-/// database with the given strategy.
+/// database with the given strategy, through the shared physical engine.
 ///
 /// # Errors
 ///
@@ -101,14 +240,104 @@ pub fn eval_conditional(
 ) -> Result<ConditionalResult> {
     expr.validate(db.schema())?;
     let cdb = CDatabase::from_database(db);
-    let table = eval_rec(expr, &cdb, strategy)?;
+    let physical_plan = physical::plan(expr, db.schema())?;
+    let mut hook = |kind: OpKind, rel: AnnRel<CondAnn>| -> AnnRel<CondAnn> {
+        match strategy {
+            Strategy::Eager => normalize_rel(rel, false),
+            Strategy::SemiEager => normalize_rel(rel, true),
+            Strategy::Lazy if kind == OpKind::Difference => normalize_rel(rel, true),
+            Strategy::Lazy | Strategy::Aware => rel,
+        }
+    };
+    let out = physical::execute(&physical_plan, &CondSource(&cdb), &mut hook)?;
     // The lazy strategy grounds at differences only; the aware strategy not
     // at all: both keep symbolic conditions in the final table, which the
     // accessors ground on demand.
+    Ok(ConditionalResult {
+        table: to_ctable(out),
+        strategy,
+    })
+}
+
+fn to_ctable(rel: AnnRel<CondAnn>) -> CTable {
+    let mut out = CTable::empty(rel.arity());
+    for (tuple, CondAnn(cond)) in rel.into_rows() {
+        out.push(CTuple { tuple, cond });
+    }
+    out
+}
+
+/// Ground every condition (after optional equality propagation), dropping
+/// c-tuples whose condition became false — the engine-hook version of the
+/// strategy normalisation.
+///
+/// Equality propagation rewrites the *tuple* using the equalities forced by
+/// the condition (the paper's example: `⟨⊥₂, ⊥₁ = c ∧ ⊥₁ = ⊥₂⟩` becomes
+/// `⟨c, u⟩`), but the truth value is still that of the original condition —
+/// the forced equality is a hypothesis of the c-tuple, not a fact, so it
+/// must not make the condition true.
+fn normalize_rel(rel: AnnRel<CondAnn>, propagate_equalities: bool) -> AnnRel<CondAnn> {
+    let mut out = AnnRel::new(rel.arity());
+    for (tuple, CondAnn(cond)) in rel.into_rows() {
+        let ground = cond.ground_eager();
+        if ground == Truth3::False {
+            continue;
+        }
+        let tuple = if propagate_equalities {
+            cond.forced_equalities().apply_tuple(&tuple)
+        } else {
+            tuple
+        };
+        out.push(tuple, CondAnn(Cond::Truth(ground)));
+    }
+    out
+}
+
+/// Instantiate an algebraic selection condition on a concrete tuple,
+/// producing a c-table condition. Comparisons involving nulls stay symbolic;
+/// `const`/`null` tests are resolved syntactically.
+fn instantiate_condition(cond: &Condition, tuple: &Tuple) -> Cond {
+    match cond {
+        Condition::True => Cond::truth(),
+        Condition::False => Cond::Truth(Truth3::False),
+        Condition::IsConst(i) => Cond::Truth(Truth3::from_bool(tuple[*i].is_const())),
+        Condition::IsNull(i) => Cond::Truth(Truth3::from_bool(tuple[*i].is_null())),
+        Condition::Eq(a, b) => Cond::eq(resolve(a, tuple), resolve(b, tuple)),
+        Condition::Neq(a, b) => Cond::neq(resolve(a, tuple), resolve(b, tuple)),
+        Condition::And(a, b) => {
+            instantiate_condition(a, tuple).and(instantiate_condition(b, tuple))
+        }
+        Condition::Or(a, b) => instantiate_condition(a, tuple).or(instantiate_condition(b, tuple)),
+    }
+}
+
+fn resolve(op: &Operand, tuple: &Tuple) -> Value {
+    match op {
+        Operand::Attr(i) => tuple[*i].clone(),
+        Operand::Const(c) => Value::Const(c.clone()),
+    }
+}
+
+/// The seed's recursive conditional evaluator, kept as the **oracle** for
+/// the property tests (`tests/property_engine_agreement.rs` asserts that
+/// [`eval_conditional`] produces the same certain and possible answers on
+/// random instances for every strategy).
+///
+/// # Errors
+///
+/// As [`eval_conditional`].
+pub fn eval_conditional_reference(
+    expr: &RaExpr,
+    db: &Database,
+    strategy: Strategy,
+) -> Result<ConditionalResult> {
+    expr.validate(db.schema())?;
+    let cdb = CDatabase::from_database(db);
+    let table = eval_rec_reference(expr, &cdb, strategy)?;
     Ok(ConditionalResult { table, strategy })
 }
 
-fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable> {
+fn eval_rec_reference(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable> {
     let raw = match expr {
         RaExpr::Relation(name) => cdb
             .table(name)
@@ -116,7 +345,7 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             .ok_or_else(|| CtError::UnknownRelation(name.clone()))?,
         RaExpr::Literal(rel) => CTable::from_relation(rel),
         RaExpr::Select(e, cond) => {
-            let input = eval_rec(e, cdb, strategy)?;
+            let input = eval_rec_reference(e, cdb, strategy)?;
             let mut out = CTable::empty(input.arity());
             for ct in input.iter() {
                 let instantiated = instantiate_condition(cond, &ct.tuple);
@@ -131,7 +360,7 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             out
         }
         RaExpr::Project(e, positions) => {
-            let input = eval_rec(e, cdb, strategy)?;
+            let input = eval_rec_reference(e, cdb, strategy)?;
             let mut out = CTable::empty(positions.len());
             for ct in input.iter() {
                 out.push(CTuple {
@@ -142,7 +371,10 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             out
         }
         RaExpr::Product(l, r) => {
-            let (left, right) = (eval_rec(l, cdb, strategy)?, eval_rec(r, cdb, strategy)?);
+            let (left, right) = (
+                eval_rec_reference(l, cdb, strategy)?,
+                eval_rec_reference(r, cdb, strategy)?,
+            );
             let mut out = CTable::empty(left.arity() + right.arity());
             for a in left.iter() {
                 for b in right.iter() {
@@ -155,7 +387,10 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             out
         }
         RaExpr::Union(l, r) => {
-            let (left, right) = (eval_rec(l, cdb, strategy)?, eval_rec(r, cdb, strategy)?);
+            let (left, right) = (
+                eval_rec_reference(l, cdb, strategy)?,
+                eval_rec_reference(r, cdb, strategy)?,
+            );
             let mut out = CTable::empty(left.arity());
             for ct in left.iter().chain(right.iter()) {
                 out.push(ct.clone());
@@ -163,7 +398,10 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             out
         }
         RaExpr::Intersect(l, r) => {
-            let (left, right) = (eval_rec(l, cdb, strategy)?, eval_rec(r, cdb, strategy)?);
+            let (left, right) = (
+                eval_rec_reference(l, cdb, strategy)?,
+                eval_rec_reference(r, cdb, strategy)?,
+            );
             let mut out = CTable::empty(left.arity());
             for a in left.iter() {
                 for b in right.iter() {
@@ -180,7 +418,10 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
             out
         }
         RaExpr::Difference(l, r) => {
-            let (left, right) = (eval_rec(l, cdb, strategy)?, eval_rec(r, cdb, strategy)?);
+            let (left, right) = (
+                eval_rec_reference(l, cdb, strategy)?,
+                eval_rec_reference(r, cdb, strategy)?,
+            );
             let mut out = CTable::empty(left.arity());
             for a in left.iter() {
                 let mut cond = a.cond.clone();
@@ -225,14 +466,7 @@ fn eval_rec(expr: &RaExpr, cdb: &CDatabase, strategy: Strategy) -> Result<CTable
     })
 }
 
-/// Ground every condition (after optional equality propagation), dropping
-/// c-tuples whose condition became false.
-///
-/// Equality propagation rewrites the *tuple* using the equalities forced by
-/// the condition (the paper's example: `⟨⊥₂, ⊥₁ = c ∧ ⊥₁ = ⊥₂⟩` becomes
-/// `⟨c, u⟩`), but the truth value is still that of the original condition —
-/// the forced equality is a hypothesis of the c-tuple, not a fact, so it
-/// must not make the condition true.
+/// The c-table form of [`normalize_rel`], used by the reference evaluator.
 fn normalize(table: CTable, propagate_equalities: bool) -> CTable {
     let mut out = CTable::empty(table.arity());
     for ct in table.iter() {
@@ -251,33 +485,6 @@ fn normalize(table: CTable, propagate_equalities: bool) -> CTable {
         });
     }
     out
-}
-
-/// Instantiate an algebraic selection condition on a concrete tuple,
-/// producing a c-table condition. Comparisons involving nulls stay symbolic;
-/// `const`/`null` tests are resolved syntactically.
-fn instantiate_condition(cond: &Condition, tuple: &Tuple) -> Cond {
-    match cond {
-        Condition::True => Cond::truth(),
-        Condition::False => Cond::Truth(Truth3::False),
-        Condition::IsConst(i) => Cond::Truth(Truth3::from_bool(tuple[*i].is_const())),
-        Condition::IsNull(i) => Cond::Truth(Truth3::from_bool(tuple[*i].is_null())),
-        Condition::Eq(a, b) => Cond::eq(resolve(a, tuple), resolve(b, tuple)),
-        Condition::Neq(a, b) => Cond::neq(resolve(a, tuple), resolve(b, tuple)),
-        Condition::And(a, b) => {
-            instantiate_condition(a, tuple).and(instantiate_condition(b, tuple))
-        }
-        Condition::Or(a, b) => {
-            instantiate_condition(a, tuple).or(instantiate_condition(b, tuple))
-        }
-    }
-}
-
-fn resolve(op: &Operand, tuple: &Tuple) -> Value {
-    match op {
-        Operand::Attr(i) => tuple[*i].clone(),
-        Operand::Const(c) => Value::Const(c.clone()),
-    }
 }
 
 #[cfg(test)]
@@ -311,7 +518,10 @@ mod tests {
         let q = RaExpr::rel("S").select(Condition::eq_const(0, 1));
         let out = eval_conditional(&q, &d, Strategy::Eager).unwrap();
         assert!(out.certain().is_empty());
-        assert_eq!(out.possible(), Relation::from_tuples(vec![tup![Value::null(0)]]));
+        assert_eq!(
+            out.possible(),
+            Relation::from_tuples(vec![tup![Value::null(0)]])
+        );
     }
 
     #[test]
@@ -391,6 +601,14 @@ mod tests {
             ),
             Err(CtError::UnsupportedOperator(_))
         ));
+        let div = RaExpr::rel("R")
+            .product(RaExpr::rel("R"))
+            .divide(RaExpr::rel("S"))
+            .project(vec![0]);
+        assert!(matches!(
+            eval_conditional(&div, &d, Strategy::Eager),
+            Err(CtError::UnsupportedOperator("division"))
+        ));
     }
 
     #[test]
@@ -401,7 +619,9 @@ mod tests {
         use certa_data::valuation::all_valuations;
         use certa_data::Const;
         let d = db();
-        let q = RaExpr::rel("R").difference(RaExpr::rel("S")).union(RaExpr::rel("R"));
+        let q = RaExpr::rel("R")
+            .difference(RaExpr::rel("S"))
+            .union(RaExpr::rel("R"));
         let pool: Vec<Const> = vec![Const::Int(1), Const::Int(2), Const::Int(3)];
         for strat in Strategy::ALL {
             let out = eval_conditional(&q, &d, strat).unwrap();
@@ -434,5 +654,51 @@ mod tests {
         assert!(out_yes.certain().as_bool());
         assert!(!out_no.certain().as_bool());
         assert!(out_no.possible().as_bool());
+    }
+
+    #[test]
+    fn engine_agrees_with_reference_on_joins_with_nulls() {
+        // A join whose key column carries nulls exercises both the hash
+        // path (constant keys) and the symbolic fallback.
+        let d = database_from_literal([
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, 2], tup![2, Value::null(0)], tup![3, 3]],
+            ),
+            (
+                "S",
+                vec!["c"],
+                vec![tup![2], tup![Value::null(0)], tup![Value::null(1)]],
+            ),
+        ]);
+        let queries = vec![
+            RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2),
+            RaExpr::rel("R")
+                .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+                .project(vec![0]),
+            RaExpr::rel("R")
+                .product(RaExpr::rel("S"))
+                .select(Condition::eq_attr(1, 2).and(Condition::neq_const(0, 3))),
+            RaExpr::rel("R")
+                .project(vec![1])
+                .difference(RaExpr::rel("S")),
+            RaExpr::rel("R")
+                .project(vec![1])
+                .intersect(RaExpr::rel("S")),
+            RaExpr::rel("R").project(vec![0]).union(RaExpr::rel("S")),
+        ];
+        for q in queries {
+            for strat in Strategy::ALL {
+                let fast = eval_conditional(&q, &d, strat).unwrap();
+                let slow = eval_conditional_reference(&q, &d, strat).unwrap();
+                assert_eq!(fast.certain(), slow.certain(), "{strat:?}: certain of {q}");
+                assert_eq!(
+                    fast.possible(),
+                    slow.possible(),
+                    "{strat:?}: possible of {q}"
+                );
+            }
+        }
     }
 }

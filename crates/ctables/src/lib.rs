@@ -34,7 +34,7 @@ pub mod eval;
 
 pub use cond::{Cond, CondAtom};
 pub use ctable::{CDatabase, CTable, CTuple};
-pub use eval::{eval_conditional, ConditionalResult, Strategy};
+pub use eval::{eval_conditional, CondAnn, ConditionalResult, Strategy};
 
 /// Errors raised by conditional evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +52,10 @@ impl std::fmt::Display for CtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CtError::UnsupportedOperator(op) => {
-                write!(f, "operator `{op}` is not supported by conditional evaluation")
+                write!(
+                    f,
+                    "operator `{op}` is not supported by conditional evaluation"
+                )
             }
             CtError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             CtError::Algebra(e) => write!(f, "{e}"),
@@ -64,7 +67,15 @@ impl std::error::Error for CtError {}
 
 impl From<certa_algebra::AlgebraError> for CtError {
     fn from(e: certa_algebra::AlgebraError) -> Self {
-        CtError::Algebra(e)
+        match e {
+            // The engine rejects extended operators for the conditional
+            // annotation domain (`SUPPORTS_EXTENDED = false`); surface that
+            // with this crate's own diagnostic, as the seed evaluator did.
+            certa_algebra::AlgebraError::UnsupportedOperator(op) => {
+                CtError::UnsupportedOperator(op)
+            }
+            other => CtError::Algebra(other),
+        }
     }
 }
 

@@ -30,10 +30,7 @@ impl BagRelation {
 
     /// Build from `(tuple, multiplicity)` pairs; multiplicities of equal
     /// tuples are added, zero multiplicities are dropped.
-    pub fn from_counted(
-        arity: usize,
-        items: impl IntoIterator<Item = (Tuple, usize)>,
-    ) -> Self {
+    pub fn from_counted(arity: usize, items: impl IntoIterator<Item = (Tuple, usize)>) -> Self {
         let mut bag = BagRelation::empty(arity);
         for (t, n) in items {
             bag.insert_n(t, n);
@@ -227,10 +224,7 @@ impl BagRelation {
 
     /// All values occurring in the bag.
     pub fn values(&self) -> BTreeSet<Value> {
-        self.tuples
-            .keys()
-            .flat_map(|t| t.iter().cloned())
-            .collect()
+        self.tuples.keys().flat_map(|t| t.iter().cloned()).collect()
     }
 
     /// `true` iff the bag mentions no nulls.

@@ -179,7 +179,10 @@ impl Database {
     ///
     /// Panics if the schemas differ.
     pub fn union(&self, other: &Database) -> Database {
-        assert_eq!(self.schema, other.schema, "Database::union: schema mismatch");
+        assert_eq!(
+            self.schema, other.schema,
+            "Database::union: schema mismatch"
+        );
         let relations = self
             .relations
             .iter()
@@ -203,7 +206,6 @@ impl Database {
             relations,
         }
     }
-
 }
 
 /// Convenience constructor: build a database from `(name, attributes,
@@ -313,12 +315,18 @@ impl BagDatabase {
 
     /// Set of nulls occurring in the database.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.relations.values().flat_map(BagRelation::nulls).collect()
+        self.relations
+            .values()
+            .flat_map(BagRelation::nulls)
+            .collect()
     }
 
     /// The active domain of the bag database.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.relations.values().flat_map(BagRelation::values).collect()
+        self.relations
+            .values()
+            .flat_map(BagRelation::values)
+            .collect()
     }
 
     /// `true` iff no relation mentions a null.
@@ -357,7 +365,11 @@ mod tests {
 
     fn db() -> Database {
         database_from_literal([
-            ("R", vec!["a", "b"], vec![tup![1, 2], tup![3, Value::null(0)]]),
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, 2], tup![3, Value::null(0)]],
+            ),
             ("S", vec!["c"], vec![tup![Value::null(1)]]),
         ])
     }
@@ -416,7 +428,9 @@ mod tests {
     #[test]
     fn set_relation_validates() {
         let mut d = db();
-        assert!(d.set_relation("S", Relation::from_tuples(vec![tup![5]])).is_ok());
+        assert!(d
+            .set_relation("S", Relation::from_tuples(vec![tup![5]]))
+            .is_ok());
         assert!(d
             .set_relation("S", Relation::from_tuples(vec![tup![5, 6]]))
             .is_err());

@@ -1,0 +1,138 @@
+//! Hash indexes over tuple keys.
+//!
+//! The physical evaluation engine in `certa-algebra` replaces the seed's
+//! clone-per-node nested-loop joins with hash-based lookups; this module
+//! provides the index it probes. Keys are projections of tuples onto fixed
+//! positions, compared *syntactically* (a null ⊥ᵢ equals itself and nothing
+//! else) — which is exactly the equality used by set- and bag-semantics
+//! evaluation, and by the constant-key fast path of conditional evaluation.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index mapping key projections to the row numbers that carry them.
+///
+/// The index stores row *indices* rather than tuples so callers can keep
+/// annotations (multiplicities, conditions) alongside their rows without the
+/// index needing to know about them.
+#[derive(Debug, Clone, Default)]
+pub struct KeyIndex {
+    buckets: HashMap<Box<[Value]>, Vec<usize>>,
+}
+
+impl KeyIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        KeyIndex {
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Build an index over `tuples`, keyed by the given 0-based positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key position is out of range for some tuple.
+    pub fn build<'a>(tuples: impl IntoIterator<Item = &'a Tuple>, key_positions: &[usize]) -> Self {
+        let mut index = KeyIndex::new();
+        for (row, tuple) in tuples.into_iter().enumerate() {
+            index.insert(tuple, key_positions, row);
+        }
+        index
+    }
+
+    /// Add one row to the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key position is out of range.
+    pub fn insert(&mut self, tuple: &Tuple, key_positions: &[usize], row: usize) {
+        self.buckets
+            .entry(extract_key(tuple, key_positions))
+            .or_default()
+            .push(row);
+    }
+
+    /// Rows whose key equals the projection of `probe` onto
+    /// `key_positions` (syntactic equality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key position is out of range for `probe`.
+    pub fn probe(&self, probe: &Tuple, key_positions: &[usize]) -> &[usize] {
+        self.buckets
+            .get(extract_key(probe, key_positions).as_ref())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Rows stored under an already-extracted key.
+    pub fn probe_key(&self, key: &[Value]) -> &[usize] {
+        self.buckets.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` iff the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// Project a tuple onto key positions, as an owned boxed slice (the index's
+/// key representation).
+pub fn extract_key(tuple: &Tuple, key_positions: &[usize]) -> Box<[Value]> {
+    key_positions.iter().map(|&p| tuple[p].clone()).collect()
+}
+
+/// `true` iff any key component is a marked null — such keys cannot take the
+/// syntactic hash path under *conditional* (c-table) evaluation, where a
+/// null may symbolically equal other values.
+pub fn key_has_null(tuple: &Tuple, key_positions: &[usize]) -> bool {
+    key_positions.iter().any(|&p| tuple[p].is_null())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn build_and_probe() {
+        let tuples = vec![tup![1, 10], tup![2, 20], tup![1, 30]];
+        let index = KeyIndex::build(&tuples, &[0]);
+        assert_eq!(index.distinct_keys(), 2);
+        assert_eq!(index.probe(&tup![1, 99], &[0]), &[0, 2]);
+        assert_eq!(index.probe(&tup![2, 99], &[0]), &[1]);
+        assert!(index.probe(&tup![3, 99], &[0]).is_empty());
+    }
+
+    #[test]
+    fn nulls_hash_syntactically() {
+        let tuples = vec![tup![Value::null(0)], tup![Value::null(1)], tup![1]];
+        let index = KeyIndex::build(&tuples, &[0]);
+        assert_eq!(index.probe(&tup![Value::null(0)], &[0]), &[0]);
+        assert_eq!(index.probe(&tup![Value::null(1)], &[0]), &[1]);
+        assert!(index.probe(&tup![Value::null(2)], &[0]).is_empty());
+        assert!(key_has_null(&tuples[0], &[0]));
+        assert!(!key_has_null(&tuples[2], &[0]));
+    }
+
+    #[test]
+    fn compound_keys() {
+        let tuples = vec![tup![1, 2, 3], tup![1, 2, 4], tup![2, 2, 3]];
+        let index = KeyIndex::build(&tuples, &[0, 1]);
+        assert_eq!(index.probe(&tup![1, 2, 0], &[0, 1]).len(), 2);
+        assert_eq!(index.probe_key(&[Value::int(2), Value::int(2)]), &[2]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = KeyIndex::new();
+        assert!(index.is_empty());
+        assert!(index.probe(&tup![1], &[0]).is_empty());
+    }
+}

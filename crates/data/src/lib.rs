@@ -31,6 +31,7 @@
 pub mod bag;
 pub mod database;
 pub mod homomorphism;
+pub mod index;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -41,6 +42,7 @@ pub mod value;
 pub use bag::BagRelation;
 pub use database::{database_from_literal, BagDatabase, Database};
 pub use homomorphism::{find_homomorphism, is_homomorphism, HomKind, Homomorphism};
+pub use index::KeyIndex;
 pub use relation::Relation;
 pub use schema::{RelationSchema, Schema};
 pub use tuple::Tuple;
@@ -88,7 +90,10 @@ impl std::fmt::Display for DataError {
             DataError::UnknownAttribute {
                 relation,
                 attribute,
-            } => write!(f, "unknown attribute `{attribute}` on relation `{relation}`"),
+            } => write!(
+                f,
+                "unknown attribute `{attribute}` on relation `{relation}`"
+            ),
             DataError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` registered twice")
             }

@@ -27,25 +27,34 @@ impl Relation {
     }
 
     /// Create a relation from tuples. The arity is taken from the first
-    /// tuple.
+    /// tuple; an **empty** iterator yields the empty relation of arity 0
+    /// (matching the `FromIterator` impl). When the intended arity of an
+    /// empty relation matters, use [`Relation::empty`] or
+    /// [`Relation::with_arity`]; to detect emptiness, use
+    /// [`Relation::try_from_tuples`].
     ///
     /// # Panics
     ///
-    /// Panics if the tuples do not all have the same arity, or if the
-    /// iterator is empty (use [`Relation::empty`] in that case, where the
-    /// arity must be supplied explicitly).
+    /// Panics if the tuples do not all have the same arity.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Self::try_from_tuples(tuples).unwrap_or_else(|| Relation::empty(0))
+    }
+
+    /// Fallible variant of [`Relation::from_tuples`]: returns `None` on an
+    /// empty iterator (whose arity cannot be inferred) instead of defaulting
+    /// to arity 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuples do not all have the same arity.
+    pub fn try_from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Option<Self> {
         let tuples: BTreeSet<Tuple> = tuples.into_iter().collect();
-        let arity = tuples
-            .iter()
-            .next()
-            .expect("Relation::from_tuples: empty iterator; use Relation::empty(arity)")
-            .arity();
+        let arity = tuples.iter().next()?.arity();
         assert!(
             tuples.iter().all(|t| t.arity() == arity),
-            "Relation::from_tuples: mixed arities"
+            "Relation::try_from_tuples: mixed arities"
         );
-        Relation { arity, tuples }
+        Some(Relation { arity, tuples })
     }
 
     /// Create a relation with a known arity from tuples (which may be empty).
@@ -174,8 +183,8 @@ impl Relation {
     }
 
     /// Map every tuple (the arity may change, but must change uniformly).
-    pub fn map(&self, mut f: impl FnMut(&Tuple) -> Tuple) -> Relation {
-        let tuples: BTreeSet<Tuple> = self.tuples.iter().map(|t| f(t)).collect();
+    pub fn map(&self, f: impl FnMut(&Tuple) -> Tuple) -> Relation {
+        let tuples: BTreeSet<Tuple> = self.tuples.iter().map(f).collect();
         let arity = tuples.iter().next().map_or(self.arity, Tuple::arity);
         Relation { arity, tuples }
     }
@@ -192,10 +201,7 @@ impl Relation {
 
     /// All values (the relation's contribution to the active domain).
     pub fn values(&self) -> BTreeSet<Value> {
-        self.tuples
-            .iter()
-            .flat_map(|t| t.iter().cloned())
-            .collect()
+        self.tuples.iter().flat_map(|t| t.iter().cloned()).collect()
     }
 
     /// `true` iff the relation mentions no nulls (it is *complete*).
@@ -283,6 +289,23 @@ mod tests {
     #[should_panic(expected = "mixed arities")]
     fn mixed_arity_panics() {
         let _ = Relation::from_tuples(vec![tup![1], tup![1, 2]]);
+    }
+
+    #[test]
+    fn empty_iterator_no_longer_panics() {
+        // The seed panicked here; an empty iterator now yields the arity-0
+        // empty relation, consistent with `FromIterator`.
+        let r = Relation::from_tuples(Vec::new());
+        assert!(r.is_empty());
+        assert_eq!(r.arity(), 0);
+    }
+
+    #[test]
+    fn try_from_tuples_detects_emptiness() {
+        assert_eq!(Relation::try_from_tuples(Vec::new()), None);
+        let r = Relation::try_from_tuples(vec![tup![1, 2]]).unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r, Relation::from_tuples(vec![tup![1, 2]]));
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl RelationSchema {
     /// # Panics
     ///
     /// Panics if two attributes share a name.
-    pub fn new(name: impl Into<String>, attributes: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
         let mut seen = std::collections::BTreeSet::new();
         for a in &attributes {
@@ -191,7 +194,8 @@ mod tests {
     fn schema_add_and_lookup() {
         let mut s = Schema::new();
         s.add(orders()).unwrap();
-        s.add(RelationSchema::new("Payments", ["cid", "oid"])).unwrap();
+        s.add(RelationSchema::new("Payments", ["cid", "oid"]))
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert!(s.contains("Orders"));
         assert!(!s.contains("Customers"));

@@ -26,7 +26,9 @@ impl Tuple {
     /// The empty tuple `()` — the only tuple of arity zero, used for Boolean
     /// query answers (§2 of the paper).
     pub fn empty() -> Self {
-        Tuple { values: Box::new([]) }
+        Tuple {
+            values: Box::new([]),
+        }
     }
 
     /// Number of components.
@@ -67,10 +69,7 @@ impl Tuple {
 
     /// The set of null identifiers occurring in the tuple.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.values
-            .iter()
-            .filter_map(Value::as_null)
-            .collect()
+        self.values.iter().filter_map(Value::as_null).collect()
     }
 
     /// The set of constants occurring in the tuple.
@@ -100,17 +99,14 @@ impl Tuple {
     /// generality of the π operator with attribute lists.
     pub fn project(&self, positions: &[usize]) -> Tuple {
         Tuple {
-            values: positions
-                .iter()
-                .map(|&i| self.values[i].clone())
-                .collect(),
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
         }
     }
 
     /// Apply a per-value mapping, producing a new tuple.
-    pub fn map(&self, mut f: impl FnMut(&Value) -> Value) -> Tuple {
+    pub fn map(&self, f: impl FnMut(&Value) -> Value) -> Tuple {
         Tuple {
-            values: self.values.iter().map(|v| f(v)).collect(),
+            values: self.values.iter().map(f).collect(),
         }
     }
 }
@@ -227,7 +223,13 @@ mod tests {
     #[test]
     fn map_replaces_values() {
         let t = abc();
-        let m = t.map(|v| if v.is_null() { Value::int(9) } else { v.clone() });
+        let m = t.map(|v| {
+            if v.is_null() {
+                Value::int(9)
+            } else {
+                v.clone()
+            }
+        });
         assert!(m.all_const());
         assert_eq!(m[2], Value::int(9));
     }

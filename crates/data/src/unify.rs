@@ -42,7 +42,10 @@ impl NullClasses {
         if ra == rb {
             return true;
         }
-        match (self.constant.get(&ra).cloned(), self.constant.get(&rb).cloned()) {
+        match (
+            self.constant.get(&ra).cloned(),
+            self.constant.get(&rb).cloned(),
+        ) {
             (Some(ca), Some(cb)) if ca != cb => false,
             (ca, cb) => {
                 self.parent.insert(ra, rb);

@@ -75,6 +75,12 @@ impl From<&str> for Const {
     }
 }
 
+impl From<i32> for Const {
+    fn from(i: i32) -> Self {
+        Const::Int(i64::from(i))
+    }
+}
+
 impl From<String> for Const {
     fn from(s: String) -> Self {
         Const::Str(Arc::from(s.as_str()))

@@ -67,7 +67,10 @@ impl std::fmt::Display for LogicError {
                 "arity mismatch for `{relation}`: schema says {expected}, atom has {got}"
             ),
             LogicError::AssertionNotSupported => {
-                write!(f, "the assertion operator ↑ is not supported in this context")
+                write!(
+                    f,
+                    "the assertion operator ↑ is not supported in this context"
+                )
             }
         }
     }

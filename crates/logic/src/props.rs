@@ -39,8 +39,7 @@ pub fn is_distributive<L: PropositionalLogic>(logic: &L) -> bool {
         vs.iter().all(|&b| {
             vs.iter().all(|&c| {
                 logic.and(a, logic.or(b, c)) == logic.or(logic.and(a, b), logic.and(a, c))
-                    && logic.or(a, logic.and(b, c))
-                        == logic.and(logic.or(a, b), logic.or(a, c))
+                    && logic.or(a, logic.and(b, c)) == logic.and(logic.or(a, b), logic.or(a, c))
             })
         })
     })
@@ -50,9 +49,10 @@ pub fn is_distributive<L: PropositionalLogic>(logic: &L) -> bool {
 /// required for the standard query-optimisation identities of §5.2).
 pub fn is_commutative_associative<L: PropositionalLogic>(logic: &L) -> bool {
     let vs = logic.values();
-    let comm = vs
-        .iter()
-        .all(|&a| vs.iter().all(|&b| logic.and(a, b) == logic.and(b, a) && logic.or(a, b) == logic.or(b, a)));
+    let comm = vs.iter().all(|&a| {
+        vs.iter()
+            .all(|&b| logic.and(a, b) == logic.and(b, a) && logic.or(a, b) == logic.or(b, a))
+    });
     let assoc = vs.iter().all(|&a| {
         vs.iter().all(|&b| {
             vs.iter().all(|&c| {
@@ -119,9 +119,9 @@ impl<'a> SubLogic<'a> {
     pub fn new(parent: &'a crate::truth::SixValued, values: Vec<Truth6>) -> Option<Self> {
         let closed = values.iter().all(|&a| {
             values.contains(&parent.not6(a))
-                && values
-                    .iter()
-                    .all(|&b| values.contains(&parent.and6(a, b)) && values.contains(&parent.or6(a, b)))
+                && values.iter().all(|&b| {
+                    values.contains(&parent.and6(a, b)) && values.contains(&parent.or6(a, b))
+                })
         });
         closed.then_some(SubLogic { parent, values })
     }
@@ -156,7 +156,9 @@ impl PropositionalLogic for SubLogic<'_> {
     }
 
     fn bottom(&self) -> Option<Truth6> {
-        self.values.contains(&Truth6::Unknown).then_some(Truth6::Unknown)
+        self.values
+            .contains(&Truth6::Unknown)
+            .then_some(Truth6::Unknown)
     }
 }
 

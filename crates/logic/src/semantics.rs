@@ -293,7 +293,11 @@ mod tests {
 
     fn db() -> Database {
         database_from_literal([
-            ("R", vec!["a", "b"], vec![tup![1, Value::null(0)], tup![2, 3]]),
+            (
+                "R",
+                vec!["a", "b"],
+                vec![tup![1, Value::null(0)], tup![2, 3]],
+            ),
             ("S", vec!["a"], vec![tup![1], tup![Value::null(1)]]),
         ])
     }
@@ -335,10 +339,7 @@ mod tests {
             Truth3::False
         );
         // A tuple literally present is true.
-        let phi = Formula::rel(
-            "R",
-            [Term::constant(1), Term::Var("x".into())],
-        );
+        let phi = Formula::rel("R", [Term::constant(1), Term::Var("x".into())]);
         let mut a = Assignment::new();
         a.bind("x", Value::null(0));
         assert_eq!(
@@ -477,8 +478,7 @@ mod tests {
         assert!(nf.contains(&tup![1]));
         assert!(!nf.contains(&tup![Value::null(1)]));
         let unknowns =
-            answers_with_value(&phi, &["x"], &d, AtomSemantics::NullFree, Truth3::Unknown)
-                .unwrap();
+            answers_with_value(&phi, &["x"], &d, AtomSemantics::NullFree, Truth3::Unknown).unwrap();
         assert!(unknowns.contains(&tup![Value::null(1)]));
     }
 

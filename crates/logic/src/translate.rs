@@ -35,11 +35,7 @@ impl BooleanCapture {
         match value {
             Truth3::True => self.pos.clone(),
             Truth3::False => self.neg.clone(),
-            Truth3::Unknown => self
-                .pos
-                .clone()
-                .not()
-                .and(self.neg.clone().not()),
+            Truth3::Unknown => self.pos.clone().not().and(self.neg.clone().not()),
         }
     }
 }
@@ -264,7 +260,9 @@ mod tests {
         // ψ(x) = ∀y (¬R(x, y) ∨ S(y))
         let psi = Formula::forall(
             "y",
-            Formula::rel("R", [x(), y()]).not().or(Formula::rel("S", [y()])),
+            Formula::rel("R", [x(), y()])
+                .not()
+                .or(Formula::rel("S", [y()])),
         );
         check_capture(&psi, &["x"], &db(), AtomSemantics::Sql);
         check_capture(&psi, &["x"], &db(), AtomSemantics::NullFree);
@@ -288,26 +286,39 @@ mod tests {
         check_capture(&phi, &["x"], &db(), AtomSemantics::Sql);
         // The disjunction is always t, never u — the capture of u is empty.
         let cap = to_boolean(&phi, AtomSemantics::Sql).unwrap();
-        let u_answers = query_answers(&cap.for_value(Truth3::Unknown), &["x"], &db(), AtomSemantics::Boolean).unwrap();
+        let u_answers = query_answers(
+            &cap.for_value(Truth3::Unknown),
+            &["x"],
+            &db(),
+            AtomSemantics::Boolean,
+        )
+        .unwrap();
         assert!(u_answers.is_empty());
     }
 
     #[test]
     fn boolean_sentence_capture() {
         // Sentence: ∃x (S(x) ∧ x = 1) — true; its capture must agree.
-        let phi = Formula::exists("x", Formula::rel("S", [x()]).and(Formula::eq(x(), Term::constant(1))));
+        let phi = Formula::exists(
+            "x",
+            Formula::rel("S", [x()]).and(Formula::eq(x(), Term::constant(1))),
+        );
         let d = db();
         let val = eval_formula(&phi, &d, &Assignment::new(), AtomSemantics::Sql).unwrap();
         assert_eq!(val, Truth3::True);
         let cap = to_boolean(&phi, AtomSemantics::Sql).unwrap();
-        assert!(
-            crate::semantics::eval_classical(&cap.for_value(Truth3::True), &d, &Assignment::new())
-                .unwrap()
-        );
-        assert!(
-            !crate::semantics::eval_classical(&cap.for_value(Truth3::False), &d, &Assignment::new())
-                .unwrap()
-        );
+        assert!(crate::semantics::eval_classical(
+            &cap.for_value(Truth3::True),
+            &d,
+            &Assignment::new()
+        )
+        .unwrap());
+        assert!(!crate::semantics::eval_classical(
+            &cap.for_value(Truth3::False),
+            &d,
+            &Assignment::new()
+        )
+        .unwrap());
     }
 
     #[test]

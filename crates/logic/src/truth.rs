@@ -329,8 +329,8 @@ const WORLD_STATUSES: [WorldStatus; 3] = [WorldStatus::True, WorldStatus::False,
 /// Abstract profile of a proposition over a world set: whether it is true
 /// somewhere / everywhere and false somewhere / everywhere.
 fn profile(statuses: &[WorldStatus]) -> Truth6 {
-    let some_true = statuses.iter().any(|s| *s == WorldStatus::True);
-    let some_false = statuses.iter().any(|s| *s == WorldStatus::False);
+    let some_true = statuses.contains(&WorldStatus::True);
+    let some_false = statuses.contains(&WorldStatus::False);
     let all_true = statuses.iter().all(|s| *s == WorldStatus::True);
     let all_false = statuses.iter().all(|s| *s == WorldStatus::False);
     match (some_true, some_false, all_true, all_false) {

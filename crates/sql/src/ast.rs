@@ -116,7 +116,7 @@ impl SelectStatement {
                 SqlExpr::Column(_) | SqlExpr::Literal(_) | SqlExpr::Null => true,
             }
         }
-        self.where_clause.as_ref().map_or(true, expr_free)
+        self.where_clause.as_ref().is_none_or(expr_free)
     }
 }
 

@@ -95,7 +95,11 @@ fn execute_in_scope(stmt: &SelectStatement, db: &Database, outer: &Scope) -> Res
 
 type Binding = (String, Vec<String>, Tuple);
 
-fn resolve_tables(stmt: &SelectStatement, db: &Database) -> Result<Vec<(TableRef, Vec<String>, Vec<Tuple>)>> {
+/// A resolved FROM entry: the table reference, its attribute names, and its
+/// materialised rows.
+type ResolvedTable = (TableRef, Vec<String>, Vec<Tuple>);
+
+fn resolve_tables(stmt: &SelectStatement, db: &Database) -> Result<Vec<ResolvedTable>> {
     stmt.from
         .iter()
         .map(|tref| {
@@ -133,7 +137,10 @@ fn product_rows(
     Ok(())
 }
 
-fn projected_arity(stmt: &SelectStatement, tables: &[(TableRef, Vec<String>, Vec<Tuple>)]) -> usize {
+fn projected_arity(
+    stmt: &SelectStatement,
+    tables: &[(TableRef, Vec<String>, Vec<Tuple>)],
+) -> usize {
     match stmt.items.as_slice() {
         [SelectItem::Star] => tables.iter().map(|(_, attrs, _)| attrs.len()).sum(),
         items => items.len(),
@@ -188,9 +195,7 @@ fn eval_term(expr: &SqlExpr, scope: &Scope) -> Result<Option<Value>> {
 /// null) makes the comparison unknown.
 fn compare(a: &Option<Value>, b: &Option<Value>, negated: bool) -> Truth3 {
     match (a, b) {
-        (Some(Value::Const(x)), Some(Value::Const(y))) => {
-            Truth3::from_bool((x == y) != negated)
-        }
+        (Some(Value::Const(x)), Some(Value::Const(y))) => Truth3::from_bool((x == y) != negated),
         _ => Truth3::Unknown,
     }
 }
@@ -276,8 +281,7 @@ mod tests {
         ])
     }
 
-    const UNPAID: &str =
-        "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+    const UNPAID: &str = "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
     const NO_PAID_ORDER: &str = "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
          (SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)";
 
@@ -285,7 +289,10 @@ mod tests {
     fn unpaid_orders_without_null() {
         let db = shop(false);
         let out = execute(&parse(UNPAID).unwrap(), &db).unwrap();
-        assert_eq!(out.to_set(), certa_data::Relation::from_tuples(vec![tup!["o3"]]));
+        assert_eq!(
+            out.to_set(),
+            certa_data::Relation::from_tuples(vec![tup!["o3"]])
+        );
     }
 
     #[test]
@@ -319,7 +326,10 @@ mod tests {
         let db = shop(true);
         let q = parse("SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'").unwrap();
         let out = execute(&q, &db).unwrap();
-        assert_eq!(out.to_set(), certa_data::Relation::from_tuples(vec![tup!["c1"]]));
+        assert_eq!(
+            out.to_set(),
+            certa_data::Relation::from_tuples(vec![tup!["c1"]])
+        );
     }
 
     #[test]
@@ -340,10 +350,8 @@ mod tests {
     #[test]
     fn joins_and_projection_with_star() {
         let db = shop(false);
-        let q = parse(
-            "SELECT * FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'")
+            .unwrap();
         let out = execute(&q, &db).unwrap();
         assert_eq!(out.total_len(), 1);
         assert_eq!(out.arity(), 5);
@@ -377,11 +385,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_preserved() {
-        let db = database_from_literal([(
-            "R",
-            vec!["a", "b"],
-            vec![tup![1, 10], tup![1, 20]],
-        )]);
+        let db = database_from_literal([("R", vec!["a", "b"], vec![tup![1, 10], tup![1, 20]])]);
         let q = parse("SELECT a FROM R").unwrap();
         let out = execute(&q, &db).unwrap();
         assert_eq!(out.multiplicity(&tup![1]), 2);

@@ -101,7 +101,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Str(chars[start..j].iter().collect()));
                 i = j + 1;
             }
-            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) =>
+            {
                 let start = i;
                 let mut j = i + 1;
                 while j < chars.len() && chars[j].is_ascii_digit() {

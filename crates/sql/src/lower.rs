@@ -184,10 +184,12 @@ fn lower_plain_condition(expr: &SqlExpr, columns: &[String]) -> Result<Condition
             lower_operand(a, columns)?,
             lower_operand(b, columns)?,
         )),
-        SqlExpr::And(a, b) => Ok(lower_plain_condition(a, columns)?
-            .and(lower_plain_condition(b, columns)?)),
-        SqlExpr::Or(a, b) => Ok(lower_plain_condition(a, columns)?
-            .or(lower_plain_condition(b, columns)?)),
+        SqlExpr::And(a, b) => {
+            Ok(lower_plain_condition(a, columns)?.and(lower_plain_condition(b, columns)?))
+        }
+        SqlExpr::Or(a, b) => {
+            Ok(lower_plain_condition(a, columns)?.or(lower_plain_condition(b, columns)?))
+        }
         SqlExpr::IsNull { expr, negated } => {
             let SqlExpr::Column(col) = expr.as_ref() else {
                 return Err(SqlError::Unsupported(
@@ -222,10 +224,7 @@ fn apply_membership(
         // Keep rows whose probe column is NOT in the subquery: join the row
         // with the complement via difference on the probe column.
         // rows ⋉̸ sub  =  rows joined with (π_probe(rows) − sub).
-        let anti = expr
-            .clone()
-            .project(vec![m.probe])
-            .difference(sub);
+        let anti = expr.clone().project(vec![m.probe]).difference(sub);
         Ok(expr
             .product(anti)
             .select(Condition::eq_attr(m.probe, width))
@@ -268,10 +267,9 @@ mod tests {
     #[test]
     fn lowers_select_project_join() {
         let db = shop();
-        let stmt = parse(
-            "SELECT O.title FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT O.title FROM Orders O, Payments P WHERE O.oid = P.oid AND P.cid = 'c1'")
+                .unwrap();
         let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
         assert_eq!(lowered.columns, vec!["O.title"]);
         let out = eval(&lowered.expr, &db).unwrap();
@@ -291,8 +289,7 @@ mod tests {
     #[test]
     fn lowers_in_to_semijoin_pattern() {
         let db = shop();
-        let stmt =
-            parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
+        let stmt = parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
         let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
         let out = eval(&lowered.expr, &db).unwrap();
         assert_eq!(out, Relation::from_tuples(vec![tup!["o1"], tup!["o2"]]));
@@ -335,7 +332,10 @@ mod tests {
         assert_eq!(out.len(), 2);
         let stmt = parse("SELECT a FROM R WHERE b IS NOT NULL").unwrap();
         let lowered = lower_to_algebra(&stmt, db.schema()).unwrap();
-        assert_eq!(eval(&lowered.expr, &db).unwrap(), Relation::from_tuples(vec![tup![2]]));
+        assert_eq!(
+            eval(&lowered.expr, &db).unwrap(),
+            Relation::from_tuples(vec![tup![2]])
+        );
     }
 
     #[test]
@@ -350,10 +350,8 @@ mod tests {
     #[test]
     fn rejects_exists_and_unknown_names() {
         let db = shop();
-        let stmt = parse(
-            "SELECT cid FROM Customers WHERE EXISTS (SELECT * FROM Payments)",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT cid FROM Customers WHERE EXISTS (SELECT * FROM Payments)").unwrap();
         assert!(matches!(
             lower_to_algebra(&stmt, db.schema()),
             Err(SqlError::UnknownTable(_)) | Err(SqlError::Unsupported(_))
@@ -363,8 +361,8 @@ mod tests {
             lower_to_algebra(&stmt, db.schema()),
             Err(SqlError::UnknownColumn(_))
         ));
-        let stmt = parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT * FROM Payments)")
-            .unwrap();
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT * FROM Payments)").unwrap();
         assert!(matches!(
             lower_to_algebra(&stmt, db.schema()),
             Err(SqlError::Unsupported(_))

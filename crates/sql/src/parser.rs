@@ -83,7 +83,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -317,12 +319,12 @@ mod tests {
 
     #[test]
     fn parses_not_in_subquery() {
-        let stmt = parse(
-            "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)").unwrap();
         match stmt.where_clause.unwrap() {
-            SqlExpr::InSubquery { negated, subquery, .. } => {
+            SqlExpr::InSubquery {
+                negated, subquery, ..
+            } => {
                 assert!(negated);
                 assert_eq!(subquery.from[0].table, "Payments");
             }
@@ -397,8 +399,7 @@ mod tests {
 
     #[test]
     fn in_subquery_without_not() {
-        let stmt =
-            parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
+        let stmt = parse("SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)").unwrap();
         assert!(matches!(
             stmt.where_clause.unwrap(),
             SqlExpr::InSubquery { negated: false, .. }

@@ -60,7 +60,8 @@ pub fn random_database(config: &RandomDbConfig) -> Database {
                     Value::int(rng.gen_range(0..config.domain_size))
                 }
             }));
-            db.insert(name, tuple).expect("arity matches by construction");
+            db.insert(name, tuple)
+                .expect("arity matches by construction");
         }
     }
     db

@@ -47,8 +47,7 @@ impl ShopQueries {
         "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
 
     /// SQL text of the customers-without-a-paid-order query.
-    pub const NO_PAID_ORDER_SQL: &'static str =
-        "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
+    pub const NO_PAID_ORDER_SQL: &'static str = "SELECT C.cid FROM Customers C WHERE NOT EXISTS \
          (SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)";
 
     /// SQL text of the OR-tautology query.
@@ -70,7 +69,9 @@ impl ShopQueries {
             .product(RaExpr::rel("Orders"))
             .select(Condition::eq_attr(1, 2))
             .project(vec![0]);
-        RaExpr::rel("Customers").project(vec![0]).difference(paid_customers)
+        RaExpr::rel("Customers")
+            .project(vec![0])
+            .difference(paid_customers)
     }
 
     /// The OR-tautology query as relational algebra:
@@ -113,10 +114,7 @@ mod tests {
         assert!(eval(&ShopQueries::customers_without_paid_order(), &db)
             .unwrap()
             .is_empty());
-        assert_eq!(
-            eval(&ShopQueries::or_tautology(), &db).unwrap().len(),
-            2
-        );
+        assert_eq!(eval(&ShopQueries::or_tautology(), &db).unwrap().len(), 2);
     }
 
     #[test]

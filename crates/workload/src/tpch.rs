@@ -117,8 +117,11 @@ impl TpchGenerator {
 
         let mut db = Database::new(Self::schema());
         for n in 0..cfg.nations {
-            db.insert("Nation", Tuple::new(vec![Value::int(n as i64), Value::str(format!("nation{n}"))]))
-                .expect("nation arity");
+            db.insert(
+                "Nation",
+                Tuple::new(vec![Value::int(n as i64), Value::str(format!("nation{n}"))]),
+            )
+            .expect("nation arity");
         }
         for c in 0..cfg.customers {
             let nation = rng.gen_range(0..cfg.nations) as i64;
@@ -222,13 +225,11 @@ impl TpchGenerator {
             TpchQuery {
                 name: "W5_union_of_keys",
                 description: "customers with an order union customers from nation 0",
-                expr: RaExpr::rel("Orders")
-                    .project(vec![1])
-                    .union(
-                        RaExpr::rel("Customer")
-                            .select(Condition::eq_const(2, 0))
-                            .project(vec![0]),
-                    ),
+                expr: RaExpr::rel("Orders").project(vec![1]).union(
+                    RaExpr::rel("Customer")
+                        .select(Condition::eq_const(2, 0))
+                        .project(vec![0]),
+                ),
             },
             TpchQuery {
                 name: "W6_suppliers_not_supplying_part0",
@@ -321,7 +322,9 @@ mod tests {
     fn queries_validate_and_run_on_generated_data() {
         let db = TpchGenerator::new(TpchConfig::default()).generate();
         for q in TpchGenerator::queries() {
-            q.expr.validate(db.schema()).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            q.expr
+                .validate(db.schema())
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
             let out = naive_eval(&q.expr, &db).unwrap();
             // Smoke: the join query returns something on the default config.
             if q.name == "W1_customer_orders_join" {

@@ -84,8 +84,7 @@ fn main() {
     }
     let capture = translate::to_boolean(&phi, AtomSemantics::Sql).unwrap();
     println!("  Boolean capture of the t-region: {}", capture.pos);
-    let boolean_answers =
-        query_answers(&capture.pos, &["x"], &db, AtomSemantics::Boolean).unwrap();
+    let boolean_answers = query_answers(&capture.pos, &["x"], &db, AtomSemantics::Boolean).unwrap();
     println!("  evaluated classically         : {boolean_answers}");
     println!("→ Theorems 5.4–5.5: three-valued logic adds no expressive power.");
 }

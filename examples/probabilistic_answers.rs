@@ -16,8 +16,14 @@ fn main() {
     let query = RaExpr::rel("R").difference(RaExpr::rel("S"));
     println!("D: R = {{1}}, S = {{⊥}};  Q = R − S\n");
 
-    println!("certain answer?            : {}", is_certain_answer(&query, &db, &tup![1]).unwrap());
-    println!("almost certainly true?     : {}", almost_certainly_true(&query, &db, &tup![1]).unwrap());
+    println!(
+        "certain answer?            : {}",
+        is_certain_answer(&query, &db, &tup![1]).unwrap()
+    );
+    println!(
+        "almost certainly true?     : {}",
+        almost_certainly_true(&query, &db, &tup![1]).unwrap()
+    );
     println!("µ_k(Q, D, 1) as k grows:");
     for k in [2usize, 4, 8, 16, 32] {
         let frac = mu_k(&query, &db, &tup![1], k).unwrap();
@@ -60,14 +66,19 @@ fn main() {
     let db3 = database_from_literal([(
         "Emp",
         vec!["name", "dept"],
-        vec![tup!["ann", Value::null(0)], tup!["ann", "sales"], tup!["bob", "hr"]],
+        vec![
+            tup!["ann", Value::null(0)],
+            tup!["ann", "sales"],
+            tup!["bob", "hr"],
+        ],
     )]);
     let fd = FunctionalDependency::new("Emp", vec![0], vec![1]);
     let q3 = RaExpr::rel("Emp");
     println!("D: Emp = {{(ann, ⊥), (ann, sales), (bob, hr)}};  Σ: name → dept");
     println!(
         "  µ(Emp ∋ (ann, sales) | Σ) = {}",
-        prob::mu_limit_with_fds(&q3, &db3, &tup!["ann", "sales"], &[fd.clone()]).unwrap()
+        prob::mu_limit_with_fds(&q3, &db3, &tup!["ann", "sales"], std::slice::from_ref(&fd))
+            .unwrap()
     );
     println!(
         "  without the FD, µ_4       = {:.3}",

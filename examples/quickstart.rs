@@ -45,7 +45,10 @@ fn main() {
     let plus = q_plus(&available, db.schema()).expect("supported fragment");
     let question = q_question(&available, db.schema()).expect("supported fragment");
     println!("certain approximation Q+: {}", eval(&plus, &db).unwrap());
-    println!("possible answers      Q?: {}", eval(&question, &db).unwrap());
+    println!(
+        "possible answers      Q?: {}",
+        eval(&question, &db).unwrap()
+    );
 
     // 4. Probabilistically, b3 is almost certainly available: the missing
     //    book id is unlikely to be exactly b3.
@@ -60,10 +63,8 @@ fn main() {
     }
 
     // 5. And the same analysis through the SQL front-end.
-    let stmt = sql_parse(
-        "SELECT book FROM Books WHERE book NOT IN (SELECT book FROM Loans)",
-    )
-    .unwrap();
+    let stmt =
+        sql_parse("SELECT book FROM Books WHERE book NOT IN (SELECT book FROM Loans)").unwrap();
     let sql_answer = sql_execute(&stmt, &db).unwrap();
     println!("\nSQL answers the NOT IN query with: {sql_answer}");
     println!("…which misses that b2/b3 are only *probably* available, and");

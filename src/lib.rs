@@ -1,0 +1,8 @@
+//! Root crate of the `certa` workspace: a thin façade whose only job is to
+//! host the cross-crate integration tests in `tests/` and the runnable
+//! examples in `examples/` at the repository top level.
+//!
+//! All functionality lives in the member crates; see [`certa`] (and
+//! `ARCHITECTURE.md`) for the crate map.
+
+pub use certa;

@@ -76,8 +76,9 @@ fn naive_eval_overapproximates_certain_answers_for_full_ra() {
         ("S", vec!["a"], vec![tup![Value::null(0)]]),
     ]);
     let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
-    let mut naive_strictly_larger =
-        usize::from(cert_with_nulls(&q, &canonical).unwrap().len() < naive_eval(&q, &canonical).unwrap().len());
+    let mut naive_strictly_larger = usize::from(
+        cert_with_nulls(&q, &canonical).unwrap().len() < naive_eval(&q, &canonical).unwrap().len(),
+    );
     assert_eq!(naive_strictly_larger, 1);
     for seed in 0..10u64 {
         let db = random_database(&RandomDbConfig {
@@ -129,10 +130,20 @@ fn certainty_notions_are_consistent() {
             ..RandomDbConfig::default()
         });
         for qseed in 0..5u64 {
-            let query = random_query(db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let query = random_query(
+                db.schema(),
+                &RandomQueryConfig {
+                    seed: qseed,
+                    ..RandomQueryConfig::default()
+                },
+            );
             let with_nulls = cert_with_nulls(&query, &db).unwrap();
             let intersection = cert_intersection(&query, &db).unwrap();
-            assert_eq!(with_nulls.const_tuples(), intersection, "query {query} seed {seed}/{qseed}");
+            assert_eq!(
+                with_nulls.const_tuples(),
+                intersection,
+                "query {query} seed {seed}/{qseed}"
+            );
             let spec = exact_pool(&query, &db);
             for (v, world) in enumerate_worlds(&db, &spec).unwrap() {
                 let answer = eval(&query, &world).unwrap();
@@ -162,7 +173,9 @@ fn cert_object_contains_intersection_certain_answers() {
     for query in [
         RaExpr::rel("R"),
         RaExpr::rel("R").project(vec![0]),
-        RaExpr::rel("R").join_on(RaExpr::rel("S"), &[(1, 0)], 2).project(vec![0, 1]),
+        RaExpr::rel("R")
+            .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+            .project(vec![0, 1]),
     ] {
         let object = object::cert_object_product(&query, &db, &small_pool).unwrap();
         let intersection = cert_intersection(&query, &db).unwrap();
@@ -187,7 +200,6 @@ fn world_bound_guards_exponential_enumeration() {
         null_count: 30,
         null_rate: 0.9,
         seed: 5,
-        ..RandomDbConfig::default()
     });
     assert!(db.nulls().len() >= 10);
     let query = RaExpr::rel("R");

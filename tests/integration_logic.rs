@@ -19,12 +19,12 @@ fn unification_semantics_has_correctness_guarantees() {
             null_count: 2,
             null_rate: 0.35,
             seed,
-            ..RandomDbConfig::default()
         });
         // φ(x, y) = R(x, y); the corresponding algebra query is R itself.
         let phi = Formula::rel("R", [Term::var("x"), Term::var("y")]);
         let query = RaExpr::rel("R");
-        let certain_true = query_answers(&phi, &["x", "y"], &db, AtomSemantics::Unification).unwrap();
+        let certain_true =
+            query_answers(&phi, &["x", "y"], &db, AtomSemantics::Unification).unwrap();
         for t in certain_true.iter() {
             assert!(
                 is_certain_answer(&query, &db, t).unwrap(),
@@ -105,7 +105,6 @@ fn boolean_fo_captures_sql_semantics_on_random_databases() {
             null_count: 2,
             null_rate: 0.3,
             seed,
-            ..RandomDbConfig::default()
         });
         for phi in &formulas {
             let capture = translate::to_boolean(phi, AtomSemantics::Sql).unwrap();

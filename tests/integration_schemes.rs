@@ -86,7 +86,13 @@ fn schemes_collapse_on_complete_databases() {
         });
         assert!(db.is_complete());
         for qseed in 0..5u64 {
-            let query = random_query(db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let query = random_query(
+                db.schema(),
+                &RandomQueryConfig {
+                    seed: qseed,
+                    ..RandomQueryConfig::default()
+                },
+            );
             let expected = eval(&query, &db).unwrap();
             let pair = approx37::translate(&query, db.schema()).unwrap();
             assert_eq!(eval(&pair.q_plus, &db).unwrap(), expected);
@@ -141,11 +147,15 @@ fn ctable_strategies_are_ordered_by_informativeness() {
     for seed in 0..8u64 {
         for qseed in 0..5u64 {
             let (db, query) = random_setup(seed, qseed);
-            let eager = eval_conditional(&query, &db, Strategy::Eager).unwrap().certain();
+            let eager = eval_conditional(&query, &db, Strategy::Eager)
+                .unwrap()
+                .certain();
             let semi = eval_conditional(&query, &db, Strategy::SemiEager)
                 .unwrap()
                 .certain();
-            let aware = eval_conditional(&query, &db, Strategy::Aware).unwrap().certain();
+            let aware = eval_conditional(&query, &db, Strategy::Aware)
+                .unwrap()
+                .certain();
             assert!(eager.is_subset_of(&semi), "{query} seed {seed}/{qseed}");
             assert!(semi.is_subset_of(&aware), "{query} seed {seed}/{qseed}");
         }
@@ -169,11 +179,20 @@ fn bag_bounds_sandwich_on_random_databases() {
         let mut bag_db = set_db.to_bags();
         for (name, rel) in set_db.iter() {
             if let Some(first) = rel.iter().next() {
-                bag_db.relation_mut(name).unwrap().insert_n(first.clone(), 2);
+                bag_db
+                    .relation_mut(name)
+                    .unwrap()
+                    .insert_n(first.clone(), 2);
             }
         }
         for qseed in 0..4u64 {
-            let query = random_query(set_db.schema(), &RandomQueryConfig { seed: qseed, ..RandomQueryConfig::default() });
+            let query = random_query(
+                set_db.schema(),
+                &RandomQueryConfig {
+                    seed: qseed,
+                    ..RandomQueryConfig::default()
+                },
+            );
             let candidates: Vec<Tuple> = naive_eval(&query, &set_db)
                 .unwrap()
                 .iter()

@@ -37,29 +37,25 @@ fn figure_1_false_negatives_and_false_positives() {
     let sql_answer = sql_execute(&stmt, &with_null).unwrap().to_set();
     assert_eq!(sql_answer, Relation::from_tuples(vec![tup!["c2"]]));
     // c2 is a false positive: it is not certain.
-    let certain = cert_with_nulls(&ShopQueries::customers_without_paid_order(), &with_null).unwrap();
+    let certain =
+        cert_with_nulls(&ShopQueries::customers_without_paid_order(), &with_null).unwrap();
     assert!(certain.is_empty());
     // It is not even almost certainly true (µ = 0): for a random
     // interpretation of the null, c2's payment matches some order only with
     // vanishing probability — but the order id must match an existing order
     // for c2 to have a paid order, so the naive answer *does* contain c2.
-    assert!(
-        almost_certainly_true(
-            &ShopQueries::customers_without_paid_order(),
-            &with_null,
-            &tup!["c2"]
-        )
-        .unwrap()
-    );
+    assert!(almost_certainly_true(
+        &ShopQueries::customers_without_paid_order(),
+        &with_null,
+        &tup!["c2"]
+    )
+    .unwrap());
 
     let stmt = sql_parse(ShopQueries::OR_TAUTOLOGY_SQL).unwrap();
     let sql_answer = sql_execute(&stmt, &with_null).unwrap().to_set();
     let certain = cert_with_nulls(&ShopQueries::or_tautology(), &with_null).unwrap();
     assert_eq!(sql_answer, Relation::from_tuples(vec![tup!["c1"]]));
-    assert_eq!(
-        certain,
-        Relation::from_tuples(vec![tup!["c1"], tup!["c2"]])
-    );
+    assert_eq!(certain, Relation::from_tuples(vec![tup!["c1"], tup!["c2"]]));
     // SQL missed a certain answer: a false negative.
     assert!(sql_answer.is_subset_of(&certain));
     assert_ne!(sql_answer, certain);
@@ -98,9 +94,7 @@ fn lowered_sql_flows_into_approximation_schemes() {
     let exact = cert_with_nulls(&lowered.expr, &db).unwrap();
     assert!(certain_approx.is_subset_of(&exact));
     // o3 is a possible answer that plain SQL silently dropped.
-    assert!(possible_approx
-        .iter()
-        .any(|t| t == &tup!["o3"]));
+    assert!(possible_approx.iter().any(|t| t == &tup!["o3"]));
 }
 
 #[test]

@@ -28,10 +28,7 @@ fn quickstart_scenario_numbers() {
         .difference(RaExpr::rel("Loans").project(vec![1]));
 
     let naive = naive_eval(&available, &db).unwrap();
-    assert_eq!(
-        naive,
-        Relation::from_tuples(vec![tup!["b2"], tup!["b3"]])
-    );
+    assert_eq!(naive, Relation::from_tuples(vec![tup!["b2"], tup!["b3"]]));
     assert!(cert_with_nulls(&available, &db).unwrap().is_empty());
     let plus = q_plus(&available, db.schema()).unwrap();
     assert!(eval(&plus, &db).unwrap().is_empty());
@@ -55,8 +52,7 @@ fn quickstart_scenario_numbers() {
 #[test]
 fn aware_strategy_strict_containment_witness() {
     let db = database_from_literal([("S", vec!["a"], vec![tup![Value::null(0)], tup![2]])]);
-    let query =
-        RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
+    let query = RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
     let eager = eval_conditional(&query, &db, Strategy::Eager).unwrap();
     let aware = eval_conditional(&query, &db, Strategy::Aware).unwrap();
     assert_eq!(eager.certain().len(), 1);
@@ -81,11 +77,7 @@ fn tpch_workload_feeds_the_scheme_pipeline() {
         let question = q_question(&query.expr, db.schema()).unwrap();
         let certain = eval(&plus, &db).unwrap();
         let possible = eval(&question, &db).unwrap();
-        assert!(
-            certain.is_subset_of(&possible),
-            "{}: Q+ ⊄ Q?",
-            query.name
-        );
+        assert!(certain.is_subset_of(&possible), "{}: Q+ ⊄ Q?", query.name);
         // The Q+ answers also sit inside the naive evaluation (they are
         // almost certainly true, so in particular naive answers).
         let naive = naive_eval(&query.expr, &db).unwrap();
@@ -99,8 +91,7 @@ fn tpch_workload_feeds_the_scheme_pipeline() {
 #[test]
 fn tautology_query_recall_loss_is_exactly_one_half() {
     let db = database_from_literal([("S", vec!["a"], vec![tup![Value::null(0)], tup![2]])]);
-    let query =
-        RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
+    let query = RaExpr::rel("S").select(Condition::eq_const(0, 2).or(Condition::neq_const(0, 2)));
     let plus = eval(&q_plus(&query, db.schema()).unwrap(), &db).unwrap();
     let exact = cert_with_nulls(&query, &db).unwrap();
     let quality = AnswerQuality::compare(&plus, &exact);

@@ -1,98 +1,125 @@
-//! Property-based tests (proptest) for the core invariants of the library:
+//! Property-based tests for the core invariants of the library:
 //! unification, valuations, relational-algebra identities, Kleene-logic
 //! laws, and the soundness of the approximation schemes on arbitrary
 //! generated instances.
+//!
+//! The build environment has no access to crates.io, so instead of proptest
+//! these properties are checked over deterministic seeded samples: each
+//! generator below is driven by the workspace's offline `rand` stand-in, and
+//! every case runs a fixed number of trials (64, matching the old
+//! `ProptestConfig::with_cases(64)`). Failures print the seed so a case can
+//! be replayed by hand.
 
 use certa::certain::approx37;
 use certa::prelude::*;
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PropStrategy;
+use rand::prelude::*;
 
-/// Strategy for values over a small constant domain with a few nulls.
-fn value_strategy() -> impl PropStrategy<Value = Value> {
-    prop_oneof![
-        (0i64..5).prop_map(Value::int),
-        (0u32..3).prop_map(Value::null),
-    ]
+const CASES: u64 = 64;
+
+fn gen_value(rng: &mut StdRng) -> Value {
+    if rng.gen_bool(0.35) {
+        Value::null(rng.gen_range(0u32..3))
+    } else {
+        Value::int(rng.gen_range(0i64..5))
+    }
 }
 
-fn tuple_strategy(arity: usize) -> impl PropStrategy<Value = Tuple> {
-    proptest::collection::vec(value_strategy(), arity).prop_map(Tuple::from)
+fn gen_tuple(rng: &mut StdRng, arity: usize) -> Tuple {
+    Tuple::new((0..arity).map(|_| gen_value(rng)))
 }
 
-fn valuation_strategy() -> impl PropStrategy<Value = Valuation> {
-    proptest::collection::btree_map(0u32..3, 0i64..5, 0..3).prop_map(|m| {
-        Valuation::from_pairs(m.into_iter().map(|(n, c)| (n, Const::Int(c))))
-    })
+fn gen_valuation(rng: &mut StdRng) -> Valuation {
+    let mut pairs: Vec<(u32, Const)> = Vec::new();
+    for n in 0u32..3 {
+        if rng.gen_bool(0.5) {
+            pairs.push((n, Const::Int(rng.gen_range(0i64..5))));
+        }
+    }
+    Valuation::from_pairs(pairs)
 }
 
 /// A small random database over a fixed 2-relation schema.
-fn database_strategy() -> impl PropStrategy<Value = Database> {
-    (
-        proptest::collection::vec(tuple_strategy(2), 0..5),
-        proptest::collection::vec(tuple_strategy(1), 0..4),
-    )
-        .prop_map(|(r, s)| {
-            database_from_literal([("R", vec!["a", "b"], r), ("S", vec!["c"], s)])
-        })
+fn gen_database(rng: &mut StdRng) -> Database {
+    let r: Vec<Tuple> = (0..rng.gen_range(0usize..5))
+        .map(|_| gen_tuple(rng, 2))
+        .collect();
+    let s: Vec<Tuple> = (0..rng.gen_range(0usize..4))
+        .map(|_| gen_tuple(rng, 1))
+        .collect();
+    database_from_literal([("R", vec!["a", "b"], r), ("S", vec!["c"], s)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Unification is symmetric, and unifiable tuples have a witnessing
-    /// valuation that really equalises them.
-    #[test]
-    fn unification_symmetry_and_witness(a in tuple_strategy(3), b in tuple_strategy(3)) {
-        use certa::data::{unifiable, unify};
-        prop_assert_eq!(unifiable(&a, &b), unifiable(&b, &a));
+/// Unification is symmetric, and unifiable tuples have a witnessing
+/// valuation that really equalises them.
+#[test]
+fn unification_symmetry_and_witness() {
+    use certa::data::{unifiable, unify};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gen_tuple(&mut rng, 3);
+        let b = gen_tuple(&mut rng, 3);
+        assert_eq!(unifiable(&a, &b), unifiable(&b, &a), "seed {seed}");
         if let Some(v) = unify(&a, &b) {
-            prop_assert_eq!(v.apply_tuple(&a), v.apply_tuple(&b));
+            assert_eq!(v.apply_tuple(&a), v.apply_tuple(&b), "seed {seed}");
         }
     }
+}
 
-    /// A total valuation always produces a complete database, and applying
-    /// it twice is the same as applying it once (idempotence on the image).
-    #[test]
-    fn valuations_complete_and_idempotent(db in database_strategy()) {
+/// A total valuation always produces a complete database, and applying
+/// it twice is the same as applying it once (idempotence on the image).
+#[test]
+fn valuations_complete_and_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
         let nulls = db.nulls();
         let pool: Vec<Const> = (0..4).map(Const::Int).collect();
         let first = certa::data::valuation::all_valuations(&nulls, &pool).next();
         if let Some(v) = first {
             let world = v.apply_database(&db);
-            prop_assert!(world.is_complete());
-            prop_assert_eq!(v.apply_database(&world), world);
+            assert!(world.is_complete(), "seed {seed}");
+            assert_eq!(v.apply_database(&world), world, "seed {seed}");
         }
     }
+}
 
-    /// Kleene connectives: commutativity, associativity, De Morgan, and
-    /// monotonicity in the knowledge order.
-    #[test]
-    fn kleene_laws(a in 0usize..3, b in 0usize..3, c in 0usize..3) {
-        let (a, b, c) = (Truth3::ALL[a], Truth3::ALL[b], Truth3::ALL[c]);
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        prop_assert_eq!(a.and(b.and(c)), a.and(b).and(c));
-        prop_assert_eq!(a.or(b.or(c)), a.or(b).or(c));
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
-        // Knowledge monotonicity of ∧ in each argument.
-        for x in Truth3::ALL {
-            if x.knowledge_le(a) {
-                prop_assert!(x.and(b).knowledge_le(a.and(b)));
+/// Kleene connectives: commutativity, associativity, De Morgan,
+/// distributivity, and monotonicity in the knowledge order — exhaustive
+/// over the 27 triples, so no sampling needed.
+#[test]
+fn kleene_laws() {
+    for a in Truth3::ALL {
+        for b in Truth3::ALL {
+            for c in Truth3::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.and(b.and(c)), a.and(b).and(c));
+                assert_eq!(a.or(b.or(c)), a.or(b).or(c));
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+                for x in Truth3::ALL {
+                    if x.knowledge_le(a) {
+                        assert!(x.and(b).knowledge_le(a.and(b)));
+                    }
+                }
             }
         }
     }
+}
 
-    /// Relational-algebra identities under set semantics: commutativity of
-    /// ∪ and ∩, distributivity of σ over ∪, and π ∘ π composition.
-    #[test]
-    fn algebra_identities(db in database_strategy(), k in 0i64..5) {
+/// Relational-algebra identities under set semantics: commutativity of
+/// ∪ and ∩, distributivity of σ over ∪, and π ∘ π composition.
+#[test]
+fn algebra_identities() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
+        let k = rng.gen_range(0i64..5);
         let r = RaExpr::rel("R");
         let s = RaExpr::rel("R").select(Condition::eq_const(0, k));
         let union_lr = eval(&r.clone().union(s.clone()), &db).unwrap();
         let union_rl = eval(&s.clone().union(r.clone()), &db).unwrap();
-        prop_assert_eq!(union_lr, union_rl);
+        assert_eq!(union_lr, union_rl, "seed {seed}");
         // σ distributes over ∪.
         let cond = Condition::eq_const(1, k);
         let lhs = eval(&r.clone().union(s.clone()).select(cond.clone()), &db).unwrap();
@@ -101,22 +128,24 @@ proptest! {
             &db,
         )
         .unwrap();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "seed {seed}");
         // Projecting twice is projecting once.
         let p1 = eval(&r.clone().project(vec![0, 1]).project(vec![0]), &db).unwrap();
         let p2 = eval(&r.clone().project(vec![0]), &db).unwrap();
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2, "seed {seed}");
     }
+}
 
-    /// Naïve evaluation commutes with valuations for queries in the positive
-    /// fragment: v(Qⁿᵃⁱᵛᵉ(D)) ⊆ Q(v(D)) (the preservation property behind
-    /// Theorem 4.4).
-    #[test]
-    fn positive_queries_preserved_under_valuations(
-        db in database_strategy(),
-        v in valuation_strategy(),
-        qseed in 0u64..20,
-    ) {
+/// Naïve evaluation commutes with valuations for queries in the positive
+/// fragment: v(Qⁿᵃⁱᵛᵉ(D)) ⊆ Q(v(D)) (the preservation property behind
+/// Theorem 4.4).
+#[test]
+fn positive_queries_preserved_under_valuations() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
+        let v = gen_valuation(&mut rng);
+        let qseed = rng.gen_range(0u64..20);
         let query = random_query(
             db.schema(),
             &RandomQueryConfig {
@@ -136,73 +165,115 @@ proptest! {
         }
         let world = total.apply_database(&db);
         let answer = eval(&query, &world).unwrap();
-        prop_assert!(total.apply_relation(&naive).is_subset_of(&answer),
-            "query {} on db {}", query, db);
+        assert!(
+            total.apply_relation(&naive).is_subset_of(&answer),
+            "seed {seed}: query {query} on db {db}"
+        );
     }
+}
 
-    /// Q+ is always a subset of Q? on the same database, and both collapse
-    /// to Q on complete databases.
-    #[test]
-    fn q_plus_subset_of_q_question(db in database_strategy(), qseed in 0u64..20) {
-        let query = random_query(db.schema(), &RandomQueryConfig {
-            max_depth: 2,
-            allow_difference: true,
-            allow_disequality: true,
-            seed: qseed,
-        });
+/// Q+ is always a subset of Q? on the same database, and both collapse
+/// to Q on complete databases.
+#[test]
+fn q_plus_subset_of_q_question() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
+        let qseed = rng.gen_range(0u64..20);
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                max_depth: 2,
+                allow_difference: true,
+                allow_disequality: true,
+                seed: qseed,
+            },
+        );
         let pair = approx37::translate(&query, db.schema()).unwrap();
         let plus = eval(&pair.q_plus, &db).unwrap();
         let question = eval(&pair.q_question, &db).unwrap();
-        prop_assert!(plus.is_subset_of(&question), "query {} on db {}", query, db);
+        assert!(
+            plus.is_subset_of(&question),
+            "seed {seed}: query {query} on db {db}"
+        );
         if db.is_complete() {
             let exact = eval(&query, &db).unwrap();
-            prop_assert_eq!(plus, exact.clone());
-            prop_assert_eq!(question, exact);
+            assert_eq!(plus, exact.clone(), "seed {seed}");
+            assert_eq!(question, exact, "seed {seed}");
         }
     }
+}
 
-    /// The eager conditional-table strategy agrees with (Q+, Q?) on
-    /// arbitrary generated databases and queries (Theorem 4.9's last claim).
-    #[test]
-    fn eager_ctables_match_q_plus(db in database_strategy(), qseed in 0u64..12) {
-        let query = random_query(db.schema(), &RandomQueryConfig {
-            max_depth: 2,
-            allow_difference: true,
-            allow_disequality: true,
-            seed: qseed,
-        });
+/// The eager conditional-table strategy agrees with (Q+, Q?) on
+/// arbitrary generated databases and queries (Theorem 4.9's last claim).
+#[test]
+fn eager_ctables_match_q_plus() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
+        let qseed = rng.gen_range(0u64..12);
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                max_depth: 2,
+                allow_difference: true,
+                allow_disequality: true,
+                seed: qseed,
+            },
+        );
         let pair = approx37::translate(&query, db.schema()).unwrap();
         let eager = eval_conditional(&query, &db, certa::ctables::Strategy::Eager).unwrap();
-        prop_assert_eq!(eager.certain(), eval(&pair.q_plus, &db).unwrap());
-        prop_assert_eq!(eager.possible(), eval(&pair.q_question, &db).unwrap());
+        assert_eq!(
+            eager.certain(),
+            eval(&pair.q_plus, &db).unwrap(),
+            "seed {seed}: query {query}"
+        );
+        assert_eq!(
+            eager.possible(),
+            eval(&pair.q_question, &db).unwrap(),
+            "seed {seed}: query {query}"
+        );
     }
+}
 
-    /// Bag and set evaluation agree after duplicate elimination on
-    /// duplicate-free inputs.
-    #[test]
-    fn bag_eval_matches_set_eval(db in database_strategy(), qseed in 0u64..15) {
-        let query = random_query(db.schema(), &RandomQueryConfig {
-            max_depth: 2,
-            allow_difference: false,
-            allow_disequality: true,
-            seed: qseed,
-        });
+/// Bag and set evaluation agree after duplicate elimination on
+/// duplicate-free inputs.
+#[test]
+fn bag_eval_matches_set_eval() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
+        let qseed = rng.gen_range(0u64..15);
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                max_depth: 2,
+                allow_difference: false,
+                allow_disequality: true,
+                seed: qseed,
+            },
+        );
         let set_out = eval(&query, &db).unwrap();
         let bag_out = certa::algebra::bag_eval::eval_bag(&query, &db.to_bags()).unwrap();
-        prop_assert_eq!(bag_out.to_set(), set_out);
+        assert_eq!(bag_out.to_set(), set_out, "seed {seed}: query {query}");
     }
+}
 
-    /// µ_k is monotone in the sense of the 0–1 law: if a tuple is in the
-    /// naive answer, its measure approaches 1 (is at least 1 − |nulls|·m/k
-    /// in the worst case, so for large k it is positive); if it is not, the
-    /// measure at large k is below that of naive tuples.
-    #[test]
-    fn mu_k_respects_naive_membership(db in database_strategy()) {
+/// µ_k is monotone in the sense of the 0–1 law: if a tuple is in the
+/// naive answer, its measure at moderate k has positive support.
+#[test]
+fn mu_k_respects_naive_membership() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = gen_database(&mut rng);
         let query = RaExpr::rel("R").project(vec![0]);
         let naive = naive_eval(&query, &db).unwrap();
         for t in naive.iter().take(2) {
             let frac = mu_k(&query, &db, t, 12).unwrap();
-            prop_assert!(frac.numerator > 0, "tuple {} should have support", t);
+            assert!(
+                frac.numerator > 0,
+                "seed {seed}: tuple {t} should have support"
+            );
         }
     }
 }

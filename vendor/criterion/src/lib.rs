@@ -1,0 +1,188 @@
+//! Minimal, dependency-free drop-in for the subset of the `criterion` 0.5
+//! API this workspace uses (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!`/
+//! `criterion_main!` macros, and `black_box`).
+//!
+//! The build environment cannot reach crates.io, so the real criterion crate
+//! is unavailable. This stand-in measures each benchmark with a short
+//! adaptive loop and prints `name ... median time` lines; under
+//! `cargo test` (which passes `--test` to `harness = false` bench targets)
+//! every benchmark body runs exactly once, keeping the test suite fast while
+//! still smoke-testing the bench code. Swapping in the real criterion is a
+//! one-line change in the workspace manifest.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark: a function name plus a
+/// parameter rendering, shown as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Median per-iteration time of the last `iter` call, if measured.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly and record its median time. In test mode
+    /// (`--test`, as passed by `cargo test`) the routine runs exactly once.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            self.last = None;
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut samples: Vec<Duration> = Vec::new();
+        while samples.len() < 3 || (started.elapsed() < budget && samples.len() < 25) {
+            let t0 = Instant::now();
+            black_box(routine());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            last: None,
+        };
+        f(&mut bencher);
+        match bencher.last {
+            Some(t) => println!("{}/{:<40} {:>12.3?}", self.name, bencher_label(&id.id), t),
+            None => println!("{}/{} ... ok (test mode)", self.name, id.id),
+        }
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.into(), f);
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.into(), |b| f(b, input));
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn bencher_label(id: &str) -> &str {
+    id
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Honour the `--test` flag `cargo test` passes to bench binaries.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus at least one sample, got {runs}");
+    }
+}
