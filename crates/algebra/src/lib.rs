@@ -58,7 +58,10 @@ pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
 pub use naive::naive_eval;
-pub use physical::{AnnRel, Annotation, BagAnn, OpKind, PhysOp, SetAnn, Source};
+pub use physical::{
+    AnnRel, Annotation, BagAnn, BagValuationSource, OpKind, PhysOp, PreparedQuery, SetAnn, Source,
+    ValuationSource,
+};
 
 /// Errors raised while validating or evaluating relational-algebra
 /// expressions.

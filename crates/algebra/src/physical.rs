@@ -45,8 +45,8 @@
 use crate::expr::{Condition, Operand, RaExpr};
 use crate::{AlgebraError, Result};
 use certa_data::index::{extract_key, key_has_null, KeyIndex};
-use certa_data::{BagDatabase, BagRelation, Database, Relation, Schema, Tuple, Value};
-use std::collections::HashMap;
+use certa_data::{BagDatabase, BagRelation, Database, Relation, Schema, Tuple, Valuation, Value};
+use std::collections::{BTreeSet, HashMap};
 
 /// An annotation domain: the commutative-semiring-style structure an
 /// evaluation semantics attaches to tuples.
@@ -395,6 +395,122 @@ impl Source<BagAnn> for BagSource<'_> {
 
     fn active_domain(&self) -> Vec<Value> {
         self.0.active_domain().into_iter().collect()
+    }
+}
+
+/// A *zero-copy* set-semantics source presenting "base database +
+/// valuation" as if it were the possible world `v(D)`: nulls are substituted
+/// tuple-by-tuple **during the scan**, so evaluating a query over many
+/// worlds never clones or materialises the database.
+///
+/// Substitution can collapse distinct base tuples into one (e.g. `⊥₀ ↦ 1`
+/// collapses `R(⊥₀)` and `R(1)`). The scan does **not** pay to deduplicate:
+/// under set semantics duplicate rows carry the same idempotent presence
+/// annotation, every merging operator collapses them, and the final
+/// [`Relation`] is a set — so results equal those over the materialised
+/// `v(D)` while null-free tuples stream through without substitution.
+pub struct ValuationSource<'a> {
+    db: &'a Database,
+    valuation: &'a Valuation,
+}
+
+impl<'a> ValuationSource<'a> {
+    /// View `db` under `valuation` without materialising `v(D)`.
+    pub fn new(db: &'a Database, valuation: &'a Valuation) -> Self {
+        ValuationSource { db, valuation }
+    }
+}
+
+impl Source<SetAnn> for ValuationSource<'_> {
+    fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<AnnRel<SetAnn>> {
+        let rel = self
+            .db
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?;
+        let mut out = AnnRel::new(rel.arity());
+        for t in rel.iter() {
+            if t.has_null() {
+                let t = self.valuation.apply_tuple(t);
+                if filter.is_none_or(|c| c.eval(&t)) {
+                    out.push(t, SetAnn::one());
+                }
+            } else if filter.is_none_or(|c| c.eval(t)) {
+                out.push(t.clone(), SetAnn::one());
+            }
+        }
+        Ok(out)
+    }
+
+    fn active_domain(&self) -> Vec<Value> {
+        // dom(v(D)) = { v(x) | x ∈ dom(D) }: map and re-deduplicate.
+        let domain: BTreeSet<Value> = self
+            .db
+            .active_domain()
+            .iter()
+            .map(|v| self.valuation.apply_value(v))
+            .collect();
+        domain.into_iter().collect()
+    }
+}
+
+/// The bag-semantics counterpart of [`ValuationSource`]: multiplicities of
+/// tuples that collapse under the valuation are *added*, which is the
+/// reading consistent with SQL evaluation on the instance `v(D)`
+/// (the semantics of [`BagDatabase::map_values_add`]).
+pub struct BagValuationSource<'a> {
+    db: &'a BagDatabase,
+    valuation: &'a Valuation,
+}
+
+impl<'a> BagValuationSource<'a> {
+    /// View `db` under `valuation` without materialising `v(D)`.
+    pub fn new(db: &'a BagDatabase, valuation: &'a Valuation) -> Self {
+        BagValuationSource { db, valuation }
+    }
+}
+
+impl Source<BagAnn> for BagValuationSource<'_> {
+    fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<AnnRel<BagAnn>> {
+        let rel = self
+            .db
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?;
+        let mut out = AnnRel::new(rel.arity());
+        if self.valuation.is_empty() || rel.is_complete() {
+            // Nothing can be substituted, so nothing can collapse: stream
+            // the rows without the per-scan hash merge.
+            for (t, n) in rel.iter() {
+                if filter.is_none_or(|c| c.eval(t)) {
+                    out.push(t.clone(), BagAnn(n));
+                }
+            }
+            return Ok(out);
+        }
+        // Merge collapsing tuples during the scan (unlike sets, bags must
+        // *add* the multiplicities of tuples the valuation identifies, and
+        // downstream difference/intersection rely on at most one row per
+        // tuple in merged domains).
+        let mut counts: HashMap<Tuple, usize> = HashMap::new();
+        for (t, n) in rel.iter() {
+            let t = self.valuation.apply_tuple(t);
+            if filter.is_none_or(|c| c.eval(&t)) {
+                *counts.entry(t).or_insert(0) += n;
+            }
+        }
+        for (t, n) in counts {
+            out.push(t, BagAnn(n));
+        }
+        Ok(out)
+    }
+
+    fn active_domain(&self) -> Vec<Value> {
+        let domain: BTreeSet<Value> = self
+            .db
+            .active_domain()
+            .iter()
+            .map(|v| self.valuation.apply_value(v))
+            .collect();
+        domain.into_iter().collect()
     }
 }
 
@@ -810,6 +926,124 @@ fn anti_unify<A: Annotation>(left: AnnRel<A>, right: &AnnRel<A>) -> AnnRel<A> {
 /// The identity hook: no per-operator rewriting (set and bag semantics).
 pub fn identity_hook<A: Annotation>(_: OpKind, rel: AnnRel<A>) -> AnnRel<A> {
     rel
+}
+
+/// A query compiled **once** against a schema — the physical plan plus the
+/// resolved output arity — and executable **many times** against different
+/// [`Source`] implementations.
+///
+/// This is the compile-once/execute-many entry point of the engine: the
+/// certain-answer machinery prepares the query a single time and then runs
+/// it over every possible world through a [`ValuationSource`] (or
+/// [`BagValuationSource`]), so the per-world cost is pure execution — no
+/// re-planning, no re-validation, and no database clone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedQuery {
+    plan: PhysOp,
+    arity: usize,
+}
+
+impl PreparedQuery {
+    /// Validate and plan an expression against a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the expression is ill-formed for the schema
+    /// (unknown relation, arity mismatch, position out of range).
+    pub fn prepare(expr: &RaExpr, schema: &Schema) -> Result<PreparedQuery> {
+        let arity = expr.arity(schema)?;
+        let plan = plan(expr, schema)?;
+        Ok(PreparedQuery { plan, arity })
+    }
+
+    /// The output arity resolved at preparation time.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The physical plan.
+    pub fn plan(&self) -> &PhysOp {
+        &self.plan
+    }
+
+    /// Execute the plan over a source with an explicit per-operator hook.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn execute_hooked<A, S, H>(&self, source: &S, hook: &mut H) -> Result<AnnRel<A>>
+    where
+        A: Annotation,
+        S: Source<A>,
+        H: FnMut(OpKind, AnnRel<A>) -> AnnRel<A>,
+    {
+        execute(&self.plan, source, hook)
+    }
+
+    /// Execute the plan over a source with the identity hook.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn execute_on<A, S>(&self, source: &S) -> Result<AnnRel<A>>
+    where
+        A: Annotation,
+        S: Source<A>,
+    {
+        execute(&self.plan, source, &mut identity_hook)
+    }
+
+    /// Execute under set semantics on a database.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn eval_set(&self, db: &Database) -> Result<Relation> {
+        self.collect_set(self.execute_on(&SetSource(db))?)
+    }
+
+    /// Execute under set semantics on the possible world `v(D)`, presented
+    /// zero-copy through a [`ValuationSource`].
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn eval_set_world(&self, db: &Database, valuation: &Valuation) -> Result<Relation> {
+        self.collect_set(self.execute_on(&ValuationSource::new(db, valuation))?)
+    }
+
+    /// Execute under bag semantics on a bag database.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn eval_bag(&self, db: &BagDatabase) -> Result<BagRelation> {
+        self.collect_bag(self.execute_on(&BagSource(db))?)
+    }
+
+    /// Execute under bag semantics on the possible world `v(D)` (collapsing
+    /// multiplicities added), zero-copy through a [`BagValuationSource`].
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`].
+    pub fn eval_bag_world(&self, db: &BagDatabase, valuation: &Valuation) -> Result<BagRelation> {
+        self.collect_bag(self.execute_on(&BagValuationSource::new(db, valuation))?)
+    }
+
+    fn collect_set(&self, out: AnnRel<SetAnn>) -> Result<Relation> {
+        Ok(Relation::with_arity(
+            self.arity,
+            out.into_rows().into_iter().map(|(t, _)| t),
+        ))
+    }
+
+    fn collect_bag(&self, out: AnnRel<BagAnn>) -> Result<BagRelation> {
+        Ok(BagRelation::from_counted(
+            self.arity,
+            out.into_rows().into_iter().map(|(t, BagAnn(n))| (t, n)),
+        ))
+    }
 }
 
 /// Evaluate a validated expression under set semantics through the physical

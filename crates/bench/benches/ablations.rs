@@ -170,12 +170,62 @@ fn a05_physical_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// a06: the prepared/parallel certain-answer pipeline versus the seed's
+/// replan-per-world loop. The workload is an exact cert⊥ computation over
+/// the worlds of the default `exact_pool` on a database with 4 distinct
+/// nulls and a join query: the seed re-validates, re-plans and clones the
+/// database for every world; the prepared path plans once, substitutes
+/// nulls during scans (`ValuationSource`, zero copies) and chunks the
+/// valuation space across threads.
+fn a06_prepared_worlds(c: &mut Criterion) {
+    use certa::certain::cert::cert_with_nulls_with;
+    use certa::certain::reference::cert_with_nulls_seed;
+    use certa::certain::worlds::exact_pool;
+
+    // A multi-relation instance where the query touches R but most of the
+    // data lives in the wide ballast relation S — the common shape of real
+    // schemas, where no query reads every table. The seed loop materialises
+    // the whole world `v(D)` per valuation (S included); the prepared path
+    // scans only what the plan references, so S is never copied. The small
+    // constant domain keeps the exact_pool enumerable at 4 distinct nulls.
+    let db = random_database(&RandomDbConfig {
+        relations: vec![("R".to_string(), 3), ("S".to_string(), 8)],
+        tuples_per_relation: 1500,
+        domain_size: 3,
+        null_count: 4,
+        null_rate: 0.01,
+        seed: 12,
+    });
+    // A selective scan-pushed filter: per-world evaluation is cheap, so
+    // the replan-and-materialise overhead is what the ablation isolates.
+    let query = RaExpr::rel("R").select(Condition::eq_const(0, 1));
+    let spec = exact_pool(&query, &db);
+    assert!(
+        db.nulls().len() >= 4,
+        "ablation needs at least 4 nulls, got {}",
+        db.nulls().len()
+    );
+    let mut group = c.benchmark_group("a06_prepared_worlds");
+    group.bench_function("replan_per_world_seed", |b| {
+        b.iter(|| cert_with_nulls_seed(&query, &db, &spec).unwrap())
+    });
+    group.bench_function("prepared_single_thread", |b| {
+        let spec = spec.clone().with_threads(1);
+        b.iter(|| cert_with_nulls_with(&query, &db, &spec).unwrap())
+    });
+    group.bench_function("prepared_parallel", |b| {
+        b.iter(|| cert_with_nulls_with(&query, &db, &spec).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     a01_antijoin,
     a02_dom_product,
     a03_ctable_conds,
     a04_prob_estimation,
-    a05_physical_engine
+    a05_physical_engine,
+    a06_prepared_worlds
 );
 criterion_main!(benches);

@@ -19,7 +19,8 @@
 //! | [`ctables`] | conditional tables and the eager/semi-eager/lazy/aware approximation strategies |
 //! | [`certain`] | certain answers (`cert∩`, `cert⊥`, `certO`), the `(Qt,Qf)` and `(Q+,Q?)` schemes, bag bounds, probabilistic answers, constraints |
 //! | [`sql`] | SQL parser, three-valued SQL evaluation, lowering to relational algebra |
-//! | [`workload`] | the paper's Figure 1 database, a TPC-H-like generator with null injection, random databases and queries |
+//! | [`workload`] | the paper's Figure 1 database, a TPC-H-like generator with null injection, random databases, queries and SQL |
+//! | [`pipeline`] | the end-to-end entry point: SQL text → lowered algebra → scheme selection (exact / approx / c-tables) → labeled answers, with prepared plans cached per query and schema |
 //!
 //! ## Quickstart
 //!
@@ -54,10 +55,15 @@ pub use certa_logic as logic;
 pub use certa_sql as sql;
 pub use certa_workload as workload;
 
+pub mod pipeline;
+
+pub use pipeline::{Label, LabeledAnswers, Pipeline, PipelineError, Scheme};
+
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::pipeline::{Label, LabeledAnswers, Pipeline, Scheme};
     pub use certa_algebra::{
-        classify, eval, naive_eval, Condition, Fragment, QueryBuilder, RaExpr,
+        classify, eval, naive_eval, Condition, Fragment, PreparedQuery, QueryBuilder, RaExpr,
     };
     pub use certa_certain::{
         almost_certainly_true, cert_intersection, cert_with_nulls, is_certain_answer,

@@ -1,0 +1,466 @@
+//! The end-to-end certain-answer pipeline: SQL text → relational algebra →
+//! scheme-specific evaluation → labeled answers.
+//!
+//! [`Pipeline`] is the crate's front door for serving queries over
+//! incomplete databases. It parses SQL with `certa-sql`, lowers it to the
+//! paper's relational algebra, compiles the physical plan **once** per
+//! `(query, schema)` — including the `(Q+, Q?)` and `(Qt, Qf)` translations
+//! when a scheme first needs them — and then answers requests against any
+//! database instance of that schema without re-planning:
+//!
+//! ```
+//! use certa::pipeline::{Pipeline, Scheme};
+//!
+//! let db = certa::workload::shop_database(true);
+//! let mut pipeline = Pipeline::new();
+//! let sql = "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+//! let answers = pipeline.execute(sql, &db, Scheme::Approx37).unwrap();
+//! // With the NULL of §1 nothing is *certainly* unpaid…
+//! assert!(answers.certain().is_empty());
+//! // …but o2 and o3 are possibly unpaid.
+//! assert_eq!(answers.possible().len(), 2);
+//! ```
+//!
+//! The schemes trade exactness for tractability exactly as in the survey:
+//!
+//! | scheme | machinery | labels |
+//! |---|---|---|
+//! | [`Scheme::Exact`] | prepared/parallel world enumeration (§3.2) | `Certain`, `Possible`, `CertainlyFalse` |
+//! | [`Scheme::Approx37`] | `(Q+, Q?)` of Figure 2(b) | `Certain`, `Possible` |
+//! | [`Scheme::Approx51`] | `(Qt, Qf)` of Figure 2(a) | `Certain`, `CertainlyFalse` |
+//! | [`Scheme::CTable`] | conditional tables (§4.2) | `Certain`, `Possible` |
+
+use certa_algebra::{AlgebraError, PreparedQuery};
+use certa_certain::{CertainError, PreparedApproxPair, PreparedTranslationPair};
+use certa_ctables::{eval_conditional, CtError, Strategy};
+use certa_data::{Database, Relation, Schema, Tuple};
+use certa_sql::lower::LoweredQuery;
+use certa_sql::{lower_to_algebra, parse, SqlError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which certain-answer machinery evaluates the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Exact certain answers by prepared/parallel possible-world
+    /// enumeration — exponential in the number of nulls (Theorem 3.12) and
+    /// bounded by the world cap.
+    Exact,
+    /// The `(Q+, Q?)` approximation of Guagliardo & Libkin (Figure 2(b)):
+    /// polynomial, no false positives among `Certain`.
+    Approx37,
+    /// The `(Qt, Qf)` approximation of Libkin (Figure 2(a)): polynomial but
+    /// materialises active-domain powers; labels certainly-false tuples.
+    Approx51,
+    /// Conditional-table evaluation with the given grounding strategy.
+    CTable(Strategy),
+}
+
+/// The certainty label attached to an answer tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// The tuple is an answer in every possible world (or, for the
+    /// approximation schemes, is guaranteed to be one).
+    Certain,
+    /// The tuple is an answer in some possible world (over-approximated by
+    /// `Q?` under [`Scheme::Approx37`]) but not certainly.
+    Possible,
+    /// The tuple is certainly **not** an answer (produced by
+    /// [`Scheme::Approx51`]'s `Qf` translation, and by [`Scheme::Exact`]
+    /// for naïve candidates that are answers in no world).
+    CertainlyFalse,
+}
+
+/// The labeled result of a pipeline execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledAnswers {
+    /// Output column names (qualified as `binding.attribute`).
+    pub columns: Vec<String>,
+    /// Answer tuples with their labels, certain tuples first.
+    pub rows: Vec<(Tuple, Label)>,
+}
+
+impl LabeledAnswers {
+    /// The tuples carrying a given label, as a relation.
+    pub fn with_label(&self, label: Label) -> Relation {
+        Relation::with_arity(
+            self.columns.len(),
+            self.rows
+                .iter()
+                .filter(|(_, l)| *l == label)
+                .map(|(t, _)| t.clone()),
+        )
+    }
+
+    /// The certain answers.
+    pub fn certain(&self) -> Relation {
+        self.with_label(Label::Certain)
+    }
+
+    /// The possible-but-not-certain answers.
+    pub fn possible(&self) -> Relation {
+        self.with_label(Label::Possible)
+    }
+
+    /// The certainly-false tuples.
+    pub fn certainly_false(&self) -> Relation {
+        self.with_label(Label::CertainlyFalse)
+    }
+}
+
+/// Errors raised by the pipeline: any stage's error, unified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Parsing, name resolution, or lowering failed.
+    Sql(SqlError),
+    /// The algebra layer rejected the expression.
+    Algebra(AlgebraError),
+    /// The certain-answer machinery failed (e.g. the world bound was hit).
+    Certain(CertainError),
+    /// Conditional evaluation failed.
+    CTable(CtError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Sql(e) => write!(f, "sql: {e}"),
+            PipelineError::Algebra(e) => write!(f, "algebra: {e}"),
+            PipelineError::Certain(e) => write!(f, "certain: {e}"),
+            PipelineError::CTable(e) => write!(f, "ctable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SqlError> for PipelineError {
+    fn from(e: SqlError) -> Self {
+        PipelineError::Sql(e)
+    }
+}
+
+impl From<AlgebraError> for PipelineError {
+    fn from(e: AlgebraError) -> Self {
+        PipelineError::Algebra(e)
+    }
+}
+
+impl From<CertainError> for PipelineError {
+    fn from(e: CertainError) -> Self {
+        PipelineError::Certain(e)
+    }
+}
+
+impl From<CtError> for PipelineError {
+    fn from(e: CtError) -> Self {
+        PipelineError::CTable(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+/// Everything compiled for one `(query, schema)` pair.
+struct CacheEntry {
+    schema: Schema,
+    lowered: LoweredQuery,
+    plain: PreparedQuery,
+    approx37: Option<PreparedApproxPair>,
+    approx51: Option<PreparedTranslationPair>,
+}
+
+/// The compile-once certain-answer pipeline (see the module docs).
+///
+/// Holds a plan cache keyed by SQL text: a hit with the same schema reuses
+/// the lowered expression, the physical plan, and any scheme translations
+/// already compiled; a schema change invalidates the entry.
+#[derive(Default)]
+pub struct Pipeline {
+    cache: HashMap<String, CacheEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+impl Pipeline {
+    /// A pipeline with an empty plan cache.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// `(cache hits, cache misses)` since construction.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached `(query, schema)` plans.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Parse, lower and compile `sql` for `schema`, or reuse the cache.
+    fn entry(&mut self, sql: &str, schema: &Schema) -> Result<&mut CacheEntry> {
+        let fresh = match self.cache.get(sql) {
+            Some(entry) if entry.schema == *schema => None,
+            _ => {
+                let stmt = parse(sql)?;
+                let lowered = lower_to_algebra(&stmt, schema)?;
+                let plain = PreparedQuery::prepare(&lowered.expr, schema)?;
+                Some(CacheEntry {
+                    schema: schema.clone(),
+                    lowered,
+                    plain,
+                    approx37: None,
+                    approx51: None,
+                })
+            }
+        };
+        match fresh {
+            Some(entry) => {
+                self.misses += 1;
+                Ok(self
+                    .cache
+                    .entry(sql.to_string())
+                    .insert_entry(entry)
+                    .into_mut())
+            }
+            None => {
+                self.hits += 1;
+                Ok(self.cache.get_mut(sql).expect("cache entry just checked"))
+            }
+        }
+    }
+
+    /// Evaluate the query *plainly* (set semantics, nulls as values) through
+    /// the cached prepared plan — the baseline the certainty schemes are
+    /// compared against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed SQL or evaluation failures.
+    pub fn query(&mut self, sql: &str, db: &Database) -> Result<Relation> {
+        let entry = self.entry(sql, db.schema())?;
+        Ok(entry.plain.eval_set(db)?)
+    }
+
+    /// Execute `sql` on `db` under the given certainty scheme, returning
+    /// labeled answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed SQL, ill-formed lowered queries,
+    /// over-bound exact enumerations, or operators outside a scheme's
+    /// fragment (e.g. the `⋉⇑` of a lowered `NOT IN` under
+    /// [`Scheme::CTable`]).
+    pub fn execute(&mut self, sql: &str, db: &Database, scheme: Scheme) -> Result<LabeledAnswers> {
+        let entry = self.entry(sql, db.schema())?;
+        let columns = entry.lowered.columns.clone();
+        let (certain, second) = match scheme {
+            Scheme::Exact => {
+                // One pass over the worlds with the cached prepared plan
+                // classifies every naïve candidate as certain, possible, or
+                // certainly false — nothing is re-planned per request.
+                // (Candidates outside the naïve evaluation are not
+                // enumerated; for the generic fragment, cert⊥ ⊆ Qⁿᵃⁱᵛᵉ.)
+                let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
+                let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
+                let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
+                let statuses =
+                    certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?;
+                let mut rows: Vec<(Tuple, Label)> = tuples
+                    .into_iter()
+                    .zip(&statuses)
+                    .map(|(t, s)| {
+                        let label = if s.certain {
+                            Label::Certain
+                        } else if s.possible {
+                            Label::Possible
+                        } else {
+                            Label::CertainlyFalse
+                        };
+                        (t, label)
+                    })
+                    .collect();
+                let rank = |l: &Label| match l {
+                    Label::Certain => 0,
+                    Label::Possible => 1,
+                    Label::CertainlyFalse => 2,
+                };
+                rows.sort_by_key(|(_, l)| rank(l));
+                return Ok(LabeledAnswers { columns, rows });
+            }
+            Scheme::Approx37 => {
+                if entry.approx37.is_none() {
+                    let pair =
+                        certa_certain::approx37::translate(&entry.lowered.expr, &entry.schema)?;
+                    entry.approx37 = Some(pair.prepare(&entry.schema)?);
+                }
+                let pair = entry.approx37.as_ref().expect("just compiled");
+                let (plus, question) = pair.eval(db)?;
+                (plus, (question, Label::Possible))
+            }
+            Scheme::Approx51 => {
+                if entry.approx51.is_none() {
+                    let pair =
+                        certa_certain::approx51::translate(&entry.lowered.expr, &entry.schema)?;
+                    entry.approx51 = Some(pair.prepare(&entry.schema)?);
+                }
+                let pair = entry.approx51.as_ref().expect("just compiled");
+                let (q_true, q_false) = pair.eval(db)?;
+                (q_true, (q_false, Label::CertainlyFalse))
+            }
+            Scheme::CTable(strategy) => {
+                let result = eval_conditional(&entry.lowered.expr, db, strategy)?;
+                (result.certain(), (result.possible(), Label::Possible))
+            }
+        };
+        let (rest, rest_label) = second;
+        let mut rows: Vec<(Tuple, Label)> = certain
+            .iter()
+            .map(|t| (t.clone(), Label::Certain))
+            .collect();
+        rows.extend(
+            rest.iter()
+                .filter(|t| !certain.contains(t))
+                .map(|t| (t.clone(), rest_label)),
+        );
+        Ok(LabeledAnswers { columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup, Value};
+
+    fn shop() -> Database {
+        certa_workload::shop_database(true)
+    }
+
+    const UNPAID: &str = "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+
+    #[test]
+    fn exact_scheme_labels_unpaid_orders() {
+        let mut p = Pipeline::new();
+        let out = p.execute(UNPAID, &shop(), Scheme::Exact).unwrap();
+        assert_eq!(out.columns, vec!["Orders.oid"]);
+        // §1: no order is certainly unpaid, but o2 and o3 are possibly so.
+        assert!(out.certain().is_empty());
+        assert_eq!(out.possible().len(), 2);
+    }
+
+    #[test]
+    fn approx_schemes_agree_on_the_running_example() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        let approx = p.execute(UNPAID, &db, Scheme::Approx37).unwrap();
+        assert!(approx.certain().is_empty());
+        assert!(approx.possible().contains(&tup!["o3"]));
+        let ctable = p
+            .execute(UNPAID, &db, Scheme::CTable(Strategy::Eager))
+            .unwrap();
+        assert_eq!(approx.certain(), ctable.certain());
+        assert_eq!(approx.possible(), ctable.possible());
+    }
+
+    #[test]
+    fn approx51_labels_certainly_false() {
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        let mut p = Pipeline::new();
+        let out = p
+            .execute("SELECT a FROM R WHERE a = 1", &db, Scheme::Approx51)
+            .unwrap();
+        assert_eq!(out.certain(), Relation::from_tuples(vec![tup![1]]));
+        assert!(out.certainly_false().contains(&tup![2]));
+    }
+
+    #[test]
+    fn plan_cache_hits_and_schema_invalidation() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        p.execute(UNPAID, &db, Scheme::Approx37).unwrap();
+        p.execute(UNPAID, &db, Scheme::Approx37).unwrap();
+        assert_eq!(p.cache_stats(), (2, 1));
+        assert_eq!(p.cached_plans(), 1);
+        // A different schema under the same SQL recompiles.
+        let other = database_from_literal([
+            ("Orders", vec!["oid"], vec![tup!["o1"]]),
+            ("Payments", vec!["cid", "oid"], vec![tup!["c1", "o1"]]),
+        ]);
+        p.execute(UNPAID, &other, Scheme::Exact).unwrap();
+        assert_eq!(p.cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn exact_scheme_labels_match_the_certainty_oracles() {
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        let sql = "SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)";
+        let mut p = Pipeline::new();
+        let out = p.execute(sql, &db, Scheme::Exact).unwrap();
+        // Every label agrees with the per-tuple certainty predicates.
+        let expr = certa_sql::lower_to_algebra(&certa_sql::parse(sql).unwrap(), db.schema())
+            .unwrap()
+            .expr;
+        for (t, label) in &out.rows {
+            let certain = certa_certain::is_certain_answer(&expr, &db, t).unwrap();
+            let false_everywhere = certa_certain::is_certainly_false(&expr, &db, t).unwrap();
+            let expected = if certain {
+                Label::Certain
+            } else if false_everywhere {
+                Label::CertainlyFalse
+            } else {
+                Label::Possible
+            };
+            assert_eq!(*label, expected, "{t}");
+        }
+        // Neither 1 nor 2 is certain (⊥0 could be either), but both are
+        // possible.
+        assert!(out.certain().is_empty());
+        assert_eq!(out.possible().len(), 2);
+    }
+
+    #[test]
+    fn exact_equals_approx_on_complete_databases() {
+        let db = certa_workload::shop_database(false);
+        let mut p = Pipeline::new();
+        let exact = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        let approx = p.execute(UNPAID, &db, Scheme::Approx37).unwrap();
+        assert_eq!(exact.certain(), approx.certain());
+        assert_eq!(exact.certain(), Relation::from_tuples(vec![tup!["o3"]]));
+        assert!(exact.possible().is_empty());
+        assert!(approx.possible().is_empty());
+    }
+
+    #[test]
+    fn plain_query_uses_cached_plan() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        let naive = p.query(UNPAID, &db).unwrap();
+        // Syntactic evaluation treats ⊥ as a value: o2 and o3 look unpaid.
+        assert_eq!(naive.len(), 2);
+        let again = p.query(UNPAID, &db).unwrap();
+        assert_eq!(naive, again);
+        assert_eq!(p.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn errors_are_unified() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        assert!(matches!(
+            p.execute("SELECT FROM", &db, Scheme::Exact),
+            Err(PipelineError::Sql(_))
+        ));
+        assert!(matches!(
+            p.execute("SELECT x FROM Nope", &db, Scheme::Exact),
+            Err(PipelineError::Sql(_))
+        ));
+    }
+}

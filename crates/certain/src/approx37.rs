@@ -11,8 +11,8 @@
 
 use crate::approx51::{desugar_intersect, negate_star};
 use crate::{CertainError, Result};
-use certa_algebra::{Condition, RaExpr};
-use certa_data::Schema;
+use certa_algebra::{Condition, PreparedQuery, RaExpr};
+use certa_data::{Database, Relation, Schema};
 
 /// The pair of translations of Figure 2(b).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +21,45 @@ pub struct ApproxPair {
     pub q_plus: RaExpr,
     /// The possible-answer over-approximation `Q?`.
     pub q_question: RaExpr,
+}
+
+impl ApproxPair {
+    /// Compile both translations once for repeated evaluation (the
+    /// `certa::Pipeline` caches the result per query/schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either translation is ill-formed for the schema
+    /// (cannot happen for pairs produced by [`translate`] against the same
+    /// schema).
+    pub fn prepare(&self, schema: &Schema) -> Result<PreparedApproxPair> {
+        Ok(PreparedApproxPair {
+            q_plus: PreparedQuery::prepare(&self.q_plus, schema)?,
+            q_question: PreparedQuery::prepare(&self.q_question, schema)?,
+        })
+    }
+}
+
+/// A compiled `(Q+, Q?)` pair: both translations planned once, executable
+/// many times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedApproxPair {
+    /// The compiled certain-answer under-approximation.
+    pub q_plus: PreparedQuery,
+    /// The compiled possible-answer over-approximation.
+    pub q_question: PreparedQuery,
+}
+
+impl PreparedApproxPair {
+    /// Evaluate both translations on a database, returning
+    /// `(Q+(D), Q?(D))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown relations.
+    pub fn eval(&self, db: &Database) -> Result<(Relation, Relation)> {
+        Ok((self.q_plus.eval_set(db)?, self.q_question.eval_set(db)?))
+    }
 }
 
 /// Compute both translations at once.

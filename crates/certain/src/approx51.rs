@@ -9,8 +9,8 @@
 //! measured by experiment E3.
 
 use crate::{CertainError, Result};
-use certa_algebra::{Condition, RaExpr};
-use certa_data::Schema;
+use certa_algebra::{Condition, PreparedQuery, RaExpr};
+use certa_data::{Database, Relation, Schema};
 
 /// The pair of translations of Figure 2(a).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +19,44 @@ pub struct TranslationPair {
     pub q_true: RaExpr,
     /// The certainly-false under-approximation `Qf`.
     pub q_false: RaExpr,
+}
+
+impl TranslationPair {
+    /// Compile both translations once for repeated evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either translation is ill-formed for the schema
+    /// (cannot happen for pairs produced by [`translate`] against the same
+    /// schema).
+    pub fn prepare(&self, schema: &Schema) -> Result<PreparedTranslationPair> {
+        Ok(PreparedTranslationPair {
+            q_true: PreparedQuery::prepare(&self.q_true, schema)?,
+            q_false: PreparedQuery::prepare(&self.q_false, schema)?,
+        })
+    }
+}
+
+/// A compiled `(Qt, Qf)` pair: both translations planned once, executable
+/// many times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedTranslationPair {
+    /// The compiled certainly-true under-approximation.
+    pub q_true: PreparedQuery,
+    /// The compiled certainly-false under-approximation.
+    pub q_false: PreparedQuery,
+}
+
+impl PreparedTranslationPair {
+    /// Evaluate both translations on a database, returning
+    /// `(Qt(D), Qf(D))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown relations.
+    pub fn eval(&self, db: &Database) -> Result<(Relation, Relation)> {
+        Ok((self.q_true.eval_set(db)?, self.q_false.eval_set(db)?))
+    }
 }
 
 /// Compute both translations at once (they are mutually recursive).

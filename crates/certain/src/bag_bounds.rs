@@ -15,11 +15,10 @@
 //! intractable for base relations).
 
 use crate::approx37;
-use crate::worlds::{exact_pool, WorldSpec};
+use crate::worlds::{exact_pool, WorldEngine, WorldSpec};
 use crate::Result;
 use certa_algebra::bag_eval::eval_bag;
-use certa_algebra::RaExpr;
-use certa_data::valuation::all_valuations;
+use certa_algebra::{PreparedQuery, RaExpr};
 use certa_data::{BagDatabase, Database, Tuple};
 
 /// The exact multiplicity range `[□Q(D, ā), ◇Q(D, ā)]` of a tuple, computed
@@ -52,23 +51,21 @@ pub fn multiplicity_range_with(
     tuple: &Tuple,
     spec: &WorldSpec,
 ) -> Result<(usize, usize)> {
-    query.validate(db.schema())?;
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
     let set_view = db.to_sets();
-    spec.check(&set_view)?;
-    let nulls = set_view.nulls();
-    let mut min = usize::MAX;
-    let mut max = 0usize;
-    for v in all_valuations(&nulls, spec.pool()) {
-        let world = db.map_values_add(|value| v.apply_value(value));
-        let answer = eval_bag(query, &world)?;
-        let m = answer.multiplicity(&v.apply_tuple(tuple));
-        min = min.min(m);
-        max = max.max(m);
-    }
-    if min == usize::MAX {
-        min = 0;
-    }
-    Ok((min, max))
+    let engine = WorldEngine::new(&set_view, spec)?;
+    let range = engine.map_reduce(
+        |v| {
+            // Zero-copy bag world: collapsing multiplicities are added
+            // during the scan, matching `BagDatabase::map_values_add`.
+            let answer = prepared.eval_bag_world(db, v)?;
+            let m = answer.multiplicity(&v.apply_tuple(tuple));
+            Ok((m, m))
+        },
+        |(min1, max1), (min2, max2)| (min1.min(min2), max1.max(max2)),
+        |_| false,
+    )?;
+    Ok(range.unwrap_or((0, 0)))
 }
 
 /// The certainty lower bound `□Q(D, ā)`.

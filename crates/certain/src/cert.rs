@@ -7,11 +7,19 @@
 //! which naïve evaluation and the approximation schemes are measured. Their
 //! cost is exponential in the number of nulls — which is not an
 //! implementation defect but the coNP-hardness of Theorem 3.12.
+//!
+//! Since the prepared-query refactor the loops are
+//! compile-once/execute-many: the query is planned a single time with
+//! [`certa_algebra::PreparedQuery`], each world is presented zero-copy
+//! through a [`certa_algebra::ValuationSource`] (no database clone, no
+//! re-planning), and the valuation space is chunked across worker threads
+//! by [`crate::worlds::WorldEngine`]. The seed's replan-per-world loops
+//! survive in [`crate::reference`] as oracles.
 
-use crate::worlds::{enumerate_worlds, exact_pool, WorldSpec};
+use crate::worlds::{exact_pool, WorldEngine, WorldSpec};
 use crate::Result;
-use certa_algebra::{eval, naive_eval, RaExpr};
-use certa_data::{Database, Relation, Tuple};
+use certa_algebra::{naive_eval, PreparedQuery, RaExpr};
+use certa_data::{Database, Relation, Tuple, Valuation};
 
 /// Intersection-based certain answers (Definition 3.7):
 /// `cert∩(Q, D) = ⋂_{D' ∈ ⟦D⟧} Q(D')`.
@@ -33,19 +41,14 @@ pub fn cert_intersection(query: &RaExpr, db: &Database) -> Result<Relation> {
 ///
 /// As [`cert_intersection`].
 pub fn cert_intersection_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
-    let arity = query.arity(db.schema())?;
-    let mut out: Option<Relation> = None;
-    for (_, world) in enumerate_worlds(db, spec)? {
-        let answer = eval(query, &world)?;
-        out = Some(match out {
-            None => answer,
-            Some(acc) => acc.intersection(&answer),
-        });
-        if out.as_ref().is_some_and(Relation::is_empty) {
-            break;
-        }
-    }
-    Ok(out.unwrap_or_else(|| Relation::empty(arity)))
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let engine = WorldEngine::new(db, spec)?;
+    let out = engine.map_reduce(
+        |v| Ok(prepared.eval_set_world(db, v)?),
+        |acc, answer| acc.intersection(&answer),
+        Relation::is_empty,
+    )?;
+    Ok(out.unwrap_or_else(|| Relation::empty(prepared.arity())))
 }
 
 /// Certain answers with nulls (Definition 3.9, cwa form):
@@ -69,15 +72,149 @@ pub fn cert_with_nulls(query: &RaExpr, db: &Database) -> Result<Relation> {
 /// As [`cert_with_nulls`].
 pub fn cert_with_nulls_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
     let candidates = naive_eval(query, db)?;
-    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
-    for (v, world) in enumerate_worlds(db, spec)? {
-        if survivors.is_empty() {
-            break;
-        }
-        let answer = eval(query, &world)?;
-        survivors.retain(|t| answer.contains(&v.apply_tuple(t)));
+    let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let mask = survivors_mask(&prepared, db, spec, &tuples, true)?;
+    Ok(Relation::with_arity(
+        candidates.arity(),
+        tuples
+            .into_iter()
+            .zip(mask)
+            .filter_map(|(t, keep)| keep.then_some(t)),
+    ))
+}
+
+/// How a candidate tuple relates to the possible worlds: whether it is an
+/// answer in *every* world and whether it is an answer in *some* world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateStatus {
+    /// `v(t̄) ∈ Q(v(D))` for every valuation — a certain answer.
+    pub certain: bool,
+    /// `v(t̄) ∈ Q(v(D))` for at least one valuation — a possible answer.
+    pub possible: bool,
+}
+
+/// The answer of the prepared query on the world `v(D)`, evaluated
+/// zero-copy and kept as engine rows — no per-world [`Relation`] is
+/// materialised. Probe it with [`world_hit`].
+fn world_rows(
+    prepared: &PreparedQuery,
+    db: &Database,
+    v: &Valuation,
+) -> Result<certa_algebra::AnnRel<certa_algebra::SetAnn>> {
+    Ok(prepared.execute_on(&certa_algebra::ValuationSource::new(db, v))?)
+}
+
+/// Whether `v(t̄)` is in a world's answer (as hashed [`world_rows`]).
+/// Null-free candidates are probed without applying the valuation. This is
+/// the **single** definition of the candidate probe shared by every
+/// world-batch certainty check, so the certain/possible verdicts can never
+/// drift apart.
+fn world_hit(answer: &std::collections::HashSet<&Tuple>, v: &Valuation, t: &Tuple) -> bool {
+    if t.has_null() {
+        answer.contains(&v.apply_tuple(t))
+    } else {
+        answer.contains(t)
     }
-    Ok(Relation::with_arity(candidates.arity(), survivors))
+}
+
+/// Classify candidate tuples against all possible worlds in a **single**
+/// enumeration, using an already-prepared plan: for each candidate, whether
+/// it is certain (in every world's answer) and whether it is possible (in
+/// some world's answer). `certa::Pipeline` uses this for its exact scheme,
+/// reusing its cached [`PreparedQuery`] so nothing is re-planned per
+/// request and the certain/possible/certainly-false labels all come out of
+/// one pass over the worlds.
+///
+/// A candidate stops being checked once both bits are settled (refuted for
+/// certainty, witnessed for possibility); the fold is thread-count
+/// invariant like the other world batches.
+///
+/// # Errors
+///
+/// Returns an error on unknown relations or when the world bound is hit.
+pub fn classify_candidates(
+    prepared: &PreparedQuery,
+    db: &Database,
+    spec: &WorldSpec,
+    tuples: &[Tuple],
+) -> Result<Vec<CandidateStatus>> {
+    let engine = WorldEngine::new(db, spec)?;
+    // Accumulator bit pairs: (in every world so far, in some world so far).
+    let out = engine.fold_reduce(
+        || vec![(true, false); tuples.len()],
+        |acc: &mut Vec<(bool, bool)>, v: &Valuation| {
+            let rows = world_rows(prepared, db, v)?;
+            let answer = rows.rows().iter().map(|(t, _)| t).collect();
+            for ((always, ever), t) in acc.iter_mut().zip(tuples) {
+                if !*always && *ever {
+                    continue; // settled: refuted and witnessed
+                }
+                let hit = world_hit(&answer, v, t);
+                *always &= hit;
+                *ever |= hit;
+            }
+            Ok(())
+        },
+        |acc, next| {
+            acc.iter()
+                .zip(&next)
+                .map(|((aa, ae), (na, ne))| (*aa && *na, *ae || *ne))
+                .collect()
+        },
+        |acc: &Vec<(bool, bool)>| acc.iter().all(|(always, ever)| !*always && *ever),
+    )?;
+    // Zero worlds: the universal quantification is vacuously true and the
+    // existential one vacuously false, as in the seed loops.
+    let out = out.unwrap_or_else(|| vec![(true, false); tuples.len()]);
+    Ok(out
+        .into_iter()
+        .map(|(always, ever)| CandidateStatus {
+            certain: always,
+            possible: ever,
+        })
+        .collect())
+}
+
+/// The per-candidate survivor mask over all worlds: `mask[i]` is `true` iff
+/// `v(tuples[i]) ∈ Q(v(D))` for every valuation `v` (or, with
+/// `in_answer = false`, iff it is in **no** world's answer). Candidates are
+/// refuted world-by-world with a conjunction bitmask — each worker prunes
+/// refuted candidates for the rest of its chunk (the seed loop's `retain`),
+/// the per-chunk masks are combined with the associative, commutative
+/// conjunction (thread-count invariant), and the all-`false` mask is the
+/// absorbing early-exit state. Answers are probed as hashed engine rows;
+/// no per-world [`Relation`] is materialised, and null-free candidates are
+/// probed without applying the valuation.
+fn survivors_mask(
+    prepared: &PreparedQuery,
+    db: &Database,
+    spec: &WorldSpec,
+    tuples: &[Tuple],
+    in_answer: bool,
+) -> Result<Vec<bool>> {
+    let engine = WorldEngine::new(db, spec)?;
+    let mask = engine.fold_reduce(
+        || vec![true; tuples.len()],
+        |mask: &mut Vec<bool>, v: &Valuation| {
+            let rows = world_rows(prepared, db, v)?;
+            let answer = rows.rows().iter().map(|(t, _)| t).collect();
+            for (keep, t) in mask.iter_mut().zip(tuples) {
+                if !*keep {
+                    continue;
+                }
+                if world_hit(&answer, v, t) != in_answer {
+                    *keep = false;
+                }
+            }
+            Ok(())
+        },
+        |acc, next| acc.iter().zip(&next).map(|(a, b)| *a && *b).collect(),
+        |mask: &Vec<bool>| mask.iter().all(|keep| !keep),
+    )?;
+    // Zero worlds (nulls with an empty pool): every candidate survives the
+    // (vacuous) quantification, as in the seed loop.
+    Ok(mask.unwrap_or_else(|| vec![true; tuples.len()]))
 }
 
 /// `true` iff the tuple is a certain answer with nulls, i.e.
@@ -88,13 +225,9 @@ pub fn cert_with_nulls_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> 
 /// As [`cert_with_nulls`].
 pub fn is_certain_answer(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
     let spec = exact_pool(query, db);
-    for (v, world) in enumerate_worlds(db, &spec)? {
-        let answer = eval(query, &world)?;
-        if !answer.contains(&v.apply_tuple(tuple)) {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let mask = survivors_mask(&prepared, db, &spec, std::slice::from_ref(tuple), true)?;
+    Ok(mask[0])
 }
 
 /// `true` iff the tuple is *certainly false*: `v(t̄) ∉ Q(v(D))` for every
@@ -106,13 +239,9 @@ pub fn is_certain_answer(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result
 /// As [`cert_with_nulls`].
 pub fn is_certainly_false(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
     let spec = exact_pool(query, db);
-    for (v, world) in enumerate_worlds(db, &spec)? {
-        let answer = eval(query, &world)?;
-        if answer.contains(&v.apply_tuple(tuple)) {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let mask = survivors_mask(&prepared, db, &spec, std::slice::from_ref(tuple), false)?;
+    Ok(mask[0])
 }
 
 /// All certainly-false tuples among a set of candidates (used to validate
@@ -127,21 +256,23 @@ pub fn certainly_false_among(
     candidates: &Relation,
 ) -> Result<Relation> {
     let spec = exact_pool(query, db);
-    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
-    for (v, world) in enumerate_worlds(db, &spec)? {
-        if survivors.is_empty() {
-            break;
-        }
-        let answer = eval(query, &world)?;
-        survivors.retain(|t| !answer.contains(&v.apply_tuple(t)));
-    }
-    Ok(Relation::with_arity(candidates.arity(), survivors))
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
+    let mask = survivors_mask(&prepared, db, &spec, &tuples, false)?;
+    Ok(Relation::with_arity(
+        candidates.arity(),
+        tuples
+            .into_iter()
+            .zip(mask)
+            .filter_map(|(t, keep)| keep.then_some(t)),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use certa_algebra::Condition;
+    use crate::worlds::enumerate_worlds;
+    use certa_algebra::{eval, Condition};
     use certa_data::{database_from_literal, tup, Value};
 
     /// The Figure 1 database with the NULL perturbation of the introduction.
@@ -297,6 +428,39 @@ mod tests {
         let naive = naive_eval(&q, &d).unwrap();
         let cert = cert_with_nulls(&q, &d).unwrap();
         assert_eq!(naive, cert);
+    }
+
+    #[test]
+    fn classify_candidates_matches_the_predicates() {
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![1]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        let spec = exact_pool(&q, &d);
+        let prepared = PreparedQuery::prepare(&q, d.schema()).unwrap();
+        let candidates = [tup![1], tup![7]];
+        let statuses = classify_candidates(&prepared, &d, &spec, &candidates).unwrap();
+        // (1) is possible (⊥0 ≠ 1) but not certain (⊥0 = 1 kills it).
+        assert_eq!(
+            statuses[0],
+            CandidateStatus {
+                certain: false,
+                possible: true
+            }
+        );
+        // (7) is never an answer: 7 ∉ R in any world.
+        assert_eq!(
+            statuses[1],
+            CandidateStatus {
+                certain: false,
+                possible: false
+            }
+        );
+        for (t, s) in candidates.iter().zip(&statuses) {
+            assert_eq!(s.certain, is_certain_answer(&q, &d, t).unwrap());
+            assert_eq!(s.possible, !is_certainly_false(&q, &d, t).unwrap());
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   (Theorem 4.11);
 //! * [`constraints`] — functional and inclusion dependencies and the chase,
 //!   used by the conditional-probability machinery;
+//! * [`reference`] — the seed's replan-per-world loops, kept as oracles for
+//!   the prepared/parallel pipeline (property tests and the
+//!   `a06_prepared_worlds` ablation);
 //! * [`quality`] — precision/recall of approximate answers against the
 //!   exact certain answers (the measurements of the `[27]` study, E4).
 
@@ -36,14 +39,15 @@ pub mod constraints;
 pub mod object;
 pub mod prob;
 pub mod quality;
+pub mod reference;
 pub mod worlds;
 
-pub use approx37::{q_plus, q_question, ApproxPair};
-pub use approx51::{q_false, q_true, TranslationPair};
+pub use approx37::{q_plus, q_question, ApproxPair, PreparedApproxPair};
+pub use approx51::{q_false, q_true, PreparedTranslationPair, TranslationPair};
 pub use cert::{cert_intersection, cert_with_nulls, is_certain_answer, is_certainly_false};
 pub use prob::{almost_certainly_true, mu_k, mu_k_conditional, support_fraction};
 pub use quality::AnswerQuality;
-pub use worlds::{default_pool, enumerate_worlds, WorldSpec};
+pub use worlds::{default_pool, enumerate_worlds, WorldEngine, WorldSpec};
 
 /// Errors raised by the certain-answer machinery.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -21,10 +21,9 @@
 //! dependency conditioning to the chase.
 
 use crate::constraints::{all_satisfied, chase_fds, Constraint, FunctionalDependency};
-use crate::worlds::WorldSpec;
+use crate::worlds::{WorldEngine, WorldSpec};
 use crate::Result;
-use certa_algebra::{eval, naive_eval, RaExpr};
-use certa_data::valuation::all_valuations;
+use certa_algebra::{naive_eval, PreparedQuery, RaExpr};
 use certa_data::{Const, Database, Tuple};
 use rand::prelude::*;
 use std::collections::BTreeSet;
@@ -78,17 +77,41 @@ pub fn canonical_pool(query: &RaExpr, db: &Database, k: usize) -> Vec<Const> {
 /// Exact `µ_k(Q, D, ā)`: the fraction of valuations with range in the first
 /// `k` constants that witness `ā` being an answer.
 ///
+/// The query is prepared once and each valuation is evaluated zero-copy
+/// through a [`certa_algebra::ValuationSource`], with the valuation space
+/// chunked across worker threads — no possible world is materialised.
+///
 /// # Errors
 ///
 /// Returns an error if the query is ill-formed or the number of valuations
 /// exceeds the default world bound.
 pub fn mu_k(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fraction> {
-    mu_k_conditional(query, db, tuple, k, |_| true)
+    let spec = WorldSpec::new(canonical_pool(query, db, k));
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let engine = WorldEngine::new(db, &spec)?;
+    let counts = engine.map_reduce(
+        |v| {
+            let answer = prepared.eval_set_world(db, v)?;
+            Ok((usize::from(answer.contains(&v.apply_tuple(tuple))), 1usize))
+        },
+        |(n1, d1), (n2, d2)| (n1 + n2, d1 + d2),
+        |_| false,
+    )?;
+    let (numerator, denominator) = counts.unwrap_or((0, 0));
+    Ok(Fraction {
+        numerator,
+        denominator,
+    })
 }
 
 /// Exact conditional `µ_k(Q | Σ, D, ā)` where the condition is an arbitrary
 /// predicate on possible worlds (use [`mu_k_with_constraints`] for the
 /// common case of dependency sets).
+///
+/// The query is prepared once and valuations are checked in parallel; each
+/// world **is** materialised here, because the `sigma` predicate inspects
+/// the complete instance — use [`mu_k`] for the unconditional,
+/// zero-materialisation path.
 ///
 /// # Errors
 ///
@@ -98,26 +121,24 @@ pub fn mu_k_conditional(
     db: &Database,
     tuple: &Tuple,
     k: usize,
-    sigma: impl Fn(&Database) -> bool,
+    sigma: impl Fn(&Database) -> bool + Sync,
 ) -> Result<Fraction> {
-    query.validate(db.schema())?;
-    let pool = canonical_pool(query, db, k);
-    let nulls = db.nulls();
-    let spec = WorldSpec::new(pool.clone());
-    spec.check(db)?;
-    let mut numerator = 0usize;
-    let mut denominator = 0usize;
-    for v in all_valuations(&nulls, &pool) {
-        let world = v.apply_database(db);
-        if !sigma(&world) {
-            continue;
-        }
-        denominator += 1;
-        let answer = eval(query, &world)?;
-        if answer.contains(&v.apply_tuple(tuple)) {
-            numerator += 1;
-        }
-    }
+    let spec = WorldSpec::new(canonical_pool(query, db, k));
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let engine = WorldEngine::new(db, &spec)?;
+    let counts = engine.map_reduce(
+        |v| {
+            let world = v.apply_database(db);
+            if !sigma(&world) {
+                return Ok((0usize, 0usize));
+            }
+            let answer = prepared.eval_set(&world)?;
+            Ok((usize::from(answer.contains(&v.apply_tuple(tuple))), 1usize))
+        },
+        |(n1, d1), (n2, d2)| (n1 + n2, d1 + d2),
+        |_| false,
+    )?;
+    let (numerator, denominator) = counts.unwrap_or((0, 0));
     Ok(Fraction {
         numerator,
         denominator,
@@ -157,7 +178,7 @@ pub fn mu_k_sampled(
     samples: usize,
     rng: &mut impl Rng,
 ) -> Result<Fraction> {
-    query.validate(db.schema())?;
+    let prepared = PreparedQuery::prepare(query, db.schema())?;
     let pool = canonical_pool(query, db, k);
     let nulls: Vec<_> = db.nulls().into_iter().collect();
     let mut numerator = 0usize;
@@ -167,12 +188,18 @@ pub fn mu_k_sampled(
         for n in &nulls {
             v.assign(*n, pool[rng.gen_range(0..pool.len())].clone());
         }
-        let world = v.apply_database(db);
-        if !all_satisfied(constraints, &world) {
-            continue;
+        if !constraints.is_empty() {
+            // Constraint checking inspects the complete instance.
+            let world = v.apply_database(db);
+            if !all_satisfied(constraints, &world) {
+                continue;
+            }
         }
         denominator += 1;
-        if eval(query, &world)?.contains(&v.apply_tuple(tuple)) {
+        if prepared
+            .eval_set_world(db, &v)?
+            .contains(&v.apply_tuple(tuple))
+        {
             numerator += 1;
         }
     }

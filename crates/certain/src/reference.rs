@@ -1,0 +1,197 @@
+//! The seed's replan-per-world certain-answer loops, kept as oracles.
+//!
+//! Before the prepared-query refactor, every exact computation called the
+//! top-level `eval(query, &world)` inside the world loop: the query was
+//! re-validated and re-planned for every possible world, and each world was
+//! a fully materialised clone of the database. These implementations are
+//! preserved verbatim so that
+//!
+//! * the property suite (`tests/property_prepared_worlds.rs`) can assert
+//!   that the prepared/parallel pipeline of [`crate::cert`] agrees with
+//!   them on random instances, for any thread count, and
+//! * the `a06_prepared_worlds` ablation can measure the speedup of
+//!   compile-once/execute-many over replan-per-world.
+//!
+//! Like the seed, they enumerate worlds sequentially through
+//! [`enumerate_worlds`], which materialises `v(D)` for every valuation.
+
+use crate::worlds::{enumerate_worlds, exact_pool, WorldSpec};
+use crate::Result;
+use certa_algebra::{eval, naive_eval, RaExpr};
+use certa_data::valuation::all_valuations;
+use certa_data::{BagDatabase, Database, Relation, Tuple};
+
+/// Seed oracle for [`crate::cert::cert_intersection_with`].
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed or the world bound is hit.
+pub fn cert_intersection_seed(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
+    let arity = query.arity(db.schema())?;
+    let mut out: Option<Relation> = None;
+    for (_, world) in enumerate_worlds(db, spec)? {
+        let answer = eval(query, &world)?;
+        out = Some(match out {
+            None => answer,
+            Some(acc) => acc.intersection(&answer),
+        });
+        if out.as_ref().is_some_and(Relation::is_empty) {
+            break;
+        }
+    }
+    Ok(out.unwrap_or_else(|| Relation::empty(arity)))
+}
+
+/// Seed oracle for [`crate::cert::cert_with_nulls_with`].
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn cert_with_nulls_seed(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
+    let candidates = naive_eval(query, db)?;
+    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
+    for (v, world) in enumerate_worlds(db, spec)? {
+        if survivors.is_empty() {
+            break;
+        }
+        let answer = eval(query, &world)?;
+        survivors.retain(|t| answer.contains(&v.apply_tuple(t)));
+    }
+    Ok(Relation::with_arity(candidates.arity(), survivors))
+}
+
+/// Seed oracle for [`crate::cert::is_certain_answer`].
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn is_certain_answer_seed(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
+    let spec = exact_pool(query, db);
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        let answer = eval(query, &world)?;
+        if !answer.contains(&v.apply_tuple(tuple)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Seed oracle for [`crate::cert::is_certainly_false`].
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn is_certainly_false_seed(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
+    let spec = exact_pool(query, db);
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        let answer = eval(query, &world)?;
+        if answer.contains(&v.apply_tuple(tuple)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Seed oracle for [`crate::cert::certainly_false_among`].
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn certainly_false_among_seed(
+    query: &RaExpr,
+    db: &Database,
+    candidates: &Relation,
+) -> Result<Relation> {
+    let spec = exact_pool(query, db);
+    let mut survivors: Vec<Tuple> = candidates.iter().cloned().collect();
+    for (v, world) in enumerate_worlds(db, &spec)? {
+        if survivors.is_empty() {
+            break;
+        }
+        let answer = eval(query, &world)?;
+        survivors.retain(|t| !answer.contains(&v.apply_tuple(t)));
+    }
+    Ok(Relation::with_arity(candidates.arity(), survivors))
+}
+
+/// Seed oracle for [`crate::prob::mu_k_conditional`]: re-plans the query and
+/// materialises the world for every valuation.
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn mu_k_conditional_seed(
+    query: &RaExpr,
+    db: &Database,
+    tuple: &Tuple,
+    spec: &WorldSpec,
+    sigma: impl Fn(&Database) -> bool,
+) -> Result<(usize, usize)> {
+    query.validate(db.schema())?;
+    spec.check(db)?;
+    let nulls = db.nulls();
+    let mut numerator = 0usize;
+    let mut denominator = 0usize;
+    for v in all_valuations(&nulls, spec.pool()) {
+        let world = v.apply_database(db);
+        if !sigma(&world) {
+            continue;
+        }
+        denominator += 1;
+        let answer = eval(query, &world)?;
+        if answer.contains(&v.apply_tuple(tuple)) {
+            numerator += 1;
+        }
+    }
+    Ok((numerator, denominator))
+}
+
+/// Seed oracle for [`crate::bag_bounds::multiplicity_range_with`].
+///
+/// # Errors
+///
+/// As [`cert_intersection_seed`].
+pub fn multiplicity_range_seed(
+    query: &RaExpr,
+    db: &BagDatabase,
+    tuple: &Tuple,
+    spec: &WorldSpec,
+) -> Result<(usize, usize)> {
+    query.validate(db.schema())?;
+    let set_view = db.to_sets();
+    spec.check(&set_view)?;
+    let nulls = set_view.nulls();
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    for v in all_valuations(&nulls, spec.pool()) {
+        let world = db.map_values_add(|value| v.apply_value(value));
+        let answer = certa_algebra::bag_eval::eval_bag(query, &world)?;
+        let m = answer.multiplicity(&v.apply_tuple(tuple));
+        min = min.min(m);
+        max = max.max(m);
+    }
+    if min == usize::MAX {
+        min = 0;
+    }
+    Ok((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::{database_from_literal, tup, Value};
+
+    #[test]
+    fn seed_oracles_reproduce_known_answers() {
+        let d = database_from_literal([
+            ("R", vec!["a"], vec![tup![1]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        let spec = exact_pool(&q, &d);
+        assert!(cert_with_nulls_seed(&q, &d, &spec).unwrap().is_empty());
+        assert!(cert_intersection_seed(&q, &d, &spec).unwrap().is_empty());
+        assert!(!is_certain_answer_seed(&q, &d, &tup![1]).unwrap());
+        assert!(!is_certainly_false_seed(&q, &d, &tup![1]).unwrap());
+    }
+}

@@ -13,18 +13,21 @@
 use crate::{CertainError, Result};
 use certa_algebra::RaExpr;
 use certa_data::valuation::count_valuations;
-use certa_data::{Const, Database, Valuation};
+use certa_data::{Const, Database, NullId, Valuation};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default cap on the number of worlds an exact computation may enumerate.
 pub const DEFAULT_WORLD_BOUND: usize = 2_000_000;
 
-/// Specification of the possible worlds to enumerate: the constant pool and
-/// a safety bound on the number of valuations.
+/// Specification of the possible worlds to enumerate: the constant pool, a
+/// safety bound on the number of valuations, and the parallelism used by
+/// [`WorldEngine`] batch evaluations (0 = one worker per available core).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorldSpec {
     pool: Vec<Const>,
     bound: usize,
+    threads: usize,
 }
 
 impl WorldSpec {
@@ -33,6 +36,7 @@ impl WorldSpec {
         WorldSpec {
             pool: pool.into_iter().collect(),
             bound: DEFAULT_WORLD_BOUND,
+            threads: 0,
         }
     }
 
@@ -41,6 +45,21 @@ impl WorldSpec {
     pub fn with_bound(mut self, bound: usize) -> Self {
         self.bound = bound;
         self
+    }
+
+    /// Fix the number of worker threads used by world-batch evaluations
+    /// (0 restores the default: one worker per available core). The thread
+    /// count never changes results — chunks are reduced in a deterministic
+    /// order with associative, commutative combiners.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The constant pool.
@@ -121,29 +140,253 @@ pub fn enumerate_worlds<'a>(
 
 /// Like [`certa_data::valuation::all_valuations`] but owning its inputs, so
 /// the iterator can outlive local borrows.
+///
+/// The world count saturates at `usize::MAX` instead of panicking on
+/// overflow; every public entry point bound-checks with [`WorldSpec::check`]
+/// (surfacing [`CertainError::TooManyWorlds`]) before an iterator is built,
+/// so a saturated count is never actually enumerated.
 fn all_valuations_owned(
-    nulls: BTreeSet<certa_data::NullId>,
+    nulls: BTreeSet<NullId>,
     pool: &[Const],
 ) -> impl Iterator<Item = Valuation> + '_ {
-    let nulls: Vec<certa_data::NullId> = nulls.into_iter().collect();
-    let k = pool.len();
-    let total = if nulls.is_empty() {
-        1
-    } else if k == 0 {
-        0
-    } else {
-        k.checked_pow(nulls.len() as u32)
-            .expect("world enumeration overflow")
-    };
-    (0..total).map(move |mut idx| {
-        let mut val = Valuation::new();
-        for null in &nulls {
-            let c = pool[idx % k.max(1)].clone();
-            idx /= k.max(1);
-            val.assign(*null, c);
+    let nulls: Vec<NullId> = nulls.into_iter().collect();
+    let total = count_valuations(nulls.len(), pool.len());
+    (0..total).map(move |idx| certa_data::valuation::valuation_at(&nulls, pool, idx))
+}
+
+/// A bound-checked, parallel evaluator over the possible worlds of a
+/// database: the compile-once/execute-many counterpart of
+/// [`enumerate_worlds`].
+///
+/// The engine fixes the null ordering and world count up front
+/// (rejecting over-bound enumerations with
+/// [`CertainError::TooManyWorlds`] before any work starts) and then runs a
+/// *map-reduce* over the valuation space: the valuation index range is split
+/// into one contiguous chunk per worker thread
+/// (`std::thread::scope`; no external dependencies), each worker folds its
+/// chunk locally, and the per-chunk results are reduced in deterministic
+/// chunk order. With an associative, commutative `reduce` the result is
+/// independent of the thread count — the property the
+/// `property_prepared_worlds` suite asserts for 1, 2 and N workers.
+///
+/// Callers evaluate queries inside `map` with a
+/// [`certa_algebra::PreparedQuery`] over a
+/// [`certa_algebra::ValuationSource`], so no possible world is ever
+/// materialised: the base database is shared read-only across workers and
+/// nulls are substituted during scans.
+pub struct WorldEngine<'a> {
+    db: &'a Database,
+    pool: &'a [Const],
+    nulls: Vec<NullId>,
+    total: usize,
+    threads: usize,
+}
+
+impl<'a> WorldEngine<'a> {
+    /// Build an engine for the worlds of `db` under `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertainError::TooManyWorlds`] when the enumeration would
+    /// exceed the spec's bound (including counts that overflow `usize`,
+    /// which saturate and are therefore always over-bound).
+    pub fn new(db: &'a Database, spec: &'a WorldSpec) -> Result<Self> {
+        spec.check(db)?;
+        let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+        let total = count_valuations(nulls.len(), spec.pool().len());
+        let threads = match spec.threads() {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        Ok(WorldEngine {
+            db,
+            pool: spec.pool(),
+            nulls,
+            total,
+            threads,
+        })
+    }
+
+    /// The database whose worlds are enumerated.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Number of worlds the engine will visit.
+    pub fn world_count(&self) -> usize {
+        self.total
+    }
+
+    /// Number of worker threads batches will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The valuation at a given index of the lexicographic enumeration
+    /// (same order as [`enumerate_worlds`]; decoded by the shared
+    /// [`certa_data::valuation::valuation_at`]).
+    fn valuation_at(&self, idx: usize) -> Valuation {
+        certa_data::valuation::valuation_at(&self.nulls, self.pool, idx)
+    }
+
+    /// Map every world to a value and reduce the values to one.
+    ///
+    /// `map` is called with each valuation (combine it with a prepared
+    /// query over a [`certa_algebra::ValuationSource`] to evaluate on the
+    /// world `v(D)` without materialising it); `reduce` combines two
+    /// accumulated values and must be associative and commutative;
+    /// `absorbing` identifies values that `reduce` can never change again
+    /// (the empty relation under intersection, `false` under conjunction),
+    /// letting all workers stop early without affecting the result. Use
+    /// `|_| false` when no absorbing state exists.
+    ///
+    /// Returns `Ok(None)` only when there are zero worlds (nulls present
+    /// but an empty pool).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `map` error in deterministic chunk order.
+    pub fn map_reduce<T, M, R, A>(&self, map: M, reduce: R, absorbing: A) -> Result<Option<T>>
+    where
+        T: Send,
+        M: Fn(&Valuation) -> Result<T> + Sync,
+        R: Fn(T, T) -> T + Sync,
+        A: Fn(&T) -> bool + Sync,
+    {
+        self.fold_reduce(
+            || None,
+            |acc: &mut Option<T>, v| {
+                let value = map(v)?;
+                *acc = Some(match acc.take() {
+                    None => value,
+                    Some(prev) => reduce(prev, value),
+                });
+                Ok(())
+            },
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => Some(reduce(a, b)),
+                (a, b) => a.or(b),
+            },
+            |acc| acc.as_ref().is_some_and(&absorbing),
+        )
+        .map(Option::flatten)
+    }
+
+    /// Like [`WorldEngine::map_reduce`], but each worker threads a mutable
+    /// accumulator through its whole chunk: `init` seeds one accumulator
+    /// per chunk, `fold` absorbs a world into it, `reduce` combines chunk
+    /// accumulators in deterministic chunk order, and `absorbing` allows a
+    /// global early exit once an accumulator can no longer change under
+    /// `reduce`.
+    ///
+    /// `init()` **must be an identity of `reduce`** (`reduce(init(), x) =
+    /// x`): a chunk whose index range is empty, or that observes the
+    /// early-exit flag before its first world, contributes a bare `init()`
+    /// to the reduction, and only an identity keeps the result independent
+    /// of the thread count. (All-`true` masks under conjunction and
+    /// `(true, false)` bit pairs under `(∧, ∨)` are identities; a non-zero
+    /// counter under `+` is not.)
+    ///
+    /// The stateful fold is what lets certainty checks *prune*: a
+    /// candidate already refuted inside a chunk is never re-evaluated for
+    /// that chunk's remaining worlds, matching the seed loop's `retain`
+    /// behaviour while staying thread-count invariant.
+    ///
+    /// Returns `Ok(None)` only when there are zero worlds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `fold` error in deterministic chunk order.
+    pub fn fold_reduce<T, I, F, R, A>(
+        &self,
+        init: I,
+        fold: F,
+        reduce: R,
+        absorbing: A,
+    ) -> Result<Option<T>>
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, &Valuation) -> Result<()> + Sync,
+        R: Fn(T, T) -> T + Sync,
+        A: Fn(&T) -> bool + Sync,
+    {
+        if self.total == 0 {
+            return Ok(None);
         }
-        val
-    })
+        let threads = self.threads.clamp(1, self.total);
+        if threads == 1 {
+            return self
+                .fold_range(0, self.total, &init, &fold, &absorbing, None)
+                .map(Some);
+        }
+        let chunk = self.total.div_ceil(threads);
+        let stop = AtomicBool::new(false);
+        let results: Vec<Result<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let (init, fold, absorbing, stop) = (&init, &fold, &absorbing, &stop);
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(self.total);
+                    scope.spawn(move || self.fold_range(lo, hi, init, fold, absorbing, Some(stop)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("world evaluation worker panicked"))
+                .collect()
+        });
+        let mut acc: Option<T> = None;
+        for chunk_result in results {
+            let value = chunk_result?;
+            acc = Some(match acc {
+                None => value,
+                Some(prev) => reduce(prev, value),
+            });
+        }
+        Ok(acc)
+    }
+
+    /// Fold a contiguous range of world indices into one accumulator.
+    /// `stop` is the shared early-exit flag of a parallel run: it is raised
+    /// when an absorbing value is reached (sound because absorbing values
+    /// survive any further reduction) or on error (the error is still
+    /// reported in chunk order).
+    fn fold_range<T, I, F, A>(
+        &self,
+        lo: usize,
+        hi: usize,
+        init: &I,
+        fold: &F,
+        absorbing: &A,
+        stop: Option<&AtomicBool>,
+    ) -> Result<T>
+    where
+        I: Fn() -> T,
+        F: Fn(&mut T, &Valuation) -> Result<()>,
+        A: Fn(&T) -> bool,
+    {
+        let mut acc = init();
+        for idx in lo..hi {
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) || absorbing(&acc) {
+                break;
+            }
+            let valuation = self.valuation_at(idx);
+            if let Err(e) = fold(&mut acc, &valuation) {
+                if let Some(s) = stop {
+                    s.store(true, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+            if absorbing(&acc) {
+                if let Some(s) = stop {
+                    s.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
+        Ok(acc)
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +472,89 @@ mod tests {
         let spec = exact_pool(&q, &db());
         // 2 database constants + (2 nulls + arity 2) fresh.
         assert_eq!(spec.pool().len(), 6);
+    }
+
+    #[test]
+    fn overflow_surfaces_as_too_many_worlds_not_a_panic() {
+        // 70 nulls over a 3-constant pool: 3^70 overflows usize, so the
+        // count saturates at usize::MAX and the bound check must reject the
+        // enumeration before any iterator is built.
+        let d = database_from_literal([(
+            "R",
+            vec!["a"],
+            (0..70u32).map(|i| tup![Value::null(i)]).collect(),
+        )]);
+        let spec = WorldSpec::new([Const::Int(1), Const::Int(2), Const::Int(3)]);
+        assert_eq!(spec.world_count(&d), usize::MAX);
+        assert!(matches!(
+            spec.check(&d),
+            Err(CertainError::TooManyWorlds {
+                worlds: usize::MAX,
+                ..
+            })
+        ));
+        assert!(matches!(
+            enumerate_worlds(&d, &spec).map(|_| ()),
+            Err(CertainError::TooManyWorlds { .. })
+        ));
+        assert!(matches!(
+            WorldEngine::new(&d, &spec).map(|_| ()),
+            Err(CertainError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn world_engine_visits_every_world_for_any_thread_count() {
+        let d = db();
+        let base = WorldSpec::new([Const::Int(1), Const::Int(2), Const::Int(3)]);
+        for threads in [1usize, 2, 5, 16] {
+            let spec = base.clone().with_threads(threads);
+            let engine = WorldEngine::new(&d, &spec).unwrap();
+            assert_eq!(engine.world_count(), 9);
+            // Count worlds and collect the distinct valuations.
+            let count = engine
+                .map_reduce(|_| Ok(1usize), |a, b| a + b, |_| false)
+                .unwrap()
+                .unwrap();
+            assert_eq!(count, 9, "threads = {threads}");
+            let vals = engine
+                .map_reduce(
+                    |v| Ok(BTreeSet::from([v.to_string()])),
+                    |mut a, b| {
+                        a.extend(b);
+                        a
+                    },
+                    |_| false,
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(vals.len(), 9, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn world_engine_early_exit_preserves_absorbing_result() {
+        let d = db();
+        let spec = WorldSpec::new([Const::Int(1), Const::Int(2), Const::Int(3)]).with_threads(4);
+        let engine = WorldEngine::new(&d, &spec).unwrap();
+        // Conjunction with an always-false map: the absorbing `false` must
+        // come back regardless of which worker reached it first.
+        let out = engine
+            .map_reduce(|_| Ok(false), |a, b| a && b, |b| !*b)
+            .unwrap()
+            .unwrap();
+        assert!(!out);
+    }
+
+    #[test]
+    fn world_engine_zero_worlds_yields_none() {
+        let d = db();
+        let spec = WorldSpec::new([]);
+        let engine = WorldEngine::new(&d, &spec).unwrap();
+        assert_eq!(engine.world_count(), 0);
+        let out = engine
+            .map_reduce(|_| Ok(1usize), |a, b| a + b, |_| false)
+            .unwrap();
+        assert_eq!(out, None);
     }
 }

@@ -184,6 +184,17 @@ impl Cond {
             pool.insert(Const::str(format!("§exact{i}")));
         }
         let pool: Vec<Const> = pool.into_iter().collect();
+        // `all_valuations` saturates its count instead of panicking on
+        // overflow and expects callers to bound-check first: refuse
+        // pathological conditions up front rather than entering an
+        // effectively endless enumeration of wrapped indices.
+        let worlds = certa_data::valuation::count_valuations(nulls.len(), pool.len());
+        assert!(
+            worlds < usize::MAX,
+            "Cond::ground_exact: valuation count overflows ({} nulls over {} constants)",
+            nulls.len(),
+            pool.len()
+        );
         let mut any_true = false;
         let mut any_false = false;
         for v in certa_data::valuation::all_valuations(&nulls, &pool) {
@@ -350,6 +361,18 @@ mod tests {
 
     fn int(i: i64) -> Value {
         Value::int(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "valuation count overflows")]
+    fn ground_exact_rejects_overflowing_valuation_counts() {
+        // ~70 distinct nulls make pool^nulls overflow usize; the exact
+        // grounder must fail fast instead of enumerating wrapped indices.
+        let mut cond = Cond::truth();
+        for i in 0..70u32 {
+            cond = cond.and(Cond::eq(null(i), int(1)));
+        }
+        let _ = cond.ground_exact();
     }
 
     #[test]

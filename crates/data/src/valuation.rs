@@ -176,29 +176,36 @@ impl fmt::Display for Valuation {
 /// This is the finite set `V_k(D)` of §4.3 when `pool` is the first `k`
 /// constants of an enumeration of `Const`. The number of valuations is
 /// `|pool|^|nulls|`, so callers must keep both small; the iterator is lazy.
+/// The count saturates at `usize::MAX` instead of panicking — callers are
+/// expected to bound-check with [`count_valuations`] *before* iterating (the
+/// `certa-certain` crate surfaces the saturated count as its
+/// `TooManyWorlds` error), since a saturated enumeration would be
+/// astronomically long and, past `usize::MAX`, incomplete.
 pub fn all_valuations<'a>(
     nulls: &'a BTreeSet<NullId>,
     pool: &'a [Const],
 ) -> impl Iterator<Item = Valuation> + 'a {
     let nulls: Vec<NullId> = nulls.iter().copied().collect();
-    let n = nulls.len();
-    let k = pool.len();
-    let total: usize = if n == 0 {
-        1
-    } else if k == 0 {
-        0
-    } else {
-        k.checked_pow(n as u32).expect("all_valuations: overflow")
-    };
-    (0..total).map(move |mut idx| {
-        let mut val = Valuation::new();
-        for null in &nulls {
-            let c = pool[idx % k.max(1)].clone();
-            idx /= k.max(1);
-            val.assign(*null, c);
-        }
-        val
-    })
+    let total: usize = count_valuations(nulls.len(), pool.len());
+    (0..total).map(move |idx| valuation_at(&nulls, pool, idx))
+}
+
+/// The valuation at position `idx` of the lexicographic enumeration of all
+/// total valuations of `nulls` (in slice order, least-significant first)
+/// into `pool`.
+///
+/// This is the **single** definition of the enumeration order: the lazy
+/// iterator above and the world engines of `certa-certain` (sequential and
+/// chunked-parallel alike) all decode indices through it, so they can never
+/// drift apart.
+pub fn valuation_at(nulls: &[NullId], pool: &[Const], mut idx: usize) -> Valuation {
+    let k = pool.len().max(1);
+    let mut val = Valuation::new();
+    for null in nulls {
+        val.assign(*null, pool[idx % k].clone());
+        idx /= k;
+    }
+    val
 }
 
 /// Number of total valuations of `nulls` into `pool` (i.e. `|pool|^|nulls|`),
@@ -310,6 +317,17 @@ mod tests {
         let distinct: BTreeSet<String> = vals.iter().map(Valuation::to_string).collect();
         assert_eq!(distinct.len(), 9);
         assert!(vals.iter().all(|v| v.is_total_on(&nulls)));
+    }
+
+    #[test]
+    fn all_valuations_huge_counts_do_not_panic() {
+        // 70 nulls over a 3-constant pool: 3^70 saturates the count.
+        // Building the iterator must not panic — callers bound-check with
+        // `count_valuations` before drawing from it.
+        let nulls: BTreeSet<NullId> = (0..70).collect();
+        let pool = vec![Const::Int(1), Const::Int(2), Const::Int(3)];
+        assert_eq!(count_valuations(nulls.len(), pool.len()), usize::MAX);
+        let _ = all_valuations(&nulls, &pool);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod parser;
 
 pub use ast::{SelectItem, SelectStatement, SqlExpr, TableRef};
 pub use eval::execute;
-pub use lower::lower_to_algebra;
+pub use lower::{lower_to_algebra, lower_to_algebra_3vl, LoweredQuery};
 pub use parser::parse;
 
 /// Errors raised by the SQL front-end.

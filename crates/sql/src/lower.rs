@@ -14,11 +14,33 @@
 //! `IS [NOT] NULL`, and `[NOT] IN (subquery)` where the subquery is itself
 //! lowerable and does not refer to the outer scope. `EXISTS` and general
 //! `NOT` are rejected with [`SqlError::Unsupported`].
+//!
+//! A second entry point, [`lower_to_algebra_3vl`], produces an algebra
+//! expression whose ordinary two-valued (syntactic) evaluation returns
+//! **exactly** the rows SQL's three-valued evaluation keeps — the SQL
+//! semantics is compiled *into* the expression with `const(·)` guards
+//! instead of being restored by a later rewriting. This is the bridge the
+//! differential test suite uses to check [`crate::eval::execute`] against
+//! the relational-algebra engine, and it additionally supports general
+//! `NOT` (via mutual truth/falsity lowering) and a faithful `NOT IN`.
 
 use crate::ast::{ColumnRef, SelectItem, SelectStatement, SqlExpr};
 use crate::{Result, SqlError};
 use certa_algebra::{Condition, Operand, RaExpr};
 use certa_data::Schema;
+
+/// How `WHERE` predicates are translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Textbook (syntactic) lowering: nulls behave as ordinary values when
+    /// the result is evaluated; the approximation schemes restore
+    /// correctness afterwards.
+    Syntactic,
+    /// SQL-faithful lowering: the produced expression's syntactic
+    /// evaluation equals SQL's three-valued evaluation (rows whose `WHERE`
+    /// is *true*).
+    Sql3vl,
+}
 
 /// The result of lowering: an algebra expression plus its output column
 /// names (qualified as `binding.attribute`).
@@ -30,13 +52,40 @@ pub struct LoweredQuery {
     pub columns: Vec<String>,
 }
 
-/// Lower a parsed `SELECT` statement to relational algebra.
+/// Lower a parsed `SELECT` statement to relational algebra (syntactic
+/// lowering: the textbook expression, with nulls behaving as plain values
+/// under evaluation).
 ///
 /// # Errors
 ///
 /// Returns [`SqlError::Unsupported`] for statements outside the lowerable
 /// fragment and name-resolution errors for unknown tables or columns.
 pub fn lower_to_algebra(stmt: &SelectStatement, schema: &Schema) -> Result<LoweredQuery> {
+    lower_with_mode(stmt, schema, Mode::Syntactic)
+}
+
+/// Lower a parsed `SELECT` statement to a *SQL-faithful* relational-algebra
+/// expression: evaluating the result under the engine's two-valued
+/// syntactic semantics returns exactly the distinct rows SQL's three-valued
+/// evaluation keeps (`WHERE` = **true**), on complete *and* incomplete
+/// databases.
+///
+/// Comparisons are guarded with `const(·)` so that any marked null makes
+/// them neither true nor false; `NOT` is lowered by propagating
+/// truth/falsity through the Kleene connectives; `IN` requires a constant
+/// witness on both sides; and `NOT IN` reproduces SQL's rules, including
+/// the empty-subquery and null-element corner cases. The result is
+/// set-valued — SQL's duplicate preservation is the one thing this lowering
+/// does not model.
+///
+/// # Errors
+///
+/// As [`lower_to_algebra`].
+pub fn lower_to_algebra_3vl(stmt: &SelectStatement, schema: &Schema) -> Result<LoweredQuery> {
+    lower_with_mode(stmt, schema, Mode::Sql3vl)
+}
+
+fn lower_with_mode(stmt: &SelectStatement, schema: &Schema, mode: Mode) -> Result<LoweredQuery> {
     // Build the FROM product and the column environment.
     let mut columns: Vec<String> = Vec::new();
     let mut expr: Option<RaExpr> = None;
@@ -57,10 +106,10 @@ pub fn lower_to_algebra(stmt: &SelectStatement, schema: &Schema) -> Result<Lower
 
     // WHERE clause: split into plain conditions and [NOT] IN constraints.
     if let Some(where_clause) = &stmt.where_clause {
-        let (condition, membership) = lower_where(where_clause, &columns, schema)?;
+        let (condition, membership) = lower_where(where_clause, &columns, schema, mode)?;
         expr = expr.select(condition);
         for m in membership {
-            expr = apply_membership(expr, &columns, m, schema)?;
+            expr = apply_membership(expr, &columns, m, mode)?;
         }
     }
 
@@ -135,11 +184,12 @@ fn lower_where(
     expr: &SqlExpr,
     columns: &[String],
     schema: &Schema,
+    mode: Mode,
 ) -> Result<(Condition, Vec<Membership>)> {
     match expr {
         SqlExpr::And(a, b) => {
-            let (ca, mut ma) = lower_where(a, columns, schema)?;
-            let (cb, mb) = lower_where(b, columns, schema)?;
+            let (ca, mut ma) = lower_where(a, columns, schema, mode)?;
+            let (cb, mb) = lower_where(b, columns, schema, mode)?;
             ma.extend(mb);
             Ok((ca.and(cb), ma))
         }
@@ -154,7 +204,7 @@ fn lower_where(
                 ));
             };
             let probe = resolve_column(col, columns)?;
-            let lowered = lower_to_algebra(subquery, schema)?;
+            let lowered = lower_with_mode(subquery, schema, mode)?;
             if lowered.columns.len() != 1 {
                 return Err(SqlError::Unsupported(
                     "IN subquery must return a single column".to_string(),
@@ -169,7 +219,72 @@ fn lower_where(
                 }],
             ))
         }
-        other => Ok((lower_plain_condition(other, columns)?, Vec::new())),
+        other => match mode {
+            Mode::Syntactic => Ok((lower_plain_condition(other, columns)?, Vec::new())),
+            Mode::Sql3vl => Ok((cond_3vl(other, columns, true)?, Vec::new())),
+        },
+    }
+}
+
+/// The condition capturing "SQL's three-valued evaluation of `expr` yields
+/// **true**" (`want_true`), or "… yields **false**" (`!want_true`), under
+/// the engine's two-valued syntactic [`Condition::eval`]. Truth and falsity
+/// are lowered mutually so that `NOT` flips between them, following
+/// Kleene's tables: a conjunction is false when either side is false, a
+/// disjunction is false when both are.
+fn cond_3vl(expr: &SqlExpr, columns: &[String], want_true: bool) -> Result<Condition> {
+    match expr {
+        SqlExpr::Eq(a, b) | SqlExpr::Neq(a, b) => {
+            if matches!(a.as_ref(), SqlExpr::Null) || matches!(b.as_ref(), SqlExpr::Null) {
+                // A comparison with the NULL literal is unknown: never
+                // true and never false.
+                return Ok(Condition::False);
+            }
+            let (x, y) = (lower_operand(a, columns)?, lower_operand(b, columns)?);
+            // Truth of `=` and falsity of `<>` compare for equality;
+            // truth of `<>` and falsity of `=` for disequality. Either way
+            // both operands must be constants, or the comparison is unknown.
+            let equality = matches!(expr, SqlExpr::Eq(..)) == want_true;
+            let mut out = if equality {
+                Condition::Eq(x.clone(), y.clone())
+            } else {
+                Condition::Neq(x.clone(), y.clone())
+            };
+            for op in [&x, &y] {
+                if let Operand::Attr(i) = op {
+                    out = out.and(Condition::IsConst(*i));
+                }
+            }
+            Ok(out)
+        }
+        SqlExpr::And(a, b) => {
+            let ca = cond_3vl(a, columns, want_true)?;
+            let cb = cond_3vl(b, columns, want_true)?;
+            Ok(if want_true { ca.and(cb) } else { ca.or(cb) })
+        }
+        SqlExpr::Or(a, b) => {
+            let ca = cond_3vl(a, columns, want_true)?;
+            let cb = cond_3vl(b, columns, want_true)?;
+            Ok(if want_true { ca.or(cb) } else { ca.and(cb) })
+        }
+        SqlExpr::Not(inner) => cond_3vl(inner, columns, !want_true),
+        SqlExpr::IsNull { expr, negated } => {
+            let SqlExpr::Column(col) = expr.as_ref() else {
+                return Err(SqlError::Unsupported(
+                    "IS NULL applies to columns only".to_string(),
+                ));
+            };
+            let pos = resolve_column(col, columns)?;
+            // IS [NOT] NULL is two-valued, so falsity is plain complement.
+            Ok(if *negated != want_true {
+                Condition::IsNull(pos)
+            } else {
+                Condition::IsConst(pos)
+            })
+        }
+        other => Err(SqlError::Unsupported(format!(
+            "predicate {other:?} cannot be lowered to relational algebra"
+        ))),
     }
 }
 
@@ -212,13 +327,14 @@ fn lower_plain_condition(expr: &SqlExpr, columns: &[String]) -> Result<Condition
 /// Apply a membership constraint: `IN` becomes a semijoin (projection of a
 /// join), `NOT IN` becomes a set difference on the probe column combined
 /// back with a join — both expressed with the paper's core operators.
-fn apply_membership(
-    expr: RaExpr,
-    columns: &[String],
-    m: Membership,
-    _schema: &Schema,
-) -> Result<RaExpr> {
+///
+/// In [`Mode::Sql3vl`] the construction instead reproduces SQL's
+/// three-valued rules exactly (see [`apply_membership_3vl`]).
+fn apply_membership(expr: RaExpr, columns: &[String], m: Membership, mode: Mode) -> Result<RaExpr> {
     let width = columns.len();
+    if mode == Mode::Sql3vl {
+        return Ok(apply_membership_3vl(expr, width, m));
+    }
     let sub = m.subquery.expr;
     if m.negated {
         // Keep rows whose probe column is NOT in the subquery: join the row
@@ -235,6 +351,45 @@ fn apply_membership(
             .product(sub)
             .select(Condition::eq_attr(m.probe, width))
             .project((0..width).collect::<Vec<_>>()))
+    }
+}
+
+/// SQL-faithful `[NOT] IN`. Per the SQL rules, `x IN S` is *true* iff some
+/// element of `S` compares true with `x` — which needs both `x` and the
+/// element to be non-null constants — and `x NOT IN S` is *true* iff every
+/// comparison is false: either `S` is empty (any `x` qualifies, even null),
+/// or `x` is a constant, `S` contains no null, and no element equals `x`.
+fn apply_membership_3vl(expr: RaExpr, width: usize, m: Membership) -> RaExpr {
+    let keep: Vec<usize> = (0..width).collect();
+    let sub = m.subquery.expr;
+    if m.negated {
+        // (a) Empty subquery: every row qualifies regardless of the probe.
+        let empty_sub = expr
+            .clone()
+            .difference(expr.clone().product(sub.clone()).project(keep.clone()));
+        // (b) Constant probe not among the subquery's elements. The
+        //     difference is syntactic, but the anti side holds constants
+        //     only, so no null of `sub` can cancel a row of it.
+        let anti = expr
+            .clone()
+            .select(Condition::IsConst(m.probe))
+            .project(vec![m.probe])
+            .difference(sub.clone());
+        let matched = expr
+            .clone()
+            .product(anti)
+            .select(Condition::eq_attr(m.probe, width))
+            .project(keep.clone());
+        // …and only if the subquery has no null element, which would make
+        // its comparison unknown and the whole NOT IN non-true.
+        let null_element = expr.product(sub.select(Condition::IsNull(0))).project(keep);
+        empty_sub.union(matched.difference(null_element))
+    } else {
+        // A constant witness on both sides of the comparison.
+        let witness = Condition::eq_attr(m.probe, width)
+            .and(Condition::IsConst(m.probe))
+            .and(Condition::IsConst(width));
+        expr.product(sub).select(witness).project(keep)
     }
 }
 
@@ -367,6 +522,98 @@ mod tests {
             lower_to_algebra(&stmt, db.schema()),
             Err(SqlError::Unsupported(_))
         ));
+    }
+
+    /// Assert the 3VL lowering agrees with the direct evaluator on a query.
+    fn check_3vl(db: &Database, sql: &str) {
+        let stmt = parse(sql).unwrap();
+        let direct = crate::eval::execute(&stmt, db).unwrap().to_set();
+        let lowered = lower_to_algebra_3vl(&stmt, db.schema()).unwrap();
+        let algebra = eval(&lowered.expr, db).unwrap();
+        assert_eq!(algebra, direct, "{sql}");
+    }
+
+    #[test]
+    fn faithful_lowering_reproduces_sql_false_negatives() {
+        // §1: with the NULL, SQL's NOT IN returns the empty table; the
+        // syntactic lowering would return o1 and o3.
+        let db = database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![tup!["o1", "Big Data", 30], tup!["o3", "Logic", 50]],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", Value::null(0)]],
+            ),
+        ]);
+        let sql = "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)";
+        check_3vl(&db, sql);
+        let stmt = parse(sql).unwrap();
+        let faithful = lower_to_algebra_3vl(&stmt, db.schema()).unwrap();
+        assert!(eval(&faithful.expr, &db).unwrap().is_empty());
+        let syntactic = lower_to_algebra(&stmt, db.schema()).unwrap();
+        assert_eq!(eval(&syntactic.expr, &db).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn faithful_lowering_tautology_and_negation() {
+        let db = database_from_literal([(
+            "Payments",
+            vec!["cid", "oid"],
+            vec![tup!["c1", "o1"], tup!["c2", Value::null(0)]],
+        )]);
+        // §1's OR-tautology: SQL keeps only c1; so must the lowering.
+        check_3vl(
+            &db,
+            "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'",
+        );
+        // General NOT (rejected by the syntactic lowering) and NULL-literal
+        // comparisons, both three-valued.
+        check_3vl(&db, "SELECT cid FROM Payments WHERE NOT (oid = 'o1')");
+        check_3vl(&db, "SELECT cid FROM Payments WHERE NOT (oid = NULL)");
+        check_3vl(
+            &db,
+            "SELECT cid FROM Payments WHERE NOT (oid <> 'o1' AND cid = 'c2')",
+        );
+        check_3vl(&db, "SELECT cid FROM Payments WHERE oid IS NULL");
+        assert!(matches!(
+            lower_to_algebra(
+                &parse("SELECT cid FROM Payments WHERE NOT (oid = 'o1')").unwrap(),
+                db.schema()
+            ),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn faithful_not_in_corner_cases() {
+        // Empty subquery: NOT IN is true even for a null probe.
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![]),
+        ]);
+        check_3vl(&db, "SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)");
+        let stmt = parse("SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)").unwrap();
+        let lowered = lower_to_algebra_3vl(&stmt, db.schema()).unwrap();
+        assert_eq!(eval(&lowered.expr, &db).unwrap().len(), 2);
+        // Null probe against a non-empty subquery: never kept.
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![tup![2]]),
+        ]);
+        check_3vl(&db, "SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)");
+        check_3vl(&db, "SELECT a FROM R WHERE a IN (SELECT a FROM S)");
+        // Same marked null on both sides: SQL still says unknown, while a
+        // purely syntactic semijoin would match ⊥0 with ⊥0.
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![tup![Value::null(0)]]),
+        ]);
+        check_3vl(&db, "SELECT a FROM R WHERE a IN (SELECT a FROM S)");
+        check_3vl(&db, "SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)");
     }
 
     #[test]

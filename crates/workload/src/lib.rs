@@ -13,12 +13,17 @@
 //!   this substitutes for the TPC Benchmark H data used by the experiments
 //!   the survey reports (see DESIGN.md §1 for the substitution argument);
 //! * [`random`] — random databases and random relational-algebra queries
-//!   for property-based testing and the naïve-evaluation experiments.
+//!   for property-based testing and the naïve-evaluation experiments;
+//! * [`sqlgen`] — random SQL `SELECT` statements inside the fragment shared
+//!   by the direct three-valued evaluator and the SQL-faithful lowering,
+//!   for the cross-crate differential suite.
 
 pub mod random;
 pub mod shop;
+pub mod sqlgen;
 pub mod tpch;
 
 pub use random::{random_database, random_query, RandomDbConfig, RandomQueryConfig};
 pub use shop::{shop_database, ShopQueries};
+pub use sqlgen::{random_sql, RandomSqlConfig};
 pub use tpch::{TpchConfig, TpchGenerator, TpchQuery};
