@@ -14,9 +14,15 @@
 //!   `const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ∨θ | θ∧θ`,
 //!   together with negation-propagation, the `θ*` rewriting of Figure 2 and
 //!   the SQL-style rewriting used by the SQL front-end;
+//! * [`opt`] — the **null-aware logical optimizer**: selection pushdown,
+//!   greedy cardinality-estimated join reordering, dead-column pruning and
+//!   null-dependence clustering, applied before physical planning
+//!   ([`PreparedQuery::prepare_optimized`]);
 //! * [`physical`] — the **annotation-generic physical engine**: one
 //!   operator pipeline (hash join, scan-pushed selection, hash-resolved
-//!   intersection/difference) instantiated over annotation domains;
+//!   intersection/difference) instantiated over annotation domains, plus
+//!   the evaluate-once world split ([`physical::PreparedWorldQuery`]) that
+//!   hoists null-independent subplans out of per-world execution;
 //! * [`eval`] — set-semantics evaluation (nulls treated as plain values,
 //!   i.e. the evaluation underlying naïve evaluation), an adapter over the
 //!   physical engine at [`physical::SetAnn`];
@@ -50,6 +56,7 @@ pub mod eval;
 pub mod expr;
 pub mod fragment;
 pub mod naive;
+pub mod opt;
 pub mod physical;
 pub mod reference;
 
@@ -58,9 +65,10 @@ pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
 pub use naive::naive_eval;
+pub use opt::{optimize, optimize_with, Stats};
 pub use physical::{
-    AnnRel, Annotation, BagAnn, BagValuationSource, OpKind, PhysOp, PreparedQuery, SetAnn, Source,
-    ValuationSource,
+    AnnRel, Annotation, BagAnn, BagValuationSource, OpKind, PhysOp, PreparedQuery,
+    PreparedWorldQuery, SetAnn, Source, ValuationSource,
 };
 
 /// Errors raised while validating or evaluating relational-algebra

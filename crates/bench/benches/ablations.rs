@@ -219,6 +219,114 @@ fn a06_prepared_worlds(c: &mut Criterion) {
     group.finish();
 }
 
+/// a07: the null-aware logical optimizer (selection pushdown, greedy join
+/// reordering, dead-column pruning) and the evaluate-once hoisting of
+/// null-independent subplans, on a 3-way TPC-H-style join quantified over
+/// 1 000 possible worlds.
+///
+/// The query is written the way SQL lowering produces it — one big σ over
+/// `Customer × Orders × Lineitem` — so the unoptimized prepared path
+/// materialises the `Customer × Orders` cross product *in every world*
+/// before hash-joining Lineitem. The optimized path turns both equi
+/// conjuncts into cascaded hash joins; the hoisted path additionally
+/// evaluates the null-free `Orders ⋈ Lineitem` subplan **once** (nulls
+/// live only in Customer) and splices the materialised rows into all 1 000
+/// per-world executions. Workers are pinned to one thread so the ratio
+/// measures the algorithmic saving, not parallelism.
+fn a07_optimizer(c: &mut Criterion) {
+    use certa::algebra::physical::SetSource;
+    use certa::certain::worlds::{WorldEngine, WorldSpec};
+
+    // A complete TPC-H-style instance; 3 distinct nulls injected into
+    // Customer's nationkey column afterwards (Customer is the only
+    // world-variant relation, and the join keys stay null-free).
+    let base = TpchGenerator::new(TpchConfig {
+        customers: 40,
+        orders_per_customer: 2,
+        lineitems_per_order: 2,
+        parts: 12,
+        suppliers: 6,
+        nations: 4,
+        null_rate: 0.0,
+        seed: 7,
+    })
+    .generate();
+    let mut db = base.clone();
+    let customers: Vec<Tuple> = db.relation("Customer").unwrap().iter().cloned().collect();
+    let perturbed = customers.iter().enumerate().map(|(i, t)| {
+        if i < 3 {
+            Tuple::new([t[0].clone(), t[1].clone(), Value::null(i as u32)])
+        } else {
+            t.clone()
+        }
+    });
+    let perturbed: certa::data::Relation = perturbed.collect();
+    db.set_relation("Customer", perturbed).unwrap();
+    assert_eq!(db.nulls().len(), 3);
+
+    // As lowered from SQL: σ over the raw product chain, then a projection.
+    // Layout: Customer #0-#2, Orders #3-#5, Lineitem #6-#9.
+    let query = RaExpr::rel("Customer")
+        .product(RaExpr::rel("Orders"))
+        .product(RaExpr::rel("Lineitem"))
+        .select(
+            Condition::eq_attr(0, 4)
+                .and(Condition::eq_attr(3, 6))
+                .and(Condition::neq_const(9, 0)),
+        )
+        .project(vec![1, 2, 5]);
+
+    // 10-constant pool over 3 nulls: exactly 1 000 possible worlds.
+    let spec = WorldSpec::new((0..10).map(certa::data::Const::Int)).with_threads(1);
+    assert_eq!(spec.world_count(&db), 1000);
+
+    let total_answers = |world_query: &certa::algebra::PreparedWorldQuery,
+                         cache: &[certa::algebra::AnnRel<certa::algebra::physical::SetAnn>]|
+     -> usize {
+        let engine = WorldEngine::new(&db, &spec).unwrap();
+        engine
+            .map_reduce(
+                |v| Ok(world_query.eval_set_world(&db, v, cache)?.len()),
+                |a, b| a + b,
+                |_| false,
+            )
+            .unwrap()
+            .unwrap()
+    };
+
+    let unopt = PreparedQuery::prepare(&query, db.schema()).unwrap();
+    let opt =
+        PreparedQuery::prepare_optimized_with(&query, db.schema(), &Stats::from_database(&db))
+            .unwrap();
+    // "No hoisting" variants: split with a predicate that declares nothing
+    // invariant, so every world re-executes the full plan.
+    let unopt_world = unopt.for_worlds(|_| false);
+    let opt_world = opt.for_worlds(|_| false);
+    let hoisted = opt.for_world_db(&db);
+    let cache = hoisted.materialize(&SetSource(&db)).unwrap();
+    assert!(
+        hoisted.hoisted_count() > 0,
+        "Orders ⋈ Lineitem must hoist: {:?}",
+        hoisted.plan()
+    );
+    // All three paths agree before anything is timed.
+    let expected = total_answers(&unopt_world, &[]);
+    assert_eq!(expected, total_answers(&opt_world, &[]));
+    assert_eq!(expected, total_answers(&hoisted, &cache));
+
+    let mut group = c.benchmark_group("a07_optimizer");
+    group.bench_function("unoptimized_prepared", |b| {
+        b.iter(|| total_answers(&unopt_world, &[]))
+    });
+    group.bench_function("optimized_no_hoist", |b| {
+        b.iter(|| total_answers(&opt_world, &[]))
+    });
+    group.bench_function("optimized_hoisted", |b| {
+        b.iter(|| total_answers(&hoisted, &cache))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     a01_antijoin,
@@ -226,6 +334,7 @@ criterion_group!(
     a03_ctable_conds,
     a04_prob_estimation,
     a05_physical_engine,
-    a06_prepared_worlds
+    a06_prepared_worlds,
+    a07_optimizer
 );
 criterion_main!(benches);

@@ -57,13 +57,14 @@ pub use certa_workload as workload;
 
 pub mod pipeline;
 
-pub use pipeline::{Label, LabeledAnswers, Pipeline, PipelineError, Scheme};
+pub use pipeline::{Explain, Label, LabeledAnswers, Pipeline, PipelineError, Scheme};
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::pipeline::{Label, LabeledAnswers, Pipeline, Scheme};
+    pub use crate::pipeline::{Explain, Label, LabeledAnswers, Pipeline, Scheme};
     pub use certa_algebra::{
-        classify, eval, naive_eval, Condition, Fragment, PreparedQuery, QueryBuilder, RaExpr,
+        classify, eval, naive_eval, optimize, optimize_with, Condition, Fragment, PreparedQuery,
+        PreparedWorldQuery, QueryBuilder, RaExpr, Stats,
     };
     pub use certa_certain::{
         almost_certainly_true, cert_intersection, cert_with_nulls, is_certain_answer,

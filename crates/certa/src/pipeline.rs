@@ -30,7 +30,7 @@
 //! | [`Scheme::Approx51`] | `(Qt, Qf)` of Figure 2(a) | `Certain`, `CertainlyFalse` |
 //! | [`Scheme::CTable`] | conditional tables (§4.2) | `Certain`, `Possible` |
 
-use certa_algebra::{AlgebraError, PreparedQuery};
+use certa_algebra::{optimize, AlgebraError, PreparedQuery, RaExpr};
 use certa_certain::{CertainError, PreparedApproxPair, PreparedTranslationPair};
 use certa_ctables::{eval_conditional, CtError, Strategy};
 use certa_data::{Database, Relation, Schema, Tuple};
@@ -165,6 +165,10 @@ pub type Result<T> = std::result::Result<T, PipelineError>;
 struct CacheEntry {
     schema: Schema,
     lowered: LoweredQuery,
+    /// The lowered expression after the logical optimizer (selection
+    /// pushdown, join reordering, dead-column pruning) — what `plain` and
+    /// the c-table scheme actually execute.
+    optimized: RaExpr,
     plain: PreparedQuery,
     approx37: Option<PreparedApproxPair>,
     approx51: Option<PreparedTranslationPair>,
@@ -205,10 +209,17 @@ impl Pipeline {
             _ => {
                 let stmt = parse(sql)?;
                 let lowered = lower_to_algebra(&stmt, schema)?;
-                let plain = PreparedQuery::prepare(&lowered.expr, schema)?;
+                // The optimizer is on by default: every scheme executes the
+                // rewritten plan. Only schema-level statistics are available
+                // here (the cache is per query/schema, not per instance);
+                // the world-enumerating machinery re-derives null-dependence
+                // from the instance when it hoists.
+                let optimized = optimize(&lowered.expr, schema)?;
+                let plain = PreparedQuery::prepare(&optimized, schema)?;
                 Some(CacheEntry {
                     schema: schema.clone(),
                     lowered,
+                    optimized,
                     plain,
                     approx37: None,
                     approx51: None,
@@ -310,7 +321,7 @@ impl Pipeline {
                 (q_true, (q_false, Label::CertainlyFalse))
             }
             Scheme::CTable(strategy) => {
-                let result = eval_conditional(&entry.lowered.expr, db, strategy)?;
+                let result = eval_conditional(&entry.optimized, db, strategy)?;
                 (result.certain(), (result.possible(), Label::Possible))
             }
         };
@@ -325,6 +336,105 @@ impl Pipeline {
                 .map(|t| (t.clone(), rest_label)),
         );
         Ok(LabeledAnswers { columns, rows })
+    }
+
+    /// Compile `sql` (or reuse the cache) and report what the optimizer and
+    /// the world-evaluation split did with it: the lowered expression
+    /// before and after rewriting, the physical plan, the subplans hoisted
+    /// as world-invariant **for this database instance**, and the plan
+    /// cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed SQL or ill-formed lowered queries.
+    pub fn explain(&mut self, sql: &str, db: &Database) -> Result<Explain> {
+        let entry = self.entry(sql, db.schema())?;
+        let world = entry.plain.for_world_db(db);
+        let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
+        let (hits, misses) = (self.hits, self.misses);
+        let entry = self.cache.get(sql).expect("entry just compiled");
+        Ok(Explain {
+            sql: sql.to_string(),
+            columns: entry.lowered.columns.clone(),
+            logical_before: entry.lowered.expr.to_string(),
+            logical_after: entry.optimized.to_string(),
+            physical: entry.plain.plan().to_string(),
+            hoisted: world
+                .hoisted_plans()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            fully_invariant: world.fully_invariant(),
+            worlds: spec.world_count(db),
+            cache_hits: hits,
+            cache_misses: misses,
+        })
+    }
+}
+
+/// The report produced by [`Pipeline::explain`]: how a query reaches the
+/// engine, and which parts of it are evaluated once rather than per world.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The SQL text.
+    pub sql: String,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// The lowered relational-algebra expression, as written.
+    pub logical_before: String,
+    /// The expression after the null-aware logical optimizer.
+    pub logical_after: String,
+    /// The physical plan (hash joins, scan-pushed filters) actually cached.
+    pub physical: String,
+    /// Rendered world-invariant subplans hoisted for the given database:
+    /// each is evaluated once and spliced into every per-world execution.
+    pub hoisted: Vec<String>,
+    /// `true` when the *entire* plan is world-invariant on this database.
+    pub fully_invariant: bool,
+    /// Possible worlds an exact evaluation would enumerate on this database.
+    pub worlds: usize,
+    /// Plan-cache hits so far.
+    pub cache_hits: usize,
+    /// Plan-cache misses (compilations) so far.
+    pub cache_misses: usize,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.sql)?;
+        writeln!(f, "columns: {:?}", self.columns)?;
+        writeln!(f, "logical (as lowered):  {}", self.logical_before)?;
+        writeln!(f, "logical (optimized):   {}", self.logical_after)?;
+        writeln!(f, "physical plan:")?;
+        for line in self.physical.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "worlds to enumerate (exact scheme): {}", self.worlds)?;
+        if self.hoisted.is_empty() {
+            writeln!(f, "hoisted world-invariant subplans: none")?;
+        } else {
+            writeln!(
+                f,
+                "hoisted world-invariant subplans ({}{}):",
+                self.hoisted.len(),
+                if self.fully_invariant {
+                    ", whole plan"
+                } else {
+                    ""
+                }
+            )?;
+            for (i, sub) in self.hoisted.iter().enumerate() {
+                writeln!(f, "  slot #{i} — evaluated once, shared by all worlds:")?;
+                for line in sub.lines() {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+        }
+        write!(
+            f,
+            "plan cache: {} hit(s), {} miss(es)",
+            self.cache_hits, self.cache_misses
+        )
     }
 }
 

@@ -25,7 +25,10 @@ pub struct ApproxPair {
 
 impl ApproxPair {
     /// Compile both translations once for repeated evaluation (the
-    /// `certa::Pipeline` caches the result per query/schema).
+    /// `certa::Pipeline` caches the result per query/schema). The logical
+    /// optimizer runs over both translations first — the `⋉⇑` introduced
+    /// for differences acts as a rewrite barrier, but the join clusters
+    /// around it still reorder and prune.
     ///
     /// # Errors
     ///
@@ -34,8 +37,8 @@ impl ApproxPair {
     /// schema).
     pub fn prepare(&self, schema: &Schema) -> Result<PreparedApproxPair> {
         Ok(PreparedApproxPair {
-            q_plus: PreparedQuery::prepare(&self.q_plus, schema)?,
-            q_question: PreparedQuery::prepare(&self.q_question, schema)?,
+            q_plus: PreparedQuery::prepare_optimized(&self.q_plus, schema)?,
+            q_question: PreparedQuery::prepare_optimized(&self.q_question, schema)?,
         })
     }
 }

@@ -22,7 +22,10 @@ pub struct TranslationPair {
 }
 
 impl TranslationPair {
-    /// Compile both translations once for repeated evaluation.
+    /// Compile both translations once for repeated evaluation, running the
+    /// logical optimizer over each (the `Domᵏ` powers of `Qf` are rewrite
+    /// barriers, but selections still push below the anti-semijoins'
+    /// operands and dead columns are pruned).
     ///
     /// # Errors
     ///
@@ -31,8 +34,8 @@ impl TranslationPair {
     /// schema).
     pub fn prepare(&self, schema: &Schema) -> Result<PreparedTranslationPair> {
         Ok(PreparedTranslationPair {
-            q_true: PreparedQuery::prepare(&self.q_true, schema)?,
-            q_false: PreparedQuery::prepare(&self.q_false, schema)?,
+            q_true: PreparedQuery::prepare_optimized(&self.q_true, schema)?,
+            q_false: PreparedQuery::prepare_optimized(&self.q_false, schema)?,
         })
     }
 }

@@ -15,11 +15,71 @@
 //! re-planning), and the valuation space is chunked across worker threads
 //! by [`crate::worlds::WorldEngine`]. The seed's replan-per-world loops
 //! survive in [`crate::reference`] as oracles.
+//!
+//! Since the optimizer refactor the per-batch compilation goes further:
+//! the query is rewritten by the **null-aware logical optimizer**
+//! ([`certa_algebra::opt`]) with statistics read off the instance
+//! (cardinalities + which relations actually hold nulls, so the join order
+//! clusters null-free relations), and the prepared plan is split on
+//! null-dependence: maximal subplans that read only complete relations are
+//! evaluated **once** ([`WorldBatch`]) and the materialised rows are
+//! spliced into every per-world execution.
 
 use crate::worlds::{exact_pool, WorldEngine, WorldSpec};
 use crate::Result;
-use certa_algebra::{naive_eval, PreparedQuery, RaExpr};
+use certa_algebra::physical::SetSource;
+use certa_algebra::{
+    naive_eval, AnnRel, PreparedQuery, PreparedWorldQuery, RaExpr, SetAnn, Stats, ValuationSource,
+};
 use certa_data::{Database, Relation, Tuple, Valuation};
+
+/// Everything a world batch needs per `(query, database)` pair: the
+/// optimised plan split on null-dependence, plus the materialised
+/// world-invariant cache. Built once per batch; shared read-only across the
+/// [`WorldEngine`]'s worker threads.
+pub(crate) struct WorldBatch<'a> {
+    db: &'a Database,
+    query: PreparedWorldQuery,
+    cache: Vec<AnnRel<SetAnn>>,
+}
+
+impl<'a> WorldBatch<'a> {
+    /// Optimize (with instance statistics), plan, split and materialise.
+    pub(crate) fn compile(query: &RaExpr, db: &'a Database) -> Result<WorldBatch<'a>> {
+        let stats = Stats::from_database(db);
+        let prepared = PreparedQuery::prepare_optimized_with(query, db.schema(), &stats)?;
+        Self::from_prepared(&prepared, db)
+    }
+
+    /// Split and materialise an already-prepared plan (used by callers that
+    /// cache the [`PreparedQuery`], like `certa::Pipeline`).
+    pub(crate) fn from_prepared(
+        prepared: &PreparedQuery,
+        db: &'a Database,
+    ) -> Result<WorldBatch<'a>> {
+        let query = prepared.for_world_db(db);
+        let cache = query.materialize(&SetSource(db))?;
+        Ok(WorldBatch { db, query, cache })
+    }
+
+    /// The engine rows of the query on the world `v(D)`, with hoisted
+    /// subplans spliced from the cache — no world is materialised.
+    fn rows(&self, v: &Valuation) -> Result<AnnRel<SetAnn>> {
+        Ok(self
+            .query
+            .execute_on(&ValuationSource::new(self.db, v), &self.cache)?)
+    }
+
+    /// The answer relation on the world `v(D)`.
+    pub(crate) fn answer(&self, v: &Valuation) -> Result<Relation> {
+        Ok(self.query.eval_set_world(self.db, v, &self.cache)?)
+    }
+
+    /// The output arity.
+    fn arity(&self) -> usize {
+        self.query.arity()
+    }
+}
 
 /// Intersection-based certain answers (Definition 3.7):
 /// `cert∩(Q, D) = ⋂_{D' ∈ ⟦D⟧} Q(D')`.
@@ -41,14 +101,14 @@ pub fn cert_intersection(query: &RaExpr, db: &Database) -> Result<Relation> {
 ///
 /// As [`cert_intersection`].
 pub fn cert_intersection_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let batch = WorldBatch::compile(query, db)?;
     let engine = WorldEngine::new(db, spec)?;
     let out = engine.map_reduce(
-        |v| Ok(prepared.eval_set_world(db, v)?),
+        |v| batch.answer(v),
         |acc, answer| acc.intersection(&answer),
         Relation::is_empty,
     )?;
-    Ok(out.unwrap_or_else(|| Relation::empty(prepared.arity())))
+    Ok(out.unwrap_or_else(|| Relation::empty(batch.arity())))
 }
 
 /// Certain answers with nulls (Definition 3.9, cwa form):
@@ -73,8 +133,8 @@ pub fn cert_with_nulls(query: &RaExpr, db: &Database) -> Result<Relation> {
 pub fn cert_with_nulls_with(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<Relation> {
     let candidates = naive_eval(query, db)?;
     let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
-    let mask = survivors_mask(&prepared, db, spec, &tuples, true)?;
+    let batch = WorldBatch::compile(query, db)?;
+    let mask = survivors_mask(&batch, spec, &tuples, true)?;
     Ok(Relation::with_arity(
         candidates.arity(),
         tuples
@@ -94,18 +154,7 @@ pub struct CandidateStatus {
     pub possible: bool,
 }
 
-/// The answer of the prepared query on the world `v(D)`, evaluated
-/// zero-copy and kept as engine rows — no per-world [`Relation`] is
-/// materialised. Probe it with [`world_hit`].
-fn world_rows(
-    prepared: &PreparedQuery,
-    db: &Database,
-    v: &Valuation,
-) -> Result<certa_algebra::AnnRel<certa_algebra::SetAnn>> {
-    Ok(prepared.execute_on(&certa_algebra::ValuationSource::new(db, v))?)
-}
-
-/// Whether `v(t̄)` is in a world's answer (as hashed [`world_rows`]).
+/// Whether `v(t̄)` is in a world's answer (as hashed [`WorldBatch::rows`]).
 /// Null-free candidates are probed without applying the valuation. This is
 /// the **single** definition of the candidate probe shared by every
 /// world-batch certainty check, so the certain/possible verdicts can never
@@ -139,12 +188,13 @@ pub fn classify_candidates(
     spec: &WorldSpec,
     tuples: &[Tuple],
 ) -> Result<Vec<CandidateStatus>> {
+    let batch = WorldBatch::from_prepared(prepared, db)?;
     let engine = WorldEngine::new(db, spec)?;
     // Accumulator bit pairs: (in every world so far, in some world so far).
     let out = engine.fold_reduce(
         || vec![(true, false); tuples.len()],
         |acc: &mut Vec<(bool, bool)>, v: &Valuation| {
-            let rows = world_rows(prepared, db, v)?;
+            let rows = batch.rows(v)?;
             let answer = rows.rows().iter().map(|(t, _)| t).collect();
             for ((always, ever), t) in acc.iter_mut().zip(tuples) {
                 if !*always && *ever {
@@ -187,17 +237,16 @@ pub fn classify_candidates(
 /// no per-world [`Relation`] is materialised, and null-free candidates are
 /// probed without applying the valuation.
 fn survivors_mask(
-    prepared: &PreparedQuery,
-    db: &Database,
+    batch: &WorldBatch<'_>,
     spec: &WorldSpec,
     tuples: &[Tuple],
     in_answer: bool,
 ) -> Result<Vec<bool>> {
-    let engine = WorldEngine::new(db, spec)?;
+    let engine = WorldEngine::new(batch.db, spec)?;
     let mask = engine.fold_reduce(
         || vec![true; tuples.len()],
         |mask: &mut Vec<bool>, v: &Valuation| {
-            let rows = world_rows(prepared, db, v)?;
+            let rows = batch.rows(v)?;
             let answer = rows.rows().iter().map(|(t, _)| t).collect();
             for (keep, t) in mask.iter_mut().zip(tuples) {
                 if !*keep {
@@ -225,8 +274,8 @@ fn survivors_mask(
 /// As [`cert_with_nulls`].
 pub fn is_certain_answer(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
     let spec = exact_pool(query, db);
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
-    let mask = survivors_mask(&prepared, db, &spec, std::slice::from_ref(tuple), true)?;
+    let batch = WorldBatch::compile(query, db)?;
+    let mask = survivors_mask(&batch, &spec, std::slice::from_ref(tuple), true)?;
     Ok(mask[0])
 }
 
@@ -239,8 +288,8 @@ pub fn is_certain_answer(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result
 /// As [`cert_with_nulls`].
 pub fn is_certainly_false(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<bool> {
     let spec = exact_pool(query, db);
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
-    let mask = survivors_mask(&prepared, db, &spec, std::slice::from_ref(tuple), false)?;
+    let batch = WorldBatch::compile(query, db)?;
+    let mask = survivors_mask(&batch, &spec, std::slice::from_ref(tuple), false)?;
     Ok(mask[0])
 }
 
@@ -256,9 +305,9 @@ pub fn certainly_false_among(
     candidates: &Relation,
 ) -> Result<Relation> {
     let spec = exact_pool(query, db);
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let batch = WorldBatch::compile(query, db)?;
     let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
-    let mask = survivors_mask(&prepared, db, &spec, &tuples, false)?;
+    let mask = survivors_mask(&batch, &spec, &tuples, false)?;
     Ok(Relation::with_arity(
         candidates.arity(),
         tuples

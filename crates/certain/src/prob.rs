@@ -77,9 +77,11 @@ pub fn canonical_pool(query: &RaExpr, db: &Database, k: usize) -> Vec<Const> {
 /// Exact `µ_k(Q, D, ā)`: the fraction of valuations with range in the first
 /// `k` constants that witness `ā` being an answer.
 ///
-/// The query is prepared once and each valuation is evaluated zero-copy
-/// through a [`certa_algebra::ValuationSource`], with the valuation space
-/// chunked across worker threads — no possible world is materialised.
+/// The query is optimised (null-aware, with instance statistics) and
+/// prepared once, its null-independent subplans are materialised a single
+/// time, and each valuation is evaluated zero-copy through a
+/// [`certa_algebra::ValuationSource`], with the valuation space chunked
+/// across worker threads — no possible world is materialised.
 ///
 /// # Errors
 ///
@@ -87,11 +89,11 @@ pub fn canonical_pool(query: &RaExpr, db: &Database, k: usize) -> Vec<Const> {
 /// exceeds the default world bound.
 pub fn mu_k(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fraction> {
     let spec = WorldSpec::new(canonical_pool(query, db, k));
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let batch = crate::cert::WorldBatch::compile(query, db)?;
     let engine = WorldEngine::new(db, &spec)?;
     let counts = engine.map_reduce(
         |v| {
-            let answer = prepared.eval_set_world(db, v)?;
+            let answer = batch.answer(v)?;
             Ok((usize::from(answer.contains(&v.apply_tuple(tuple))), 1usize))
         },
         |(n1, d1), (n2, d2)| (n1 + n2, d1 + d2),
@@ -124,7 +126,8 @@ pub fn mu_k_conditional(
     sigma: impl Fn(&Database) -> bool + Sync,
 ) -> Result<Fraction> {
     let spec = WorldSpec::new(canonical_pool(query, db, k));
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let stats = certa_algebra::Stats::from_database(db);
+    let prepared = PreparedQuery::prepare_optimized_with(query, db.schema(), &stats)?;
     let engine = WorldEngine::new(db, &spec)?;
     let counts = engine.map_reduce(
         |v| {
@@ -178,7 +181,7 @@ pub fn mu_k_sampled(
     samples: usize,
     rng: &mut impl Rng,
 ) -> Result<Fraction> {
-    let prepared = PreparedQuery::prepare(query, db.schema())?;
+    let batch = crate::cert::WorldBatch::compile(query, db)?;
     let pool = canonical_pool(query, db, k);
     let nulls: Vec<_> = db.nulls().into_iter().collect();
     let mut numerator = 0usize;
@@ -196,10 +199,7 @@ pub fn mu_k_sampled(
             }
         }
         denominator += 1;
-        if prepared
-            .eval_set_world(db, &v)?
-            .contains(&v.apply_tuple(tuple))
-        {
+        if batch.answer(&v)?.contains(&v.apply_tuple(tuple)) {
             numerator += 1;
         }
     }

@@ -8,7 +8,12 @@
 //! SQL text to the algebra expression a textbook would give — so the
 //! three-valued behaviour of SQL is **not** baked in: evaluating the lowered
 //! expression naïvely corresponds to treating nulls as values, and it is the
-//! job of the rewritings to restore correctness guarantees.
+//! job of the rewritings to restore correctness guarantees. Performance
+//! shaping (selection pushdown, join ordering, column pruning) is likewise
+//! *not* this module's job: the lowering emits the plain
+//! `π(σ(R₁ × … × Rₙ))` shape and leaves the rest to the null-aware logical
+//! optimizer in `certa_algebra::opt`, which every prepared path runs by
+//! default.
 //!
 //! Supported: `SELECT` / `FROM` / `WHERE` with comparisons, `AND`, `OR`,
 //! `IS [NOT] NULL`, and `[NOT] IN (subquery)` where the subquery is itself
@@ -105,9 +110,16 @@ fn lower_with_mode(stmt: &SelectStatement, schema: &Schema, mode: Mode) -> Resul
     let mut expr = expr.ok_or_else(|| SqlError::Parse("empty FROM clause".to_string()))?;
 
     // WHERE clause: split into plain conditions and [NOT] IN constraints.
+    // The lowering stays deliberately textbook — one selection over the
+    // FROM product — because the logical optimizer (`certa_algebra::opt`)
+    // owns pushdown, join ordering and column pruning; the only shaping
+    // done here is not emitting a vacuous σ_⊤ node when the WHERE clause
+    // consists of membership constraints alone.
     if let Some(where_clause) = &stmt.where_clause {
         let (condition, membership) = lower_where(where_clause, &columns, schema, mode)?;
-        expr = expr.select(condition);
+        if condition != Condition::True {
+            expr = expr.select(condition);
+        }
         for m in membership {
             expr = apply_membership(expr, &columns, m, mode)?;
         }

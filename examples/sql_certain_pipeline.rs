@@ -2,8 +2,10 @@
 //!
 //! Runs the introduction's unpaid-orders query over the Figure 1 shop
 //! database (with its NULL perturbation) under every evaluation scheme the
-//! pipeline offers, showing how each labels the answers — and how the
-//! compiled plan is reused across requests.
+//! pipeline offers, showing how each labels the answers, how the compiled
+//! plan is reused across requests, and — via `Pipeline::explain` — what the
+//! null-aware optimizer rewrote and which subplans it evaluates once
+//! instead of once per possible world.
 //!
 //! Run with: `cargo run --example sql_certain_pipeline`
 
@@ -29,6 +31,14 @@ fn main() {
     println!("query: {sql}\n");
 
     let mut pipeline = Pipeline::new();
+
+    // What the optimizer did with the query, and which subplans are
+    // world-invariant on this database (evaluated once, shared by every
+    // possible world). Orders is null-free here, so the anti-join's
+    // subquery side hoists; the Payments scan, which carries the ⊥, stays
+    // in the per-world plan.
+    let explain = pipeline.explain(sql, &db).expect("explain");
+    println!("{explain}\n");
 
     // Plain evaluation treats the null as a value: o2 and o3 look unpaid.
     let naive = pipeline.query(sql, &db).expect("plain evaluation");
