@@ -110,6 +110,19 @@ impl Stats {
         self.with_nulls.contains(name)
     }
 
+    /// The relations known to contain marked nulls, in name order. The
+    /// lineage subsystem seeds its variable-ordering heuristics with this:
+    /// nulls hosted by the same relation tend to co-occur in compiled
+    /// conditions, so they are kept adjacent in the diagram order.
+    pub fn null_relations(&self) -> impl Iterator<Item = &str> {
+        self.with_nulls.iter().map(String::as_str)
+    }
+
+    /// The recorded cardinality of a relation, if the statistics know it.
+    pub fn cardinality(&self, name: &str) -> Option<usize> {
+        self.cards.get(name).copied()
+    }
+
     /// Whether the expression depends on any null-bearing relation (or on
     /// the active domain, which varies with the valuation). This is the
     /// null-dependence test the leaf ordering uses; the physical layer

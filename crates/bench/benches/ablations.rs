@@ -327,6 +327,118 @@ fn a07_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
+/// a08: the symbolic lineage backend (c-table conditions compiled into
+/// decision diagrams, certainty = validity, µ_k = exact model count)
+/// versus prepared/parallel world enumeration, on the two regimes that
+/// matter:
+///
+/// * **Feasible but slow** — 10 independent nulls over a 4-constant pool
+///   (2^20 ≈ 1M worlds): the single-threaded enumeration takes seconds,
+///   the lineage batch answers the same cert/µ_k queries from one
+///   compiled diagram set in well under a millisecond.
+/// * **Beyond enumeration** — 32 independent nulls (2^64 worlds): the
+///   engines refuse with `TooManyWorlds` before doing any work, while the
+///   lineage backend still answers exactly (the setup asserts both).
+///
+/// Under `cargo test` (bench bodies run once) the slow regime shrinks to
+/// 4 nulls so the smoke run stays fast; `cargo bench` measures the full
+/// configuration.
+fn a08_lineage(c: &mut Criterion) {
+    use certa::certain::cert::{cert_with_nulls_lineage_with, cert_with_nulls_with};
+    use certa::certain::worlds::WorldSpec;
+    use certa::certain::{prob, CertainError};
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    // This group's benchmark names, used both for registration below and
+    // for the setup gate (so the two can never drift apart): the setup
+    // runs two full million-world enumerations as agreement checks, and
+    // must be skipped entirely when the harness's own filter predicate
+    // (`Criterion::matches`, which only covers the measured bodies, not
+    // setup) selects none of this group's benchmarks.
+    const GROUP: &str = "a08_lineage";
+    const ENUMERATION_CERT: &str = "enumeration_cert_1M_worlds";
+    const LINEAGE_CERT: &str = "lineage_cert_1M_worlds";
+    const ENUMERATION_MU: &str = "enumeration_mu_k4";
+    const LINEAGE_MU: &str = "lineage_mu_k4";
+    const LINEAGE_CERT_BIG: &str = "lineage_cert_32_nulls_beyond_enumeration";
+    const LINEAGE_MU_BIG: &str = "lineage_mu_32_nulls_beyond_enumeration";
+    let names = [
+        ENUMERATION_CERT,
+        LINEAGE_CERT,
+        ENUMERATION_MU,
+        LINEAGE_MU,
+        LINEAGE_CERT_BIG,
+        LINEAGE_MU_BIG,
+    ];
+    if !names.iter().any(|n| c.matches(&format!("{GROUP}/{n}"))) {
+        return;
+    }
+    let build = |nulls: u32| -> (Database, RaExpr) {
+        // R = {⊥0 … ⊥n−1, 0, 1}, S = {1}, Q = R − S: the null candidates
+        // are possible-but-uncertain (⊥ᵢ could be 1), the constant 0 is
+        // certain — so the certainty sweep can never exit early and must
+        // decide the whole valuation space, by enumeration or symbolically.
+        let mut rows: Vec<Tuple> = (0..nulls).map(|i| tup![Value::null(i)]).collect();
+        rows.push(tup![0]);
+        rows.push(tup![1]);
+        let db = database_from_literal([("R", vec!["a"], rows), ("S", vec!["a"], vec![tup![1]])]);
+        (db, RaExpr::rel("R").difference(RaExpr::rel("S")))
+    };
+
+    // Regime 1: enumeration feasible but slow. Workers pinned to one
+    // thread so the ratio measures the algorithmic saving.
+    let slow_nulls: u32 = if test_mode { 4 } else { 10 };
+    let (db, query) = build(slow_nulls);
+    let spec = WorldSpec::new((0..4i64).map(certa::data::Const::Int)).with_threads(1);
+    assert_eq!(spec.world_count(&db), 4usize.pow(slow_nulls));
+    // Both backends agree before anything is timed.
+    let by_worlds = cert_with_nulls_with(&query, &db, &spec).unwrap();
+    let by_lineage = cert_with_nulls_lineage_with(&query, &db, &spec).unwrap();
+    assert_eq!(by_worlds, by_lineage);
+    assert!(by_lineage.contains(&tup![0]));
+    let mu_worlds = prob::mu_k(&query, &db, &tup![0], 4).unwrap();
+    let mu_lineage = prob::mu_k_lineage(&query, &db, &tup![0], 4).unwrap();
+    assert_eq!(mu_worlds, mu_lineage);
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function(ENUMERATION_CERT, |b| {
+        b.iter(|| cert_with_nulls_with(&query, &db, &spec).unwrap())
+    });
+    group.bench_function(LINEAGE_CERT, |b| {
+        b.iter(|| cert_with_nulls_lineage_with(&query, &db, &spec).unwrap())
+    });
+    group.bench_function(ENUMERATION_MU, |b| {
+        b.iter(|| prob::mu_k(&query, &db, &tup![0], 4).unwrap())
+    });
+    group.bench_function(LINEAGE_MU, |b| {
+        b.iter(|| prob::mu_k_lineage(&query, &db, &tup![0], 4).unwrap())
+    });
+
+    // Regime 2: beyond enumeration entirely — 32 independent nulls are
+    // 2^64 worlds over this pool; the engines must refuse and the lineage
+    // backend must still answer (µ with an exact 2^64 denominator).
+    let (big_db, big_query) = build(32);
+    let big_spec = WorldSpec::new((0..4i64).map(certa::data::Const::Int)).with_threads(1);
+    assert!(matches!(
+        cert_with_nulls_with(&big_query, &big_db, &big_spec),
+        Err(CertainError::TooManyWorlds { .. })
+    ));
+    assert!(matches!(
+        prob::mu_k(&big_query, &big_db, &tup![0], 4),
+        Err(CertainError::TooManyWorlds { .. })
+    ));
+    let frac = prob::mu_k_lineage(&big_query, &big_db, &tup![0], 4).unwrap();
+    assert_eq!(frac.denominator, 1u128 << 64);
+    assert_eq!(frac.as_f64(), 1.0);
+    group.bench_function(LINEAGE_CERT_BIG, |b| {
+        b.iter(|| cert_with_nulls_lineage_with(&big_query, &big_db, &big_spec).unwrap())
+    });
+    group.bench_function(LINEAGE_MU_BIG, |b| {
+        b.iter(|| prob::mu_k_lineage(&big_query, &big_db, &tup![0], 4).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     a01_antijoin,
@@ -335,6 +447,7 @@ criterion_group!(
     a04_prob_estimation,
     a05_physical_engine,
     a06_prepared_worlds,
-    a07_optimizer
+    a07_optimizer,
+    a08_lineage
 );
 criterion_main!(benches);

@@ -51,30 +51,37 @@ pub use certa_algebra as algebra;
 pub use certa_certain as certain;
 pub use certa_ctables as ctables;
 pub use certa_data as data;
+pub use certa_lineage as lineage;
 pub use certa_logic as logic;
 pub use certa_sql as sql;
 pub use certa_workload as workload;
 
 pub mod pipeline;
 
-pub use pipeline::{Explain, Label, LabeledAnswers, Pipeline, PipelineError, Scheme};
+pub use pipeline::{
+    Backend, BackendChoice, Explain, Label, LabeledAnswers, Pipeline, PipelineError, Scheme,
+};
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::pipeline::{Explain, Label, LabeledAnswers, Pipeline, Scheme};
+    pub use crate::pipeline::{
+        Backend, BackendChoice, Explain, Label, LabeledAnswers, Pipeline, Scheme,
+    };
     pub use certa_algebra::{
         classify, eval, naive_eval, optimize, optimize_with, Condition, Fragment, PreparedQuery,
         PreparedWorldQuery, QueryBuilder, RaExpr, Stats,
     };
     pub use certa_certain::{
-        almost_certainly_true, cert_intersection, cert_with_nulls, is_certain_answer,
-        is_certainly_false, mu_k, q_false, q_plus, q_question, q_true, AnswerQuality,
+        almost_certainly_true, cert_intersection, cert_with_nulls, cert_with_nulls_lineage,
+        is_certain_answer, is_certainly_false, mu_k, mu_k_lineage, q_false, q_plus, q_question,
+        q_true, AnswerQuality,
     };
     pub use certa_ctables::{eval_conditional, Strategy};
     pub use certa_data::{
         database_from_literal, tup, BagRelation, Const, Database, Relation, Schema, Tuple,
         Valuation, Value,
     };
+    pub use certa_lineage::{BagLineageBatch, LineageBatch};
     pub use certa_logic::{
         eval_formula, query_answers, Assignment, AtomSemantics, Formula, Term, Truth3,
     };

@@ -56,6 +56,93 @@ pub enum Scheme {
     CTable(Strategy),
 }
 
+/// Which machinery decides the [`Scheme::Exact`] labels for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Prepared/parallel possible-world enumeration — exact and cheap when
+    /// the valuation space is small.
+    WorldEnumeration,
+    /// Symbolic lineage: c-table conditions compiled into decision
+    /// diagrams; certainty/possibility/counting read off the canonical
+    /// form without visiting a single world.
+    Lineage,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::WorldEnumeration => write!(f, "world enumeration"),
+            Backend::Lineage => write!(f, "lineage (knowledge compilation)"),
+        }
+    }
+}
+
+/// World count above which [`Scheme::Exact`] switches from enumeration to
+/// the lineage backend: enumerating a few thousand worlds through the
+/// prepared/parallel engine is cheaper than compiling diagrams; beyond
+/// that the symbolic cost (polynomial in diagram sizes) wins, and past the
+/// world *bound* it is the only option at all.
+pub const LINEAGE_WORLD_THRESHOLD: usize = 4096;
+
+/// The dispatcher's verdict for one `(query, database)` instance, reported
+/// by [`Pipeline::explain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendChoice {
+    /// The backend [`Scheme::Exact`] will use (before any unsupported-
+    /// fragment fallback).
+    pub backend: Backend,
+    /// Why: the inputs of the cost decision, in words.
+    pub reason: String,
+    /// Distinct marked nulls in the instance.
+    pub nulls: usize,
+    /// Size of the exact constant pool (each null's domain).
+    pub pool: usize,
+    /// Possible worlds an enumeration would visit (`pool^nulls`,
+    /// saturating at `usize::MAX`).
+    pub worlds: usize,
+    /// Total diagram nodes after compiling the instance's lineage — only
+    /// measured by [`Pipeline::explain`], and only when the lineage
+    /// backend is selected and supports the query.
+    pub diagram_nodes: Option<usize>,
+}
+
+fn choose_exact_backend(spec: &certa_certain::WorldSpec, db: &Database) -> BackendChoice {
+    let nulls = db.nulls().len();
+    let pool = spec.pool().len();
+    let worlds = spec.world_count(db);
+    let (backend, reason) = if worlds <= LINEAGE_WORLD_THRESHOLD {
+        (
+            Backend::WorldEnumeration,
+            format!(
+                "{worlds} world(s) ({nulls} null(s) over a {pool}-constant pool) \
+                 is within the enumeration threshold of {LINEAGE_WORLD_THRESHOLD}"
+            ),
+        )
+    } else {
+        let worlds_txt = if worlds == usize::MAX {
+            "≥ usize::MAX worlds".to_string()
+        } else {
+            format!("{worlds} worlds")
+        };
+        (
+            Backend::Lineage,
+            format!(
+                "{worlds_txt} ({nulls} null(s) over a {pool}-constant pool) \
+                 exceeds the enumeration threshold of {LINEAGE_WORLD_THRESHOLD}; \
+                 compiling lineage diagrams instead"
+            ),
+        )
+    };
+    BackendChoice {
+        backend,
+        reason,
+        nulls,
+        pool,
+        worlds,
+        diagram_nodes: None,
+    }
+}
+
 /// The certainty label attached to an answer tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Label {
@@ -268,16 +355,50 @@ impl Pipeline {
         let columns = entry.lowered.columns.clone();
         let (certain, second) = match scheme {
             Scheme::Exact => {
-                // One pass over the worlds with the cached prepared plan
-                // classifies every naïve candidate as certain, possible, or
-                // certainly false — nothing is re-planned per request.
-                // (Candidates outside the naïve evaluation are not
-                // enumerated; for the generic fragment, cert⊥ ⊆ Qⁿᵃⁱᵛᵉ.)
+                // One pass classifies every naïve candidate as certain,
+                // possible, or certainly false. (Candidates outside the
+                // naïve evaluation are not enumerated; for the generic
+                // fragment, cert⊥ ⊆ Qⁿᵃⁱᵛᵉ.)
+                //
+                // The backend is picked per instance by cost: few worlds
+                // run the prepared/parallel world enumeration through the
+                // cached plan (nothing re-planned per request); beyond the
+                // threshold the symbolic lineage backend evaluates the
+                // cached optimized expression over c-tables — a
+                // per-instance compilation by nature (diagrams encode the
+                // instance's nulls), re-optimized with instance statistics
+                // so null-free subplans cluster — and reads the three
+                // labels off the canonical diagrams. Queries outside the
+                // symbolic fragment fall back to enumeration (which may
+                // then legitimately hit the world bound).
                 let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
                 let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
                 let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
-                let statuses =
-                    certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?;
+                let choice = choose_exact_backend(&spec, db);
+                let statuses = match choice.backend {
+                    Backend::Lineage => {
+                        match certa_certain::cert::classify_candidates_lineage(
+                            &entry.optimized,
+                            db,
+                            &spec,
+                            &tuples,
+                        ) {
+                            Ok(statuses) => statuses,
+                            Err(CertainError::Lineage(e)) if e.is_unsupported() => {
+                                certa_certain::cert::classify_candidates(
+                                    &entry.plain,
+                                    db,
+                                    &spec,
+                                    &tuples,
+                                )?
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    Backend::WorldEnumeration => {
+                        certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?
+                    }
+                };
                 let mut rows: Vec<(Tuple, Label)> = tuples
                     .into_iter()
                     .zip(&statuses)
@@ -351,6 +472,24 @@ impl Pipeline {
         let entry = self.entry(sql, db.schema())?;
         let world = entry.plain.for_world_db(db);
         let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
+        let mut backend = choose_exact_backend(&spec, db);
+        if backend.backend == Backend::Lineage {
+            // Compile the instance's lineage so the report can state the
+            // diagram size the dispatcher is trading against enumeration —
+            // or the fragment boundary that will force the fallback.
+            match certa_lineage::LineageBatch::compile(&entry.optimized, db, spec.pool()) {
+                Ok(batch) => backend.diagram_nodes = Some(batch.diagram_size()),
+                Err(e) if e.is_unsupported() => {
+                    backend.backend = Backend::WorldEnumeration;
+                    backend.reason = format!(
+                        "{}; but the query is outside the symbolic fragment ({e}), \
+                         so execution falls back to world enumeration",
+                        backend.reason
+                    );
+                }
+                Err(e) => return Err(PipelineError::Certain(e.into())),
+            }
+        }
         let (hits, misses) = (self.hits, self.misses);
         let entry = self.cache.get(sql).expect("entry just compiled");
         Ok(Explain {
@@ -366,6 +505,7 @@ impl Pipeline {
                 .collect(),
             fully_invariant: world.fully_invariant(),
             worlds: spec.world_count(db),
+            backend,
             cache_hits: hits,
             cache_misses: misses,
         })
@@ -393,6 +533,10 @@ pub struct Explain {
     pub fully_invariant: bool,
     /// Possible worlds an exact evaluation would enumerate on this database.
     pub worlds: usize,
+    /// Which backend the [`Scheme::Exact`] dispatcher selects for this
+    /// instance, and why (null count, pool size, world count, diagram
+    /// size when the lineage backend was probed).
+    pub backend: BackendChoice,
     /// Plan-cache hits so far.
     pub cache_hits: usize,
     /// Plan-cache misses (compilations) so far.
@@ -410,6 +554,16 @@ impl fmt::Display for Explain {
             writeln!(f, "  {line}")?;
         }
         writeln!(f, "worlds to enumerate (exact scheme): {}", self.worlds)?;
+        writeln!(f, "exact-scheme backend: {}", self.backend.backend)?;
+        writeln!(f, "  because: {}", self.backend.reason)?;
+        if let Some(nodes) = self.backend.diagram_nodes {
+            writeln!(
+                f,
+                "  lineage diagrams: {nodes} node(s) over {} null variable(s), \
+                 {}-valued each",
+                self.backend.nulls, self.backend.pool
+            )?;
+        }
         if self.hoisted.is_empty() {
             writeln!(f, "hoisted world-invariant subplans: none")?;
         } else {
@@ -558,6 +712,86 @@ mod tests {
         let again = p.query(UNPAID, &db).unwrap();
         assert_eq!(naive, again);
         assert_eq!(p.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn exact_dispatches_to_lineage_beyond_the_threshold() {
+        // 8 distinct nulls: exact_pool gives ~9+ constants, so enumeration
+        // would need > 4096 (indeed > the world bound) worlds — the
+        // dispatcher must pick the lineage backend and still label exactly.
+        let rows: Vec<Tuple> = (0..8u32)
+            .map(|i| tup![i64::from(i), Value::null(i)])
+            .collect();
+        let db =
+            database_from_literal([("R", vec!["a", "b"], rows), ("S", vec!["b"], vec![tup![1]])]);
+        let sql = "SELECT a FROM R WHERE b <> 1";
+        let mut p = Pipeline::new();
+        let explain = p.explain(sql, &db).unwrap();
+        assert_eq!(explain.backend.backend, Backend::Lineage);
+        assert!(explain.backend.worlds > LINEAGE_WORLD_THRESHOLD);
+        assert!(explain.backend.diagram_nodes.is_some());
+        assert!(explain.to_string().contains("lineage"));
+        let out = p.execute(sql, &db, Scheme::Exact).unwrap();
+        // No candidate is certain (its ⊥ᵢ could be 1) but every one is
+        // possible (⊥ᵢ ≠ 1 is satisfiable).
+        assert!(out.certain().is_empty());
+        assert_eq!(out.possible().len(), 8);
+        assert!(out.certainly_false().is_empty());
+    }
+
+    #[test]
+    fn lineage_and_enumeration_agree_where_both_run() {
+        // 2 nulls: enumeration is the dispatcher's choice; force the
+        // lineage path through the certain crate and compare labels.
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2], tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![tup![Value::null(1)]]),
+        ]);
+        let sql = "SELECT a FROM R WHERE a <> 2";
+        let mut p = Pipeline::new();
+        let explain = p.explain(sql, &db).unwrap();
+        assert_eq!(explain.backend.backend, Backend::WorldEnumeration);
+        let out = p.execute(sql, &db, Scheme::Exact).unwrap();
+        let expr = certa_sql::lower_to_algebra(&certa_sql::parse(sql).unwrap(), db.schema())
+            .unwrap()
+            .expr;
+        let spec = certa_certain::worlds::exact_pool(&expr, &db);
+        let tuples: Vec<Tuple> = out.rows.iter().map(|(t, _)| t.clone()).collect();
+        let optimized = certa_algebra::optimize(&expr, db.schema()).unwrap();
+        let statuses =
+            certa_certain::cert::classify_candidates_lineage(&optimized, &db, &spec, &tuples)
+                .unwrap();
+        for ((t, label), s) in out.rows.iter().zip(&statuses) {
+            let expected = if s.certain {
+                Label::Certain
+            } else if s.possible {
+                Label::Possible
+            } else {
+                Label::CertainlyFalse
+            };
+            assert_eq!(*label, expected, "{t}");
+        }
+    }
+
+    #[test]
+    fn unsupported_fragment_falls_back_to_enumeration() {
+        // `IS NULL` lowers to the syntactic null(·) predicate, which
+        // per-world evaluation resolves differently (worlds are null-free)
+        // — the dispatcher must fall back (and say so in explain), after
+        // which enumeration legitimately hits the world bound at 8 nulls.
+        let rows: Vec<Tuple> = (0..8u32).map(|i| tup![Value::null(i)]).collect();
+        let db = database_from_literal([("R", vec!["a"], rows), ("S", vec!["a"], vec![tup![1]])]);
+        let sql = "SELECT a FROM R WHERE a IS NULL";
+        let mut p = Pipeline::new();
+        let explain = p.explain(sql, &db).unwrap();
+        assert_eq!(explain.backend.backend, Backend::WorldEnumeration);
+        assert!(explain.backend.reason.contains("falls back"));
+        // Execution now needs enumeration, which legitimately hits the
+        // world bound at 8 nulls over the exact pool.
+        assert!(matches!(
+            p.execute(sql, &db, Scheme::Exact),
+            Err(PipelineError::Certain(CertainError::TooManyWorlds { .. }))
+        ));
     }
 
     #[test]

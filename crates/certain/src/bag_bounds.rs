@@ -72,6 +72,46 @@ pub fn multiplicity_range_with(
     Ok(range.unwrap_or((0, 0)))
 }
 
+/// [`multiplicity_range`] by **knowledge compilation**: the monus-free
+/// fragment (σ, π, ×, ∪) is evaluated once over weighted conditional rows,
+/// each row indicator compiles to a decision diagram, and the summed
+/// arithmetic diagram's terminal min/max are exactly `[□Q, ◇Q]` — no world
+/// is enumerated. Held to exact agreement with the enumeration backend by
+/// `tests/property_lineage_agreement.rs`.
+///
+/// # Errors
+///
+/// Returns [`crate::CertainError::Lineage`] outside the fragment
+/// (difference/intersection have no row-wise bag reading — callers fall
+/// back to enumeration) or for ill-formed queries.
+pub fn multiplicity_range_lineage(
+    query: &RaExpr,
+    db: &BagDatabase,
+    tuple: &Tuple,
+) -> Result<(usize, usize)> {
+    let set_view = db.to_sets();
+    multiplicity_range_lineage_with(query, db, tuple, &exact_pool(query, &set_view))
+}
+
+/// [`multiplicity_range_lineage`] with an explicit world specification
+/// (only the pool matters — nothing is enumerated, so the bound is moot).
+///
+/// # Errors
+///
+/// As [`multiplicity_range_lineage`].
+pub fn multiplicity_range_lineage_with(
+    query: &RaExpr,
+    db: &BagDatabase,
+    tuple: &Tuple,
+    spec: &WorldSpec,
+) -> Result<(usize, usize)> {
+    let mut batch = certa_lineage::BagLineageBatch::compile(query, db, spec.pool())
+        .map_err(crate::CertainError::from)?;
+    batch
+        .multiplicity_range(tuple)
+        .map_err(crate::CertainError::from)
+}
+
 /// The certainty lower bound `□Q(D, ā)`.
 ///
 /// # Errors
@@ -203,6 +243,33 @@ mod tests {
                 assert!(bx <= upper, "box {bx} > upper {upper} for {q} on {t}");
             }
         }
+    }
+
+    #[test]
+    fn lineage_ranges_match_enumeration_on_the_fragment() {
+        let b = bag_db();
+        let queries = [
+            RaExpr::rel("R"),
+            RaExpr::rel("R").union(RaExpr::rel("S")),
+            RaExpr::rel("R").select(Condition::eq_const(0, 1)),
+            RaExpr::rel("R").product(RaExpr::rel("S")).project(vec![0]),
+        ];
+        let candidates = [tup![1], tup![Value::null(0)], tup![7]];
+        for q in &queries {
+            for t in &candidates {
+                assert_eq!(
+                    multiplicity_range_lineage(q, &b, t).unwrap(),
+                    multiplicity_range(q, &b, t).unwrap(),
+                    "{q} on {t}"
+                );
+            }
+        }
+        // Difference stays on the enumeration path.
+        let diff = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        assert!(matches!(
+            multiplicity_range_lineage(&diff, &b, &tup![1]),
+            Err(crate::CertainError::Lineage(e)) if e.is_unsupported()
+        ));
     }
 
     #[test]

@@ -81,6 +81,71 @@ impl<'a> WorldBatch<'a> {
     }
 }
 
+/// [`cert_with_nulls`] decided **symbolically**: the query is evaluated
+/// once over c-tables, each candidate's lineage is compiled into a
+/// decision diagram over the pool encoding, and certainty is read off as
+/// validity — no world is enumerated, so this handles null counts whose
+/// valuation spaces are astronomically beyond any enumeration bound.
+///
+/// Uses the same default pool as [`cert_with_nulls`]; the two are held to
+/// exact agreement by `tests/property_lineage_agreement.rs`.
+///
+/// # Errors
+///
+/// Returns [`crate::CertainError::Lineage`] when the query lies outside
+/// the symbolic fragment (callers fall back to enumeration) or a model
+/// count overflows.
+pub fn cert_with_nulls_lineage(query: &RaExpr, db: &Database) -> Result<Relation> {
+    cert_with_nulls_lineage_with(query, db, &exact_pool(query, db))
+}
+
+/// [`cert_with_nulls_lineage`] with an explicit world specification (only
+/// the spec's constant pool matters — there is no enumeration to bound).
+///
+/// # Errors
+///
+/// As [`cert_with_nulls_lineage`].
+pub fn cert_with_nulls_lineage_with(
+    query: &RaExpr,
+    db: &Database,
+    spec: &WorldSpec,
+) -> Result<Relation> {
+    let candidates = naive_eval(query, db)?;
+    let mut batch = certa_lineage::LineageBatch::compile(query, db, spec.pool())?;
+    Ok(Relation::with_arity(
+        candidates.arity(),
+        candidates.iter().filter(|t| batch.is_certain(t)).cloned(),
+    ))
+}
+
+/// [`classify_candidates`] decided symbolically: one c-table evaluation,
+/// one diagram per candidate, certainty = validity and possibility =
+/// satisfiability — the per-candidate statuses the enumeration backend
+/// derives from a full pass over the worlds.
+///
+/// Takes the logical expression rather than a physical plan: the symbolic
+/// backend compiles through the c-table instantiation of the engine, not
+/// through a set-semantics plan.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls_lineage`].
+pub fn classify_candidates_lineage(
+    query: &RaExpr,
+    db: &Database,
+    spec: &WorldSpec,
+    tuples: &[Tuple],
+) -> Result<Vec<CandidateStatus>> {
+    let mut batch = certa_lineage::LineageBatch::compile(query, db, spec.pool())?;
+    Ok(tuples
+        .iter()
+        .map(|t| {
+            let (certain, possible) = batch.status(t);
+            CandidateStatus { certain, possible }
+        })
+        .collect())
+}
+
 /// Intersection-based certain answers (Definition 3.7):
 /// `cert∩(Q, D) = ⋂_{D' ∈ ⟦D⟧} Q(D')`.
 ///

@@ -44,8 +44,13 @@ pub mod worlds;
 
 pub use approx37::{q_plus, q_question, ApproxPair, PreparedApproxPair};
 pub use approx51::{q_false, q_true, PreparedTranslationPair, TranslationPair};
-pub use cert::{cert_intersection, cert_with_nulls, is_certain_answer, is_certainly_false};
-pub use prob::{almost_certainly_true, mu_k, mu_k_conditional, support_fraction};
+pub use cert::{
+    cert_intersection, cert_with_nulls, cert_with_nulls_lineage, classify_candidates_lineage,
+    is_certain_answer, is_certainly_false,
+};
+pub use prob::{
+    almost_certainly_true, mu_k, mu_k_conditional, mu_k_lineage, mu_limit_lineage, support_fraction,
+};
 pub use quality::AnswerQuality;
 pub use worlds::{default_pool, enumerate_worlds, WorldEngine, WorldSpec};
 
@@ -68,6 +73,10 @@ pub enum CertainError {
     Algebra(certa_algebra::AlgebraError),
     /// An error bubbled up from the data layer.
     Data(certa_data::DataError),
+    /// An error bubbled up from the lineage (knowledge-compilation)
+    /// backend. `Lineage(e)` with `e.is_unsupported()` marks a fragment
+    /// boundary the dispatcher answers by falling back to enumeration.
+    Lineage(certa_lineage::LineageError),
 }
 
 impl std::fmt::Display for CertainError {
@@ -82,6 +91,7 @@ impl std::fmt::Display for CertainError {
             }
             CertainError::Algebra(e) => write!(f, "{e}"),
             CertainError::Data(e) => write!(f, "{e}"),
+            CertainError::Lineage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -97,6 +107,12 @@ impl From<certa_algebra::AlgebraError> for CertainError {
 impl From<certa_data::DataError> for CertainError {
     fn from(e: certa_data::DataError) -> Self {
         CertainError::Data(e)
+    }
+}
+
+impl From<certa_lineage::LineageError> for CertainError {
+    fn from(e: certa_lineage::LineageError) -> Self {
+        CertainError::Lineage(e)
     }
 }
 

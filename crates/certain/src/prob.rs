@@ -30,12 +30,18 @@ use std::collections::BTreeSet;
 
 /// An exact fraction `numerator / denominator` (with the convention
 /// 0/0 = 0, used when no valuation satisfies the constraints).
+///
+/// Counts are `u128`: the enumeration backends are bounded far below
+/// `usize`, but the lineage backend counts valuation spaces like
+/// `4^40 ≈ 2^80` exactly — well past the old `usize` fields (which would
+/// have overflowed at `2^64`, mirroring the world-count overflow the
+/// `TooManyWorlds` fix addressed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fraction {
     /// Number of valuations in the support.
-    pub numerator: usize,
+    pub numerator: u128,
     /// Total number of valuations considered.
-    pub denominator: usize,
+    pub denominator: u128,
 }
 
 impl Fraction {
@@ -48,9 +54,28 @@ impl Fraction {
         }
     }
 
-    /// Exact equality with `p / q` after cross-multiplication.
-    pub fn equals_ratio(self, p: usize, q: usize) -> bool {
-        self.numerator * q == p * self.denominator
+    /// Exact equality with `p / q` after cross-multiplication. Both sides
+    /// are gcd-reduced first so the products stay in range even for the
+    /// `2^80`-scale counts the lineage backend produces; should a reduced
+    /// cross-product still overflow, lowest-terms equality decides.
+    pub fn equals_ratio(self, p: u128, q: u128) -> bool {
+        fn gcd(a: u128, b: u128) -> u128 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let g1 = gcd(self.numerator, self.denominator).max(1);
+        let g2 = gcd(p, q).max(1);
+        let (n, d) = (self.numerator / g1, self.denominator / g1);
+        let (p, q) = (p / g2, q / g2);
+        match (n.checked_mul(q), p.checked_mul(d)) {
+            (Some(a), Some(b)) => a == b,
+            // Coprime pairs this large can only be cross-multiplication
+            // equal if they are the same pair.
+            _ => (n, d) == (p, q),
+        }
     }
 }
 
@@ -101,8 +126,51 @@ pub fn mu_k(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fr
     )?;
     let (numerator, denominator) = counts.unwrap_or((0, 0));
     Ok(Fraction {
+        numerator: numerator as u128,
+        denominator: denominator as u128,
+    })
+}
+
+/// Exact `µ_k(Q, D, ā)` by **knowledge compilation**: the candidate's
+/// lineage condition is compiled into a decision diagram over the
+/// canonical `k`-pool encoding and the support size is an exact model
+/// count — no valuation is enumerated, so `k^|Null(D)|` may exceed any
+/// enumeration bound (the count itself is exact in `u128`).
+///
+/// Held to exact numerator/denominator agreement with [`mu_k`] by
+/// `tests/property_lineage_agreement.rs` wherever both are feasible.
+///
+/// # Errors
+///
+/// Returns [`crate::CertainError::Lineage`] when the query lies outside
+/// the symbolic fragment or a count exceeds `u128`.
+pub fn mu_k_lineage(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fraction> {
+    let pool = canonical_pool(query, db, k);
+    let mut batch = certa_lineage::LineageBatch::compile(query, db, &pool)?;
+    let (numerator, denominator) = batch.mu_counts(tuple).map_err(crate::CertainError::from)?;
+    Ok(Fraction {
         numerator,
         denominator,
+    })
+}
+
+/// The limit `µ(Q, D, ā)` read off the **symbolic lineage**: by the 0–1
+/// law the limit is 1 exactly when the candidate's lineage holds under a
+/// generic (bijective fresh) valuation of the nulls — which this evaluates
+/// directly on the compiled rows, without the naïve-evaluation detour of
+/// [`mu_limit`]. The two agree on generic queries.
+///
+/// # Errors
+///
+/// As [`mu_k_lineage`].
+pub fn mu_limit_lineage(query: &RaExpr, db: &Database, tuple: &Tuple) -> Result<f64> {
+    // The generic valuation never consults the pool encoding, so the
+    // rows-only compilation skips diagram construction entirely.
+    let batch = certa_lineage::LineageBatch::compile_rows_only(query, db)?;
+    Ok(if batch.generic_membership(tuple) {
+        1.0
+    } else {
+        0.0
     })
 }
 
@@ -143,8 +211,8 @@ pub fn mu_k_conditional(
     )?;
     let (numerator, denominator) = counts.unwrap_or((0, 0));
     Ok(Fraction {
-        numerator,
-        denominator,
+        numerator: numerator as u128,
+        denominator: denominator as u128,
     })
 }
 
@@ -204,8 +272,8 @@ pub fn mu_k_sampled(
         }
     }
     Ok(Fraction {
-        numerator,
-        denominator,
+        numerator: numerator as u128,
+        denominator: denominator as u128,
     })
 }
 
@@ -290,8 +358,8 @@ mod tests {
         let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
         for k in [1usize, 2, 5, 10] {
             let frac = mu_k(&q, &d, &tup![1], k).unwrap();
-            assert_eq!(frac.denominator, k);
-            assert_eq!(frac.numerator, k - 1);
+            assert_eq!(frac.denominator, k as u128);
+            assert_eq!(frac.numerator, (k - 1) as u128);
         }
         // The limit is 1: (1) is an almost certainly true answer.
         assert!(almost_certainly_true(&q, &d, &tup![1]).unwrap());
@@ -397,6 +465,53 @@ mod tests {
         let q = RaExpr::rel("R");
         let fd = FunctionalDependency::new("R", vec![0], vec![1]);
         assert_eq!(mu_limit_with_fds(&q, &d, &tup![1, 2], &[fd]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lineage_mu_matches_enumeration() {
+        let d = diff_db();
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        for k in [1usize, 2, 5, 10] {
+            let by_worlds = mu_k(&q, &d, &tup![1], k).unwrap();
+            let by_lineage = mu_k_lineage(&q, &d, &tup![1], k).unwrap();
+            assert_eq!(by_worlds, by_lineage, "k = {k}");
+        }
+        assert_eq!(mu_limit_lineage(&q, &d, &tup![1]).unwrap(), 1.0);
+        assert_eq!(mu_limit_lineage(&q, &d, &tup![2]).unwrap(), 0.0);
+        assert_eq!(
+            mu_limit_lineage(&q, &d, &tup![1]).unwrap(),
+            mu_limit(&q, &d, &tup![1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn lineage_mu_counts_cross_the_old_usize_limit_exactly() {
+        use certa_data::Tuple;
+        // Regression for the u128 Fraction fields: 32 nulls over the
+        // canonical 4-pool give exactly 2^64 valuations — one past
+        // usize::MAX, where the old usize counts would have overflowed
+        // (the world-count sibling of PR 2's TooManyWorlds fix) — and 40
+        // nulls give 2^80. Both count exactly.
+        for (nulls, expected) in [(32u32, 1u128 << 64), (40, 1u128 << 80)] {
+            let rows: Vec<Tuple> = (0..nulls).map(|i| tup![Value::null(i)]).collect();
+            let d = database_from_literal([("R", vec!["a"], rows)]);
+            let q = RaExpr::rel("R");
+            let frac = mu_k_lineage(&q, &d, &tup![Value::null(0)], 4).unwrap();
+            assert_eq!(frac.denominator, expected);
+            // The null candidate is its own witness in every valuation.
+            assert_eq!(frac.numerator, expected);
+            assert_eq!(frac.as_f64(), 1.0);
+            // Ratio comparison must survive cross-products that would
+            // overflow u128 (2^80 · 2^80).
+            assert!(frac.equals_ratio(frac.numerator, frac.denominator));
+            assert!(frac.equals_ratio(1, 1));
+            assert!(!frac.equals_ratio(1, 2));
+            // Enumeration cannot even start at these world counts.
+            assert!(matches!(
+                mu_k(&q, &d, &tup![Value::null(0)], 4),
+                Err(crate::CertainError::TooManyWorlds { .. })
+            ));
+        }
     }
 
     #[test]

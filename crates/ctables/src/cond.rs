@@ -316,6 +316,94 @@ impl Cond {
         }
     }
 
+    /// Negation normal form: negations are pushed down to the atoms, where
+    /// they flip `=` into `≠` (and vice versa), via De Morgan's laws. The
+    /// laws are identities under both Kleene's three-valued grounding and
+    /// two-valued evaluation under any valuation, so every grounding
+    /// strategy is free to normalise with this. The lineage compiler runs
+    /// it before [`Cond::simplify`] so absorption sees through negations.
+    pub fn nnf(&self) -> Cond {
+        self.nnf_under(false)
+    }
+
+    fn nnf_under(&self, negated: bool) -> Cond {
+        match self {
+            Cond::Truth(v) => Cond::Truth(if negated { v.not() } else { *v }),
+            Cond::Atom(CondAtom::Eq(a, b)) if negated => Cond::neq(a.clone(), b.clone()),
+            Cond::Atom(CondAtom::Neq(a, b)) if negated => Cond::eq(a.clone(), b.clone()),
+            Cond::Atom(a) => Cond::Atom(a.clone()),
+            Cond::Not(c) => c.nnf_under(!negated),
+            Cond::And(a, b) if negated => {
+                Cond::Or(Box::new(a.nnf_under(true)), Box::new(b.nnf_under(true)))
+            }
+            Cond::Or(a, b) if negated => {
+                Cond::And(Box::new(a.nnf_under(true)), Box::new(b.nnf_under(true)))
+            }
+            Cond::And(a, b) => {
+                Cond::And(Box::new(a.nnf_under(false)), Box::new(b.nnf_under(false)))
+            }
+            Cond::Or(a, b) => Cond::Or(Box::new(a.nnf_under(false)), Box::new(b.nnf_under(false))),
+        }
+    }
+
+    /// Canonicalizing bottom-up simplification: constant folding (ground
+    /// units and syntactically decidable atoms), double negation,
+    /// idempotence (`φ ∧ φ = φ`, `φ ∨ φ = φ`) and absorption
+    /// (`φ ∧ (φ ∨ ψ) = φ`, `φ ∨ (φ ∧ ψ) = φ`).
+    ///
+    /// Every rewrite is a lattice identity, so it preserves *both* the
+    /// Kleene three-valued eager grounding and the exact two-valued
+    /// semantics under every valuation — [`Strategy::final_ground`] and the
+    /// lineage compiler of `certa-lineage` both normalise with this before
+    /// grounding/compiling. The result never has more atoms than the input
+    /// ([`Cond::size`] is non-increasing).
+    ///
+    /// [`Strategy::final_ground`]: crate::Strategy
+    pub fn simplify(&self) -> Cond {
+        match self {
+            Cond::Truth(v) => Cond::Truth(*v),
+            Cond::Atom(a) => match a.ground() {
+                // Syntactically decided atoms (const-const comparisons and
+                // reflexive equalities) fold to their ground truth value.
+                Truth3::Unknown => Cond::Atom(a.clone()),
+                decided => Cond::Truth(decided),
+            },
+            Cond::Not(c) => match c.simplify() {
+                Cond::Truth(v) => Cond::Truth(v.not()),
+                Cond::Not(inner) => *inner,
+                other => Cond::Not(Box::new(other)),
+            },
+            Cond::And(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (a, b) {
+                    (Cond::Truth(Truth3::True), c) | (c, Cond::Truth(Truth3::True)) => c,
+                    (Cond::Truth(Truth3::False), _) | (_, Cond::Truth(Truth3::False)) => {
+                        Cond::Truth(Truth3::False)
+                    }
+                    (a, b) if a == b => a,
+                    // Absorption: φ ∧ (φ ∨ ψ) = φ (all four orientations).
+                    (a, Cond::Or(x, y)) if *x == a || *y == a => a,
+                    (Cond::Or(x, y), b) if *x == b || *y == b => b,
+                    (a, b) => Cond::And(Box::new(a), Box::new(b)),
+                }
+            }
+            Cond::Or(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (a, b) {
+                    (Cond::Truth(Truth3::False), c) | (c, Cond::Truth(Truth3::False)) => c,
+                    (Cond::Truth(Truth3::True), _) | (_, Cond::Truth(Truth3::True)) => {
+                        Cond::Truth(Truth3::True)
+                    }
+                    (a, b) if a == b => a,
+                    // Absorption: φ ∨ (φ ∧ ψ) = φ.
+                    (a, Cond::And(x, y)) if *x == a || *y == a => a,
+                    (Cond::And(x, y), b) if *x == b || *y == b => b,
+                    (a, b) => Cond::Or(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
     /// Substitute nulls by constants according to a valuation (used after
     /// equality propagation).
     pub fn substitute(&self, v: &Valuation) -> Cond {
@@ -476,6 +564,89 @@ mod tests {
         assert_eq!(c.ground_eager(), Truth3::True);
         let c = Cond::tuple_eq(&tup![1, 2], &tup![1, 3]);
         assert_eq!(c.ground_eager(), Truth3::False);
+    }
+
+    #[test]
+    fn simplify_shrinks_nested_conditions() {
+        let a = Cond::eq(null(0), int(1));
+        let b = Cond::neq(null(1), int(2));
+        // Idempotence: (a ∧ a) → a.
+        let c = Cond::And(Box::new(a.clone()), Box::new(a.clone()));
+        assert!(c.simplify().size() < c.size());
+        assert_eq!(c.simplify(), a);
+        // Absorption: a ∧ (a ∨ b) → a, and the disjunctive dual.
+        let c = Cond::And(
+            Box::new(a.clone()),
+            Box::new(Cond::Or(Box::new(a.clone()), Box::new(b.clone()))),
+        );
+        assert_eq!(c.simplify(), a);
+        assert!(c.simplify().size() < c.size());
+        let c = Cond::Or(
+            Box::new(Cond::And(Box::new(b.clone()), Box::new(a.clone()))),
+            Box::new(a.clone()),
+        );
+        assert_eq!(c.simplify(), a);
+        // Constant folding inside a nested condition: (1 = 1 ∧ a) ∨ (1 = 2) → a.
+        let c = Cond::Or(
+            Box::new(Cond::And(
+                Box::new(Cond::eq(int(1), int(1))),
+                Box::new(a.clone()),
+            )),
+            Box::new(Cond::eq(int(1), int(2))),
+        );
+        assert_eq!(c.simplify(), a);
+        assert!(c.simplify().size() < c.size());
+        // Double negation: ¬¬a → a.
+        let c = Cond::Not(Box::new(Cond::Not(Box::new(a.clone()))));
+        assert_eq!(c.simplify(), a);
+    }
+
+    #[test]
+    fn simplify_preserves_groundings() {
+        // A deeply nested condition with redundancy: simplification must not
+        // change eager or exact grounding, only the size.
+        let a = Cond::eq(null(0), int(1));
+        let b = Cond::neq(null(1), null(0));
+        let nested = Cond::And(
+            Box::new(Cond::Or(Box::new(a.clone()), Box::new(a.clone()))),
+            Box::new(Cond::Or(
+                Box::new(b.clone()),
+                Box::new(Cond::And(Box::new(b.clone()), Box::new(a.clone()))),
+            )),
+        );
+        let simplified = nested.simplify();
+        assert!(simplified.size() < nested.size());
+        assert_eq!(simplified.ground_eager(), nested.ground_eager());
+        assert_eq!(simplified.ground_exact(), nested.ground_exact());
+        // And it is semantics-preserving under every valuation of a pool.
+        let pool = [Const::Int(1), Const::Int(2)];
+        let nulls: BTreeSet<NullId> = [0, 1].into_iter().collect();
+        for v in certa_data::valuation::all_valuations(&nulls, &pool) {
+            assert_eq!(simplified.eval_under(&v), nested.eval_under(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let c = Cond::eq(null(0), int(1))
+            .and(Cond::neq(null(1), int(2)))
+            .not();
+        let n = c.nnf();
+        // ¬(a = ∧ b ≠) → (a ≠ ∨ b =): no Not node survives.
+        fn has_not(c: &Cond) -> bool {
+            match c {
+                Cond::Not(_) => true,
+                Cond::And(a, b) | Cond::Or(a, b) => has_not(a) || has_not(b),
+                _ => false,
+            }
+        }
+        assert!(!has_not(&n));
+        assert_eq!(n.ground_eager(), c.ground_eager());
+        let pool = [Const::Int(1), Const::Int(2), Const::Int(3)];
+        let nulls: BTreeSet<NullId> = [0, 1].into_iter().collect();
+        for v in certa_data::valuation::all_valuations(&nulls, &pool) {
+            assert_eq!(n.eval_under(&v), c.eval_under(&v), "{v}");
+        }
     }
 
     #[test]

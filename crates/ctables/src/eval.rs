@@ -64,7 +64,16 @@ impl Strategy {
     }
 
     /// The grounding function this strategy uses when extracting answers.
+    ///
+    /// The condition is first canonicalized with [`Cond::simplify`] — every
+    /// simplification rule is a lattice identity in both the Kleene and the
+    /// exact two-valued semantics, so the verdict is unchanged, but the
+    /// lazy/aware strategies (which reach answer extraction with large
+    /// symbolic conditions) ground a much smaller formula; in particular
+    /// the aware strategy's exact grounding enumerates valuations only for
+    /// the nulls that survive folding.
     fn final_ground(self, cond: &Cond) -> Truth3 {
+        let cond = cond.simplify();
         match self {
             Strategy::Aware => cond.ground_exact(),
             _ => cond.ground_eager(),
@@ -295,8 +304,10 @@ fn normalize_rel(rel: AnnRel<CondAnn>, propagate_equalities: bool) -> AnnRel<Con
 
 /// Instantiate an algebraic selection condition on a concrete tuple,
 /// producing a c-table condition. Comparisons involving nulls stay symbolic;
-/// `const`/`null` tests are resolved syntactically.
-fn instantiate_condition(cond: &Condition, tuple: &Tuple) -> Cond {
+/// `const`/`null` tests are resolved syntactically. Public because every
+/// annotation domain built on [`Cond`] (this crate's [`CondAnn`], the
+/// weighted variant in `certa-lineage`) shares this one instantiation.
+pub fn instantiate_condition(cond: &Condition, tuple: &Tuple) -> Cond {
     match cond {
         Condition::True => Cond::truth(),
         Condition::False => Cond::Truth(Truth3::False),

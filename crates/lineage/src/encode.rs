@@ -1,0 +1,338 @@
+//! Finite-domain encoding of marked nulls, and the condition compiler.
+//!
+//! Worlds are valuations `v : Null(D) → pool` (the same bounded valuation
+//! space the `certa-certain` world engines enumerate). The encoding maps
+//! every null to one *multi-valued variable* whose domain is the pool — so
+//! variables are `k`-valued, not binary, and a diagram over the encoding
+//! represents a set of worlds exactly.
+//!
+//! [`Encoding::compile`] translates a [`Cond`] into a diagram:
+//!
+//! * `⊥ᵢ = c` with `c` in the pool becomes the single-variable test
+//!   `xᵢ = index(c)`; with `c` **outside** the pool it is `false` (no pool
+//!   valuation can reach `c`), mirroring `Cond::eval_under` over pool
+//!   valuations;
+//! * `⊥ᵢ = ⊥ⱼ` becomes the diagonal diagram over the two levels;
+//! * constant atoms fold syntactically; connectives go through the
+//!   forest's apply cache.
+//!
+//! Conditions are normalised first — negation normal form, forced-equality
+//! substitution and the canonicalizing [`Cond::simplify`] shared with the
+//! c-table strategies — so the compiler usually sees far fewer atoms than
+//! the raw lineage carries.
+
+use crate::store::{Forest, NodeId, FALSE, TRUE};
+use certa_ctables::cond::CondAtom;
+use certa_ctables::Cond;
+use certa_data::{Const, NullId, Value};
+use certa_logic::Truth3;
+use std::collections::HashMap;
+
+/// The variable encoding: a constant pool plus an ordered list of nulls
+/// (the diagram's variable order, chosen by [`crate::order`]).
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    pool: Vec<Const>,
+    index: HashMap<Const, usize>,
+    nulls: Vec<NullId>,
+    level_of: HashMap<NullId, u32>,
+}
+
+impl Encoding {
+    /// Build an encoding of `nulls` (in diagram order) over `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool contains duplicate constants or the order
+    /// contains duplicate nulls.
+    pub fn new(pool: Vec<Const>, nulls: Vec<NullId>) -> Encoding {
+        let mut index = HashMap::with_capacity(pool.len());
+        for (i, c) in pool.iter().enumerate() {
+            let previous = index.insert(c.clone(), i);
+            assert!(previous.is_none(), "Encoding: duplicate pool constant {c}");
+        }
+        let mut level_of = HashMap::with_capacity(nulls.len());
+        for (level, n) in nulls.iter().enumerate() {
+            let previous = level_of.insert(*n, level as u32);
+            assert!(previous.is_none(), "Encoding: duplicate null ⊥{n}");
+        }
+        Encoding {
+            pool,
+            index,
+            nulls,
+            level_of,
+        }
+    }
+
+    /// The constant pool.
+    pub fn pool(&self) -> &[Const] {
+        &self.pool
+    }
+
+    /// The nulls in diagram (level) order.
+    pub fn nulls(&self) -> &[NullId] {
+        &self.nulls
+    }
+
+    /// Per-level domain sizes for the forest. Every null currently ranges
+    /// over the full pool — its slice is the whole enumeration — which is
+    /// what makes diagram model counts line up with the world engines'
+    /// `|pool|^|Null(D)|` valuation space; the store itself supports
+    /// heterogeneous domains for narrower encodings.
+    pub fn domains(&self) -> Vec<usize> {
+        vec![self.pool.len(); self.nulls.len()]
+    }
+
+    /// The level of a null, if it is encoded.
+    pub fn level(&self, null: NullId) -> Option<u32> {
+        self.level_of.get(&null).copied()
+    }
+
+    /// `true` iff every null of the condition is encoded.
+    pub fn covers(&self, cond: &Cond) -> bool {
+        let mut nulls = std::collections::BTreeSet::new();
+        cond.nulls(&mut nulls);
+        nulls.iter().all(|n| self.level_of.contains_key(n))
+    }
+
+    /// Compile a condition into a diagram over `forest` (which must have
+    /// been created with [`Encoding::domains`]). The condition is
+    /// normalised first: forced equalities are substituted (and re-asserted
+    /// as atoms, so the model set is unchanged), negations are pushed to
+    /// the atoms, and the canonicalizing simplifier folds what it can.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition mentions a null outside the encoding — use
+    /// [`Encoding::covers`] to pre-check foreign nulls.
+    pub fn compile(&self, forest: &mut Forest, cond: &Cond) -> NodeId {
+        let normalized = self.normalize(cond);
+        self.compile_raw(forest, &normalized)
+    }
+
+    /// The shared normalizer: forced-equality substitution + NNF +
+    /// simplification, all model-preserving.
+    pub fn normalize(&self, cond: &Cond) -> Cond {
+        let forced = cond.forced_equalities();
+        let substituted = if forced.is_empty() {
+            cond.clone()
+        } else {
+            // Substituting a forced equality `⊥ = c` rewrites every other
+            // atom, but the forcing atom itself would fold to `c = c`;
+            // re-asserting the equalities keeps the model set identical.
+            let mut out = cond.substitute(&forced);
+            for (null, constant) in forced.iter() {
+                out = out.and(Cond::eq(Value::Null(null), Value::Const(constant.clone())));
+            }
+            out
+        };
+        substituted.nnf().simplify()
+    }
+
+    fn compile_raw(&self, forest: &mut Forest, cond: &Cond) -> NodeId {
+        match cond {
+            // `eval_under` reads a ground `u` as "not satisfied", and the
+            // lineage pipeline never produces one (the aware strategy keeps
+            // conditions symbolic); mirror `eval_under` defensively.
+            Cond::Truth(Truth3::True) => TRUE,
+            Cond::Truth(_) => FALSE,
+            Cond::Atom(atom) => self.compile_atom(forest, atom),
+            Cond::Not(c) => {
+                let inner = self.compile_raw(forest, c);
+                forest.not(inner)
+            }
+            Cond::And(a, b) => {
+                let (a, b) = (self.compile_raw(forest, a), self.compile_raw(forest, b));
+                forest.and(a, b)
+            }
+            Cond::Or(a, b) => {
+                let (a, b) = (self.compile_raw(forest, a), self.compile_raw(forest, b));
+                forest.or(a, b)
+            }
+        }
+    }
+
+    fn compile_atom(&self, forest: &mut Forest, atom: &CondAtom) -> NodeId {
+        let (eq, a, b) = match atom {
+            CondAtom::Eq(a, b) => (true, a, b),
+            CondAtom::Neq(a, b) => (false, a, b),
+        };
+        let positive = self.compile_eq(forest, a, b);
+        if eq {
+            positive
+        } else {
+            forest.not(positive)
+        }
+    }
+
+    fn compile_eq(&self, forest: &mut Forest, a: &Value, b: &Value) -> NodeId {
+        match (a, b) {
+            (Value::Const(x), Value::Const(y)) => {
+                if x == y {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+            (Value::Null(n), Value::Const(c)) | (Value::Const(c), Value::Null(n)) => {
+                let level = self.level_or_panic(*n);
+                match self.index.get(c) {
+                    Some(&value) => forest.var_eq_value(level, value),
+                    // A constant outside the pool is unreachable by any
+                    // pool valuation.
+                    None => FALSE,
+                }
+            }
+            (Value::Null(n), Value::Null(m)) => {
+                if n == m {
+                    TRUE
+                } else {
+                    let (ln, lm) = (self.level_or_panic(*n), self.level_or_panic(*m));
+                    forest.vars_equal(ln, lm)
+                }
+            }
+        }
+    }
+
+    fn level_or_panic(&self, n: NullId) -> u32 {
+        *self
+            .level_of
+            .get(&n)
+            .unwrap_or_else(|| panic!("Encoding::compile: null ⊥{n} is not encoded"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_data::valuation::all_valuations;
+    use certa_data::Valuation;
+    use std::collections::BTreeSet;
+
+    fn pool(k: i64) -> Vec<Const> {
+        (0..k).map(Const::Int).collect()
+    }
+
+    fn null(i: NullId) -> Value {
+        Value::null(i)
+    }
+
+    fn int(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    /// Brute-force check: the diagram's models are exactly the valuations
+    /// satisfying the condition.
+    fn agrees_with_enumeration(cond: &Cond, nulls: &[NullId], k: i64) {
+        let enc = Encoding::new(pool(k), nulls.to_vec());
+        let mut forest = Forest::new(enc.domains());
+        let node = enc.compile(&mut forest, cond);
+        let set: BTreeSet<NullId> = nulls.iter().copied().collect();
+        let mut expected: u128 = 0;
+        for v in all_valuations(&set, enc.pool()) {
+            if cond.eval_under(&v) {
+                expected += 1;
+            }
+        }
+        assert_eq!(
+            forest.count_models(node).unwrap(),
+            expected,
+            "count mismatch for {cond}"
+        );
+        assert_eq!(
+            forest.is_valid(node),
+            expected == forest.valuation_count().unwrap(),
+            "validity mismatch for {cond}"
+        );
+        assert_eq!(
+            forest.is_satisfiable(node),
+            expected > 0,
+            "satisfiability mismatch for {cond}"
+        );
+    }
+
+    #[test]
+    fn atoms_match_pool_semantics() {
+        agrees_with_enumeration(&Cond::eq(null(0), int(1)), &[0], 4);
+        agrees_with_enumeration(&Cond::neq(null(0), int(1)), &[0], 4);
+        agrees_with_enumeration(&Cond::eq(null(0), null(1)), &[0, 1], 3);
+        agrees_with_enumeration(&Cond::neq(null(0), null(1)), &[0, 1], 3);
+        // A constant outside the pool: unsatisfiable equality.
+        agrees_with_enumeration(&Cond::eq(null(0), int(99)), &[0], 4);
+        agrees_with_enumeration(&Cond::neq(null(0), int(99)), &[0], 4);
+    }
+
+    #[test]
+    fn tautologies_and_contradictions_are_canonical() {
+        let enc = Encoding::new(pool(5), vec![0]);
+        let mut forest = Forest::new(enc.domains());
+        let taut = Cond::eq(null(0), int(1)).or(Cond::neq(null(0), int(1)));
+        assert_eq!(enc.compile(&mut forest, &taut), TRUE);
+        let contra = Cond::eq(null(0), int(1)).and(Cond::eq(null(0), int(2)));
+        assert_eq!(enc.compile(&mut forest, &contra), FALSE);
+    }
+
+    #[test]
+    fn compound_conditions_agree_with_enumeration() {
+        let c = Cond::eq(null(0), int(1))
+            .and(Cond::neq(null(1), null(0)))
+            .or(Cond::eq(null(2), int(0)).not());
+        agrees_with_enumeration(&c, &[0, 1, 2], 3);
+        let c = Cond::eq(null(0), null(1))
+            .and(Cond::eq(null(1), null(2)))
+            .and(Cond::neq(null(0), null(2)));
+        agrees_with_enumeration(&c, &[0, 1, 2], 4);
+    }
+
+    #[test]
+    fn variable_order_does_not_change_counts() {
+        let c = Cond::eq(null(0), null(2)).and(Cond::neq(null(1), int(0)));
+        for order in [vec![0u32, 1, 2], vec![2, 1, 0], vec![1, 2, 0]] {
+            let enc = Encoding::new(pool(3), order.clone());
+            let mut forest = Forest::new(enc.domains());
+            let node = enc.compile(&mut forest, &c);
+            assert_eq!(forest.count_models(node).unwrap(), 6, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn normalizer_substitutes_forced_equalities() {
+        let enc = Encoding::new(pool(4), vec![0, 1]);
+        // ⊥0 = 1 ∧ ⊥0 = ⊥1: forced equalities pin both nulls to 1.
+        let c = Cond::eq(null(0), int(1)).and(Cond::eq(null(0), null(1)));
+        let n = enc.normalize(&c);
+        // The model set is preserved...
+        let set: BTreeSet<NullId> = [0, 1].into_iter().collect();
+        for v in all_valuations(&set, enc.pool()) {
+            assert_eq!(n.eval_under(&v), c.eval_under(&v));
+        }
+        // ...and the compiled diagram counts exactly one model.
+        let mut forest = Forest::new(enc.domains());
+        let node = enc.compile(&mut forest, &c);
+        assert_eq!(forest.count_models(node).unwrap(), 1);
+    }
+
+    #[test]
+    fn foreign_nulls_are_detectable() {
+        let enc = Encoding::new(pool(3), vec![0]);
+        let c = Cond::eq(null(7), int(1));
+        assert!(!enc.covers(&c));
+        assert!(enc.covers(&Cond::eq(null(0), int(1))));
+    }
+
+    #[test]
+    fn models_round_trip_through_valuations() {
+        // Extract a witness from the diagram and check it satisfies the
+        // condition as a valuation.
+        let enc = Encoding::new(pool(4), vec![0, 1]);
+        let mut forest = Forest::new(enc.domains());
+        let c = Cond::eq(null(0), null(1)).and(Cond::neq(null(0), int(0)));
+        let node = enc.compile(&mut forest, &c);
+        let model = forest.any_model(node).expect("satisfiable");
+        let mut v = Valuation::new();
+        for (level, value) in model.iter().enumerate() {
+            v.assign(enc.nulls()[level], enc.pool()[*value].clone());
+        }
+        assert!(c.eval_under(&v));
+    }
+}

@@ -1,0 +1,500 @@
+//! The hash-consed decision-diagram store.
+//!
+//! A [`Forest`] holds *reduced, ordered, multi-valued* decision diagrams
+//! (an MDD/BDD hybrid): every variable — one per marked null — is
+//! multi-valued, ranging over a finite domain (its slice of the constant
+//! pool), and every node is hash-consed, so structurally equal subdiagrams
+//! are shared and equality of diagrams is pointer (id) equality. Reduction
+//! (a node whose children are all equal collapses to that child) plus
+//! ordering plus hash-consing make the representation **canonical**:
+//!
+//! * a condition is *valid* over the encoded valuation space iff it
+//!   compiles to [`TRUE`];
+//! * it is *unsatisfiable* iff it compiles to [`FALSE`];
+//! * its number of satisfying valuations is read off the diagram by one
+//!   memoized bottom-up pass ([`Forest::count_models`]), in `u128`.
+//!
+//! Binary operations go through an *apply* cache (one per operation), so
+//! conjunction/disjunction of already-built diagrams is polynomial in the
+//! product of their sizes rather than in the valuation space.
+
+use crate::{LineageError, Result};
+use std::collections::HashMap;
+
+/// Index of a node in a [`Forest`]. Terminals are [`FALSE`] and [`TRUE`].
+pub type NodeId = u32;
+
+/// The terminal node of unsatisfiable conditions.
+pub const FALSE: NodeId = 0;
+
+/// The terminal node of valid conditions.
+pub const TRUE: NodeId = 1;
+
+/// An internal node: a variable level plus one child per domain value.
+/// Terminals carry the past-the-end level and no children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Node {
+    level: u32,
+    children: Box<[NodeId]>,
+}
+
+/// A store of reduced, ordered, hash-consed multi-valued decision diagrams
+/// over a fixed variable order with per-level domain sizes.
+#[derive(Debug)]
+pub struct Forest {
+    /// Domain size per level. Levels are the variable order: level 0 is
+    /// tested first.
+    domains: Vec<usize>,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    and_cache: HashMap<(NodeId, NodeId), NodeId>,
+    or_cache: HashMap<(NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    count_cache: HashMap<NodeId, u128>,
+}
+
+impl Forest {
+    /// A forest over the given per-level domain sizes.
+    pub fn new(domains: Vec<usize>) -> Forest {
+        let terminal_level = domains.len() as u32;
+        let terminal = |_| Node {
+            level: terminal_level,
+            children: Box::from([]),
+        };
+        Forest {
+            domains,
+            nodes: vec![terminal(FALSE), terminal(TRUE)],
+            unique: HashMap::new(),
+            and_cache: HashMap::new(),
+            or_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            count_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables (levels).
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domain size of a level.
+    pub fn domain(&self, level: u32) -> usize {
+        self.domains[level as usize]
+    }
+
+    /// Total number of distinct nodes ever created (terminals included) —
+    /// the memory-side size measure reported by `Pipeline::explain`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from `root` (terminals included): the size
+    /// of one diagram, as opposed to the whole shared store.
+    pub fn size(&self, root: NodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n as usize], true) {
+                continue;
+            }
+            count += 1;
+            stack.extend(self.nodes[n as usize].children.iter().copied());
+        }
+        count
+    }
+
+    fn level(&self, n: NodeId) -> u32 {
+        self.nodes[n as usize].level
+    }
+
+    /// The level a node tests; terminals report the past-the-end level.
+    pub fn level_of(&self, n: NodeId) -> u32 {
+        self.level(n)
+    }
+
+    /// The `value`-child of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on terminals or out-of-domain values.
+    pub fn child_of(&self, n: NodeId, value: usize) -> NodeId {
+        self.nodes[n as usize].children[value]
+    }
+
+    /// The cofactor of `n` at `(level, value)`: its `value`-child when `n`
+    /// tests `level`, `n` itself when `n` tests a later level.
+    fn cofactor(&self, n: NodeId, level: u32, value: usize) -> NodeId {
+        if self.level(n) == level {
+            self.nodes[n as usize].children[value]
+        } else {
+            n
+        }
+    }
+
+    /// Hash-cons a node, applying the reduction rule (all children equal →
+    /// the child itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child count does not match the level's domain size.
+    pub fn mk(&mut self, level: u32, children: Vec<NodeId>) -> NodeId {
+        assert_eq!(
+            children.len(),
+            self.domains[level as usize],
+            "Forest::mk: child count must equal the level's domain size"
+        );
+        let first = children[0];
+        if children.iter().all(|&c| c == first) {
+            return first;
+        }
+        let node = Node {
+            level,
+            children: children.into_boxed_slice(),
+        };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId::try_from(self.nodes.len()).expect("more than u32::MAX diagram nodes");
+        self.nodes.push(node.clone());
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The diagram of `x_level = value` (an atomic equality against a pool
+    /// constant).
+    pub fn var_eq_value(&mut self, level: u32, value: usize) -> NodeId {
+        let children = (0..self.domains[level as usize])
+            .map(|i| if i == value { TRUE } else { FALSE })
+            .collect();
+        self.mk(level, children)
+    }
+
+    /// The diagram of `x_a = x_b` for two distinct levels (both variables
+    /// take the same pool value). Levels must share a domain size — the
+    /// encoding gives every null the full pool, so this always holds there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or the domain sizes differ.
+    pub fn vars_equal(&mut self, a: u32, b: u32) -> NodeId {
+        assert_ne!(a, b, "Forest::vars_equal: identical levels are just TRUE");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        assert_eq!(
+            self.domains[lo as usize], self.domains[hi as usize],
+            "Forest::vars_equal: domain sizes must match"
+        );
+        let k = self.domains[lo as usize];
+        let children = (0..k).map(|i| self.var_eq_value(hi, i)).collect::<Vec<_>>();
+        self.mk(lo, children)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE {
+            return b;
+        }
+        if b == TRUE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(a).min(self.level(b));
+        let children = (0..self.domains[top as usize])
+            .map(|i| {
+                let (ca, cb) = (self.cofactor(a, top, i), self.cofactor(b, top, i));
+                self.and(ca, cb)
+            })
+            .collect::<Vec<_>>();
+        let r = self.mk(top, children);
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.or_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(a).min(self.level(b));
+        let children = (0..self.domains[top as usize])
+            .map(|i| {
+                let (ca, cb) = (self.cofactor(a, top, i), self.cofactor(b, top, i));
+                self.or(ca, cb)
+            })
+            .collect::<Vec<_>>();
+        let r = self.mk(top, children);
+        self.or_cache.insert(key, r);
+        r
+    }
+
+    /// Negation (terminals swap; internal structure is preserved).
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match a {
+            FALSE => TRUE,
+            TRUE => FALSE,
+            _ => {
+                if let Some(&r) = self.not_cache.get(&a) {
+                    return r;
+                }
+                let level = self.level(a);
+                let children = (0..self.domains[level as usize])
+                    .map(|i| {
+                        let c = self.nodes[a as usize].children[i];
+                        self.not(c)
+                    })
+                    .collect::<Vec<_>>();
+                let r = self.mk(level, children);
+                self.not_cache.insert(a, r);
+                self.not_cache.insert(r, a);
+                r
+            }
+        }
+    }
+
+    /// `true` iff the diagram is satisfied by some valuation — canonical
+    /// form makes this a terminal check.
+    pub fn is_satisfiable(&self, n: NodeId) -> bool {
+        n != FALSE
+    }
+
+    /// `true` iff the diagram holds under every valuation.
+    pub fn is_valid(&self, n: NodeId) -> bool {
+        n == TRUE
+    }
+
+    /// The total number of valuations of *all* levels, `Π domains`.
+    ///
+    /// # Errors
+    ///
+    /// [`LineageError::CountOverflow`] when the product exceeds `u128`.
+    pub fn valuation_count(&self) -> Result<u128> {
+        self.gap(0, self.domains.len() as u32)
+    }
+
+    /// `Π domains[from..to]` in checked `u128`.
+    fn gap(&self, from: u32, to: u32) -> Result<u128> {
+        let mut out: u128 = 1;
+        for level in from..to {
+            out = out
+                .checked_mul(self.domains[level as usize] as u128)
+                .ok_or(LineageError::CountOverflow)?;
+        }
+        Ok(out)
+    }
+
+    /// Exact model count: the number of total valuations (over **all**
+    /// levels of the forest) satisfying the diagram, with per-node
+    /// memoization. Variables the diagram never tests contribute a factor
+    /// of their domain size.
+    ///
+    /// # Errors
+    ///
+    /// [`LineageError::CountOverflow`] when a count exceeds `u128` — the
+    /// companion of the world engine's `TooManyWorlds`: overflow is a
+    /// value, never a wrap.
+    pub fn count_models(&mut self, root: NodeId) -> Result<u128> {
+        let below = self.count_below(root)?;
+        if below == 0 {
+            return Ok(0);
+        }
+        let skipped = self.gap(0, self.level(root))?;
+        below
+            .checked_mul(skipped)
+            .ok_or(LineageError::CountOverflow)
+    }
+
+    /// Satisfying assignments of the levels from `level(n)` to the end.
+    fn count_below(&mut self, n: NodeId) -> Result<u128> {
+        if n == FALSE {
+            return Ok(0);
+        }
+        if n == TRUE {
+            return Ok(1);
+        }
+        if let Some(&c) = self.count_cache.get(&n) {
+            return Ok(c);
+        }
+        let level = self.level(n);
+        let mut total: u128 = 0;
+        for i in 0..self.domains[level as usize] {
+            let child = self.nodes[n as usize].children[i];
+            let below = self.count_below(child)?;
+            if below == 0 {
+                // A refuted branch contributes nothing, even when the gap
+                // product alone would overflow.
+                continue;
+            }
+            let skipped = self.gap(level + 1, self.level(child))?;
+            let contribution = below
+                .checked_mul(skipped)
+                .ok_or(LineageError::CountOverflow)?;
+            total = total
+                .checked_add(contribution)
+                .ok_or(LineageError::CountOverflow)?;
+        }
+        self.count_cache.insert(n, total);
+        Ok(total)
+    }
+
+    /// One satisfying valuation (as a value index per level), if any.
+    /// Levels the diagram never tests are assigned 0. Used by tests and by
+    /// counterexample extraction.
+    pub fn any_model(&self, root: NodeId) -> Option<Vec<usize>> {
+        if root == FALSE {
+            return None;
+        }
+        let mut out = vec![0usize; self.domains.len()];
+        let mut n = root;
+        while n != TRUE {
+            let level = self.level(n) as usize;
+            let (value, child) = self.nodes[n as usize]
+                .children
+                .iter()
+                .enumerate()
+                .find(|(_, &c)| c != FALSE)
+                .map(|(i, &c)| (i, c))
+                .expect("reduced diagram: a non-FALSE node has a non-FALSE child");
+            out[level] = value;
+            n = child;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_reduction() {
+        let mut f = Forest::new(vec![3, 3]);
+        // A node whose children are all equal reduces to the child.
+        assert_eq!(f.mk(0, vec![TRUE, TRUE, TRUE]), TRUE);
+        assert_eq!(f.mk(1, vec![FALSE, FALSE, FALSE]), FALSE);
+        // Hash-consing: the same node twice is the same id.
+        let a = f.mk(0, vec![TRUE, FALSE, FALSE]);
+        let b = f.mk(0, vec![TRUE, FALSE, FALSE]);
+        assert_eq!(a, b);
+        assert_eq!(f.node_count(), 3);
+    }
+
+    #[test]
+    fn tautology_compiles_to_true() {
+        // x = 0 ∨ x ≠ 0 over a 4-valued variable.
+        let mut f = Forest::new(vec![4]);
+        let eq = f.var_eq_value(0, 0);
+        let neq = f.not(eq);
+        let either = f.or(eq, neq);
+        let both = f.and(eq, neq);
+        assert_eq!(either, TRUE);
+        assert_eq!(both, FALSE);
+        assert!(f.is_valid(either));
+        assert!(!f.is_satisfiable(both));
+    }
+
+    #[test]
+    fn counting_with_untested_variables() {
+        // Three variables with domains 2, 3, 4; condition x0 = 1 tests only
+        // level 0, so the count is 1 · 3 · 4 = 12 of 24.
+        let mut f = Forest::new(vec![2, 3, 4]);
+        let c = f.var_eq_value(0, 1);
+        assert_eq!(f.count_models(c).unwrap(), 12);
+        assert_eq!(f.valuation_count().unwrap(), 24);
+        // x1 = x1 is not expressible; x1 = 2 counts 2 · 1 · 4 = 8.
+        let c = f.var_eq_value(1, 2);
+        assert_eq!(f.count_models(c).unwrap(), 8);
+        assert_eq!(f.count_models(TRUE).unwrap(), 24);
+        assert_eq!(f.count_models(FALSE).unwrap(), 0);
+    }
+
+    #[test]
+    fn vars_equal_counts_diagonal() {
+        let mut f = Forest::new(vec![5, 5]);
+        let eq = f.vars_equal(0, 1);
+        assert_eq!(f.count_models(eq).unwrap(), 5);
+        let neq = f.not(eq);
+        assert_eq!(f.count_models(neq).unwrap(), 20);
+        // Negation is an involution on the stored structure.
+        assert_eq!(f.not(neq), eq);
+    }
+
+    #[test]
+    fn apply_respects_ordering_across_levels() {
+        let mut f = Forest::new(vec![2, 2, 2]);
+        let a = f.var_eq_value(0, 1);
+        let b = f.var_eq_value(2, 1);
+        let both = f.and(a, b);
+        assert_eq!(f.count_models(both).unwrap(), 2); // x1 free
+        let either = f.or(a, b);
+        assert_eq!(f.count_models(either).unwrap(), 6);
+        // De Morgan through the store.
+        let na = f.not(a);
+        let nb = f.not(b);
+        let lhs = f.not(either);
+        let rhs = f.and(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn huge_counts_overflow_as_error_not_wrap() {
+        // 22 variables over a 65536-value domain: 65536^22 = 2^352 > u128.
+        let mut f = Forest::new(vec![65536; 22]);
+        assert_eq!(f.valuation_count(), Err(LineageError::CountOverflow));
+        assert_eq!(f.count_models(TRUE), Err(LineageError::CountOverflow));
+        // A condition pinning every variable still counts fine: 1 model.
+        let mut all = TRUE;
+        for level in 0..22 {
+            let eq = f.var_eq_value(level, 7);
+            all = f.and(all, eq);
+        }
+        assert_eq!(f.count_models(all).unwrap(), 1);
+    }
+
+    #[test]
+    fn counts_past_the_usize_limit_are_exact() {
+        // 33 binary variables under TRUE: 2^33 models; 130 would overflow
+        // u128 but 120 binary variables count exactly.
+        let mut f = Forest::new(vec![2; 120]);
+        assert_eq!(f.count_models(TRUE).unwrap(), 1u128 << 120);
+        let pinned = f.var_eq_value(60, 1);
+        assert_eq!(f.count_models(pinned).unwrap(), 1u128 << 119);
+    }
+
+    #[test]
+    fn any_model_finds_witnesses() {
+        let mut f = Forest::new(vec![3, 3]);
+        let eq = f.vars_equal(0, 1);
+        let x0 = f.var_eq_value(0, 2);
+        let both = f.and(eq, x0);
+        assert_eq!(f.any_model(both), Some(vec![2, 2]));
+        assert_eq!(f.any_model(FALSE), None);
+        assert_eq!(f.any_model(TRUE), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn size_measures_one_diagram_not_the_store() {
+        let mut f = Forest::new(vec![2, 2]);
+        let a = f.var_eq_value(0, 0);
+        let b = f.var_eq_value(1, 0);
+        let both = f.and(a, b);
+        assert_eq!(f.size(a), 3); // node + two terminals
+        assert!(f.size(both) >= f.size(a));
+        assert!(f.node_count() >= f.size(both));
+    }
+}

@@ -76,7 +76,7 @@ fn nested_not_in_returns_almost_certainly_false_answer() {
     // ⊥ happens to be 1, so the limit µ is 0 (almost certainly false).
     for k in [2usize, 4, 8] {
         let frac = mu_k(&algebra, &db, &tup![1], k).unwrap();
-        assert_eq!((frac.numerator, frac.denominator), (1, k));
+        assert_eq!((frac.numerator, frac.denominator), (1, k as u128));
     }
 }
 

@@ -190,7 +190,7 @@ fn mu_k_agrees_with_seed_counting() {
                 reference::mu_k_conditional_seed(&query, &db, &tuple, &spec, |_| true).unwrap();
             assert_eq!(
                 (fast.numerator, fast.denominator),
-                (num, den),
+                (num as u128, den as u128),
                 "seed {seed}, k = {k}: µ_k of {tuple} for {query} on {db}"
             );
         }

@@ -86,6 +86,10 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
         let mut bencher = Bencher {
             test_mode: self.criterion.test_mode,
             last: None,
@@ -93,7 +97,7 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         match bencher.last {
             Some(t) => println!("{}/{:<40} {:>12.3?}", self.name, bencher_label(&id.id), t),
-            None => println!("{}/{} ... ok (test mode)", self.name, id.id),
+            None => println!("{full} ... ok (test mode)"),
         }
     }
 
@@ -124,13 +128,34 @@ fn bencher_label(id: &str) -> &str {
 #[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
+    /// Substring filters from the command line (real criterion's
+    /// positional `FILTER` argument): with any present, only benchmarks
+    /// whose `group/name` contains one of them run.
+    filters: Vec<String>,
 }
 
 impl Criterion {
-    /// Honour the `--test` flag `cargo test` passes to bench binaries.
+    /// Honour the `--test` flag `cargo test` passes to bench binaries, and
+    /// collect positional arguments as name filters (so
+    /// `cargo bench --bench ablations -- a08` runs only the `a08_*`
+    /// group, like the real criterion).
     pub fn configure_from_args(mut self) -> Self {
-        self.test_mode = std::env::args().any(|a| a == "--test");
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
         self
+    }
+
+    /// Whether a `group/name` benchmark id passes the command-line
+    /// filters. Public so bench files can gate *setup* work on the same
+    /// predicate the harness applies to the measured bodies (the real
+    /// criterion exposes equivalent filtering through its CLI).
+    pub fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
     }
 
     /// Open a named benchmark group.
