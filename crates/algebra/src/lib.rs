@@ -23,6 +23,11 @@
 //!   intersection/difference) instantiated over annotation domains, plus
 //!   the evaluate-once world split ([`physical::PreparedWorldQuery`]) that
 //!   hoists null-independent subplans out of per-world execution;
+//! * [`mask`] — the **world-mask domain** ([`mask::MaskAnn`]): every tuple
+//!   carries a bitset of the possible worlds containing it, so the whole
+//!   possible-worlds quantification is answered in a *single* plan
+//!   execution, 64 worlds per word operation — including the extended
+//!   operators and the syntactic predicates outside the lineage fragment;
 //! * [`eval`] — set-semantics evaluation (nulls treated as plain values,
 //!   i.e. the evaluation underlying naïve evaluation), an adapter over the
 //!   physical engine at [`physical::SetAnn`];
@@ -55,6 +60,7 @@ pub mod builder;
 pub mod eval;
 pub mod expr;
 pub mod fragment;
+pub mod mask;
 pub mod naive;
 pub mod opt;
 pub mod physical;
@@ -64,6 +70,7 @@ pub use builder::QueryBuilder;
 pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
+pub use mask::{MaskAnn, MaskContext, MaskSource};
 pub use naive::naive_eval;
 pub use opt::{optimize, optimize_with, Stats};
 pub use physical::{

@@ -46,7 +46,7 @@ use crate::expr::{Condition, Operand, RaExpr};
 use crate::{AlgebraError, Result};
 use certa_data::index::{extract_key, key_has_null, KeyIndex};
 use certa_data::{BagDatabase, BagRelation, Database, Relation, Schema, Tuple, Valuation, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// An annotation domain: the commutative-semiring-style structure an
@@ -161,6 +161,57 @@ pub trait Annotation: Clone + Sized {
             }
         }
         out
+    }
+
+    /// Division `left ÷ right` (extended operator). The default is
+    /// support-based — a candidate prefix survives when every divisor
+    /// tuple pairs with it in the dividend — and iterates the rows **by
+    /// reference**: no annotation-dropping copy of either input is
+    /// materialised (the old path cloned every tuple of both sides into
+    /// plain relations first). Domains whose rows are present only in
+    /// *some* worlds (the mask domain) override this with a per-world
+    /// reading.
+    ///
+    /// # Errors
+    ///
+    /// Rejects domains without [`SUPPORTS_EXTENDED`].
+    ///
+    /// [`SUPPORTS_EXTENDED`]: Annotation::SUPPORTS_EXTENDED
+    fn divide(left: AnnRel<Self>, right: &AnnRel<Self>) -> Result<AnnRel<Self>> {
+        require_extended::<Self>("division")?;
+        let n = left.arity() - right.arity();
+        let head: Vec<usize> = (0..n).collect();
+        let dividend: HashSet<&Tuple> = left.rows().iter().map(|(t, _)| t).collect();
+        let mut out = AnnRel::new(n);
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(left.rows().len());
+        for (t, _) in left.rows() {
+            let cand = t.project(&head);
+            if !seen.insert(cand.clone()) {
+                continue;
+            }
+            if right
+                .rows()
+                .iter()
+                .all(|(b, _)| dividend.contains(&cand.concat(b)))
+            {
+                out.push(cand, Self::one());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The unification anti-semijoin `left ⋉⇑ right` (extended operator).
+    /// The default is support-based, keeping left annotations; the mask
+    /// domain overrides it with a per-world reading.
+    ///
+    /// # Errors
+    ///
+    /// Rejects domains without [`SUPPORTS_EXTENDED`].
+    ///
+    /// [`SUPPORTS_EXTENDED`]: Annotation::SUPPORTS_EXTENDED
+    fn anti_unify(left: AnnRel<Self>, right: &AnnRel<Self>) -> Result<AnnRel<Self>> {
+        require_extended::<Self>("anti-semijoin (⋉⇑)")?;
+        Ok(anti_unify_support(left, right))
     }
 }
 
@@ -350,6 +401,24 @@ pub trait Source<A: Annotation> {
 
     /// The active domain (for the `Domᵏ` extended operator).
     fn active_domain(&self) -> Vec<Value>;
+
+    /// The `Domᵏ` extended operator: all `k`-tuples over the active
+    /// domain, annotated. The default annotates everything with
+    /// [`Annotation::one`]; sources whose active domain varies per world
+    /// (the mask source) override it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects domains without [`Annotation::SUPPORTS_EXTENDED`].
+    fn dom_power(&self, k: usize) -> Result<AnnRel<A>> {
+        require_extended::<A>("Dom^k")?;
+        let domain = self.active_domain();
+        let mut out = AnnRel::new(k);
+        for t in crate::eval::dom_power_over(&domain, k) {
+            out.push(t, A::one());
+        }
+        Ok(out)
+    }
 }
 
 /// Set-semantics source: a [`Database`] scanned with [`SetAnn`] presence.
@@ -911,30 +980,15 @@ where
             (OpKind::Difference, A::difference(l, &r))
         }
         PhysOp::Divide(le, re) => {
-            require_extended::<A>("division")?;
             let l = execute_with_cache(le, source, hook, cache)?;
             let r = execute_with_cache(re, source, hook, cache)?;
-            let quotient = crate::eval::divide(&l.support(), &r.support());
-            let mut out = AnnRel::new(quotient.arity());
-            for t in quotient.iter() {
-                out.push(t.clone(), A::one());
-            }
-            (OpKind::Divide, out)
+            (OpKind::Divide, A::divide(l, &r)?)
         }
-        PhysOp::DomPower(k) => {
-            require_extended::<A>("Dom^k")?;
-            let domain = source.active_domain();
-            let mut out = AnnRel::new(*k);
-            for t in crate::eval::dom_power_over(&domain, *k) {
-                out.push(t, A::one());
-            }
-            (OpKind::DomPower, out)
-        }
+        PhysOp::DomPower(k) => (OpKind::DomPower, source.dom_power(*k)?),
         PhysOp::AntiSemiJoinUnify(le, re) => {
-            require_extended::<A>("anti-semijoin (⋉⇑)")?;
             let l = execute_with_cache(le, source, hook, cache)?;
             let r = execute_with_cache(re, source, hook, cache)?;
-            (OpKind::AntiSemiJoinUnify, anti_unify(l, &r))
+            (OpKind::AntiSemiJoinUnify, A::anti_unify(l, &r)?)
         }
     };
     Ok(hook(kind, rel))
@@ -1020,11 +1074,11 @@ fn hash_join<A: Annotation>(
     out
 }
 
-/// Unification anti-semijoin on supports, keeping left annotations. The
-/// right side is partitioned into complete tuples (matched by hash lookup)
-/// and null-bearing tuples (matched by pairwise unification).
-fn anti_unify<A: Annotation>(left: AnnRel<A>, right: &AnnRel<A>) -> AnnRel<A> {
-    use std::collections::HashSet;
+/// Unification anti-semijoin on supports, keeping left annotations — the
+/// default behind [`Annotation::anti_unify`]. The right side is
+/// partitioned into complete tuples (matched by hash lookup) and
+/// null-bearing tuples (matched by pairwise unification).
+fn anti_unify_support<A: Annotation>(left: AnnRel<A>, right: &AnnRel<A>) -> AnnRel<A> {
     let mut complete: HashSet<&Tuple> = HashSet::new();
     let mut with_nulls: Vec<&Tuple> = Vec::new();
     for (t, _) in right.rows() {

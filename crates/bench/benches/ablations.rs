@@ -439,6 +439,120 @@ fn a08_lineage(c: &mut Criterion) {
     group.finish();
 }
 
+/// a09: the **world-mask single pass** versus prepared/parallel world
+/// enumeration, on an a07/a08-style workload at 2^12 = 4096 worlds: a
+/// join query over a relation holding 12 independent nulls plus a few
+/// hundred complete ballast rows. Enumeration executes the (prepared,
+/// hoisted) plan once per world — 4096 executions even across 16 worker
+/// threads — while the mask backend executes it **once**, every tuple
+/// carrying a 64-word bitset (one bit per world, 64 worlds per AND/OR).
+///
+/// A second pair runs a `null(·)`-predicate query **outside the lineage
+/// fragment** — the instances where the PR 4 dispatcher had nothing
+/// faster than enumeration to fall back to, and where the mask backend
+/// now answers in one pass.
+///
+/// Under `cargo test` (bench bodies run once) the world count shrinks to
+/// 2^6 so the smoke run stays fast; `cargo bench` measures the full 2^12.
+fn a09_mask(c: &mut Criterion) {
+    use certa::certain::cert::cert_with_nulls_with;
+    use certa::certain::mask::cert_with_nulls_mask_with;
+    use certa::certain::worlds::WorldSpec;
+    use certa::certain::{classify_candidates_mask, prob};
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let nulls: u32 = if test_mode { 6 } else { 12 };
+
+    // Like a08: the setup below runs several full 2^12-world enumerations
+    // as agreement checks, so it must be skipped entirely when the
+    // harness's filter predicate selects none of this group's benchmarks.
+    const GROUP: &str = "a09_mask";
+    let names = [
+        "enumeration_cert_16_threads",
+        "enumeration_cert_1_thread",
+        "mask_cert_single_pass",
+        "enumeration_mu_k2",
+        "mask_mu_k2",
+        "enumeration_classify_unsupported_fragment",
+        "mask_classify_unsupported_fragment",
+    ];
+    if !names.iter().any(|n| c.matches(&format!("{GROUP}/{n}"))) {
+        return;
+    }
+
+    // R(a, b): one row (i, ⊥ᵢ) per null plus complete ballast rows
+    // (100+j, j mod 7); S(b) keeps 1, 3 and 5. A null row joins exactly
+    // when its null resolves to 1 — half the worlds — so certainty work
+    // can never exit early, and the join body is executed per world.
+    let mut rows: Vec<Tuple> = (0..nulls)
+        .map(|i| tup![i64::from(i), Value::null(i)])
+        .collect();
+    for j in 0..300i64 {
+        rows.push(tup![100 + j, j % 7]);
+    }
+    let db = database_from_literal([
+        ("R", vec!["a", "b"], rows),
+        ("S", vec!["b"], vec![tup![1], tup![3], tup![5]]),
+        ("T", vec!["a"], vec![tup![101], tup![105]]),
+    ]);
+    let query = RaExpr::rel("R")
+        .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+        .project(vec![0])
+        .difference(RaExpr::rel("T"));
+    let spec = WorldSpec::new([certa::data::Const::Int(1), certa::data::Const::Int(2)]);
+    assert_eq!(spec.world_count(&db), 1usize << nulls);
+
+    // All backends agree before anything is timed.
+    let spec16 = spec.clone().with_threads(16);
+    let spec1 = spec.clone().with_threads(1);
+    let by_worlds = cert_with_nulls_with(&query, &db, &spec16).unwrap();
+    let by_mask = cert_with_nulls_mask_with(&query, &db, &spec).unwrap();
+    assert_eq!(by_worlds, by_mask);
+    assert!(!by_mask.is_empty());
+    let mu_worlds = prob::mu_k(&query, &db, &tup![0], 2).unwrap();
+    let mu_mask = prob::mu_k_mask(&query, &db, &tup![0], 2).unwrap();
+    assert_eq!(mu_worlds, mu_mask);
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("enumeration_cert_16_threads", |b| {
+        b.iter(|| cert_with_nulls_with(&query, &db, &spec16).unwrap())
+    });
+    group.bench_function("enumeration_cert_1_thread", |b| {
+        b.iter(|| cert_with_nulls_with(&query, &db, &spec1).unwrap())
+    });
+    group.bench_function("mask_cert_single_pass", |b| {
+        b.iter(|| cert_with_nulls_mask_with(&query, &db, &spec).unwrap())
+    });
+    group.bench_function("enumeration_mu_k2", |b| {
+        b.iter(|| prob::mu_k(&query, &db, &tup![0], 2).unwrap())
+    });
+    group.bench_function("mask_mu_k2", |b| {
+        b.iter(|| prob::mu_k_mask(&query, &db, &tup![0], 2).unwrap())
+    });
+
+    // Outside the lineage fragment: null(b) ∨ b = 1 keeps the classifier
+    // honest (the predicate is live in half the worlds per null row).
+    let unsupported = RaExpr::rel("R")
+        .select(Condition::IsNull(1).or(Condition::eq_const(1, 1)))
+        .project(vec![0]);
+    let prepared = PreparedQuery::prepare(&unsupported, db.schema()).unwrap();
+    let candidates: Vec<Tuple> = (0..nulls).map(|i| tup![i64::from(i)]).collect();
+    let by_worlds =
+        certa::certain::cert::classify_candidates(&prepared, &db, &spec16, &candidates).unwrap();
+    let by_mask = classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap();
+    assert_eq!(by_worlds, by_mask);
+    assert!(by_mask.iter().all(|s| s.possible && !s.certain));
+    group.bench_function("enumeration_classify_unsupported_fragment", |b| {
+        b.iter(|| {
+            certa::certain::cert::classify_candidates(&prepared, &db, &spec16, &candidates).unwrap()
+        })
+    });
+    group.bench_function("mask_classify_unsupported_fragment", |b| {
+        b.iter(|| classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     a01_antijoin,
@@ -448,6 +562,7 @@ criterion_group!(
     a05_physical_engine,
     a06_prepared_worlds,
     a07_optimizer,
-    a08_lineage
+    a08_lineage,
+    a09_mask
 );
 criterion_main!(benches);

@@ -1,0 +1,415 @@
+//! Headless ablation runner: re-times the a05–a09 ablation workloads with
+//! plain [`std::time::Instant`] and emits machine-readable JSON so the
+//! performance trajectory is comparable across PRs without parsing
+//! criterion output.
+//!
+//! Every variant is verified for cross-backend agreement *before* it is
+//! timed (the same assertions the criterion benches make), so a committed
+//! `BENCH_5.json` is also a correctness witness.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks every workload to smoke-test size (used by CI so the
+//! emitter can't rot); the default full configuration is what
+//! `BENCH_5.json` at the repository root records. Default output path is
+//! `BENCH_5.json` in the current directory.
+
+use certa::algebra::physical::SetSource;
+use certa::certain::cert::{
+    cert_with_nulls_with, classify_candidates, classify_candidates_lineage,
+};
+use certa::certain::mask::{cert_with_nulls_mask_with, classify_candidates_mask};
+use certa::certain::reference::cert_with_nulls_seed;
+use certa::certain::worlds::{exact_pool, WorldSpec};
+use certa::certain::{prob, CertainError};
+use certa::prelude::*;
+use std::time::Instant;
+
+/// One timed measurement.
+struct Entry {
+    ablation: &'static str,
+    variant: &'static str,
+    millis: f64,
+    iters: usize,
+}
+
+/// Median wall time of `iters` runs (after one untimed warmup), in
+/// milliseconds.
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn push(
+    out: &mut Vec<Entry>,
+    ablation: &'static str,
+    variant: &'static str,
+    iters: usize,
+    f: impl FnMut(),
+) {
+    let millis = time_ms(iters, f);
+    eprintln!("  {ablation}/{variant}: {millis:.3} ms");
+    out.push(Entry {
+        ablation,
+        variant,
+        millis,
+        iters,
+    });
+}
+
+/// a05: the annotation-generic physical engine versus the seed's
+/// clone-per-node interpreter on the three-way TPC-H-style join.
+fn a05(out: &mut Vec<Entry>, quick: bool) {
+    let customers = if quick { 250 } else { 2000 };
+    let db = TpchGenerator::new(TpchConfig::scaled_to(customers, 0.05, 11)).generate();
+    let three_way = RaExpr::rel("Customer")
+        .join_on(RaExpr::rel("Orders"), &[(0, 1)], 3)
+        .join_on(RaExpr::rel("Lineitem"), &[(3, 0)], 6)
+        .select(Condition::neq_const(5, 0))
+        .project(vec![1, 3, 7]);
+    assert_eq!(
+        eval(&three_way, &db).unwrap(),
+        certa::algebra::reference::eval_set_reference(&three_way, &db).unwrap()
+    );
+    push(
+        out,
+        "a05_physical_engine",
+        "set_hash_join_engine",
+        5,
+        || {
+            eval(&three_way, &db).unwrap();
+        },
+    );
+    push(
+        out,
+        "a05_physical_engine",
+        "set_clone_per_node_reference",
+        3,
+        || {
+            certa::algebra::reference::eval_set_reference(&three_way, &db).unwrap();
+        },
+    );
+}
+
+/// a06: prepared/parallel world evaluation versus the seed's
+/// replan-per-world loop.
+fn a06(out: &mut Vec<Entry>, quick: bool) {
+    let db = random_database(&RandomDbConfig {
+        relations: vec![("R".to_string(), 3), ("S".to_string(), 8)],
+        tuples_per_relation: if quick { 200 } else { 1500 },
+        domain_size: 3,
+        null_count: 4,
+        null_rate: 0.01,
+        seed: 12,
+    });
+    let query = RaExpr::rel("R").select(Condition::eq_const(0, 1));
+    let spec = exact_pool(&query, &db);
+    assert!(db.nulls().len() >= 4);
+    assert_eq!(
+        cert_with_nulls_seed(&query, &db, &spec).unwrap(),
+        cert_with_nulls_with(&query, &db, &spec).unwrap()
+    );
+    push(
+        out,
+        "a06_prepared_worlds",
+        "replan_per_world_seed",
+        3,
+        || {
+            cert_with_nulls_seed(&query, &db, &spec).unwrap();
+        },
+    );
+    let spec1 = spec.clone().with_threads(1);
+    push(
+        out,
+        "a06_prepared_worlds",
+        "prepared_single_thread",
+        5,
+        || {
+            cert_with_nulls_with(&query, &db, &spec1).unwrap();
+        },
+    );
+    push(out, "a06_prepared_worlds", "prepared_parallel", 5, || {
+        cert_with_nulls_with(&query, &db, &spec).unwrap();
+    });
+}
+
+/// a07: the null-aware optimizer and evaluate-once hoisting across worlds.
+fn a07(out: &mut Vec<Entry>, quick: bool) {
+    use certa::certain::worlds::WorldEngine;
+
+    let base = TpchGenerator::new(TpchConfig {
+        customers: 40,
+        orders_per_customer: 2,
+        lineitems_per_order: 2,
+        parts: 12,
+        suppliers: 6,
+        nations: 4,
+        null_rate: 0.0,
+        seed: 7,
+    })
+    .generate();
+    let mut db = base.clone();
+    let customers: Vec<Tuple> = db.relation("Customer").unwrap().iter().cloned().collect();
+    let perturbed: certa::data::Relation = customers
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i < 3 {
+                Tuple::new([t[0].clone(), t[1].clone(), Value::null(i as u32)])
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    db.set_relation("Customer", perturbed).unwrap();
+    let query = RaExpr::rel("Customer")
+        .product(RaExpr::rel("Orders"))
+        .product(RaExpr::rel("Lineitem"))
+        .select(
+            Condition::eq_attr(0, 4)
+                .and(Condition::eq_attr(3, 6))
+                .and(Condition::neq_const(9, 0)),
+        )
+        .project(vec![1, 2, 5]);
+    let pool = if quick { 4i64 } else { 10 };
+    let spec = WorldSpec::new((0..pool).map(certa::data::Const::Int)).with_threads(1);
+
+    let total_answers = |world_query: &PreparedWorldQuery,
+                         cache: &[certa::algebra::AnnRel<certa::algebra::physical::SetAnn>]|
+     -> usize {
+        let engine = WorldEngine::new(&db, &spec).unwrap();
+        engine
+            .map_reduce(
+                |v| Ok(world_query.eval_set_world(&db, v, cache)?.len()),
+                |a, b| a + b,
+                |_| false,
+            )
+            .unwrap()
+            .unwrap()
+    };
+
+    let unopt = PreparedQuery::prepare(&query, db.schema()).unwrap();
+    let opt =
+        PreparedQuery::prepare_optimized_with(&query, db.schema(), &Stats::from_database(&db))
+            .unwrap();
+    let unopt_world = unopt.for_worlds(|_| false);
+    let opt_world = opt.for_worlds(|_| false);
+    let hoisted = opt.for_world_db(&db);
+    let cache = hoisted.materialize(&SetSource(&db)).unwrap();
+    let expected = total_answers(&opt_world, &[]);
+    assert_eq!(expected, total_answers(&hoisted, &cache));
+    push(out, "a07_optimizer", "unoptimized_prepared", 3, || {
+        total_answers(&unopt_world, &[]);
+    });
+    push(out, "a07_optimizer", "optimized_no_hoist", 3, || {
+        total_answers(&opt_world, &[]);
+    });
+    push(out, "a07_optimizer", "optimized_hoisted", 3, || {
+        total_answers(&hoisted, &cache);
+    });
+}
+
+/// a08: the symbolic lineage backend versus single-threaded enumeration.
+fn a08(out: &mut Vec<Entry>, quick: bool) {
+    use certa::certain::cert::cert_with_nulls_lineage_with;
+
+    let nulls: u32 = if quick { 4 } else { 10 };
+    let mut rows: Vec<Tuple> = (0..nulls).map(|i| tup![Value::null(i)]).collect();
+    rows.push(tup![0]);
+    rows.push(tup![1]);
+    let db = database_from_literal([("R", vec!["a"], rows), ("S", vec!["a"], vec![tup![1]])]);
+    let query = RaExpr::rel("R").difference(RaExpr::rel("S"));
+    let spec = WorldSpec::new((0..4i64).map(certa::data::Const::Int)).with_threads(1);
+    assert_eq!(
+        cert_with_nulls_with(&query, &db, &spec).unwrap(),
+        cert_with_nulls_lineage_with(&query, &db, &spec).unwrap()
+    );
+    push(out, "a08_lineage", "enumeration_cert_1_thread", 3, || {
+        cert_with_nulls_with(&query, &db, &spec).unwrap();
+    });
+    push(out, "a08_lineage", "lineage_cert", 10, || {
+        cert_with_nulls_lineage_with(&query, &db, &spec).unwrap();
+    });
+    push(out, "a08_lineage", "enumeration_mu_k4", 3, || {
+        prob::mu_k(&query, &db, &tup![0], 4).unwrap();
+    });
+    push(out, "a08_lineage", "lineage_mu_k4", 10, || {
+        prob::mu_k_lineage(&query, &db, &tup![0], 4).unwrap();
+    });
+}
+
+/// a09: the world-mask single pass versus prepared/parallel enumeration at
+/// 2^12 worlds, plus the lineage-unsupported pair (the instances where the
+/// PR 4 dispatcher had only enumeration to fall back to).
+fn a09(out: &mut Vec<Entry>, quick: bool) {
+    let nulls: u32 = if quick { 6 } else { 12 };
+    let mut rows: Vec<Tuple> = (0..nulls)
+        .map(|i| tup![i64::from(i), Value::null(i)])
+        .collect();
+    for j in 0..300i64 {
+        rows.push(tup![100 + j, j % 7]);
+    }
+    let db = database_from_literal([
+        ("R", vec!["a", "b"], rows),
+        ("S", vec!["b"], vec![tup![1], tup![3], tup![5]]),
+        ("T", vec!["a"], vec![tup![101], tup![105]]),
+    ]);
+    let query = RaExpr::rel("R")
+        .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+        .project(vec![0])
+        .difference(RaExpr::rel("T"));
+    let spec = WorldSpec::new([certa::data::Const::Int(1), certa::data::Const::Int(2)]);
+    assert_eq!(spec.world_count(&db), 1usize << nulls);
+    let spec16 = spec.clone().with_threads(16);
+    let spec1 = spec.clone().with_threads(1);
+    assert_eq!(
+        cert_with_nulls_with(&query, &db, &spec16).unwrap(),
+        cert_with_nulls_mask_with(&query, &db, &spec).unwrap()
+    );
+    assert_eq!(
+        prob::mu_k(&query, &db, &tup![0], 2).unwrap(),
+        prob::mu_k_mask(&query, &db, &tup![0], 2).unwrap()
+    );
+    push(out, "a09_mask", "enumeration_cert_16_threads", 3, || {
+        cert_with_nulls_with(&query, &db, &spec16).unwrap();
+    });
+    push(out, "a09_mask", "enumeration_cert_1_thread", 3, || {
+        cert_with_nulls_with(&query, &db, &spec1).unwrap();
+    });
+    push(out, "a09_mask", "mask_cert_single_pass", 10, || {
+        cert_with_nulls_mask_with(&query, &db, &spec).unwrap();
+    });
+    push(out, "a09_mask", "enumeration_mu_k2", 3, || {
+        prob::mu_k(&query, &db, &tup![0], 2).unwrap();
+    });
+    push(out, "a09_mask", "mask_mu_k2", 10, || {
+        prob::mu_k_mask(&query, &db, &tup![0], 2).unwrap();
+    });
+
+    // Outside the lineage fragment: the lineage backend must reject this
+    // query, after which enumeration was PR 4's only answer.
+    let unsupported = RaExpr::rel("R")
+        .select(Condition::IsNull(1).or(Condition::eq_const(1, 1)))
+        .project(vec![0]);
+    let prepared = PreparedQuery::prepare(&unsupported, db.schema()).unwrap();
+    let candidates: Vec<Tuple> = (0..nulls).map(|i| tup![i64::from(i)]).collect();
+    assert!(matches!(
+        classify_candidates_lineage(&unsupported, &db, &spec, &candidates),
+        Err(CertainError::Lineage(e)) if e.is_unsupported()
+    ));
+    assert_eq!(
+        classify_candidates(&prepared, &db, &spec16, &candidates).unwrap(),
+        classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap()
+    );
+    push(
+        out,
+        "a09_mask",
+        "enumeration_classify_unsupported_fragment",
+        3,
+        || {
+            classify_candidates(&prepared, &db, &spec16, &candidates).unwrap();
+        },
+    );
+    push(
+        out,
+        "a09_mask",
+        "mask_classify_unsupported_fragment",
+        10,
+        || {
+            classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap();
+        },
+    );
+}
+
+fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.ablation == ablation && e.variant == variant)
+        .map(|e| e.millis)
+        .expect("entry recorded")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+
+    let mut entries: Vec<Entry> = Vec::new();
+    eprintln!(
+        "running ablations ({}):",
+        if quick { "quick" } else { "full" }
+    );
+    a05(&mut entries, quick);
+    a06(&mut entries, quick);
+    a07(&mut entries, quick);
+    a08(&mut entries, quick);
+    a09(&mut entries, quick);
+
+    let mask_speedup_16 = find(&entries, "a09_mask", "enumeration_cert_16_threads")
+        / find(&entries, "a09_mask", "mask_cert_single_pass");
+    let mask_speedup_unsupported =
+        find(
+            &entries,
+            "a09_mask",
+            "enumeration_classify_unsupported_fragment",
+        ) / find(&entries, "a09_mask", "mask_classify_unsupported_fragment");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"BENCH_5\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    json.push_str(&format!("  \"threads_available\": {threads},\n"));
+    if threads < 16 {
+        json.push_str(&format!(
+            "  \"note\": \"the *_16_threads variants request 16 workers but the host \
+             exposes {threads} CPU(s), so they degenerate to (near-)sequential \
+             execution; divide their times by up to 16/{threads} for an idealized \
+             fully-parallel baseline\",\n"
+        ));
+    }
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ablation\": \"{}\", \"variant\": \"{}\", \"median_ms\": {:.4}, \"iters\": {}}}{}\n",
+            e.ablation,
+            e.variant,
+            e.millis,
+            e.iters,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"derived\": {\n");
+    json.push_str(&format!(
+        "    \"a09_mask_cert_speedup_over_16_thread_enumeration\": {mask_speedup_16:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a09_mask_classify_speedup_on_lineage_unsupported_fragment\": {mask_speedup_unsupported:.1}\n"
+    ));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -73,8 +73,9 @@ pub mod prelude {
     };
     pub use certa_certain::{
         almost_certainly_true, cert_intersection, cert_with_nulls, cert_with_nulls_lineage,
-        is_certain_answer, is_certainly_false, mu_k, mu_k_lineage, q_false, q_plus, q_question,
-        q_true, AnswerQuality,
+        cert_with_nulls_mask, classify_candidates_mask, is_certain_answer, is_certainly_false,
+        mu_k, mu_k_lineage, mu_k_mask, q_false, q_plus, q_question, q_true, AnswerQuality,
+        MaskBatch,
     };
     pub use certa_ctables::{eval_conditional, Strategy};
     pub use certa_data::{

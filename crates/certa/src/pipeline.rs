@@ -59,9 +59,17 @@ pub enum Scheme {
 /// Which machinery decides the [`Scheme::Exact`] labels for an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Prepared/parallel possible-world enumeration — exact and cheap when
-    /// the valuation space is small.
+    /// Prepared/parallel possible-world enumeration — the last-resort
+    /// oracle: it executes the plan once *per world*, so the dispatcher
+    /// only reaches for it when the mask backend is over the world bound
+    /// and the lineage backend is outside its fragment.
     WorldEnumeration,
+    /// The world-mask single pass: every tuple carries a bitset of the
+    /// worlds containing it, so one plan execution answers the whole
+    /// valuation space (64 worlds per word operation). Covers the full
+    /// operator language — extended operators, `null(·)`/`const(·)`
+    /// predicates, null literals.
+    Mask,
     /// Symbolic lineage: c-table conditions compiled into decision
     /// diagrams; certainty/possibility/counting read off the canonical
     /// form without visiting a single world.
@@ -72,16 +80,19 @@ impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Backend::WorldEnumeration => write!(f, "world enumeration"),
+            Backend::Mask => write!(f, "world mask (single pass)"),
             Backend::Lineage => write!(f, "lineage (knowledge compilation)"),
         }
     }
 }
 
-/// World count above which [`Scheme::Exact`] switches from enumeration to
-/// the lineage backend: enumerating a few thousand worlds through the
-/// prepared/parallel engine is cheaper than compiling diagrams; beyond
-/// that the symbolic cost (polynomial in diagram sizes) wins, and past the
-/// world *bound* it is the only option at all.
+/// World count above which [`Scheme::Exact`] switches from the world-mask
+/// single pass to the lineage backend: up to a few thousand worlds the
+/// masked pass (one plan execution, `⌈worlds/64⌉` words per tuple) is
+/// cheaper than compiling diagrams; beyond it the symbolic cost
+/// (polynomial in diagram sizes, independent of the world count) wins.
+/// Queries outside the symbolic fragment come back to the mask backend up
+/// to the world *bound*, and to plain enumeration only past that.
 pub const LINEAGE_WORLD_THRESHOLD: usize = 4096;
 
 /// The dispatcher's verdict for one `(query, database)` instance, reported
@@ -104,6 +115,10 @@ pub struct BackendChoice {
     /// measured by [`Pipeline::explain`], and only when the lineage
     /// backend is selected and supports the query.
     pub diagram_nodes: Option<usize>,
+    /// Mask-backend statistics (world count, blocks per mask, distinct
+    /// masks seen) — only measured by [`Pipeline::explain`], and only when
+    /// the mask backend is selected.
+    pub mask_stats: Option<certa_certain::MaskStats>,
 }
 
 fn choose_exact_backend(spec: &certa_certain::WorldSpec, db: &Database) -> BackendChoice {
@@ -112,10 +127,12 @@ fn choose_exact_backend(spec: &certa_certain::WorldSpec, db: &Database) -> Backe
     let worlds = spec.world_count(db);
     let (backend, reason) = if worlds <= LINEAGE_WORLD_THRESHOLD {
         (
-            Backend::WorldEnumeration,
+            Backend::Mask,
             format!(
                 "{worlds} world(s) ({nulls} null(s) over a {pool}-constant pool) \
-                 is within the enumeration threshold of {LINEAGE_WORLD_THRESHOLD}"
+                 is within the mask threshold of {LINEAGE_WORLD_THRESHOLD}: one \
+                 masked pass decides all worlds at {} block(s) per tuple",
+                worlds.div_ceil(64)
             ),
         )
     } else {
@@ -128,7 +145,7 @@ fn choose_exact_backend(spec: &certa_certain::WorldSpec, db: &Database) -> Backe
             Backend::Lineage,
             format!(
                 "{worlds_txt} ({nulls} null(s) over a {pool}-constant pool) \
-                 exceeds the enumeration threshold of {LINEAGE_WORLD_THRESHOLD}; \
+                 exceeds the mask threshold of {LINEAGE_WORLD_THRESHOLD}; \
                  compiling lineage diagrams instead"
             ),
         )
@@ -140,6 +157,7 @@ fn choose_exact_backend(spec: &certa_certain::WorldSpec, db: &Database) -> Backe
         pool,
         worlds,
         diagram_nodes: None,
+        mask_stats: None,
     }
 }
 
@@ -360,17 +378,20 @@ impl Pipeline {
                 // naïve evaluation are not enumerated; for the generic
                 // fragment, cert⊥ ⊆ Qⁿᵃⁱᵛᵉ.)
                 //
-                // The backend is picked per instance by cost: few worlds
-                // run the prepared/parallel world enumeration through the
-                // cached plan (nothing re-planned per request); beyond the
-                // threshold the symbolic lineage backend evaluates the
-                // cached optimized expression over c-tables — a
-                // per-instance compilation by nature (diagrams encode the
-                // instance's nulls), re-optimized with instance statistics
-                // so null-free subplans cluster — and reads the three
-                // labels off the canonical diagrams. Queries outside the
-                // symbolic fragment fall back to enumeration (which may
-                // then legitimately hit the world bound).
+                // The backend is picked per instance by cost: up to the
+                // mask threshold, one **world-mask pass** through the
+                // cached plan decides every world at once (nothing
+                // re-planned per request, 64 worlds per word operation);
+                // beyond the threshold the symbolic lineage backend
+                // evaluates the cached optimized expression over c-tables —
+                // a per-instance compilation by nature (diagrams encode
+                // the instance's nulls), re-optimized with instance
+                // statistics so null-free subplans cluster — and reads the
+                // three labels off the canonical diagrams. Queries outside
+                // the symbolic fragment come back to the mask backend as
+                // long as the world count fits the bound; the per-world
+                // enumeration oracle is the last resort (and may then
+                // legitimately hit the world bound).
                 let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
                 let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
                 let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
@@ -385,15 +406,27 @@ impl Pipeline {
                         ) {
                             Ok(statuses) => statuses,
                             Err(CertainError::Lineage(e)) if e.is_unsupported() => {
-                                certa_certain::cert::classify_candidates(
-                                    &entry.plain,
-                                    db,
-                                    &spec,
-                                    &tuples,
-                                )?
+                                if spec.check(db).is_ok() {
+                                    certa_certain::classify_candidates_mask(
+                                        &entry.plain,
+                                        db,
+                                        &spec,
+                                        &tuples,
+                                    )?
+                                } else {
+                                    certa_certain::cert::classify_candidates(
+                                        &entry.plain,
+                                        db,
+                                        &spec,
+                                        &tuples,
+                                    )?
+                                }
                             }
                             Err(e) => return Err(e.into()),
                         }
+                    }
+                    Backend::Mask => {
+                        certa_certain::classify_candidates_mask(&entry.plain, db, &spec, &tuples)?
                     }
                     Backend::WorldEnumeration => {
                         certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?
@@ -475,20 +508,41 @@ impl Pipeline {
         let mut backend = choose_exact_backend(&spec, db);
         if backend.backend == Backend::Lineage {
             // Compile the instance's lineage so the report can state the
-            // diagram size the dispatcher is trading against enumeration —
-            // or the fragment boundary that will force the fallback.
+            // diagram size the dispatcher is trading against the masked
+            // pass — or the fragment boundary that will force the
+            // fallback (to the mask backend within the world bound, to
+            // enumeration past it).
             match certa_lineage::LineageBatch::compile(&entry.optimized, db, spec.pool()) {
                 Ok(batch) => backend.diagram_nodes = Some(batch.diagram_size()),
                 Err(e) if e.is_unsupported() => {
-                    backend.backend = Backend::WorldEnumeration;
-                    backend.reason = format!(
-                        "{}; but the query is outside the symbolic fragment ({e}), \
-                         so execution falls back to world enumeration",
-                        backend.reason
-                    );
+                    if spec.check(db).is_ok() {
+                        backend.backend = Backend::Mask;
+                        backend.reason = format!(
+                            "{}; but the query is outside the symbolic fragment ({e}), \
+                             so execution falls back to the world-mask single pass",
+                            backend.reason
+                        );
+                    } else {
+                        backend.backend = Backend::WorldEnumeration;
+                        backend.reason = format!(
+                            "{}; but the query is outside the symbolic fragment ({e}) \
+                             and the world count exceeds the mask bound, so execution \
+                             falls back to world enumeration",
+                            backend.reason
+                        );
+                    }
                 }
                 Err(e) => return Err(PipelineError::Certain(e.into())),
             }
+        }
+        if backend.backend == Backend::Mask {
+            // Run the masked pass once purely to report its shape: the
+            // mask width and how many distinct bitsets the operators
+            // actually produced.
+            backend.mask_stats = Some(
+                certa_certain::mask::profile(&entry.plain, db, &spec)
+                    .map_err(PipelineError::Certain)?,
+            );
         }
         let (hits, misses) = (self.hits, self.misses);
         let entry = self.cache.get(sql).expect("entry just compiled");
@@ -562,6 +616,14 @@ impl fmt::Display for Explain {
                 "  lineage diagrams: {nodes} node(s) over {} null variable(s), \
                  {}-valued each",
                 self.backend.nulls, self.backend.pool
+            )?;
+        }
+        if let Some(stats) = self.backend.mask_stats {
+            writeln!(
+                f,
+                "  world masks: {} world(s) per mask ({} block(s) of 64), \
+                 {} distinct mask(s) across {} annotated row(s)",
+                stats.worlds, stats.words_per_mask, stats.distinct_masks, stats.rows
             )?;
         }
         if self.hoisted.is_empty() {
@@ -740,9 +802,9 @@ mod tests {
     }
 
     #[test]
-    fn lineage_and_enumeration_agree_where_both_run() {
-        // 2 nulls: enumeration is the dispatcher's choice; force the
-        // lineage path through the certain crate and compare labels.
+    fn lineage_and_mask_agree_where_both_run() {
+        // 2 nulls: the mask single pass is the dispatcher's choice; force
+        // the lineage path through the certain crate and compare labels.
         let db = database_from_literal([
             ("R", vec!["a"], vec![tup![1], tup![2], tup![Value::null(0)]]),
             ("S", vec!["a"], vec![tup![Value::null(1)]]),
@@ -750,7 +812,11 @@ mod tests {
         let sql = "SELECT a FROM R WHERE a <> 2";
         let mut p = Pipeline::new();
         let explain = p.explain(sql, &db).unwrap();
-        assert_eq!(explain.backend.backend, Backend::WorldEnumeration);
+        assert_eq!(explain.backend.backend, Backend::Mask);
+        let stats = explain.backend.mask_stats.expect("mask stats reported");
+        assert_eq!(stats.worlds, explain.backend.worlds);
+        assert_eq!(stats.words_per_mask, stats.worlds.div_ceil(64));
+        assert!(explain.to_string().contains("world masks"));
         let out = p.execute(sql, &db, Scheme::Exact).unwrap();
         let expr = certa_sql::lower_to_algebra(&certa_sql::parse(sql).unwrap(), db.schema())
             .unwrap()
@@ -774,11 +840,12 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_fragment_falls_back_to_enumeration() {
-        // `IS NULL` lowers to the syntactic null(·) predicate, which
-        // per-world evaluation resolves differently (worlds are null-free)
-        // — the dispatcher must fall back (and say so in explain), after
-        // which enumeration legitimately hits the world bound at 8 nulls.
+    fn unsupported_fragment_over_the_bound_falls_back_to_enumeration() {
+        // `IS NULL` lowers to the syntactic null(·) predicate, outside the
+        // symbolic fragment; at 8 nulls the world count also exceeds the
+        // mask bound, so the dispatcher's last resort is enumeration (and
+        // explain must say so), which then legitimately hits the world
+        // bound.
         let rows: Vec<Tuple> = (0..8u32).map(|i| tup![Value::null(i)]).collect();
         let db = database_from_literal([("R", vec!["a"], rows), ("S", vec!["a"], vec![tup![1]])]);
         let sql = "SELECT a FROM R WHERE a IS NULL";
@@ -786,12 +853,54 @@ mod tests {
         let explain = p.explain(sql, &db).unwrap();
         assert_eq!(explain.backend.backend, Backend::WorldEnumeration);
         assert!(explain.backend.reason.contains("falls back"));
-        // Execution now needs enumeration, which legitimately hits the
-        // world bound at 8 nulls over the exact pool.
+        assert!(explain.backend.reason.contains("mask bound"));
         assert!(matches!(
             p.execute(sql, &db, Scheme::Exact),
             Err(PipelineError::Certain(CertainError::TooManyWorlds { .. }))
         ));
+    }
+
+    #[test]
+    fn unsupported_fragment_within_the_bound_is_answered_by_the_mask_backend() {
+        // The same `IS NULL` shape at 5 nulls: still outside the symbolic
+        // fragment, but the world count now fits the bound — where the
+        // lineage-era dispatcher fell back to per-world enumeration, the
+        // mask backend answers in one pass. Labels must match enumeration
+        // exactly.
+        let rows: Vec<Tuple> = (0..5u32).map(|i| tup![Value::null(i)]).collect();
+        let db = database_from_literal([("R", vec!["a"], rows), ("S", vec!["a"], vec![tup![1]])]);
+        let sql = "SELECT a FROM R WHERE a IS NULL";
+        let mut p = Pipeline::new();
+        let explain = p.explain(sql, &db).unwrap();
+        assert!(explain.backend.worlds > LINEAGE_WORLD_THRESHOLD);
+        assert_eq!(explain.backend.backend, Backend::Mask);
+        assert!(explain
+            .backend
+            .reason
+            .contains("outside the symbolic fragment"));
+        assert!(explain.backend.mask_stats.is_some());
+        let out = p.execute(sql, &db, Scheme::Exact).unwrap();
+        // Worlds are null-free, so `a IS NULL` holds in none of them —
+        // naïve evaluation (which grounds the nulls) already produces no
+        // candidates, and the masked pass agrees without erroring.
+        assert!(out.rows.is_empty());
+        // Exact agreement with the enumeration oracle on explicit
+        // candidates over the same spec.
+        let expr = certa_sql::lower_to_algebra(&certa_sql::parse(sql).unwrap(), db.schema())
+            .unwrap()
+            .expr;
+        let spec = certa_certain::worlds::exact_pool(&expr, &db);
+        let prepared = certa_algebra::PreparedQuery::prepare(&expr, db.schema()).unwrap();
+        let tuples = [tup![Value::null(0)], tup![1], tup![99]];
+        let by_mask =
+            certa_certain::classify_candidates_mask(&prepared, &db, &spec, &tuples).unwrap();
+        let by_worlds =
+            certa_certain::cert::classify_candidates(&prepared, &db, &spec, &tuples).unwrap();
+        assert_eq!(by_mask, by_worlds);
+        // Nothing satisfies null(a) in any (null-free) world.
+        for s in &by_mask {
+            assert!(!s.certain && !s.possible);
+        }
     }
 
     #[test]

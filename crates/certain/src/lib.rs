@@ -13,6 +13,12 @@
 //!   as objects): the greatest lower bound of the query answers in the
 //!   information order, computed as the direct product of possible answers
 //!   and optionally minimised to its core (§3.1–3.2);
+//! * [`mask`] — the **world-mask backend**: one plan execution over
+//!   bitset-annotated tuples answers certainty, classification and `µ_k`
+//!   for the *entire* valuation space at once (64 worlds per word
+//!   operation), covering the full operator language — the exact backend
+//!   for mid-range world counts and for every instance outside the
+//!   lineage fragment;
 //! * [`approx51`] — the translation `Q ↦ (Qt, Qf)` of Figure 2(a)
 //!   (Libkin 2016), with correctness guarantees but active-domain products;
 //! * [`approx37`] — the translation `Q ↦ (Q+, Q?)` of Figure 2(b)
@@ -36,6 +42,7 @@ pub mod approx51;
 pub mod bag_bounds;
 pub mod cert;
 pub mod constraints;
+pub mod mask;
 pub mod object;
 pub mod prob;
 pub mod quality;
@@ -48,8 +55,10 @@ pub use cert::{
     cert_intersection, cert_with_nulls, cert_with_nulls_lineage, classify_candidates_lineage,
     is_certain_answer, is_certainly_false,
 };
+pub use mask::{cert_with_nulls_mask, classify_candidates_mask, MaskBatch, MaskStats};
 pub use prob::{
-    almost_certainly_true, mu_k, mu_k_conditional, mu_k_lineage, mu_limit_lineage, support_fraction,
+    almost_certainly_true, mu_k, mu_k_conditional, mu_k_lineage, mu_k_mask, mu_limit_lineage,
+    support_fraction,
 };
 pub use quality::AnswerQuality;
 pub use worlds::{default_pool, enumerate_worlds, WorldEngine, WorldSpec};

@@ -1,0 +1,410 @@
+//! The **world-mask backend** for exact certainty: a single plan execution
+//! answers every possible-world quantification.
+//!
+//! Where [`crate::cert`] enumerates the valuation space world by world
+//! (executing the physical plan `W` times) and the lineage backend compiles
+//! decision diagrams (exact, but restricted to the symbolic fragment), the
+//! mask backend executes the plan **once** over
+//! [`certa_algebra::MaskSource`]: every tuple carries a `⌈W/64⌉`-word
+//! bitset of the worlds containing it, in the same lexicographic valuation
+//! order the world engines decode. Certainty, certain falsity, candidate
+//! classification and the exact `µ_k` fraction are then popcount reads on
+//! the output masks:
+//!
+//! * `t̄` certain  ⇔ every substitution cylinder of `t̄` is covered by the
+//!   mask of its ground image (`mask = all worlds` for null-free `t̄`);
+//! * `t̄` possible ⇔ some cylinder intersects its ground image's mask;
+//! * `µ_k(t̄)` numerator = Σ over cylinders of `popcount(cylinder ∧ mask)`,
+//!   denominator = `W` — exact, from the same pass.
+//!
+//! The mask backend covers the **full operator language** — extended
+//! operators, `const(·)`/`null(·)` predicates and null literals included —
+//! so it is the dispatcher's answer for every lineage-`Unsupported`
+//! instance whose world count fits the bound, and for all mid-range world
+//! counts where diagram compilation would cost more than one masked pass.
+//! Exact agreement with the enumeration engines, the lineage backend and
+//! the seed oracles is held by `tests/property_mask_agreement.rs`.
+
+use crate::cert::CandidateStatus;
+use crate::worlds::{exact_pool, WorldSpec};
+use crate::{CertainError, Result};
+use certa_algebra::mask::{MaskAnn, MaskContext, MaskSource};
+use certa_algebra::physical::OpKind;
+use certa_algebra::{naive_eval, AnnRel, PreparedQuery, RaExpr, Stats};
+use certa_data::{Database, Relation, Tuple};
+use std::collections::{HashMap, HashSet};
+
+/// Everything one `(query, database, pool)` instance needs for mask-based
+/// certainty: the substitution context and the query's output rows with
+/// their world masks, produced by a single plan execution.
+pub struct MaskBatch {
+    ctx: MaskContext,
+    rows: HashMap<Tuple, MaskAnn>,
+    arity: usize,
+}
+
+impl MaskBatch {
+    /// Optimize (with instance statistics), prepare and execute the query
+    /// once under the mask domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertainError::TooManyWorlds`] when the valuation space
+    /// exceeds the spec's bound, or an algebra error for ill-formed
+    /// queries.
+    pub fn compile(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<MaskBatch> {
+        let stats = Stats::from_database(db);
+        let prepared = PreparedQuery::prepare_optimized_with(query, db.schema(), &stats)?;
+        Self::from_prepared(&prepared, db, spec)
+    }
+
+    /// [`MaskBatch::compile`] for an already-prepared plan (used by callers
+    /// that cache the [`PreparedQuery`], like `certa::Pipeline`). The plan
+    /// is annotation-generic, so the same cached plan the enumeration
+    /// backend executes per world runs here once.
+    ///
+    /// # Errors
+    ///
+    /// As [`MaskBatch::compile`].
+    pub fn from_prepared(
+        prepared: &PreparedQuery,
+        db: &Database,
+        spec: &WorldSpec,
+    ) -> Result<MaskBatch> {
+        spec.check(db)?;
+        let ctx = context(db, spec)?;
+        let out: AnnRel<MaskAnn> = prepared.execute_on(&MaskSource::new(db, &ctx))?;
+        Ok(MaskBatch {
+            ctx,
+            rows: out.into_rows().into_iter().collect(),
+            arity: prepared.arity(),
+        })
+    }
+
+    /// Number of possible worlds (the `µ_k` denominator).
+    pub fn worlds(&self) -> usize {
+        self.ctx.worlds()
+    }
+
+    /// The output arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// `true` iff `v(t̄) ∈ Q(v(D))` for **every** valuation `v`: each
+    /// substitution cylinder of the candidate must be covered by the mask
+    /// of its ground image. (With zero worlds the quantification is
+    /// vacuously true, matching the enumeration engines.)
+    pub fn is_certain(&self, t: &Tuple) -> bool {
+        self.ctx
+            .expand(t)
+            .iter()
+            .all(|(ground, cylinder)| match self.rows.get(ground) {
+                Some(mask) => self.ctx.covers(mask, cylinder),
+                None => self.ctx.count(cylinder) == 0,
+            })
+    }
+
+    /// The candidate's certain/possible bit pair, read off the same masks.
+    pub fn status(&self, t: &Tuple) -> CandidateStatus {
+        let classes = self.ctx.expand(t);
+        let certain = classes
+            .iter()
+            .all(|(ground, cylinder)| match self.rows.get(ground) {
+                Some(mask) => self.ctx.covers(mask, cylinder),
+                None => self.ctx.count(cylinder) == 0,
+            });
+        let possible = classes.iter().any(|(ground, cylinder)| {
+            self.rows
+                .get(ground)
+                .is_some_and(|mask| self.ctx.count_and(mask, cylinder) > 0)
+        });
+        CandidateStatus { certain, possible }
+    }
+
+    /// The exact `µ_k` support counts for a candidate:
+    /// `(|{v | v(t̄) ∈ Q(v(D))}|, W)`. The substitution cylinders of `t̄`
+    /// partition the valuation space, so the numerator is the sum of
+    /// per-cylinder popcounts.
+    pub fn mu_counts(&self, t: &Tuple) -> (u128, u128) {
+        let numerator: usize = self
+            .ctx
+            .expand(t)
+            .iter()
+            .map(|(ground, cylinder)| {
+                self.rows
+                    .get(ground)
+                    .map_or(0, |mask| self.ctx.count_and(mask, cylinder))
+            })
+            .sum();
+        (numerator as u128, self.ctx.worlds() as u128)
+    }
+}
+
+/// Build the mask context for a database under a world spec. Callers must
+/// have bound-checked already; a saturated world count is defensively
+/// surfaced as [`CertainError::TooManyWorlds`].
+fn context(db: &Database, spec: &WorldSpec) -> Result<MaskContext> {
+    MaskContext::new(db.nulls(), spec.pool().iter().cloned()).ok_or(CertainError::TooManyWorlds {
+        worlds: usize::MAX,
+        bound: spec.bound(),
+    })
+}
+
+/// [`crate::cert::cert_with_nulls`] decided by the world-mask backend: one
+/// plan execution, certainty read off as full output masks.
+///
+/// Uses the same default pool as the enumeration backend; the two are held
+/// to exact agreement by `tests/property_mask_agreement.rs`.
+///
+/// # Errors
+///
+/// Returns [`CertainError::TooManyWorlds`] past the world bound, or an
+/// algebra error for ill-formed queries.
+pub fn cert_with_nulls_mask(query: &RaExpr, db: &Database) -> Result<Relation> {
+    cert_with_nulls_mask_with(query, db, &exact_pool(query, db))
+}
+
+/// [`cert_with_nulls_mask`] with an explicit world specification.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls_mask`].
+pub fn cert_with_nulls_mask_with(
+    query: &RaExpr,
+    db: &Database,
+    spec: &WorldSpec,
+) -> Result<Relation> {
+    let candidates = naive_eval(query, db)?;
+    let batch = MaskBatch::compile(query, db, spec)?;
+    Ok(Relation::with_arity(
+        candidates.arity(),
+        candidates.iter().filter(|t| batch.is_certain(t)).cloned(),
+    ))
+}
+
+/// Classify candidate tuples with the world-mask backend: the certain and
+/// possible bits of every candidate, all read off one plan execution
+/// (where [`crate::cert::classify_candidates`] re-executes the plan per
+/// world). Same signature as the enumeration classifier so
+/// `certa::Pipeline` can dispatch between them per instance.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls_mask`].
+pub fn classify_candidates_mask(
+    prepared: &PreparedQuery,
+    db: &Database,
+    spec: &WorldSpec,
+    tuples: &[Tuple],
+) -> Result<Vec<CandidateStatus>> {
+    let batch = MaskBatch::from_prepared(prepared, db, spec)?;
+    Ok(tuples.iter().map(|t| batch.status(t)).collect())
+}
+
+/// Evaluation statistics of one mask-backend pass, reported by
+/// `certa::Pipeline::explain` alongside the lineage diagram sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskStats {
+    /// Possible worlds — bits per mask.
+    pub worlds: usize,
+    /// `u64` blocks per mask (`⌈worlds/64⌉`).
+    pub words_per_mask: usize,
+    /// Annotated rows produced across all operator outputs of the pass.
+    pub rows: usize,
+    /// Distinct mask values observed across those rows (`Zero`/`Full`
+    /// count as one value each): low numbers mean the pass shared almost
+    /// all of its bitsets.
+    pub distinct_masks: usize,
+}
+
+/// Execute the prepared plan once under the mask domain purely to profile
+/// it: world count, mask width, and how many distinct masks the operators
+/// actually produced.
+///
+/// # Errors
+///
+/// As [`cert_with_nulls_mask`].
+pub fn profile(prepared: &PreparedQuery, db: &Database, spec: &WorldSpec) -> Result<MaskStats> {
+    spec.check(db)?;
+    let ctx = context(db, spec)?;
+    let mut rows = 0usize;
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut hook = |_: OpKind, rel: AnnRel<MaskAnn>| {
+        for (_, mask) in rel.rows() {
+            rows += 1;
+            seen.insert(mask.fingerprint());
+        }
+        rel
+    };
+    let _ = prepared.execute_hooked(&MaskSource::new(db, &ctx), &mut hook)?;
+    Ok(MaskStats {
+        worlds: ctx.worlds(),
+        words_per_mask: ctx.words(),
+        rows,
+        distinct_masks: seen.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert;
+    use crate::reference;
+    use certa_algebra::Condition;
+    use certa_data::{database_from_literal, tup, Value};
+
+    fn shop_with_null() -> Database {
+        database_from_literal([
+            (
+                "Orders",
+                vec!["oid", "title", "price"],
+                vec![
+                    tup!["o1", "Big Data", 30],
+                    tup!["o2", "SQL", 35],
+                    tup!["o3", "Logic", 50],
+                ],
+            ),
+            (
+                "Payments",
+                vec!["cid", "oid"],
+                vec![tup!["c1", "o1"], tup!["c2", Value::null(0)]],
+            ),
+        ])
+    }
+
+    #[test]
+    fn mask_agrees_with_enumeration_on_the_running_example() {
+        let db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        let spec = exact_pool(&q, &db);
+        assert_eq!(
+            cert_with_nulls_mask_with(&q, &db, &spec).unwrap(),
+            cert::cert_with_nulls_with(&q, &db, &spec).unwrap()
+        );
+        assert!(cert_with_nulls_mask(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mask_keeps_null_candidates_like_cert_with_nulls() {
+        // D = {R(⊥)}, Q = R: cert⊥ = {⊥}.
+        let db = database_from_literal([("R", vec!["a"], vec![tup![Value::null(0)]])]);
+        let q = RaExpr::rel("R");
+        assert_eq!(
+            cert_with_nulls_mask(&q, &db).unwrap(),
+            Relation::from_tuples(vec![tup![Value::null(0)]])
+        );
+    }
+
+    #[test]
+    fn classification_matches_enumeration_and_seed() {
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![1], tup![2], tup![Value::null(0)]]),
+            ("S", vec!["a"], vec![tup![Value::null(1)]]),
+        ]);
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        let spec = exact_pool(&q, &db);
+        let prepared = PreparedQuery::prepare(&q, db.schema()).unwrap();
+        let tuples = [tup![1], tup![2], tup![Value::null(0)], tup![99]];
+        let by_mask = classify_candidates_mask(&prepared, &db, &spec, &tuples).unwrap();
+        let by_worlds = cert::classify_candidates(&prepared, &db, &spec, &tuples).unwrap();
+        assert_eq!(by_mask, by_worlds);
+        for (t, s) in tuples.iter().zip(&by_mask) {
+            assert_eq!(
+                s.certain,
+                reference::is_certain_answer_seed(&q, &db, t).unwrap(),
+                "{t}"
+            );
+            assert_eq!(
+                !s.possible,
+                reference::is_certainly_false_seed(&q, &db, t).unwrap(),
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_answers_outside_the_lineage_fragment() {
+        // σ_{null(a)}(R) is rejected by the lineage backend; the mask
+        // backend must answer it exactly like enumeration.
+        let db = database_from_literal([(
+            "R",
+            vec!["a"],
+            vec![tup![1], tup![Value::null(0)], tup![Value::null(1)]],
+        )]);
+        let q = RaExpr::rel("R").select(Condition::IsNull(0));
+        let spec = exact_pool(&q, &db);
+        assert!(matches!(
+            cert::cert_with_nulls_lineage_with(&q, &db, &spec),
+            Err(CertainError::Lineage(e)) if e.is_unsupported()
+        ));
+        let by_mask = cert_with_nulls_mask_with(&q, &db, &spec).unwrap();
+        let by_worlds = cert::cert_with_nulls_with(&q, &db, &spec).unwrap();
+        assert_eq!(by_mask, by_worlds);
+        // Worlds are null-free, so nothing satisfies null(a) anywhere.
+        assert!(by_mask.is_empty());
+    }
+
+    #[test]
+    fn mu_counts_match_enumeration_exactly() {
+        let db = database_from_literal([
+            ("R", vec!["a"], vec![tup![Value::null(0)], tup![0], tup![1]]),
+            ("S", vec!["a"], vec![tup![1]]),
+        ]);
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        for k in [2usize, 3, 5] {
+            for t in [tup![0], tup![1], tup![Value::null(0)], tup![7]] {
+                let by_mask = crate::prob::mu_k_mask(&q, &db, &t, k).unwrap();
+                let by_worlds = crate::prob::mu_k(&q, &db, &t, k).unwrap();
+                assert_eq!(
+                    (by_mask.numerator, by_mask.denominator),
+                    (by_worlds.numerator, by_worlds.denominator),
+                    "k = {k}, t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn world_bound_is_enforced() {
+        let db = database_from_literal([(
+            "R",
+            vec!["a", "b", "c"],
+            vec![tup![Value::null(0), Value::null(1), Value::null(2)]],
+        )]);
+        let q = RaExpr::rel("R");
+        let spec = WorldSpec::new((0..40).map(certa_data::Const::Int)).with_bound(1000);
+        assert!(matches!(
+            cert_with_nulls_mask_with(&q, &db, &spec),
+            Err(CertainError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_worlds_are_vacuously_certain() {
+        let db = database_from_literal([("R", vec!["a"], vec![tup![Value::null(0)]])]);
+        let q = RaExpr::rel("R");
+        let spec = WorldSpec::new([]);
+        let by_mask = cert_with_nulls_mask_with(&q, &db, &spec).unwrap();
+        let by_worlds = cert::cert_with_nulls_with(&q, &db, &spec).unwrap();
+        assert_eq!(by_mask, by_worlds);
+        assert_eq!(by_mask.len(), 1);
+    }
+
+    #[test]
+    fn profile_reports_mask_shape() {
+        let db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        let spec = exact_pool(&q, &db);
+        let prepared = PreparedQuery::prepare(&q, db.schema()).unwrap();
+        let stats = profile(&prepared, &db, &spec).unwrap();
+        assert_eq!(stats.worlds, spec.world_count(&db));
+        assert_eq!(stats.words_per_mask, stats.worlds.div_ceil(64));
+        assert!(stats.rows > 0);
+        assert!(stats.distinct_masks >= 2, "full and at least one stripe");
+    }
+}

@@ -131,6 +131,31 @@ pub fn mu_k(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fr
     })
 }
 
+/// Exact `µ_k(Q, D, ā)` by the **world-mask backend**: one plan execution
+/// annotates every answer tuple with the bitset of worlds containing it,
+/// and the support size is a popcount over the candidate's substitution
+/// cylinders — same numerator and denominator as [`mu_k`], without
+/// enumerating a single world. Unlike [`mu_k_lineage`] this covers the
+/// full operator language (extended operators, syntactic predicates, null
+/// literals); unlike enumeration its per-world cost is one *bit*.
+///
+/// Held to exact agreement with both by
+/// `tests/property_mask_agreement.rs`.
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-formed or the number of valuations
+/// exceeds the default world bound.
+pub fn mu_k_mask(query: &RaExpr, db: &Database, tuple: &Tuple, k: usize) -> Result<Fraction> {
+    let spec = WorldSpec::new(canonical_pool(query, db, k));
+    let batch = crate::mask::MaskBatch::compile(query, db, &spec)?;
+    let (numerator, denominator) = batch.mu_counts(tuple);
+    Ok(Fraction {
+        numerator,
+        denominator,
+    })
+}
+
 /// Exact `µ_k(Q, D, ā)` by **knowledge compilation**: the candidate's
 /// lineage condition is compiled into a decision diagram over the
 /// canonical `k`-pool encoding and the support size is an exact model

@@ -62,6 +62,11 @@ impl WorldSpec {
         self.threads
     }
 
+    /// The configured cap on the number of worlds.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
     /// The constant pool.
     pub fn pool(&self) -> &[Const] {
         &self.pool
