@@ -28,6 +28,13 @@
 //!   possible-worlds quantification is answered in a *single* plan
 //!   execution, 64 worlds per word operation — including the extended
 //!   operators and the syntactic predicates outside the lineage fragment;
+//!   its columnar form ([`mask::columnar`], [`mask::exec`]) stores all mask
+//!   words of a relation in one contiguous arena and drives the plan
+//!   batch-at-a-time through the explicit word kernels of [`mask::kernel`];
+//! * [`morsel`] — the morsel-driven scheduler ([`morsel::MorselPool`]):
+//!   scoped worker threads pulling ~1k-row chunks off an atomic cursor,
+//!   with morsel-order result delivery so parallel runs are bit-identical
+//!   to sequential ones;
 //! * [`eval`] — set-semantics evaluation (nulls treated as plain values,
 //!   i.e. the evaluation underlying naïve evaluation), an adapter over the
 //!   physical engine at [`physical::SetAnn`];
@@ -61,6 +68,7 @@ pub mod eval;
 pub mod expr;
 pub mod fragment;
 pub mod mask;
+pub mod morsel;
 pub mod naive;
 pub mod opt;
 pub mod physical;
@@ -70,7 +78,10 @@ pub use builder::QueryBuilder;
 pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
-pub use mask::{MaskAnn, MaskContext, MaskSource};
+pub use mask::{
+    ColumnarContext, ColumnarExec, ColumnarRel, ExecStats, MaskAnn, MaskContext, MaskSource,
+};
+pub use morsel::{effective_threads, MorselPool, MORSEL_ROWS};
 pub use naive::naive_eval;
 pub use opt::{optimize, optimize_with, Stats};
 pub use physical::{

@@ -1,0 +1,112 @@
+//! A small multiply-xor hasher for the columnar executor's tuple maps.
+//!
+//! The executor's merge and lookup stages hash every tuple they touch;
+//! with the default SipHash that hashing rivals the mask kernels
+//! themselves. These maps are short-lived, never exposed to untrusted
+//! keys, and iteration order never reaches an output (row order is fixed
+//! by first-insertion bookkeeping), so a fast non-cryptographic hash is
+//! the right trade: this is the FxHash function long used by rustc,
+//! re-implemented here to stay dependency-free.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc Fx hash (a 64-bit odd constant with
+/// good bit dispersion under multiplication).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one word folded over rotate-xor-multiply.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of(v: impl Hash) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal_and_variants_differ() {
+        assert_eq!(hash_of((1u64, 2u64)), hash_of((1u64, 2u64)));
+        assert_ne!(hash_of((1u64, 2u64)), hash_of((2u64, 1u64)));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_not_ignored() {
+        // 9..16-byte strings exercise the chunk + remainder path.
+        assert_ne!(hash_of("123456789"), hash_of("123456780"));
+        assert_eq!(hash_of("123456789"), hash_of("123456789"));
+    }
+
+    #[test]
+    fn maps_work_with_tuple_keys() {
+        let mut m: FxHashMap<certa_data::Tuple, usize> = FxHashMap::default();
+        m.insert(certa_data::tup![1, 2], 7);
+        assert_eq!(m.get(&certa_data::tup![1, 2]), Some(&7));
+        assert_eq!(m.get(&certa_data::tup![2, 1]), None);
+    }
+}

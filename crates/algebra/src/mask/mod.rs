@@ -49,6 +49,15 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
+pub mod columnar;
+pub mod exec;
+pub mod fxhash;
+pub mod kernel;
+
+pub use columnar::{ColumnarContext, ColumnarRel, MaskArena, MaskRef, RowMask};
+pub use exec::{ColumnarExec, ExecStats};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+
 // ---------------------------------------------------------------------------
 // The block arena.
 
@@ -99,14 +108,38 @@ fn arena_put(words: Vec<u64>) {
     });
 }
 
+/// Drain the thread-local recycled-buffer arena, genuinely releasing every
+/// retained block to the allocator.
+///
+/// Morsel workers ([`crate::morsel::MorselPool`]) and the world engines call
+/// this on scope exit so buffers recycled on a short-lived worker thread are
+/// freed deterministically when the pool shuts down, instead of riding on
+/// thread-local destructor timing.
+pub fn arena_drain() {
+    ARENA.with(|a| {
+        let (pool, retained) = &mut *a.borrow_mut();
+        pool.clear();
+        *retained = 0;
+    });
+}
+
+/// Occupancy of this thread's recycled-buffer arena:
+/// `(retained buffers, retained capacity in u64 words)`.
+pub fn arena_occupancy() -> (usize, usize) {
+    ARENA.with(|a| {
+        let (pool, retained) = &*a.borrow();
+        (pool.len(), *retained)
+    })
+}
+
 /// Number of `u64` blocks needed for `bits` worlds.
-fn words_for(bits: usize) -> usize {
+pub(crate) fn words_for(bits: usize) -> usize {
     bits.div_ceil(64)
 }
 
 /// The valid-bit mask of the last block (all-ones when `bits` is a
 /// multiple of 64).
-fn tail_mask(bits: usize) -> u64 {
+pub(crate) fn tail_mask(bits: usize) -> u64 {
     match bits % 64 {
         0 => !0,
         r => (1u64 << r) - 1,
@@ -595,7 +628,7 @@ impl MaskContext {
 }
 
 /// Set bits `[lo, hi)` in a block buffer.
-fn set_range(words: &mut [u64], lo: usize, hi: usize) {
+pub(crate) fn set_range(words: &mut [u64], lo: usize, hi: usize) {
     if lo >= hi {
         return;
     }

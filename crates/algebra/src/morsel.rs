@@ -1,0 +1,193 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! The columnar mask executor parallelizes *within one instance* — one scan
+//! expansion, one join probe, one certainty aggregation — by cutting its row
+//! ranges into ~1k-row **morsels** and letting a scoped worker pool pull them
+//! off a shared atomic cursor (the classic morsel-driven scheme: dynamic
+//! work stealing without queues, because the cursor *is* the queue).
+//!
+//! Determinism contract: workers return one result per morsel, tagged with
+//! the morsel index, and [`MorselPool::run`] hands them back **sorted by
+//! morsel index** — so any order-sensitive reduction the caller performs
+//! over the results is thread-count invariant by construction. Scheduling
+//! decides only *who* computes a morsel, never *what* the morsel is.
+//!
+//! The pool is std-only (`std::thread::scope` + one `AtomicUsize`), worker
+//! counts are clamped to [`std::thread::available_parallelism`] (a request
+//! for 16 workers on a 1-CPU host runs 1 worker and reports so), and every
+//! worker drains the thread-local mask-buffer arena on exit
+//! ([`crate::mask::arena_drain`]) so recycled blocks never outlive the
+//! scope that allocated them.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per morsel: small enough that the columnar chunk (rows + mask
+/// words) stays cache-resident, large enough to amortize the cursor fetch.
+pub const MORSEL_ROWS: usize = 1024;
+
+/// Clamp a requested worker count to the host: `0` means "all available",
+/// anything else is capped at [`std::thread::available_parallelism`].
+/// Always at least 1.
+pub fn effective_threads(requested: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    match requested {
+        0 => available,
+        n => n.min(available),
+    }
+}
+
+/// A scoped morsel scheduler: fixed effective worker count, one atomic
+/// cursor per [`run`](MorselPool::run) call.
+#[derive(Debug, Clone, Copy)]
+pub struct MorselPool {
+    requested: usize,
+    threads: usize,
+}
+
+impl MorselPool {
+    /// A pool with the given requested worker count (`0` = all available),
+    /// clamped to the host's parallelism.
+    pub fn new(requested: usize) -> MorselPool {
+        MorselPool {
+            requested,
+            threads: effective_threads(requested),
+        }
+    }
+
+    /// The worker count as requested (before clamping; `0` = auto).
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// The effective worker count after clamping — what actually runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of morsels a row range of `len` rows cuts into.
+    pub fn morsels_for(len: usize) -> usize {
+        len.div_ceil(MORSEL_ROWS)
+    }
+
+    /// The row range of morsel `m` within `0..len`.
+    pub fn morsel_range(m: usize, len: usize) -> Range<usize> {
+        let lo = m * MORSEL_ROWS;
+        lo..((lo + MORSEL_ROWS).min(len))
+    }
+
+    /// Run `f(morsel_index, row_range)` over every morsel of `0..len` and
+    /// return the per-morsel results **in morsel order**.
+    ///
+    /// Sequential (no threads spawned) when one worker suffices — a single
+    /// morsel, or an effective width of 1 — so the 1-thread path has zero
+    /// scheduling overhead and is trivially identical to the parallel one.
+    pub fn run<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let morsels = Self::morsels_for(len);
+        let workers = self.threads.min(morsels);
+        if workers <= 1 {
+            return (0..morsels)
+                .map(|m| f(m, Self::morsel_range(m, len)))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (f, cursor) = (&f, &cursor);
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let m = cursor.fetch_add(1, Ordering::Relaxed);
+                            if m >= morsels {
+                                break;
+                            }
+                            local.push((m, f(m, Self::morsel_range(m, len))));
+                        }
+                        // Drain-on-scope-exit: blocks recycled on this
+                        // worker must not leak past the pool.
+                        crate::mask::arena_drain();
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("morsel worker panicked"))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|(m, _)| *m);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_ranges_tile_the_row_space() {
+        for len in [
+            0usize,
+            1,
+            MORSEL_ROWS - 1,
+            MORSEL_ROWS,
+            MORSEL_ROWS + 1,
+            5000,
+        ] {
+            let morsels = MorselPool::morsels_for(len);
+            let mut covered = 0usize;
+            for m in 0..morsels {
+                let r = MorselPool::morsel_range(m, len);
+                assert_eq!(r.start, covered, "contiguous at len {len}");
+                assert!(r.end <= len);
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "morsels must cover 0..{len}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_the_host() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(effective_threads(0), available);
+        assert_eq!(effective_threads(1), 1);
+        assert!(effective_threads(usize::MAX) <= available);
+        assert!(effective_threads(16) >= 1);
+        let pool = MorselPool::new(16);
+        assert_eq!(pool.requested(), 16);
+        assert_eq!(pool.threads(), effective_threads(16));
+    }
+
+    #[test]
+    fn results_come_back_in_morsel_order_at_any_width() {
+        let len = 4 * MORSEL_ROWS + 37;
+        let expect: Vec<usize> = (0..MorselPool::morsels_for(len))
+            .map(|m| MorselPool::morsel_range(m, len).sum::<usize>())
+            .collect();
+        for requested in [1usize, 2, 8] {
+            let got = MorselPool::new(requested).run(len, |_, range| range.sum::<usize>());
+            assert_eq!(got, expect, "requested {requested} workers");
+        }
+    }
+
+    #[test]
+    fn workers_drain_their_arenas_on_exit() {
+        // Allocate (and recycle) mask buffers on every morsel; the worker's
+        // thread-local arena must be empty once the scope joins. The main
+        // thread's own arena is drained explicitly to make the check exact
+        // in the sequential fallback case too.
+        let pool = MorselPool::new(8);
+        pool.run(8 * MORSEL_ROWS, |_, range| {
+            let ctx =
+                crate::mask::MaskContext::new([0, 1], (0..4).map(certa_data::Const::Int)).unwrap();
+            ctx.count(&crate::mask::MaskAnn::Full) + range.len()
+        });
+        crate::mask::arena_drain();
+        assert_eq!(crate::mask::arena_occupancy(), (0, 0));
+    }
+}

@@ -1,40 +1,47 @@
-//! Headless ablation runner: re-times the a05–a09 ablation workloads with
+//! Headless ablation runner: re-times the a05–a10 ablation workloads with
 //! plain [`std::time::Instant`] and emits machine-readable JSON so the
 //! performance trajectory is comparable across PRs without parsing
 //! criterion output.
 //!
 //! Every variant is verified for cross-backend agreement *before* it is
-//! timed (the same assertions the criterion benches make), so a committed
-//! `BENCH_5.json` is also a correctness witness.
+//! timed (the same assertions the criterion benches make) — including
+//! bit-identical mask results across every swept worker count — so a
+//! committed `BENCH_6.json` is also a correctness witness.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_json [--quick] [--out PATH]
+//! bench_json [--quick] [--out PATH] [--threads N,N,...]
 //! ```
 //!
 //! `--quick` shrinks every workload to smoke-test size (used by CI so the
 //! emitter can't rot); the default full configuration is what
-//! `BENCH_5.json` at the repository root records. Default output path is
-//! `BENCH_5.json` in the current directory.
+//! `BENCH_6.json` at the repository root records. `--threads` sets the
+//! worker counts the mask-backend sweeps request (default `1,2,4,8`);
+//! every requested count is clamped to the host's cores and both numbers
+//! are recorded, so a curve measured on a small host is legible as such.
+//! Default output path is `BENCH_6.json` in the current directory.
 
 use certa::algebra::physical::SetSource;
 use certa::certain::cert::{
     cert_with_nulls_with, classify_candidates, classify_candidates_lineage,
 };
-use certa::certain::mask::{cert_with_nulls_mask_with, classify_candidates_mask};
+use certa::certain::mask::rc_baseline::{cert_with_nulls_mask_rc_with, RcMaskBatch};
+use certa::certain::mask::{cert_with_nulls_mask_with, classify_candidates_mask, MaskBatch};
 use certa::certain::reference::cert_with_nulls_seed;
 use certa::certain::worlds::{exact_pool, WorldSpec};
 use certa::certain::{prob, CertainError};
 use certa::prelude::*;
 use std::time::Instant;
 
-/// One timed measurement.
+/// One timed measurement. `threads` is `(requested, effective)` for the
+/// worker-sweep variants, `None` for the rest.
 struct Entry {
     ablation: &'static str,
-    variant: &'static str,
+    variant: String,
     millis: f64,
     iters: usize,
+    threads: Option<(usize, usize)>,
 }
 
 /// Median wall time of `iters` runs (after one untimed warmup), in
@@ -54,10 +61,22 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 fn push(
     out: &mut Vec<Entry>,
     ablation: &'static str,
-    variant: &'static str,
+    variant: impl Into<String>,
     iters: usize,
     f: impl FnMut(),
 ) {
+    push_threaded(out, ablation, variant, iters, None, f);
+}
+
+fn push_threaded(
+    out: &mut Vec<Entry>,
+    ablation: &'static str,
+    variant: impl Into<String>,
+    iters: usize,
+    threads: Option<(usize, usize)>,
+    f: impl FnMut(),
+) {
+    let variant = variant.into();
     let millis = time_ms(iters, f);
     eprintln!("  {ablation}/{variant}: {millis:.3} ms");
     out.push(Entry {
@@ -65,6 +84,7 @@ fn push(
         variant,
         millis,
         iters,
+        threads,
     });
 }
 
@@ -249,10 +269,9 @@ fn a08(out: &mut Vec<Entry>, quick: bool) {
     });
 }
 
-/// a09: the world-mask single pass versus prepared/parallel enumeration at
-/// 2^12 worlds, plus the lineage-unsupported pair (the instances where the
-/// PR 4 dispatcher had only enumeration to fall back to).
-fn a09(out: &mut Vec<Entry>, quick: bool) {
+/// The 2^12-world masked workload shared by a09 and a10: a join–project–
+/// difference over a relation with 12 marked nulls and a 2-constant pool.
+fn mask_workload(quick: bool) -> (certa::data::Database, RaExpr, WorldSpec) {
     let nulls: u32 = if quick { 6 } else { 12 };
     let mut rows: Vec<Tuple> = (0..nulls)
         .map(|i| tup![i64::from(i), Value::null(i)])
@@ -271,6 +290,15 @@ fn a09(out: &mut Vec<Entry>, quick: bool) {
         .difference(RaExpr::rel("T"));
     let spec = WorldSpec::new([certa::data::Const::Int(1), certa::data::Const::Int(2)]);
     assert_eq!(spec.world_count(&db), 1usize << nulls);
+    (db, query, spec)
+}
+
+/// a09: the world-mask single pass versus prepared/parallel enumeration at
+/// 2^12 worlds, plus the lineage-unsupported pair (the instances where the
+/// PR 4 dispatcher had only enumeration to fall back to).
+fn a09(out: &mut Vec<Entry>, quick: bool, threads_list: &[usize]) {
+    let nulls: u32 = if quick { 6 } else { 12 };
+    let (db, query, spec) = mask_workload(quick);
     let spec16 = spec.clone().with_threads(16);
     let spec1 = spec.clone().with_threads(1);
     assert_eq!(
@@ -330,6 +358,117 @@ fn a09(out: &mut Vec<Entry>, quick: bool) {
             classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap();
         },
     );
+    // Worker sweep on the same lineage-unsupported classification: the
+    // syntactic-predicate expansion and per-candidate aggregation are both
+    // morsel-parallel stages. Results are pinned bit-identical first.
+    let reference = classify_candidates_mask(&prepared, &db, &spec, &candidates).unwrap();
+    for &t in threads_list {
+        let spec_t = spec.clone().with_threads(t);
+        assert_eq!(
+            reference,
+            classify_candidates_mask(&prepared, &db, &spec_t, &candidates).unwrap(),
+            "classification must be bit-identical at {t} requested worker(s)"
+        );
+        let effective = spec_t.effective_threads();
+        push_threaded(
+            out,
+            "a09_mask",
+            format!("mask_classify_unsupported_t{t}"),
+            10,
+            Some((t, effective)),
+            || {
+                classify_candidates_mask(&prepared, &db, &spec_t, &candidates).unwrap();
+            },
+        );
+    }
+}
+
+/// a10: the columnar arena executor versus the PR-5 `Rc<MaskBuf>` mask
+/// path on the same 2^12-world workload, with a worker-count sweep over
+/// both the certainty filter and candidate classification. Before any
+/// timing, every swept worker count is checked to produce **bit-identical**
+/// results (row order included) against the 1-worker run and the `Rc`
+/// baseline.
+fn a10(out: &mut Vec<Entry>, quick: bool, threads_list: &[usize]) {
+    let nulls: u32 = if quick { 6 } else { 12 };
+    let (db, query, spec) = mask_workload(quick);
+    let prepared = PreparedQuery::prepare(&query, db.schema()).unwrap();
+    let mut candidates: Vec<Tuple> = (0..nulls).map(|i| tup![i64::from(i)]).collect();
+    candidates.push(tup![100]);
+    candidates.push(tup![101]);
+
+    let spec1 = spec.clone().with_threads(1);
+    let reference_cert = cert_with_nulls_mask_with(&query, &db, &spec1).unwrap();
+    let reference_classify = classify_candidates_mask(&prepared, &db, &spec1, &candidates).unwrap();
+    assert_eq!(
+        reference_cert,
+        cert_with_nulls_mask_rc_with(&query, &db, &spec1).unwrap()
+    );
+    for &t in threads_list {
+        let spec_t = spec.clone().with_threads(t);
+        assert_eq!(
+            reference_cert,
+            cert_with_nulls_mask_with(&query, &db, &spec_t).unwrap(),
+            "cert must be bit-identical at {t} requested worker(s)"
+        );
+        assert_eq!(
+            reference_classify,
+            classify_candidates_mask(&prepared, &db, &spec_t, &candidates).unwrap(),
+            "classification must be bit-identical at {t} requested worker(s)"
+        );
+    }
+
+    // The batch compile (plan execution under the mask domain) isolates
+    // the executor itself; the cert entries below add the shared
+    // naive-evaluation candidate pass and the certainty filter on top.
+    push(out, "a10_columnar", "mask_batch_compile_rc", 30, || {
+        RcMaskBatch::compile(&query, &db, &spec1).unwrap();
+    });
+    for &t in threads_list {
+        let spec_t = spec.clone().with_threads(t);
+        let effective = spec_t.effective_threads();
+        push_threaded(
+            out,
+            "a10_columnar",
+            format!("mask_batch_compile_columnar_t{t}"),
+            30,
+            Some((t, effective)),
+            || {
+                MaskBatch::compile(&query, &db, &spec_t).unwrap();
+            },
+        );
+    }
+    push(out, "a10_columnar", "mask_cert_rc_baseline", 30, || {
+        cert_with_nulls_mask_rc_with(&query, &db, &spec1).unwrap();
+    });
+    for &t in threads_list {
+        let spec_t = spec.clone().with_threads(t);
+        let effective = spec_t.effective_threads();
+        push_threaded(
+            out,
+            "a10_columnar",
+            format!("mask_cert_columnar_t{t}"),
+            30,
+            Some((t, effective)),
+            || {
+                cert_with_nulls_mask_with(&query, &db, &spec_t).unwrap();
+            },
+        );
+    }
+    for &t in threads_list {
+        let spec_t = spec.clone().with_threads(t);
+        let effective = spec_t.effective_threads();
+        push_threaded(
+            out,
+            "a10_columnar",
+            format!("mask_classify_columnar_t{t}"),
+            30,
+            Some((t, effective)),
+            || {
+                classify_candidates_mask(&prepared, &db, &spec_t, &candidates).unwrap();
+            },
+        );
+    }
 }
 
 fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
@@ -348,18 +487,31 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+    let threads_list: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || vec![1, 2, 4, 8],
+            |list| {
+                list.split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes a comma list"))
+                    .collect()
+            },
+        );
 
     let mut entries: Vec<Entry> = Vec::new();
     eprintln!(
-        "running ablations ({}):",
+        "running ablations ({}, worker sweep {threads_list:?}):",
         if quick { "quick" } else { "full" }
     );
     a05(&mut entries, quick);
     a06(&mut entries, quick);
     a07(&mut entries, quick);
     a08(&mut entries, quick);
-    a09(&mut entries, quick);
+    a09(&mut entries, quick, &threads_list);
+    a10(&mut entries, quick, &threads_list);
 
     let mask_speedup_16 = find(&entries, "a09_mask", "enumeration_cert_16_threads")
         / find(&entries, "a09_mask", "mask_cert_single_pass");
@@ -369,32 +521,57 @@ fn main() {
             "a09_mask",
             "enumeration_classify_unsupported_fragment",
         ) / find(&entries, "a09_mask", "mask_classify_unsupported_fragment");
+    let first_t = threads_list.first().unwrap_or(&1);
+    let columnar_t1_speedup = find(&entries, "a10_columnar", "mask_cert_rc_baseline")
+        / find(
+            &entries,
+            "a10_columnar",
+            &format!("mask_cert_columnar_t{first_t}"),
+        );
+    let compile_t1_speedup = find(&entries, "a10_columnar", "mask_batch_compile_rc")
+        / find(
+            &entries,
+            "a10_columnar",
+            &format!("mask_batch_compile_columnar_t{first_t}"),
+        );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_5\",\n");
+    json.push_str("  \"bench\": \"BENCH_6\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
     ));
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     json.push_str(&format!("  \"threads_available\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"threads_swept\": [{}],\n",
+        threads_list
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     if threads < 16 {
         json.push_str(&format!(
-            "  \"note\": \"the *_16_threads variants request 16 workers but the host \
-             exposes {threads} CPU(s), so they degenerate to (near-)sequential \
-             execution; divide their times by up to 16/{threads} for an idealized \
-             fully-parallel baseline\",\n"
+            "  \"note\": \"requested worker counts are clamped to the host's {threads} \
+             CPU(s) (each sweep entry records both numbers), so counts past the clamp \
+             measure scheduling overhead, not scaling; the *_16_threads variants \
+             likewise degenerate to (near-)sequential execution\",\n"
         ));
     }
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let threads_fields = e.threads.map_or(String::new(), |(req, eff)| {
+            format!(", \"threads_requested\": {req}, \"threads_effective\": {eff}")
+        });
         json.push_str(&format!(
-            "    {{\"ablation\": \"{}\", \"variant\": \"{}\", \"median_ms\": {:.4}, \"iters\": {}}}{}\n",
+            "    {{\"ablation\": \"{}\", \"variant\": \"{}\", \"median_ms\": {:.4}, \"iters\": {}{}}}{}\n",
             e.ablation,
             e.variant,
             e.millis,
             e.iters,
+            threads_fields,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -404,7 +581,13 @@ fn main() {
         "    \"a09_mask_cert_speedup_over_16_thread_enumeration\": {mask_speedup_16:.1},\n"
     ));
     json.push_str(&format!(
-        "    \"a09_mask_classify_speedup_on_lineage_unsupported_fragment\": {mask_speedup_unsupported:.1}\n"
+        "    \"a09_mask_classify_speedup_on_lineage_unsupported_fragment\": {mask_speedup_unsupported:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a10_columnar_single_thread_cert_speedup_over_rc_baseline\": {columnar_t1_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a10_columnar_single_thread_compile_speedup_over_rc_baseline\": {compile_t1_speedup:.2}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");

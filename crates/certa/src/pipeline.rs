@@ -625,6 +625,22 @@ impl fmt::Display for Explain {
                  {} distinct mask(s) across {} annotated row(s)",
                 stats.worlds, stats.words_per_mask, stats.distinct_masks, stats.rows
             )?;
+            writeln!(
+                f,
+                "  parallel plan: {} worker thread(s) (requested {}), \
+                 {} morsel(s) dispatched, {} arena word(s) ({} bytes) of masks, \
+                 {} recycled Rc buffer(s) retained",
+                stats.threads,
+                if stats.threads_requested == 0 {
+                    "auto".to_string()
+                } else {
+                    stats.threads_requested.to_string()
+                },
+                stats.morsels,
+                stats.arena_words,
+                stats.arena_words * 8,
+                stats.rc_arena_buffers
+            )?;
         }
         if self.hoisted.is_empty() {
             writeln!(f, "hoisted world-invariant subplans: none")?;
@@ -816,7 +832,10 @@ mod tests {
         let stats = explain.backend.mask_stats.expect("mask stats reported");
         assert_eq!(stats.worlds, explain.backend.worlds);
         assert_eq!(stats.words_per_mask, stats.worlds.div_ceil(64));
+        assert!(stats.threads >= 1);
+        assert!(stats.morsels >= 1);
         assert!(explain.to_string().contains("world masks"));
+        assert!(explain.to_string().contains("parallel plan"));
         let out = p.execute(sql, &db, Scheme::Exact).unwrap();
         let expr = certa_sql::lower_to_algebra(&certa_sql::parse(sql).unwrap(), db.schema())
             .unwrap()

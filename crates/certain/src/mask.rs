@@ -4,12 +4,15 @@
 //! Where [`crate::cert`] enumerates the valuation space world by world
 //! (executing the physical plan `W` times) and the lineage backend compiles
 //! decision diagrams (exact, but restricted to the symbolic fragment), the
-//! mask backend executes the plan **once** over
-//! [`certa_algebra::MaskSource`]: every tuple carries a `⌈W/64⌉`-word
-//! bitset of the worlds containing it, in the same lexicographic valuation
-//! order the world engines decode. Certainty, certain falsity, candidate
-//! classification and the exact `µ_k` fraction are then popcount reads on
-//! the output masks:
+//! mask backend executes the plan **once** over the columnar mask executor
+//! ([`certa_algebra::ColumnarExec`]): every tuple's `⌈W/64⌉`-word world
+//! bitset lives in a relation-level contiguous arena, mask combination is a
+//! width-selected word kernel over arena slices, and the expensive stages —
+//! incomplete-scan expansion, join probes, and the certainty/µ_k
+//! aggregation here — run **morsel-parallel** on a
+//! [`certa_algebra::MorselPool`] clamped to the host's cores. Certainty,
+//! certain falsity, candidate classification and the exact `µ_k` fraction
+//! are popcount reads on the output masks:
 //!
 //! * `t̄` certain  ⇔ every substitution cylinder of `t̄` is covered by the
 //!   mask of its ground image (`mask = all worlds` for null-free `t̄`);
@@ -17,30 +20,35 @@
 //! * `µ_k(t̄)` numerator = Σ over cylinders of `popcount(cylinder ∧ mask)`,
 //!   denominator = `W` — exact, from the same pass.
 //!
+//! Parallelism never changes an answer: every output above is a function of
+//! the exact tuple → world-set map the plan computes, morsel results merge
+//! in morsel order, and `tests/property_mask_agreement.rs` pins
+//! bit-identical results at 1/2/8 workers on every differential instance.
+//!
 //! The mask backend covers the **full operator language** — extended
 //! operators, `const(·)`/`null(·)` predicates and null literals included —
 //! so it is the dispatcher's answer for every lineage-`Unsupported`
 //! instance whose world count fits the bound, and for all mid-range world
 //! counts where diagram compilation would cost more than one masked pass.
-//! Exact agreement with the enumeration engines, the lineage backend and
-//! the seed oracles is held by `tests/property_mask_agreement.rs`.
 
 use crate::cert::CandidateStatus;
 use crate::worlds::{exact_pool, WorldSpec};
 use crate::{CertainError, Result};
-use certa_algebra::mask::{MaskAnn, MaskContext, MaskSource};
-use certa_algebra::physical::OpKind;
-use certa_algebra::{naive_eval, AnnRel, PreparedQuery, RaExpr, Stats};
+use certa_algebra::mask::{ColumnarContext, ColumnarExec, FxHashMap, MaskArena, MaskRef, RowMask};
+use certa_algebra::{naive_eval, MorselPool, PreparedQuery, RaExpr, Stats};
 use certa_data::{Database, Relation, Tuple};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Everything one `(query, database, pool)` instance needs for mask-based
 /// certainty: the substitution context and the query's output rows with
-/// their world masks, produced by a single plan execution.
+/// their world masks, produced by a single (morsel-parallel) plan
+/// execution. `Sync`, so candidate aggregation fans out over the same pool.
 pub struct MaskBatch {
-    ctx: MaskContext,
-    rows: HashMap<Tuple, MaskAnn>,
+    ctx: ColumnarContext,
+    arena: MaskArena,
+    rows: FxHashMap<Tuple, RowMask>,
     arity: usize,
+    pool: MorselPool,
 }
 
 impl MaskBatch {
@@ -61,7 +69,7 @@ impl MaskBatch {
     /// [`MaskBatch::compile`] for an already-prepared plan (used by callers
     /// that cache the [`PreparedQuery`], like `certa::Pipeline`). The plan
     /// is annotation-generic, so the same cached plan the enumeration
-    /// backend executes per world runs here once.
+    /// backend executes per world runs here once, columnar.
     ///
     /// # Errors
     ///
@@ -73,11 +81,15 @@ impl MaskBatch {
     ) -> Result<MaskBatch> {
         spec.check(db)?;
         let ctx = context(db, spec)?;
-        let out: AnnRel<MaskAnn> = prepared.execute_on(&MaskSource::new(db, &ctx))?;
+        let pool = MorselPool::new(spec.threads());
+        let rel = ColumnarExec::new(db, &ctx, pool).execute(prepared.plan())?;
+        let (arena, row_list) = rel.into_parts();
         Ok(MaskBatch {
             ctx,
-            rows: out.into_rows().into_iter().collect(),
+            arena,
+            rows: row_list.into_iter().collect(),
             arity: prepared.arity(),
+            pool,
         })
     }
 
@@ -91,33 +103,50 @@ impl MaskBatch {
         self.arity
     }
 
+    /// The worker pool the batch executes and aggregates on.
+    pub fn pool(&self) -> &MorselPool {
+        &self.pool
+    }
+
+    /// The world set of a candidate's ground image, if the plan produced it.
+    fn output_mask(&self, ground: &Tuple) -> Option<MaskRef<'_>> {
+        self.rows.get(ground).map(|&rm| self.arena.resolve(rm))
+    }
+
     /// `true` iff `v(t̄) ∈ Q(v(D))` for **every** valuation `v`: each
     /// substitution cylinder of the candidate must be covered by the mask
     /// of its ground image. (With zero worlds the quantification is
     /// vacuously true, matching the enumeration engines.)
     pub fn is_certain(&self, t: &Tuple) -> bool {
-        self.ctx
-            .expand(t)
-            .iter()
-            .all(|(ground, cylinder)| match self.rows.get(ground) {
-                Some(mask) => self.ctx.covers(mask, cylinder),
-                None => self.ctx.count(cylinder) == 0,
-            })
+        let mut scratch = Vec::new();
+        let mut certain = true;
+        self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
+            if !certain {
+                return;
+            }
+            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            certain = match self.output_mask(&ground) {
+                Some(mask) => self.ctx.covers(mask, cyl),
+                None => self.ctx.count(cyl) == 0,
+            };
+        });
+        certain
     }
 
     /// The candidate's certain/possible bit pair, read off the same masks.
     pub fn status(&self, t: &Tuple) -> CandidateStatus {
-        let classes = self.ctx.expand(t);
-        let certain = classes
-            .iter()
-            .all(|(ground, cylinder)| match self.rows.get(ground) {
-                Some(mask) => self.ctx.covers(mask, cylinder),
-                None => self.ctx.count(cylinder) == 0,
-            });
-        let possible = classes.iter().any(|(ground, cylinder)| {
-            self.rows
-                .get(ground)
-                .is_some_and(|mask| self.ctx.count_and(mask, cylinder) > 0)
+        let mut scratch = Vec::new();
+        let mut certain = true;
+        let mut possible = false;
+        self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
+            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            match self.output_mask(&ground) {
+                Some(mask) => {
+                    certain = certain && self.ctx.covers(mask, cyl);
+                    possible = possible || self.ctx.count_and(mask, cyl) > 0;
+                }
+                None => certain = certain && self.ctx.count(cyl) == 0,
+            }
         });
         CandidateStatus { certain, possible }
     }
@@ -127,28 +156,28 @@ impl MaskBatch {
     /// partition the valuation space, so the numerator is the sum of
     /// per-cylinder popcounts.
     pub fn mu_counts(&self, t: &Tuple) -> (u128, u128) {
-        let numerator: usize = self
-            .ctx
-            .expand(t)
-            .iter()
-            .map(|(ground, cylinder)| {
-                self.rows
-                    .get(ground)
-                    .map_or(0, |mask| self.ctx.count_and(mask, cylinder))
-            })
-            .sum();
+        let mut scratch = Vec::new();
+        let mut numerator = 0usize;
+        self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
+            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            if let Some(mask) = self.output_mask(&ground) {
+                numerator += self.ctx.count_and(mask, cyl);
+            }
+        });
         (numerator as u128, self.ctx.worlds() as u128)
     }
 }
 
-/// Build the mask context for a database under a world spec. Callers must
-/// have bound-checked already; a saturated world count is defensively
-/// surfaced as [`CertainError::TooManyWorlds`].
-fn context(db: &Database, spec: &WorldSpec) -> Result<MaskContext> {
-    MaskContext::new(db.nulls(), spec.pool().iter().cloned()).ok_or(CertainError::TooManyWorlds {
-        worlds: usize::MAX,
-        bound: spec.bound(),
-    })
+/// Build the columnar mask context for a database under a world spec.
+/// Callers must have bound-checked already; a saturated world count is
+/// defensively surfaced as [`CertainError::TooManyWorlds`].
+fn context(db: &Database, spec: &WorldSpec) -> Result<ColumnarContext> {
+    ColumnarContext::new(db.nulls(), spec.pool().iter().cloned()).ok_or(
+        CertainError::TooManyWorlds {
+            worlds: usize::MAX,
+            bound: spec.bound(),
+        },
+    )
 }
 
 /// [`crate::cert::cert_with_nulls`] decided by the world-mask backend: one
@@ -165,7 +194,8 @@ pub fn cert_with_nulls_mask(query: &RaExpr, db: &Database) -> Result<Relation> {
     cert_with_nulls_mask_with(query, db, &exact_pool(query, db))
 }
 
-/// [`cert_with_nulls_mask`] with an explicit world specification.
+/// [`cert_with_nulls_mask`] with an explicit world specification. The
+/// per-candidate certainty checks fan out over the spec's worker pool.
 ///
 /// # Errors
 ///
@@ -177,16 +207,28 @@ pub fn cert_with_nulls_mask_with(
 ) -> Result<Relation> {
     let candidates = naive_eval(query, db)?;
     let batch = MaskBatch::compile(query, db, spec)?;
+    let tuples: Vec<&Tuple> = candidates.iter().collect();
+    let keep = batch.pool().run(tuples.len(), |_, range| {
+        tuples[range]
+            .iter()
+            .map(|t| batch.is_certain(t))
+            .collect::<Vec<bool>>()
+    });
     Ok(Relation::with_arity(
         candidates.arity(),
-        candidates.iter().filter(|t| batch.is_certain(t)).cloned(),
+        tuples
+            .iter()
+            .zip(keep.into_iter().flatten())
+            .filter(|&(_, k)| k)
+            .map(|(t, _)| (*t).clone()),
     ))
 }
 
 /// Classify candidate tuples with the world-mask backend: the certain and
 /// possible bits of every candidate, all read off one plan execution
 /// (where [`crate::cert::classify_candidates`] re-executes the plan per
-/// world). Same signature as the enumeration classifier so
+/// world), with the per-candidate aggregation morsel-parallel over the
+/// spec's worker pool. Same signature as the enumeration classifier so
 /// `certa::Pipeline` can dispatch between them per instance.
 ///
 /// # Errors
@@ -199,7 +241,13 @@ pub fn classify_candidates_mask(
     tuples: &[Tuple],
 ) -> Result<Vec<CandidateStatus>> {
     let batch = MaskBatch::from_prepared(prepared, db, spec)?;
-    Ok(tuples.iter().map(|t| batch.status(t)).collect())
+    let chunks = batch.pool().run(tuples.len(), |_, range| {
+        tuples[range]
+            .iter()
+            .map(|t| batch.status(t))
+            .collect::<Vec<CandidateStatus>>()
+    });
+    Ok(chunks.into_iter().flatten().collect())
 }
 
 /// Evaluation statistics of one mask-backend pass, reported by
@@ -212,15 +260,27 @@ pub struct MaskStats {
     pub words_per_mask: usize,
     /// Annotated rows produced across all operator outputs of the pass.
     pub rows: usize,
-    /// Distinct mask values observed across those rows (`Zero`/`Full`
-    /// count as one value each): low numbers mean the pass shared almost
-    /// all of its bitsets.
+    /// Distinct mask values observed across those rows (full masks count
+    /// as one value): low numbers mean the pass shared almost all of its
+    /// bitsets.
     pub distinct_masks: usize,
+    /// Worker threads as requested by the spec (0 = auto).
+    pub threads_requested: usize,
+    /// Worker threads that actually ran, clamped to the host's cores.
+    pub threads: usize,
+    /// Morsels dispatched across the pass's parallel stages.
+    pub morsels: usize,
+    /// Total mask-arena words across operator outputs (8 bytes each).
+    pub arena_words: usize,
+    /// Buffers retained by this thread's `Rc`-path recycling arena after
+    /// the pass — the occupancy counter for the legacy annotation path
+    /// (worker arenas are drained on scope exit and never show up here).
+    pub rc_arena_buffers: usize,
 }
 
 /// Execute the prepared plan once under the mask domain purely to profile
-/// it: world count, mask width, and how many distinct masks the operators
-/// actually produced.
+/// it: world count, mask width, distinct masks, and the parallel-plan
+/// shape (effective threads, morsel count, arena footprint).
 ///
 /// # Errors
 ///
@@ -228,22 +288,91 @@ pub struct MaskStats {
 pub fn profile(prepared: &PreparedQuery, db: &Database, spec: &WorldSpec) -> Result<MaskStats> {
     spec.check(db)?;
     let ctx = context(db, spec)?;
-    let mut rows = 0usize;
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut hook = |_: OpKind, rel: AnnRel<MaskAnn>| {
-        for (_, mask) in rel.rows() {
-            rows += 1;
-            seen.insert(mask.fingerprint());
-        }
-        rel
-    };
-    let _ = prepared.execute_hooked(&MaskSource::new(db, &ctx), &mut hook)?;
+    let pool = MorselPool::new(spec.threads());
+    let exec = ColumnarExec::new(db, &ctx, pool).profiled();
+    let _ = exec.execute(prepared.plan())?;
+    let stats = exec.stats();
     Ok(MaskStats {
         worlds: ctx.worlds(),
-        words_per_mask: ctx.words(),
-        rows,
-        distinct_masks: seen.len(),
+        words_per_mask: ctx.width(),
+        rows: stats.rows,
+        distinct_masks: stats.distinct_masks,
+        threads_requested: spec.threads(),
+        threads: pool.threads(),
+        morsels: stats.morsels,
+        arena_words: stats.arena_words,
+        rc_arena_buffers: certa_algebra::mask::arena_occupancy().0,
     })
+}
+
+/// The PR-5 reference implementation of the mask batch, kept verbatim as
+/// the *baseline* the benchmarks measure the columnar executor against (and
+/// as a second in-domain oracle): the same single-pass mask semantics, but
+/// with per-tuple `Rc<MaskBuf>` annotations flowing through the
+/// annotation-generic engine instead of relation-level arenas.
+pub mod rc_baseline {
+    use super::*;
+    use certa_algebra::mask::{MaskAnn, MaskContext, MaskSource};
+    use certa_algebra::AnnRel;
+
+    /// The `Rc`-annotated batch: tuple → mask map from one engine pass.
+    pub struct RcMaskBatch {
+        ctx: MaskContext,
+        rows: HashMap<Tuple, MaskAnn>,
+    }
+
+    impl RcMaskBatch {
+        /// Optimize, prepare and execute under the `Rc` mask domain.
+        ///
+        /// # Errors
+        ///
+        /// As [`MaskBatch::compile`].
+        pub fn compile(query: &RaExpr, db: &Database, spec: &WorldSpec) -> Result<RcMaskBatch> {
+            spec.check(db)?;
+            let ctx = MaskContext::new(db.nulls(), spec.pool().iter().cloned()).ok_or(
+                CertainError::TooManyWorlds {
+                    worlds: usize::MAX,
+                    bound: spec.bound(),
+                },
+            )?;
+            let stats = Stats::from_database(db);
+            let prepared = PreparedQuery::prepare_optimized_with(query, db.schema(), &stats)?;
+            let out: AnnRel<MaskAnn> = prepared.execute_on(&MaskSource::new(db, &ctx))?;
+            Ok(RcMaskBatch {
+                ctx,
+                rows: out.into_rows().into_iter().collect(),
+            })
+        }
+
+        /// Certainty through the `Rc` annotations (the PR-5 read).
+        pub fn is_certain(&self, t: &Tuple) -> bool {
+            self.ctx
+                .expand(t)
+                .iter()
+                .all(|(ground, cylinder)| match self.rows.get(ground) {
+                    Some(mask) => self.ctx.covers(mask, cylinder),
+                    None => self.ctx.count(cylinder) == 0,
+                })
+        }
+    }
+
+    /// [`cert_with_nulls_mask_with`] through the `Rc` baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`cert_with_nulls_mask`].
+    pub fn cert_with_nulls_mask_rc_with(
+        query: &RaExpr,
+        db: &Database,
+        spec: &WorldSpec,
+    ) -> Result<Relation> {
+        let candidates = naive_eval(query, db)?;
+        let batch = RcMaskBatch::compile(query, db, spec)?;
+        Ok(Relation::with_arity(
+            candidates.arity(),
+            candidates.iter().filter(|t| batch.is_certain(t)).cloned(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -394,17 +523,53 @@ mod tests {
     }
 
     #[test]
-    fn profile_reports_mask_shape() {
+    fn profile_reports_mask_shape_and_parallel_plan() {
         let db = shop_with_null();
         let q = RaExpr::rel("Orders")
             .project(vec![0])
             .difference(RaExpr::rel("Payments").project(vec![1]));
-        let spec = exact_pool(&q, &db);
+        let spec = exact_pool(&q, &db).with_threads(16);
         let prepared = PreparedQuery::prepare(&q, db.schema()).unwrap();
         let stats = profile(&prepared, &db, &spec).unwrap();
         assert_eq!(stats.worlds, spec.world_count(&db));
         assert_eq!(stats.words_per_mask, stats.worlds.div_ceil(64));
         assert!(stats.rows > 0);
         assert!(stats.distinct_masks >= 2, "full and at least one stripe");
+        assert_eq!(stats.threads_requested, 16);
+        assert_eq!(stats.threads, spec.effective_threads());
+        assert!(stats.threads >= 1);
+        assert!(stats.morsels >= 2, "one per scanned base relation");
+        assert!(stats.arena_words > 0, "stripe-born masks live in arenas");
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_worker_counts() {
+        let db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        let base = exact_pool(&q, &db);
+        let reference = cert_with_nulls_mask_with(&q, &db, &base).unwrap();
+        for workers in [1usize, 2, 8] {
+            let spec = base.clone().with_threads(workers);
+            assert_eq!(
+                cert_with_nulls_mask_with(&q, &db, &spec).unwrap(),
+                reference,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_baseline_agrees_with_the_columnar_path() {
+        let db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        let spec = exact_pool(&q, &db);
+        assert_eq!(
+            rc_baseline::cert_with_nulls_mask_rc_with(&q, &db, &spec).unwrap(),
+            cert_with_nulls_mask_with(&q, &db, &spec).unwrap()
+        );
     }
 }

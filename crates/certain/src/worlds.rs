@@ -57,9 +57,16 @@ impl WorldSpec {
         self
     }
 
-    /// The configured worker-thread count (0 = auto).
+    /// The configured worker-thread count, as requested (0 = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker-thread count that will actually run: the request clamped
+    /// to [`std::thread::available_parallelism`]. "16 workers" on a 1-CPU
+    /// host is 1 worker, and `explain()` reports it as such.
+    pub fn effective_threads(&self) -> usize {
+        certa_algebra::morsel::effective_threads(self.threads)
     }
 
     /// The configured cap on the number of worlds.
@@ -204,10 +211,7 @@ impl<'a> WorldEngine<'a> {
         spec.check(db)?;
         let nulls: Vec<NullId> = db.nulls().into_iter().collect();
         let total = count_valuations(nulls.len(), spec.pool().len());
-        let threads = match spec.threads() {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            n => n,
-        };
+        let threads = spec.effective_threads();
         Ok(WorldEngine {
             db,
             pool: spec.pool(),
@@ -338,7 +342,13 @@ impl<'a> WorldEngine<'a> {
                     let (init, fold, absorbing, stop) = (&init, &fold, &absorbing, &stop);
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(self.total);
-                    scope.spawn(move || self.fold_range(lo, hi, init, fold, absorbing, Some(stop)))
+                    scope.spawn(move || {
+                        let out = self.fold_range(lo, hi, init, fold, absorbing, Some(stop));
+                        // Drain-on-scope-exit: mask buffers recycled on
+                        // this worker must not leak past the pool.
+                        certa_algebra::mask::arena_drain();
+                        out
+                    })
                 })
                 .collect();
             handles

@@ -116,6 +116,16 @@ fn assert_instance_agreement(label: &str, query: &RaExpr, db: &Database) -> bool
     let by_mask = classify_candidates_mask(&prepared, db, &spec, &tuples)
         .unwrap_or_else(|e| panic!("{label}: mask backend failed on {query}: {e}"));
     let by_engine = classify_candidates(&prepared, db, &spec, &tuples).unwrap();
+    // Morsel-axis determinism: the masked pass is morsel-parallel, and its
+    // answers must be bit-identical at every requested worker count.
+    for workers in [1usize, 2, 8] {
+        let spec_w = spec.clone().with_threads(workers);
+        let at_w = classify_candidates_mask(&prepared, db, &spec_w, &tuples).unwrap();
+        assert_eq!(
+            at_w, by_mask,
+            "{label}: classification differs at {workers} workers for {query} on {db}"
+        );
+    }
     let lineage = match classify_candidates_lineage(query, db, &spec, &tuples) {
         Ok(statuses) => Some(statuses),
         Err(CertainError::Lineage(e)) if e.is_unsupported() => None,
@@ -146,8 +156,17 @@ fn assert_instance_agreement(label: &str, query: &RaExpr, db: &Database) -> bool
         );
     }
 
-    // The certain-answer set.
+    // The certain-answer set (and its worker-count invariance, tuple order
+    // included).
     let by_mask = mask::cert_with_nulls_mask_with(query, db, &spec).unwrap();
+    for workers in [1usize, 2, 8] {
+        let spec_w = spec.clone().with_threads(workers);
+        let at_w = mask::cert_with_nulls_mask_with(query, db, &spec_w).unwrap();
+        assert_eq!(
+            at_w, by_mask,
+            "{label}: cert⊥ differs at {workers} workers for {query} on {db}"
+        );
+    }
     let by_engine = cert::cert_with_nulls_with(query, db, &spec).unwrap();
     let by_seed = reference::cert_with_nulls_seed(query, db, &spec).unwrap();
     assert_eq!(
@@ -190,6 +209,18 @@ fn assert_instance_agreement(label: &str, query: &RaExpr, db: &Database) -> bool
                     (by_mask.numerator, by_mask.denominator),
                     (by_lineage.numerator, by_lineage.denominator),
                     "{label}, k = {k}: mask vs lineage µ_k of {t} for {query} on {db}"
+                );
+            }
+            // µ_k is worker-count invariant too: the same counts must come
+            // out of a batch compiled at 2 and 8 requested workers.
+            for workers in [2usize, 8] {
+                let batch =
+                    mask::MaskBatch::compile(query, db, &mu_spec.clone().with_threads(workers))
+                        .unwrap();
+                assert_eq!(
+                    batch.mu_counts(t),
+                    (by_mask.numerator, by_mask.denominator),
+                    "{label}, k = {k}: µ_k differs at {workers} workers for {t} on {db}"
                 );
             }
         }
@@ -339,10 +370,11 @@ fn shop_workload_agrees_on_all_three_result_kinds() {
 
 #[test]
 fn mask_backend_handles_thread_count_invariant_engine_comparisons() {
-    // The mask pass is single-threaded by construction; the enumeration
-    // engine it is compared against chunks across workers. Re-run a few
-    // instances against 1-, 2- and 16-thread enumeration to pin down that
-    // the agreement is thread-count independent.
+    // Both sides of the comparison are parallel: the enumeration engine
+    // chunks worlds across workers, the mask pass chunks rows into
+    // morsels. Re-run a few instances across worker counts on *both*
+    // backends to pin down that the agreement is thread-count independent
+    // in every combination.
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97) + 13);
         let db = gen_database(&mut rng);
@@ -353,6 +385,8 @@ fn mask_backend_handles_thread_count_invariant_engine_comparisons() {
             let spec = spec.clone().with_threads(threads);
             let by_engine = cert::cert_with_nulls_with(&query, &db, &spec).unwrap();
             assert_eq!(by_mask, by_engine, "seed {seed}, threads {threads}");
+            let by_mask_t = mask::cert_with_nulls_mask_with(&query, &db, &spec).unwrap();
+            assert_eq!(by_mask, by_mask_t, "seed {seed}, mask at {threads} workers");
         }
     }
 }
