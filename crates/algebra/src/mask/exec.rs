@@ -402,9 +402,11 @@ impl<'a> ColumnarExec<'a> {
     fn dom_power(&self, k: usize) -> ColumnarRel {
         let width = self.ctx.width();
         // Members in active-domain (sorted) order, merged where a null's
-        // substitution collides with a base constant.
+        // substitution collides with a base constant. Member masks live in
+        // their own arena, which every round resolves against — it must
+        // never be swapped out, unlike the per-generation prefix arena.
         let mut members: Vec<(Value, RowMask)> = Vec::new();
-        let mut arena = MaskArena::new(width);
+        let mut marena = MaskArena::new(width);
         let mut index: FxHashMap<Value, usize> = FxHashMap::default();
         let mut add = |v: Value, m: Option<&[u64]>, members: &mut Vec<(Value, RowMask)>| match index
             .entry(v)
@@ -413,14 +415,14 @@ impl<'a> ColumnarExec<'a> {
                 let i = *e.get();
                 match (members[i].1, m) {
                     (RowMask::Full, _) => {}
-                    (RowMask::Slot(s), Some(w)) => kernel::or_assign(arena.row_mut(s), w),
+                    (RowMask::Slot(s), Some(w)) => kernel::or_assign(marena.row_mut(s), w),
                     (RowMask::Slot(_), None) => members[i].1 = RowMask::Full,
                 }
             }
             Entry::Vacant(e) => {
                 let rm = match m {
                     None => RowMask::Full,
-                    Some(w) => RowMask::Slot(arena.push(w)),
+                    Some(w) => RowMask::Slot(marena.push(w)),
                 };
                 members.push((e.key().clone(), rm));
                 e.insert(members.len() - 1);
@@ -445,8 +447,11 @@ impl<'a> ColumnarExec<'a> {
                 },
             }
         }
-        // k-fold product, ANDing member masks across positions.
+        // k-fold product, ANDing member masks across positions. Prefix
+        // masks of the current generation live in `arena`; member masks
+        // stay in `marena` for every round.
         let mut rows: Vec<(Vec<Value>, RowMask)> = vec![(Vec::new(), RowMask::Full)];
+        let mut arena = MaskArena::new(width);
         let mut scratch = Vec::new();
         for _ in 0..k {
             let mut next_arena = MaskArena::new(width);
@@ -459,7 +464,7 @@ impl<'a> ColumnarExec<'a> {
                 for (v, vrm) in &members {
                     let vm = match vrm {
                         RowMask::Full => MaskRef::Full,
-                        RowMask::Slot(s) => MaskRef::Words(arena.row(*s)),
+                        RowMask::Slot(s) => MaskRef::Words(marena.row(*s)),
                     };
                     let combined = match (pm, vm) {
                         (MaskRef::Full, MaskRef::Full) => RowMask::Full,
@@ -484,8 +489,9 @@ impl<'a> ColumnarExec<'a> {
                     next.push((values, combined));
                 }
             }
-            // Re-home: masks of the new prefix generation move into the
-            // arena the next round (or the output) reads from.
+            // Re-home: prefix masks of the new generation move into the
+            // arena the next round (or the output) reads from. Member
+            // masks are untouched — they stay valid in `marena`.
             rows = next;
             arena = next_arena;
         }
@@ -733,6 +739,38 @@ mod tests {
         ];
         for q in queries {
             assert_matches_rc_engine(&q, &d, &[1, 2]);
+        }
+    }
+
+    /// Regression: member masks must survive the per-round prefix-arena
+    /// swap in `dom_power`. A nulls-only base makes every member mask a
+    /// stripe (no Full short-circuit), and k >= 3 forces a resolve after
+    /// at least two swaps — the stale-arena read returned wrong world
+    /// sets (or panicked out of bounds) here before the member arena was
+    /// split out.
+    #[test]
+    fn dom_power_fresh_pool_constants_at_high_k() {
+        let nulls_only = database_from_literal([(
+            "N",
+            vec!["a"],
+            vec![tup![Value::null(0)], tup![Value::null(1)]],
+        )]);
+        for q in [
+            RaExpr::DomPower(3),
+            RaExpr::DomPower(4),
+            RaExpr::DomPower(3).difference(RaExpr::DomPower(3).select(Condition::eq_attr(0, 1))),
+        ] {
+            assert_matches_rc_engine(&q, &nulls_only, &[1, 2]);
+        }
+        // Mixed base constants and nulls, pool disjoint from the base
+        // active domain: striped members sit after Full ones, so their
+        // slot indices cannot coincidentally realign.
+        let d = db();
+        for q in [
+            RaExpr::DomPower(3),
+            RaExpr::DomPower(3).intersect(RaExpr::rel("R").product(RaExpr::rel("S"))),
+        ] {
+            assert_matches_rc_engine(&q, &d, &[5, 6]);
         }
     }
 
