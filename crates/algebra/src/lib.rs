@@ -85,8 +85,8 @@ pub use morsel::{effective_threads, MorselPool, MORSEL_ROWS};
 pub use naive::naive_eval;
 pub use opt::{optimize, optimize_with, Stats};
 pub use physical::{
-    AnnRel, Annotation, BagAnn, BagValuationSource, OpKind, PhysOp, PreparedQuery,
-    PreparedWorldQuery, SetAnn, Source, ValuationSource,
+    delta_profile, AnnRel, Annotation, BagAnn, BagValuationSource, DeltaProfile, OpKind, PhysOp,
+    PreparedQuery, PreparedWorldQuery, SetAnn, Source, ValuationSource,
 };
 
 /// Errors raised while validating or evaluating relational-algebra

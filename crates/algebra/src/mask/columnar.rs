@@ -107,6 +107,16 @@ impl MaskArena {
             RowMask::Slot(s) => MaskRef::Words(self.row(s)),
         }
     }
+
+    /// OR `words` into slot `s` in place, returning the slot's resulting
+    /// popcount (so callers can canonicalize saturated masks to
+    /// [`RowMask::Full`]). The delta-merge primitive: incremental insert
+    /// deltas OR their world sets into existing rows.
+    pub fn or_into_slot(&mut self, s: u32, words: &[u64]) -> usize {
+        let row = self.row_mut(s);
+        kernel::or_assign(row, words);
+        kernel::popcount(row)
+    }
 }
 
 /// A row's mask, relative to its relation's arena. Rows whose mask would be
@@ -437,6 +447,26 @@ impl ColumnarContext {
             (MaskRef::Full, _) => true,
             (MaskRef::Words(b), MaskRef::Full) => kernel::popcount(b) == self.worlds,
             (MaskRef::Words(b), MaskRef::Words(s)) => kernel::covers(b, s),
+        }
+    }
+
+    /// The stripe mask of "`⊥_null` takes the value `value`", by database
+    /// null id and pool constant — the **world-space restriction** a null
+    /// resolution induces. `None` when the null is not indexed by this
+    /// context or the constant is outside the pool (the caller must then
+    /// recompute instead of refining).
+    pub fn stripe_for(&self, null: NullId, value: &Const) -> Option<&[u64]> {
+        let p = self.null_ordinal(null)?;
+        let c = self.pool.iter().position(|x| x == value)?;
+        Some(self.stripe(p, c))
+    }
+
+    /// Materialize `a AND b` into `buf` (bit-slice selection: restricting a
+    /// mask or cylinder to a sub-space of the worlds).
+    pub fn and_materialize(&self, a: MaskRef<'_>, b: MaskRef<'_>, buf: &mut Vec<u64>) {
+        self.materialize(a, buf);
+        if let MaskRef::Words(w) = b {
+            kernel::and_assign(buf, w);
         }
     }
 

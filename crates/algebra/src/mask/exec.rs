@@ -54,6 +54,11 @@ pub struct ColumnarExec<'a> {
     db: &'a Database,
     ctx: &'a ColumnarContext,
     pool: MorselPool,
+    /// Relation contents substituted for the database's during scans —
+    /// the semi-naïve delta hook: running the plan with one relation
+    /// replaced by its *delta* rows (others at their current state)
+    /// produces exactly the output rows the delta contributes.
+    overrides: &'a [(String, certa_data::Relation)],
     profile: bool,
     rows: Cell<usize>,
     morsels: Cell<usize>,
@@ -69,12 +74,26 @@ impl<'a> ColumnarExec<'a> {
             db,
             ctx,
             pool,
+            overrides: &[],
             profile: false,
             rows: Cell::new(0),
             morsels: Cell::new(0),
             arena_words: Cell::new(0),
             fingerprints: RefCell::new(FxHashSet::default()),
         }
+    }
+
+    /// Substitute relation contents during scans (delta execution): a scan
+    /// of a listed relation reads the override instead of the database.
+    /// Other operators (notably [`PhysOp::DomPower`], which reads the
+    /// database's active domain directly) are unaffected — delta callers
+    /// must gate on plans without such operators.
+    pub fn with_overrides(
+        mut self,
+        overrides: &'a [(String, certa_data::Relation)],
+    ) -> ColumnarExec<'a> {
+        self.overrides = overrides;
+        self
     }
 
     /// Enable mask-fingerprint profiling (distinct-mask counting costs a
@@ -247,10 +266,13 @@ impl<'a> ColumnarExec<'a> {
     /// masks; incomplete relations expand null-substitution classes
     /// morsel-parallel, then merge collapsing classes in morsel order.
     fn scan(&self, name: &str, filter: Option<&Condition>) -> Result<ColumnarRel> {
-        let rel = self
-            .db
-            .relation(name)
-            .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?;
+        let rel = match self.overrides.iter().find(|(n, _)| n == name) {
+            Some((_, over)) => over,
+            None => self
+                .db
+                .relation(name)
+                .map_err(|_| AlgebraError::UnknownRelation(name.to_string()))?,
+        };
         let width = self.ctx.width();
         let base: Vec<&Tuple> = rel.iter().collect();
         if rel.is_complete() {

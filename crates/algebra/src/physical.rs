@@ -1574,6 +1574,81 @@ pub fn eval_bag_physical(expr: &RaExpr, db: &BagDatabase) -> Result<BagRelation>
     ))
 }
 
+/// What a plan's shape allows an incremental maintainer to do with insert
+/// deltas, produced by [`delta_profile`].
+///
+/// Semi-naïve insert propagation (run the plan once with a changed relation
+/// replaced by its delta rows, OR the output into the cached answer) is
+/// sound exactly when the plan is **monotone** in the changed relation and
+/// **linear** in it (the relation is scanned once — a self-join would need
+/// per-occurrence substitution the scan-by-name override cannot express).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaProfile {
+    /// `true` iff every operator is monotone (no `−`, `÷`, `⋉⇑`): inserting
+    /// rows can only add derivations, never retract one.
+    pub monotone: bool,
+    /// `true` iff the plan materialises active-domain powers, which read
+    /// the *whole* database (every insert changes them, overrides or not).
+    pub uses_dom_power: bool,
+    /// Scan occurrences per base relation name.
+    pub scans: HashMap<String, usize>,
+}
+
+impl DeltaProfile {
+    /// `true` iff inserts into `relation` can be propagated by one delta
+    /// execution: monotone plan, no active-domain dependence, and the
+    /// relation scanned at most once.
+    pub fn insert_delta_ok(&self, relation: &str) -> bool {
+        self.monotone && !self.uses_dom_power && self.scans.get(relation).copied().unwrap_or(0) <= 1
+    }
+
+    /// `true` iff the plan never reads `relation` (changes there cannot
+    /// affect the output). Active-domain powers read everything.
+    pub fn ignores(&self, relation: &str) -> bool {
+        !self.uses_dom_power && !self.scans.contains_key(relation)
+    }
+}
+
+/// Walk a plan and report its [`DeltaProfile`].
+pub fn delta_profile(op: &PhysOp) -> DeltaProfile {
+    fn walk(op: &PhysOp, p: &mut DeltaProfile) {
+        match op {
+            PhysOp::Scan { name, .. } => {
+                *p.scans.entry(name.clone()).or_insert(0) += 1;
+            }
+            PhysOp::Literal(_) => {}
+            PhysOp::Select(e, _) | PhysOp::Project(e, _) => walk(e, p),
+            PhysOp::HashJoin { left, right, .. } => {
+                walk(left, p);
+                walk(right, p);
+            }
+            PhysOp::Product(l, r) | PhysOp::Union(l, r) | PhysOp::Intersect(l, r) => {
+                walk(l, p);
+                walk(r, p);
+            }
+            PhysOp::Difference(l, r) | PhysOp::Divide(l, r) | PhysOp::AntiSemiJoinUnify(l, r) => {
+                p.monotone = false;
+                walk(l, p);
+                walk(r, p);
+            }
+            PhysOp::DomPower(_) => p.uses_dom_power = true,
+            // An opaque hoisted slot: its sources are invisible here, so
+            // nothing incremental can be said about the plan.
+            PhysOp::Cached { .. } => {
+                p.monotone = false;
+                p.uses_dom_power = true;
+            }
+        }
+    }
+    let mut p = DeltaProfile {
+        monotone: true,
+        uses_dom_power: false,
+        scans: HashMap::new(),
+    };
+    walk(op, &mut p);
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

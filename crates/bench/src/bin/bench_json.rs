@@ -1,12 +1,14 @@
-//! Headless ablation runner: re-times the a05–a10 ablation workloads with
+//! Headless ablation runner: re-times the a05–a11 ablation workloads with
 //! plain [`std::time::Instant`] and emits machine-readable JSON so the
 //! performance trajectory is comparable across PRs without parsing
 //! criterion output.
 //!
 //! Every variant is verified for cross-backend agreement *before* it is
 //! timed (the same assertions the criterion benches make) — including
-//! bit-identical mask results across every swept worker count — so a
-//! committed `BENCH_6.json` is also a correctness witness.
+//! bit-identical mask results across every swept worker count, and
+//! refined-equals-recomputed classifications after every update of the
+//! incremental ablation — so a committed `BENCH_7.json` is also a
+//! correctness witness.
 //!
 //! Usage:
 //!
@@ -16,11 +18,12 @@
 //!
 //! `--quick` shrinks every workload to smoke-test size (used by CI so the
 //! emitter can't rot); the default full configuration is what
-//! `BENCH_6.json` at the repository root records. `--threads` sets the
+//! `BENCH_7.json` at the repository root records. `--threads` sets the
 //! worker counts the mask-backend sweeps request (default `1,2,4,8`);
 //! every requested count is clamped to the host's cores and both numbers
-//! are recorded, so a curve measured on a small host is legible as such.
-//! Default output path is `BENCH_6.json` in the current directory.
+//! are recorded, so a curve measured on a small host is legible as such —
+//! on a 1-CPU host the sweep measures scheduling *overhead*, not scaling.
+//! Default output path is `BENCH_7.json` in the current directory.
 
 use certa::algebra::physical::SetSource;
 use certa::certain::cert::{
@@ -471,6 +474,132 @@ fn a10(out: &mut Vec<Entry>, quick: bool, threads_list: &[usize]) {
     }
 }
 
+/// a11: epoch-safe incremental maintenance versus recompute-per-update on
+/// the same 2^12-world instance. "Refine" is the pipeline answer cache's
+/// steady state — the mask batch is already compiled, and each update
+/// costs one world-space restriction (null resolution) or one semi-naive
+/// delta merge (monotone insert) plus re-classification. "Recompute"
+/// rebuilds the batch from scratch after every update, which is all a
+/// PR-6 caller could do. Before timing, every update step is checked to
+/// classify identically on both paths.
+fn a11(out: &mut Vec<Entry>, quick: bool) {
+    let nulls: u32 = if quick { 6 } else { 12 };
+    let (db0, query, spec) = mask_workload(quick);
+    let prepared = PreparedQuery::prepare(&query, db0.schema()).unwrap();
+    let candidates: Vec<Tuple> = (0..nulls).map(|i| tup![i64::from(i)]).collect();
+
+    // A sequence of null resolutions, one update at a time: resolve half
+    // the marked nulls to alternating pool constants.
+    let resolutions: Vec<(u32, certa::data::Const)> = (0..nulls / 2)
+        .map(|i| (i, certa::data::Const::Int(1 + i64::from(i % 2))))
+        .collect();
+
+    let mut maintained = MaskBatch::from_prepared(&prepared, &db0, &spec).unwrap();
+    let mut db = db0.clone();
+    let mut resolve_dbs: Vec<certa::data::Database> = Vec::new();
+    for (n, c) in &resolutions {
+        assert_eq!(db.resolve_null(*n, c.clone()), 1);
+        assert!(maintained.restrict(*n, c));
+        let fresh = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
+        assert_eq!(
+            maintained.classify(&candidates),
+            fresh.classify(&candidates),
+            "refined and recomputed classifications must agree after resolving null {n} to {c}"
+        );
+        resolve_dbs.push(db.clone());
+    }
+
+    let iters = 20;
+    let mut pristine: Vec<MaskBatch> = (0..=iters)
+        .map(|_| MaskBatch::from_prepared(&prepared, &db0, &spec).unwrap())
+        .collect();
+    push(
+        out,
+        "a11_incremental",
+        "resolve_refine_cached",
+        iters,
+        || {
+            let mut batch = pristine.pop().expect("one pristine batch per iteration");
+            for (n, c) in &resolutions {
+                assert!(batch.restrict(*n, c));
+                batch.classify(&candidates);
+            }
+        },
+    );
+    push(
+        out,
+        "a11_incremental",
+        "resolve_recompute_scratch",
+        5,
+        || {
+            for db_i in &resolve_dbs {
+                let batch = MaskBatch::from_prepared(&prepared, db_i, &spec).unwrap();
+                batch.classify(&candidates);
+            }
+        },
+    );
+
+    // Monotone insert deltas on the join–project sub-query (semi-naive
+    // merges require monotonicity, so the outer difference is out).
+    let mono = RaExpr::rel("R")
+        .join_on(RaExpr::rel("S"), &[(1, 0)], 2)
+        .project(vec![0]);
+    let mono_prepared = PreparedQuery::prepare(&mono, db0.schema()).unwrap();
+    let profile = certa::algebra::delta_profile(mono_prepared.plan());
+    assert!(profile.insert_delta_ok("R"));
+    let deltas: Vec<Vec<Tuple>> = (0..4i64)
+        .map(|j| vec![tup![900 + 2 * j, 1], tup![901 + 2 * j, 3]])
+        .collect();
+
+    let mut maintained = MaskBatch::from_prepared(&mono_prepared, &db0, &spec).unwrap();
+    let mut db = db0.clone();
+    let mut insert_dbs: Vec<certa::data::Database> = Vec::new();
+    for d in &deltas {
+        db.insert_all("R", d.clone()).unwrap();
+        maintained
+            .apply_insert_delta(&mono_prepared, &db, "R", d)
+            .unwrap();
+        let fresh = MaskBatch::from_prepared(&mono_prepared, &db, &spec).unwrap();
+        assert_eq!(
+            maintained.classify(&candidates),
+            fresh.classify(&candidates),
+            "merged and recomputed classifications must agree after an insert delta"
+        );
+        insert_dbs.push(db.clone());
+    }
+
+    let mut pristine: Vec<MaskBatch> = (0..=iters)
+        .map(|_| MaskBatch::from_prepared(&mono_prepared, &db0, &spec).unwrap())
+        .collect();
+    push(
+        out,
+        "a11_incremental",
+        "insert_refine_cached",
+        iters,
+        || {
+            let mut batch = pristine.pop().expect("one pristine batch per iteration");
+            for (d, db_i) in deltas.iter().zip(&insert_dbs) {
+                batch
+                    .apply_insert_delta(&mono_prepared, db_i, "R", d)
+                    .unwrap();
+                batch.classify(&candidates);
+            }
+        },
+    );
+    push(
+        out,
+        "a11_incremental",
+        "insert_recompute_scratch",
+        5,
+        || {
+            for db_i in &insert_dbs {
+                let batch = MaskBatch::from_prepared(&mono_prepared, db_i, &spec).unwrap();
+                batch.classify(&candidates);
+            }
+        },
+    );
+}
+
 fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
     entries
         .iter()
@@ -487,7 +616,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let threads_list: Vec<usize> = args
         .iter()
         .position(|a| a == "--threads")
@@ -512,6 +641,7 @@ fn main() {
     a08(&mut entries, quick);
     a09(&mut entries, quick, &threads_list);
     a10(&mut entries, quick, &threads_list);
+    a11(&mut entries, quick);
 
     let mask_speedup_16 = find(&entries, "a09_mask", "enumeration_cert_16_threads")
         / find(&entries, "a09_mask", "mask_cert_single_pass");
@@ -534,10 +664,14 @@ fn main() {
             "a10_columnar",
             &format!("mask_batch_compile_columnar_t{first_t}"),
         );
+    let resolve_refine_speedup = find(&entries, "a11_incremental", "resolve_recompute_scratch")
+        / find(&entries, "a11_incremental", "resolve_refine_cached");
+    let insert_refine_speedup = find(&entries, "a11_incremental", "insert_recompute_scratch")
+        / find(&entries, "a11_incremental", "insert_refine_cached");
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_6\",\n");
+    json.push_str("  \"bench\": \"BENCH_7\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -587,7 +721,13 @@ fn main() {
         "    \"a10_columnar_single_thread_cert_speedup_over_rc_baseline\": {columnar_t1_speedup:.2},\n"
     ));
     json.push_str(&format!(
-        "    \"a10_columnar_single_thread_compile_speedup_over_rc_baseline\": {compile_t1_speedup:.2}\n"
+        "    \"a10_columnar_single_thread_compile_speedup_over_rc_baseline\": {compile_t1_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a11_resolve_refine_speedup_over_recompute\": {resolve_refine_speedup:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a11_insert_refine_speedup_over_recompute\": {insert_refine_speedup:.1}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");

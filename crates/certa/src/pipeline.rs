@@ -30,10 +30,12 @@
 //! | [`Scheme::Approx51`] | `(Qt, Qf)` of Figure 2(a) | `Certain`, `CertainlyFalse` |
 //! | [`Scheme::CTable`] | conditional tables (§4.2) | `Certain`, `Possible` |
 
-use certa_algebra::{optimize, AlgebraError, PreparedQuery, RaExpr};
-use certa_certain::{CertainError, PreparedApproxPair, PreparedTranslationPair};
+use certa_algebra::{
+    delta_profile, optimize, AlgebraError, DeltaProfile, PreparedQuery, RaExpr, Stats,
+};
+use certa_certain::{CertainError, MaskBatch, PreparedApproxPair, PreparedTranslationPair};
 use certa_ctables::{eval_conditional, CtError, Strategy};
-use certa_data::{Database, Relation, Schema, Tuple};
+use certa_data::{Const, Database, Delta, NullId, Relation, Schema, Tuple, Value};
 use certa_sql::lower::LoweredQuery;
 use certa_sql::{lower_to_algebra, parse, SqlError};
 use std::collections::HashMap;
@@ -224,6 +226,10 @@ pub enum PipelineError {
     Certain(CertainError),
     /// Conditional evaluation failed.
     CTable(CtError),
+    /// A pipeline invariant was violated (e.g. the plan cache lost an entry
+    /// between compilation and lookup) — a bug in the pipeline, surfaced as
+    /// an error instead of a panic so servers can degrade gracefully.
+    Internal(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -233,6 +239,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Algebra(e) => write!(f, "algebra: {e}"),
             PipelineError::Certain(e) => write!(f, "certain: {e}"),
             PipelineError::CTable(e) => write!(f, "ctable: {e}"),
+            PipelineError::Internal(e) => write!(f, "internal: {e}"),
         }
     }
 }
@@ -277,6 +284,185 @@ struct CacheEntry {
     plain: PreparedQuery,
     approx37: Option<PreparedApproxPair>,
     approx51: Option<PreparedTranslationPair>,
+    /// The epoch-aware **answer cache** for [`Scheme::Exact`]: the labeled
+    /// answers of the last execution, keyed by `(instance, epoch)`, plus —
+    /// on the mask backend — everything needed to *refine* them under
+    /// updates instead of recomputing.
+    exact: Option<ExactState>,
+    /// Refine-vs-recompute decisions taken for this query so far.
+    counters: MaintenanceCounters,
+}
+
+/// The cached exact answers of one `(query, database-instance)` pair at a
+/// specific epoch.
+struct ExactState {
+    /// [`Database::instance`] the answers were computed on — a different
+    /// instance (even a clone) always recomputes.
+    instance: u64,
+    /// [`Database::epoch`] the answers are current at.
+    epoch: u64,
+    answers: LabeledAnswers,
+    /// The incremental-maintenance half, present only on the mask backend
+    /// (lineage/enumeration answers can be served at an unchanged epoch but
+    /// never refined).
+    mask: Option<MaskState>,
+}
+
+/// The refinable mask-backend state: the instance-optimized plan, its delta
+/// profile, the compiled batch, and the world spec it quantifies over.
+struct MaskState {
+    spec: certa_certain::WorldSpec,
+    /// Re-optimized **per instance** with [`Stats::from_database`] (the
+    /// schema-level `plain` plan stays cached separately): hoists and
+    /// null-dependence are instance properties and must not leak across
+    /// epochs or instances.
+    prepared: PreparedQuery,
+    profile: DeltaProfile,
+    batch: MaskBatch,
+}
+
+/// Counts of the refine-vs-recompute decisions taken for one cached query,
+/// reported by [`Pipeline::explain`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceCounters {
+    /// Answers served straight from the cache (epoch unchanged, or every
+    /// delta provably irrelevant to the query).
+    pub served: usize,
+    /// Answers refined in place: null resolutions applied as world-space
+    /// restrictions and/or insert deltas merged into the cached masks.
+    pub refined: usize,
+    /// Insert-delta executions merged during refinements.
+    pub delta_merged: usize,
+    /// Full recomputations (first execution, structural change, delete,
+    /// delta outside the cached world space, or log truncation).
+    pub recomputed: usize,
+}
+
+/// What the answer cache will do with a request at the database's current
+/// state — the **decision lattice** (documented in ARCHITECTURE.md):
+/// serve ⊐ refine ⊐ recompute, taking the cheapest sound option.
+enum MaintenanceDecision {
+    /// Epoch unchanged, or all deltas target relations the plan never
+    /// reads: the cached answers are current.
+    Serve,
+    /// All deltas are refinable: resolutions become world-space
+    /// restrictions, inserts become delta executions merged into the masks.
+    Refine {
+        resolves: Vec<(NullId, Const)>,
+        inserts: Vec<(String, Vec<Tuple>)>,
+    },
+    /// Something forces a from-scratch execution.
+    Recompute { reason: String },
+}
+
+/// Decide, from the cached state and the database's delta log, the cheapest
+/// sound way to answer at the current epoch. Pure — shared by
+/// [`Pipeline::execute`] (which acts on it) and [`Pipeline::explain`]
+/// (which reports it).
+fn decide(state: &ExactState, db: &Database) -> MaintenanceDecision {
+    let recompute = |reason: &str| MaintenanceDecision::Recompute {
+        reason: reason.to_string(),
+    };
+    if state.instance != db.instance() {
+        return recompute("answers belong to a different database instance");
+    }
+    if state.epoch == db.epoch() {
+        return MaintenanceDecision::Serve;
+    }
+    let Some(deltas) = db.deltas_since(state.epoch) else {
+        return recompute("the delta log no longer reaches the cached epoch");
+    };
+    let Some(mask) = &state.mask else {
+        return recompute("the cached backend has no incremental path");
+    };
+    let mut resolves: Vec<(NullId, Const)> = Vec::new();
+    let mut inserts: Vec<(String, Vec<Tuple>)> = Vec::new();
+    // Nulls that are (or become) pinned: an insert re-introducing one would
+    // diverge from the restricted world space.
+    let mut pinned: Vec<NullId> = mask
+        .batch
+        .restricted_nulls()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    for delta in deltas {
+        match delta {
+            Delta::Structural => return recompute("a structural (whole-relation) mutation"),
+            Delta::Delete { .. } => return recompute("a delete (mask merges are monotone)"),
+            Delta::Resolve { null, value } => {
+                if pinned.contains(null) {
+                    return recompute("a null was resolved twice");
+                }
+                if !mask.batch.can_restrict(*null, value) {
+                    return recompute("a resolution outside the cached world space");
+                }
+                pinned.push(*null);
+                resolves.push((*null, value.clone()));
+            }
+            Delta::Insert { relation, tuples } => {
+                if mask.profile.ignores(relation) {
+                    continue; // the plan never reads it
+                }
+                if !mask.profile.insert_delta_ok(relation) {
+                    return recompute("the plan is not monotone/linear in an inserted relation");
+                }
+                for t in tuples {
+                    for v in t.iter() {
+                        match v {
+                            Value::Null(n) => {
+                                if pinned.contains(n) || !mask.batch.indexes_null(*n) {
+                                    return recompute(
+                                        "an insert mentions a null outside the live world space",
+                                    );
+                                }
+                            }
+                            Value::Const(c) => {
+                                if !mask.spec.pool().contains(c) {
+                                    return recompute(
+                                        "an insert mentions a constant outside the cached pool",
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                inserts.push((relation.clone(), tuples.clone()));
+            }
+        }
+    }
+    if resolves.is_empty() && inserts.is_empty() {
+        MaintenanceDecision::Serve
+    } else {
+        MaintenanceDecision::Refine { resolves, inserts }
+    }
+}
+
+/// Zip candidates with their statuses into labeled rows, certain first.
+fn label_rows(
+    tuples: Vec<Tuple>,
+    statuses: &[certa_certain::cert::CandidateStatus],
+) -> Vec<(Tuple, Label)> {
+    let mut rows: Vec<(Tuple, Label)> = tuples
+        .into_iter()
+        .zip(statuses)
+        .map(|(t, s)| {
+            let label = if s.certain {
+                Label::Certain
+            } else if s.possible {
+                Label::Possible
+            } else {
+                Label::CertainlyFalse
+            };
+            (t, label)
+        })
+        .collect();
+    let rank = |l: &Label| match l {
+        Label::Certain => 0,
+        Label::Possible => 1,
+        Label::CertainlyFalse => 2,
+    };
+    rows.sort_by_key(|(_, l)| rank(l));
+    rows
 }
 
 /// The compile-once certain-answer pipeline (see the module docs).
@@ -309,42 +495,40 @@ impl Pipeline {
 
     /// Parse, lower and compile `sql` for `schema`, or reuse the cache.
     fn entry(&mut self, sql: &str, schema: &Schema) -> Result<&mut CacheEntry> {
-        let fresh = match self.cache.get(sql) {
-            Some(entry) if entry.schema == *schema => None,
-            _ => {
-                let stmt = parse(sql)?;
-                let lowered = lower_to_algebra(&stmt, schema)?;
-                // The optimizer is on by default: every scheme executes the
-                // rewritten plan. Only schema-level statistics are available
-                // here (the cache is per query/schema, not per instance);
-                // the world-enumerating machinery re-derives null-dependence
-                // from the instance when it hoists.
-                let optimized = optimize(&lowered.expr, schema)?;
-                let plain = PreparedQuery::prepare(&optimized, schema)?;
-                Some(CacheEntry {
+        let valid = matches!(self.cache.get(sql), Some(entry) if entry.schema == *schema);
+        if valid {
+            self.hits += 1;
+        } else {
+            let stmt = parse(sql)?;
+            let lowered = lower_to_algebra(&stmt, schema)?;
+            // The optimizer is on by default: every scheme executes the
+            // rewritten plan. Only schema-level statistics are available
+            // here (the cache is per query/schema, not per instance);
+            // instance-dependent derivations — hoists, null-dependence, the
+            // instance-statistics re-optimization of the mask backend —
+            // live in the per-instance `ExactState`, re-derived per epoch.
+            let optimized = optimize(&lowered.expr, schema)?;
+            let plain = PreparedQuery::prepare(&optimized, schema)?;
+            self.misses += 1;
+            self.cache.insert(
+                sql.to_string(),
+                CacheEntry {
                     schema: schema.clone(),
                     lowered,
                     optimized,
                     plain,
                     approx37: None,
                     approx51: None,
-                })
-            }
-        };
-        match fresh {
-            Some(entry) => {
-                self.misses += 1;
-                Ok(self
-                    .cache
-                    .entry(sql.to_string())
-                    .insert_entry(entry)
-                    .into_mut())
-            }
-            None => {
-                self.hits += 1;
-                Ok(self.cache.get_mut(sql).expect("cache entry just checked"))
-            }
+                    exact: None,
+                    counters: MaintenanceCounters::default(),
+                },
+            );
         }
+        self.cache.get_mut(sql).ok_or_else(|| {
+            PipelineError::Internal(
+                "plan cache lost the entry that was just compiled or validated".to_string(),
+            )
+        })
     }
 
     /// Evaluate the query *plainly* (set semantics, nulls as values) through
@@ -378,24 +562,102 @@ impl Pipeline {
                 // naïve evaluation are not enumerated; for the generic
                 // fragment, cert⊥ ⊆ Qⁿᵃⁱᵛᵉ.)
                 //
-                // The backend is picked per instance by cost: up to the
-                // mask threshold, one **world-mask pass** through the
-                // cached plan decides every world at once (nothing
-                // re-planned per request, 64 worlds per word operation);
-                // beyond the threshold the symbolic lineage backend
-                // evaluates the cached optimized expression over c-tables —
-                // a per-instance compilation by nature (diagrams encode
-                // the instance's nulls), re-optimized with instance
-                // statistics so null-free subplans cluster — and reads the
-                // three labels off the canonical diagrams. Queries outside
-                // the symbolic fragment come back to the mask backend as
-                // long as the world count fits the bound; the per-world
-                // enumeration oracle is the last resort (and may then
-                // legitimately hit the world bound).
+                // Requests first consult the epoch-aware **answer cache**:
+                // at an unchanged `(instance, epoch)` the cached labels are
+                // served outright; when the delta log since the cached
+                // epoch is refinable — null resolutions inside the cached
+                // world space, inserts a monotone/linear plan can replay —
+                // the cached masks are *refined* in place (restriction +
+                // delta merge) and only the candidates are re-derived;
+                // anything else recomputes from scratch.
+                //
+                // On recomputation the backend is picked per instance by
+                // cost: up to the mask threshold, one **world-mask pass**
+                // through an instance-statistics-optimized plan decides
+                // every world at once; beyond the threshold the symbolic
+                // lineage backend evaluates the cached optimized expression
+                // over c-tables and reads the three labels off the
+                // canonical diagrams. Queries outside the symbolic fragment
+                // come back to the mask backend as long as the world count
+                // fits the bound; the per-world enumeration oracle is the
+                // last resort (and may then legitimately hit the world
+                // bound).
+                let decision = match &entry.exact {
+                    Some(state) => decide(state, db),
+                    None => MaintenanceDecision::Recompute {
+                        reason: "no cached answers for this instance".to_string(),
+                    },
+                };
+                match decision {
+                    MaintenanceDecision::Serve => {
+                        if let Some(state) = entry.exact.as_mut() {
+                            entry.counters.served += 1;
+                            state.epoch = db.epoch();
+                            return Ok(state.answers.clone());
+                        }
+                    }
+                    MaintenanceDecision::Refine { resolves, inserts } => {
+                        let merges = inserts.len();
+                        let refined: Result<LabeledAnswers> = (|| {
+                            let internal = |m: &str| PipelineError::Internal(m.to_string());
+                            let state = entry
+                                .exact
+                                .as_mut()
+                                .ok_or_else(|| internal("refine decision without cached state"))?;
+                            let mask = state
+                                .mask
+                                .as_mut()
+                                .ok_or_else(|| internal("refine decision without mask state"))?;
+                            for (null, value) in &resolves {
+                                if !mask.batch.restrict(*null, value) {
+                                    return Err(internal(
+                                        "restriction preconditions changed between decide and apply",
+                                    ));
+                                }
+                            }
+                            for (relation, tuples) in &inserts {
+                                mask.batch
+                                    .apply_insert_delta(&mask.prepared, db, relation, tuples)
+                                    .map_err(PipelineError::Certain)?;
+                            }
+                            // Candidates are NOT stable under updates (a
+                            // resolution can create one, e.g. σ_{a=42}(R)
+                            // over R = {⊥} after ⊥ := 42): always re-derive
+                            // them on the current database.
+                            let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
+                            let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
+                            let statuses = mask.batch.classify(&tuples);
+                            let answers = LabeledAnswers {
+                                columns: columns.clone(),
+                                rows: label_rows(tuples, &statuses),
+                            };
+                            state.answers = answers.clone();
+                            state.epoch = db.epoch();
+                            Ok(answers)
+                        })();
+                        return match refined {
+                            Ok(answers) => {
+                                entry.counters.refined += 1;
+                                entry.counters.delta_merged += merges;
+                                Ok(answers)
+                            }
+                            Err(e) => {
+                                // The cached masks may be partially mutated:
+                                // drop them rather than serve from them.
+                                entry.exact = None;
+                                Err(e)
+                            }
+                        };
+                    }
+                    MaintenanceDecision::Recompute { .. } => {}
+                }
+                entry.counters.recomputed += 1;
+                entry.exact = None;
                 let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
                 let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
                 let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
                 let choice = choose_exact_backend(&spec, db);
+                let mut mask_state: Option<MaskState> = None;
                 let statuses = match choice.backend {
                     Backend::Lineage => {
                         match certa_certain::cert::classify_candidates_lineage(
@@ -426,33 +688,42 @@ impl Pipeline {
                         }
                     }
                     Backend::Mask => {
-                        certa_certain::classify_candidates_mask(&entry.plain, db, &spec, &tuples)?
+                        // Instance-dependent pieces are re-derived here, per
+                        // `(instance, epoch)`: the plan is re-optimized with
+                        // the instance's statistics (the schema-level
+                        // `plain` plan stays cached for the other backends),
+                        // and its delta profile is computed for the answer
+                        // cache's refine decisions.
+                        let stats = Stats::from_database(db);
+                        let prepared = PreparedQuery::prepare_optimized_with(
+                            &entry.lowered.expr,
+                            db.schema(),
+                            &stats,
+                        )?;
+                        let batch = MaskBatch::from_prepared(&prepared, db, &spec)?;
+                        let statuses = batch.classify(&tuples);
+                        let profile = delta_profile(prepared.plan());
+                        mask_state = Some(MaskState {
+                            spec: spec.clone(),
+                            prepared,
+                            profile,
+                            batch,
+                        });
+                        statuses
                     }
                     Backend::WorldEnumeration => {
                         certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?
                     }
                 };
-                let mut rows: Vec<(Tuple, Label)> = tuples
-                    .into_iter()
-                    .zip(&statuses)
-                    .map(|(t, s)| {
-                        let label = if s.certain {
-                            Label::Certain
-                        } else if s.possible {
-                            Label::Possible
-                        } else {
-                            Label::CertainlyFalse
-                        };
-                        (t, label)
-                    })
-                    .collect();
-                let rank = |l: &Label| match l {
-                    Label::Certain => 0,
-                    Label::Possible => 1,
-                    Label::CertainlyFalse => 2,
-                };
-                rows.sort_by_key(|(_, l)| rank(l));
-                return Ok(LabeledAnswers { columns, rows });
+                let rows = label_rows(tuples, &statuses);
+                let answers = LabeledAnswers { columns, rows };
+                entry.exact = Some(ExactState {
+                    instance: db.instance(),
+                    epoch: db.epoch(),
+                    answers: answers.clone(),
+                    mask: mask_state,
+                });
+                return Ok(answers);
             }
             Scheme::Approx37 => {
                 if entry.approx37.is_none() {
@@ -545,7 +816,37 @@ impl Pipeline {
             );
         }
         let (hits, misses) = (self.hits, self.misses);
-        let entry = self.cache.get(sql).expect("entry just compiled");
+        let entry = self.cache.get(sql).ok_or_else(|| {
+            PipelineError::Internal(
+                "plan cache lost the entry that was just compiled or validated".to_string(),
+            )
+        })?;
+        // Report what the answer cache would do with an Exact request at
+        // the database's current state, and how many deltas it would chew
+        // through.
+        let (decision, pending_deltas) = match &entry.exact {
+            None => (
+                "recompute: no cached answers for this instance".to_string(),
+                None,
+            ),
+            Some(state) => {
+                let pending = if state.instance == db.instance() {
+                    Some((db.epoch() - state.epoch) as usize)
+                } else {
+                    None
+                };
+                let what = match decide(state, db) {
+                    MaintenanceDecision::Serve => "serve cached answers".to_string(),
+                    MaintenanceDecision::Refine { resolves, inserts } => format!(
+                        "refine cached answers ({} restriction(s), {} delta merge(s))",
+                        resolves.len(),
+                        inserts.len()
+                    ),
+                    MaintenanceDecision::Recompute { reason } => format!("recompute: {reason}"),
+                };
+                (what, pending)
+            }
+        };
         Ok(Explain {
             sql: sql.to_string(),
             columns: entry.lowered.columns.clone(),
@@ -562,6 +863,10 @@ impl Pipeline {
             backend,
             cache_hits: hits,
             cache_misses: misses,
+            instance_epoch: db.epoch(),
+            pending_deltas,
+            decision,
+            maintenance: entry.counters,
         })
     }
 }
@@ -595,6 +900,17 @@ pub struct Explain {
     pub cache_hits: usize,
     /// Plan-cache misses (compilations) so far.
     pub cache_misses: usize,
+    /// The database's mutation epoch at explain time.
+    pub instance_epoch: u64,
+    /// Deltas logged since the cached exact answers' epoch (`None` when no
+    /// answers are cached for this instance).
+    pub pending_deltas: Option<usize>,
+    /// What the answer cache will do with an Exact request right now:
+    /// serve, refine (with restriction/merge counts), or recompute (with
+    /// the reason).
+    pub decision: String,
+    /// Refine-vs-recompute decisions taken for this query so far.
+    pub maintenance: MaintenanceCounters,
 }
 
 impl fmt::Display for Explain {
@@ -662,6 +978,19 @@ impl fmt::Display for Explain {
                 }
             }
         }
+        writeln!(f, "instance epoch: {}", self.instance_epoch)?;
+        match self.pending_deltas {
+            Some(n) => writeln!(f, "answer cache: {} (pending delta(s): {n})", self.decision)?,
+            None => writeln!(f, "answer cache: {}", self.decision)?,
+        }
+        writeln!(
+            f,
+            "exact maintenance: {} served, {} refined ({} delta merge(s)), {} recomputed",
+            self.maintenance.served,
+            self.maintenance.refined,
+            self.maintenance.delta_merged,
+            self.maintenance.recomputed
+        )?;
         write!(
             f,
             "plan cache: {} hit(s), {} miss(es)",
@@ -920,6 +1249,109 @@ mod tests {
         for s in &by_mask {
             assert!(!s.certain && !s.possible);
         }
+    }
+
+    const PAID: &str = "SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)";
+
+    #[test]
+    fn answer_cache_serves_at_an_unchanged_epoch() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        let first = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        let second = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(first, second);
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert!(ex.decision.contains("serve"), "{}", ex.decision);
+        assert_eq!(ex.pending_deltas, Some(0));
+        assert_eq!(ex.maintenance.served, 1);
+        assert_eq!(ex.maintenance.refined, 0);
+        assert_eq!(ex.maintenance.recomputed, 1);
+        assert!(ex.to_string().contains("answer cache"));
+        // A *different* instance with identical contents must not be served
+        // from this instance's cache.
+        let clone = db.clone();
+        let third = p.execute(UNPAID, &clone, Scheme::Exact).unwrap();
+        assert_eq!(first, third);
+        let ex = p.explain(UNPAID, &clone).unwrap();
+        assert_eq!(ex.maintenance.recomputed, 2);
+    }
+
+    #[test]
+    fn null_resolution_refines_instead_of_recomputing() {
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(db.resolve_null(0, certa_data::Const::from("o2")), 1);
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert!(ex.decision.contains("refine"), "{}", ex.decision);
+        assert_eq!(ex.pending_deltas, Some(1));
+        let refined = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        // Bit-identical to a cold pipeline on the resolved database.
+        let fresh = Pipeline::new().execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(refined, fresh);
+        // o2 is now paid: only o3 is (certainly) unpaid.
+        assert_eq!(refined.certain(), Relation::from_tuples(vec![tup!["o3"]]));
+        assert!(refined.possible().is_empty());
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert_eq!(ex.maintenance.refined, 1);
+        assert_eq!(ex.maintenance.recomputed, 1);
+    }
+
+    #[test]
+    fn monotone_insert_refines_by_delta_merge() {
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        let before = p.execute(PAID, &db, Scheme::Exact).unwrap();
+        assert!(before.certain().contains(&tup!["o1"]));
+        // Insert a ground payment for o3 (all constants already in the
+        // database, so inside the cached pool).
+        db.insert("Payments", tup!["c1", "o3"]).unwrap();
+        let ex = p.explain(PAID, &db).unwrap();
+        assert!(ex.decision.contains("refine"), "{}", ex.decision);
+        assert!(ex.decision.contains("1 delta merge(s)"), "{}", ex.decision);
+        let refined = p.execute(PAID, &db, Scheme::Exact).unwrap();
+        let fresh = Pipeline::new().execute(PAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(refined, fresh);
+        assert!(refined.certain().contains(&tup!["o3"]));
+        let ex = p.explain(PAID, &db).unwrap();
+        assert_eq!(ex.maintenance.refined, 1);
+        assert_eq!(ex.maintenance.delta_merged, 1);
+    }
+
+    #[test]
+    fn deletes_and_structural_changes_recompute() {
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        p.execute(PAID, &db, Scheme::Exact).unwrap();
+        assert!(db.delete("Payments", &tup!["c1", "o1"]).unwrap());
+        let ex = p.explain(PAID, &db).unwrap();
+        assert!(ex.decision.contains("recompute"), "{}", ex.decision);
+        let recomputed = p.execute(PAID, &db, Scheme::Exact).unwrap();
+        let fresh = Pipeline::new().execute(PAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(recomputed, fresh);
+        assert!(!recomputed.certain().contains(&tup!["o1"]));
+        let ex = p.explain(PAID, &db).unwrap();
+        assert_eq!(ex.maintenance.recomputed, 2);
+        assert_eq!(ex.maintenance.refined, 0);
+    }
+
+    #[test]
+    fn resolve_then_insert_interleaving_refines_exactly() {
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        p.execute(PAID, &db, Scheme::Exact).unwrap();
+        // Resolve the payment null, then insert another ground payment:
+        // both deltas must be chewed through in one refinement.
+        assert_eq!(db.resolve_null(0, certa_data::Const::from("o2")), 1);
+        db.insert("Payments", tup!["c2", "o3"]).unwrap();
+        let ex = p.explain(PAID, &db).unwrap();
+        assert!(ex.decision.contains("refine"), "{}", ex.decision);
+        assert_eq!(ex.pending_deltas, Some(2));
+        let refined = p.execute(PAID, &db, Scheme::Exact).unwrap();
+        let fresh = Pipeline::new().execute(PAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(refined, fresh);
+        // Every order is now certainly paid.
+        assert_eq!(refined.certain().len(), 3);
     }
 
     #[test]

@@ -34,7 +34,9 @@
 use crate::cert::CandidateStatus;
 use crate::worlds::{exact_pool, WorldSpec};
 use crate::{CertainError, Result};
-use certa_algebra::mask::{ColumnarContext, ColumnarExec, FxHashMap, MaskArena, MaskRef, RowMask};
+use certa_algebra::mask::{
+    kernel, ColumnarContext, ColumnarExec, ColumnarRel, FxHashMap, MaskArena, MaskRef, RowMask,
+};
 use certa_algebra::{naive_eval, MorselPool, PreparedQuery, RaExpr, Stats};
 use certa_data::{Database, Relation, Tuple};
 use std::collections::HashMap;
@@ -49,6 +51,16 @@ pub struct MaskBatch {
     rows: FxHashMap<Tuple, RowMask>,
     arity: usize,
     pool: MorselPool,
+    /// The **world-space restriction** `R`: the set of worlds still live
+    /// after the null resolutions in `restricted`, as the AND of their
+    /// stripe masks (`None` = all worlds). Every read below intersects with
+    /// `R`, which is sound because restriction only removes worlds: for any
+    /// masks `a ⊆ R` produced over the restricted space, `b ⊆ a ⇔
+    /// b∧R ⊆ a`, so covers/count reads modulo `R` answer exactly over the
+    /// post-resolution database.
+    restriction: Option<Vec<u64>>,
+    /// The `⊥ := c` resolutions applied as restrictions, in order.
+    restricted: Vec<(certa_data::NullId, certa_data::Const)>,
 }
 
 impl MaskBatch {
@@ -90,6 +102,8 @@ impl MaskBatch {
             rows: row_list.into_iter().collect(),
             arity: prepared.arity(),
             pool,
+            restriction: None,
+            restricted: Vec::new(),
         })
     }
 
@@ -113,18 +127,33 @@ impl MaskBatch {
         self.rows.get(ground).map(|&rm| self.arena.resolve(rm))
     }
 
-    /// `true` iff `v(t̄) ∈ Q(v(D))` for **every** valuation `v`: each
-    /// substitution cylinder of the candidate must be covered by the mask
-    /// of its ground image. (With zero worlds the quantification is
-    /// vacuously true, matching the enumeration engines.)
+    /// A cylinder intersected with the live restriction `R` (identity when
+    /// no restriction is active; `buf` backs the materialized AND).
+    fn live<'a>(&'a self, cyl: Option<&'a [u64]>, buf: &'a mut Vec<u64>) -> MaskRef<'a> {
+        let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+        match &self.restriction {
+            None => cyl,
+            Some(r) => {
+                self.ctx.and_materialize(cyl, MaskRef::Words(r), buf);
+                MaskRef::Words(buf)
+            }
+        }
+    }
+
+    /// `true` iff `v(t̄) ∈ Q(v(D))` for **every** live valuation `v`: each
+    /// substitution cylinder of the candidate, intersected with the
+    /// restriction, must be covered by the mask of its ground image. (With
+    /// zero live worlds the quantification is vacuously true, matching the
+    /// enumeration engines.)
     pub fn is_certain(&self, t: &Tuple) -> bool {
         let mut scratch = Vec::new();
+        let mut rbuf = Vec::new();
         let mut certain = true;
         self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
             if !certain {
                 return;
             }
-            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            let cyl = self.live(cyl, &mut rbuf);
             certain = match self.output_mask(&ground) {
                 Some(mask) => self.ctx.covers(mask, cyl),
                 None => self.ctx.count(cyl) == 0,
@@ -136,10 +165,11 @@ impl MaskBatch {
     /// The candidate's certain/possible bit pair, read off the same masks.
     pub fn status(&self, t: &Tuple) -> CandidateStatus {
         let mut scratch = Vec::new();
+        let mut rbuf = Vec::new();
         let mut certain = true;
         let mut possible = false;
         self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
-            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            let cyl = self.live(cyl, &mut rbuf);
             match self.output_mask(&ground) {
                 Some(mask) => {
                     certain = certain && self.ctx.covers(mask, cyl);
@@ -152,19 +182,145 @@ impl MaskBatch {
     }
 
     /// The exact `µ_k` support counts for a candidate:
-    /// `(|{v | v(t̄) ∈ Q(v(D))}|, W)`. The substitution cylinders of `t̄`
-    /// partition the valuation space, so the numerator is the sum of
-    /// per-cylinder popcounts.
+    /// `(|{v live | v(t̄) ∈ Q(v(D))}|, |live worlds|)`. The substitution
+    /// cylinders of `t̄` partition the valuation space, so the numerator is
+    /// the sum of per-cylinder popcounts; under a restriction both counts
+    /// range over the live sub-space only.
     pub fn mu_counts(&self, t: &Tuple) -> (u128, u128) {
         let mut scratch = Vec::new();
+        let mut rbuf = Vec::new();
         let mut numerator = 0usize;
         self.ctx.expand_for_each(t, &mut scratch, |ground, cyl| {
-            let cyl = cyl.map_or(MaskRef::Full, MaskRef::Words);
+            let cyl = self.live(cyl, &mut rbuf);
             if let Some(mask) = self.output_mask(&ground) {
                 numerator += self.ctx.count_and(mask, cyl);
             }
         });
-        (numerator as u128, self.ctx.worlds() as u128)
+        (numerator as u128, self.live_worlds() as u128)
+    }
+
+    /// Classify many candidates off this batch, morsel-parallel over its
+    /// worker pool.
+    pub fn classify(&self, tuples: &[Tuple]) -> Vec<CandidateStatus> {
+        let chunks = self.pool.run(tuples.len(), |_, range| {
+            tuples[range]
+                .iter()
+                .map(|t| self.status(t))
+                .collect::<Vec<CandidateStatus>>()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Worlds still live under the restriction (`worlds()` when none).
+    pub fn live_worlds(&self) -> usize {
+        match &self.restriction {
+            None => self.ctx.worlds(),
+            Some(r) => self.ctx.count(MaskRef::Words(r)),
+        }
+    }
+
+    /// The `⊥ := c` resolutions applied as restrictions, in order.
+    pub fn restricted_nulls(&self) -> &[(certa_data::NullId, certa_data::Const)] {
+        &self.restricted
+    }
+
+    /// `true` iff ⊥ is one of this batch's context nulls and `value` is in
+    /// its pool — the preconditions of [`MaskBatch::restrict`].
+    pub fn can_restrict(&self, null: certa_data::NullId, value: &certa_data::Const) -> bool {
+        self.ctx.stripe_for(null, value).is_some()
+    }
+
+    /// `true` iff ⊥ is indexed by this batch's substitution context.
+    pub fn indexes_null(&self, null: certa_data::NullId) -> bool {
+        self.ctx.null_ordinal(null).is_some()
+    }
+
+    /// Apply the resolution ⊥ := value as a **world-space restriction**:
+    /// the null's stripe mask `S(⊥, value)` is AND-ed into the live set
+    /// `R`, and every later read is intersected with `R`. Nothing is
+    /// re-executed: the cached masks stay exact because restriction only
+    /// removes worlds (see the field invariant on `restriction`).
+    ///
+    /// Returns `false` — leaving the batch untouched — when the null is not
+    /// part of this batch's context or the value is outside its pool; the
+    /// caller must recompute in those cases.
+    pub fn restrict(&mut self, null: certa_data::NullId, value: &certa_data::Const) -> bool {
+        let Some(stripe) = self.ctx.stripe_for(null, value) else {
+            return false;
+        };
+        let stripe = stripe.to_vec();
+        match &mut self.restriction {
+            Some(r) => kernel::and_assign(r, &stripe),
+            None => self.restriction = Some(stripe),
+        }
+        self.restricted.push((null, value.clone()));
+        true
+    }
+
+    /// OR-merge the rows of a delta execution into this batch: new tuples
+    /// are adopted (their mask words copied into the batch's arena), known
+    /// tuples have the delta's worlds OR-ed into their slot, saturating to
+    /// [`RowMask::Full`] when every world is covered.
+    fn merge_rows(&mut self, delta: ColumnarRel) {
+        let worlds = self.ctx.worlds();
+        let (darena, drows) = delta.into_parts();
+        for (t, m) in drows {
+            let incoming = darena.resolve(m);
+            match self.rows.entry(t) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let rm = match incoming {
+                        MaskRef::Full => RowMask::Full,
+                        MaskRef::Words(w) => {
+                            if kernel::popcount(w) == worlds {
+                                RowMask::Full
+                            } else {
+                                RowMask::Slot(self.arena.push(w))
+                            }
+                        }
+                    };
+                    e.insert(rm);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => match (*e.get(), incoming) {
+                    (RowMask::Full, _) => {}
+                    (RowMask::Slot(_), MaskRef::Full) => *e.get_mut() = RowMask::Full,
+                    (RowMask::Slot(s), MaskRef::Words(w)) => {
+                        if self.arena.or_into_slot(s, w) == worlds {
+                            *e.get_mut() = RowMask::Full;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Propagate an **insert delta** through the cached plan: re-execute it
+    /// with `relation` overridden to just the freshly inserted `tuples`
+    /// (all other relations at their current state) and OR-merge the delta
+    /// rows into the batch. Semi-naïve soundness is the *caller's* gate
+    /// (see [`certa_algebra::DeltaProfile`]): the plan must be monotone,
+    /// free of active-domain powers, and scan `relation` at most once, and
+    /// the delta tuples must stay inside this batch's null/pool universe.
+    ///
+    /// # Errors
+    ///
+    /// As [`MaskBatch::compile`], from the delta execution.
+    pub fn apply_insert_delta(
+        &mut self,
+        prepared: &PreparedQuery,
+        db: &Database,
+        relation: &str,
+        tuples: &[Tuple],
+    ) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let over = Relation::with_arity(tuples[0].arity(), tuples.iter().cloned());
+        let overrides = [(relation.to_string(), over)];
+        let delta = ColumnarExec::new(db, &self.ctx, self.pool)
+            .with_overrides(&overrides)
+            .execute(prepared.plan())?;
+        self.merge_rows(delta);
+        Ok(())
     }
 }
 
@@ -241,13 +397,7 @@ pub fn classify_candidates_mask(
     tuples: &[Tuple],
 ) -> Result<Vec<CandidateStatus>> {
     let batch = MaskBatch::from_prepared(prepared, db, spec)?;
-    let chunks = batch.pool().run(tuples.len(), |_, range| {
-        tuples[range]
-            .iter()
-            .map(|t| batch.status(t))
-            .collect::<Vec<CandidateStatus>>()
-    });
-    Ok(chunks.into_iter().flatten().collect())
+    Ok(batch.classify(tuples))
 }
 
 /// Evaluation statistics of one mask-backend pass, reported by
@@ -540,6 +690,118 @@ mod tests {
         assert!(stats.threads >= 1);
         assert!(stats.morsels >= 2, "one per scanned base relation");
         assert!(stats.arena_words > 0, "stripe-born masks live in arenas");
+    }
+
+    #[test]
+    fn restriction_matches_recompiling_on_the_resolved_db() {
+        use certa_data::Const;
+        let db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .difference(RaExpr::rel("Payments").project(vec![1]));
+        // Pin a shared spec so the restricted batch and the fresh compile
+        // quantify over the same pool.
+        let spec = exact_pool(&q, &db);
+        for value in ["o2", "o3", "zzz"] {
+            let c = Const::from(value);
+            if !spec.pool().contains(&c) {
+                continue;
+            }
+            let mut restricted = MaskBatch::compile(&q, &db, &spec).unwrap();
+            assert!(restricted.restrict(0, &c));
+            assert_eq!(restricted.restricted_nulls(), &[(0, c.clone())]);
+
+            let mut resolved = db.clone();
+            assert_eq!(resolved.resolve_null(0, c.clone()), 1);
+            let fresh = MaskBatch::compile(&q, &resolved, &spec).unwrap();
+
+            for t in [tup!["o1"], tup!["o2"], tup!["o3"], tup!["zzz"]] {
+                assert_eq!(
+                    restricted.status(&t),
+                    fresh.status(&t),
+                    "⊥0 := {value}, {t}"
+                );
+                // µ ratios agree: the restricted batch counts over the live
+                // sub-space, the fresh one over the smaller full space of
+                // the resolved db (one null fewer) — cross-multiply.
+                let (n1, d1) = restricted.mu_counts(&t);
+                let (n2, d2) = fresh.mu_counts(&t);
+                assert_eq!(n1 * d2, n2 * d1, "⊥0 := {value}, {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_rejects_foreign_nulls_and_out_of_pool_values() {
+        use certa_data::Const;
+        let db = shop_with_null();
+        let q = RaExpr::rel("Payments").project(vec![1]);
+        let spec = exact_pool(&q, &db);
+        let mut batch = MaskBatch::compile(&q, &db, &spec).unwrap();
+        let before = batch.live_worlds();
+        assert!(!batch.restrict(99, &Const::from("o1")));
+        assert!(!batch.restrict(0, &Const::Int(123456)));
+        assert_eq!(batch.live_worlds(), before);
+        assert!(batch.restricted_nulls().is_empty());
+    }
+
+    #[test]
+    fn insert_delta_matches_recompiling_on_the_grown_db() {
+        let mut db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .intersect(RaExpr::rel("Payments").project(vec![1]));
+        let spec = exact_pool(&q, &db);
+        let prepared = PreparedQuery::prepare(&q, db.schema()).unwrap();
+        let profile = certa_algebra::delta_profile(prepared.plan());
+        assert!(profile.monotone);
+        assert!(profile.insert_delta_ok("Payments"));
+
+        let mut batch = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
+        // Insert a ground payment for o3 (consts already in the pool) and
+        // propagate it as a delta.
+        let delta = vec![tup!["c3", "o3"]];
+        db.insert_all("Payments", delta.clone()).unwrap();
+        batch
+            .apply_insert_delta(&prepared, &db, "Payments", &delta)
+            .unwrap();
+
+        let fresh = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
+        for t in [tup!["o1"], tup!["o2"], tup!["o3"], tup!["zzz"]] {
+            assert_eq!(batch.status(&t), fresh.status(&t), "{t}");
+            assert_eq!(batch.mu_counts(&t), fresh.mu_counts(&t), "{t}");
+        }
+    }
+
+    #[test]
+    fn resolve_then_delta_interleaving_stays_exact() {
+        use certa_data::Const;
+        // The PR-6 bug class: a restriction applied, then a delta executed
+        // against the *post-resolution* database, then reads — the merged
+        // masks must still agree with a from-scratch compile.
+        let mut db = shop_with_null();
+        let q = RaExpr::rel("Orders")
+            .project(vec![0])
+            .intersect(RaExpr::rel("Payments").project(vec![1]));
+        let spec = exact_pool(&q, &db);
+        let prepared = PreparedQuery::prepare(&q, db.schema()).unwrap();
+        let mut batch = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
+
+        assert_eq!(db.resolve_null(0, Const::from("o2")), 1);
+        assert!(batch.restrict(0, &Const::from("o2")));
+        let delta = vec![tup!["c3", "o3"]];
+        db.insert_all("Payments", delta.clone()).unwrap();
+        batch
+            .apply_insert_delta(&prepared, &db, "Payments", &delta)
+            .unwrap();
+
+        let fresh = MaskBatch::compile(&q, &db, &spec).unwrap();
+        for t in [tup!["o1"], tup!["o2"], tup!["o3"]] {
+            assert_eq!(batch.status(&t), fresh.status(&t), "{t}");
+            let (n1, d1) = batch.mu_counts(&t);
+            let (n2, d2) = fresh.mu_counts(&t);
+            assert_eq!(n1 * d2, n2 * d1, "{t}");
+        }
     }
 
     #[test]

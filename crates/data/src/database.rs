@@ -1,13 +1,35 @@
 //! Incomplete relational database instances.
+//!
+//! Beyond schema + relations, every database carries an **identity layer**
+//! used by downstream caches: a process-unique *instance id*, a
+//! monotonically increasing *epoch* bumped by every mutation, and a bounded
+//! log of [`Delta`]s describing what changed between epochs. A cache that
+//! remembers `(instance, epoch)` can later ask [`Database::deltas_since`]
+//! for exactly the changes it missed and decide whether to serve, refine,
+//! or recompute. Mutations the log cannot describe exactly (wholesale
+//! relation replacement, mutable relation access) are logged as
+//! [`Delta::Structural`], which conservatively forces recomputation.
 
 use crate::bag::BagRelation;
+use crate::delta::{Delta, DELTA_LOG_CAP};
 use crate::relation::Relation;
 use crate::schema::{RelationSchema, Schema};
 use crate::tuple::Tuple;
 use crate::value::{Const, NullId, Value};
 use crate::{DataError, Result};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide instance-id allocator. Ids are never reused, so a cache
+/// keyed on `(instance, epoch)` can never confuse two databases — including
+/// a database and its clone, which receive distinct ids (their epochs
+/// advance independently once they diverge).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_instance_id() -> u64 {
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An incomplete relational database instance `D`.
 ///
@@ -15,11 +37,54 @@ use std::fmt;
 /// [`Relation`] over `Const ∪ Null`. Bag-semantics interpretations are
 /// obtained on demand via [`Database::to_bags`], or by constructing relations
 /// directly as [`BagRelation`]s in a [`BagDatabase`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ([`PartialEq`]) compares schema and contents only; the identity
+/// layer (instance id, epoch, delta log, null allocator) is bookkeeping and
+/// never participates in comparisons.
+#[derive(Debug)]
 pub struct Database {
     schema: Schema,
     relations: BTreeMap<String, Relation>,
+    /// Process-unique identity; fresh per construction and per clone.
+    instance: u64,
+    /// Mutation counter: bumped by exactly one per logged delta.
+    epoch: u64,
+    /// The log covers epochs `(log_base, epoch]`; `log[i]` produced epoch
+    /// `log_base + 1 + i`. Entries older than [`DELTA_LOG_CAP`] are dropped
+    /// from the front (raising `log_base`), after which `deltas_since` for
+    /// pre-gap epochs reports `None`.
+    log_base: u64,
+    log: VecDeque<Delta>,
+    /// Next null id [`Database::fresh_null`] will hand out. Monotonic per
+    /// database: never decreases, and always kept above every null that has
+    /// ever been observed in the instance.
+    next_null: NullId,
 }
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            relations: self.relations.clone(),
+            // A clone is a *different* instance: its epoch line diverges
+            // from the original's at the point of cloning, so sharing the
+            // id would let a cache built against one be served the other.
+            instance: next_instance_id(),
+            epoch: self.epoch,
+            log_base: self.log_base,
+            log: self.log.clone(),
+            next_null: self.next_null,
+        }
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// Create an empty database over a schema (every relation empty).
@@ -28,7 +93,72 @@ impl Database {
             .iter()
             .map(|r| (r.name().to_string(), Relation::empty(r.arity())))
             .collect();
-        Database { schema, relations }
+        Database::from_parts(schema, relations)
+    }
+
+    fn from_parts(schema: Schema, relations: BTreeMap<String, Relation>) -> Self {
+        let next_null = relations
+            .values()
+            .flat_map(Relation::nulls)
+            .max()
+            .map_or(0, |m| m + 1);
+        Database {
+            schema,
+            relations,
+            instance: next_instance_id(),
+            epoch: 0,
+            log_base: 0,
+            log: VecDeque::new(),
+            next_null,
+        }
+    }
+
+    /// Append one delta to the bounded log and advance the epoch.
+    fn record(&mut self, delta: Delta) {
+        self.epoch += 1;
+        self.log.push_back(delta);
+        while self.log.len() > DELTA_LOG_CAP {
+            self.log.pop_front();
+            self.log_base += 1;
+        }
+    }
+
+    /// Keep the null allocator above every null mentioned in `t`.
+    fn note_nulls(&mut self, t: &Tuple) {
+        for v in t.iter() {
+            if let Value::Null(n) = v {
+                if *n >= self.next_null {
+                    self.next_null = n + 1;
+                }
+            }
+        }
+    }
+
+    /// Process-unique identity of this instance. Fresh per construction
+    /// and per clone; never reused within a process.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// The current epoch: the number of logged mutations since
+    /// construction. Strictly monotonic — every mutating call that changes
+    /// the instance bumps it by exactly one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deltas applied after epoch `since` (exclusive), oldest first.
+    ///
+    /// Returns `None` when the question cannot be answered exactly: `since`
+    /// lies in the future, or the bounded log has already dropped entries
+    /// from that range. Callers holding a cache stamped `since` must then
+    /// recompute.
+    pub fn deltas_since(&self, since: u64) -> Option<impl Iterator<Item = &Delta> + Clone> {
+        if since > self.epoch || since < self.log_base {
+            return None;
+        }
+        let skip = usize::try_from(since - self.log_base).ok()?;
+        Some(self.log.iter().skip(skip))
     }
 
     /// The database's schema.
@@ -49,35 +179,43 @@ impl Database {
 
     /// Mutable access to a relation by name.
     ///
+    /// The borrow allows arbitrary edits the delta log cannot describe, so
+    /// this is logged as a [`Delta::Structural`] change (and bumps the
+    /// epoch) even if the caller never writes through it. Prefer the typed
+    /// mutators ([`Database::insert`], [`Database::delete`],
+    /// [`Database::retain`], [`Database::resolve_null`]) — they keep cached
+    /// answers refinable.
+    ///
     /// # Errors
     ///
     /// Returns [`DataError::UnknownRelation`] if the name is not in the schema.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.relations
+        if !self.relations.contains_key(name) {
+            return Err(DataError::UnknownRelation(name.to_string()));
+        }
+        self.record(Delta::Structural);
+        Ok(self
+            .relations
             .get_mut(name)
-            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+            .expect("presence checked above"))
     }
 
     /// Insert a tuple into the named relation.
+    ///
+    /// Bumps the epoch (logging a [`Delta::Insert`]) only if the tuple was
+    /// not already present.
     ///
     /// # Errors
     ///
     /// Returns an error if the relation is unknown or the arity does not
     /// match the schema.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<()> {
-        let expected = self.schema.relation(relation)?.arity();
-        if tuple.arity() != expected {
-            return Err(DataError::ArityMismatch {
-                relation: relation.to_string(),
-                expected,
-                got: tuple.arity(),
-            });
-        }
-        self.relation_mut(relation)?.insert(tuple);
-        Ok(())
+        self.insert_all(relation, [tuple])
     }
 
-    /// Insert many tuples into the named relation.
+    /// Insert many tuples into the named relation. All insertions of one
+    /// call land in a single [`Delta::Insert`] (one epoch bump); tuples
+    /// already present are not logged.
     ///
     /// # Errors
     ///
@@ -87,13 +225,138 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<()> {
+        let expected = self.schema.relation(relation)?.arity();
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let mut added: Vec<Tuple> = Vec::new();
         for t in tuples {
-            self.insert(relation, t)?;
+            if t.arity() != expected {
+                // Roll nothing back: tuples before the mismatch stay
+                // inserted, and are logged below so caches stay coherent.
+                if !added.is_empty() {
+                    for t in &added {
+                        self.note_nulls(t);
+                    }
+                    self.record(Delta::Insert {
+                        relation: relation.to_string(),
+                        tuples: added,
+                    });
+                }
+                return Err(DataError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected,
+                    got: t.arity(),
+                });
+            }
+            if rel.insert(t.clone()) {
+                added.push(t);
+            }
+        }
+        if !added.is_empty() {
+            for t in &added {
+                self.note_nulls(t);
+            }
+            self.record(Delta::Insert {
+                relation: relation.to_string(),
+                tuples: added,
+            });
         }
         Ok(())
     }
 
-    /// Replace the contents of a relation wholesale.
+    /// Delete a tuple from the named relation. Returns whether the tuple
+    /// was present; the epoch is bumped (with a [`Delta::Delete`]) only if
+    /// it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
+    pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let removed = rel.remove(tuple);
+        if removed {
+            self.record(Delta::Delete {
+                relation: relation.to_string(),
+                tuples: vec![tuple.clone()],
+            });
+        }
+        Ok(removed)
+    }
+
+    /// Keep only the tuples of `relation` satisfying `pred`; the removed
+    /// tuples are logged as one [`Delta::Delete`]. Returns how many tuples
+    /// were removed (zero removals bump nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
+    pub fn retain(
+        &mut self,
+        relation: &str,
+        mut pred: impl FnMut(&Tuple) -> bool,
+    ) -> Result<usize> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let removed: Vec<Tuple> = rel.iter().filter(|t| !pred(t)).cloned().collect();
+        for t in &removed {
+            rel.remove(t);
+        }
+        let n = removed.len();
+        if n > 0 {
+            self.record(Delta::Delete {
+                relation: relation.to_string(),
+                tuples: removed,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Resolve a marked null: substitute the constant `value` for every
+    /// occurrence of `⊥_null` across all relations (the evidence "⊥ is
+    /// actually `value`" arriving). Returns the number of tuples rewritten;
+    /// if the null does not occur, nothing is logged and the epoch is
+    /// unchanged.
+    pub fn resolve_null(&mut self, null: NullId, value: Const) -> usize {
+        let mut touched = 0usize;
+        for rel in self.relations.values_mut() {
+            let affected = rel
+                .iter()
+                .any(|t| t.iter().any(|v| *v == Value::Null(null)));
+            if !affected {
+                continue;
+            }
+            let substituted = rel.map(|t| {
+                let hit = t.iter().any(|v| *v == Value::Null(null));
+                if hit {
+                    touched += 1;
+                    t.map(|v| {
+                        if *v == Value::Null(null) {
+                            Value::Const(value.clone())
+                        } else {
+                            v.clone()
+                        }
+                    })
+                } else {
+                    t.clone()
+                }
+            });
+            *rel = substituted;
+        }
+        if touched > 0 {
+            self.record(Delta::Resolve { null, value });
+        }
+        touched
+    }
+
+    /// Replace the contents of a relation wholesale. Logged as a
+    /// [`Delta::Structural`] change (the log cannot express the diff).
     ///
     /// # Errors
     ///
@@ -107,7 +370,17 @@ impl Database {
                 got: rel.arity(),
             });
         }
+        for t in rel.iter() {
+            for v in t.iter() {
+                if let Value::Null(n) = v {
+                    if *n >= self.next_null {
+                        self.next_null = n + 1;
+                    }
+                }
+            }
+        }
         self.relations.insert(name.to_string(), rel);
+        self.record(Delta::Structural);
         Ok(())
     }
 
@@ -141,25 +414,31 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
-    /// A fresh null identifier strictly greater than any null in the database.
-    pub fn fresh_null(&self) -> NullId {
-        self.nulls().iter().max().map_or(0, |m| m + 1)
+    /// Allocate a fresh null identifier.
+    ///
+    /// Allocation is monotonic *per database*: consecutive calls return
+    /// strictly increasing ids even without intervening inserts, and the
+    /// allocator never dips below a null already observed in the instance
+    /// (inserts and `set_relation` advance it past any nulls they carry).
+    /// Allocation is bookkeeping, not a mutation: the epoch is unchanged.
+    pub fn fresh_null(&mut self) -> NullId {
+        let observed = self.nulls().iter().max().map_or(0, |m| m + 1);
+        let id = self.next_null.max(observed);
+        self.next_null = id + 1;
+        id
     }
 
     /// Apply a per-value mapping to every tuple of every relation.
     ///
     /// This is how valuations `v(D)` and naïve-evaluation renamings are
-    /// implemented.
+    /// implemented. The result is a fresh instance (new id, epoch 0).
     pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Database {
         let relations = self
             .relations
             .iter()
             .map(|(n, r)| (n.clone(), r.map(|t| t.map(&mut f))))
             .collect();
-        Database {
-            schema: self.schema.clone(),
-            relations,
-        }
+        Database::from_parts(self.schema.clone(), relations)
     }
 
     /// `true` iff `self ⊆ other` relation-wise (used for the owa semantics:
@@ -174,6 +453,7 @@ impl Database {
     }
 
     /// Union of two databases over the same schema (relation-wise union).
+    /// The result is a fresh instance.
     ///
     /// # Panics
     ///
@@ -188,10 +468,7 @@ impl Database {
             .iter()
             .map(|(n, r)| (n.clone(), r.union(&other.relations[n])))
             .collect();
-        Database {
-            schema: self.schema.clone(),
-            relations,
-        }
+        Database::from_parts(self.schema.clone(), relations)
     }
 
     /// Convert every relation into a bag with multiplicity 1 per tuple.
@@ -201,10 +478,7 @@ impl Database {
             .iter()
             .map(|(n, r)| (n.clone(), BagRelation::from_set(r)))
             .collect();
-        BagDatabase {
-            schema: self.schema.clone(),
-            relations,
-        }
+        BagDatabase::from_parts(self.schema.clone(), relations)
     }
 }
 
@@ -247,11 +521,39 @@ impl fmt::Display for Database {
 }
 
 /// A database whose relations are interpreted under bag semantics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries the same identity layer as [`Database`] (instance id, epoch,
+/// bounded delta log); equality compares schema and contents only.
+#[derive(Debug)]
 pub struct BagDatabase {
     schema: Schema,
     relations: BTreeMap<String, BagRelation>,
+    instance: u64,
+    epoch: u64,
+    log_base: u64,
+    log: VecDeque<Delta>,
 }
+
+impl Clone for BagDatabase {
+    fn clone(&self) -> Self {
+        BagDatabase {
+            schema: self.schema.clone(),
+            relations: self.relations.clone(),
+            instance: next_instance_id(),
+            epoch: self.epoch,
+            log_base: self.log_base,
+            log: self.log.clone(),
+        }
+    }
+}
+
+impl PartialEq for BagDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.relations == other.relations
+    }
+}
+
+impl Eq for BagDatabase {}
 
 impl BagDatabase {
     /// Create an empty bag database over a schema.
@@ -260,7 +562,49 @@ impl BagDatabase {
             .iter()
             .map(|r| (r.name().to_string(), BagRelation::empty(r.arity())))
             .collect();
-        BagDatabase { schema, relations }
+        BagDatabase::from_parts(schema, relations)
+    }
+
+    fn from_parts(schema: Schema, relations: BTreeMap<String, BagRelation>) -> Self {
+        BagDatabase {
+            schema,
+            relations,
+            instance: next_instance_id(),
+            epoch: 0,
+            log_base: 0,
+            log: VecDeque::new(),
+        }
+    }
+
+    fn record(&mut self, delta: Delta) {
+        self.epoch += 1;
+        self.log.push_back(delta);
+        while self.log.len() > DELTA_LOG_CAP {
+            self.log.pop_front();
+            self.log_base += 1;
+        }
+    }
+
+    /// Process-unique identity of this instance (fresh per clone).
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// The current epoch (number of logged mutations).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deltas applied after epoch `since` (exclusive), oldest first,
+    /// or `None` if the bounded log no longer covers that range. A
+    /// [`Delta::Delete`] here means *all occurrences* of the listed tuples
+    /// were removed.
+    pub fn deltas_since(&self, since: u64) -> Option<impl Iterator<Item = &Delta> + Clone> {
+        if since > self.epoch || since < self.log_base {
+            return None;
+        }
+        let skip = usize::try_from(since - self.log_base).ok()?;
+        Some(self.log.iter().skip(skip))
     }
 
     /// The database's schema.
@@ -279,18 +623,28 @@ impl BagDatabase {
             .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
-    /// Mutable access to a bag relation by name.
+    /// Mutable access to a bag relation by name. Logged as a
+    /// [`Delta::Structural`] change, as for [`Database::relation_mut`].
     ///
     /// # Errors
     ///
     /// Returns [`DataError::UnknownRelation`] if absent.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut BagRelation> {
-        self.relations
+        if !self.relations.contains_key(name) {
+            return Err(DataError::UnknownRelation(name.to_string()));
+        }
+        self.record(Delta::Structural);
+        Ok(self
+            .relations
             .get_mut(name)
-            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+            .expect("presence checked above"))
     }
 
     /// Insert `n` occurrences of a tuple into the named relation.
+    ///
+    /// A first occurrence is logged as [`Delta::Insert`]; raising the
+    /// multiplicity of an existing tuple is not expressible in the delta
+    /// vocabulary and is logged as [`Delta::Structural`].
     ///
     /// # Errors
     ///
@@ -304,8 +658,104 @@ impl BagDatabase {
                 got: tuple.arity(),
             });
         }
-        self.relation_mut(relation)?.insert_n(tuple, n);
+        if n == 0 {
+            return Ok(());
+        }
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let fresh = rel.multiplicity(&tuple) == 0;
+        rel.insert_n(tuple.clone(), n);
+        if fresh && n == 1 {
+            self.record(Delta::Insert {
+                relation: relation.to_string(),
+                tuples: vec![tuple],
+            });
+        } else {
+            self.record(Delta::Structural);
+        }
         Ok(())
+    }
+
+    /// Remove *all* occurrences of a tuple from the named relation,
+    /// returning the multiplicity removed (zero removals bump nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
+    pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<usize> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let mult = rel.multiplicity(tuple);
+        if mult > 0 {
+            *rel = rel.filter(|t| t != tuple);
+            self.record(Delta::Delete {
+                relation: relation.to_string(),
+                tuples: vec![tuple.clone()],
+            });
+        }
+        Ok(mult)
+    }
+
+    /// Keep only tuples satisfying `pred` (all occurrences of a failing
+    /// tuple are dropped). Returns the number of *distinct* tuples removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
+    pub fn retain(
+        &mut self,
+        relation: &str,
+        mut pred: impl FnMut(&Tuple) -> bool,
+    ) -> Result<usize> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| DataError::UnknownRelation(relation.to_string()))?;
+        let removed: Vec<Tuple> = rel.distinct().filter(|t| !pred(t)).cloned().collect();
+        if !removed.is_empty() {
+            *rel = rel.filter(&mut pred);
+            self.record(Delta::Delete {
+                relation: relation.to_string(),
+                tuples: removed.clone(),
+            });
+        }
+        Ok(removed.len())
+    }
+
+    /// Resolve a marked null across all relations, adding multiplicities of
+    /// tuples that collapse. Returns the number of distinct tuples
+    /// rewritten; a null that does not occur bumps nothing.
+    pub fn resolve_null(&mut self, null: NullId, value: Const) -> usize {
+        let mut touched = 0usize;
+        for rel in self.relations.values_mut() {
+            let affected = rel
+                .distinct()
+                .any(|t| t.iter().any(|v| *v == Value::Null(null)));
+            if !affected {
+                continue;
+            }
+            touched += rel
+                .distinct()
+                .filter(|t| t.iter().any(|v| *v == Value::Null(null)))
+                .count();
+            *rel = rel.map_add(|t| {
+                t.map(|v| {
+                    if *v == Value::Null(null) {
+                        Value::Const(value.clone())
+                    } else {
+                        v.clone()
+                    }
+                })
+            });
+        }
+        if touched > 0 {
+            self.record(Delta::Resolve { null, value });
+        }
+        touched
     }
 
     /// Iterate over `(name, bag relation)` pairs in name order.
@@ -336,12 +786,12 @@ impl BagDatabase {
 
     /// Forget multiplicities, producing the set-semantics database.
     pub fn to_sets(&self) -> Database {
-        let mut db = Database::new(self.schema.clone());
-        for (name, bag) in self.iter() {
-            db.set_relation(name, bag.to_set())
-                .expect("schema mismatch converting bag database to sets");
-        }
-        db
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (n.clone(), r.to_set()))
+            .collect();
+        Database::from_parts(self.schema.clone(), relations)
     }
 
     /// Apply a per-value mapping, adding multiplicities of collapsing tuples.
@@ -351,10 +801,7 @@ impl BagDatabase {
             .iter()
             .map(|(n, r)| (n.clone(), r.map_add(|t| t.map(&mut f))))
             .collect();
-        BagDatabase {
-            schema: self.schema.clone(),
-            relations,
-        }
+        BagDatabase::from_parts(self.schema.clone(), relations)
     }
 }
 
@@ -395,12 +842,125 @@ mod tests {
 
     #[test]
     fn domains() {
-        let d = db();
+        let mut d = db();
         assert_eq!(d.nulls().len(), 2);
         assert_eq!(d.consts().len(), 3);
         assert_eq!(d.active_domain().len(), 5);
         assert!(!d.is_complete());
         assert_eq!(d.fresh_null(), 2);
+    }
+
+    #[test]
+    fn fresh_null_is_monotonic_without_inserts() {
+        // Regression: two allocations with no intervening insert used to
+        // return the same id, so "fresh" nulls could collide.
+        let mut d = db();
+        let a = d.fresh_null();
+        let b = d.fresh_null();
+        assert_eq!(a, 2);
+        assert_eq!(b, 3);
+        // Inserting a null past the allocator advances it.
+        d.insert("S", tup![Value::null(17)]).unwrap();
+        assert_eq!(d.fresh_null(), 18);
+        // Allocation alone is bookkeeping, not a mutation.
+        let e = d.epoch();
+        d.fresh_null();
+        assert_eq!(d.epoch(), e);
+    }
+
+    #[test]
+    fn epochs_and_deltas_track_mutations() {
+        let mut d = db();
+        let e0 = d.epoch();
+        d.insert("R", tup![9, 9]).unwrap();
+        assert_eq!(d.epoch(), e0 + 1);
+        // Re-inserting an existing tuple is a no-op: no epoch bump.
+        d.insert("R", tup![9, 9]).unwrap();
+        assert_eq!(d.epoch(), e0 + 1);
+        assert!(d.delete("R", &tup![9, 9]).unwrap());
+        assert!(!d.delete("R", &tup![9, 9]).unwrap());
+        assert_eq!(d.epoch(), e0 + 2);
+        let removed = d.retain("R", |t| t[0] != Value::int(1)).unwrap();
+        assert_eq!(removed, 1);
+        let deltas: Vec<Delta> = d.deltas_since(e0).unwrap().cloned().collect();
+        assert_eq!(
+            deltas,
+            vec![
+                Delta::Insert {
+                    relation: "R".into(),
+                    tuples: vec![tup![9, 9]]
+                },
+                Delta::Delete {
+                    relation: "R".into(),
+                    tuples: vec![tup![9, 9]]
+                },
+                Delta::Delete {
+                    relation: "R".into(),
+                    tuples: vec![tup![1, 2]]
+                },
+            ]
+        );
+        // Future epochs are unanswerable.
+        assert!(d.deltas_since(d.epoch() + 1).is_none());
+    }
+
+    #[test]
+    fn resolve_null_substitutes_and_logs() {
+        let mut d = db();
+        let e0 = d.epoch();
+        assert_eq!(d.resolve_null(0, Const::int(42)), 1);
+        assert!(d.relation("R").unwrap().contains(&tup![3, 42]));
+        assert!(!d.nulls().contains(&0));
+        assert_eq!(d.epoch(), e0 + 1);
+        // Resolving an absent null is a no-op.
+        assert_eq!(d.resolve_null(99, Const::int(7)), 0);
+        assert_eq!(d.epoch(), e0 + 1);
+        let deltas: Vec<Delta> = d.deltas_since(e0).unwrap().cloned().collect();
+        assert_eq!(
+            deltas,
+            vec![Delta::Resolve {
+                null: 0,
+                value: Const::int(42)
+            }]
+        );
+    }
+
+    #[test]
+    fn structural_mutations_are_logged_opaquely() {
+        let mut d = db();
+        let e0 = d.epoch();
+        d.set_relation("S", Relation::from_tuples(vec![tup![5]]))
+            .unwrap();
+        let _ = d.relation_mut("R").unwrap();
+        assert_eq!(d.epoch(), e0 + 2);
+        assert!(d
+            .deltas_since(e0)
+            .unwrap()
+            .all(|delta| delta.is_structural()));
+    }
+
+    #[test]
+    fn clones_are_distinct_instances() {
+        let d = db();
+        let mut c = d.clone();
+        assert_ne!(d.instance(), c.instance());
+        assert_eq!(d, c);
+        c.insert("R", tup![8, 8]).unwrap();
+        assert_ne!(d, c);
+    }
+
+    #[test]
+    fn delta_log_is_bounded() {
+        let mut d = db();
+        let e0 = d.epoch();
+        for i in 0..(DELTA_LOG_CAP as i64 + 10) {
+            d.insert("R", tup![1000 + i, 0]).unwrap();
+        }
+        // The oldest deltas fell off the front: the original epoch is no
+        // longer answerable, but recent ones are.
+        assert!(d.deltas_since(e0).is_none());
+        let recent = d.epoch() - 5;
+        assert_eq!(d.deltas_since(recent).unwrap().count(), 5);
     }
 
     #[test]
@@ -457,6 +1017,24 @@ mod tests {
         assert_eq!(mapped.relation("R").unwrap().total_len(), 3);
         assert_eq!(b.active_domain().len(), 1);
         assert_eq!(b.nulls().len(), 0);
+    }
+
+    #[test]
+    fn bag_database_mutation_api() {
+        let mut b = BagDatabase::new(db().schema().clone());
+        let e0 = b.epoch();
+        b.insert_n("R", tup![1, Value::null(3)], 2).unwrap();
+        assert_eq!(b.epoch(), e0 + 1);
+        assert_eq!(b.resolve_null(3, Const::int(9)), 1);
+        assert_eq!(b.relation("R").unwrap().multiplicity(&tup![1, 9]), 2);
+        assert_eq!(b.delete("R", &tup![1, 9]).unwrap(), 2);
+        assert_eq!(b.delete("R", &tup![1, 9]).unwrap(), 0);
+        b.insert_n("R", tup![2, 2], 1).unwrap();
+        b.insert_n("R", tup![3, 3], 1).unwrap();
+        assert_eq!(b.retain("R", |t| t[0] == Value::int(2)).unwrap(), 1);
+        assert_eq!(b.relation("R").unwrap().distinct_len(), 1);
+        assert!(b.deltas_since(b.epoch() + 1).is_none());
+        assert!(b.deltas_since(e0).unwrap().count() > 0);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Annotated deltas: the unit of the database mutation log.
+//!
+//! Every mutation of a [`Database`](crate::Database) (or
+//! [`BagDatabase`](crate::BagDatabase)) appends exactly one [`Delta`] to a
+//! bounded log and bumps the instance **epoch** by one. Downstream caches
+//! (the `certa` pipeline's answer cache, the columnar mask batches) key
+//! their entries on `(instance, epoch)` and ask the database for the deltas
+//! between their cached epoch and the current one; the shape of those
+//! deltas decides whether a cached answer can be *served* unchanged,
+//! *refined* in place (null resolution → world-space restriction,
+//! insert-only → semi-naïve delta execution), or must be *recomputed*.
+
+use crate::tuple::Tuple;
+use crate::value::{Const, NullId};
+
+/// One logged mutation, stamped with the epoch it produced.
+///
+/// The variants are deliberately coarse: a delta only needs to carry enough
+/// information for a cache to decide between serve / refine / recompute and
+/// to replay the change against a cached artifact. Anything the log cannot
+/// describe exactly (wholesale relation replacement, arbitrary in-place
+/// edits through `relation_mut`) is recorded as [`Delta::Structural`],
+/// which forces recomputation — conservative, never wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// Tuples newly inserted into `relation` (only tuples that were not
+    /// already present are recorded).
+    Insert {
+        /// Target relation name.
+        relation: String,
+        /// The tuples that were actually added.
+        tuples: Vec<Tuple>,
+    },
+    /// Tuples removed from `relation`.
+    Delete {
+        /// Source relation name.
+        relation: String,
+        /// The tuples that were actually removed.
+        tuples: Vec<Tuple>,
+    },
+    /// A marked null was learned to equal a constant; every occurrence of
+    /// `⊥_null` in the instance was substituted by `value`.
+    Resolve {
+        /// The resolved null.
+        null: NullId,
+        /// The constant it resolved to.
+        value: Const,
+    },
+    /// An opaque structural change (relation replaced wholesale, or handed
+    /// out mutably). Caches must recompute.
+    Structural,
+}
+
+impl Delta {
+    /// `true` iff this delta cannot be replayed incrementally and forces
+    /// cached answers to be recomputed.
+    pub fn is_structural(&self) -> bool {
+        matches!(self, Delta::Structural)
+    }
+
+    /// The relation this delta touches, if it is relation-scoped.
+    /// [`Delta::Resolve`] and [`Delta::Structural`] return `None` — they
+    /// (potentially) touch the whole instance.
+    pub fn relation(&self) -> Option<&str> {
+        match self {
+            Delta::Insert { relation, .. } | Delta::Delete { relation, .. } => Some(relation),
+            Delta::Resolve { .. } | Delta::Structural => None,
+        }
+    }
+}
+
+/// Maximum number of deltas a database retains. Older entries are dropped
+/// from the front; [`crate::Database::deltas_since`] then reports the gap by
+/// returning `None`, which downstream caches treat as "recompute".
+pub const DELTA_LOG_CAP: usize = 1024;

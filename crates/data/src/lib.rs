@@ -30,6 +30,7 @@
 
 pub mod bag;
 pub mod database;
+pub mod delta;
 pub mod homomorphism;
 pub mod index;
 pub mod relation;
@@ -41,6 +42,7 @@ pub mod value;
 
 pub use bag::BagRelation;
 pub use database::{database_from_literal, BagDatabase, Database};
+pub use delta::{Delta, DELTA_LOG_CAP};
 pub use homomorphism::{find_homomorphism, is_homomorphism, HomKind, Homomorphism};
 pub use index::KeyIndex;
 pub use relation::Relation;

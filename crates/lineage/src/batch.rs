@@ -48,6 +48,11 @@ pub struct LineageBatch {
     /// `false` for [`LineageBatch::compile_rows_only`] batches, which
     /// support only the symbolic (diagram-free) queries.
     diagrams_built: bool,
+    /// World-space restrictions applied so far, as `(level, pool index)`
+    /// pins. Candidate-equality diagrams built later by
+    /// [`LineageBatch::lineage_of`] are restricted by the same pins, so the
+    /// whole lineage is evaluated over the restricted space.
+    restrictions: Vec<(u32, usize)>,
 }
 
 impl LineageBatch {
@@ -125,7 +130,47 @@ impl LineageBatch {
             db_nulls,
             zero_worlds,
             diagrams_built: build_diagrams,
+            restrictions: Vec::new(),
         })
+    }
+
+    /// Apply the resolution ⊥ := value as a **world-space restriction**: every
+    /// row diagram is replaced by its [`Forest::restrict`] cofactor at the
+    /// null's level, and later candidate lineages are restricted the same
+    /// way — no recompilation, no re-evaluation. After the call, `status`
+    /// and the `mu_counts` *ratio* answer over the restricted valuation
+    /// space, which is exactly the space of the database with the null
+    /// resolved (absolute counts keep a factor of `|pool|` per pinned
+    /// level, in both numerator and denominator).
+    ///
+    /// Returns `false` — leaving the batch untouched — when the null is not
+    /// encoded, the value is outside the pool, or the space is empty; the
+    /// caller must recompile in those cases.
+    pub fn restrict_null(&mut self, null: certa_data::NullId, value: &Const) -> bool {
+        assert!(
+            self.diagrams_built,
+            "LineageBatch: diagram query on a rows-only batch"
+        );
+        if self.zero_worlds {
+            return false;
+        }
+        let Some(level) = self.encoding.level(null) else {
+            return false;
+        };
+        let Some(idx) = self.encoding.pool().iter().position(|c| c == value) else {
+            return false;
+        };
+        for i in 0..self.rows.len() {
+            let node = self.rows[i].2;
+            self.rows[i].2 = self.forest.restrict(node, level, idx);
+        }
+        self.restrictions.push((level, idx));
+        true
+    }
+
+    /// Number of world-space restrictions applied so far.
+    pub fn restriction_count(&self) -> usize {
+        self.restrictions.len()
     }
 
     /// The output arity of the compiled query.
@@ -202,7 +247,13 @@ impl LineageBatch {
                 continue;
             }
             let matching = Cond::tuple_eq(&self.rows[i].0, tuple);
-            let eq_node = self.encoding.compile(&mut self.forest, &matching);
+            let mut eq_node = self.encoding.compile(&mut self.forest, &matching);
+            // Restriction distributes over ∧/∨: pinning the equality
+            // diagrams too makes the disjunction below the restriction of
+            // the unrestricted lineage.
+            for &(level, value) in &self.restrictions {
+                eq_node = self.forest.restrict(eq_node, level, value);
+            }
             let conjoined = self.forest.and(row_node, eq_node);
             out = self.forest.or(out, conjoined);
             if out == TRUE {
@@ -458,6 +509,66 @@ mod tests {
         let mut batch = LineageBatch::compile(&q, &db, &[]).unwrap();
         assert_eq!(batch.status(&tup![1]), (true, false));
         assert_eq!(batch.mu_counts(&tup![1]).unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn restriction_agrees_with_recompiling_on_the_resolved_db() {
+        // R = {1}, S = {⊥0}: resolving ⊥0 flips the candidate 1 between
+        // certainly-false (⊥0 := 1) and certain (⊥0 := 2).
+        let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
+        for resolved in [1i64, 2] {
+            let mut restricted = LineageBatch::compile(&q, &diff_db(), &pool(4)).unwrap();
+            assert!(restricted.restrict_null(0, &Const::Int(resolved)));
+            assert_eq!(restricted.restriction_count(), 1);
+
+            let mut db = diff_db();
+            assert_eq!(db.resolve_null(0, Const::Int(resolved)), 1);
+            let mut fresh = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
+
+            for t in [tup![1], tup![2], tup![Value::null(0)]] {
+                assert_eq!(
+                    restricted.status(&t),
+                    fresh.status(&t),
+                    "⊥0 := {resolved}, {t}"
+                );
+                // µ ratios agree even though the restricted batch keeps the
+                // pinned level's factor in both counts: cross-multiply.
+                let (s1, t1) = restricted.mu_counts(&t).unwrap();
+                let (s2, t2) = fresh.mu_counts(&t).unwrap();
+                assert_eq!(s1 * t2, s2 * t1, "⊥0 := {resolved}, {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_rejects_out_of_pool_values_and_foreign_nulls() {
+        let q = RaExpr::rel("S");
+        let mut batch = LineageBatch::compile(&q, &diff_db(), &pool(3)).unwrap();
+        assert!(!batch.restrict_null(9, &Const::Int(1))); // not encoded
+        assert!(!batch.restrict_null(0, &Const::Int(99))); // outside pool
+        assert_eq!(batch.restriction_count(), 0);
+        // The batch still answers as before.
+        assert!(batch.is_certain(&tup![Value::null(0)]));
+    }
+
+    #[test]
+    fn stacked_restrictions_compose() {
+        // R = {⊥0, ⊥1}; candidate 2 is certain iff some null resolves to 2.
+        let db = database_from_literal([(
+            "R",
+            vec!["a"],
+            vec![tup![Value::null(0)], tup![Value::null(1)]],
+        )]);
+        let q = RaExpr::rel("R");
+        let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
+        assert_eq!(batch.status(&tup![2]), (false, true));
+        assert!(batch.restrict_null(0, &Const::Int(3)));
+        assert_eq!(batch.status(&tup![2]), (false, true));
+        assert!(batch.restrict_null(1, &Const::Int(2)));
+        assert_eq!(batch.status(&tup![2]), (true, true));
+        assert_eq!(batch.status(&tup![3]), (true, true));
+        assert_eq!(batch.status(&tup![1]), (false, false));
+        assert_eq!(batch.restriction_count(), 2);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub struct Forest {
     or_cache: HashMap<(NodeId, NodeId), NodeId>,
     not_cache: HashMap<NodeId, NodeId>,
     count_cache: HashMap<NodeId, u128>,
+    restrict_cache: HashMap<(NodeId, u32, usize), NodeId>,
 }
 
 impl Forest {
@@ -69,6 +70,7 @@ impl Forest {
             or_cache: HashMap::new(),
             not_cache: HashMap::new(),
             count_cache: HashMap::new(),
+            restrict_cache: HashMap::new(),
         }
     }
 
@@ -159,6 +161,49 @@ impl Forest {
         self.nodes.push(node.clone());
         self.unique.insert(node, id);
         id
+    }
+
+    /// The generalized cofactor `n|_{x_level = value}`: the diagram of `n`
+    /// with the variable at `level` pinned to `value`, so the result never
+    /// tests `level`. This is the *world-space restriction* operator behind
+    /// incremental null resolution: resolving ⊥ := c restricts every row's
+    /// lineage to the sub-space of valuations mapping ⊥ to c, without
+    /// recompiling anything. Restriction distributes over `∧`/`∨`/`¬`, so
+    /// restricting each operand separately equals restricting the result.
+    ///
+    /// Memoized per `(node, level, value)`; results are hash-consed back
+    /// into the store, so counts and apply caches stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the level's domain.
+    pub fn restrict(&mut self, n: NodeId, level: u32, value: usize) -> NodeId {
+        assert!(
+            value < self.domains[level as usize],
+            "Forest::restrict: value out of domain"
+        );
+        // Terminals and nodes testing later levels cannot mention `level`
+        // (ordering): they are their own restriction.
+        if self.level(n) > level {
+            return n;
+        }
+        if self.level(n) == level {
+            return self.nodes[n as usize].children[value];
+        }
+        let key = (n, level, value);
+        if let Some(&r) = self.restrict_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(n);
+        let children = (0..self.domains[top as usize])
+            .map(|i| {
+                let c = self.nodes[n as usize].children[i];
+                self.restrict(c, level, value)
+            })
+            .collect::<Vec<_>>();
+        let r = self.mk(top, children);
+        self.restrict_cache.insert(key, r);
+        r
     }
 
     /// The diagram of `x_level = value` (an atomic equality against a pool
@@ -485,6 +530,63 @@ mod tests {
         assert_eq!(f.any_model(both), Some(vec![2, 2]));
         assert_eq!(f.any_model(FALSE), None);
         assert_eq!(f.any_model(TRUE), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn restrict_pins_a_level() {
+        let mut f = Forest::new(vec![3, 3]);
+        let eq = f.vars_equal(0, 1);
+        // (x0 = x1)|_{x0 = 2} is x1 = 2.
+        let pinned = f.restrict(eq, 0, 2);
+        assert_eq!(pinned, f.var_eq_value(1, 2));
+        // Restricting the *lower* level of the diagonal works through the
+        // recursion: (x0 = x1)|_{x1 = 2} is x0 = 2.
+        let pinned = f.restrict(eq, 1, 2);
+        assert_eq!(pinned, f.var_eq_value(0, 2));
+        // A diagram not mentioning the level is untouched.
+        let a = f.var_eq_value(0, 1);
+        assert_eq!(f.restrict(a, 1, 0), a);
+        // Terminals are fixed points.
+        assert_eq!(f.restrict(TRUE, 0, 1), TRUE);
+        assert_eq!(f.restrict(FALSE, 1, 2), FALSE);
+    }
+
+    #[test]
+    fn restrict_distributes_over_connectives() {
+        let mut f = Forest::new(vec![2, 2, 2]);
+        let a = f.vars_equal(0, 1);
+        let b = f.var_eq_value(2, 1);
+        let both = f.and(a, b);
+        let either = f.or(a, b);
+        for value in 0..2 {
+            let ra = f.restrict(a, 1, value);
+            let rb = f.restrict(b, 1, value);
+            let lhs = f.restrict(both, 1, value);
+            let rhs = f.and(ra, rb);
+            assert_eq!(lhs, rhs);
+            let lhs = f.restrict(either, 1, value);
+            let rhs = f.or(ra, rb);
+            assert_eq!(lhs, rhs);
+            let na = f.not(a);
+            let lhs = f.restrict(na, 1, value);
+            let rhs = f.not(ra);
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn restrict_counts_free_the_pinned_level() {
+        // Over domains 2·3·4, (x0 = 1 ∧ x1 = 2) restricted at x1 = 2 stops
+        // testing x1, so x1 contributes its full factor of 3 to the count.
+        let mut f = Forest::new(vec![2, 3, 4]);
+        let a = f.var_eq_value(0, 1);
+        let b = f.var_eq_value(1, 2);
+        let both = f.and(a, b);
+        assert_eq!(f.count_models(both).unwrap(), 4);
+        let hit = f.restrict(both, 1, 2);
+        assert_eq!(f.count_models(hit).unwrap(), 12); // x1 free: 1·3·4
+        let miss = f.restrict(both, 1, 0);
+        assert_eq!(miss, FALSE);
     }
 
     #[test]

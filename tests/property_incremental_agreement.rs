@@ -1,0 +1,434 @@
+//! Property tests for incremental maintenance of certain answers.
+//!
+//! PR 7 teaches the exact machinery to survive updates: null resolutions
+//! become world-space *restrictions* over the columnar stripe masks,
+//! monotone inserts become semi-naive *delta merges*, and the pipeline's
+//! answer cache decides serve / refine / recompute per epoch. Every one of
+//! those shortcuts claims bit-identical results to throwing the state away
+//! and recomputing — this suite checks that claim on seeded random
+//! update sequences, at two layers:
+//!
+//! * **mask layer** — a [`MaskBatch`] maintained through random
+//!   resolve/insert sequences (the exact operations the pipeline's refine
+//!   path performs) must agree with a from-scratch compile on the mutated
+//!   database — classification tuple-for-tuple, µ fractions by
+//!   cross-multiplication (the maintained batch counts over the restricted
+//!   original space, the fresh one over the smaller space of the resolved
+//!   instance) — and with the seed's replan-per-world oracles, and with
+//!   the lineage backend whenever the query is inside its fragment. The
+//!   maintained batches are compiled at 1, 2 and 8 requested workers and
+//!   must stay bit-identical across the sweep after every update.
+//! * **pipeline layer** — a warm [`Pipeline`] driven through random
+//!   insert/delete/resolve sequences (including the resolve-then-delete
+//!   interleavings of the PR-6 arena-generation bug class) must return
+//!   exactly the answers of a cold pipeline recomputing from scratch after
+//!   every single mutation, and must actually exercise all three decision
+//!   outcomes (serve, refine, recompute) across the workload.
+//!
+//! Acceptance: zero disagreements, with every exact backend and both
+//! layers exercised.
+
+use certa::certain::cert::classify_candidates_lineage;
+use certa::certain::worlds::exact_pool;
+use certa::certain::{reference, CertainError, MaskBatch};
+use certa::prelude::*;
+use rand::prelude::*;
+
+const MASK_CASES: u64 = 150;
+const PIPELINE_CASES: u64 = 120;
+
+/// Uniform pick from a slice (the vendored `rand` has no `SliceRandom`).
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+/// The join-friendly, repeated-null instance shape shared with the mask
+/// and lineage agreement suites.
+fn gen_database(rng: &mut StdRng) -> Database {
+    let mut r: Vec<Tuple> = Vec::new();
+    for _ in 0..rng.gen_range(1usize..5) {
+        r.push(Tuple::new((0..2).map(|_| gen_value(rng))));
+    }
+    let mut s: Vec<Tuple> = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        s.push(Tuple::new([gen_value(rng)]));
+    }
+    let mut t: Vec<Tuple> = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        t.push(Tuple::new([
+            Value::int(rng.gen_range(0i64..3)),
+            Value::int(rng.gen_range(0i64..3)),
+        ]));
+    }
+    database_from_literal([
+        ("R", vec!["a", "b"], r),
+        ("S", vec!["c"], s),
+        ("T", vec!["d", "e"], t),
+    ])
+}
+
+fn gen_value(rng: &mut StdRng) -> Value {
+    if rng.gen_bool(0.3) {
+        Value::null(rng.gen_range(0u32..2))
+    } else {
+        Value::int(rng.gen_range(0i64..3))
+    }
+}
+
+fn gen_query(rng: &mut StdRng, schema: &Schema) -> RaExpr {
+    random_query(
+        schema,
+        &RandomQueryConfig {
+            max_depth: 2,
+            allow_difference: true,
+            allow_disequality: true,
+            seed: rng.gen_range(0u64..1_000_000),
+        },
+    )
+}
+
+/// Candidate tuples: a few naïve answers over the *mutated* database plus
+/// a constant tuple that typically is an answer nowhere.
+fn candidates_for(query: &RaExpr, db: &Database) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = naive_eval(query, db)
+        .unwrap()
+        .iter()
+        .take(3)
+        .cloned()
+        .collect();
+    let arity = query.arity(db.schema()).unwrap();
+    out.push(Tuple::new((0..arity).map(|_| Value::int(99))));
+    out
+}
+
+/// One eligible update applied both to the database and to every
+/// maintained batch, mirroring the pipeline's refine path. Returns `false`
+/// when the drawn update is not incrementally maintainable (so the caller
+/// leaves the database untouched too, keeping batches and instance in
+/// sync).
+fn apply_mask_step(
+    rng: &mut StdRng,
+    db: &mut Database,
+    batches: &mut [MaskBatch],
+    prepared: &PreparedQuery,
+    profile: &certa::algebra::DeltaProfile,
+    spec: &certa::certain::WorldSpec,
+) -> bool {
+    if rng.gen_bool(0.5) {
+        // Resolve: pick a live null and a pool constant; the restriction
+        // must be accepted by every batch or by none.
+        let nulls: Vec<_> = db.nulls().into_iter().collect();
+        let Some(&null) = pick(rng, &nulls) else {
+            return false;
+        };
+        let Some(value) = pick(rng, spec.pool()).cloned() else {
+            return false;
+        };
+        if batches.iter().any(|b| {
+            !b.can_restrict(null, &value) || b.restricted_nulls().iter().any(|(n, _)| *n == null)
+        }) {
+            return false;
+        }
+        assert!(db.resolve_null(null, value.clone()) > 0);
+        for b in batches.iter_mut() {
+            assert!(b.restrict(null, &value), "restrict ⊥{null} := {value}");
+        }
+        true
+    } else {
+        // Insert: a small delta of tuples drawing constants from the pool
+        // (the pipeline's own eligibility gate) and, occasionally, an
+        // indexed unrestricted null. Relations the plan never scans take
+        // the insert without any batch work; relations it scans once (in a
+        // monotone plan) take a semi-naive delta merge; anything else is
+        // not incrementally maintainable.
+        let relation = *pick(rng, &["R", "S", "T"]).unwrap();
+        let eligible = profile.ignores(relation) || profile.insert_delta_ok(relation);
+        if !eligible {
+            return false;
+        }
+        let arity = db.schema().relation(relation).unwrap().arity();
+        let pinned: Vec<u32> = batches[0]
+            .restricted_nulls()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        let free_nulls: Vec<u32> = db
+            .nulls()
+            .into_iter()
+            .filter(|n| !pinned.contains(n) && batches.iter().all(|b| b.indexes_null(*n)))
+            .collect();
+        let tuples: Vec<Tuple> = (0..rng.gen_range(1usize..3))
+            .map(|_| {
+                Tuple::new((0..arity).map(|_| {
+                    if !free_nulls.is_empty() && rng.gen_bool(0.2) {
+                        Value::null(*pick(rng, &free_nulls).unwrap())
+                    } else {
+                        Value::from(pick(rng, spec.pool()).cloned().unwrap())
+                    }
+                }))
+            })
+            .collect();
+        db.insert_all(relation, tuples.clone()).unwrap();
+        if profile.ignores(relation) {
+            return true;
+        }
+        for b in batches.iter_mut() {
+            b.apply_insert_delta(prepared, db, relation, &tuples)
+                .unwrap_or_else(|e| panic!("delta merge into {relation} failed: {e}"));
+        }
+        true
+    }
+}
+
+#[test]
+fn maintained_mask_batches_agree_with_scratch_oracles() {
+    let mut maintained_updates = 0usize;
+    let mut lineage_checked = 0usize;
+    for seed in 0..MASK_CASES {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let db0 = gen_database(&mut rng);
+        let query = gen_query(&mut rng, db0.schema());
+        let spec = exact_pool(&query, &db0);
+        let prepared = PreparedQuery::prepare(&query, db0.schema()).unwrap();
+        let profile = certa::algebra::delta_profile(prepared.plan());
+
+        // One maintained batch per requested worker count: the whole
+        // update sequence replays identically on each.
+        let mut batches: Vec<MaskBatch> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                MaskBatch::from_prepared(&prepared, &db0, &spec.clone().with_threads(w)).unwrap()
+            })
+            .collect();
+
+        let mut db = db0.clone();
+        for _ in 0..rng.gen_range(1usize..4) {
+            if apply_mask_step(&mut rng, &mut db, &mut batches, &prepared, &profile, &spec) {
+                maintained_updates += 1;
+            }
+        }
+
+        let tuples = candidates_for(&query, &db);
+
+        // Worker-count invariance of the *maintained* state.
+        let statuses = batches[0].classify(&tuples);
+        for (w, b) in [1usize, 2, 8].iter().zip(&batches) {
+            assert_eq!(
+                b.classify(&tuples),
+                statuses,
+                "seed {seed}: maintained classification differs at {w} workers for {query} on {db}"
+            );
+        }
+
+        // Scratch mask oracle: a fresh compile on the mutated database
+        // over the *same* pool. Statuses agree outright; µ fractions agree
+        // by cross-multiplication (pinned levels contribute equal factors
+        // to numerator and denominator).
+        let fresh = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
+        assert_eq!(
+            fresh.classify(&tuples),
+            statuses,
+            "seed {seed}: maintained vs scratch classification for {query} on {db}"
+        );
+        for t in &tuples {
+            let (n1, d1) = batches[0].mu_counts(t);
+            let (n2, d2) = fresh.mu_counts(t);
+            assert_eq!(
+                n1 * d2,
+                n2 * d1,
+                "seed {seed}: maintained vs scratch µ of {t} for {query} on {db}"
+            );
+        }
+
+        // Seed oracles: the replan-per-world predicates on the mutated
+        // database.
+        for (t, s) in tuples.iter().zip(&statuses) {
+            assert_eq!(
+                s.certain,
+                reference::is_certain_answer_seed(&query, &db, t).unwrap(),
+                "seed {seed}: maintained vs seed certainty of {t} for {query} on {db}"
+            );
+            assert_eq!(
+                !s.possible,
+                reference::is_certainly_false_seed(&query, &db, t).unwrap(),
+                "seed {seed}: maintained vs seed certain-falsity of {t} for {query} on {db}"
+            );
+        }
+
+        // Lineage oracle, where the fragment allows: diagrams compiled
+        // from scratch on the mutated database over the same pool.
+        match classify_candidates_lineage(&query, &db, &spec, &tuples) {
+            Ok(sym) => {
+                for (i, t) in tuples.iter().enumerate() {
+                    assert_eq!(
+                        (statuses[i].certain, statuses[i].possible),
+                        (sym[i].certain, sym[i].possible),
+                        "seed {seed}: maintained vs lineage classification of {t} for {query} on {db}"
+                    );
+                }
+                lineage_checked += 1;
+            }
+            Err(CertainError::Lineage(e)) if e.is_unsupported() => {}
+            Err(e) => panic!("seed {seed}: lineage failed on {query}: {e}"),
+        }
+    }
+    assert!(
+        maintained_updates >= 100,
+        "only {maintained_updates} incremental updates were exercised"
+    );
+    assert!(
+        lineage_checked >= 30,
+        "only {lineage_checked} instances were cross-checked against lineage"
+    );
+}
+
+/// A null-heavy random database for the pipeline-layer sequences.
+fn db_config(seed: u64) -> RandomDbConfig {
+    RandomDbConfig {
+        relations: vec![
+            ("R".to_string(), 2),
+            ("S".to_string(), 1),
+            ("T".to_string(), 3),
+        ],
+        tuples_per_relation: 4,
+        domain_size: 4,
+        null_count: 3,
+        null_rate: 0.3,
+        seed,
+    }
+}
+
+/// One random mutation through the public update API. Unlike the mask
+/// layer this draws from the *full* update language — deletes, structural
+/// no-ops, out-of-pool resolutions — because the pipeline must fall back
+/// to recomputation wherever refinement is unsound.
+fn apply_pipeline_step(rng: &mut StdRng, db: &mut Database) {
+    match rng.gen_range(0u32..4) {
+        0 => {
+            // Insert a random (possibly null-carrying, possibly
+            // out-of-universe) tuple.
+            let relation = *pick(rng, &["R", "S", "T"]).unwrap();
+            let arity = db.schema().relation(relation).unwrap().arity();
+            let tuple = Tuple::new((0..arity).map(|_| {
+                if rng.gen_bool(0.25) {
+                    Value::null(rng.gen_range(0u32..4))
+                } else {
+                    Value::int(rng.gen_range(0i64..5))
+                }
+            }));
+            db.insert(relation, tuple).unwrap();
+        }
+        1 => {
+            // Delete a random existing tuple.
+            let relation = *pick(rng, &["R", "S", "T"]).unwrap();
+            let existing: Vec<Tuple> = db.relation(relation).unwrap().iter().cloned().collect();
+            if let Some(t) = pick(rng, &existing) {
+                assert!(db.delete(relation, t).unwrap());
+            }
+        }
+        _ => {
+            // Resolve a live null — usually to a small in-domain constant,
+            // sometimes to one outside the cached pool.
+            let nulls: Vec<_> = db.nulls().into_iter().collect();
+            if let Some(&null) = pick(rng, &nulls) {
+                let value = if rng.gen_bool(0.8) {
+                    Const::from(rng.gen_range(0i64..4))
+                } else {
+                    Const::from(99i64)
+                };
+                assert!(db.resolve_null(null, value) > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_pipeline_sequences_match_cold_recomputation() {
+    let mut served = 0usize;
+    let mut refined = 0usize;
+    let mut recomputed = 0usize;
+    let mut steps_checked = 0usize;
+    for seed in 0..PIPELINE_CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1AC0);
+        let mut db = random_database(&db_config(seed));
+        let sql = certa::workload::random_sql(
+            db.schema(),
+            &certa::workload::RandomSqlConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let mut warm = Pipeline::new();
+        // Some random SQL has no plain-algebra lowering; those statements
+        // never reach the exact backends — skip them.
+        if warm.execute(&sql, &db, Scheme::Exact).is_err() {
+            continue;
+        }
+        for _ in 0..rng.gen_range(2usize..6) {
+            apply_pipeline_step(&mut rng, &mut db);
+            let maintained = warm.execute(&sql, &db, Scheme::Exact).unwrap();
+            let scratch = Pipeline::new().execute(&sql, &db, Scheme::Exact).unwrap();
+            assert_eq!(
+                maintained, scratch,
+                "seed {seed}: warm and cold answers disagree after an update\n  {sql}\non\n{db}"
+            );
+            // A second request at the unchanged epoch must serve the cache
+            // and still agree.
+            let again = warm.execute(&sql, &db, Scheme::Exact).unwrap();
+            assert_eq!(
+                again, maintained,
+                "seed {seed}: serving changed the answers"
+            );
+            steps_checked += 1;
+        }
+        let m = warm.explain(&sql, &db).unwrap().maintenance;
+        served += m.served;
+        refined += m.refined;
+        recomputed += m.recomputed;
+    }
+    assert!(
+        steps_checked >= 150,
+        "only {steps_checked} update steps were checked"
+    );
+    // The workload must actually exercise every decision of the lattice —
+    // otherwise the equalities above prove nothing about refinement.
+    assert!(served > 0, "no request was served from cache");
+    assert!(refined > 0, "no request took the refine path");
+    assert!(recomputed > 0, "no request took the recompute path");
+}
+
+#[test]
+fn resolve_then_delete_interleaving_recomputes_correctly() {
+    // The PR-6 bug class, end to end: refine on a resolution, then hit the
+    // same cached state with a delete — the pipeline must notice that
+    // refinement is unsound for deletions and rebuild, not serve stale
+    // masks.
+    let mut db = certa::workload::shop_database(true);
+    let sql = "SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)";
+    let mut warm = Pipeline::new();
+    warm.execute(sql, &db, Scheme::Exact).unwrap();
+
+    assert_eq!(db.resolve_null(0, Const::from("o2")), 1);
+    let after_resolve = warm.execute(sql, &db, Scheme::Exact).unwrap();
+    assert_eq!(
+        after_resolve,
+        Pipeline::new().execute(sql, &db, Scheme::Exact).unwrap()
+    );
+    assert_eq!(after_resolve.certain().len(), 2); // o1 and now o2 are paid
+
+    assert!(db.delete("Payments", &tup!["c1", "o1"]).unwrap());
+    let after_delete = warm.execute(sql, &db, Scheme::Exact).unwrap();
+    assert_eq!(
+        after_delete,
+        Pipeline::new().execute(sql, &db, Scheme::Exact).unwrap()
+    );
+    assert_eq!(after_delete.certain().len(), 1); // only o2 remains paid
+
+    let m = warm.explain(sql, &db).unwrap().maintenance;
+    assert_eq!(m.refined, 1, "the resolution should have refined");
+    assert_eq!(m.recomputed, 2, "the delete should have recomputed");
+}
