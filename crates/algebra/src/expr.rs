@@ -138,10 +138,14 @@ impl Condition {
 
     /// The `θ*` rewriting of Figure 2: every comparison `A ≠ x` is replaced
     /// by `(A ≠ x) ∧ const(A)` (and additionally `∧ const(x)` when `x` is an
-    /// attribute). Equalities and const/null tests are left untouched.
+    /// attribute); `null(A)` becomes `false` and `const(A)` becomes `true`
+    /// (a marked null denotes an unknown constant in every possible world,
+    /// so a null test is never certainly true and a const test always is).
+    /// Equalities are left untouched.
     ///
-    /// Under the syntactic (naïve) evaluation of conditions this makes `≠`
-    /// certain: a null is never declared different from anything.
+    /// Under the syntactic (naïve) evaluation of conditions this makes the
+    /// whole condition certain: a null is never declared different from
+    /// anything, and never declared to stay null.
     pub fn star(&self) -> Condition {
         match self {
             Condition::Neq(a, b) => {
@@ -154,6 +158,8 @@ impl Condition {
                 }
                 out
             }
+            Condition::IsNull(_) => Condition::False,
+            Condition::IsConst(_) => Condition::True,
             Condition::And(a, b) => a.star().and(b.star()),
             Condition::Or(a, b) => a.star().or(b.star()),
             other => other.clone(),
@@ -622,6 +628,19 @@ mod tests {
         assert!(s.eval(&u));
         // Equalities are untouched by θ*.
         assert_eq!(Condition::eq_attr(0, 1).star(), Condition::eq_attr(0, 1));
+    }
+
+    #[test]
+    fn star_decides_null_tests() {
+        // Every valuation turns a marked null into a constant, so a null
+        // test is never *certainly* true and a const test always is.
+        assert_eq!(Condition::IsNull(0).star(), Condition::False);
+        assert_eq!(Condition::IsConst(0).star(), Condition::True);
+        // …and the decided tests simplify out of conjunctions.
+        assert_eq!(
+            Condition::eq_attr(0, 1).and(Condition::IsConst(0)).star(),
+            Condition::eq_attr(0, 1)
+        );
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod builder;
 pub mod eval;
 pub mod expr;
 pub mod fragment;
+pub mod governor;
 pub mod mask;
 pub mod morsel;
 pub mod naive;
@@ -78,6 +79,7 @@ pub use builder::QueryBuilder;
 pub use eval::eval;
 pub use expr::{Condition, Operand, RaExpr};
 pub use fragment::{classify, Fragment};
+pub use governor::{CancelToken, ExecBudget, Governor, GovernorAccounting};
 pub use mask::{
     ColumnarContext, ColumnarExec, ColumnarRel, ExecStats, MaskAnn, MaskContext, MaskSource,
 };
@@ -123,6 +125,9 @@ pub enum AlgebraError {
     UnsupportedOperator(&'static str),
     /// An error bubbled up from the data layer.
     Data(certa_data::DataError),
+    /// The resource governor stopped the execution (budget trip,
+    /// cancellation, isolated worker panic, or injected fault).
+    Governor(certa_data::GovernorError),
 }
 
 impl std::fmt::Display for AlgebraError {
@@ -153,6 +158,7 @@ impl std::fmt::Display for AlgebraError {
                 )
             }
             AlgebraError::Data(e) => write!(f, "{e}"),
+            AlgebraError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
@@ -162,6 +168,22 @@ impl std::error::Error for AlgebraError {}
 impl From<certa_data::DataError> for AlgebraError {
     fn from(e: certa_data::DataError) -> Self {
         AlgebraError::Data(e)
+    }
+}
+
+impl From<certa_data::GovernorError> for AlgebraError {
+    fn from(e: certa_data::GovernorError) -> Self {
+        AlgebraError::Governor(e)
+    }
+}
+
+impl AlgebraError {
+    /// The governor trip behind this error, if that is what it is.
+    pub fn governor_trip(&self) -> Option<&certa_data::GovernorError> {
+        match self {
+            AlgebraError::Governor(e) => Some(e),
+            _ => None,
+        }
     }
 }
 

@@ -72,19 +72,25 @@ impl MaskArena {
     }
 
     /// Append a slot holding a copy of `src` (must be `width` words).
+    ///
+    /// Arena growth is metered against the thread's governor (the word
+    /// budget trips at the next cooperative checkpoint — per morsel, per
+    /// operator — not here, so the buffer path stays infallible).
     pub fn push(&mut self, src: &[u64]) -> u32 {
         debug_assert_eq!(src.len(), self.width);
         let slot = self.slots;
         self.words.extend_from_slice(src);
         self.slots += 1;
+        crate::governor::note_arena_words(self.width);
         u32::try_from(slot).expect("mask arena slot count exceeds u32")
     }
 
-    /// Append a zeroed slot.
+    /// Append a zeroed slot. Metered like [`MaskArena::push`].
     pub fn push_zeroed(&mut self) -> u32 {
         let slot = self.slots;
         self.words.resize(self.words.len() + self.width, 0);
         self.slots += 1;
+        crate::governor::note_arena_words(self.width);
         u32::try_from(slot).expect("mask arena slot count exceeds u32")
     }
 

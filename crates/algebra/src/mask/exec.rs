@@ -21,6 +21,7 @@
 //! across — there is only one pass.
 
 use crate::expr::Condition;
+use crate::governor;
 use crate::morsel::MorselPool;
 use crate::physical::PhysOp;
 use crate::{AlgebraError, Result};
@@ -124,7 +125,20 @@ impl<'a> ColumnarExec<'a> {
     }
 
     /// Execute a plan, returning the columnar result.
+    ///
+    /// Every operator boundary is a cooperative governor checkpoint (and a
+    /// fault-injection site): an installed [`crate::governor::Governor`]
+    /// can stop the plan between operators, and output rows are metered
+    /// against its row budget.
     pub fn execute(&self, op: &PhysOp) -> Result<ColumnarRel> {
+        governor::checkpoint()?;
+        crate::faultpoint!("mask::operator")?;
+        let rel = self.execute_op(op)?;
+        governor::consume_rows(rel.len())?;
+        Ok(rel)
+    }
+
+    fn execute_op(&self, op: &PhysOp) -> Result<ColumnarRel> {
         let rel = match op {
             PhysOp::Scan { name, filter } => self.scan(name, filter.as_ref())?,
             PhysOp::Literal(lit) => {
@@ -157,12 +171,12 @@ impl<'a> ColumnarExec<'a> {
             } => {
                 let l = self.execute(left)?;
                 let r = self.execute(right)?;
-                self.join(&l, &r, pairs, residual)
+                self.join(&l, &r, pairs, residual)?
             }
             PhysOp::Product(le, re) => {
                 let l = self.execute(le)?;
                 let r = self.execute(re)?;
-                self.join(&l, &r, &[], &Condition::True)
+                self.join(&l, &r, &[], &Condition::True)?
             }
             PhysOp::Union(le, re) => {
                 let l = self.execute(le)?;
@@ -213,7 +227,7 @@ impl<'a> ColumnarExec<'a> {
                 let r = self.execute(re)?;
                 self.divide(&l, &r)
             }
-            PhysOp::DomPower(k) => self.dom_power(*k),
+            PhysOp::DomPower(k) => self.dom_power(*k)?,
             PhysOp::AntiSemiJoinUnify(le, re) => {
                 let l = self.execute(le)?;
                 let r = self.execute(re)?;
@@ -251,15 +265,16 @@ impl<'a> ColumnarExec<'a> {
     }
 
     /// Dispatch `f(morsel, range)` over `0..len` through the pool,
-    /// accounting the morsel count.
+    /// accounting the morsel count. Governed and panic-isolated: a budget
+    /// trip or a worker panic surfaces as [`AlgebraError::Governor`].
     fn par<T: Send>(
         &self,
         len: usize,
         f: impl Fn(usize, std::ops::Range<usize>) -> T + Sync,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>> {
         self.morsels
             .set(self.morsels.get() + MorselPool::morsels_for(len));
-        self.pool.run(len, f)
+        Ok(self.pool.try_run(len, f)?)
     }
 
     /// Scan a base relation: complete relations stream through with full
@@ -284,7 +299,7 @@ impl<'a> ColumnarExec<'a> {
                     }
                 }
                 local
-            });
+            })?;
             let mut out = ColumnarRel::new(rel.arity(), width);
             for local in locals {
                 out.append(local);
@@ -315,7 +330,7 @@ impl<'a> ColumnarExec<'a> {
                 });
             }
             local
-        });
+        })?;
         let mut m = Merger::new(rel.arity(), width, self.ctx.worlds());
         for local in locals {
             m.merge_from(local);
@@ -333,7 +348,7 @@ impl<'a> ColumnarExec<'a> {
         r: &ColumnarRel,
         pairs: &[(usize, usize)],
         residual: &Condition,
-    ) -> ColumnarRel {
+    ) -> Result<ColumnarRel> {
         let lkeys: Vec<usize> = pairs.iter().map(|&(lp, _)| lp).collect();
         let rkeys: Vec<usize> = pairs.iter().map(|&(_, rp)| rp).collect();
         let out_arity = l.arity() + r.arity();
@@ -363,12 +378,12 @@ impl<'a> ColumnarExec<'a> {
                 }
             }
             out
-        });
+        })?;
         let mut out = ColumnarRel::new(out_arity, width);
         for local in locals {
             out.append(local);
         }
-        out
+        Ok(out)
     }
 
     /// Division `L ÷ R` under the per-world reading: for each candidate
@@ -420,8 +435,10 @@ impl<'a> ColumnarExec<'a> {
     }
 
     /// Active-domain power, per world: base constants are in every world's
-    /// domain; a null contributes each pool constant on its stripe.
-    fn dom_power(&self, k: usize) -> ColumnarRel {
+    /// domain; a null contributes each pool constant on its stripe. Output
+    /// size is exponential in `k`, so every generation of the k-fold
+    /// product is a governor checkpoint.
+    fn dom_power(&self, k: usize) -> Result<ColumnarRel> {
         let width = self.ctx.width();
         // Members in active-domain (sorted) order, merged where a null's
         // substitution collides with a base constant. Member masks live in
@@ -476,6 +493,8 @@ impl<'a> ColumnarExec<'a> {
         let mut arena = MaskArena::new(width);
         let mut scratch = Vec::new();
         for _ in 0..k {
+            governor::checkpoint()?;
+            governor::consume_rows(rows.len())?;
             let mut next_arena = MaskArena::new(width);
             let mut next = Vec::with_capacity(rows.len() * members.len().max(1));
             for (prefix, rm) in &rows {
@@ -524,7 +543,7 @@ impl<'a> ColumnarExec<'a> {
                 RowMask::Slot(s) => out.push_words(Tuple::new(values), arena.row(s)),
             }
         }
-        out
+        Ok(out)
     }
 
     /// Unification anti-semijoin: a left row survives in the worlds where

@@ -19,8 +19,12 @@
 //! ([`crate::mask::arena_drain`]) so recycled blocks never outlive the
 //! scope that allocated them.
 
+use crate::governor;
+use certa_data::GovernorError;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Rows per morsel: small enough that the columnar chunk (rows + mask
 /// words) stays cache-resident, large enough to amortize the cursor fetch.
@@ -82,7 +86,29 @@ impl MorselPool {
     /// Sequential (no threads spawned) when one worker suffices — a single
     /// morsel, or an effective width of 1 — so the 1-thread path has zero
     /// scheduling overhead and is trivially identical to the parallel one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panics or the installed governor trips — this is
+    /// the legacy infallible entry; governed query paths go through
+    /// [`MorselPool::try_run`], which converts both into typed errors.
     pub fn run<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        self.try_run(len, f)
+            .unwrap_or_else(|e| panic!("morsel pool: {e}"))
+    }
+
+    /// Like [`MorselPool::run`], but governed and panic-isolated: the
+    /// spawning thread's governor is re-installed inside every worker, each
+    /// morsel is preceded by a cooperative [`governor::checkpoint`], the
+    /// user closure runs under `catch_unwind`, and the first failure —
+    /// budget trip, cancellation, injected fault, or worker panic — stops
+    /// all workers and comes back as a [`GovernorError`] instead of
+    /// unwinding across the pool (or aborting the process).
+    pub fn try_run<T, F>(&self, len: usize, f: F) -> Result<Vec<T>, GovernorError>
     where
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
@@ -90,23 +116,68 @@ impl MorselPool {
         let morsels = Self::morsels_for(len);
         let workers = self.threads.min(morsels);
         if workers <= 1 {
-            return (0..morsels)
-                .map(|m| f(m, Self::morsel_range(m, len)))
-                .collect();
+            let mut out = Vec::with_capacity(morsels);
+            for m in 0..morsels {
+                governor::checkpoint()?;
+                // The faultpoint sits inside the catch_unwind so injected
+                // worker panics surface as typed errors on this path too.
+                let value = catch_unwind(AssertUnwindSafe(|| {
+                    crate::faultpoint!("worker:morsel")?;
+                    Ok(f(m, Self::morsel_range(m, len)))
+                }))
+                .map_err(|p| GovernorError::WorkerPanicked(governor::panic_message(&*p)))??;
+                out.push(value);
+            }
+            return Ok(out);
         }
+        let shared = governor::current();
         let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let failure: Mutex<Option<GovernorError>> = Mutex::new(None);
         let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (f, cursor) = (&f, &cursor);
+                    let (f, cursor, stop, failure, shared) =
+                        (&f, &cursor, &stop, &failure, &shared);
                     scope.spawn(move || {
+                        let _governed = governor::install(shared.clone());
                         let mut local: Vec<(usize, T)> = Vec::new();
+                        let fail = |e: GovernorError| {
+                            stop.store(true, Ordering::Relaxed);
+                            let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+                            slot.get_or_insert(e);
+                        };
                         loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let m = cursor.fetch_add(1, Ordering::Relaxed);
                             if m >= morsels {
                                 break;
                             }
-                            local.push((m, f(m, Self::morsel_range(m, len))));
+                            if let Err(e) = governor::checkpoint() {
+                                fail(e);
+                                break;
+                            }
+                            // The faultpoint runs under catch_unwind so an
+                            // injected panic cannot unwind past the arena
+                            // drain below.
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                crate::faultpoint!("worker:morsel")?;
+                                Ok(f(m, Self::morsel_range(m, len)))
+                            })) {
+                                Ok(Ok(value)) => local.push((m, value)),
+                                Ok(Err(e)) => {
+                                    fail(e);
+                                    break;
+                                }
+                                Err(payload) => {
+                                    fail(GovernorError::WorkerPanicked(governor::panic_message(
+                                        &*payload,
+                                    )));
+                                    break;
+                                }
+                            }
                         }
                         // Drain-on-scope-exit: blocks recycled on this
                         // worker must not leak past the pool.
@@ -117,11 +188,26 @@ impl MorselPool {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("morsel worker panicked"))
+                .flat_map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // Unreachable in practice (the worker body catches
+                        // its own panics), but a join failure must still be
+                        // a typed error, not a poisoned scope.
+                        stop.store(true, Ordering::Relaxed);
+                        let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+                        slot.get_or_insert(GovernorError::WorkerPanicked(governor::panic_message(
+                            &*payload,
+                        )));
+                        Vec::new()
+                    })
+                })
                 .collect()
         });
+        if let Some(e) = failure.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            return Err(e);
+        }
         tagged.sort_unstable_by_key(|(m, _)| *m);
-        tagged.into_iter().map(|(_, t)| t).collect()
+        Ok(tagged.into_iter().map(|(_, t)| t).collect())
     }
 }
 
@@ -172,6 +258,44 @@ mod tests {
         for requested in [1usize, 2, 8] {
             let got = MorselPool::new(requested).run(len, |_, range| range.sum::<usize>());
             assert_eq!(got, expect, "requested {requested} workers");
+        }
+    }
+
+    #[test]
+    fn poisoned_morsel_fails_the_query_not_the_process() {
+        // One morsel out of many panics; try_run must surface a typed
+        // error (with the panic message) at every worker width instead of
+        // unwinding across the scope.
+        let len = 6 * MORSEL_ROWS;
+        for requested in [1usize, 2, 8] {
+            let pool = MorselPool::new(requested);
+            let result = pool.try_run(len, |m, range| {
+                assert!(m != 3, "poisoned morsel 3");
+                range.len()
+            });
+            match result {
+                Err(GovernorError::WorkerPanicked(msg)) => {
+                    assert!(msg.contains("poisoned morsel 3"), "{msg}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // An untouched pool still works afterwards.
+        let ok = MorselPool::new(2).try_run(len, |_, range| range.len());
+        assert_eq!(ok.unwrap().iter().sum::<usize>(), len);
+    }
+
+    #[test]
+    fn governor_trip_stops_the_pool_with_a_typed_error() {
+        let token = governor::CancelToken::new();
+        let budget = governor::ExecBudget::new().with_cancel_token(token.clone());
+        let armed = governor::Governor::arm(&budget);
+        token.cancel();
+        for requested in [1usize, 2, 8] {
+            let result = governor::with_governor(&armed, || {
+                MorselPool::new(requested).try_run(4 * MORSEL_ROWS, |_, range| range.len())
+            });
+            assert_eq!(result, Err(GovernorError::Cancelled), "{requested} workers");
         }
     }
 

@@ -897,6 +897,11 @@ where
     S: Source<A>,
     H: FnMut(OpKind, AnnRel<A>) -> AnnRel<A>,
 {
+    // Every operator is a cooperative governor boundary: an installed
+    // budget can stop the plan between operators, and each output is
+    // metered against the row budget below.
+    crate::governor::checkpoint()?;
+    crate::faultpoint!("physical::operator")?;
     let (kind, rel) = match op {
         PhysOp::Cached { slot } => {
             let rel = cache
@@ -991,6 +996,7 @@ where
             (OpKind::AntiSemiJoinUnify, A::anti_unify(l, &r)?)
         }
     };
+    crate::governor::consume_rows(rel.len())?;
     Ok(hook(kind, rel))
 }
 

@@ -13,7 +13,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--quick] [--out PATH] [--threads N,N,...]
+//! bench_json [--quick] [--out PATH] [--threads N,N,...] [--deadline-ms N]
 //! ```
 //!
 //! `--quick` shrinks every workload to smoke-test size (used by CI so the
@@ -23,7 +23,12 @@
 //! every requested count is clamped to the host's cores and both numbers
 //! are recorded, so a curve measured on a small host is legible as such —
 //! on a 1-CPU host the sweep measures scheduling *overhead*, not scaling.
-//! Default output path is `BENCH_7.json` in the current directory.
+//! `--deadline-ms` sets the budget of the `a12_governor` ablation
+//! (default 10): a deadline the heavy lineage instance cannot meet, so
+//! the governed run must terminate promptly with a `Degraded`/`Refused`
+//! verdict — the emitter asserts this before timing, proving degraded
+//! runs terminate and still emit valid JSON. Default output path is
+//! `BENCH_7.json` in the current directory.
 
 use certa::algebra::physical::SetSource;
 use certa::certain::cert::{
@@ -35,7 +40,7 @@ use certa::certain::reference::cert_with_nulls_seed;
 use certa::certain::worlds::{exact_pool, WorldSpec};
 use certa::certain::{prob, CertainError};
 use certa::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One timed measurement. `threads` is `(requested, effective)` for the
 /// worker-sweep variants, `None` for the rest.
@@ -522,7 +527,7 @@ fn a11(out: &mut Vec<Entry>, quick: bool) {
             let mut batch = pristine.pop().expect("one pristine batch per iteration");
             for (n, c) in &resolutions {
                 assert!(batch.restrict(*n, c));
-                batch.classify(&candidates);
+                batch.classify(&candidates).unwrap();
             }
         },
     );
@@ -534,7 +539,7 @@ fn a11(out: &mut Vec<Entry>, quick: bool) {
         || {
             for db_i in &resolve_dbs {
                 let batch = MaskBatch::from_prepared(&prepared, db_i, &spec).unwrap();
-                batch.classify(&candidates);
+                batch.classify(&candidates).unwrap();
             }
         },
     );
@@ -582,7 +587,7 @@ fn a11(out: &mut Vec<Entry>, quick: bool) {
                 batch
                     .apply_insert_delta(&mono_prepared, db_i, "R", d)
                     .unwrap();
-                batch.classify(&candidates);
+                batch.classify(&candidates).unwrap();
             }
         },
     );
@@ -594,10 +599,58 @@ fn a11(out: &mut Vec<Entry>, quick: bool) {
         || {
             for db_i in &insert_dbs {
                 let batch = MaskBatch::from_prepared(&mono_prepared, db_i, &spec).unwrap();
-                batch.classify(&candidates);
+                batch.classify(&candidates).unwrap();
             }
         },
     );
+}
+
+/// a12: resource governance. A 64-null lineage instance that needs
+/// ~100 ms ungoverned (release) is executed under a deadline it cannot
+/// meet: the governed run must terminate promptly with a non-exact
+/// verdict (`Degraded`/`Refused`, asserted before timing), while the
+/// ungoverned scratch run computes the exact answer at full cost.
+fn a12(out: &mut Vec<Entry>, quick: bool, deadline_ms: u64) {
+    let rows_n: u32 = if quick { 2000 } else { 4000 };
+    let mut rows: Vec<Tuple> = Vec::new();
+    for i in 0..rows_n {
+        rows.push(tup![Value::null(i % 64)]);
+    }
+    let db = database_from_literal([
+        ("R", vec!["a"], rows),
+        ("S", vec!["a"], vec![tup![0], tup![1]]),
+    ]);
+    let sql = "SELECT a FROM R WHERE a <> 1";
+
+    let mut governed = Pipeline::new();
+    governed.set_budget(Some(
+        ExecBudget::new().with_deadline(Duration::from_millis(deadline_ms)),
+    ));
+    let out_governed = governed.execute(sql, &db, Scheme::Exact).unwrap();
+    assert!(
+        !out_governed.verdict.is_exact(),
+        "a {deadline_ms} ms deadline cannot cover the a12 instance, got {}",
+        out_governed.verdict
+    );
+    assert!(Pipeline::new()
+        .execute(sql, &db, Scheme::Exact)
+        .unwrap()
+        .verdict
+        .is_exact());
+
+    push(out, "a12_governor", "governed_tight_deadline", 10, || {
+        let verdict = governed.execute(sql, &db, Scheme::Exact).unwrap().verdict;
+        assert!(!verdict.is_exact(), "governed run must degrade or refuse");
+    });
+    push(out, "a12_governor", "ungoverned_exact_scratch", 3, || {
+        // A fresh pipeline per run: exact answers would otherwise be
+        // served from the answer cache at zero cost.
+        let verdict = Pipeline::new()
+            .execute(sql, &db, Scheme::Exact)
+            .unwrap()
+            .verdict;
+        assert!(verdict.is_exact());
+    });
 }
 
 fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
@@ -629,6 +682,13 @@ fn main() {
                     .collect()
             },
         );
+    let deadline_ms: u64 = args
+        .iter()
+        .position(|a| a == "--deadline-ms")
+        .and_then(|i| args.get(i + 1))
+        .map_or(10, |v| {
+            v.trim().parse().expect("--deadline-ms takes milliseconds")
+        });
 
     let mut entries: Vec<Entry> = Vec::new();
     eprintln!(
@@ -642,7 +702,10 @@ fn main() {
     a09(&mut entries, quick, &threads_list);
     a10(&mut entries, quick, &threads_list);
     a11(&mut entries, quick);
+    a12(&mut entries, quick, deadline_ms);
 
+    let governed_over_deadline =
+        find(&entries, "a12_governor", "governed_tight_deadline") / deadline_ms.max(1) as f64;
     let mask_speedup_16 = find(&entries, "a09_mask", "enumeration_cert_16_threads")
         / find(&entries, "a09_mask", "mask_cert_single_pass");
     let mask_speedup_unsupported =
@@ -727,7 +790,11 @@ fn main() {
         "    \"a11_resolve_refine_speedup_over_recompute\": {resolve_refine_speedup:.1},\n"
     ));
     json.push_str(&format!(
-        "    \"a11_insert_refine_speedup_over_recompute\": {insert_refine_speedup:.1}\n"
+        "    \"a11_insert_refine_speedup_over_recompute\": {insert_refine_speedup:.1},\n"
+    ));
+    json.push_str(&format!("    \"a12_deadline_ms\": {deadline_ms},\n"));
+    json.push_str(&format!(
+        "    \"a12_governed_run_over_deadline_ratio\": {governed_over_deadline:.2}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");

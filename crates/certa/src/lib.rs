@@ -59,14 +59,19 @@ pub use certa_workload as workload;
 pub mod pipeline;
 
 pub use pipeline::{
-    Backend, BackendChoice, Explain, Label, LabeledAnswers, Pipeline, PipelineError, Scheme,
+    Backend, BackendChoice, Explain, GovernorReport, Label, LabeledAnswers, Pipeline,
+    PipelineError, Scheme, Verdict,
 };
+
+pub use certa_algebra::governor::{CancelToken, ExecBudget, Governor};
+pub use certa_data::GovernorError;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::pipeline::{
-        Backend, BackendChoice, Explain, Label, LabeledAnswers, Pipeline, Scheme,
+        Backend, BackendChoice, Explain, Label, LabeledAnswers, Pipeline, Scheme, Verdict,
     };
+    pub use certa_algebra::governor::{CancelToken, ExecBudget, Governor};
     pub use certa_algebra::{
         classify, eval, naive_eval, optimize, optimize_with, Condition, Fragment, PreparedQuery,
         PreparedWorldQuery, QueryBuilder, RaExpr, Stats,
@@ -78,6 +83,7 @@ pub mod prelude {
         MaskBatch,
     };
     pub use certa_ctables::{eval_conditional, Strategy};
+    pub use certa_data::GovernorError;
     pub use certa_data::{
         database_from_literal, tup, BagRelation, Const, Database, Relation, Schema, Tuple,
         Valuation, Value,

@@ -30,16 +30,19 @@
 //! | [`Scheme::Approx51`] | `(Qt, Qf)` of Figure 2(a) | `Certain`, `CertainlyFalse` |
 //! | [`Scheme::CTable`] | conditional tables (§4.2) | `Certain`, `Possible` |
 
+use certa_algebra::governor::{self, ExecBudget, Governor, GovernorAccounting};
 use certa_algebra::{
     delta_profile, optimize, AlgebraError, DeltaProfile, PreparedQuery, RaExpr, Stats,
 };
+use certa_certain::cert::CandidateStatus;
 use certa_certain::{CertainError, MaskBatch, PreparedApproxPair, PreparedTranslationPair};
 use certa_ctables::{eval_conditional, CtError, Strategy};
-use certa_data::{Const, Database, Delta, NullId, Relation, Schema, Tuple, Value};
+use certa_data::{Const, Database, Delta, GovernorError, NullId, Relation, Schema, Tuple, Value};
 use certa_sql::lower::LoweredQuery;
 use certa_sql::{lower_to_algebra, parse, SqlError};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which certain-answer machinery evaluates the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +181,44 @@ pub enum Label {
     CertainlyFalse,
 }
 
+/// How much fidelity an answer carries relative to the requested scheme —
+/// the outcome of the **degradation lattice** (`Exact ⊐ Degraded ⊐
+/// Refused`). Under a resource budget ([`Pipeline::set_budget`]) a governor
+/// trip never produces a wrong answer: the dispatcher either falls to
+/// another *exact* backend (still [`Verdict::Exact`]), serves the sound
+/// `(Q+, Q?)` approximation ([`Verdict::Degraded`]), or refuses with the
+/// diagnosis ([`Verdict::Refused`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The answers are exactly what the requested scheme computes.
+    Exact,
+    /// A governor trip forced the dispatcher below the exact backends: the
+    /// answers come from the `(Q+, Q?)` approximation. `Certain` labels are
+    /// still sound (no false positives); `Possible` over-approximates;
+    /// `CertainlyFalse` is not produced. The string says what tripped.
+    Degraded(String),
+    /// Every rung of the lattice tripped the governor (or the approximation
+    /// does not cover the query): no rows, with the full diagnosis.
+    Refused(String),
+}
+
+impl Verdict {
+    /// Whether the answers carry full fidelity for the requested scheme.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Verdict::Exact)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Exact => write!(f, "exact"),
+            Verdict::Degraded(why) => write!(f, "degraded: {why}"),
+            Verdict::Refused(why) => write!(f, "refused: {why}"),
+        }
+    }
+}
+
 /// The labeled result of a pipeline execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabeledAnswers {
@@ -185,6 +226,9 @@ pub struct LabeledAnswers {
     pub columns: Vec<String>,
     /// Answer tuples with their labels, certain tuples first.
     pub rows: Vec<(Tuple, Label)>,
+    /// Fidelity of the answers under the degradation lattice —
+    /// [`Verdict::Exact`] on every ungoverned execution.
+    pub verdict: Verdict,
 }
 
 impl LabeledAnswers {
@@ -246,6 +290,20 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+impl PipelineError {
+    /// The governor trip behind this error, if that is what it is — the
+    /// predicate the degradation lattice branches on. Anything else (a
+    /// parse error, a genuine evaluation failure) is *not* a reason to
+    /// degrade and surfaces unchanged.
+    pub fn governor_trip(&self) -> Option<&GovernorError> {
+        match self {
+            PipelineError::Algebra(e) => e.governor_trip(),
+            PipelineError::Certain(e) => e.governor_trip(),
+            _ => None,
+        }
+    }
+}
+
 impl From<SqlError> for PipelineError {
     fn from(e: SqlError) -> Self {
         PipelineError::Sql(e)
@@ -291,6 +349,8 @@ struct CacheEntry {
     exact: Option<ExactState>,
     /// Refine-vs-recompute decisions taken for this query so far.
     counters: MaintenanceCounters,
+    /// LRU clock value of the last touch, for bounded-cache eviction.
+    last_used: u64,
 }
 
 /// The cached exact answers of one `(query, database-instance)` pair at a
@@ -465,22 +525,152 @@ fn label_rows(
     rows
 }
 
+/// Default bound on the number of cached `(query, schema)` plans — each of
+/// which may hold one instance's cached exact answers, so the bound also
+/// caps answer-cache memory.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
+
+/// The budget and spend of the last governed execution, reported by
+/// [`Pipeline::explain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GovernorReport {
+    /// The configured limits, as [`ExecBudget::describe`].
+    pub budget: String,
+    /// The spent-so-far counters when the execution finished.
+    pub spent: GovernorAccounting,
+}
+
+/// Run one backend attempt with panic isolation: a panic that escapes the
+/// worker pools' own isolation becomes a typed governor error instead of
+/// unwinding through the pipeline with a half-updated cache.
+fn isolated<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(PipelineError::Certain(CertainError::Governor(
+            GovernorError::WorkerPanicked(governor::panic_message(&*payload)),
+        ))),
+    }
+}
+
+/// Run a lower lattice rung under the fallback governor: the request's
+/// deadline and cancel token stay armed, but the resource-shape budgets the
+/// abandoned rung exhausted are lifted — otherwise every fallback would
+/// re-trip at its first checkpoint and the lattice could never degrade
+/// gracefully.
+fn under_fallback_governor<T>(f: impl FnOnce() -> T) -> T {
+    let fallback = governor::current().map(|g| g.for_fallback());
+    let _guard = governor::install(fallback);
+    f()
+}
+
+/// Fall off the bottom of the exact lattice after `trip`: serve the sound
+/// `(Q+, Q?)` approximation under whatever budget remains
+/// ([`Verdict::Degraded`]), or refuse with the full diagnosis when even
+/// that trips or does not cover the query ([`Verdict::Refused`]). Never
+/// caches: only exact answers enter the answer cache.
+fn degrade(
+    entry: &mut CacheEntry,
+    db: &Database,
+    columns: Vec<String>,
+    trip: PipelineError,
+) -> Result<LabeledAnswers> {
+    let Some(trip) = trip.governor_trip().cloned() else {
+        return Err(trip);
+    };
+    let attempt: Result<Vec<(Tuple, Label)>> = under_fallback_governor(|| {
+        isolated(|| {
+            if entry.approx37.is_none() {
+                let pair = certa_certain::approx37::translate(&entry.lowered.expr, &entry.schema)?;
+                entry.approx37 = Some(pair.prepare(&entry.schema)?);
+            }
+            let pair = entry.approx37.as_ref().ok_or_else(|| {
+                PipelineError::Internal(
+                    "the (Q+, Q?) pair vanished between compilation and use".to_string(),
+                )
+            })?;
+            let (plus, question) = pair.eval(db)?;
+            let mut rows: Vec<(Tuple, Label)> =
+                plus.iter().map(|t| (t.clone(), Label::Certain)).collect();
+            rows.extend(
+                question
+                    .iter()
+                    .filter(|t| !plus.contains(t))
+                    .map(|t| (t.clone(), Label::Possible)),
+            );
+            Ok(rows)
+        })
+    });
+    match attempt {
+        Ok(rows) => Ok(LabeledAnswers {
+            columns,
+            rows,
+            verdict: Verdict::Degraded(format!(
+                "exact backends refused ({trip}); serving the (Q+, Q?) approximation"
+            )),
+        }),
+        Err(e) => {
+            let detail = match e.governor_trip() {
+                Some(also) => format!("the (Q+, Q?) approximation refused too ({also})"),
+                None => format!("the (Q+, Q?) approximation is unavailable ({e})"),
+            };
+            Ok(LabeledAnswers {
+                columns,
+                rows: Vec::new(),
+                verdict: Verdict::Refused(format!("exact backends refused ({trip}); {detail}")),
+            })
+        }
+    }
+}
+
 /// The compile-once certain-answer pipeline (see the module docs).
 ///
-/// Holds a plan cache keyed by SQL text: a hit with the same schema reuses
-/// the lowered expression, the physical plan, and any scheme translations
-/// already compiled; a schema change invalidates the entry.
-#[derive(Default)]
+/// Holds a **bounded** plan cache keyed by SQL text: a hit with the same
+/// schema reuses the lowered expression, the physical plan, and any scheme
+/// translations already compiled; a schema change invalidates the entry;
+/// past the capacity the least-recently-used plan (and its cached answers)
+/// is evicted.
 pub struct Pipeline {
     cache: HashMap<String, CacheEntry>,
     hits: usize,
     misses: usize,
+    evictions: usize,
+    capacity: usize,
+    /// Monotone LRU clock: bumped on every cache touch.
+    tick: u64,
+    /// Budget armed (as a fresh [`Governor`]) around every `execute`.
+    budget: Option<ExecBudget>,
+    /// Accounting of the most recent governed execution.
+    last_run: Option<GovernorReport>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: 0,
+            budget: None,
+            last_run: None,
+        }
+    }
 }
 
 impl Pipeline {
-    /// A pipeline with an empty plan cache.
+    /// A pipeline with an empty plan cache of the default capacity.
     pub fn new() -> Self {
         Pipeline::default()
+    }
+
+    /// A pipeline whose plan cache holds at most `capacity` plans
+    /// (clamped to at least 1).
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Pipeline {
+            capacity: capacity.max(1),
+            ..Pipeline::default()
+        }
     }
 
     /// `(cache hits, cache misses)` since construction.
@@ -488,9 +678,55 @@ impl Pipeline {
         (self.hits, self.misses)
     }
 
+    /// Plans evicted from the cache since construction.
+    pub fn cache_evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// The plan cache's capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-bound the plan cache (clamped to at least 1), evicting
+    /// least-recently-used plans immediately if it now overflows.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.cache.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Configure the resource budget applied to every subsequent
+    /// [`Pipeline::execute`] (`None` removes governance). Each execution
+    /// arms a **fresh** [`Governor`] from this budget, so deadlines and
+    /// counters restart per request, while a [`governor::CancelToken`]
+    /// attached to the budget is shared across them all.
+    pub fn set_budget(&mut self, budget: Option<ExecBudget>) {
+        self.budget = budget;
+    }
+
+    /// The configured execution budget, if any.
+    pub fn budget(&self) -> Option<&ExecBudget> {
+        self.budget.as_ref()
+    }
+
     /// Number of cached `(query, schema)` plans.
     pub fn cached_plans(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Drop the least-recently-used plan (and its cached answers).
+    fn evict_lru(&mut self) {
+        let oldest = self
+            .cache
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(key) = oldest {
+            self.cache.remove(&key);
+            self.evictions += 1;
+        }
     }
 
     /// Parse, lower and compile `sql` for `schema`, or reuse the cache.
@@ -510,6 +746,12 @@ impl Pipeline {
             let optimized = optimize(&lowered.expr, schema)?;
             let plain = PreparedQuery::prepare(&optimized, schema)?;
             self.misses += 1;
+            // Replacing an invalidated entry never grows the cache; a
+            // genuinely new query evicts the least-recently-used plan
+            // first when the cache is full.
+            while self.cache.len() >= self.capacity && !self.cache.contains_key(sql) {
+                self.evict_lru();
+            }
             self.cache.insert(
                 sql.to_string(),
                 CacheEntry {
@@ -521,14 +763,19 @@ impl Pipeline {
                     approx51: None,
                     exact: None,
                     counters: MaintenanceCounters::default(),
+                    last_used: 0,
                 },
             );
         }
-        self.cache.get_mut(sql).ok_or_else(|| {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.cache.get_mut(sql).ok_or_else(|| {
             PipelineError::Internal(
                 "plan cache lost the entry that was just compiled or validated".to_string(),
             )
-        })
+        })?;
+        entry.last_used = tick;
+        Ok(entry)
     }
 
     /// Evaluate the query *plainly* (set semantics, nulls as values) through
@@ -546,15 +793,69 @@ impl Pipeline {
     /// Execute `sql` on `db` under the given certainty scheme, returning
     /// labeled answers.
     ///
+    /// When a budget is configured ([`Pipeline::set_budget`]) a fresh
+    /// [`Governor`] is armed around the execution and a trip — deadline,
+    /// budget exhaustion, cancellation, injected fault, or an isolated
+    /// worker panic — degrades down the backend lattice instead of
+    /// erroring: the result is then [`Verdict::Degraded`] or
+    /// [`Verdict::Refused`], never a wrong answer and never a poisoned
+    /// cache entry (a cancelled refine rolls the cache back to
+    /// recompute-on-next-read).
+    ///
     /// # Errors
     ///
     /// Returns an error for malformed SQL, ill-formed lowered queries,
     /// over-bound exact enumerations, or operators outside a scheme's
     /// fragment (e.g. the `⋉⇑` of a lowered `NOT IN` under
-    /// [`Scheme::CTable`]).
+    /// [`Scheme::CTable`]). Governor trips are **not** errors: they come
+    /// back as `Ok` with a non-exact [`Verdict`].
     pub fn execute(&mut self, sql: &str, db: &Database, scheme: Scheme) -> Result<LabeledAnswers> {
+        let governor = self.budget.as_ref().map(Governor::arm);
+        let out = {
+            let _governed = governor::install(governor.clone());
+            self.execute_governed(sql, db, scheme)
+        };
+        if let (Some(g), Some(budget)) = (&governor, &self.budget) {
+            self.last_run = Some(GovernorReport {
+                budget: budget.describe(),
+                spent: g.accounting(),
+            });
+        }
+        match out {
+            Err(e) => match e.governor_trip() {
+                // A trip that escaped the Exact lattice (or hit a scheme
+                // with no lattice below it): refuse with the diagnosis
+                // rather than surface a transient resource condition as a
+                // query error.
+                Some(trip) => Ok(LabeledAnswers {
+                    columns: self
+                        .cache
+                        .get(sql)
+                        .map(|entry| entry.lowered.columns.clone())
+                        .unwrap_or_default(),
+                    rows: Vec::new(),
+                    verdict: Verdict::Refused(trip.to_string()),
+                }),
+                None => Err(e),
+            },
+            ok => ok,
+        }
+    }
+
+    fn execute_governed(
+        &mut self,
+        sql: &str,
+        db: &Database,
+        scheme: Scheme,
+    ) -> Result<LabeledAnswers> {
         let entry = self.entry(sql, db.schema())?;
         let columns = entry.lowered.columns.clone();
+        // Honor cancellation (and an already-spent deadline) at request
+        // entry — right after parse/lower (query-sized work that names
+        // the output columns for the refusal) but before any answer is
+        // computed or served: a cancelled request refuses outright, even
+        // when the answer could come straight from the cache.
+        governor::checkpoint().map_err(|g| PipelineError::Certain(CertainError::Governor(g)))?;
         let (certain, second) = match scheme {
             Scheme::Exact => {
                 // One pass classifies every naïve candidate as certain,
@@ -626,68 +927,59 @@ impl Pipeline {
                             // them on the current database.
                             let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
                             let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
-                            let statuses = mask.batch.classify(&tuples);
+                            let statuses = mask.batch.classify(&tuples)?;
                             let answers = LabeledAnswers {
                                 columns: columns.clone(),
                                 rows: label_rows(tuples, &statuses),
+                                verdict: Verdict::Exact,
                             };
                             state.answers = answers.clone();
                             state.epoch = db.epoch();
                             Ok(answers)
                         })();
-                        return match refined {
+                        match refined {
                             Ok(answers) => {
                                 entry.counters.refined += 1;
                                 entry.counters.delta_merged += merges;
-                                Ok(answers)
+                                return Ok(answers);
                             }
                             Err(e) => {
                                 // The cached masks may be partially mutated:
-                                // drop them rather than serve from them.
+                                // drop them rather than serve from them — the
+                                // next read recomputes from scratch.
                                 entry.exact = None;
-                                Err(e)
+                                if e.governor_trip().is_none() {
+                                    return Err(e);
+                                }
+                                // A governor trip mid-refine rolls back (the
+                                // cache is already dropped) and falls through
+                                // to the recompute path, which degrades down
+                                // the lattice under whatever budget remains.
                             }
-                        };
+                        }
                     }
                     MaintenanceDecision::Recompute { .. } => {}
                 }
                 entry.counters.recomputed += 1;
                 entry.exact = None;
-                let candidates = certa_algebra::naive_eval(&entry.lowered.expr, db)?;
-                let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
                 let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
                 let choice = choose_exact_backend(&spec, db);
+                // Candidate derivation is governed too: a trip here — or in
+                // any exact backend below — falls down the degradation
+                // lattice instead of surfacing as an error.
+                let candidates =
+                    match isolated(|| Ok(certa_algebra::naive_eval(&entry.lowered.expr, db)?)) {
+                        Ok(candidates) => candidates,
+                        Err(e) => return degrade(entry, db, columns, e),
+                    };
+                let tuples: Vec<Tuple> = candidates.iter().cloned().collect();
                 let mut mask_state: Option<MaskState> = None;
-                let statuses = match choice.backend {
-                    Backend::Lineage => {
-                        match certa_certain::cert::classify_candidates_lineage(
-                            &entry.optimized,
-                            db,
-                            &spec,
-                            &tuples,
-                        ) {
-                            Ok(statuses) => statuses,
-                            Err(CertainError::Lineage(e)) if e.is_unsupported() => {
-                                if spec.check(db).is_ok() {
-                                    certa_certain::classify_candidates_mask(
-                                        &entry.plain,
-                                        db,
-                                        &spec,
-                                        &tuples,
-                                    )?
-                                } else {
-                                    certa_certain::cert::classify_candidates(
-                                        &entry.plain,
-                                        db,
-                                        &spec,
-                                        &tuples,
-                                    )?
-                                }
-                            }
-                            Err(e) => return Err(e.into()),
-                        }
-                    }
-                    Backend::Mask => {
+                // The three exact backends, each panic-isolated: a trip in
+                // one rung falls to the next exact rung that can still cover
+                // the instance, and only below the exact rungs to the
+                // approximation (`degrade`).
+                let try_mask = |entry: &CacheEntry| -> Result<(Vec<CandidateStatus>, MaskState)> {
+                    isolated(|| {
                         // Instance-dependent pieces are re-derived here, per
                         // `(instance, epoch)`: the plan is re-optimized with
                         // the instance's statistics (the schema-level
@@ -701,22 +993,128 @@ impl Pipeline {
                             &stats,
                         )?;
                         let batch = MaskBatch::from_prepared(&prepared, db, &spec)?;
-                        let statuses = batch.classify(&tuples);
+                        let statuses = batch.classify(&tuples)?;
                         let profile = delta_profile(prepared.plan());
-                        mask_state = Some(MaskState {
+                        let state = MaskState {
                             spec: spec.clone(),
                             prepared,
                             profile,
                             batch,
-                        });
-                        statuses
-                    }
-                    Backend::WorldEnumeration => {
-                        certa_certain::cert::classify_candidates(&entry.plain, db, &spec, &tuples)?
-                    }
+                        };
+                        Ok((statuses, state))
+                    })
+                };
+                let try_lineage = |entry: &CacheEntry| -> Result<Vec<CandidateStatus>> {
+                    isolated(|| {
+                        Ok(certa_certain::cert::classify_candidates_lineage(
+                            &entry.optimized,
+                            db,
+                            &spec,
+                            &tuples,
+                        )?)
+                    })
+                };
+                let try_enum = |entry: &CacheEntry| -> Result<Vec<CandidateStatus>> {
+                    isolated(|| {
+                        Ok(certa_certain::cert::classify_candidates(
+                            &entry.plain,
+                            db,
+                            &spec,
+                            &tuples,
+                        )?)
+                    })
+                };
+                let statuses = match choice.backend {
+                    Backend::Lineage => match try_lineage(entry) {
+                        Ok(statuses) => statuses,
+                        Err(PipelineError::Certain(CertainError::Lineage(e)))
+                            if e.is_unsupported() =>
+                        {
+                            // Fragment boundary (not a resource trip): the
+                            // mask pass answers within the world bound, the
+                            // enumeration oracle past it — both still exact.
+                            if spec.check(db).is_ok() {
+                                match try_mask(entry) {
+                                    Ok((statuses, state)) => {
+                                        mask_state = Some(state);
+                                        statuses
+                                    }
+                                    Err(e) if e.governor_trip().is_some() => {
+                                        return degrade(entry, db, columns, e)
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            } else {
+                                match try_enum(entry) {
+                                    Ok(statuses) => statuses,
+                                    Err(e) if e.governor_trip().is_some() => {
+                                        return degrade(entry, db, columns, e)
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        Err(e) if e.governor_trip().is_some() => {
+                            // The symbolic backend tripped (node cap,
+                            // deadline, …): the mask pass is the next exact
+                            // rung when the world count fits the bound;
+                            // otherwise degrade to the approximation.
+                            if spec.check(db).is_ok() {
+                                match under_fallback_governor(|| try_mask(entry)) {
+                                    Ok((statuses, state)) => {
+                                        mask_state = Some(state);
+                                        statuses
+                                    }
+                                    Err(e2) if e2.governor_trip().is_some() => {
+                                        return degrade(entry, db, columns, e2)
+                                    }
+                                    Err(e2) => return Err(e2),
+                                }
+                            } else {
+                                return degrade(entry, db, columns, e);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    Backend::Mask => match try_mask(entry) {
+                        Ok((statuses, state)) => {
+                            mask_state = Some(state);
+                            statuses
+                        }
+                        Err(e) if e.governor_trip().is_some() => {
+                            // The mask pass tripped (arena budget, deadline,
+                            // a poisoned morsel, …): the symbolic backend may
+                            // still cover the instance with far fewer
+                            // resources when its diagrams stay small.
+                            match under_fallback_governor(|| try_lineage(entry)) {
+                                Ok(statuses) => statuses,
+                                Err(e2) if e2.governor_trip().is_some() => {
+                                    return degrade(entry, db, columns, e2)
+                                }
+                                // Outside the symbolic fragment: degrade on
+                                // the original trip.
+                                Err(_) => return degrade(entry, db, columns, e),
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    Backend::WorldEnumeration => match try_enum(entry) {
+                        Ok(statuses) => statuses,
+                        Err(e) if e.governor_trip().is_some() => {
+                            return degrade(entry, db, columns, e)
+                        }
+                        Err(e) => return Err(e),
+                    },
                 };
                 let rows = label_rows(tuples, &statuses);
-                let answers = LabeledAnswers { columns, rows };
+                let answers = LabeledAnswers {
+                    columns,
+                    rows,
+                    verdict: Verdict::Exact,
+                };
+                // Only full-fidelity answers are cached: a degraded or
+                // refused result must never be served — let alone refined —
+                // later as if it were exact.
                 entry.exact = Some(ExactState {
                     instance: db.instance(),
                     epoch: db.epoch(),
@@ -731,7 +1129,11 @@ impl Pipeline {
                         certa_certain::approx37::translate(&entry.lowered.expr, &entry.schema)?;
                     entry.approx37 = Some(pair.prepare(&entry.schema)?);
                 }
-                let pair = entry.approx37.as_ref().expect("just compiled");
+                let pair = entry.approx37.as_ref().ok_or_else(|| {
+                    PipelineError::Internal(
+                        "the (Q+, Q?) pair vanished between compilation and use".to_string(),
+                    )
+                })?;
                 let (plus, question) = pair.eval(db)?;
                 (plus, (question, Label::Possible))
             }
@@ -741,7 +1143,11 @@ impl Pipeline {
                         certa_certain::approx51::translate(&entry.lowered.expr, &entry.schema)?;
                     entry.approx51 = Some(pair.prepare(&entry.schema)?);
                 }
-                let pair = entry.approx51.as_ref().expect("just compiled");
+                let pair = entry.approx51.as_ref().ok_or_else(|| {
+                    PipelineError::Internal(
+                        "the (Qt, Qf) pair vanished between compilation and use".to_string(),
+                    )
+                })?;
                 let (q_true, q_false) = pair.eval(db)?;
                 (q_true, (q_false, Label::CertainlyFalse))
             }
@@ -760,7 +1166,11 @@ impl Pipeline {
                 .filter(|t| !certain.contains(t))
                 .map(|t| (t.clone(), rest_label)),
         );
-        Ok(LabeledAnswers { columns, rows })
+        Ok(LabeledAnswers {
+            columns,
+            rows,
+            verdict: Verdict::Exact,
+        })
     }
 
     /// Compile `sql` (or reuse the cache) and report what the optimizer and
@@ -863,6 +1273,10 @@ impl Pipeline {
             backend,
             cache_hits: hits,
             cache_misses: misses,
+            cache_evictions: self.evictions,
+            cache_capacity: self.capacity,
+            budget: self.budget.as_ref().map(ExecBudget::describe),
+            governor: self.last_run.clone(),
             instance_epoch: db.epoch(),
             pending_deltas,
             decision,
@@ -900,6 +1314,15 @@ pub struct Explain {
     pub cache_hits: usize,
     /// Plan-cache misses (compilations) so far.
     pub cache_misses: usize,
+    /// Plans evicted by the cache's LRU bound so far.
+    pub cache_evictions: usize,
+    /// The plan cache's capacity.
+    pub cache_capacity: usize,
+    /// The configured execution budget, described (`None` when the
+    /// pipeline is ungoverned).
+    pub budget: Option<String>,
+    /// Budget and spend of the last governed execution, if any ran.
+    pub governor: Option<GovernorReport>,
     /// The database's mutation epoch at explain time.
     pub instance_epoch: u64,
     /// Deltas logged since the cached exact answers' epoch (`None` when no
@@ -991,11 +1414,25 @@ impl fmt::Display for Explain {
             self.maintenance.delta_merged,
             self.maintenance.recomputed
         )?;
+        writeln!(
+            f,
+            "plan cache: {} hit(s), {} miss(es), {} eviction(s) (capacity {})",
+            self.cache_hits, self.cache_misses, self.cache_evictions, self.cache_capacity
+        )?;
         write!(
             f,
-            "plan cache: {} hit(s), {} miss(es)",
-            self.cache_hits, self.cache_misses
-        )
+            "governor: budget {}",
+            self.budget.as_deref().unwrap_or("unbounded")
+        )?;
+        if let Some(run) = &self.governor {
+            write!(
+                f,
+                "; last governed run ({}) spent {} row(s), {} arena word(s), \
+                 {} diagram node(s)",
+                run.budget, run.spent.rows, run.spent.arena_words, run.spent.nodes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -1352,6 +1789,150 @@ mod tests {
         assert_eq!(refined, fresh);
         // Every order is now certainly paid.
         assert_eq!(refined.certain().len(), 3);
+    }
+
+    #[test]
+    fn ungoverned_executions_carry_the_exact_verdict() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        for scheme in [
+            Scheme::Exact,
+            Scheme::Approx37,
+            Scheme::Approx51,
+            Scheme::CTable(Strategy::Eager),
+        ] {
+            let out = p.execute(UNPAID, &db, scheme).unwrap();
+            assert!(out.verdict.is_exact(), "{scheme:?}: {}", out.verdict);
+        }
+    }
+
+    #[test]
+    fn spent_deadline_refuses_without_erroring_and_without_poisoning_the_cache() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        // A deadline that is already over when the governor arms: every
+        // rung of the lattice trips at its first checkpoint.
+        p.set_budget(Some(
+            ExecBudget::new().with_deadline(std::time::Duration::ZERO),
+        ));
+        let out = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert!(
+            matches!(out.verdict, Verdict::Refused(_)),
+            "{}",
+            out.verdict
+        );
+        assert!(out.rows.is_empty());
+        assert_eq!(out.columns, vec!["Orders.oid"]);
+        // Nothing degraded or refused may enter the answer cache: lifting
+        // the budget must produce the exact answers from scratch.
+        p.set_budget(None);
+        let after = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        let fresh = Pipeline::new().execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(after, fresh);
+        assert!(after.verdict.is_exact());
+    }
+
+    #[test]
+    fn node_budget_trip_degrades_to_the_sound_approximation() {
+        // The 8-null instance dispatches to the lineage backend (beyond the
+        // mask threshold); a node cap of 0 trips it on the first fresh
+        // diagram node, and with the world count over the bound the only
+        // rung left is the (Q+, Q?) approximation.
+        let rows: Vec<Tuple> = (0..8u32)
+            .map(|i| tup![i64::from(i), Value::null(i)])
+            .collect();
+        let db =
+            database_from_literal([("R", vec!["a", "b"], rows), ("S", vec!["b"], vec![tup![1]])]);
+        let sql = "SELECT a FROM R WHERE b <> 1";
+        let mut p = Pipeline::new();
+        p.set_budget(Some(ExecBudget::new().with_node_budget(0)));
+        let out = p.execute(sql, &db, Scheme::Exact).unwrap();
+        let Verdict::Degraded(why) = &out.verdict else {
+            panic!("expected a degraded verdict, got {}", out.verdict);
+        };
+        assert!(why.contains("node"), "{why}");
+        // Soundness: the degraded certain answers are a subset of the exact
+        // ones (here both empty), and every exact certain answer the
+        // approximation can see is at least possible.
+        let exact = Pipeline::new().execute(sql, &db, Scheme::Exact).unwrap();
+        for t in out.certain().iter() {
+            assert!(exact.certain().contains(t));
+        }
+        assert_eq!(out.possible().len(), 8);
+        // The degraded answers were not cached as exact.
+        p.set_budget(None);
+        let after = p.execute(sql, &db, Scheme::Exact).unwrap();
+        assert_eq!(after, exact);
+    }
+
+    #[test]
+    fn cancellation_refuses_and_a_cancelled_refine_rolls_back() {
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        // Make the next request a refine, then cancel before it runs: the
+        // half-mutated cache entry must be dropped, not served.
+        assert_eq!(db.resolve_null(0, certa_data::Const::from("o2")), 1);
+        let token = governor::CancelToken::new();
+        token.cancel();
+        p.set_budget(Some(ExecBudget::new().with_cancel_token(token)));
+        let out = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert!(
+            matches!(out.verdict, Verdict::Refused(_)),
+            "{}",
+            out.verdict
+        );
+        // Recompute-on-next-read: with the budget lifted the answers match
+        // a cold pipeline bit for bit.
+        p.set_budget(None);
+        let after = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        let fresh = Pipeline::new().execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert_eq!(after, fresh);
+        assert_eq!(after.certain(), Relation::from_tuples(vec![tup!["o3"]]));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_past_capacity() {
+        let db = shop();
+        let mut p = Pipeline::with_cache_capacity(2);
+        let q1 = "SELECT oid FROM Orders";
+        let q2 = "SELECT cid FROM Payments";
+        let q3 = "SELECT oid FROM Payments";
+        p.execute(q1, &db, Scheme::Approx37).unwrap();
+        p.execute(q2, &db, Scheme::Approx37).unwrap();
+        // Touch q1 so q2 is the least recently used, then overflow.
+        p.execute(q1, &db, Scheme::Approx37).unwrap();
+        p.execute(q3, &db, Scheme::Approx37).unwrap();
+        assert_eq!(p.cached_plans(), 2);
+        assert_eq!(p.cache_evictions(), 1);
+        // q1 survived (hit); q2 was evicted (miss recompiles).
+        let (hits, misses) = p.cache_stats();
+        p.execute(q1, &db, Scheme::Approx37).unwrap();
+        assert_eq!(p.cache_stats(), (hits + 1, misses));
+        p.execute(q2, &db, Scheme::Approx37).unwrap();
+        assert_eq!(p.cache_stats(), (hits + 1, misses + 1));
+        let ex = p.explain(q1, &db).unwrap();
+        assert!(ex.cache_evictions >= 1);
+        assert_eq!(ex.cache_capacity, 2);
+        assert!(ex.to_string().contains("eviction"), "{ex}");
+    }
+
+    #[test]
+    fn explain_reports_the_budget_and_the_last_governed_run() {
+        let db = shop();
+        let mut p = Pipeline::new();
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert_eq!(ex.budget, None);
+        assert!(ex.governor.is_none());
+        assert!(ex.to_string().contains("governor: budget unbounded"));
+        p.set_budget(Some(ExecBudget::new().with_row_budget(1_000_000)));
+        let out = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        assert!(out.verdict.is_exact(), "{}", out.verdict);
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert_eq!(ex.budget.as_deref(), Some("rows ≤ 1000000"));
+        let run = ex.governor.as_ref().expect("a governed run was recorded");
+        assert!(run.spent.rows > 0);
+        assert!(ex.to_string().contains("last governed run"), "{ex}");
     }
 
     #[test]

@@ -112,10 +112,13 @@ pub fn cert_with_nulls_lineage_with(
 ) -> Result<Relation> {
     let candidates = naive_eval(query, db)?;
     let mut batch = certa_lineage::LineageBatch::compile(query, db, spec.pool())?;
-    Ok(Relation::with_arity(
-        candidates.arity(),
-        candidates.iter().filter(|t| batch.is_certain(t)).cloned(),
-    ))
+    let mut certain = Vec::new();
+    for t in candidates.iter() {
+        if batch.is_certain(t)? {
+            certain.push(t.clone());
+        }
+    }
+    Ok(Relation::with_arity(candidates.arity(), certain))
 }
 
 /// [`classify_candidates`] decided symbolically: one c-table evaluation,
@@ -137,13 +140,12 @@ pub fn classify_candidates_lineage(
     tuples: &[Tuple],
 ) -> Result<Vec<CandidateStatus>> {
     let mut batch = certa_lineage::LineageBatch::compile(query, db, spec.pool())?;
-    Ok(tuples
-        .iter()
-        .map(|t| {
-            let (certain, possible) = batch.status(t);
-            CandidateStatus { certain, possible }
-        })
-        .collect())
+    let mut out = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let (certain, possible) = batch.status(t)?;
+        out.push(CandidateStatus { certain, possible });
+    }
+    Ok(out)
 }
 
 /// Intersection-based certain answers (Definition 3.7):

@@ -86,6 +86,11 @@ pub enum CertainError {
     /// backend. `Lineage(e)` with `e.is_unsupported()` marks a fragment
     /// boundary the dispatcher answers by falling back to enumeration.
     Lineage(certa_lineage::LineageError),
+    /// The resource governor refused further work (deadline, budget,
+    /// cancellation, injected fault, or an isolated worker panic). Always a
+    /// refusal to continue, never a wrong answer; the pipeline answers it
+    /// by degrading down the backend lattice.
+    Governor(certa_data::GovernorError),
 }
 
 impl std::fmt::Display for CertainError {
@@ -101,6 +106,7 @@ impl std::fmt::Display for CertainError {
             CertainError::Algebra(e) => write!(f, "{e}"),
             CertainError::Data(e) => write!(f, "{e}"),
             CertainError::Lineage(e) => write!(f, "{e}"),
+            CertainError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
@@ -109,7 +115,18 @@ impl std::error::Error for CertainError {}
 
 impl From<certa_algebra::AlgebraError> for CertainError {
     fn from(e: certa_algebra::AlgebraError) -> Self {
-        CertainError::Algebra(e)
+        match e {
+            // Normalize governor trips into the one `Governor` variant so
+            // the pipeline's degradation lattice never chases nesting.
+            certa_algebra::AlgebraError::Governor(g) => CertainError::Governor(g),
+            other => CertainError::Algebra(other),
+        }
+    }
+}
+
+impl From<certa_data::GovernorError> for CertainError {
+    fn from(e: certa_data::GovernorError) -> Self {
+        CertainError::Governor(e)
     }
 }
 
@@ -121,7 +138,25 @@ impl From<certa_data::DataError> for CertainError {
 
 impl From<certa_lineage::LineageError> for CertainError {
     fn from(e: certa_lineage::LineageError) -> Self {
-        CertainError::Lineage(e)
+        match e {
+            certa_lineage::LineageError::Exhausted(g) => CertainError::Governor(g),
+            other => CertainError::Lineage(other),
+        }
+    }
+}
+
+impl CertainError {
+    /// The governor trip behind this error, if that is what it is. The
+    /// `From` conversions normalize trips into [`CertainError::Governor`],
+    /// but errors built directly from nested variants are looked through
+    /// too.
+    pub fn governor_trip(&self) -> Option<&certa_data::GovernorError> {
+        match self {
+            CertainError::Governor(g) => Some(g),
+            CertainError::Algebra(e) => e.governor_trip(),
+            CertainError::Lineage(e) => e.governor_trip(),
+            _ => None,
+        }
     }
 }
 

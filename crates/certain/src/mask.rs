@@ -201,14 +201,19 @@ impl MaskBatch {
 
     /// Classify many candidates off this batch, morsel-parallel over its
     /// worker pool.
-    pub fn classify(&self, tuples: &[Tuple]) -> Vec<CandidateStatus> {
-        let chunks = self.pool.run(tuples.len(), |_, range| {
+    ///
+    /// # Errors
+    ///
+    /// [`CertainError::Governor`] when the installed governor trips (or a
+    /// worker panics — isolated by the pool, never unwound across it).
+    pub fn classify(&self, tuples: &[Tuple]) -> Result<Vec<CandidateStatus>> {
+        let chunks = self.pool.try_run(tuples.len(), |_, range| {
             tuples[range]
                 .iter()
                 .map(|t| self.status(t))
                 .collect::<Vec<CandidateStatus>>()
-        });
-        chunks.into_iter().flatten().collect()
+        })?;
+        Ok(chunks.into_iter().flatten().collect())
     }
 
     /// Worlds still live under the restriction (`worlds()` when none).
@@ -364,12 +369,12 @@ pub fn cert_with_nulls_mask_with(
     let candidates = naive_eval(query, db)?;
     let batch = MaskBatch::compile(query, db, spec)?;
     let tuples: Vec<&Tuple> = candidates.iter().collect();
-    let keep = batch.pool().run(tuples.len(), |_, range| {
+    let keep = batch.pool().try_run(tuples.len(), |_, range| {
         tuples[range]
             .iter()
             .map(|t| batch.is_certain(t))
             .collect::<Vec<bool>>()
-    });
+    })?;
     Ok(Relation::with_arity(
         candidates.arity(),
         tuples
@@ -397,7 +402,7 @@ pub fn classify_candidates_mask(
     tuples: &[Tuple],
 ) -> Result<Vec<CandidateStatus>> {
     let batch = MaskBatch::from_prepared(prepared, db, spec)?;
-    Ok(batch.classify(tuples))
+    batch.classify(tuples)
 }
 
 /// Evaluation statistics of one mask-backend pass, reported by

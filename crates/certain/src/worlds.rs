@@ -11,10 +11,11 @@
 //! valuations and over pool valuations agree.
 
 use crate::{CertainError, Result};
-use certa_algebra::RaExpr;
+use certa_algebra::{governor, RaExpr};
 use certa_data::valuation::count_valuations;
-use certa_data::{Const, Database, NullId, Valuation};
+use certa_data::{Const, Database, GovernorError, NullId, Valuation};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default cap on the number of worlds an exact computation may enumerate.
@@ -330,20 +331,42 @@ impl<'a> WorldEngine<'a> {
         }
         let threads = self.threads.clamp(1, self.total);
         if threads == 1 {
-            return self
-                .fold_range(0, self.total, &init, &fold, &absorbing, None)
-                .map(Some);
+            // Panic isolation covers the sequential path too: a poisoned
+            // world (or an injected worker fault) fails the query with a
+            // typed error, never the process.
+            return catch_unwind(AssertUnwindSafe(|| {
+                self.fold_range(0, self.total, &init, &fold, &absorbing, None)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(CertainError::Governor(GovernorError::WorkerPanicked(
+                    governor::panic_message(&*payload),
+                )))
+            })
+            .map(Some);
         }
         let chunk = self.total.div_ceil(threads);
         let stop = AtomicBool::new(false);
+        let shared = governor::current();
         let results: Vec<Result<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
-                    let (init, fold, absorbing, stop) = (&init, &fold, &absorbing, &stop);
+                    let (init, fold, absorbing, stop, shared) =
+                        (&init, &fold, &absorbing, &stop, &shared);
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(self.total);
                     scope.spawn(move || {
-                        let out = self.fold_range(lo, hi, init, fold, absorbing, Some(stop));
+                        // The spawning thread's governor (deadline, budgets,
+                        // cancel token) applies inside every worker.
+                        let _governed = governor::install(shared.clone());
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            self.fold_range(lo, hi, init, fold, absorbing, Some(stop))
+                        }))
+                        .unwrap_or_else(|payload| {
+                            stop.store(true, Ordering::Relaxed);
+                            Err(CertainError::Governor(GovernorError::WorkerPanicked(
+                                governor::panic_message(&*payload),
+                            )))
+                        });
                         // Drain-on-scope-exit: mask buffers recycled on
                         // this worker must not leak past the pool.
                         certa_algebra::mask::arena_drain();
@@ -353,7 +376,16 @@ impl<'a> WorldEngine<'a> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("world evaluation worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // Unreachable in practice (the worker body catches
+                        // its own panics), but a join failure must still be
+                        // a typed error, not a process abort.
+                        Err(CertainError::Governor(GovernorError::WorkerPanicked(
+                            governor::panic_message(&*payload),
+                        )))
+                    })
+                })
                 .collect()
         });
         let mut acc: Option<T> = None;
@@ -390,6 +422,15 @@ impl<'a> WorldEngine<'a> {
         for idx in lo..hi {
             if stop.is_some_and(|s| s.load(Ordering::Relaxed)) || absorbing(&acc) {
                 break;
+            }
+            // Cooperative per-world governance: one relaxed load per world
+            // (the deadline read is amortized inside the checkpoint).
+            if let Err(e) = governor::checkpoint().and(certa_algebra::faultpoint!("worker:worlds"))
+            {
+                if let Some(s) = stop {
+                    s.store(true, Ordering::Relaxed);
+                }
+                return Err(e.into());
             }
             let valuation = self.valuation_at(idx);
             if let Err(e) = fold(&mut acc, &valuation) {

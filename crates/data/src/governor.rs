@@ -1,0 +1,78 @@
+//! Error vocabulary of the resource governor.
+//!
+//! The governor itself (budgets, cancellation tokens, the cooperative
+//! check sites) lives in `certa_algebra::governor`, next to the physical
+//! engine it polices; the error type lives here so every layer — algebra,
+//! lineage, certain, pipeline — can carry a trip through its own error
+//! enum without a dependency cycle.
+//!
+//! A `GovernorError` is always a *refusal to continue*, never a wrong
+//! answer: the execution stack checks budgets cooperatively at operator
+//! boundaries, per morsel, per world chunk, and per diagram node, and the
+//! first trip unwinds as an ordinary error. Partial results are discarded,
+//! not served.
+
+/// Why a governed execution stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GovernorError {
+    /// The budget's shared cancel token was raised.
+    Cancelled,
+    /// The wall-clock deadline of the budget passed.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// More output rows were produced than the budget allows.
+    RowBudgetExhausted {
+        /// The configured row budget.
+        budget: u64,
+    },
+    /// The columnar mask arenas grew past the word budget.
+    ArenaBudgetExhausted {
+        /// The configured arena-word budget.
+        budget: u64,
+    },
+    /// The lineage forest allocated more diagram nodes than budgeted.
+    NodeBudgetExhausted {
+        /// The configured diagram-node budget.
+        budget: u64,
+    },
+    /// A worker thread panicked; the panic was isolated with
+    /// `catch_unwind` and converted into this error instead of tearing
+    /// down the process.
+    WorkerPanicked(String),
+    /// A deterministic fault-injection site fired (only with the
+    /// `fault-injection` feature armed; never in production builds).
+    InjectedFault {
+        /// The site label that fired.
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for GovernorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GovernorError::Cancelled => write!(f, "execution cancelled"),
+            GovernorError::DeadlineExceeded { limit_ms } => {
+                write!(f, "deadline of {limit_ms}ms exceeded")
+            }
+            GovernorError::RowBudgetExhausted { budget } => {
+                write!(f, "row budget of {budget} exhausted")
+            }
+            GovernorError::ArenaBudgetExhausted { budget } => {
+                write!(f, "arena word budget of {budget} exhausted")
+            }
+            GovernorError::NodeBudgetExhausted { budget } => {
+                write!(f, "diagram node budget of {budget} exhausted")
+            }
+            GovernorError::WorkerPanicked(msg) => {
+                write!(f, "worker thread panicked: {msg}")
+            }
+            GovernorError::InjectedFault { site } => {
+                write!(f, "injected fault at `{site}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GovernorError {}

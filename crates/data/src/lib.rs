@@ -31,6 +31,7 @@
 pub mod bag;
 pub mod database;
 pub mod delta;
+pub mod governor;
 pub mod homomorphism;
 pub mod index;
 pub mod relation;
@@ -43,6 +44,7 @@ pub mod value;
 pub use bag::BagRelation;
 pub use database::{database_from_literal, BagDatabase, Database};
 pub use delta::{Delta, DELTA_LOG_CAP};
+pub use governor::GovernorError;
 pub use homomorphism::{find_homomorphism, is_homomorphism, HomKind, Homomorphism};
 pub use index::KeyIndex;
 pub use relation::Relation;

@@ -358,7 +358,7 @@ impl BagLineageBatch {
             let node = if zero_worlds {
                 BOOL_FALSE
             } else {
-                encoding.compile(&mut forest, &ann.cond)
+                encoding.compile(&mut forest, &ann.cond)?
             };
             rows.push((tuple, ann.cond, ann.weight, node));
         }
@@ -407,9 +407,9 @@ impl BagLineageBatch {
                 return Err(LineageError::CountOverflow);
             }
             let matching = Cond::tuple_eq(&self.rows[i].0, tuple);
-            let eq_node = self.encoding.compile(&mut self.forest, &matching);
+            let eq_node = self.encoding.compile(&mut self.forest, &matching)?;
             let row_node = self.rows[i].3;
-            let indicator = self.forest.and(row_node, eq_node);
+            let indicator = self.forest.and(row_node, eq_node)?;
             if indicator == BOOL_FALSE {
                 continue;
             }

@@ -118,7 +118,7 @@ impl LineageBatch {
             let node = if zero_worlds || !build_diagrams {
                 FALSE
             } else {
-                encoding.compile(&mut forest, &ct.cond)
+                encoding.compile(&mut forest, &ct.cond)?
             };
             rows.push((ct.tuple.clone(), ct.cond.clone(), node));
         }
@@ -143,29 +143,39 @@ impl LineageBatch {
     /// resolved (absolute counts keep a factor of `|pool|` per pinned
     /// level, in both numerator and denominator).
     ///
-    /// Returns `false` — leaving the batch untouched — when the null is not
-    /// encoded, the value is outside the pool, or the space is empty; the
-    /// caller must recompile in those cases.
-    pub fn restrict_null(&mut self, null: certa_data::NullId, value: &Const) -> bool {
+    /// Returns `Ok(false)` — leaving the batch untouched — when the null is
+    /// not encoded, the value is outside the pool, or the space is empty;
+    /// the caller must recompile in those cases.
+    ///
+    /// # Errors
+    ///
+    /// [`LineageError::Exhausted`] when the governor trips mid-restriction.
+    /// The batch is left exactly as it was — cofactors are staged and only
+    /// committed on full success, so a cancelled refine never leaves half
+    /// the rows restricted.
+    pub fn restrict_null(&mut self, null: certa_data::NullId, value: &Const) -> Result<bool> {
         assert!(
             self.diagrams_built,
             "LineageBatch: diagram query on a rows-only batch"
         );
         if self.zero_worlds {
-            return false;
+            return Ok(false);
         }
         let Some(level) = self.encoding.level(null) else {
-            return false;
+            return Ok(false);
         };
         let Some(idx) = self.encoding.pool().iter().position(|c| c == value) else {
-            return false;
+            return Ok(false);
         };
+        let mut staged = Vec::with_capacity(self.rows.len());
         for i in 0..self.rows.len() {
-            let node = self.rows[i].2;
-            self.rows[i].2 = self.forest.restrict(node, level, idx);
+            staged.push(self.forest.restrict(self.rows[i].2, level, idx)?);
+        }
+        for (row, node) in self.rows.iter_mut().zip(staged) {
+            row.2 = node;
         }
         self.restrictions.push((level, idx));
-        true
+        Ok(true)
     }
 
     /// Number of world-space restrictions applied so far.
@@ -204,7 +214,11 @@ impl LineageBatch {
     /// A candidate mentioning nulls outside the database can never equal a
     /// fully-valuated answer tuple, so its lineage is `FALSE` — exactly how
     /// the enumeration probe behaves.
-    pub fn lineage_of(&mut self, tuple: &Tuple) -> NodeId {
+    ///
+    /// # Errors
+    ///
+    /// [`LineageError::Exhausted`] when the governor trips mid-build.
+    pub fn lineage_of(&mut self, tuple: &Tuple) -> Result<NodeId> {
         assert!(
             self.diagrams_built,
             "LineageBatch: diagram query on a rows-only batch"
@@ -215,7 +229,7 @@ impl LineageBatch {
             "LineageBatch: candidate arity mismatch"
         );
         if self.zero_worlds || !tuple.nulls().is_subset(&self.db_nulls) {
-            return FALSE;
+            return Ok(FALSE);
         }
         // Fold the most *absorbing* terms first: a row whose tuple is the
         // candidate itself contributes its bare condition (the matching
@@ -247,46 +261,46 @@ impl LineageBatch {
                 continue;
             }
             let matching = Cond::tuple_eq(&self.rows[i].0, tuple);
-            let mut eq_node = self.encoding.compile(&mut self.forest, &matching);
+            let mut eq_node = self.encoding.compile(&mut self.forest, &matching)?;
             // Restriction distributes over ∧/∨: pinning the equality
             // diagrams too makes the disjunction below the restriction of
             // the unrestricted lineage.
             for &(level, value) in &self.restrictions {
-                eq_node = self.forest.restrict(eq_node, level, value);
+                eq_node = self.forest.restrict(eq_node, level, value)?;
             }
-            let conjoined = self.forest.and(row_node, eq_node);
-            out = self.forest.or(out, conjoined);
+            let conjoined = self.forest.and(row_node, eq_node)?;
+            out = self.forest.or(out, conjoined)?;
             if out == TRUE {
                 break;
             }
         }
-        out
+        Ok(out)
     }
 
     /// `(certain, possible)` for a candidate: whether `v(t̄) ∈ Q(v(D))`
     /// holds in every / some world of the pool. With an empty valuation
     /// space the universal quantifier is vacuously true and the existential
     /// one false, matching the world engines.
-    pub fn status(&mut self, tuple: &Tuple) -> (bool, bool) {
+    pub fn status(&mut self, tuple: &Tuple) -> Result<(bool, bool)> {
         assert!(
             self.diagrams_built,
             "LineageBatch: diagram query on a rows-only batch"
         );
         if self.zero_worlds {
-            return (true, false);
+            return Ok((true, false));
         }
-        let node = self.lineage_of(tuple);
-        (self.forest.is_valid(node), self.forest.is_satisfiable(node))
+        let node = self.lineage_of(tuple)?;
+        Ok((self.forest.is_valid(node), self.forest.is_satisfiable(node)))
     }
 
     /// `true` iff the candidate is an answer in every world of the pool.
-    pub fn is_certain(&mut self, tuple: &Tuple) -> bool {
-        self.status(tuple).0
+    pub fn is_certain(&mut self, tuple: &Tuple) -> Result<bool> {
+        Ok(self.status(tuple)?.0)
     }
 
     /// `true` iff the candidate is an answer in no world of the pool.
-    pub fn is_certainly_false(&mut self, tuple: &Tuple) -> bool {
-        !self.status(tuple).1
+    pub fn is_certainly_false(&mut self, tuple: &Tuple) -> Result<bool> {
+        Ok(!self.status(tuple)?.1)
     }
 
     /// Exact `(support, total)` valuation counts for a candidate — the
@@ -304,7 +318,7 @@ impl LineageBatch {
         if self.zero_worlds {
             return Ok((0, 0));
         }
-        let node = self.lineage_of(tuple);
+        let node = self.lineage_of(tuple)?;
         let support = self.forest.count_models(node)?;
         let total = self.forest.valuation_count()?;
         Ok((support, total))
@@ -426,11 +440,11 @@ mod tests {
         let db = diff_db();
         let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
         let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
-        assert_eq!(batch.status(&tup![1]), (false, true));
+        assert_eq!(batch.status(&tup![1]).unwrap(), (false, true));
         // µ over a 4-pool containing 1: 3 of 4 valuations keep the answer.
         assert_eq!(batch.mu_counts(&tup![1]).unwrap(), (3, 4));
         // (2) is never an answer: not in R.
-        assert_eq!(batch.status(&tup![2]), (false, false));
+        assert_eq!(batch.status(&tup![2]).unwrap(), (false, false));
         assert_eq!(batch.mu_counts(&tup![2]).unwrap(), (0, 4));
     }
 
@@ -441,9 +455,9 @@ mod tests {
         let mut batch = LineageBatch::compile(&q, &db, &pool(3)).unwrap();
         // 1 is literally present: certain. The null candidate too (it maps
         // to itself under every valuation).
-        assert!(batch.is_certain(&tup![1]));
-        assert!(batch.is_certain(&tup![Value::null(0)]));
-        assert!(batch.is_certainly_false(&tup![7]));
+        assert!(batch.is_certain(&tup![1]).unwrap());
+        assert!(batch.is_certain(&tup![Value::null(0)]).unwrap());
+        assert!(batch.is_certainly_false(&tup![7]).unwrap());
     }
 
     #[test]
@@ -453,7 +467,7 @@ mod tests {
         let cond = Condition::eq_const(0, 1).or(Condition::neq_const(0, 1));
         let q = RaExpr::rel("S").select(cond);
         let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
-        assert!(batch.is_certain(&tup![Value::null(0)]));
+        assert!(batch.is_certain(&tup![Value::null(0)]).unwrap());
     }
 
     #[test]
@@ -466,11 +480,11 @@ mod tests {
         ]);
         let q = RaExpr::rel("R").intersect(RaExpr::rel("S"));
         let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
-        assert_eq!(batch.status(&tup![1]), (true, true));
-        assert_eq!(batch.status(&tup![Value::null(0)]), (false, true));
+        assert_eq!(batch.status(&tup![1]).unwrap(), (true, true));
+        assert_eq!(batch.status(&tup![Value::null(0)]).unwrap(), (false, true));
         // Over the pool {0, 1, 2, 3}: 2 of 4 valuations hit {1, 2}.
         assert_eq!(batch.mu_counts(&tup![Value::null(0)]).unwrap(), (2, 4));
-        assert_eq!(batch.status(&tup![3]), (false, false));
+        assert_eq!(batch.status(&tup![3]).unwrap(), (false, false));
     }
 
     #[test]
@@ -478,7 +492,7 @@ mod tests {
         let db = diff_db();
         let q = RaExpr::rel("R");
         let mut batch = LineageBatch::compile(&q, &db, &pool(3)).unwrap();
-        assert_eq!(batch.status(&tup![Value::null(9)]), (false, false));
+        assert_eq!(batch.status(&tup![Value::null(9)]).unwrap(), (false, false));
     }
 
     #[test]
@@ -507,7 +521,7 @@ mod tests {
         let db = diff_db();
         let q = RaExpr::rel("S");
         let mut batch = LineageBatch::compile(&q, &db, &[]).unwrap();
-        assert_eq!(batch.status(&tup![1]), (true, false));
+        assert_eq!(batch.status(&tup![1]).unwrap(), (true, false));
         assert_eq!(batch.mu_counts(&tup![1]).unwrap(), (0, 0));
     }
 
@@ -518,7 +532,7 @@ mod tests {
         let q = RaExpr::rel("R").difference(RaExpr::rel("S"));
         for resolved in [1i64, 2] {
             let mut restricted = LineageBatch::compile(&q, &diff_db(), &pool(4)).unwrap();
-            assert!(restricted.restrict_null(0, &Const::Int(resolved)));
+            assert!(restricted.restrict_null(0, &Const::Int(resolved)).unwrap());
             assert_eq!(restricted.restriction_count(), 1);
 
             let mut db = diff_db();
@@ -527,8 +541,8 @@ mod tests {
 
             for t in [tup![1], tup![2], tup![Value::null(0)]] {
                 assert_eq!(
-                    restricted.status(&t),
-                    fresh.status(&t),
+                    restricted.status(&t).unwrap(),
+                    fresh.status(&t).unwrap(),
                     "⊥0 := {resolved}, {t}"
                 );
                 // µ ratios agree even though the restricted batch keeps the
@@ -544,11 +558,11 @@ mod tests {
     fn restriction_rejects_out_of_pool_values_and_foreign_nulls() {
         let q = RaExpr::rel("S");
         let mut batch = LineageBatch::compile(&q, &diff_db(), &pool(3)).unwrap();
-        assert!(!batch.restrict_null(9, &Const::Int(1))); // not encoded
-        assert!(!batch.restrict_null(0, &Const::Int(99))); // outside pool
+        assert!(!batch.restrict_null(9, &Const::Int(1)).unwrap()); // not encoded
+        assert!(!batch.restrict_null(0, &Const::Int(99)).unwrap()); // outside pool
         assert_eq!(batch.restriction_count(), 0);
         // The batch still answers as before.
-        assert!(batch.is_certain(&tup![Value::null(0)]));
+        assert!(batch.is_certain(&tup![Value::null(0)]).unwrap());
     }
 
     #[test]
@@ -561,13 +575,13 @@ mod tests {
         )]);
         let q = RaExpr::rel("R");
         let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
-        assert_eq!(batch.status(&tup![2]), (false, true));
-        assert!(batch.restrict_null(0, &Const::Int(3)));
-        assert_eq!(batch.status(&tup![2]), (false, true));
-        assert!(batch.restrict_null(1, &Const::Int(2)));
-        assert_eq!(batch.status(&tup![2]), (true, true));
-        assert_eq!(batch.status(&tup![3]), (true, true));
-        assert_eq!(batch.status(&tup![1]), (false, false));
+        assert_eq!(batch.status(&tup![2]).unwrap(), (false, true));
+        assert!(batch.restrict_null(0, &Const::Int(3)).unwrap());
+        assert_eq!(batch.status(&tup![2]).unwrap(), (false, true));
+        assert!(batch.restrict_null(1, &Const::Int(2)).unwrap());
+        assert_eq!(batch.status(&tup![2]).unwrap(), (true, true));
+        assert_eq!(batch.status(&tup![3]).unwrap(), (true, true));
+        assert_eq!(batch.status(&tup![1]).unwrap(), (false, false));
         assert_eq!(batch.restriction_count(), 2);
     }
 
@@ -592,7 +606,7 @@ mod tests {
         let mut batch = LineageBatch::compile(&q, &db, &pool(4)).unwrap();
         assert_eq!(batch.world_count().unwrap(), 1u128 << 64);
         // ⊥0 is certain (it is its own witness in every world).
-        assert!(batch.is_certain(&tup![Value::null(0)]));
+        assert!(batch.is_certain(&tup![Value::null(0)]).unwrap());
         // The constant 0 is possible (some null can take it) but not
         // certain, and its exact support is 4^32 − 3^32.
         let (support, total) = batch.mu_counts(&tup![0]).unwrap();

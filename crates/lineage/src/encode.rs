@@ -22,6 +22,7 @@
 //! the raw lineage carries.
 
 use crate::store::{Forest, NodeId, FALSE, TRUE};
+use crate::Result;
 use certa_ctables::cond::CondAtom;
 use certa_ctables::Cond;
 use certa_data::{Const, NullId, Value};
@@ -101,11 +102,16 @@ impl Encoding {
     /// as atoms, so the model set is unchanged), negations are pushed to
     /// the atoms, and the canonicalizing simplifier folds what it can.
     ///
+    /// # Errors
+    ///
+    /// [`crate::LineageError::Exhausted`] when the resource governor's
+    /// node cap (or another budget) trips mid-compilation.
+    ///
     /// # Panics
     ///
     /// Panics if the condition mentions a null outside the encoding — use
     /// [`Encoding::covers`] to pre-check foreign nulls.
-    pub fn compile(&self, forest: &mut Forest, cond: &Cond) -> NodeId {
+    pub fn compile(&self, forest: &mut Forest, cond: &Cond) -> Result<NodeId> {
         let normalized = self.normalize(cond);
         self.compile_raw(forest, &normalized)
     }
@@ -129,49 +135,49 @@ impl Encoding {
         substituted.nnf().simplify()
     }
 
-    fn compile_raw(&self, forest: &mut Forest, cond: &Cond) -> NodeId {
+    fn compile_raw(&self, forest: &mut Forest, cond: &Cond) -> Result<NodeId> {
         match cond {
             // `eval_under` reads a ground `u` as "not satisfied", and the
             // lineage pipeline never produces one (the aware strategy keeps
             // conditions symbolic); mirror `eval_under` defensively.
-            Cond::Truth(Truth3::True) => TRUE,
-            Cond::Truth(_) => FALSE,
+            Cond::Truth(Truth3::True) => Ok(TRUE),
+            Cond::Truth(_) => Ok(FALSE),
             Cond::Atom(atom) => self.compile_atom(forest, atom),
             Cond::Not(c) => {
-                let inner = self.compile_raw(forest, c);
+                let inner = self.compile_raw(forest, c)?;
                 forest.not(inner)
             }
             Cond::And(a, b) => {
-                let (a, b) = (self.compile_raw(forest, a), self.compile_raw(forest, b));
+                let (a, b) = (self.compile_raw(forest, a)?, self.compile_raw(forest, b)?);
                 forest.and(a, b)
             }
             Cond::Or(a, b) => {
-                let (a, b) = (self.compile_raw(forest, a), self.compile_raw(forest, b));
+                let (a, b) = (self.compile_raw(forest, a)?, self.compile_raw(forest, b)?);
                 forest.or(a, b)
             }
         }
     }
 
-    fn compile_atom(&self, forest: &mut Forest, atom: &CondAtom) -> NodeId {
+    fn compile_atom(&self, forest: &mut Forest, atom: &CondAtom) -> Result<NodeId> {
         let (eq, a, b) = match atom {
             CondAtom::Eq(a, b) => (true, a, b),
             CondAtom::Neq(a, b) => (false, a, b),
         };
-        let positive = self.compile_eq(forest, a, b);
+        let positive = self.compile_eq(forest, a, b)?;
         if eq {
-            positive
+            Ok(positive)
         } else {
             forest.not(positive)
         }
     }
 
-    fn compile_eq(&self, forest: &mut Forest, a: &Value, b: &Value) -> NodeId {
+    fn compile_eq(&self, forest: &mut Forest, a: &Value, b: &Value) -> Result<NodeId> {
         match (a, b) {
             (Value::Const(x), Value::Const(y)) => {
                 if x == y {
-                    TRUE
+                    Ok(TRUE)
                 } else {
-                    FALSE
+                    Ok(FALSE)
                 }
             }
             (Value::Null(n), Value::Const(c)) | (Value::Const(c), Value::Null(n)) => {
@@ -180,12 +186,12 @@ impl Encoding {
                     Some(&value) => forest.var_eq_value(level, value),
                     // A constant outside the pool is unreachable by any
                     // pool valuation.
-                    None => FALSE,
+                    None => Ok(FALSE),
                 }
             }
             (Value::Null(n), Value::Null(m)) => {
                 if n == m {
-                    TRUE
+                    Ok(TRUE)
                 } else {
                     let (ln, lm) = (self.level_or_panic(*n), self.level_or_panic(*m));
                     forest.vars_equal(ln, lm)
@@ -226,7 +232,7 @@ mod tests {
     fn agrees_with_enumeration(cond: &Cond, nulls: &[NullId], k: i64) {
         let enc = Encoding::new(pool(k), nulls.to_vec());
         let mut forest = Forest::new(enc.domains());
-        let node = enc.compile(&mut forest, cond);
+        let node = enc.compile(&mut forest, cond).unwrap();
         let set: BTreeSet<NullId> = nulls.iter().copied().collect();
         let mut expected: u128 = 0;
         for v in all_valuations(&set, enc.pool()) {
@@ -267,9 +273,9 @@ mod tests {
         let enc = Encoding::new(pool(5), vec![0]);
         let mut forest = Forest::new(enc.domains());
         let taut = Cond::eq(null(0), int(1)).or(Cond::neq(null(0), int(1)));
-        assert_eq!(enc.compile(&mut forest, &taut), TRUE);
+        assert_eq!(enc.compile(&mut forest, &taut).unwrap(), TRUE);
         let contra = Cond::eq(null(0), int(1)).and(Cond::eq(null(0), int(2)));
-        assert_eq!(enc.compile(&mut forest, &contra), FALSE);
+        assert_eq!(enc.compile(&mut forest, &contra).unwrap(), FALSE);
     }
 
     #[test]
@@ -290,7 +296,7 @@ mod tests {
         for order in [vec![0u32, 1, 2], vec![2, 1, 0], vec![1, 2, 0]] {
             let enc = Encoding::new(pool(3), order.clone());
             let mut forest = Forest::new(enc.domains());
-            let node = enc.compile(&mut forest, &c);
+            let node = enc.compile(&mut forest, &c).unwrap();
             assert_eq!(forest.count_models(node).unwrap(), 6, "order {order:?}");
         }
     }
@@ -308,7 +314,7 @@ mod tests {
         }
         // ...and the compiled diagram counts exactly one model.
         let mut forest = Forest::new(enc.domains());
-        let node = enc.compile(&mut forest, &c);
+        let node = enc.compile(&mut forest, &c).unwrap();
         assert_eq!(forest.count_models(node).unwrap(), 1);
     }
 
@@ -327,7 +333,7 @@ mod tests {
         let enc = Encoding::new(pool(4), vec![0, 1]);
         let mut forest = Forest::new(enc.domains());
         let c = Cond::eq(null(0), null(1)).and(Cond::neq(null(0), int(0)));
-        let node = enc.compile(&mut forest, &c);
+        let node = enc.compile(&mut forest, &c).unwrap();
         let model = forest.any_model(node).expect("satisfiable");
         let mut v = Valuation::new();
         for (level, value) in model.iter().enumerate() {

@@ -71,6 +71,13 @@ pub enum LineageError {
     CTable(certa_ctables::CtError),
     /// An error bubbled up from the algebra layer.
     Algebra(certa_algebra::AlgebraError),
+    /// The resource governor refused further work — node-cap reached,
+    /// deadline passed, or cancellation raised mid-compilation. Like
+    /// [`LineageError::CountOverflow`], exhaustion is a value, never a
+    /// wrong answer; unlike [`LineageError::Unsupported`], it is **not** a
+    /// fragment boundary, so the dispatcher must not retry enumeration
+    /// under the same spent budget as if the query were out of fragment.
+    Exhausted(certa_data::GovernorError),
 }
 
 impl std::fmt::Display for LineageError {
@@ -84,6 +91,7 @@ impl std::fmt::Display for LineageError {
             }
             LineageError::CTable(e) => write!(f, "{e}"),
             LineageError::Algebra(e) => write!(f, "{e}"),
+            LineageError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -106,6 +114,9 @@ impl From<certa_algebra::AlgebraError> for LineageError {
     fn from(e: certa_algebra::AlgebraError) -> Self {
         match e {
             certa_algebra::AlgebraError::UnsupportedOperator(op) => LineageError::Unsupported(op),
+            // Normalize governor trips into the one `Exhausted` variant so
+            // trip detection never has to chase nesting.
+            certa_algebra::AlgebraError::Governor(g) => LineageError::Exhausted(g),
             other => LineageError::Algebra(other),
         }
     }
@@ -116,6 +127,17 @@ impl LineageError {
     /// failure — the dispatcher falls back to enumeration on these.
     pub fn is_unsupported(&self) -> bool {
         matches!(self, LineageError::Unsupported(_))
+    }
+
+    /// The governor trip behind this error, if that is what it is — either
+    /// a direct [`LineageError::Exhausted`] or a trip that surfaced through
+    /// the algebra layer.
+    pub fn governor_trip(&self) -> Option<&certa_data::GovernorError> {
+        match self {
+            LineageError::Exhausted(e) => Some(e),
+            LineageError::Algebra(e) => e.governor_trip(),
+            _ => None,
+        }
     }
 }
 

@@ -137,10 +137,19 @@ impl Forest {
     /// Hash-cons a node, applying the reduction rule (all children equal →
     /// the child itself).
     ///
+    /// # Errors
+    ///
+    /// [`LineageError::Exhausted`] when the installed resource governor
+    /// refuses the allocation — only *fresh* nodes are charged against the
+    /// diagram-node budget; reductions and hash-cons hits are free, so the
+    /// cap measures real growth, not traffic. The same discipline as
+    /// [`LineageError::CountOverflow`]: exhaustion is a value, and a
+    /// half-built diagram is never presented as an answer.
+    ///
     /// # Panics
     ///
     /// Panics if the child count does not match the level's domain size.
-    pub fn mk(&mut self, level: u32, children: Vec<NodeId>) -> NodeId {
+    pub fn mk(&mut self, level: u32, children: Vec<NodeId>) -> Result<NodeId> {
         assert_eq!(
             children.len(),
             self.domains[level as usize],
@@ -148,19 +157,21 @@ impl Forest {
         );
         let first = children[0];
         if children.iter().all(|&c| c == first) {
-            return first;
+            return Ok(first);
         }
         let node = Node {
             level,
             children: children.into_boxed_slice(),
         };
         if let Some(&id) = self.unique.get(&node) {
-            return id;
+            return Ok(id);
         }
+        certa_algebra::governor::consume_nodes(1).map_err(LineageError::Exhausted)?;
+        certa_algebra::faultpoint!("lineage::node").map_err(LineageError::Exhausted)?;
         let id = NodeId::try_from(self.nodes.len()).expect("more than u32::MAX diagram nodes");
         self.nodes.push(node.clone());
         self.unique.insert(node, id);
-        id
+        Ok(id)
     }
 
     /// The generalized cofactor `n|_{x_level = value}`: the diagram of `n`
@@ -174,10 +185,14 @@ impl Forest {
     /// Memoized per `(node, level, value)`; results are hash-consed back
     /// into the store, so counts and apply caches stay valid.
     ///
+    /// # Errors
+    ///
+    /// [`LineageError::Exhausted`] when the governor's node cap trips.
+    ///
     /// # Panics
     ///
     /// Panics if `value` is outside the level's domain.
-    pub fn restrict(&mut self, n: NodeId, level: u32, value: usize) -> NodeId {
+    pub fn restrict(&mut self, n: NodeId, level: u32, value: usize) -> Result<NodeId> {
         assert!(
             value < self.domains[level as usize],
             "Forest::restrict: value out of domain"
@@ -185,14 +200,14 @@ impl Forest {
         // Terminals and nodes testing later levels cannot mention `level`
         // (ordering): they are their own restriction.
         if self.level(n) > level {
-            return n;
+            return Ok(n);
         }
         if self.level(n) == level {
-            return self.nodes[n as usize].children[value];
+            return Ok(self.nodes[n as usize].children[value]);
         }
         let key = (n, level, value);
         if let Some(&r) = self.restrict_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(n);
         let children = (0..self.domains[top as usize])
@@ -200,15 +215,15 @@ impl Forest {
                 let c = self.nodes[n as usize].children[i];
                 self.restrict(c, level, value)
             })
-            .collect::<Vec<_>>();
-        let r = self.mk(top, children);
+            .collect::<Result<Vec<_>>>()?;
+        let r = self.mk(top, children)?;
         self.restrict_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// The diagram of `x_level = value` (an atomic equality against a pool
     /// constant).
-    pub fn var_eq_value(&mut self, level: u32, value: usize) -> NodeId {
+    pub fn var_eq_value(&mut self, level: u32, value: usize) -> Result<NodeId> {
         let children = (0..self.domains[level as usize])
             .map(|i| if i == value { TRUE } else { FALSE })
             .collect();
@@ -222,7 +237,7 @@ impl Forest {
     /// # Panics
     ///
     /// Panics if `a == b` or the domain sizes differ.
-    pub fn vars_equal(&mut self, a: u32, b: u32) -> NodeId {
+    pub fn vars_equal(&mut self, a: u32, b: u32) -> Result<NodeId> {
         assert_ne!(a, b, "Forest::vars_equal: identical levels are just TRUE");
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         assert_eq!(
@@ -230,24 +245,26 @@ impl Forest {
             "Forest::vars_equal: domain sizes must match"
         );
         let k = self.domains[lo as usize];
-        let children = (0..k).map(|i| self.var_eq_value(hi, i)).collect::<Vec<_>>();
+        let children = (0..k)
+            .map(|i| self.var_eq_value(hi, i))
+            .collect::<Result<Vec<_>>>()?;
         self.mk(lo, children)
     }
 
     /// Conjunction.
-    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         if a == FALSE || b == FALSE {
-            return FALSE;
+            return Ok(FALSE);
         }
         if a == TRUE {
-            return b;
+            return Ok(b);
         }
         if b == TRUE || a == b {
-            return a;
+            return Ok(a);
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.and_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(a).min(self.level(b));
         let children = (0..self.domains[top as usize])
@@ -255,26 +272,26 @@ impl Forest {
                 let (ca, cb) = (self.cofactor(a, top, i), self.cofactor(b, top, i));
                 self.and(ca, cb)
             })
-            .collect::<Vec<_>>();
-        let r = self.mk(top, children);
+            .collect::<Result<Vec<_>>>()?;
+        let r = self.mk(top, children)?;
         self.and_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Disjunction.
-    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         if a == TRUE || b == TRUE {
-            return TRUE;
+            return Ok(TRUE);
         }
         if a == FALSE {
-            return b;
+            return Ok(b);
         }
         if b == FALSE || a == b {
-            return a;
+            return Ok(a);
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.or_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(a).min(self.level(b));
         let children = (0..self.domains[top as usize])
@@ -282,20 +299,20 @@ impl Forest {
                 let (ca, cb) = (self.cofactor(a, top, i), self.cofactor(b, top, i));
                 self.or(ca, cb)
             })
-            .collect::<Vec<_>>();
-        let r = self.mk(top, children);
+            .collect::<Result<Vec<_>>>()?;
+        let r = self.mk(top, children)?;
         self.or_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Negation (terminals swap; internal structure is preserved).
-    pub fn not(&mut self, a: NodeId) -> NodeId {
+    pub fn not(&mut self, a: NodeId) -> Result<NodeId> {
         match a {
-            FALSE => TRUE,
-            TRUE => FALSE,
+            FALSE => Ok(TRUE),
+            TRUE => Ok(FALSE),
             _ => {
                 if let Some(&r) = self.not_cache.get(&a) {
-                    return r;
+                    return Ok(r);
                 }
                 let level = self.level(a);
                 let children = (0..self.domains[level as usize])
@@ -303,11 +320,11 @@ impl Forest {
                         let c = self.nodes[a as usize].children[i];
                         self.not(c)
                     })
-                    .collect::<Vec<_>>();
-                let r = self.mk(level, children);
+                    .collect::<Result<Vec<_>>>()?;
+                let r = self.mk(level, children)?;
                 self.not_cache.insert(a, r);
                 self.not_cache.insert(r, a);
-                r
+                Ok(r)
             }
         }
     }
@@ -430,11 +447,11 @@ mod tests {
     fn terminals_and_reduction() {
         let mut f = Forest::new(vec![3, 3]);
         // A node whose children are all equal reduces to the child.
-        assert_eq!(f.mk(0, vec![TRUE, TRUE, TRUE]), TRUE);
-        assert_eq!(f.mk(1, vec![FALSE, FALSE, FALSE]), FALSE);
+        assert_eq!(f.mk(0, vec![TRUE, TRUE, TRUE]).unwrap(), TRUE);
+        assert_eq!(f.mk(1, vec![FALSE, FALSE, FALSE]).unwrap(), FALSE);
         // Hash-consing: the same node twice is the same id.
-        let a = f.mk(0, vec![TRUE, FALSE, FALSE]);
-        let b = f.mk(0, vec![TRUE, FALSE, FALSE]);
+        let a = f.mk(0, vec![TRUE, FALSE, FALSE]).unwrap();
+        let b = f.mk(0, vec![TRUE, FALSE, FALSE]).unwrap();
         assert_eq!(a, b);
         assert_eq!(f.node_count(), 3);
     }
@@ -443,10 +460,10 @@ mod tests {
     fn tautology_compiles_to_true() {
         // x = 0 ∨ x ≠ 0 over a 4-valued variable.
         let mut f = Forest::new(vec![4]);
-        let eq = f.var_eq_value(0, 0);
-        let neq = f.not(eq);
-        let either = f.or(eq, neq);
-        let both = f.and(eq, neq);
+        let eq = f.var_eq_value(0, 0).unwrap();
+        let neq = f.not(eq).unwrap();
+        let either = f.or(eq, neq).unwrap();
+        let both = f.and(eq, neq).unwrap();
         assert_eq!(either, TRUE);
         assert_eq!(both, FALSE);
         assert!(f.is_valid(either));
@@ -458,11 +475,11 @@ mod tests {
         // Three variables with domains 2, 3, 4; condition x0 = 1 tests only
         // level 0, so the count is 1 · 3 · 4 = 12 of 24.
         let mut f = Forest::new(vec![2, 3, 4]);
-        let c = f.var_eq_value(0, 1);
+        let c = f.var_eq_value(0, 1).unwrap();
         assert_eq!(f.count_models(c).unwrap(), 12);
         assert_eq!(f.valuation_count().unwrap(), 24);
         // x1 = x1 is not expressible; x1 = 2 counts 2 · 1 · 4 = 8.
-        let c = f.var_eq_value(1, 2);
+        let c = f.var_eq_value(1, 2).unwrap();
         assert_eq!(f.count_models(c).unwrap(), 8);
         assert_eq!(f.count_models(TRUE).unwrap(), 24);
         assert_eq!(f.count_models(FALSE).unwrap(), 0);
@@ -471,28 +488,28 @@ mod tests {
     #[test]
     fn vars_equal_counts_diagonal() {
         let mut f = Forest::new(vec![5, 5]);
-        let eq = f.vars_equal(0, 1);
+        let eq = f.vars_equal(0, 1).unwrap();
         assert_eq!(f.count_models(eq).unwrap(), 5);
-        let neq = f.not(eq);
+        let neq = f.not(eq).unwrap();
         assert_eq!(f.count_models(neq).unwrap(), 20);
         // Negation is an involution on the stored structure.
-        assert_eq!(f.not(neq), eq);
+        assert_eq!(f.not(neq).unwrap(), eq);
     }
 
     #[test]
     fn apply_respects_ordering_across_levels() {
         let mut f = Forest::new(vec![2, 2, 2]);
-        let a = f.var_eq_value(0, 1);
-        let b = f.var_eq_value(2, 1);
-        let both = f.and(a, b);
+        let a = f.var_eq_value(0, 1).unwrap();
+        let b = f.var_eq_value(2, 1).unwrap();
+        let both = f.and(a, b).unwrap();
         assert_eq!(f.count_models(both).unwrap(), 2); // x1 free
-        let either = f.or(a, b);
+        let either = f.or(a, b).unwrap();
         assert_eq!(f.count_models(either).unwrap(), 6);
         // De Morgan through the store.
-        let na = f.not(a);
-        let nb = f.not(b);
-        let lhs = f.not(either);
-        let rhs = f.and(na, nb);
+        let na = f.not(a).unwrap();
+        let nb = f.not(b).unwrap();
+        let lhs = f.not(either).unwrap();
+        let rhs = f.and(na, nb).unwrap();
         assert_eq!(lhs, rhs);
     }
 
@@ -505,8 +522,8 @@ mod tests {
         // A condition pinning every variable still counts fine: 1 model.
         let mut all = TRUE;
         for level in 0..22 {
-            let eq = f.var_eq_value(level, 7);
-            all = f.and(all, eq);
+            let eq = f.var_eq_value(level, 7).unwrap();
+            all = f.and(all, eq).unwrap();
         }
         assert_eq!(f.count_models(all).unwrap(), 1);
     }
@@ -517,16 +534,16 @@ mod tests {
         // u128 but 120 binary variables count exactly.
         let mut f = Forest::new(vec![2; 120]);
         assert_eq!(f.count_models(TRUE).unwrap(), 1u128 << 120);
-        let pinned = f.var_eq_value(60, 1);
+        let pinned = f.var_eq_value(60, 1).unwrap();
         assert_eq!(f.count_models(pinned).unwrap(), 1u128 << 119);
     }
 
     #[test]
     fn any_model_finds_witnesses() {
         let mut f = Forest::new(vec![3, 3]);
-        let eq = f.vars_equal(0, 1);
-        let x0 = f.var_eq_value(0, 2);
-        let both = f.and(eq, x0);
+        let eq = f.vars_equal(0, 1).unwrap();
+        let x0 = f.var_eq_value(0, 2).unwrap();
+        let both = f.and(eq, x0).unwrap();
         assert_eq!(f.any_model(both), Some(vec![2, 2]));
         assert_eq!(f.any_model(FALSE), None);
         assert_eq!(f.any_model(TRUE), Some(vec![0, 0]));
@@ -535,41 +552,41 @@ mod tests {
     #[test]
     fn restrict_pins_a_level() {
         let mut f = Forest::new(vec![3, 3]);
-        let eq = f.vars_equal(0, 1);
+        let eq = f.vars_equal(0, 1).unwrap();
         // (x0 = x1)|_{x0 = 2} is x1 = 2.
-        let pinned = f.restrict(eq, 0, 2);
-        assert_eq!(pinned, f.var_eq_value(1, 2));
+        let pinned = f.restrict(eq, 0, 2).unwrap();
+        assert_eq!(pinned, f.var_eq_value(1, 2).unwrap());
         // Restricting the *lower* level of the diagonal works through the
         // recursion: (x0 = x1)|_{x1 = 2} is x0 = 2.
-        let pinned = f.restrict(eq, 1, 2);
-        assert_eq!(pinned, f.var_eq_value(0, 2));
+        let pinned = f.restrict(eq, 1, 2).unwrap();
+        assert_eq!(pinned, f.var_eq_value(0, 2).unwrap());
         // A diagram not mentioning the level is untouched.
-        let a = f.var_eq_value(0, 1);
-        assert_eq!(f.restrict(a, 1, 0), a);
+        let a = f.var_eq_value(0, 1).unwrap();
+        assert_eq!(f.restrict(a, 1, 0).unwrap(), a);
         // Terminals are fixed points.
-        assert_eq!(f.restrict(TRUE, 0, 1), TRUE);
-        assert_eq!(f.restrict(FALSE, 1, 2), FALSE);
+        assert_eq!(f.restrict(TRUE, 0, 1).unwrap(), TRUE);
+        assert_eq!(f.restrict(FALSE, 1, 2).unwrap(), FALSE);
     }
 
     #[test]
     fn restrict_distributes_over_connectives() {
         let mut f = Forest::new(vec![2, 2, 2]);
-        let a = f.vars_equal(0, 1);
-        let b = f.var_eq_value(2, 1);
-        let both = f.and(a, b);
-        let either = f.or(a, b);
+        let a = f.vars_equal(0, 1).unwrap();
+        let b = f.var_eq_value(2, 1).unwrap();
+        let both = f.and(a, b).unwrap();
+        let either = f.or(a, b).unwrap();
         for value in 0..2 {
-            let ra = f.restrict(a, 1, value);
-            let rb = f.restrict(b, 1, value);
-            let lhs = f.restrict(both, 1, value);
-            let rhs = f.and(ra, rb);
+            let ra = f.restrict(a, 1, value).unwrap();
+            let rb = f.restrict(b, 1, value).unwrap();
+            let lhs = f.restrict(both, 1, value).unwrap();
+            let rhs = f.and(ra, rb).unwrap();
             assert_eq!(lhs, rhs);
-            let lhs = f.restrict(either, 1, value);
-            let rhs = f.or(ra, rb);
+            let lhs = f.restrict(either, 1, value).unwrap();
+            let rhs = f.or(ra, rb).unwrap();
             assert_eq!(lhs, rhs);
-            let na = f.not(a);
-            let lhs = f.restrict(na, 1, value);
-            let rhs = f.not(ra);
+            let na = f.not(a).unwrap();
+            let lhs = f.restrict(na, 1, value).unwrap();
+            let rhs = f.not(ra).unwrap();
             assert_eq!(lhs, rhs);
         }
     }
@@ -579,22 +596,53 @@ mod tests {
         // Over domains 2·3·4, (x0 = 1 ∧ x1 = 2) restricted at x1 = 2 stops
         // testing x1, so x1 contributes its full factor of 3 to the count.
         let mut f = Forest::new(vec![2, 3, 4]);
-        let a = f.var_eq_value(0, 1);
-        let b = f.var_eq_value(1, 2);
-        let both = f.and(a, b);
+        let a = f.var_eq_value(0, 1).unwrap();
+        let b = f.var_eq_value(1, 2).unwrap();
+        let both = f.and(a, b).unwrap();
         assert_eq!(f.count_models(both).unwrap(), 4);
-        let hit = f.restrict(both, 1, 2);
+        let hit = f.restrict(both, 1, 2).unwrap();
         assert_eq!(f.count_models(hit).unwrap(), 12); // x1 free: 1·3·4
-        let miss = f.restrict(both, 1, 0);
+        let miss = f.restrict(both, 1, 0).unwrap();
         assert_eq!(miss, FALSE);
+    }
+
+    #[test]
+    fn node_cap_trips_as_exhausted_and_cache_hits_are_free() {
+        use certa_algebra::governor::{self, ExecBudget, Governor};
+        use certa_data::GovernorError;
+        // Unbudgeted: the 4-valued diagonal needs 5 fresh nodes.
+        let mut warm = Forest::new(vec![4, 4]);
+        let eq = warm.vars_equal(0, 1).unwrap();
+        let before = warm.node_count();
+        let armed = Governor::arm(&ExecBudget::new().with_node_budget(2));
+        governor::with_governor(&armed, || {
+            // A cold forest trips the 2-node cap with a typed error…
+            let mut cold = Forest::new(vec![4, 4]);
+            match cold.vars_equal(0, 1) {
+                Err(LineageError::Exhausted(GovernorError::NodeBudgetExhausted { budget })) => {
+                    assert_eq!(budget, 2);
+                }
+                other => panic!("expected node-cap Exhausted, got {other:?}"),
+            }
+            // …while rebuilding the already-interned diagonal is pure
+            // hash-cons traffic: free under the same cap.
+            assert_eq!(warm.vars_equal(0, 1).unwrap(), eq);
+        });
+        assert_eq!(warm.node_count(), before);
+        let err = LineageError::Exhausted(GovernorError::NodeBudgetExhausted { budget: 2 });
+        assert!(
+            !err.is_unsupported(),
+            "exhaustion is not a fragment boundary"
+        );
+        assert!(err.governor_trip().is_some());
     }
 
     #[test]
     fn size_measures_one_diagram_not_the_store() {
         let mut f = Forest::new(vec![2, 2]);
-        let a = f.var_eq_value(0, 0);
-        let b = f.var_eq_value(1, 0);
-        let both = f.and(a, b);
+        let a = f.var_eq_value(0, 0).unwrap();
+        let b = f.var_eq_value(1, 0).unwrap();
+        let both = f.and(a, b).unwrap();
         assert_eq!(f.size(a), 3); // node + two terminals
         assert!(f.size(both) >= f.size(a));
         assert!(f.node_count() >= f.size(both));

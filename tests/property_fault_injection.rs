@@ -1,0 +1,222 @@
+//! Deterministic fault-injection property tests (PR 8).
+//!
+//! With the `fault-injection` feature, every `faultpoint!` site in the
+//! backends fires from a seeded schedule: as a typed
+//! `GovernorError::InjectedFault` everywhere, and as an injected *panic*
+//! at `worker:`-prefixed sites (which must be absorbed by `catch_unwind`
+//! isolation and re-surface as `GovernorError::WorkerPanicked`).
+//!
+//! The claims, across ~200 seeded schedules mixed with governed budgets:
+//!
+//! * a faulted execution never panics out of the pipeline and never
+//!   aborts the process — it refuses, degrades, falls back to another
+//!   exact backend, or (rarely) survives untouched;
+//! * whatever the faults did, an `Exact` verdict is bit-identical to a
+//!   fault-free scratch oracle — injected faults never corrupt answers;
+//! * disarming the schedule fully heals the pipeline: the same warm
+//!   instance then reproduces the oracle, so no cache entry was poisoned
+//!   by a faulted run.
+//!
+//! The schedule is process-global (worker threads must see it), so this
+//! binary keeps everything in one `#[test]` — `cargo test` runs other
+//! binaries in separate processes and is unaffected.
+//!
+//! Without the feature this file compiles to an empty test binary.
+#![cfg(feature = "fault-injection")]
+
+use certa::algebra::governor::{arm_faults, disarm_faults};
+use certa::prelude::*;
+use rand::prelude::*;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The fault schedule is process-global and the harness runs `#[test]`s
+/// concurrently: serialize every test that arms it.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn db_config(seed: u64) -> RandomDbConfig {
+    RandomDbConfig {
+        relations: vec![
+            ("R".to_string(), 2),
+            ("S".to_string(), 1),
+            ("T".to_string(), 3),
+        ],
+        tuples_per_relation: 4,
+        domain_size: 4,
+        null_count: 3,
+        null_rate: 0.3,
+        seed,
+    }
+}
+
+/// Degraded answers must stay sound against the fault-free oracle.
+fn assert_degraded_sound(degraded: &LabeledAnswers, oracle: &LabeledAnswers, context: &str) {
+    let exact_certain = oracle.certain();
+    for t in degraded.certain().iter() {
+        assert!(
+            exact_certain.contains(t),
+            "{context}: degraded Certain {t} is not certain"
+        );
+    }
+    for t in exact_certain.iter() {
+        assert!(
+            degraded.rows.iter().any(|(u, _)| u == t),
+            "{context}: certain answer {t} vanished from the degraded rows"
+        );
+    }
+}
+
+#[test]
+fn injected_faults_never_corrupt_answers_or_caches() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut survived = 0usize;
+    let mut disrupted = 0usize;
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+        let mut db = random_database(&db_config(seed));
+        let sql = certa::workload::random_sql(
+            db.schema(),
+            &certa::workload::RandomSqlConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        // Fault-free scratch oracle; skip statements the exact backends
+        // cannot answer at all.
+        let Ok(oracle) = Pipeline::new().execute(&sql, &db, Scheme::Exact) else {
+            continue;
+        };
+        let mut warm = Pipeline::new();
+        warm.execute(&sql, &db, Scheme::Exact).unwrap();
+        // Half the runs mutate the database first, so the faulted request
+        // interrupts a cache refine rather than a cold compute.
+        let oracle = if rng.gen_bool(0.5) {
+            let nulls: Vec<_> = db.nulls().into_iter().collect();
+            if !nulls.is_empty() {
+                let null = nulls[rng.gen_range(0..nulls.len())];
+                assert!(db.resolve_null(null, Const::from(rng.gen_range(0i64..4))) > 0);
+            }
+            match Pipeline::new().execute(&sql, &db, Scheme::Exact) {
+                Ok(o) => o,
+                Err(_) => continue,
+            }
+        } else {
+            oracle
+        };
+        // Half the runs also carry a (generous) budget, so governor
+        // accounting and fault handling are exercised together.
+        if rng.gen_bool(0.5) {
+            warm.set_budget(Some(
+                ExecBudget::new()
+                    .with_deadline(Duration::from_secs(60))
+                    .with_row_budget(1 << 40),
+            ));
+        }
+
+        arm_faults(seed, rng.gen_range(1..6));
+        let outcome = warm.execute(&sql, &db, Scheme::Exact);
+        disarm_faults();
+
+        match outcome {
+            Ok(answers) => match &answers.verdict {
+                Verdict::Exact => {
+                    assert_eq!(
+                        answers, oracle,
+                        "seed {seed}: a faulted exact run differs from the oracle\n  {sql}\non\n{db}"
+                    );
+                    survived += 1;
+                }
+                Verdict::Degraded(_) => {
+                    assert_degraded_sound(&answers, &oracle, &format!("seed {seed} ({sql})"));
+                    disrupted += 1;
+                }
+                Verdict::Refused(_) => {
+                    assert!(answers.rows.is_empty(), "seed {seed}: refused with rows");
+                    disrupted += 1;
+                }
+            },
+            // Only typed governor failures may escape — never a panic
+            // (which would have aborted this test), never a plain error
+            // invented by a half-finished operator.
+            Err(e) => {
+                assert!(
+                    e.governor_trip().is_some(),
+                    "seed {seed}: a faulted run surfaced a non-governor error: {e}"
+                );
+                disrupted += 1;
+            }
+        }
+
+        // Disarmed, the warm pipeline must heal completely: bit-identical
+        // to the fault-free oracle, proving no cache entry was poisoned.
+        warm.set_budget(None);
+        let healed = warm.execute(&sql, &db, Scheme::Exact).unwrap();
+        assert_eq!(
+            healed, oracle,
+            "seed {seed}: the cache stayed poisoned after disarming faults\n  {sql}\non\n{db}"
+        );
+    }
+    // The schedules must both hit and miss: all-quiet or all-noise means
+    // the harness is not exercising the lattice.
+    assert!(survived > 0, "no faulted run survived to an exact answer");
+    assert!(disrupted > 0, "no fault ever disrupted a run");
+}
+
+/// The same worker fault schedule at 1, 2 and 8 workers: the morsel pool
+/// must convert injected worker panics into typed errors at every width
+/// (the 1-worker path has no threads to hide behind).
+#[test]
+fn injected_worker_panics_are_isolated_at_every_pool_width() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut tripped = 0usize;
+    for seed in 200..280u64 {
+        let db = random_database(&db_config(seed));
+        let query = random_query(
+            db.schema(),
+            &RandomQueryConfig {
+                max_depth: 2,
+                allow_difference: true,
+                allow_disequality: true,
+                seed,
+            },
+        );
+        let spec = certa::certain::worlds::exact_pool(&query, &db);
+        if spec.check(&db).is_err() {
+            continue;
+        }
+        let Ok(prepared) = PreparedQuery::prepare(&query, db.schema()) else {
+            continue;
+        };
+        let tuples: Vec<Tuple> = naive_eval(&query, &db)
+            .unwrap()
+            .iter()
+            .take(3)
+            .cloned()
+            .collect();
+        let Ok(reference_batch) = MaskBatch::from_prepared(&prepared, &db, &spec) else {
+            continue;
+        };
+        let reference = reference_batch.classify(&tuples).unwrap();
+        for workers in [1usize, 2, 8] {
+            arm_faults(seed.wrapping_mul(31).wrapping_add(workers as u64), 2);
+            let outcome =
+                MaskBatch::from_prepared(&prepared, &db, &spec.clone().with_threads(workers))
+                    .and_then(|batch| batch.classify(&tuples));
+            disarm_faults();
+            match outcome {
+                Ok(statuses) => assert_eq!(
+                    statuses, reference,
+                    "seed {seed}: faulted mask classification diverged at {workers} workers"
+                ),
+                Err(e) => {
+                    assert!(
+                        e.governor_trip().is_some(),
+                        "seed {seed}: non-governor failure at {workers} workers: {e}"
+                    );
+                    tripped += 1;
+                }
+            }
+        }
+    }
+    assert!(tripped > 0, "no injected fault ever reached the mask layer");
+}

@@ -215,10 +215,10 @@ fn maintained_mask_batches_agree_with_scratch_oracles() {
         let tuples = candidates_for(&query, &db);
 
         // Worker-count invariance of the *maintained* state.
-        let statuses = batches[0].classify(&tuples);
+        let statuses = batches[0].classify(&tuples).unwrap();
         for (w, b) in [1usize, 2, 8].iter().zip(&batches) {
             assert_eq!(
-                b.classify(&tuples),
+                b.classify(&tuples).unwrap(),
                 statuses,
                 "seed {seed}: maintained classification differs at {w} workers for {query} on {db}"
             );
@@ -230,7 +230,7 @@ fn maintained_mask_batches_agree_with_scratch_oracles() {
         // to numerator and denominator).
         let fresh = MaskBatch::from_prepared(&prepared, &db, &spec).unwrap();
         assert_eq!(
-            fresh.classify(&tuples),
+            fresh.classify(&tuples).unwrap(),
             statuses,
             "seed {seed}: maintained vs scratch classification for {query} on {db}"
         );
