@@ -464,12 +464,18 @@ mod faults {
         let Some(schedule) = guard.as_mut() else {
             return Ok(());
         };
+        // Audit trail: every site check under an armed schedule counts, and
+        // every firing is visible as a trace instant + counter even when the
+        // injected error is later swallowed by a fallback path.
+        certa_obs::metrics().add(certa_obs::MetricId::FaultChecks, 1);
         let nth = schedule.calls.entry(site).or_insert(0);
         *nth += 1;
         let h = splitmix(schedule.seed ^ site_hash(site).wrapping_add(*nth));
         if !h.is_multiple_of(schedule.one_in) {
             return Ok(());
         }
+        certa_obs::metrics().add(certa_obs::MetricId::FaultFired, 1);
+        certa_obs::instant_detail("fault:fired", site);
         // Panics are only injected at sites that sit inside catch_unwind
         // isolation (worker loops); everywhere else the fault is a typed
         // error so it exercises the degradation lattice, not abort paths.

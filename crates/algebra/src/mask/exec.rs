@@ -27,7 +27,7 @@ use crate::physical::PhysOp;
 use crate::{AlgebraError, Result};
 use certa_data::index::extract_key;
 use certa_data::{Database, KeyIndex, Tuple, Value};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::hash::{Hash, Hasher};
 
@@ -61,9 +61,10 @@ pub struct ColumnarExec<'a> {
     /// produces exactly the output rows the delta contributes.
     overrides: &'a [(String, certa_data::Relation)],
     profile: bool,
-    rows: Cell<usize>,
-    morsels: Cell<usize>,
-    arena_words: Cell<usize>,
+    /// The one accounting path: a per-run view that mirrors every
+    /// increment into the global `certa_obs` registry. [`ExecStats`] is a
+    /// thin read over it.
+    local: certa_obs::LocalMetrics,
     fingerprints: RefCell<FxHashSet<u64>>,
 }
 
@@ -77,9 +78,7 @@ impl<'a> ColumnarExec<'a> {
             pool,
             overrides: &[],
             profile: false,
-            rows: Cell::new(0),
-            morsels: Cell::new(0),
-            arena_words: Cell::new(0),
+            local: certa_obs::LocalMetrics::new(),
             fingerprints: RefCell::new(FxHashSet::default()),
         }
     }
@@ -114,13 +113,15 @@ impl<'a> ColumnarExec<'a> {
         self.ctx
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far — a thin view over this executor's
+    /// registry-backed per-run metrics.
     pub fn stats(&self) -> ExecStats {
+        use certa_obs::MetricId;
         ExecStats {
-            rows: self.rows.get(),
+            rows: self.local.get(MetricId::MaskRows) as usize,
             distinct_masks: self.fingerprints.borrow().len(),
-            morsels: self.morsels.get(),
-            arena_words: self.arena_words.get(),
+            morsels: self.local.get(MetricId::MaskMorsels) as usize,
+            arena_words: self.local.get(MetricId::MaskArenaWords) as usize,
         }
     }
 
@@ -133,8 +134,25 @@ impl<'a> ColumnarExec<'a> {
     pub fn execute(&self, op: &PhysOp) -> Result<ColumnarRel> {
         governor::checkpoint()?;
         crate::faultpoint!("mask::operator")?;
+        // One span per operator, opened before the children recurse, so the
+        // trace mirrors the plan tree; noop (no clock, no label) untraced.
+        let sp = certa_obs::span(op.span_name());
+        let op_start = if sp.is_recording() {
+            sp.detail(op.label());
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let rel = self.execute_op(op)?;
         governor::consume_rows(rel.len())?;
+        certa_obs::metrics().add(certa_obs::MetricId::MaskOps, 1);
+        sp.add("rows", rel.len() as u64);
+        if let Some(start) = op_start {
+            certa_obs::metrics().observe(
+                certa_obs::HistogramId::MaskOpMicros,
+                start.elapsed().as_micros() as u64,
+            );
+        }
         Ok(rel)
     }
 
@@ -245,9 +263,11 @@ impl<'a> ColumnarExec<'a> {
 
     /// Account one operator output into the counters.
     fn record(&self, rel: &ColumnarRel) {
-        self.rows.set(self.rows.get() + rel.len());
-        self.arena_words
-            .set(self.arena_words.get() + rel.arena().words_len());
+        use certa_obs::MetricId;
+        self.local.add(MetricId::MaskRows, rel.len() as u64);
+        self.local
+            .add(MetricId::MaskArenaWords, rel.arena().words_len() as u64);
+        certa_obs::span_add("arena_words", rel.arena().words_len() as u64);
         if self.profile {
             let mut seen = self.fingerprints.borrow_mut();
             for (_, rm) in rel.rows() {
@@ -259,7 +279,9 @@ impl<'a> ColumnarExec<'a> {
                         w.hash(&mut h);
                     }
                 }
-                seen.insert(h.finish());
+                if seen.insert(h.finish()) {
+                    self.local.add(MetricId::MaskDistinctMasks, 1);
+                }
             }
         }
     }
@@ -272,8 +294,10 @@ impl<'a> ColumnarExec<'a> {
         len: usize,
         f: impl Fn(usize, std::ops::Range<usize>) -> T + Sync,
     ) -> Result<Vec<T>> {
-        self.morsels
-            .set(self.morsels.get() + MorselPool::morsels_for(len));
+        self.local.add(
+            certa_obs::MetricId::MaskMorsels,
+            MorselPool::morsels_for(len) as u64,
+        );
         Ok(self.pool.try_run(len, f)?)
     }
 

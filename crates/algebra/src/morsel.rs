@@ -115,6 +115,15 @@ impl MorselPool {
     {
         let morsels = Self::morsels_for(len);
         let workers = self.threads.min(morsels);
+        // The pool span carries only thread-count-invariant facts (morsel
+        // count); scheduling facts (worker count, claims per worker) go to
+        // the metrics registry so traces stay structurally identical across
+        // 1/2/8-worker runs of the same work.
+        let pool_span = certa_obs::span("morsel:pool");
+        pool_span.add("morsels", morsels as u64);
+        let registry = certa_obs::metrics();
+        registry.add(certa_obs::MetricId::MorselRuns, 1);
+        registry.add(certa_obs::MetricId::MorselWorkers, workers.max(1) as u64);
         if workers <= 1 {
             let mut out = Vec::with_capacity(morsels);
             for m in 0..morsels {
@@ -122,25 +131,33 @@ impl MorselPool {
                 // The faultpoint sits inside the catch_unwind so injected
                 // worker panics surface as typed errors on this path too.
                 let value = catch_unwind(AssertUnwindSafe(|| {
+                    let msp = certa_obs::span("morsel");
+                    msp.add("m", m as u64);
                     crate::faultpoint!("worker:morsel")?;
                     Ok(f(m, Self::morsel_range(m, len)))
                 }))
                 .map_err(|p| GovernorError::WorkerPanicked(governor::panic_message(&*p)))??;
+                registry.add(certa_obs::MetricId::MorselClaimed, 1);
                 out.push(value);
             }
+            registry.observe(certa_obs::HistogramId::MorselsPerWorker, morsels as u64);
             return Ok(out);
         }
         let shared = governor::current();
+        // Workers re-install the spawning thread's trace context alongside
+        // its governor: their morsel spans nest under this pool span.
+        let obs_ctx = certa_obs::context();
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let failure: Mutex<Option<GovernorError>> = Mutex::new(None);
         let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (f, cursor, stop, failure, shared) =
-                        (&f, &cursor, &stop, &failure, &shared);
+                    let (f, cursor, stop, failure, shared, obs_ctx) =
+                        (&f, &cursor, &stop, &failure, &shared, &obs_ctx);
                     scope.spawn(move || {
                         let _governed = governor::install(shared.clone());
+                        let _observed = certa_obs::attach(obs_ctx.as_ref());
                         let mut local: Vec<(usize, T)> = Vec::new();
                         let fail = |e: GovernorError| {
                             stop.store(true, Ordering::Relaxed);
@@ -153,8 +170,12 @@ impl MorselPool {
                             }
                             let m = cursor.fetch_add(1, Ordering::Relaxed);
                             if m >= morsels {
+                                // The cursor is the queue: a fetch past the
+                                // end is this worker's one idle poll.
+                                certa_obs::metrics().add(certa_obs::MetricId::MorselIdlePolls, 1);
                                 break;
                             }
+                            certa_obs::metrics().add(certa_obs::MetricId::MorselClaimed, 1);
                             if let Err(e) = governor::checkpoint() {
                                 fail(e);
                                 break;
@@ -163,6 +184,8 @@ impl MorselPool {
                             // injected panic cannot unwind past the arena
                             // drain below.
                             match catch_unwind(AssertUnwindSafe(|| {
+                                let msp = certa_obs::span("morsel");
+                                msp.add("m", m as u64);
                                 crate::faultpoint!("worker:morsel")?;
                                 Ok(f(m, Self::morsel_range(m, len)))
                             })) {
@@ -182,6 +205,8 @@ impl MorselPool {
                         // Drain-on-scope-exit: blocks recycled on this
                         // worker must not leak past the pool.
                         crate::mask::arena_drain();
+                        certa_obs::metrics()
+                            .observe(certa_obs::HistogramId::MorselsPerWorker, local.len() as u64);
                         local
                     })
                 })

@@ -166,11 +166,41 @@ pub fn optimize(expr: &RaExpr, schema: &Schema) -> Result<RaExpr> {
 /// As [`optimize`].
 pub fn optimize_with(expr: &RaExpr, schema: &Schema, stats: &Stats) -> Result<RaExpr> {
     expr.validate(schema)?;
-    let pushed = push_into(expr.clone(), Vec::new(), schema)?;
-    let reordered = reorder(&pushed, schema, stats)?;
+    // Each rewrite pass is timed into the registry (and spanned when a
+    // trace is ambient): plan preparation is a cold path, so the clock
+    // reads here cost nothing where it matters.
+    let registry = certa_obs::metrics();
+    registry.add(certa_obs::MetricId::OptRuns, 1);
+    let timed = |name: &'static str,
+                 nanos: certa_obs::MetricId,
+                 f: &mut dyn FnMut() -> Result<RaExpr>|
+     -> Result<RaExpr> {
+        let _sp = certa_obs::span(name);
+        let start = std::time::Instant::now();
+        let out = f()?;
+        let spent = start.elapsed();
+        registry.add(nanos, spent.as_nanos() as u64);
+        registry.observe(
+            certa_obs::HistogramId::OptPassMicros,
+            spent.as_micros() as u64,
+        );
+        Ok(out)
+    };
+    let pushed = timed(
+        "opt:pushdown",
+        certa_obs::MetricId::OptPushdownNanos,
+        &mut || push_into(expr.clone(), Vec::new(), schema),
+    )?;
+    let reordered = timed(
+        "opt:reorder",
+        certa_obs::MetricId::OptReorderNanos,
+        &mut || reorder(&pushed, schema, stats),
+    )?;
     let arity = reordered.arity(schema)?;
     let all: BTreeSet<usize> = (0..arity).collect();
-    let pruned = prune(&reordered, &all, schema)?;
+    let pruned = timed("opt:prune", certa_obs::MetricId::OptPruneNanos, &mut || {
+        prune(&reordered, &all, schema)
+    })?;
     debug_assert_eq!(
         pruned.arity(schema)?,
         expr.arity(schema)?,

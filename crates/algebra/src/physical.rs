@@ -675,6 +675,34 @@ pub enum PhysOp {
 }
 
 impl PhysOp {
+    /// The operator's span name for tracing: a `'static` kind tag
+    /// (`"op:Scan"`, …) so opening a span allocates nothing.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            PhysOp::Scan { .. } => "op:Scan",
+            PhysOp::Literal(_) => "op:Literal",
+            PhysOp::Select(..) => "op:Select",
+            PhysOp::Project(..) => "op:Project",
+            PhysOp::HashJoin { .. } => "op:HashJoin",
+            PhysOp::Product(..) => "op:Product",
+            PhysOp::Union(..) => "op:Union",
+            PhysOp::Intersect(..) => "op:Intersect",
+            PhysOp::Difference(..) => "op:Difference",
+            PhysOp::Divide(..) => "op:Divide",
+            PhysOp::DomPower(_) => "op:DomPower",
+            PhysOp::AntiSemiJoinUnify(..) => "op:AntiSemiJoinUnify",
+            PhysOp::Cached { .. } => "op:Cached",
+        }
+    }
+
+    /// This node's header as a single line — the same text [`fmt::Display`]
+    /// prints for it, without the subtree. Used as the span `detail` so
+    /// `EXPLAIN ANALYZE` can annotate the rendered plan line by line.
+    pub fn label(&self) -> String {
+        let rendered = self.to_string();
+        rendered.lines().next().unwrap_or_default().to_string()
+    }
+
     fn render(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         match self {
@@ -902,6 +930,16 @@ where
     // metered against the row budget below.
     crate::governor::checkpoint()?;
     crate::faultpoint!("physical::operator")?;
+    // One span per operator node, opened before the children recurse so the
+    // span tree mirrors the plan tree. With no ambient trace this is the
+    // noop path: no clock read, no label rendering.
+    let sp = certa_obs::span(op.span_name());
+    let op_start = if sp.is_recording() {
+        sp.detail(op.label());
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let (kind, rel) = match op {
         PhysOp::Cached { slot } => {
             let rel = cache
@@ -997,7 +1035,17 @@ where
         }
     };
     crate::governor::consume_rows(rel.len())?;
-    Ok(hook(kind, rel))
+    let rel = hook(kind, rel);
+    certa_obs::metrics().add(certa_obs::MetricId::PhysOps, 1);
+    certa_obs::metrics().add(certa_obs::MetricId::PhysRows, rel.len() as u64);
+    sp.add("rows", rel.len() as u64);
+    if let Some(start) = op_start {
+        certa_obs::metrics().observe(
+            certa_obs::HistogramId::PhysOpMicros,
+            start.elapsed().as_micros() as u64,
+        );
+    }
+    Ok(rel)
 }
 
 fn require_extended<A: Annotation>(name: &'static str) -> Result<()> {

@@ -13,7 +13,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--quick] [--out PATH] [--threads N,N,...] [--deadline-ms N]
+//! bench_json [--quick] [--out PATH] [--threads N,N,...] [--deadline-ms N] [--profile]
 //! ```
 //!
 //! `--quick` shrinks every workload to smoke-test size (used by CI so the
@@ -29,6 +29,15 @@
 //! verdict — the emitter asserts this before timing, proving degraded
 //! runs terminate and still emit valid JSON. Default output path is
 //! `BENCH_7.json` in the current directory.
+//!
+//! `--profile` additionally (1) attaches per-ablation metric-registry
+//! deltas to the output under a `"profile"` key, (2) records one traced
+//! a10 columnar run and writes it as Chrome `chrome://tracing` JSON next
+//! to the output (`<out>.trace.json`), asserting every child span nests
+//! inside its parent's time bounds, and (3) asserts the **disabled**
+//! tracing overhead: the measured cost of a noop span (no trace
+//! installed), multiplied by the span count a traced a10 run records,
+//! must stay ≤ 2% of the untraced a10 columnar median.
 
 use certa::algebra::physical::SetSource;
 use certa::certain::cert::{
@@ -653,6 +662,107 @@ fn a12(out: &mut Vec<Entry>, quick: bool, deadline_ms: u64) {
     });
 }
 
+/// Run one ablation, optionally bracketing it with registry snapshots so
+/// its metric spend (counters + histogram buckets it moved) lands in the
+/// `"profile"` section of the output.
+fn with_profile(
+    profile: bool,
+    name: &'static str,
+    profiles: &mut Vec<(&'static str, String)>,
+    f: impl FnOnce(),
+) {
+    let before = profile.then(|| certa::obs::metrics().snapshot());
+    f();
+    if let Some(before) = before {
+        let delta = certa::obs::metrics().snapshot().delta(&before);
+        profiles.push((name, delta.to_json()));
+    }
+}
+
+/// The `--profile` trace + overhead story on the a10 columnar workload:
+/// record one traced run, validate span nesting, export Chrome JSON, and
+/// assert the projected disabled-tracing overhead stays within 2% of the
+/// untraced median. Returns the `"trace"` JSON fragment.
+fn profile_trace(quick: bool, out_path: &str) -> String {
+    use certa::obs;
+
+    let (db, query, spec) = mask_workload(quick);
+    let spec2 = spec.clone().with_threads(2);
+
+    // Untraced median: the production configuration (metrics always on,
+    // spans on the noop path).
+    let disabled_ms = time_ms(10, || {
+        cert_with_nulls_mask_with(&query, &db, &spec2).unwrap();
+    });
+
+    // One traced run of the same workload.
+    let trace = obs::Trace::new();
+    {
+        let _installed = obs::install(Some(trace.clone()));
+        let _root = obs::span("profile:a10_columnar_cert");
+        cert_with_nulls_mask_with(&query, &db, &spec2).unwrap();
+    }
+    let events = trace.events();
+    let span_count = trace.span_count();
+    assert!(span_count > 0, "the traced a10 run must record spans");
+
+    // Every child span must nest inside its parent's time bounds — the
+    // same invariant a Chrome-trace viewer relies on to build flame rows.
+    let bounds: std::collections::HashMap<u64, (u64, u64)> = events
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::Complete)
+        .map(|e| (e.id, (e.ts_us, e.ts_us + e.dur_us)))
+        .collect();
+    for e in &events {
+        if e.kind != obs::EventKind::Complete || e.parent == 0 {
+            continue;
+        }
+        let (pstart, pend) = bounds
+            .get(&e.parent)
+            .unwrap_or_else(|| panic!("span {} has an unrecorded parent {}", e.id, e.parent));
+        assert!(
+            e.ts_us >= *pstart && e.ts_us + e.dur_us <= *pend,
+            "span {} [{}..{}] escapes its parent {} [{pstart}..{pend}]",
+            e.id,
+            e.ts_us,
+            e.ts_us + e.dur_us,
+            e.parent
+        );
+    }
+
+    let trace_path = format!("{out_path}.trace.json");
+    std::fs::write(&trace_path, trace.to_chrome_json())
+        .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+    eprintln!("  profile: wrote {trace_path} ({span_count} span(s))");
+
+    // The disabled-overhead budget: cost of a span when no trace is
+    // installed, times the spans an enabled run would have opened.
+    let noop_iters: u64 = 2_000_000;
+    let start = Instant::now();
+    for _ in 0..noop_iters {
+        std::hint::black_box(obs::span("noop_overhead_probe"));
+    }
+    let noop_ns = start.elapsed().as_nanos() as f64 / noop_iters as f64;
+    let projected_ms = (span_count as f64 * noop_ns) / 1e6;
+    let overhead_pct = 100.0 * projected_ms / disabled_ms;
+    eprintln!(
+        "  profile: noop span {noop_ns:.1} ns, {span_count} span(s)/run, \
+         projected disabled overhead {projected_ms:.4} ms over {disabled_ms:.3} ms \
+         ({overhead_pct:.3}%)"
+    );
+    assert!(
+        overhead_pct <= 2.0,
+        "disabled tracing overhead {overhead_pct:.3}% exceeds the 2% budget \
+         ({span_count} spans x {noop_ns:.1} ns over {disabled_ms:.3} ms)"
+    );
+
+    format!(
+        "{{\"chrome_trace\": \"{trace_path}\", \"spans_per_run\": {span_count}, \
+         \"noop_span_ns\": {noop_ns:.2}, \"disabled_run_ms\": {disabled_ms:.4}, \
+         \"disabled_overhead_pct\": {overhead_pct:.4}, \"overhead_budget_pct\": 2.0}}"
+    )
+}
+
 fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
     entries
         .iter()
@@ -664,6 +774,7 @@ fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -691,18 +802,32 @@ fn main() {
         });
 
     let mut entries: Vec<Entry> = Vec::new();
+    let mut ablation_metrics: Vec<(&'static str, String)> = Vec::new();
     eprintln!(
-        "running ablations ({}, worker sweep {threads_list:?}):",
-        if quick { "quick" } else { "full" }
+        "running ablations ({}, worker sweep {threads_list:?}{}):",
+        if quick { "quick" } else { "full" },
+        if profile { ", profiled" } else { "" }
     );
-    a05(&mut entries, quick);
-    a06(&mut entries, quick);
-    a07(&mut entries, quick);
-    a08(&mut entries, quick);
-    a09(&mut entries, quick, &threads_list);
-    a10(&mut entries, quick, &threads_list);
-    a11(&mut entries, quick);
-    a12(&mut entries, quick, deadline_ms);
+    let m = &mut ablation_metrics;
+    with_profile(profile, "a05_physical_engine", m, || {
+        a05(&mut entries, quick)
+    });
+    with_profile(profile, "a06_prepared_worlds", m, || {
+        a06(&mut entries, quick)
+    });
+    with_profile(profile, "a07_optimizer", m, || a07(&mut entries, quick));
+    with_profile(profile, "a08_lineage", m, || a08(&mut entries, quick));
+    with_profile(profile, "a09_mask", m, || {
+        a09(&mut entries, quick, &threads_list);
+    });
+    with_profile(profile, "a10_columnar", m, || {
+        a10(&mut entries, quick, &threads_list);
+    });
+    with_profile(profile, "a11_incremental", m, || a11(&mut entries, quick));
+    with_profile(profile, "a12_governor", m, || {
+        a12(&mut entries, quick, deadline_ms);
+    });
+    let trace_fragment = profile.then(|| profile_trace(quick, &out_path));
 
     let governed_over_deadline =
         find(&entries, "a12_governor", "governed_tight_deadline") / deadline_ms.max(1) as f64;
@@ -796,8 +921,25 @@ fn main() {
     json.push_str(&format!(
         "    \"a12_governed_run_over_deadline_ratio\": {governed_over_deadline:.2}\n"
     ));
-    json.push_str("  }\n");
-    json.push_str("}\n");
+    json.push_str("  }");
+    if let Some(trace_fragment) = &trace_fragment {
+        json.push_str(",\n  \"profile\": {\n");
+        json.push_str(&format!("    \"trace\": {trace_fragment},\n"));
+        json.push_str("    \"ablation_metrics\": {\n");
+        for (i, (name, delta)) in ablation_metrics.iter().enumerate() {
+            json.push_str(&format!(
+                "      \"{name}\": {delta}{}\n",
+                if i + 1 < ablation_metrics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("    }\n");
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");

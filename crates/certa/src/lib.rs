@@ -53,14 +53,15 @@ pub use certa_ctables as ctables;
 pub use certa_data as data;
 pub use certa_lineage as lineage;
 pub use certa_logic as logic;
+pub use certa_obs as obs;
 pub use certa_sql as sql;
 pub use certa_workload as workload;
 
 pub mod pipeline;
 
 pub use pipeline::{
-    Backend, BackendChoice, Explain, GovernorReport, Label, LabeledAnswers, Pipeline,
-    PipelineError, Scheme, Verdict,
+    Backend, BackendChoice, Explain, ExplainAnalyze, GovernorReport, Label, LabeledAnswers,
+    MaintenanceTotals, OpReport, Pipeline, PipelineError, Scheme, Verdict,
 };
 
 pub use certa_algebra::governor::{CancelToken, ExecBudget, Governor};

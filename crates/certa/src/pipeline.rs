@@ -38,11 +38,15 @@ use certa_certain::cert::CandidateStatus;
 use certa_certain::{CertainError, MaskBatch, PreparedApproxPair, PreparedTranslationPair};
 use certa_ctables::{eval_conditional, CtError, Strategy};
 use certa_data::{Const, Database, Delta, GovernorError, NullId, Relation, Schema, Tuple, Value};
+use certa_obs::{self as obs, MetricId};
 use certa_sql::lower::LoweredQuery;
 use certa_sql::{lower_to_algebra, parse, SqlError};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::time::Instant;
 
 /// Which certain-answer machinery evaluates the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -577,6 +581,10 @@ fn degrade(
     let Some(trip) = trip.governor_trip().cloned() else {
         return Err(trip);
     };
+    let degrade_span = obs::span("degrade:approx37");
+    if degrade_span.is_recording() {
+        degrade_span.detail(trip.to_string());
+    }
     let attempt: Result<Vec<(Tuple, Label)>> = under_fallback_governor(|| {
         isolated(|| {
             if entry.approx37.is_none() {
@@ -641,6 +649,37 @@ pub struct Pipeline {
     budget: Option<ExecBudget>,
     /// Accounting of the most recent governed execution.
     last_run: Option<GovernorReport>,
+    /// Pipeline-lifetime maintenance counters. Unlike the per-entry
+    /// [`MaintenanceCounters`], these survive LRU eviction, so operators
+    /// can trend served/refined/recomputed across requests. Shared via
+    /// `Rc<Cell<..>>` so decision sites can bump them while a cache entry
+    /// is mutably borrowed.
+    lifetime: Rc<LifetimeCells>,
+}
+
+#[derive(Debug, Default)]
+struct LifetimeCells {
+    served: Cell<u64>,
+    refined: Cell<u64>,
+    delta_merged: Cell<u64>,
+    recomputed: Cell<u64>,
+}
+
+/// Pipeline-lifetime cumulative maintenance totals (never reset by LRU
+/// eviction), reported by [`Pipeline::maintenance_totals`] and
+/// [`Pipeline::explain`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceTotals {
+    /// Answers served straight from a cache entry, across all entries ever.
+    pub served: u64,
+    /// In-place refinements, across all entries ever.
+    pub refined: u64,
+    /// Insert-delta merges performed during refinements.
+    pub delta_merged: u64,
+    /// Full recomputations, across all entries ever.
+    pub recomputed: u64,
+    /// Plans (with their cached answers and per-entry counters) evicted.
+    pub evicted: u64,
 }
 
 impl Default for Pipeline {
@@ -654,6 +693,7 @@ impl Default for Pipeline {
             tick: 0,
             budget: None,
             last_run: None,
+            lifetime: Rc::new(LifetimeCells::default()),
         }
     }
 }
@@ -681,6 +721,19 @@ impl Pipeline {
     /// Plans evicted from the cache since construction.
     pub fn cache_evictions(&self) -> usize {
         self.evictions
+    }
+
+    /// Pipeline-lifetime cumulative maintenance totals: unlike the
+    /// per-entry counters in [`Explain::maintenance`], these survive LRU
+    /// eviction of the entries that produced them.
+    pub fn maintenance_totals(&self) -> MaintenanceTotals {
+        MaintenanceTotals {
+            served: self.lifetime.served.get(),
+            refined: self.lifetime.refined.get(),
+            delta_merged: self.lifetime.delta_merged.get(),
+            recomputed: self.lifetime.recomputed.get(),
+            evicted: self.evictions as u64,
+        }
     }
 
     /// The plan cache's capacity.
@@ -726,6 +779,8 @@ impl Pipeline {
         if let Some(key) = oldest {
             self.cache.remove(&key);
             self.evictions += 1;
+            obs::metrics().add(MetricId::CacheEvictions, 1);
+            obs::instant("plan_cache:evict");
         }
     }
 
@@ -734,7 +789,11 @@ impl Pipeline {
         let valid = matches!(self.cache.get(sql), Some(entry) if entry.schema == *schema);
         if valid {
             self.hits += 1;
+            obs::metrics().add(MetricId::CacheHits, 1);
+            obs::instant("plan_cache:hit");
         } else {
+            obs::metrics().add(MetricId::CacheMisses, 1);
+            obs::instant("plan_cache:miss");
             let stmt = parse(sql)?;
             let lowered = lower_to_algebra(&stmt, schema)?;
             // The optimizer is on by default: every scheme executes the
@@ -810,16 +869,49 @@ impl Pipeline {
     /// [`Scheme::CTable`]). Governor trips are **not** errors: they come
     /// back as `Ok` with a non-exact [`Verdict`].
     pub fn execute(&mut self, sql: &str, db: &Database, scheme: Scheme) -> Result<LabeledAnswers> {
+        let request_span = obs::span("pipeline:execute");
+        let started = Instant::now();
         let governor = self.budget.as_ref().map(Governor::arm);
         let out = {
             let _governed = governor::install(governor.clone());
             self.execute_governed(sql, db, scheme)
         };
         if let (Some(g), Some(budget)) = (&governor, &self.budget) {
+            let spent = g.accounting();
+            // The governor's spent counters are mirrored into the registry:
+            // `GovernorReport` stays the per-request view, the registry the
+            // cumulative one.
+            let registry = obs::metrics();
+            registry.add(MetricId::GovernorRows, spent.rows);
+            registry.add(MetricId::GovernorArenaWords, spent.arena_words);
+            registry.add(MetricId::GovernorNodes, spent.nodes);
             self.last_run = Some(GovernorReport {
                 budget: budget.describe(),
-                spent: g.accounting(),
+                spent,
             });
+        }
+        obs::metrics().observe(
+            certa_obs::HistogramId::RequestMicros,
+            started.elapsed().as_micros() as u64,
+        );
+        match &out {
+            Ok(answers) => {
+                let (id, name) = match &answers.verdict {
+                    Verdict::Exact => (MetricId::VerdictExact, "verdict:exact"),
+                    Verdict::Degraded(_) => (MetricId::VerdictDegraded, "verdict:degraded"),
+                    Verdict::Refused(_) => (MetricId::VerdictRefused, "verdict:refused"),
+                };
+                obs::metrics().add(id, 1);
+                if request_span.is_recording() {
+                    obs::instant(name);
+                }
+            }
+            Err(e) => {
+                if e.governor_trip().is_some() {
+                    obs::metrics().add(MetricId::GovernorTrips, 1);
+                    obs::metrics().add(MetricId::VerdictRefused, 1);
+                }
+            }
         }
         match out {
             Err(e) => match e.governor_trip() {
@@ -848,6 +940,9 @@ impl Pipeline {
         db: &Database,
         scheme: Scheme,
     ) -> Result<LabeledAnswers> {
+        // Cloned before the cache entry is mutably borrowed: decision sites
+        // below bump the pipeline-lifetime counters through this handle.
+        let lifetime = Rc::clone(&self.lifetime);
         let entry = self.entry(sql, db.schema())?;
         let columns = entry.lowered.columns.clone();
         // Honor cancellation (and an already-spent deadline) at request
@@ -893,6 +988,9 @@ impl Pipeline {
                     MaintenanceDecision::Serve => {
                         if let Some(state) = entry.exact.as_mut() {
                             entry.counters.served += 1;
+                            lifetime.served.set(lifetime.served.get() + 1);
+                            obs::metrics().add(MetricId::AnswersServed, 1);
+                            obs::instant("maintain:serve");
                             state.epoch = db.epoch();
                             return Ok(state.answers.clone());
                         }
@@ -941,6 +1039,13 @@ impl Pipeline {
                             Ok(answers) => {
                                 entry.counters.refined += 1;
                                 entry.counters.delta_merged += merges;
+                                lifetime.refined.set(lifetime.refined.get() + 1);
+                                lifetime
+                                    .delta_merged
+                                    .set(lifetime.delta_merged.get() + merges as u64);
+                                obs::metrics().add(MetricId::AnswersRefined, 1);
+                                obs::metrics().add(MetricId::AnswersDeltaMerged, merges as u64);
+                                obs::instant("maintain:refine");
                                 return Ok(answers);
                             }
                             Err(e) => {
@@ -961,9 +1066,20 @@ impl Pipeline {
                     MaintenanceDecision::Recompute { .. } => {}
                 }
                 entry.counters.recomputed += 1;
+                lifetime.recomputed.set(lifetime.recomputed.get() + 1);
+                obs::metrics().add(MetricId::AnswersRecomputed, 1);
+                obs::instant("maintain:recompute");
                 entry.exact = None;
                 let spec = certa_certain::worlds::exact_pool(&entry.lowered.expr, db);
                 let choice = choose_exact_backend(&spec, db);
+                obs::metrics().add(
+                    match choice.backend {
+                        Backend::Mask => MetricId::DispatchMask,
+                        Backend::Lineage => MetricId::DispatchLineage,
+                        Backend::WorldEnumeration => MetricId::DispatchEnum,
+                    },
+                    1,
+                );
                 // Candidate derivation is governed too: a trip here — or in
                 // any exact backend below — falls down the degradation
                 // lattice instead of surfacing as an error.
@@ -980,6 +1096,7 @@ impl Pipeline {
                 // approximation (`degrade`).
                 let try_mask = |entry: &CacheEntry| -> Result<(Vec<CandidateStatus>, MaskState)> {
                     isolated(|| {
+                        let _sp = obs::span("backend:mask");
                         // Instance-dependent pieces are re-derived here, per
                         // `(instance, epoch)`: the plan is re-optimized with
                         // the instance's statistics (the schema-level
@@ -1006,6 +1123,7 @@ impl Pipeline {
                 };
                 let try_lineage = |entry: &CacheEntry| -> Result<Vec<CandidateStatus>> {
                     isolated(|| {
+                        let _sp = obs::span("backend:lineage");
                         Ok(certa_certain::cert::classify_candidates_lineage(
                             &entry.optimized,
                             db,
@@ -1016,6 +1134,7 @@ impl Pipeline {
                 };
                 let try_enum = |entry: &CacheEntry| -> Result<Vec<CandidateStatus>> {
                     isolated(|| {
+                        let _sp = obs::span("backend:enum");
                         Ok(certa_certain::cert::classify_candidates(
                             &entry.plain,
                             db,
@@ -1226,6 +1345,7 @@ impl Pipeline {
             );
         }
         let (hits, misses) = (self.hits, self.misses);
+        let lifetime = self.maintenance_totals();
         let entry = self.cache.get(sql).ok_or_else(|| {
             PipelineError::Internal(
                 "plan cache lost the entry that was just compiled or validated".to_string(),
@@ -1281,7 +1401,171 @@ impl Pipeline {
             pending_deltas,
             decision,
             maintenance: entry.counters,
+            lifetime,
         })
+    }
+
+    /// Execute `sql` under a fresh [`Trace`](obs::Trace) and annotate the
+    /// physical plan with **measured** per-operator row counts and wall
+    /// time.
+    ///
+    /// The request first runs through the full pipeline
+    /// ([`Pipeline::execute`] with [`Scheme::Exact`]) so the trace captures
+    /// the real backend story — dispatch, fallbacks, degradation,
+    /// maintenance decisions. Then the cached set-semantics plan is
+    /// evaluated once more under a dedicated `analyze:plain` span, which
+    /// yields exactly one span per plan operator; those spans are paired
+    /// with the rendered plan's lines (both are in pre-order) to produce
+    /// the per-operator report.
+    ///
+    /// The returned [`ExplainAnalyze`] keeps the whole [`Trace`](obs::Trace)
+    /// so callers can export it with
+    /// [`Trace::to_chrome_json`](obs::Trace::to_chrome_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed SQL, ill-formed lowered queries, or a
+    /// governor trip during the plain-plan replay.
+    pub fn explain_analyze(&mut self, sql: &str, db: &Database) -> Result<ExplainAnalyze> {
+        let trace = obs::Trace::new();
+        let _installed = obs::install(Some(trace.clone()));
+        let started = Instant::now();
+        let (verdict, answer_rows) = {
+            let _request = obs::span("request");
+            let answers = self.execute(sql, db, Scheme::Exact)?;
+            (answers.verdict.clone(), answers.rows.len())
+        };
+
+        // Replay the cached set-semantics plan under a dedicated span: one
+        // op span per plan node, single-threaded, so span ids increase in
+        // pre-order — the same order `render()` emits plan lines.
+        let entry = self.entry(sql, db.schema())?;
+        let plan_text = entry.plain.plan().to_string();
+        let analyze_id;
+        {
+            let sp = obs::span("analyze:plain");
+            analyze_id = sp.id();
+            entry.plain.eval_set(db)?;
+        }
+        drop(_installed);
+        let total_us = started.elapsed().as_micros() as u64;
+
+        let mut events = trace.events();
+        // Spans record on close, so children precede parents in the raw
+        // event list; ids are allocated at open, so sorting by id restores
+        // pre-order and lets one forward pass collect the descendants of
+        // the analyze:plain span.
+        events.sort_by_key(|ev| ev.id);
+        let mut in_analyze: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        in_analyze.insert(analyze_id);
+        let mut ops: Vec<(u64, &obs::Event)> = Vec::new();
+        for ev in &events {
+            if ev.kind != obs::EventKind::Complete || ev.id == analyze_id {
+                continue;
+            }
+            if in_analyze.contains(&ev.parent) {
+                in_analyze.insert(ev.id);
+                ops.push((ev.id, ev));
+            }
+        }
+        // Self time: an operator's duration minus its direct children's.
+        let mut child_us: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (_, ev) in &ops {
+            *child_us.entry(ev.parent).or_insert(0) += ev.dur_us;
+        }
+        let operators: Vec<OpReport> = plan_text
+            .lines()
+            .zip(ops.iter())
+            .map(|(line, (id, ev))| OpReport {
+                line: line.to_string(),
+                label: ev.detail.clone().unwrap_or_default(),
+                rows: ev
+                    .args
+                    .iter()
+                    .find(|(k, _)| *k == "rows")
+                    .map_or(0, |(_, v)| *v),
+                time_us: ev.dur_us,
+                self_time_us: ev.dur_us.saturating_sub(*child_us.get(id).unwrap_or(&0)),
+            })
+            .collect();
+        Ok(ExplainAnalyze {
+            sql: sql.to_string(),
+            plan: plan_text,
+            operators,
+            verdict,
+            answer_rows,
+            total_us,
+            trace,
+        })
+    }
+}
+
+/// One operator row of an [`ExplainAnalyze`] report: a rendered plan line
+/// paired with the measured span that executed it.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// The operator's line in the rendered physical plan (indented).
+    pub line: String,
+    /// The operator's header as recorded by the span (`detail`).
+    pub label: String,
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Wall time of the operator **including** its inputs, µs.
+    pub time_us: u64,
+    /// Wall time minus the direct children's, µs.
+    pub self_time_us: u64,
+}
+
+/// The report produced by [`Pipeline::explain_analyze`]: the physical plan
+/// annotated with measured per-operator rows and wall time, plus the full
+/// request [`Trace`](obs::Trace) for Chrome-trace export.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The SQL text.
+    pub sql: String,
+    /// The rendered physical plan.
+    pub plan: String,
+    /// Per-operator measurements, in the plan's pre-order.
+    pub operators: Vec<OpReport>,
+    /// The verdict of the full pipeline request.
+    pub verdict: Verdict,
+    /// Answer rows the full pipeline request returned.
+    pub answer_rows: usize,
+    /// Wall time of the whole analyzed request (pipeline run + plan
+    /// replay), µs — an upper bound on every operator's `time_us`.
+    pub total_us: u64,
+    /// The trace of the whole request (pipeline run + plan replay); export
+    /// with [`Trace::to_chrome_json`](obs::Trace::to_chrome_json).
+    pub trace: obs::Trace,
+}
+
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.sql)?;
+        writeln!(
+            f,
+            "request: {} µs total, {} answer row(s), verdict {}",
+            self.total_us,
+            self.answer_rows,
+            match &self.verdict {
+                Verdict::Exact => "exact".to_string(),
+                Verdict::Degraded(why) => format!("degraded ({why})"),
+                Verdict::Refused(why) => format!("refused ({why})"),
+            }
+        )?;
+        writeln!(f, "physical plan (measured):")?;
+        for op in &self.operators {
+            writeln!(
+                f,
+                "  {:<52} rows={:<8} time={} µs (self {} µs)",
+                op.line, op.rows, op.time_us, op.self_time_us
+            )?;
+        }
+        write!(
+            f,
+            "spans recorded: {} (export with `trace.to_chrome_json()`)",
+            self.trace.span_count()
+        )
     }
 }
 
@@ -1334,6 +1618,9 @@ pub struct Explain {
     pub decision: String,
     /// Refine-vs-recompute decisions taken for this query so far.
     pub maintenance: MaintenanceCounters,
+    /// Maintenance decisions across the **whole pipeline lifetime**: unlike
+    /// [`Explain::maintenance`], these survive LRU eviction of the entry.
+    pub lifetime: MaintenanceTotals,
 }
 
 impl fmt::Display for Explain {
@@ -1413,6 +1700,16 @@ impl fmt::Display for Explain {
             self.maintenance.refined,
             self.maintenance.delta_merged,
             self.maintenance.recomputed
+        )?;
+        writeln!(
+            f,
+            "lifetime maintenance (all queries, survives eviction): {} served, \
+             {} refined ({} delta merge(s)), {} recomputed, {} evicted",
+            self.lifetime.served,
+            self.lifetime.refined,
+            self.lifetime.delta_merged,
+            self.lifetime.recomputed,
+            self.lifetime.evicted
         )?;
         writeln!(
             f,

@@ -347,17 +347,21 @@ impl<'a> WorldEngine<'a> {
         let chunk = self.total.div_ceil(threads);
         let stop = AtomicBool::new(false);
         let shared = governor::current();
+        // Workers re-adopt the spawning thread's trace context so their
+        // chunk spans nest under the span that launched the engine.
+        let obs_ctx = certa_obs::context();
         let results: Vec<Result<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
-                    let (init, fold, absorbing, stop, shared) =
-                        (&init, &fold, &absorbing, &stop, &shared);
+                    let (init, fold, absorbing, stop, shared, obs_ctx) =
+                        (&init, &fold, &absorbing, &stop, &shared, &obs_ctx);
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(self.total);
                     scope.spawn(move || {
                         // The spawning thread's governor (deadline, budgets,
                         // cancel token) applies inside every worker.
                         let _governed = governor::install(shared.clone());
+                        let _observed = certa_obs::attach(obs_ctx.as_ref());
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             self.fold_range(lo, hi, init, fold, absorbing, Some(stop))
                         }))
@@ -419,8 +423,13 @@ impl<'a> WorldEngine<'a> {
         A: Fn(&T) -> bool,
     {
         let mut acc = init();
+        let sp = certa_obs::span("worlds:chunk");
+        let registry = certa_obs::metrics();
+        registry.add(certa_obs::MetricId::WorldChunks, 1);
+        let mut evaluated = 0u64;
         for idx in lo..hi {
             if stop.is_some_and(|s| s.load(Ordering::Relaxed)) || absorbing(&acc) {
+                registry.add(certa_obs::MetricId::WorldEarlyExits, 1);
                 break;
             }
             // Cooperative per-world governance: one relaxed load per world
@@ -433,6 +442,7 @@ impl<'a> WorldEngine<'a> {
                 return Err(e.into());
             }
             let valuation = self.valuation_at(idx);
+            evaluated += 1;
             if let Err(e) = fold(&mut acc, &valuation) {
                 if let Some(s) = stop {
                     s.store(true, Ordering::Relaxed);
@@ -446,6 +456,8 @@ impl<'a> WorldEngine<'a> {
                 break;
             }
         }
+        registry.add(certa_obs::MetricId::WorldsEvaluated, evaluated);
+        sp.add("worlds", evaluated);
         Ok(acc)
     }
 }

@@ -168,6 +168,7 @@ impl Forest {
         }
         certa_algebra::governor::consume_nodes(1).map_err(LineageError::Exhausted)?;
         certa_algebra::faultpoint!("lineage::node").map_err(LineageError::Exhausted)?;
+        certa_obs::metrics().add(certa_obs::MetricId::LineageNodes, 1);
         let id = NodeId::try_from(self.nodes.len()).expect("more than u32::MAX diagram nodes");
         self.nodes.push(node.clone());
         self.unique.insert(node, id);
@@ -207,8 +208,10 @@ impl Forest {
         }
         let key = (n, level, value);
         if let Some(&r) = self.restrict_cache.get(&key) {
+            certa_obs::metrics().add(certa_obs::MetricId::LineageCofactorHits, 1);
             return Ok(r);
         }
+        certa_obs::metrics().add(certa_obs::MetricId::LineageCofactorMisses, 1);
         let top = self.level(n);
         let children = (0..self.domains[top as usize])
             .map(|i| {
@@ -264,8 +267,10 @@ impl Forest {
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.and_cache.get(&key) {
+            certa_obs::metrics().add(certa_obs::MetricId::LineageApplyHits, 1);
             return Ok(r);
         }
+        certa_obs::metrics().add(certa_obs::MetricId::LineageApplyMisses, 1);
         let top = self.level(a).min(self.level(b));
         let children = (0..self.domains[top as usize])
             .map(|i| {
@@ -291,8 +296,10 @@ impl Forest {
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.or_cache.get(&key) {
+            certa_obs::metrics().add(certa_obs::MetricId::LineageApplyHits, 1);
             return Ok(r);
         }
+        certa_obs::metrics().add(certa_obs::MetricId::LineageApplyMisses, 1);
         let top = self.level(a).min(self.level(b));
         let children = (0..self.domains[top as usize])
             .map(|i| {
@@ -312,8 +319,10 @@ impl Forest {
             TRUE => Ok(FALSE),
             _ => {
                 if let Some(&r) = self.not_cache.get(&a) {
+                    certa_obs::metrics().add(certa_obs::MetricId::LineageApplyHits, 1);
                     return Ok(r);
                 }
+                certa_obs::metrics().add(certa_obs::MetricId::LineageApplyMisses, 1);
                 let level = self.level(a);
                 let children = (0..self.domains[level as usize])
                     .map(|i| {

@@ -1,0 +1,610 @@
+//! TLS-ambient spans and the recorded [`Trace`].
+//!
+//! The design deliberately mirrors `certa_algebra::governor`: a request
+//! installs a [`Trace`] into thread-local storage ([`install`]), every
+//! layer below opens spans against whatever is ambient ([`span`]), and the
+//! guard restores the previous state on drop — nesting and panic-safe.
+//! Worker threads do not inherit TLS, so pools capture a [`SpanContext`]
+//! before spawning ([`context`]) and [`attach`] it inside the worker: the
+//! worker gets its own Chrome `tid` while its spans stay parented under
+//! the operator span that launched the pool.
+//!
+//! When no trace is installed every entry point is a noop — one
+//! thread-local read and a branch, no allocation, no time stamp. That is
+//! the `Span::noop` path the disabled-overhead bench assertion measures.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What kind of trace event a record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed span: has a duration (Chrome `"X"` complete event).
+    Complete,
+    /// A point-in-time marker (Chrome `"i"` instant event).
+    Instant,
+}
+
+/// One recorded trace event. `ts_us`/`dur_us` are microseconds relative
+/// to the trace's start; `parent == 0` means top-level.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span or marker name (`"op:HashJoin"`, `"morsel"`, `"fault:fired"`).
+    pub name: Cow<'static, str>,
+    /// Unique id within the trace (1-based).
+    pub id: u64,
+    /// Id of the enclosing span (0 = none).
+    pub parent: u64,
+    /// Chrome thread lane (1 = installing thread, workers allocate fresh).
+    pub tid: u64,
+    /// Start, microseconds since trace start.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Complete span or instant marker.
+    pub kind: EventKind,
+    /// Accumulated numeric arguments (rows, arena words, …).
+    pub args: Vec<(&'static str, u64)>,
+    /// Optional free-form label (an operator's rendered description, a
+    /// fault site); structural, not timing.
+    pub detail: Option<String>,
+}
+
+struct TraceInner {
+    start: Instant,
+    next_id: AtomicU64,
+    next_tid: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+/// A shared, thread-safe recording of one request's execution. Clones
+/// share the same buffer. Create with [`Trace::new`], activate with
+/// [`install`], export with [`Trace::to_chrome_json`].
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.inner.events.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Trace {
+    /// A fresh, empty trace whose clock starts now.
+    pub fn new() -> Self {
+        Trace {
+            inner: Arc::new(TraceInner {
+                start: Instant::now(),
+                next_id: AtomicU64::new(1),
+                next_tid: AtomicU64::new(1),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fresh_tid(&self) -> u64 {
+        self.inner.next_tid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn micros_since_start(&self) -> u64 {
+        self.inner.start.elapsed().as_micros() as u64
+    }
+
+    fn record(&self, event: Event) {
+        self.inner.events.lock().unwrap().push(event);
+    }
+
+    /// A copy of every recorded event, in completion order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.lock().unwrap().clone()
+    }
+
+    /// Number of closed spans recorded so far (instants excluded). The
+    /// disabled-overhead bench multiplies this by the measured noop cost.
+    pub fn span_count(&self) -> usize {
+        self.inner
+            .events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == EventKind::Complete)
+            .count()
+    }
+
+    /// Export in Chrome trace-event JSON array format: load the string in
+    /// `chrome://tracing` or Perfetto. Spans are `"X"` complete events
+    /// (`ts`/`dur` in µs), instants are `"i"` markers; span ids and parent
+    /// links ride along in `args` so tools that ignore them still render
+    /// per-`tid` nesting by timestamp containment.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\"traceEvents\": [");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n ");
+            }
+            let mut args = format!("\"id\": {}, \"parent\": {}", e.id, e.parent);
+            for (k, v) in &e.args {
+                args.push_str(&format!(", \"{k}\": {v}"));
+            }
+            if let Some(d) = &e.detail {
+                args.push_str(&format!(", \"detail\": \"{}\"", escape_json(d)));
+            }
+            match e.kind {
+                EventKind::Complete => out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"cat\": \"certa\", \"ph\": \"X\", \"ts\": {}, \
+                     \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{{args}}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.dur_us,
+                    e.tid,
+                )),
+                EventKind::Instant => out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"cat\": \"certa\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"ts\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{{args}}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.tid,
+                )),
+            }
+        }
+        out.push_str("], \"displayTimeUnit\": \"ms\"}");
+        out
+    }
+
+    /// A canonical, timing-free rendering of the span tree: each node is
+    /// `name[detail]{args}(sorted child signatures)`. Timestamps,
+    /// durations, thread lanes and sibling completion order are all
+    /// erased, so two runs of the same work at different worker counts
+    /// produce byte-identical signatures — the invariant the morsel sweep
+    /// property test pins.
+    pub fn structure_signature(&self) -> String {
+        let events = self.events();
+        let mut children: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, e) in events.iter().enumerate() {
+            children.entry(e.parent).or_default().push(i);
+        }
+        fn sig(
+            idx: usize,
+            events: &[Event],
+            children: &std::collections::BTreeMap<u64, Vec<usize>>,
+        ) -> String {
+            let e = &events[idx];
+            let mut s = e.name.to_string();
+            if let Some(d) = &e.detail {
+                s.push_str(&format!("[{d}]"));
+            }
+            let mut args: Vec<String> = e.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            args.sort();
+            if !args.is_empty() {
+                s.push_str(&format!("{{{}}}", args.join(",")));
+            }
+            let mut kids: Vec<String> = children
+                .get(&e.id)
+                .map(|c| c.iter().map(|&i| sig(i, events, children)).collect())
+                .unwrap_or_default();
+            kids.sort();
+            if !kids.is_empty() {
+                s.push_str(&format!("({})", kids.join(";")));
+            }
+            s
+        }
+        let mut roots: Vec<String> = children
+            .get(&0)
+            .map(|c| c.iter().map(|&i| sig(i, &events, &children)).collect())
+            .unwrap_or_default();
+        roots.sort();
+        roots.join(";")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start_us: u64,
+    args: Vec<(&'static str, u64)>,
+    detail: Option<String>,
+}
+
+struct ThreadCtx {
+    trace: Trace,
+    tid: u64,
+    /// Parent id for spans opened at this thread's top level: 0 on the
+    /// installing thread, the capturing span's id on attached workers.
+    base_parent: u64,
+    stack: Vec<OpenSpan>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// Make `trace` the ambient trace for this thread (pass `None` to disable
+/// tracing inside an enclosing traced region). Returns a guard restoring
+/// the previous state on drop; nests like `governor::install`.
+#[must_use = "dropping the guard immediately uninstalls the trace"]
+pub fn install(trace: Option<Trace>) -> InstallGuard {
+    let ctx = trace.map(|t| {
+        let tid = t.fresh_tid();
+        ThreadCtx {
+            trace: t,
+            tid,
+            base_parent: 0,
+            stack: Vec::new(),
+        }
+    });
+    let previous = CURRENT.with(|c| c.replace(ctx));
+    InstallGuard { previous }
+}
+
+/// Restores the previously installed trace (or none) when dropped.
+pub struct InstallGuard {
+    previous: Option<ThreadCtx>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// The ambient trace of this thread, if any.
+pub fn current_trace() -> Option<Trace> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.trace.clone()))
+}
+
+/// A capture of "where execution is right now": the ambient trace and the
+/// innermost open span. Pools take one before spawning workers and hand
+/// each worker a reference to [`attach`].
+#[derive(Clone, Debug)]
+pub struct SpanContext {
+    trace: Trace,
+    parent: u64,
+}
+
+/// Capture the ambient trace + current span for crossing a thread spawn.
+/// `None` when tracing is disabled — workers then attach nothing.
+pub fn context() -> Option<SpanContext> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map(|ctx| SpanContext {
+            trace: ctx.trace.clone(),
+            parent: ctx.stack.last().map(|s| s.id).unwrap_or(ctx.base_parent),
+        })
+    })
+}
+
+/// Adopt a captured [`SpanContext`] on a worker thread: the worker gets a
+/// fresh Chrome `tid` and its top-level spans are parented under the span
+/// that was open at capture time. Returns a guard restoring the previous
+/// (usually empty) state on drop.
+#[must_use = "dropping the guard immediately detaches the worker"]
+pub fn attach(ctx: Option<&SpanContext>) -> AttachGuard {
+    let new = ctx.map(|sc| {
+        let tid = sc.trace.fresh_tid();
+        ThreadCtx {
+            trace: sc.trace.clone(),
+            tid,
+            base_parent: sc.parent,
+            stack: Vec::new(),
+        }
+    });
+    let previous = CURRENT.with(|c| c.replace(new));
+    AttachGuard { previous }
+}
+
+/// Restores the worker's previous trace state when dropped.
+pub struct AttachGuard {
+    previous: Option<ThreadCtx>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Open a span. When no trace is ambient this is the noop path: one TLS
+/// read, no allocation, no clock read. The span closes (and records its
+/// event) when the returned guard drops.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    CURRENT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        match borrow.as_mut() {
+            None => SpanGuard { id: 0 },
+            Some(ctx) => {
+                let id = ctx.trace.fresh_id();
+                let parent = ctx.stack.last().map(|s| s.id).unwrap_or(ctx.base_parent);
+                let start_us = ctx.trace.micros_since_start();
+                ctx.stack.push(OpenSpan {
+                    id,
+                    parent,
+                    name: Cow::Borrowed(name),
+                    start_us,
+                    args: Vec::new(),
+                    detail: None,
+                });
+                SpanGuard { id }
+            }
+        }
+    })
+}
+
+/// Guard for an open span; recording happens on drop. `id == 0` marks the
+/// noop (no ambient trace) case.
+pub struct SpanGuard {
+    id: u64,
+}
+
+impl SpanGuard {
+    /// Whether this span actually records (false on the noop path).
+    pub fn is_recording(&self) -> bool {
+        self.id != 0
+    }
+
+    /// The span's id within its [`Trace`] (0 on the noop path). Ids are
+    /// allocated when spans open, so on a single thread they increase in
+    /// call-tree pre-order.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Accumulate a numeric argument onto this span (repeat keys add).
+    pub fn add(&self, key: &'static str, value: u64) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                if let Some(open) = ctx.stack.iter_mut().rev().find(|s| s.id == self.id) {
+                    match open.args.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, v)) => *v += value,
+                        None => open.args.push((key, value)),
+                    }
+                }
+            }
+        });
+    }
+
+    /// Attach a free-form label (an operator's rendered form, a site
+    /// name). Only evaluated/stored when recording — guard call sites
+    /// with [`SpanGuard::is_recording`] if building the string is costly.
+    pub fn detail(&self, detail: String) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                if let Some(open) = ctx.stack.iter_mut().rev().find(|s| s.id == self.id) {
+                    open.detail = Some(detail);
+                }
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT.with(|c| {
+            let mut borrow = c.borrow_mut();
+            if let Some(ctx) = borrow.as_mut() {
+                // Close this span and (defensively) anything opened inside
+                // it that leaked past its guard — keeps the stack sane even
+                // if an inner guard was forgotten across a panic boundary.
+                while let Some(open) = ctx.stack.pop() {
+                    let done = open.id == self.id;
+                    let end_us = ctx.trace.micros_since_start();
+                    let event = Event {
+                        name: open.name,
+                        id: open.id,
+                        parent: open.parent,
+                        tid: ctx.tid,
+                        ts_us: open.start_us,
+                        dur_us: end_us.saturating_sub(open.start_us),
+                        kind: EventKind::Complete,
+                        args: open.args,
+                        detail: open.detail,
+                    };
+                    ctx.trace.record(event);
+                    if done {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Accumulate a numeric argument onto the innermost open span, if any.
+/// The noop path is one TLS read and a branch.
+pub fn span_add(key: &'static str, value: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            if let Some(open) = ctx.stack.last_mut() {
+                match open.args.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => *v += value,
+                    None => open.args.push((key, value)),
+                }
+            }
+        }
+    });
+}
+
+/// Record a point-in-time marker under the innermost open span.
+pub fn instant(name: &'static str) {
+    instant_inner(name, None);
+}
+
+/// Record a point-in-time marker with a free-form label (e.g. a fault
+/// site). The label is only materialised when a trace is ambient.
+pub fn instant_detail(name: &'static str, detail: &str) {
+    instant_inner(name, Some(detail));
+}
+
+fn instant_inner(name: &'static str, detail: Option<&str>) {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        if let Some(ctx) = borrow.as_ref() {
+            let id = ctx.trace.fresh_id();
+            let parent = ctx.stack.last().map(|s| s.id).unwrap_or(ctx.base_parent);
+            let ts_us = ctx.trace.micros_since_start();
+            ctx.trace.record(Event {
+                name: Cow::Borrowed(name),
+                id,
+                parent,
+                tid: ctx.tid,
+                ts_us,
+                dur_us: 0,
+                kind: EventKind::Instant,
+                args: Vec::new(),
+                detail: detail.map(str::to_owned),
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_without_install() {
+        let g = span("nothing");
+        assert!(!g.is_recording());
+        g.add("rows", 1);
+        drop(g);
+        span_add("rows", 1);
+        instant("marker");
+        assert!(current_trace().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let trace = Trace::new();
+        {
+            let _g = install(Some(trace.clone()));
+            let outer = span("outer");
+            outer.add("rows", 2);
+            {
+                let inner = span("inner");
+                inner.add("rows", 3);
+                inner.add("rows", 4);
+                instant("mark");
+            }
+            drop(outer);
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let mark = events.iter().find(|e| e.name == "mark").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(mark.parent, inner.id);
+        assert_eq!(inner.args, vec![("rows", 7)]);
+        assert_eq!(outer.parent, 0);
+        assert!(trace.to_chrome_json().starts_with("{\"traceEvents\": ["));
+    }
+
+    #[test]
+    fn workers_attach_under_capturing_span() {
+        let trace = Trace::new();
+        {
+            let _g = install(Some(trace.clone()));
+            let parent = span("pool");
+            let ctx = context().expect("trace ambient");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _att = attach(Some(&ctx));
+                        let _s = span("worker-item");
+                    });
+                }
+            });
+            drop(parent);
+        }
+        let events = trace.events();
+        let pool = events.iter().find(|e| e.name == "pool").unwrap();
+        let items: Vec<_> = events.iter().filter(|e| e.name == "worker-item").collect();
+        assert_eq!(items.len(), 2);
+        for item in &items {
+            assert_eq!(item.parent, pool.id);
+            assert_ne!(item.tid, pool.tid);
+        }
+    }
+
+    #[test]
+    fn signature_ignores_timing_and_order() {
+        let build = |flip: bool| {
+            let trace = Trace::new();
+            {
+                let _g = install(Some(trace.clone()));
+                let _root = span("root");
+                let names = if flip { ["b", "a"] } else { ["a", "b"] };
+                for n in names {
+                    let s = span(if n == "a" { "a" } else { "b" });
+                    s.add("rows", 1);
+                }
+            }
+            trace.structure_signature()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn nested_install_restores() {
+        let outer = Trace::new();
+        let inner = Trace::new();
+        let _g1 = install(Some(outer.clone()));
+        {
+            let _g2 = install(Some(inner.clone()));
+            let _s = span("inner-only");
+        }
+        let _s = span("outer-only");
+        drop(_s);
+        assert_eq!(inner.events().len(), 1);
+        assert!(outer.events().iter().any(|e| e.name == "outer-only"));
+    }
+}
