@@ -1,14 +1,15 @@
-//! Headless ablation runner: re-times the a05–a11 ablation workloads with
+//! Headless ablation runner: re-times the a05–a13 ablation workloads with
 //! plain [`std::time::Instant`] and emits machine-readable JSON so the
 //! performance trajectory is comparable across PRs without parsing
 //! criterion output.
 //!
 //! Every variant is verified for cross-backend agreement *before* it is
 //! timed (the same assertions the criterion benches make) — including
-//! bit-identical mask results across every swept worker count, and
+//! bit-identical mask results across every swept worker count,
 //! refined-equals-recomputed classifications after every update of the
-//! incremental ablation — so a committed `BENCH_7.json` is also a
-//! correctness witness.
+//! incremental ablation, and bit-identical recovery of every durable
+//! store the durability ablation replays — so a committed `BENCH_8.json`
+//! is also a correctness witness.
 //!
 //! Usage:
 //!
@@ -16,9 +17,12 @@
 //! bench_json [--quick] [--out PATH] [--threads N,N,...] [--deadline-ms N] [--profile]
 //! ```
 //!
+//! Malformed or unknown flags print a usage error to stderr and exit
+//! with status 2 (they never panic).
+//!
 //! `--quick` shrinks every workload to smoke-test size (used by CI so the
 //! emitter can't rot); the default full configuration is what
-//! `BENCH_7.json` at the repository root records. `--threads` sets the
+//! `BENCH_8.json` at the repository root records. `--threads` sets the
 //! worker counts the mask-backend sweeps request (default `1,2,4,8`);
 //! every requested count is clamped to the host's cores and both numbers
 //! are recorded, so a curve measured on a small host is legible as such —
@@ -28,7 +32,13 @@
 //! the governed run must terminate promptly with a `Degraded`/`Refused`
 //! verdict — the emitter asserts this before timing, proving degraded
 //! runs terminate and still emit valid JSON. Default output path is
-//! `BENCH_7.json` in the current directory.
+//! `BENCH_8.json` in the current directory.
+//!
+//! The `a13_durability` ablation measures the crash-safety tax: the same
+//! insert sequence against a log-free versus WAL-attached database,
+//! snapshot write latency, and recovery latency (snapshot load + WAL
+//! replay) at several log sizes — the replay throughput the derived
+//! metrics report.
 //!
 //! `--profile` additionally (1) attaches per-ablation metric-registry
 //! deltas to the output under a `"profile"` key, (2) records one traced
@@ -662,6 +672,118 @@ fn a12(out: &mut Vec<Entry>, quick: bool, deadline_ms: u64) {
     });
 }
 
+/// Mutations per timed a13 insert run.
+fn a13_rows(quick: bool) -> usize {
+    if quick {
+        200
+    } else {
+        2_000
+    }
+}
+
+/// WAL sizes (frames to replay) for the a13 recovery sweep.
+fn a13_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[200]
+    } else {
+        &[1_000, 5_000, 20_000]
+    }
+}
+
+/// a13: durability. The same insert sequence against a log-free versus a
+/// WAL-attached database (the crash-safety tax on the mutation path),
+/// snapshot write latency at working-set size, and recovery latency —
+/// newest-snapshot load plus checksummed WAL replay — as the replayed
+/// tail grows. Every recovery dir is verified to restore the writer's
+/// state bit-for-bit *before* it is timed.
+fn a13(out: &mut Vec<Entry>, quick: bool) {
+    fn a13_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("certa-bench-a13-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+    fn order(i: usize) -> Tuple {
+        tup![format!("bo{i}").as_str(), "bench", i as i64]
+    }
+
+    let rows = a13_rows(quick);
+
+    // WAL append overhead: identical fresh-database insert sequences, the
+    // durable one ending with a flush + fsync so the timed cost is the
+    // full price of a crash-consistent log.
+    push(out, "a13_durability", "insert_log_free", 5, || {
+        let mut db = shop_database(false);
+        for i in 0..rows {
+            db.insert("Orders", order(i)).unwrap();
+        }
+    });
+    let wal_dir = a13_dir("wal-append");
+    push(out, "a13_durability", "insert_wal_logged", 5, || {
+        let mut db = shop_database(false);
+        db.attach_durable(&wal_dir).unwrap();
+        for i in 0..rows {
+            db.insert("Orders", order(i)).unwrap();
+        }
+        db.detach_durable().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // Snapshot latency at working-set size (temp-file + atomic rename,
+    // retiring the replayed WAL prefix).
+    let snap_dir = a13_dir("snapshot");
+    let mut snap_db = shop_database(false);
+    for i in 0..rows {
+        snap_db.insert("Orders", order(i)).unwrap();
+    }
+    snap_db.attach_durable(&snap_dir).unwrap();
+    push(out, "a13_durability", "snapshot_write", 5, || {
+        snap_db.snapshot_durable().unwrap();
+    });
+    snap_db.detach_durable().unwrap();
+    drop(snap_db);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    // Recovery latency versus log size: the baseline snapshot is written
+    // at attach time (near-empty store), so recovery replays the full
+    // insert tail — `size` checksummed frames per run.
+    for &size in a13_sizes(quick) {
+        let dir = a13_dir(&format!("recover-{size}"));
+        let mut writer = shop_database(false);
+        writer.attach_durable(&dir).unwrap();
+        for i in 0..size {
+            writer.insert("Orders", order(i)).unwrap();
+        }
+        writer.sync_durable().unwrap();
+
+        let (recovered, report) = recover(&dir).unwrap();
+        assert_eq!(
+            report.frames_replayed, size,
+            "recovery must replay the whole insert tail"
+        );
+        assert_eq!(
+            recovered.relation("Orders").unwrap(),
+            writer.relation("Orders").unwrap(),
+            "recovered store must match the writer bit-for-bit"
+        );
+        drop(recovered);
+
+        push(
+            out,
+            "a13_durability",
+            format!("recover_replay_{size}_frames"),
+            3,
+            || {
+                let (db, report) = recover(&dir).unwrap();
+                assert_eq!(report.frames_replayed, size);
+                std::hint::black_box(db);
+            },
+        );
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Run one ablation, optionally bracketing it with registry snapshots so
 /// its metric spend (counters + histogram buckets it moved) lands in the
 /// `"profile"` section of the output.
@@ -771,35 +893,95 @@ fn find(entries: &[Entry], ablation: &str, variant: &str) -> f64 {
         .expect("entry recorded")
 }
 
+/// Parsed command-line options, with the documented defaults.
+#[derive(Debug)]
+struct Opts {
+    quick: bool,
+    profile: bool,
+    out_path: String,
+    threads_list: Vec<usize>,
+    deadline_ms: u64,
+}
+
+const USAGE: &str =
+    "usage: bench_json [--quick] [--out PATH] [--threads N,N,...] [--deadline-ms N] [--profile]";
+
+/// Parse the arguments after the program name. Malformed values — a
+/// non-numeric or zero worker count, a non-numeric deadline, a flag
+/// missing its value, an unknown flag — are reported as usage errors,
+/// never panics; `main` prints them to stderr and exits nonzero.
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        quick: false,
+        profile: false,
+        out_path: "BENCH_8.json".to_string(),
+        threads_list: vec![1, 2, 4, 8],
+        deadline_ms: 10,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--profile" => opts.profile = true,
+            "--out" => {
+                i += 1;
+                opts.out_path = args
+                    .get(i)
+                    .ok_or_else(|| format!("--out requires a path\n{USAGE}"))?
+                    .clone();
+            }
+            "--threads" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .ok_or_else(|| format!("--threads requires a comma-separated list\n{USAGE}"))?;
+                opts.threads_list = list
+                    .split(',')
+                    .map(|t| {
+                        let t = t.trim();
+                        match t.parse::<usize>() {
+                            Ok(0) | Err(_) => Err(format!(
+                                "--threads: `{t}` is not a positive worker count\n{USAGE}"
+                            )),
+                            Ok(n) => Ok(n),
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--deadline-ms requires milliseconds\n{USAGE}"))?;
+                opts.deadline_ms = v.trim().parse().map_err(|_| {
+                    format!(
+                        "--deadline-ms: `{}` is not a millisecond count\n{USAGE}",
+                        v.trim()
+                    )
+                })?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let profile = args.iter().any(|a| a == "--profile");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
-    let threads_list: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || vec![1, 2, 4, 8],
-            |list| {
-                list.split(',')
-                    .map(|t| t.trim().parse().expect("--threads takes a comma list"))
-                    .collect()
-            },
-        );
-    let deadline_ms: u64 = args
-        .iter()
-        .position(|a| a == "--deadline-ms")
-        .and_then(|i| args.get(i + 1))
-        .map_or(10, |v| {
-            v.trim().parse().expect("--deadline-ms takes milliseconds")
-        });
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Opts {
+        quick,
+        profile,
+        out_path,
+        threads_list,
+        deadline_ms,
+    } = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("bench_json: {msg}");
+            std::process::exit(2);
+        }
+    };
 
     let mut entries: Vec<Entry> = Vec::new();
     let mut ablation_metrics: Vec<(&'static str, String)> = Vec::new();
@@ -827,6 +1009,7 @@ fn main() {
     with_profile(profile, "a12_governor", m, || {
         a12(&mut entries, quick, deadline_ms);
     });
+    with_profile(profile, "a13_durability", m, || a13(&mut entries, quick));
     let trace_fragment = profile.then(|| profile_trace(quick, &out_path));
 
     let governed_over_deadline =
@@ -856,10 +1039,21 @@ fn main() {
         / find(&entries, "a11_incremental", "resolve_refine_cached");
     let insert_refine_speedup = find(&entries, "a11_incremental", "insert_recompute_scratch")
         / find(&entries, "a11_incremental", "insert_refine_cached");
+    let wal_overhead = find(&entries, "a13_durability", "insert_wal_logged")
+        / find(&entries, "a13_durability", "insert_log_free");
+    let largest_replay = *a13_sizes(quick)
+        .last()
+        .expect("a13 sweeps at least one size");
+    let replay_frames_per_ms = largest_replay as f64
+        / find(
+            &entries,
+            "a13_durability",
+            &format!("recover_replay_{largest_replay}_frames"),
+        );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_7\",\n");
+    json.push_str("  \"bench\": \"BENCH_8\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -919,7 +1113,13 @@ fn main() {
     ));
     json.push_str(&format!("    \"a12_deadline_ms\": {deadline_ms},\n"));
     json.push_str(&format!(
-        "    \"a12_governed_run_over_deadline_ratio\": {governed_over_deadline:.2}\n"
+        "    \"a12_governed_run_over_deadline_ratio\": {governed_over_deadline:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a13_wal_logged_insert_overhead_over_log_free\": {wal_overhead:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"a13_recovery_replay_frames_per_ms\": {replay_frames_per_ms:.0}\n"
     ));
     json.push_str("  }");
     if let Some(trace_fragment) = &trace_fragment {
@@ -944,4 +1144,74 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
     print!("{json}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_documented_usage() {
+        let opts = parse_args(&[]).unwrap();
+        assert!(!opts.quick);
+        assert!(!opts.profile);
+        assert_eq!(opts.out_path, "BENCH_8.json");
+        assert_eq!(opts.threads_list, vec![1, 2, 4, 8]);
+        assert_eq!(opts.deadline_ms, 10);
+    }
+
+    #[test]
+    fn every_flag_parses() {
+        let opts = parse_args(&argv(&[
+            "--quick",
+            "--out",
+            "x.json",
+            "--threads",
+            "1, 3 ,7",
+            "--deadline-ms",
+            " 25 ",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(opts.quick && opts.profile);
+        assert_eq!(opts.out_path, "x.json");
+        assert_eq!(opts.threads_list, vec![1, 3, 7]);
+        assert_eq!(opts.deadline_ms, 25);
+    }
+
+    #[test]
+    fn bad_threads_is_a_usage_error_not_a_panic() {
+        let err = parse_args(&argv(&["--threads", "1,banana,4"])).unwrap_err();
+        assert!(err.contains("banana"), "names the bad token: {err}");
+        assert!(err.contains("usage:"), "includes the usage line: {err}");
+        let err = parse_args(&argv(&["--threads", "2,0"])).unwrap_err();
+        assert!(err.contains('0'), "rejects zero workers: {err}");
+    }
+
+    #[test]
+    fn bad_deadline_is_a_usage_error_not_a_panic() {
+        let err = parse_args(&argv(&["--deadline-ms", "soon"])).unwrap_err();
+        assert!(err.contains("soon"), "names the bad value: {err}");
+        assert!(err.contains("usage:"), "includes the usage line: {err}");
+        assert!(parse_args(&argv(&["--deadline-ms", "-5"])).is_err());
+    }
+
+    #[test]
+    fn missing_flag_values_are_reported() {
+        for flag in ["--out", "--threads", "--deadline-ms"] {
+            let err = parse_args(&argv(&[flag])).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse_args(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"));
+        assert!(err.contains("usage:"));
+    }
 }

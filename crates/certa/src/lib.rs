@@ -66,6 +66,7 @@ pub use pipeline::{
 
 pub use certa_algebra::governor::{CancelToken, ExecBudget, Governor};
 pub use certa_data::GovernorError;
+pub use certa_data::{recover, recover_bag, DurabilityStats, RecoveryReport};
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -86,8 +87,8 @@ pub mod prelude {
     pub use certa_ctables::{eval_conditional, Strategy};
     pub use certa_data::GovernorError;
     pub use certa_data::{
-        database_from_literal, tup, BagRelation, Const, Database, Relation, Schema, Tuple,
-        Valuation, Value,
+        database_from_literal, recover, recover_bag, tup, BagRelation, Const, Database,
+        DurabilityStats, RecoveryReport, Relation, Schema, Tuple, Valuation, Value,
     };
     pub use certa_lineage::{BagLineageBatch, LineageBatch};
     pub use certa_logic::{

@@ -37,7 +37,10 @@ use certa_algebra::{
 use certa_certain::cert::CandidateStatus;
 use certa_certain::{CertainError, MaskBatch, PreparedApproxPair, PreparedTranslationPair};
 use certa_ctables::{eval_conditional, CtError, Strategy};
-use certa_data::{Const, Database, Delta, GovernorError, NullId, Relation, Schema, Tuple, Value};
+use certa_data::{
+    Const, DataError, Database, Delta, GovernorError, NullId, RecoveryReport, Relation, Schema,
+    Tuple, Value,
+};
 use certa_obs::{self as obs, MetricId};
 use certa_sql::lower::LoweredQuery;
 use certa_sql::{lower_to_algebra, parse, SqlError};
@@ -278,6 +281,9 @@ pub enum PipelineError {
     /// between compilation and lookup) — a bug in the pipeline, surfaced as
     /// an error instead of a panic so servers can degrade gracefully.
     Internal(String),
+    /// The data layer failed — durability attach/snapshot/recovery errors
+    /// surface here when driven through the pipeline.
+    Data(DataError),
 }
 
 impl fmt::Display for PipelineError {
@@ -288,6 +294,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Certain(e) => write!(f, "certain: {e}"),
             PipelineError::CTable(e) => write!(f, "ctable: {e}"),
             PipelineError::Internal(e) => write!(f, "internal: {e}"),
+            PipelineError::Data(e) => write!(f, "data: {e}"),
         }
     }
 }
@@ -329,6 +336,12 @@ impl From<CertainError> for PipelineError {
 impl From<CtError> for PipelineError {
     fn from(e: CtError) -> Self {
         PipelineError::CTable(e)
+    }
+}
+
+impl From<DataError> for PipelineError {
+    fn from(e: DataError) -> Self {
+        PipelineError::Data(e)
     }
 }
 
@@ -711,6 +724,43 @@ impl Pipeline {
             capacity: capacity.max(1),
             ..Pipeline::default()
         }
+    }
+
+    /// Open a durable store: create (or take over) `dir`, attach a
+    /// write-ahead log to `db`, and return a fresh pipeline to serve it.
+    /// From here on every mutation of `db` is persisted before it returns;
+    /// after a crash, [`Pipeline::recover`] on the same directory restores
+    /// the committed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Data`] if the durability directory cannot
+    /// be initialised.
+    pub fn open(db: &mut Database, dir: impl AsRef<std::path::Path>) -> Result<Pipeline> {
+        db.attach_durable(dir)?;
+        Ok(Pipeline::new())
+    }
+
+    /// Recover a durable store after a crash: load the newest valid
+    /// snapshot in `dir`, replay the WAL tail, and return the recovered
+    /// database plus a fresh pipeline and the recovery report.
+    ///
+    /// The recovered database carries a **fresh instance id**, so any
+    /// answers this or another pipeline cached against the pre-crash
+    /// instance can never be served against the recovered one — `decide`
+    /// sees the instance mismatch and recomputes (the epoch-keyed cache
+    /// discipline from the incremental-maintenance layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Data`] when no valid snapshot exists or
+    /// the filesystem fails.
+    pub fn recover(
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<(Database, Pipeline, RecoveryReport)> {
+        let _span = obs::span("pipeline:recover");
+        let (db, report) = certa_data::recover(dir)?;
+        Ok((db, Pipeline::new(), report))
     }
 
     /// `(cache hits, cache misses)` since construction.
@@ -1402,6 +1452,7 @@ impl Pipeline {
             decision,
             maintenance: entry.counters,
             lifetime,
+            durability: db.durability().map(|d| d.describe()),
         })
     }
 
@@ -1621,6 +1672,10 @@ pub struct Explain {
     /// Maintenance decisions across the **whole pipeline lifetime**: unlike
     /// [`Explain::maintenance`], these survive LRU eviction of the entry.
     pub lifetime: MaintenanceTotals,
+    /// Durability state of the database (`None` when no write-ahead log is
+    /// attached): WAL frame/byte counts, snapshot progress, and whether the
+    /// attachment is poisoned.
+    pub durability: Option<String>,
 }
 
 impl fmt::Display for Explain {
@@ -1689,6 +1744,10 @@ impl fmt::Display for Explain {
             }
         }
         writeln!(f, "instance epoch: {}", self.instance_epoch)?;
+        match &self.durability {
+            Some(d) => writeln!(f, "durability: {d}")?,
+            None => writeln!(f, "durability: not attached")?,
+        }
         match self.pending_deltas {
             Some(n) => writeln!(f, "answer cache: {} (pending delta(s): {n})", self.decision)?,
             None => writeln!(f, "answer cache: {}", self.decision)?,
@@ -2244,5 +2303,83 @@ mod tests {
             p.execute("SELECT x FROM Nope", &db, Scheme::Exact),
             Err(PipelineError::Sql(_))
         ));
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "certa-pipeline-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_recover_round_trip_preserves_answers() {
+        let dir = durable_dir("roundtrip");
+        let mut db = shop();
+        let mut p = Pipeline::open(&mut db, &dir).unwrap();
+        let before = p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        db.sync_durable().unwrap();
+
+        // "kill -9": drop the live database without detaching.
+        drop(db);
+        let (recovered, mut p2, report) = Pipeline::recover(&dir).unwrap();
+        assert!(report.wal_truncated.is_none());
+        let after = p2.execute(UNPAID, &recovered, Scheme::Exact).unwrap();
+        assert_eq!(before.rows, after.rows);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_never_serves_pre_crash_cached_answers() {
+        let dir = durable_dir("cache-invalidation");
+        let mut db = shop();
+        let mut p = Pipeline::open(&mut db, &dir).unwrap();
+        // Warm the answer cache against the pre-crash instance.
+        p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        p.execute(UNPAID, &db, Scheme::Exact).unwrap();
+        let warm = p.explain(UNPAID, &db).unwrap();
+        assert_eq!(warm.decision, "serve cached answers");
+        db.sync_durable().unwrap();
+        drop(db);
+
+        let (recovered, _fresh, _) = Pipeline::recover(&dir).unwrap();
+        // Even the *old* pipeline (with its warm cache) must recompute for
+        // the recovered instance: recovery minted a fresh instance id.
+        let ex = p.explain(UNPAID, &recovered).unwrap();
+        assert!(
+            ex.decision.contains("recompute"),
+            "pre-crash cache must not serve: {}",
+            ex.decision
+        );
+        let served_before = ex.lifetime.served;
+        let out = p.execute(UNPAID, &recovered, Scheme::Exact).unwrap();
+        assert!(out.verdict.is_exact(), "{}", out.verdict);
+        let ex = p.explain(UNPAID, &recovered).unwrap();
+        assert_eq!(
+            ex.lifetime.served, served_before,
+            "no pre-crash answer may be served against the recovered instance"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_reports_durability_state() {
+        let dir = durable_dir("explain");
+        let mut db = shop();
+        let mut p = Pipeline::new();
+        let ex = p.explain(UNPAID, &db).unwrap();
+        assert_eq!(ex.durability, None);
+        assert!(ex.to_string().contains("durability: not attached"));
+        db.attach_durable(&dir).unwrap();
+        db.insert("Orders", tup!["o9", "Recovery", 12]).unwrap();
+        let ex = p.explain(UNPAID, &db).unwrap();
+        let line = ex.durability.clone().expect("durability attached");
+        assert!(line.contains("wal frame(s)"), "{line}");
+        assert!(ex.to_string().contains("durability: dir "), "{ex}");
+        db.detach_durable().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,11 +14,14 @@ use crate::bag::BagRelation;
 use crate::delta::{Delta, DELTA_LOG_CAP};
 use crate::relation::Relation;
 use crate::schema::{RelationSchema, Schema};
+use crate::snapshot;
 use crate::tuple::Tuple;
 use crate::value::{Const, NullId, Value};
+use crate::wal::{DurabilityStats, DurableLog, WalRecord};
 use crate::{DataError, Result};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide instance-id allocator. Ids are never reused, so a cache
@@ -59,6 +62,9 @@ pub struct Database {
     /// database: never decreases, and always kept above every null that has
     /// ever been observed in the instance.
     next_null: NullId,
+    /// Optional durability attachment: when present, every logged mutation
+    /// appends a WAL frame before the mutator returns (see [`crate::wal`]).
+    durable: Option<DurableLog>,
 }
 
 impl Clone for Database {
@@ -74,6 +80,9 @@ impl Clone for Database {
             log_base: self.log_base,
             log: self.log.clone(),
             next_null: self.next_null,
+            // A clone never inherits the durability attachment: two writers
+            // interleaving frames in one WAL would corrupt both histories.
+            durable: None,
         }
     }
 }
@@ -110,7 +119,253 @@ impl Database {
             log_base: 0,
             log: VecDeque::new(),
             next_null,
+            durable: None,
         }
+    }
+
+    /// Rebuild a database from recovered snapshot + WAL state. The result
+    /// is a **fresh instance** with an empty in-memory delta log based at
+    /// `epoch`: caches stamped with the pre-crash instance can never be
+    /// served against it, and `deltas_since` any pre-crash epoch is `None`.
+    pub(crate) fn from_snapshot(
+        schema: Schema,
+        relations: BTreeMap<String, Relation>,
+        epoch: u64,
+        next_null: NullId,
+    ) -> Self {
+        let observed = relations
+            .values()
+            .flat_map(Relation::nulls)
+            .max()
+            .map_or(0, |m| m + 1);
+        Database {
+            schema,
+            relations,
+            instance: next_instance_id(),
+            epoch,
+            log_base: epoch,
+            log: VecDeque::new(),
+            next_null: next_null.max(observed),
+            durable: None,
+        }
+    }
+
+    pub(crate) fn set_durable(&mut self, d: DurableLog) {
+        self.durable = Some(d);
+    }
+
+    /// Apply one recovered WAL record without logging it. Used only by
+    /// [`crate::wal::recover`]; a record that cannot be applied (unknown
+    /// relation, wrong semantics) is reported as corruption and recovery
+    /// treats it as the start of the torn tail.
+    pub(crate) fn replay_record(&mut self, epoch: u64, record: &WalRecord) -> Result<()> {
+        match record {
+            WalRecord::Delta(Delta::Insert { relation, tuples }) => {
+                {
+                    let rel = self
+                        .relations
+                        .get_mut(relation)
+                        .ok_or_else(|| DataError::UnknownRelation(relation.clone()))?;
+                    for t in tuples {
+                        rel.insert(t.clone());
+                    }
+                }
+                for t in tuples {
+                    self.note_nulls(t);
+                }
+            }
+            WalRecord::Delta(Delta::Delete { relation, tuples }) => {
+                let rel = self
+                    .relations
+                    .get_mut(relation)
+                    .ok_or_else(|| DataError::UnknownRelation(relation.clone()))?;
+                for t in tuples {
+                    rel.remove(t);
+                }
+            }
+            WalRecord::Delta(Delta::Resolve { null, value }) => {
+                self.substitute_null(*null, value);
+            }
+            WalRecord::Delta(Delta::Structural) => {
+                // The WAL writer never emits content-free structural
+                // deltas (they become `ResetSet` frames); one on disk is
+                // unreplayable history.
+                return Err(DataError::Corrupt {
+                    detail: "content-free structural delta in wal".to_string(),
+                });
+            }
+            WalRecord::ResetSet { relation, rel } => {
+                if !self.relations.contains_key(relation) {
+                    return Err(DataError::UnknownRelation(relation.clone()));
+                }
+                for t in rel.iter() {
+                    self.note_nulls(t);
+                }
+                self.relations.insert(relation.clone(), rel.clone());
+            }
+            WalRecord::ResetBag { .. } => {
+                return Err(DataError::Corrupt {
+                    detail: "bag reset frame in a set-semantics store".to_string(),
+                });
+            }
+        }
+        self.epoch = epoch;
+        self.log_base = epoch;
+        Ok(())
+    }
+
+    /// Write any deferred structural reset frames (from
+    /// [`Database::relation_mut`] borrows) to the WAL. Consecutive deferred
+    /// resets of the same relation collapse into the newest epoch — the
+    /// relation's current contents are only known to match the *latest*
+    /// structural epoch, and a frame per intermediate epoch would claim
+    /// states that never existed.
+    fn wal_flush_pending(&mut self) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let pending = d.take_pending();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut latest: BTreeMap<String, u64> = BTreeMap::new();
+        for (epoch, name) in pending {
+            let e = latest.entry(name).or_insert(epoch);
+            *e = (*e).max(epoch);
+        }
+        let mut ordered: Vec<(u64, String)> = latest.into_iter().map(|(n, e)| (e, n)).collect();
+        ordered.sort();
+        for (epoch, name) in ordered {
+            let rel = self
+                .relations
+                .get(&name)
+                .ok_or_else(|| DataError::UnknownRelation(name.clone()))?;
+            d.append_reset_set(epoch, &name, rel)?;
+        }
+        Ok(())
+    }
+
+    /// Append the most recently recorded delta to the WAL.
+    fn wal_append_last(&mut self) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        if let Some(delta) = self.log.back() {
+            d.append_delta(self.epoch, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Attach crash-safe durability rooted at `dir`: the directory is
+    /// created, a fresh WAL is opened, and the current contents are
+    /// published as the baseline snapshot. Any previous durable state in
+    /// `dir` is replaced. From here on every logged mutation appends a
+    /// checksummed WAL frame before the mutator returns; recover the store
+    /// later with [`crate::wal::recover`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] if the directory or files cannot be
+    /// written.
+    pub fn attach_durable(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        let log = DurableLog::attach(dir)?;
+        self.durable = Some(log);
+        let written = snapshot::write_set(
+            dir,
+            &self.schema,
+            &self.relations,
+            self.epoch,
+            self.next_null,
+        );
+        self.finish_snapshot(written)
+    }
+
+    /// Publish a full snapshot of the current contents and restart the WAL
+    /// (the snapshot covers everything logged so far). The write is atomic:
+    /// a crash mid-snapshot leaves the previous snapshot loadable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] if no durable log is attached or the
+    /// filesystem fails, and [`DataError::CrashInjected`] when a crash
+    /// fault site fires.
+    pub fn snapshot_durable(&mut self) -> Result<()> {
+        if self.durable.is_none() {
+            return Err(DataError::Io {
+                op: "snapshot".to_string(),
+                detail: "no durable log attached".to_string(),
+            });
+        }
+        self.wal_flush_pending()?;
+        let written = {
+            let d = self.durable.as_ref().expect("attachment checked above");
+            snapshot::write_set(
+                d.dir(),
+                &self.schema,
+                &self.relations,
+                self.epoch,
+                self.next_null,
+            )
+        };
+        self.finish_snapshot(written)
+    }
+
+    fn finish_snapshot(&mut self, written: Result<u64>) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        match written {
+            Ok(bytes) => d.note_snapshot(self.epoch, bytes),
+            Err(e) => {
+                d.mark_failed(format!("snapshot failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush deferred structural resets and fsync the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] on filesystem failure or a poisoned log;
+    /// a no-op without an attachment.
+    pub fn sync_durable(&mut self) -> Result<()> {
+        self.wal_flush_pending()?;
+        match self.durable.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Detach durability, flushing and fsyncing first where possible. The
+    /// on-disk state stays recoverable; a poisoned log detaches without
+    /// further writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] if the final fsync of a healthy log fails.
+    pub fn detach_durable(&mut self) -> Result<()> {
+        if self.durability_crashed().is_none() {
+            self.wal_flush_pending()?;
+        }
+        if let Some(mut d) = self.durable.take() {
+            if d.failed().is_none() {
+                d.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Observable durability state, if a log is attached.
+    pub fn durability(&self) -> Option<DurabilityStats> {
+        self.durable.as_ref().map(DurableLog::stats)
+    }
+
+    /// Why the attached log stopped accepting writes, if it did (an
+    /// injected crash or real I/O failure poisons it permanently).
+    pub fn durability_crashed(&self) -> Option<&str> {
+        self.durable.as_ref().and_then(DurableLog::failed)
     }
 
     /// Append one delta to the bounded log and advance the epoch.
@@ -190,14 +445,21 @@ impl Database {
     ///
     /// Returns [`DataError::UnknownRelation`] if the name is not in the schema.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.wal_flush_pending()?;
         if !self.relations.contains_key(name) {
             return Err(DataError::UnknownRelation(name.to_string()));
         }
         self.record(Delta::Structural);
-        Ok(self
-            .relations
+        let epoch = self.epoch;
+        if let Some(d) = self.durable.as_mut() {
+            // The WAL frame must carry the relation's contents *after* the
+            // caller's edits through this borrow, which haven't happened
+            // yet: defer the reset until the next logged mutation or sync.
+            d.defer_reset(epoch, name);
+        }
+        self.relations
             .get_mut(name)
-            .expect("presence checked above"))
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
     /// Insert a tuple into the named relation.
@@ -225,6 +487,7 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<()> {
+        self.wal_flush_pending()?;
         let expected = self.schema.relation(relation)?.arity();
         let rel = self
             .relations
@@ -235,6 +498,8 @@ impl Database {
             if t.arity() != expected {
                 // Roll nothing back: tuples before the mismatch stay
                 // inserted, and are logged below so caches stay coherent.
+                // The arity error outranks any WAL failure; a poisoned log
+                // stays observable via `durability_crashed`.
                 if !added.is_empty() {
                     for t in &added {
                         self.note_nulls(t);
@@ -243,6 +508,7 @@ impl Database {
                         relation: relation.to_string(),
                         tuples: added,
                     });
+                    let _ = self.wal_append_last();
                 }
                 return Err(DataError::ArityMismatch {
                     relation: relation.to_string(),
@@ -262,6 +528,7 @@ impl Database {
                 relation: relation.to_string(),
                 tuples: added,
             });
+            self.wal_append_last()?;
         }
         Ok(())
     }
@@ -274,6 +541,7 @@ impl Database {
     ///
     /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
     pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.wal_flush_pending()?;
         let rel = self
             .relations
             .get_mut(relation)
@@ -284,6 +552,7 @@ impl Database {
                 relation: relation.to_string(),
                 tuples: vec![tuple.clone()],
             });
+            self.wal_append_last()?;
         }
         Ok(removed)
     }
@@ -300,6 +569,7 @@ impl Database {
         relation: &str,
         mut pred: impl FnMut(&Tuple) -> bool,
     ) -> Result<usize> {
+        self.wal_flush_pending()?;
         let rel = self
             .relations
             .get_mut(relation)
@@ -314,6 +584,7 @@ impl Database {
                 relation: relation.to_string(),
                 tuples: removed,
             });
+            self.wal_append_last()?;
         }
         Ok(n)
     }
@@ -324,6 +595,22 @@ impl Database {
     /// if the null does not occur, nothing is logged and the epoch is
     /// unchanged.
     pub fn resolve_null(&mut self, null: NullId, value: Const) -> usize {
+        // This mutator reports a count, not a Result: WAL failures poison
+        // the attachment (observable via `durability_crashed`) instead of
+        // being surfaced here.
+        let _ = self.wal_flush_pending();
+        let touched = self.substitute_null(null, &value);
+        if touched > 0 {
+            self.record(Delta::Resolve { null, value });
+            let _ = self.wal_append_last();
+        }
+        touched
+    }
+
+    /// The substitution behind [`Database::resolve_null`], shared with WAL
+    /// replay: rewrite every occurrence of `⊥_null` to `value` without
+    /// touching the identity layer. Returns the number of tuples rewritten.
+    fn substitute_null(&mut self, null: NullId, value: &Const) -> usize {
         let mut touched = 0usize;
         for rel in self.relations.values_mut() {
             let affected = rel
@@ -349,9 +636,6 @@ impl Database {
             });
             *rel = substituted;
         }
-        if touched > 0 {
-            self.record(Delta::Resolve { null, value });
-        }
         touched
     }
 
@@ -362,6 +646,7 @@ impl Database {
     ///
     /// Returns an error if the relation is unknown or arities mismatch.
     pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        self.wal_flush_pending()?;
         let expected = self.schema.relation(name)?.arity();
         if rel.arity() != expected && !rel.is_empty() {
             return Err(DataError::ArityMismatch {
@@ -381,6 +666,16 @@ impl Database {
         }
         self.relations.insert(name.to_string(), rel);
         self.record(Delta::Structural);
+        // Unlike `relation_mut`, the new contents are fully known here, so
+        // the structural change goes to the WAL as an immediate reset.
+        let epoch = self.epoch;
+        if let Some(d) = self.durable.as_mut() {
+            let current = self
+                .relations
+                .get(name)
+                .ok_or_else(|| DataError::UnknownRelation(name.to_string()))?;
+            d.append_reset_set(epoch, name, current)?;
+        }
         Ok(())
     }
 
@@ -532,6 +827,8 @@ pub struct BagDatabase {
     epoch: u64,
     log_base: u64,
     log: VecDeque<Delta>,
+    /// Optional durability attachment; see [`Database`]'s field.
+    durable: Option<DurableLog>,
 }
 
 impl Clone for BagDatabase {
@@ -543,6 +840,8 @@ impl Clone for BagDatabase {
             epoch: self.epoch,
             log_base: self.log_base,
             log: self.log.clone(),
+            // Clones never share a WAL; see `Database::clone`.
+            durable: None,
         }
     }
 }
@@ -573,7 +872,215 @@ impl BagDatabase {
             epoch: 0,
             log_base: 0,
             log: VecDeque::new(),
+            durable: None,
         }
+    }
+
+    /// Rebuild from recovered snapshot + WAL state; see
+    /// [`Database::from_snapshot`] for the identity guarantees.
+    pub(crate) fn from_snapshot(
+        schema: Schema,
+        relations: BTreeMap<String, BagRelation>,
+        epoch: u64,
+    ) -> Self {
+        BagDatabase {
+            schema,
+            relations,
+            instance: next_instance_id(),
+            epoch,
+            log_base: epoch,
+            log: VecDeque::new(),
+            durable: None,
+        }
+    }
+
+    pub(crate) fn set_durable(&mut self, d: DurableLog) {
+        self.durable = Some(d);
+    }
+
+    /// Apply one recovered WAL record; see [`Database::replay_record`].
+    pub(crate) fn replay_record(&mut self, epoch: u64, record: &WalRecord) -> Result<()> {
+        match record {
+            WalRecord::Delta(Delta::Insert { relation, tuples }) => {
+                let rel = self
+                    .relations
+                    .get_mut(relation)
+                    .ok_or_else(|| DataError::UnknownRelation(relation.clone()))?;
+                for t in tuples {
+                    rel.insert_n(t.clone(), 1);
+                }
+            }
+            WalRecord::Delta(Delta::Delete { relation, tuples }) => {
+                let rel = self
+                    .relations
+                    .get_mut(relation)
+                    .ok_or_else(|| DataError::UnknownRelation(relation.clone()))?;
+                *rel = rel.filter(|t| !tuples.contains(t));
+            }
+            WalRecord::Delta(Delta::Resolve { null, value }) => {
+                self.substitute_null(*null, value);
+            }
+            WalRecord::Delta(Delta::Structural) => {
+                return Err(DataError::Corrupt {
+                    detail: "content-free structural delta in wal".to_string(),
+                });
+            }
+            WalRecord::ResetBag { relation, rel } => {
+                if !self.relations.contains_key(relation) {
+                    return Err(DataError::UnknownRelation(relation.clone()));
+                }
+                self.relations.insert(relation.clone(), rel.clone());
+            }
+            WalRecord::ResetSet { .. } => {
+                return Err(DataError::Corrupt {
+                    detail: "set reset frame in a bag-semantics store".to_string(),
+                });
+            }
+        }
+        self.epoch = epoch;
+        self.log_base = epoch;
+        Ok(())
+    }
+
+    /// Write deferred structural reset frames; see
+    /// [`Database::wal_flush_pending`] for the epoch-collapsing rule.
+    fn wal_flush_pending(&mut self) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let pending = d.take_pending();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut latest: BTreeMap<String, u64> = BTreeMap::new();
+        for (epoch, name) in pending {
+            let e = latest.entry(name).or_insert(epoch);
+            *e = (*e).max(epoch);
+        }
+        let mut ordered: Vec<(u64, String)> = latest.into_iter().map(|(n, e)| (e, n)).collect();
+        ordered.sort();
+        for (epoch, name) in ordered {
+            let rel = self
+                .relations
+                .get(&name)
+                .ok_or_else(|| DataError::UnknownRelation(name.clone()))?;
+            d.append_reset_bag(epoch, &name, rel)?;
+        }
+        Ok(())
+    }
+
+    /// Append the most recently recorded delta to the WAL.
+    fn wal_append_last(&mut self) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        if let Some(delta) = self.log.back() {
+            d.append_delta(self.epoch, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Write the current relation contents as an immediate reset frame (for
+    /// bag mutations the delta vocabulary cannot express exactly).
+    fn wal_reset_now(&mut self, name: &str) -> Result<()> {
+        let epoch = self.epoch;
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))?;
+        d.append_reset_bag(epoch, name, rel)
+    }
+
+    /// Attach crash-safe durability; see [`Database::attach_durable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] if the directory or files cannot be
+    /// written.
+    pub fn attach_durable(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        let log = DurableLog::attach(dir)?;
+        self.durable = Some(log);
+        let written = snapshot::write_bag(dir, &self.schema, &self.relations, self.epoch);
+        self.finish_snapshot(written)
+    }
+
+    /// Publish a full snapshot and restart the WAL; see
+    /// [`Database::snapshot_durable`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::snapshot_durable`].
+    pub fn snapshot_durable(&mut self) -> Result<()> {
+        if self.durable.is_none() {
+            return Err(DataError::Io {
+                op: "snapshot".to_string(),
+                detail: "no durable log attached".to_string(),
+            });
+        }
+        self.wal_flush_pending()?;
+        let written = match self.durable.as_ref() {
+            Some(d) => snapshot::write_bag(d.dir(), &self.schema, &self.relations, self.epoch),
+            None => return Ok(()),
+        };
+        self.finish_snapshot(written)
+    }
+
+    fn finish_snapshot(&mut self, written: Result<u64>) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        match written {
+            Ok(bytes) => d.note_snapshot(self.epoch, bytes),
+            Err(e) => {
+                d.mark_failed(format!("snapshot failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush deferred resets and fsync the WAL; see
+    /// [`Database::sync_durable`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::sync_durable`].
+    pub fn sync_durable(&mut self) -> Result<()> {
+        self.wal_flush_pending()?;
+        match self.durable.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Detach durability; see [`Database::detach_durable`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::detach_durable`].
+    pub fn detach_durable(&mut self) -> Result<()> {
+        if self.durability_crashed().is_none() {
+            self.wal_flush_pending()?;
+        }
+        if let Some(mut d) = self.durable.take() {
+            if d.failed().is_none() {
+                d.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Observable durability state, if a log is attached.
+    pub fn durability(&self) -> Option<DurabilityStats> {
+        self.durable.as_ref().map(DurableLog::stats)
+    }
+
+    /// Why the attached log stopped accepting writes, if it did.
+    pub fn durability_crashed(&self) -> Option<&str> {
+        self.durable.as_ref().and_then(DurableLog::failed)
     }
 
     fn record(&mut self, delta: Delta) {
@@ -630,14 +1137,20 @@ impl BagDatabase {
     ///
     /// Returns [`DataError::UnknownRelation`] if absent.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut BagRelation> {
+        self.wal_flush_pending()?;
         if !self.relations.contains_key(name) {
             return Err(DataError::UnknownRelation(name.to_string()));
         }
         self.record(Delta::Structural);
-        Ok(self
-            .relations
+        let epoch = self.epoch;
+        if let Some(d) = self.durable.as_mut() {
+            // Contents after the borrow's edits aren't known yet; defer
+            // the reset frame (see `Database::relation_mut`).
+            d.defer_reset(epoch, name);
+        }
+        self.relations
             .get_mut(name)
-            .expect("presence checked above"))
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
     /// Insert `n` occurrences of a tuple into the named relation.
@@ -650,6 +1163,7 @@ impl BagDatabase {
     ///
     /// Returns an error on unknown relation or arity mismatch.
     pub fn insert_n(&mut self, relation: &str, tuple: Tuple, n: usize) -> Result<()> {
+        self.wal_flush_pending()?;
         let expected = self.schema.relation(relation)?.arity();
         if tuple.arity() != expected {
             return Err(DataError::ArityMismatch {
@@ -672,8 +1186,12 @@ impl BagDatabase {
                 relation: relation.to_string(),
                 tuples: vec![tuple],
             });
+            self.wal_append_last()?;
         } else {
+            // Multiplicity changes aren't expressible as deltas; persist
+            // the relation's new contents wholesale.
             self.record(Delta::Structural);
+            self.wal_reset_now(relation)?;
         }
         Ok(())
     }
@@ -685,6 +1203,7 @@ impl BagDatabase {
     ///
     /// Returns [`DataError::UnknownRelation`] if the relation is unknown.
     pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<usize> {
+        self.wal_flush_pending()?;
         let rel = self
             .relations
             .get_mut(relation)
@@ -696,6 +1215,7 @@ impl BagDatabase {
                 relation: relation.to_string(),
                 tuples: vec![tuple.clone()],
             });
+            self.wal_append_last()?;
         }
         Ok(mult)
     }
@@ -711,6 +1231,7 @@ impl BagDatabase {
         relation: &str,
         mut pred: impl FnMut(&Tuple) -> bool,
     ) -> Result<usize> {
+        self.wal_flush_pending()?;
         let rel = self
             .relations
             .get_mut(relation)
@@ -722,6 +1243,7 @@ impl BagDatabase {
                 relation: relation.to_string(),
                 tuples: removed.clone(),
             });
+            self.wal_append_last()?;
         }
         Ok(removed.len())
     }
@@ -730,6 +1252,20 @@ impl BagDatabase {
     /// tuples that collapse. Returns the number of distinct tuples
     /// rewritten; a null that does not occur bumps nothing.
     pub fn resolve_null(&mut self, null: NullId, value: Const) -> usize {
+        // Count-returning mutator: WAL failures poison the attachment
+        // rather than being surfaced here (see `Database::resolve_null`).
+        let _ = self.wal_flush_pending();
+        let touched = self.substitute_null(null, &value);
+        if touched > 0 {
+            self.record(Delta::Resolve { null, value });
+            let _ = self.wal_append_last();
+        }
+        touched
+    }
+
+    /// The substitution behind [`BagDatabase::resolve_null`], shared with
+    /// WAL replay. Returns the number of distinct tuples rewritten.
+    fn substitute_null(&mut self, null: NullId, value: &Const) -> usize {
         let mut touched = 0usize;
         for rel in self.relations.values_mut() {
             let affected = rel
@@ -751,9 +1287,6 @@ impl BagDatabase {
                     }
                 })
             });
-        }
-        if touched > 0 {
-            self.record(Delta::Resolve { null, value });
         }
         touched
     }
@@ -1042,5 +1575,155 @@ mod tests {
         let s = db().to_string();
         assert!(s.contains("R = "));
         assert!(s.contains("S = "));
+    }
+
+    #[test]
+    fn deltas_since_truncation_boundary_is_exact() {
+        // Regression pin for the refine-vs-recompute lattice: after the
+        // bounded log drops entries, `deltas_since` at *exactly* the
+        // truncation epoch (log_base) must answer, and one epoch earlier
+        // must not.
+        let mut d = db();
+        for i in 0..(DELTA_LOG_CAP as i64 + 10) {
+            d.insert("R", tup![2000 + i, 0]).unwrap();
+        }
+        let base = d.epoch() - DELTA_LOG_CAP as u64;
+        let at_base = d.deltas_since(base);
+        assert!(at_base.is_some(), "boundary epoch must be answerable");
+        assert_eq!(at_base.unwrap().count(), DELTA_LOG_CAP);
+        assert!(
+            d.deltas_since(base - 1).is_none(),
+            "one past the boundary must force recomputation"
+        );
+        // The two degenerate ends: the current epoch answers with an empty
+        // iterator, the future does not answer.
+        assert_eq!(d.deltas_since(d.epoch()).unwrap().count(), 0);
+        assert!(d.deltas_since(d.epoch() + 1).is_none());
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "certa-db-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_mutations_recover_exactly() {
+        let dir = durable_dir("set-roundtrip");
+        let mut d = db();
+        d.attach_durable(&dir).unwrap();
+        let pre_instance = d.instance();
+        d.insert("R", tup![9, 9]).unwrap();
+        d.insert_all("R", vec![tup![10, 10], tup![11, Value::null(5)]])
+            .unwrap();
+        d.delete("R", &tup![1, 2]).unwrap();
+        d.retain("R", |t| t[0] != Value::int(3)).unwrap();
+        assert_eq!(d.resolve_null(1, Const::int(77)), 1);
+        d.set_relation("S", Relation::from_tuples(vec![tup![5]]))
+            .unwrap();
+        // Structural borrow with deferred reset, flushed by the next sync.
+        d.relation_mut("R").unwrap().insert(tup![42, 42]);
+        d.sync_durable().unwrap();
+        let stats = d.durability().unwrap();
+        assert!(stats.appends > 0);
+        assert!(stats.reset_frames >= 2);
+        assert!(stats.failed.is_none());
+
+        let (r, report) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(r, d, "recovered contents must be bit-identical");
+        assert_eq!(report.recovered_epoch, d.epoch());
+        assert!(report.wal_truncated.is_none());
+        assert_ne!(r.instance(), pre_instance, "recovery mints a fresh id");
+        // Pre-crash epochs are unanswerable on the recovered instance.
+        assert!(r.deltas_since(0).is_none());
+        assert_eq!(r.deltas_since(r.epoch()).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_database_keeps_appending() {
+        let dir = durable_dir("set-reappend");
+        let mut d = db();
+        d.attach_durable(&dir).unwrap();
+        d.insert("R", tup![5, 5]).unwrap();
+        d.detach_durable().unwrap();
+
+        let (mut r, _) = crate::wal::recover(&dir).unwrap();
+        r.insert("R", tup![6, 6]).unwrap();
+        r.snapshot_durable().unwrap();
+        r.insert("R", tup![7, 7]).unwrap();
+        r.detach_durable().unwrap();
+
+        let (r2, report) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(r2, r);
+        assert_eq!(report.frames_replayed, 1, "snapshot absorbed the rest");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_null_allocator_survives_recovery() {
+        let dir = durable_dir("set-nulls");
+        let mut d = db();
+        d.attach_durable(&dir).unwrap();
+        d.insert("S", tup![Value::null(30)]).unwrap();
+        d.detach_durable().unwrap();
+        let expected = {
+            let mut c = d.clone();
+            c.fresh_null()
+        };
+        let (mut r, _) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(r.fresh_null(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clones_do_not_inherit_durability() {
+        let dir = durable_dir("set-clone");
+        let mut d = db();
+        d.attach_durable(&dir).unwrap();
+        let c = d.clone();
+        assert!(c.durability().is_none());
+        assert!(d.durability().is_some());
+        d.detach_durable().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bag_durable_mutations_recover_exactly() {
+        let dir = durable_dir("bag-roundtrip");
+        let mut b = BagDatabase::new(db().schema().clone());
+        b.attach_durable(&dir).unwrap();
+        b.insert_n("R", tup![1, Value::null(3)], 1).unwrap();
+        b.insert_n("R", tup![1, Value::null(3)], 2).unwrap(); // multiplicity → reset frame
+        b.insert_n("R", tup![2, 2], 4).unwrap(); // n > 1 → reset frame
+        assert_eq!(b.resolve_null(3, Const::int(9)), 1);
+        assert_eq!(b.delete("R", &tup![2, 2]).unwrap(), 4);
+        b.relation_mut("S").unwrap().insert_n(tup![8], 6);
+        b.sync_durable().unwrap();
+
+        let (r, report) = crate::wal::recover_bag(&dir).unwrap();
+        assert_eq!(r, b);
+        assert_eq!(report.recovered_epoch, b.epoch());
+        assert_eq!(r.relation("R").unwrap().multiplicity(&tup![1, 9]), 3);
+        assert_eq!(r.relation("S").unwrap().multiplicity(&tup![8]), 6);
+        assert!(r.deltas_since(0).is_none());
+        b.detach_durable().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_mismatch_is_reported_not_misread() {
+        let dir = durable_dir("kind-mismatch");
+        let mut d = db();
+        d.attach_durable(&dir).unwrap();
+        d.detach_durable().unwrap();
+        let err = crate::wal::recover_bag(&dir).unwrap_err();
+        assert!(matches!(err, DataError::Corrupt { .. }));
+        assert!(crate::wal::recover(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

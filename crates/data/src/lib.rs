@@ -26,9 +26,13 @@
 //! * [`homomorphism`] — homomorphism finding/checking (arbitrary, onto and
 //!   strong-onto), the semantic tool behind naïve-evaluation correctness;
 //! * [`unify`] — linear-time tuple unification, the building block of the
-//!   `⋉⇑` anti-semijoin used by the approximation schemes.
+//!   `⋉⇑` anti-semijoin used by the approximation schemes;
+//! * [`wal`] and [`snapshot`] — crash-safe durability: a checksummed
+//!   write-ahead delta log plus atomic snapshots, recovered via
+//!   [`wal::recover`] / [`wal::recover_bag`].
 
 pub mod bag;
+pub mod crc32;
 pub mod database;
 pub mod delta;
 pub mod governor;
@@ -36,10 +40,12 @@ pub mod homomorphism;
 pub mod index;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod tuple;
 pub mod unify;
 pub mod valuation;
 pub mod value;
+pub mod wal;
 
 pub use bag::BagRelation;
 pub use database::{database_from_literal, BagDatabase, Database};
@@ -53,6 +59,10 @@ pub use tuple::Tuple;
 pub use unify::{unifiable, unify};
 pub use valuation::Valuation;
 pub use value::{Const, NullId, Value};
+pub use wal::{recover, recover_bag, DurabilityStats, DurableLog, RecoveryReport, WalRecord};
+
+#[cfg(feature = "fault-injection")]
+pub use wal::{arm_crash_site, arm_crashes, disarm_crashes};
 
 /// Crate-wide error type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +87,27 @@ pub enum DataError {
     },
     /// A relation with the same name was registered twice.
     DuplicateRelation(String),
+    /// A filesystem operation on the durability layer failed.
+    Io {
+        /// Which durability operation failed (e.g. `wal.append`).
+        op: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// On-disk durability data failed validation (checksum, framing,
+    /// decoding) — recovery treats trailing corruption as a torn tail, but
+    /// mid-structure corruption surfaces as this error.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A crash was injected at a durability fault site (only produced
+    /// under the `fault-injection` feature). The attached log is poisoned
+    /// as if the process had died at that point.
+    CrashInjected {
+        /// The fault site that fired (e.g. `wal:frame`).
+        site: &'static str,
+    },
 }
 
 impl std::fmt::Display for DataError {
@@ -100,6 +131,11 @@ impl std::fmt::Display for DataError {
             ),
             DataError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` registered twice")
+            }
+            DataError::Io { op, detail } => write!(f, "io failure in {op}: {detail}"),
+            DataError::Corrupt { detail } => write!(f, "corrupt durability data: {detail}"),
+            DataError::CrashInjected { site } => {
+                write!(f, "crash injected at fault site `{site}`")
             }
         }
     }

@@ -1,0 +1,406 @@
+//! Atomic full-database snapshots for the durability layer.
+//!
+//! A snapshot is one file, `snap-<epoch:020>.snap`, written in full to a
+//! `.tmp` sibling and then published with `fs::rename` — so a reader (and
+//! in particular [`crate::wal::recover`]) either sees the previous complete
+//! snapshot or the new complete snapshot, never a partial one. The epoch is
+//! zero-padded so lexicographic directory order is numeric epoch order.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic    b"CERTSNAP"            8 bytes
+//! version  u32 LE                 currently 1
+//! body_len u64 LE
+//! body_crc u32 LE                 CRC-32/IEEE of body
+//! body:
+//!   kind      u8                  0 = set semantics, 1 = bag semantics
+//!   epoch     u64 LE
+//!   next_null u32 LE              (set kind only)
+//!   schema                        see wal codec
+//!   count     u32 LE              relations
+//!   (name, relation)*             sorted by name (BTreeMap order)
+//! ```
+//!
+//! Loading tries the newest snapshot first and silently falls back to older
+//! ones when validation fails (truncated body, checksum mismatch, bad
+//! magic): a crash during snapshot writing must never make the store
+//! unrecoverable. The last two snapshots are retained for exactly this
+//! reason; older ones are pruned after each successful write.
+
+use crate::bag::BagRelation;
+use crate::crc32::crc32;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::NullId;
+use crate::wal::{
+    corrupt, crash_fires, io_err, mangle, put_bag_relation, put_relation, put_schema, put_str,
+    put_u32, put_u64, Reader,
+};
+use crate::{DataError, Result};
+use certa_obs as obs;
+use obs::HistogramId;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const MAGIC: &[u8; 8] = b"CERTSNAP";
+const VERSION: u32 = 1;
+const SNAP_SUFFIX: &str = ".snap";
+const TMP_SUFFIX: &str = ".snap.tmp";
+
+/// How many published snapshots to retain (newest first). Two, so a crash
+/// while writing snapshot N+1 always leaves snapshot N loadable.
+const RETAIN: usize = 2;
+
+/// Decoded snapshot body, before it becomes a database.
+#[derive(Debug)]
+pub(crate) enum SnapshotContents {
+    Set {
+        schema: Schema,
+        relations: BTreeMap<String, Relation>,
+        epoch: u64,
+        next_null: NullId,
+    },
+    Bag {
+        schema: Schema,
+        relations: BTreeMap<String, BagRelation>,
+        epoch: u64,
+    },
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch:020}{SNAP_SUFFIX}"))
+}
+
+fn encode_file(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, body.len() as u64);
+    put_u32(&mut out, crc32(body));
+    out.extend_from_slice(body);
+    out
+}
+
+/// Write `body` as the snapshot for `epoch` via temp-file + atomic rename.
+/// Returns the published file's size in bytes.
+fn publish(dir: &Path, epoch: u64, body: Vec<u8>) -> Result<u64> {
+    let t0 = Instant::now();
+    let _span = obs::span("snapshot:write");
+    let bytes = encode_file(&body);
+    let tmp = dir.join(format!("snap-{epoch:020}{TMP_SUFFIX}"));
+    let dest = snapshot_path(dir, epoch);
+
+    if let Some(r) = crash_fires("snapshot:tmp") {
+        // Die mid-write of the temp file: a mangled .tmp is left behind,
+        // which recovery must ignore entirely.
+        let _ = fs::write(&tmp, mangle(&bytes, r));
+        return Err(DataError::CrashInjected {
+            site: "snapshot:tmp",
+        });
+    }
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("snapshot.create", &e))?;
+        f.write_all(&bytes)
+            .map_err(|e| io_err("snapshot.write", &e))?;
+        f.sync_all().map_err(|e| io_err("snapshot.sync", &e))?;
+    }
+    if crash_fires("snapshot:rename").is_some() {
+        // Die after the temp file is complete but before it is published:
+        // the previous snapshot must remain the loadable one.
+        return Err(DataError::CrashInjected {
+            site: "snapshot:rename",
+        });
+    }
+    fs::rename(&tmp, &dest).map_err(|e| io_err("snapshot.rename", &e))?;
+    // Durably record the rename in the directory where supported; failure
+    // to fsync a directory is not worth failing the snapshot over.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    prune(dir);
+    obs::metrics().observe(
+        HistogramId::SnapshotMicros,
+        u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+    );
+    Ok(bytes.len() as u64)
+}
+
+/// Remove stray temp files and snapshots older than the newest [`RETAIN`].
+fn prune(dir: &Path) {
+    let mut snaps = list_snapshots(dir);
+    // `list_snapshots` sorts newest-first.
+    for p in snaps.drain(..).skip(RETAIN) {
+        let _ = fs::remove_file(p);
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(TMP_SUFFIX) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// All published snapshot files in `dir`, newest first.
+fn list_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snap-") && name.ends_with(SNAP_SUFFIX) {
+                out.push(entry.path());
+            }
+        }
+    }
+    // Zero-padded epochs make lexicographic order numeric; newest first.
+    out.sort();
+    out.reverse();
+    out
+}
+
+/// Serialize and publish a set-semantics snapshot.
+pub(crate) fn write_set(
+    dir: &Path,
+    schema: &Schema,
+    relations: &BTreeMap<String, Relation>,
+    epoch: u64,
+    next_null: NullId,
+) -> Result<u64> {
+    let mut body = Vec::new();
+    body.push(0u8);
+    put_u64(&mut body, epoch);
+    put_u32(&mut body, next_null);
+    put_schema(&mut body, schema);
+    put_u32(&mut body, relations.len() as u32);
+    for (name, rel) in relations {
+        put_str(&mut body, name);
+        put_relation(&mut body, rel);
+    }
+    publish(dir, epoch, body)
+}
+
+/// Serialize and publish a bag-semantics snapshot.
+pub(crate) fn write_bag(
+    dir: &Path,
+    schema: &Schema,
+    relations: &BTreeMap<String, BagRelation>,
+    epoch: u64,
+) -> Result<u64> {
+    let mut body = Vec::new();
+    body.push(1u8);
+    put_u64(&mut body, epoch);
+    put_schema(&mut body, schema);
+    put_u32(&mut body, relations.len() as u32);
+    for (name, rel) in relations {
+        put_str(&mut body, name);
+        put_bag_relation(&mut body, rel);
+    }
+    publish(dir, epoch, body)
+}
+
+/// Validate and decode one snapshot file.
+fn load_file(path: &Path) -> Result<SnapshotContents> {
+    let bytes = fs::read(path).map_err(|e| io_err("snapshot.read", &e))?;
+    if bytes.len() < 24 || &bytes[..8] != MAGIC {
+        return Err(corrupt("snapshot header invalid"));
+    }
+    let mut hdr = Reader::new(&bytes[8..24]);
+    let version = hdr.u32()?;
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let body_len = hdr.u64()? as usize;
+    let body_crc = hdr.u32()?;
+    if bytes.len() - 24 != body_len {
+        return Err(corrupt("snapshot body length mismatch"));
+    }
+    let body = &bytes[24..];
+    if crc32(body) != body_crc {
+        return Err(corrupt("snapshot checksum mismatch"));
+    }
+    let mut r = Reader::new(body);
+    let kind = r.u8()?;
+    let epoch = r.u64()?;
+    match kind {
+        0 => {
+            let next_null = r.u32()?;
+            let schema = r.schema()?;
+            let count = r.u32()? as usize;
+            let mut relations = BTreeMap::new();
+            for _ in 0..count {
+                let name = r.str()?;
+                let rel = r.relation()?;
+                relations.insert(name, rel);
+            }
+            r.done()?;
+            Ok(SnapshotContents::Set {
+                schema,
+                relations,
+                epoch,
+                next_null,
+            })
+        }
+        1 => {
+            let schema = r.schema()?;
+            let count = r.u32()? as usize;
+            let mut relations = BTreeMap::new();
+            for _ in 0..count {
+                let name = r.str()?;
+                let rel = r.bag_relation()?;
+                relations.insert(name, rel);
+            }
+            r.done()?;
+            Ok(SnapshotContents::Bag {
+                schema,
+                relations,
+                epoch,
+            })
+        }
+        k => Err(corrupt(format!("unknown snapshot kind {k}"))),
+    }
+}
+
+/// Load the newest valid snapshot in `dir`, skipping over invalid ones.
+/// Returns the contents and how many newer snapshots were skipped.
+pub(crate) fn load_latest(dir: &Path) -> Result<(SnapshotContents, usize)> {
+    let snaps = list_snapshots(dir);
+    let mut skipped = 0usize;
+    for path in &snaps {
+        match load_file(path) {
+            Ok(c) => return Ok((c, skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Err(corrupt(format!(
+        "no valid snapshot in {} ({} candidate(s) rejected)",
+        dir.display(),
+        skipped
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "certa-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> (Schema, BTreeMap<String, Relation>) {
+        let schema = Schema::from_relations(vec![
+            RelationSchema::new("R", vec!["a", "b"]),
+            RelationSchema::new("S", vec!["c"]),
+        ])
+        .unwrap();
+        let mut rels = BTreeMap::new();
+        rels.insert(
+            "R".to_string(),
+            Relation::with_arity(2, vec![tup![1, 2], tup![3, crate::Value::null(0)]]),
+        );
+        rels.insert(
+            "S".to_string(),
+            Relation::with_arity(1, vec![tup![crate::Value::null(1)]]),
+        );
+        (schema, rels)
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let (schema, rels) = sample();
+        write_set(&dir, &schema, &rels, 7, 2).unwrap();
+        let (contents, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        match contents {
+            SnapshotContents::Set {
+                schema: s,
+                relations,
+                epoch,
+                next_null,
+            } => {
+                assert_eq!(s, schema);
+                assert_eq!(relations, rels);
+                assert_eq!(epoch, 7);
+                assert_eq!(next_null, 2);
+            }
+            SnapshotContents::Bag { .. } => panic!("set snapshot decoded as bag"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_corrupt_snapshot_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        let (schema, rels) = sample();
+        write_set(&dir, &schema, &rels, 3, 2).unwrap();
+        write_set(&dir, &schema, &rels, 9, 2).unwrap();
+        // Corrupt the newer snapshot's body.
+        let newer = snapshot_path(&dir, 9);
+        let mut bytes = fs::read(&newer).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newer, &bytes).unwrap();
+        let (contents, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(skipped, 1);
+        match contents {
+            SnapshotContents::Set { epoch, .. } => assert_eq!(epoch, 3),
+            SnapshotContents::Bag { .. } => panic!("wrong kind"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected_not_fatal() {
+        let dir = tmp_dir("truncated");
+        let (schema, rels) = sample();
+        write_set(&dir, &schema, &rels, 2, 2).unwrap();
+        write_set(&dir, &schema, &rels, 5, 2).unwrap();
+        let newer = snapshot_path(&dir, 5);
+        let bytes = fs::read(&newer).unwrap();
+        fs::write(&newer, &bytes[..bytes.len() / 2]).unwrap();
+        let (contents, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(skipped, 1);
+        match contents {
+            SnapshotContents::Set { epoch, .. } => assert_eq!(epoch, 2),
+            SnapshotContents::Bag { .. } => panic!("wrong kind"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn old_snapshots_are_pruned_to_two() {
+        let dir = tmp_dir("prune");
+        let (schema, rels) = sample();
+        for epoch in [1u64, 2, 3, 4, 5] {
+            write_set(&dir, &schema, &rels, epoch, 2).unwrap();
+        }
+        let snaps = list_snapshots(&dir);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0], snapshot_path(&dir, 5));
+        assert_eq!(snaps[1], snapshot_path(&dir, 4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_reports_no_valid_snapshot() {
+        let dir = tmp_dir("empty");
+        let err = load_latest(&dir).unwrap_err();
+        assert!(matches!(err, DataError::Corrupt { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

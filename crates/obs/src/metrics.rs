@@ -77,6 +77,15 @@ metric_ids! {
     // Fault injection audit trail.
     FaultChecks => "fault.checks",
     FaultFired => "fault.fired",
+    // Durability: write-ahead log, snapshots, recovery.
+    WalAppends => "wal.appends",
+    WalAppendBytes => "wal.append_bytes",
+    WalResetFrames => "wal.reset_frames",
+    WalBadFrames => "wal.bad_frames",
+    SnapshotWrites => "snapshot.writes",
+    SnapshotBytes => "snapshot.bytes",
+    RecoveryRuns => "recovery.runs",
+    RecoveryReplayedFrames => "recovery.replayed_frames",
 }
 
 impl MetricId {
@@ -109,6 +118,8 @@ histogram_ids! {
     WorldChunkMicros => "worlds.chunk_micros",
     OptPassMicros => "opt.pass_micros",
     RequestMicros => "pipeline.request_micros",
+    SnapshotMicros => "snapshot.micros",
+    RecoveryMicros => "recovery.micros",
 }
 
 impl HistogramId {
